@@ -1,0 +1,98 @@
+//! DBOD: distance-based outlier detection (Knorr & Ng). A value is an
+//! outlier when the distance to its nearest distinct neighbour exceeds a
+//! threshold `D`; predictions are ranked by that distance, using the same
+//! alignment pattern distance as SVDD (§4.2).
+
+use crate::traits::{finalize_predictions, Detector, Prediction};
+use adt_corpus::Column;
+use adt_patterns::{crude_generalize, normalized_pattern_distance, Pattern};
+
+/// The DBOD detector.
+#[derive(Debug, Clone)]
+pub struct DbodDetector {
+    /// Distance threshold `D` above which a value is an outlier.
+    pub threshold: f64,
+    /// Maximum predictions per column.
+    pub limit: usize,
+}
+
+impl Default for DbodDetector {
+    fn default() -> Self {
+        DbodDetector {
+            threshold: 0.3,
+            limit: 16,
+        }
+    }
+}
+
+impl Detector for DbodDetector {
+    fn name(&self) -> &'static str {
+        "DBOD"
+    }
+
+    fn detect(&self, column: &Column) -> Vec<Prediction> {
+        let values = crate::traits::value_counts(column);
+        if values.len() < 3 {
+            return Vec::new();
+        }
+        let patterns: Vec<Pattern> = values.iter().map(|(v, _)| crude_generalize(v)).collect();
+        let n = patterns.len();
+        let mut preds = Vec::new();
+        for i in 0..n {
+            // Values with multiplicity > 1 have themselves as neighbours.
+            if values[i].1 > 1 {
+                continue;
+            }
+            let nearest = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| normalized_pattern_distance(&patterns[i], &patterns[j]))
+                .fold(f64::INFINITY, f64::min);
+            if nearest > self.threshold {
+                preds.push(Prediction {
+                    value: values[i].0.clone(),
+                    confidence: nearest,
+                });
+            }
+        }
+        finalize_predictions(preds, self.limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::SourceTag;
+
+    #[test]
+    fn isolated_value_flagged() {
+        let mut vals: Vec<String> = (0..20).map(|i| format!("20{i:02}-01-01")).collect();
+        vals.push("&&&&&&&&&&".to_string());
+        let col = Column::new(vals, SourceTag::Csv);
+        let preds = DbodDetector::default().detect(&col);
+        assert_eq!(preds[0].value, "&&&&&&&&&&");
+    }
+
+    #[test]
+    fn repeated_values_never_flagged() {
+        let mut vals: Vec<String> = (0..10).map(|i| format!("20{i:02}-01-01")).collect();
+        vals.push("&&&&&&&&&&".to_string());
+        vals.push("&&&&&&&&&&".to_string());
+        let col = Column::new(vals, SourceTag::Csv);
+        let preds = DbodDetector::default().detect(&col);
+        assert!(preds.iter().all(|p| p.value != "&&&&&&&&&&"));
+    }
+
+    #[test]
+    fn close_neighbours_not_flagged() {
+        // All values share the crude pattern -> nearest distance 0.
+        let vals: Vec<String> = (0..10).map(|i| format!("{}", 100 + i)).collect();
+        let col = Column::new(vals, SourceTag::Csv);
+        assert!(DbodDetector::default().detect(&col).is_empty());
+    }
+
+    #[test]
+    fn tiny_columns_silent() {
+        let col = Column::from_strs(&["a", "b"], SourceTag::Csv);
+        assert!(DbodDetector::default().detect(&col).is_empty());
+    }
+}

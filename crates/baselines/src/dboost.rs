@@ -1,0 +1,241 @@
+//! dBoost: tuple expansion + per-feature distribution outliers (Mariet et
+//! al.). Values expand into typed feature tuples (length, character-class
+//! counts, numeric magnitude, date fields where parseable); each feature's
+//! distribution is modeled, and values deviating on "correlated" features
+//! (agreement ≥ θ) are outliers. Defaults θ = 0.8, ε = 0.05 as in §4.2.
+
+use crate::traits::{finalize_predictions, Detector, Prediction};
+use adt_corpus::Column;
+use std::collections::HashMap;
+
+/// Expanded feature tuple of one value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expansion {
+    /// Discrete features: (feature name, discretized value).
+    pub discrete: Vec<(&'static str, i64)>,
+    /// Continuous features: (feature name, value).
+    pub continuous: Vec<(&'static str, f64)>,
+}
+
+/// Expands a value per dBoost's rules.
+pub fn expand(v: &str) -> Expansion {
+    let len = v.chars().count() as i64;
+    let digits = v.chars().filter(|c| c.is_ascii_digit()).count() as i64;
+    let letters = v.chars().filter(|c| c.is_ascii_alphabetic()).count() as i64;
+    let symbols = len - digits - letters;
+    let mut discrete = vec![
+        ("len", len),
+        ("digits", digits),
+        ("letters", letters),
+        ("symbols", symbols),
+        ("has_dot", v.contains('.') as i64),
+        ("has_dash", v.contains('-') as i64),
+        ("has_slash", v.contains('/') as i64),
+        ("has_colon", v.contains(':') as i64),
+        ("has_comma", v.contains(',') as i64),
+        ("has_space", v.contains(' ') as i64),
+        (
+            "first_class",
+            match v.chars().next() {
+                Some(c) if c.is_ascii_digit() => 0,
+                Some(c) if c.is_ascii_uppercase() => 1,
+                Some(c) if c.is_ascii_lowercase() => 2,
+                Some(_) => 3,
+                None => 4,
+            },
+        ),
+        (
+            "last_class",
+            match v.chars().last() {
+                Some(c) if c.is_ascii_digit() => 0,
+                Some(c) if c.is_ascii_alphabetic() => 1,
+                Some(_) => 2,
+                None => 3,
+            },
+        ),
+    ];
+    let mut continuous = Vec::new();
+    // Numeric interpretation (dBoost's "number stored differently" rule).
+    let cleaned: String = v.chars().filter(|&c| c != ',' && c != '$').collect();
+    if let Ok(x) = cleaned.parse::<f64>() {
+        continuous.push(("magnitude", x.abs().max(1e-9).log10()));
+        discrete.push(("is_numeric", 1));
+    } else {
+        discrete.push(("is_numeric", 0));
+    }
+    // Date interpretation: integers can be dates; ymd-shaped strings
+    // expand into year/month/day.
+    let parts: Vec<&str> = v.split(['-', '/', '.']).collect();
+    if parts.len() == 3
+        && parts[0].len() == 4
+        && parts.iter().all(|p| p.chars().all(|c| c.is_ascii_digit()) && !p.is_empty())
+    {
+        discrete.push(("date_month", parts[1].parse().unwrap_or(0)));
+        continuous.push(("date_year", parts[0].parse().unwrap_or(0.0)));
+    }
+    Expansion {
+        discrete,
+        continuous,
+    }
+}
+
+/// The dBoost detector.
+#[derive(Debug, Clone)]
+pub struct DboostDetector {
+    /// Correlation threshold θ: a discrete feature participates when at
+    /// least θ of values agree on its modal value.
+    pub theta: f64,
+    /// Rarity threshold ε: deviating values must be rarer than ε.
+    pub epsilon: f64,
+    /// Gaussian tolerance for continuous features, in standard deviations.
+    pub n_sigma: f64,
+    /// Maximum predictions per column.
+    pub limit: usize,
+}
+
+impl Default for DboostDetector {
+    fn default() -> Self {
+        DboostDetector {
+            theta: 0.8,
+            epsilon: 0.05,
+            n_sigma: 3.0,
+            limit: 16,
+        }
+    }
+}
+
+impl Detector for DboostDetector {
+    fn name(&self) -> &'static str {
+        "dBoost"
+    }
+
+    fn detect(&self, column: &Column) -> Vec<Prediction> {
+        let values = crate::traits::value_counts(column);
+        let total: usize = values.iter().map(|&(_, c)| c).sum();
+        if total < 4 {
+            return Vec::new();
+        }
+        let expansions: Vec<Expansion> = values.iter().map(|(v, _)| expand(v)).collect();
+
+        // Discrete feature histograms (weighted by multiplicity).
+        let mut hist: HashMap<&'static str, HashMap<i64, usize>> = HashMap::new();
+        for (e, (_, cnt)) in expansions.iter().zip(&values) {
+            for &(f, x) in &e.discrete {
+                *hist.entry(f).or_default().entry(x).or_insert(0) += cnt;
+            }
+        }
+        // Correlated features: modal agreement >= theta.
+        let correlated: HashMap<&'static str, i64> = hist
+            .iter()
+            .filter_map(|(&f, h)| {
+                let (&modal, &cnt) = h.iter().max_by_key(|(_, &c)| c)?;
+                (cnt as f64 / total as f64 >= self.theta).then_some((f, modal))
+            })
+            .collect();
+
+        // Continuous features: weighted mean/std.
+        let mut cont_stats: HashMap<&'static str, (f64, f64, f64)> = HashMap::new(); // (sum, sumsq, weight)
+        for (e, (_, cnt)) in expansions.iter().zip(&values) {
+            for &(f, x) in &e.continuous {
+                let s = cont_stats.entry(f).or_insert((0.0, 0.0, 0.0));
+                s.0 += x * *cnt as f64;
+                s.1 += x * x * *cnt as f64;
+                s.2 += *cnt as f64;
+            }
+        }
+
+        let mut preds = Vec::new();
+        for (e, (v, cnt)) in expansions.iter().zip(&values) {
+            let freq = *cnt as f64 / total as f64;
+            if freq > self.epsilon {
+                continue;
+            }
+            let mut deviation = 0.0f64;
+            for &(f, x) in &e.discrete {
+                if let Some(&modal) = correlated.get(f) {
+                    if x != modal {
+                        let agreement = hist[f][&modal] as f64 / total as f64;
+                        deviation += agreement;
+                    }
+                }
+            }
+            for &(f, x) in &e.continuous {
+                if let Some(&(sum, sumsq, w)) = cont_stats.get(f) {
+                    if w >= 4.0 {
+                        let mean = sum / w;
+                        let var = (sumsq / w - mean * mean).max(1e-12);
+                        let z = (x - mean).abs() / var.sqrt();
+                        if z > self.n_sigma {
+                            deviation += z / self.n_sigma;
+                        }
+                    }
+                }
+            }
+            if deviation > 0.0 {
+                preds.push(Prediction {
+                    value: v.clone(),
+                    confidence: deviation,
+                });
+            }
+        }
+        finalize_predictions(preds, self.limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::SourceTag;
+
+    #[test]
+    fn expansion_features() {
+        let e = expand("2011-01-01");
+        assert!(e.discrete.contains(&("len", 10)));
+        assert!(e.discrete.contains(&("digits", 8)));
+        assert!(e.discrete.contains(&("has_dash", 1)));
+        assert!(e.discrete.contains(&("date_month", 1)));
+        let e2 = expand("$1,234.56");
+        assert!(e2.discrete.contains(&("is_numeric", 1)));
+    }
+
+    #[test]
+    fn detects_separator_deviation() {
+        let mut vals: Vec<String> = (0..30).map(|i| format!("20{i:02}-01-01")).collect();
+        vals.push("2031/01/01".to_string());
+        let col = Column::new(vals, SourceTag::Csv);
+        let preds = DboostDetector::default().detect(&col);
+        assert_eq!(preds[0].value, "2031/01/01");
+    }
+
+    #[test]
+    fn detects_numeric_magnitude_outlier() {
+        let mut vals: Vec<String> = (10..40).map(|i| i.to_string()).collect();
+        vals.push("99999999999".to_string());
+        let col = Column::new(vals, SourceTag::Csv);
+        let preds = DboostDetector::default().detect(&col);
+        assert!(preds.iter().any(|p| p.value == "99999999999"));
+    }
+
+    #[test]
+    fn frequent_values_not_flagged() {
+        // A value making up 40% of the column can't be an ε-outlier.
+        let mut vals = vec!["alpha".to_string(); 12];
+        vals.extend(vec!["42".to_string(); 8]);
+        let col = Column::new(vals, SourceTag::Csv);
+        let preds = DboostDetector::default().detect(&col);
+        assert!(preds.is_empty());
+    }
+
+    #[test]
+    fn tiny_columns_are_silent() {
+        let col = Column::from_strs(&["a", "b"], SourceTag::Csv);
+        assert!(DboostDetector::default().detect(&col).is_empty());
+    }
+
+    #[test]
+    fn homogeneous_column_is_silent() {
+        let vals: Vec<String> = (0..30).map(|i| format!("20{i:02}-01-01")).collect();
+        let col = Column::new(vals, SourceTag::Csv);
+        assert!(DboostDetector::default().detect(&col).is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! F-Regex: fixed type-detection patterns, as in Trifacta / Power BI.
+//!
+//! A library of hand-written matchers for ~15 common data types. The
+//! column's type is the matcher covering the largest fraction of values
+//! (if above a minimum); values not conforming are flagged, ranked by the
+//! conforming fraction — the confidence definition of §4.2.
+
+use crate::traits::{finalize_predictions, Detector, Prediction};
+use adt_corpus::Column;
+
+/// One recognized data type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    Integer,
+    Decimal,
+    ThousandsNumber,
+    Currency,
+    Percent,
+    DateYmd,
+    DateDmy,
+    DateMonthName,
+    Time,
+    Email,
+    Url,
+    IpAddress,
+    Phone,
+    ZipCode,
+    Boolean,
+    Isbn,
+}
+
+impl DataType {
+    /// All types, in match-priority order: more specific types first, so
+    /// that on coverage ties the narrower type wins (`Integer` before
+    /// `ThousandsNumber`, which subsumes it).
+    pub const ALL: [DataType; 16] = [
+        DataType::DateYmd,
+        DataType::DateDmy,
+        DataType::DateMonthName,
+        DataType::Time,
+        DataType::Email,
+        DataType::Url,
+        DataType::IpAddress,
+        DataType::Phone,
+        DataType::Isbn,
+        DataType::ZipCode,
+        DataType::Boolean,
+        DataType::Currency,
+        DataType::Percent,
+        DataType::Integer,
+        DataType::Decimal,
+        DataType::ThousandsNumber,
+    ];
+
+    /// True when `v` conforms to this type's pattern.
+    pub fn matches(&self, v: &str) -> bool {
+        match self {
+            DataType::Integer => !v.is_empty() && v.chars().all(|c| c.is_ascii_digit()),
+            DataType::Decimal => {
+                let v = v.strip_prefix(['-', '+']).unwrap_or(v);
+                let mut parts = v.splitn(2, '.');
+                let (a, b) = (parts.next().unwrap_or(""), parts.next());
+                match b {
+                    Some(b) => {
+                        !a.is_empty()
+                            && !b.is_empty()
+                            && a.chars().all(|c| c.is_ascii_digit())
+                            && b.chars().all(|c| c.is_ascii_digit())
+                    }
+                    None => !a.is_empty() && a.chars().all(|c| c.is_ascii_digit()),
+                }
+            }
+            DataType::ThousandsNumber => {
+                let v = v.strip_prefix(['-', '+']).unwrap_or(v);
+                let int_part = v.split('.').next().unwrap_or("");
+                let groups: Vec<&str> = int_part.split(',').collect();
+                if groups.len() < 2 {
+                    return DataType::Integer.matches(v) || DataType::Decimal.matches(v);
+                }
+                let first_ok =
+                    !groups[0].is_empty() && groups[0].len() <= 3 && digits(groups[0]);
+                let rest_ok = groups[1..].iter().all(|g| g.len() == 3 && digits(g));
+                let frac_ok = match v.split_once('.').map(|x| x.1) {
+                    Some(f) => !f.is_empty() && digits(f),
+                    None => true,
+                };
+                first_ok && rest_ok && frac_ok
+            }
+            DataType::Currency => {
+                let v = v
+                    .strip_prefix(['$', '€', '£', '¥'])
+                    .or_else(|| v.strip_suffix(" USD"))
+                    .or_else(|| v.strip_suffix(" EUR"));
+                match v {
+                    Some(rest) => DataType::ThousandsNumber.matches(rest.trim()),
+                    None => false,
+                }
+            }
+            DataType::Percent => match v.strip_suffix('%') {
+                Some(rest) => DataType::Decimal.matches(rest),
+                None => false,
+            },
+            DataType::DateYmd => {
+                // yyyy-mm-dd / yyyy/mm/dd / yyyy.mm.dd
+                let seps = ['-', '/', '.'];
+                seps.iter().any(|&sep| {
+                    let p: Vec<&str> = v.split(sep).collect();
+                    p.len() == 3
+                        && p[0].len() == 4
+                        && digits(p[0])
+                        && (1..=2).contains(&p[1].len())
+                        && digits(p[1])
+                        && in_range(p[1], 1, 12)
+                        && (1..=2).contains(&p[2].len())
+                        && digits(p[2])
+                        && in_range(p[2], 1, 31)
+                })
+            }
+            DataType::DateDmy => {
+                let seps = ['-', '/', '.'];
+                seps.iter().any(|&sep| {
+                    let p: Vec<&str> = v.split(sep).collect();
+                    p.len() == 3
+                        && (1..=2).contains(&p[0].len())
+                        && digits(p[0])
+                        && (1..=2).contains(&p[1].len())
+                        && digits(p[1])
+                        && p[2].len() == 4
+                        && digits(p[2])
+                        && (in_range(p[0], 1, 31) && in_range(p[1], 1, 12)
+                            || in_range(p[0], 1, 12) && in_range(p[1], 1, 31))
+                })
+            }
+            DataType::DateMonthName => {
+                const MONTHS: [&str; 24] = [
+                    "January",
+                    "February",
+                    "March",
+                    "April",
+                    "May",
+                    "June",
+                    "July",
+                    "August",
+                    "September",
+                    "October",
+                    "November",
+                    "December",
+                    "Jan",
+                    "Feb",
+                    "Mar",
+                    "Apr",
+                    "May",
+                    "Jun",
+                    "Jul",
+                    "Aug",
+                    "Sep",
+                    "Oct",
+                    "Nov",
+                    "Dec",
+                ];
+                MONTHS.iter().any(|m| v.contains(m))
+                    && v.chars().any(|c| c.is_ascii_digit())
+                    && v.chars()
+                        .all(|c| c.is_ascii_alphanumeric() || " ,-".contains(c))
+            }
+            DataType::Time => {
+                let p: Vec<&str> = v.split(':').collect();
+                (2..=3).contains(&p.len())
+                    && p.iter().all(|x| (1..=2).contains(&x.len()) && digits(x))
+                    && p[1..].iter().all(|x| in_range(x, 0, 59))
+            }
+            DataType::Email => {
+                let parts: Vec<&str> = v.split('@').collect();
+                parts.len() == 2
+                    && !parts[0].is_empty()
+                    && parts[1].contains('.')
+                    && !parts[1].starts_with('.')
+                    && !parts[1].ends_with('.')
+                    && v.chars().all(|c| !c.is_whitespace())
+            }
+            DataType::Url => {
+                (v.starts_with("http://") || v.starts_with("https://") || v.starts_with("www."))
+                    && v.len() > 10
+                    && !v.contains(' ')
+            }
+            DataType::IpAddress => {
+                let p: Vec<&str> = v.split('.').collect();
+                p.len() == 4
+                    && p.iter().all(|x| {
+                        !x.is_empty()
+                            && x.len() <= 3
+                            && digits(x)
+                            && x.parse::<u32>().map(|n| n <= 255).unwrap_or(false)
+                    })
+            }
+            DataType::Phone => {
+                let digits_count = v.chars().filter(|c| c.is_ascii_digit()).count();
+                (7..=15).contains(&digits_count)
+                    && v.chars()
+                        .all(|c| c.is_ascii_digit() || " ()-+.".contains(c))
+                    && v.chars().next().map(|c| c != '.').unwrap_or(false)
+            }
+            DataType::ZipCode => {
+                (v.len() == 5 && digits(v))
+                    || (v.len() == 10 && digits(&v[..5]) && &v[5..6] == "-" && digits(&v[6..]))
+            }
+            DataType::Boolean => matches!(
+                v.to_ascii_lowercase().as_str(),
+                "yes" | "no" | "true" | "false" | "y" | "n"
+            ),
+            DataType::Isbn => {
+                v.starts_with("978-") && v.matches('-').count() == 4 && {
+                    let d = v.chars().filter(|c| c.is_ascii_digit()).count();
+                    d == 13
+                }
+            }
+        }
+    }
+}
+
+fn digits(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_ascii_digit())
+}
+
+fn in_range(s: &str, lo: u32, hi: u32) -> bool {
+    s.parse::<u32>().map(|n| n >= lo && n <= hi).unwrap_or(false)
+}
+
+/// The F-Regex detector.
+#[derive(Debug, Clone)]
+pub struct FRegexDetector {
+    /// Minimum fraction of values a type must cover to become the column
+    /// type.
+    pub min_coverage: f64,
+    /// Maximum predictions per column.
+    pub limit: usize,
+}
+
+impl Default for FRegexDetector {
+    fn default() -> Self {
+        FRegexDetector {
+            min_coverage: 0.5,
+            limit: 16,
+        }
+    }
+}
+
+impl FRegexDetector {
+    /// Infers the dominant data type of a column, with its coverage.
+    pub fn infer_type(&self, column: &Column) -> Option<(DataType, f64)> {
+        let values: Vec<&str> = column.non_empty_values().collect();
+        if values.is_empty() {
+            return None;
+        }
+        let mut best: Option<(DataType, f64)> = None;
+        for t in DataType::ALL {
+            let hits = values.iter().filter(|v| t.matches(v)).count();
+            let frac = hits as f64 / values.len() as f64;
+            let better = match best {
+                Some((_, b)) => frac > b,
+                None => true,
+            };
+            if better {
+                best = Some((t, frac));
+            }
+        }
+        best.filter(|&(_, frac)| frac >= self.min_coverage)
+    }
+}
+
+impl Detector for FRegexDetector {
+    fn name(&self) -> &'static str {
+        "F-Regex"
+    }
+
+    fn detect(&self, column: &Column) -> Vec<Prediction> {
+        let Some((ty, coverage)) = self.infer_type(column) else {
+            return Vec::new();
+        };
+        if coverage >= 1.0 {
+            return Vec::new();
+        }
+        let preds: Vec<Prediction> = column
+            .distinct_values()
+            .into_iter()
+            .filter(|v| !v.is_empty() && !ty.matches(v))
+            .map(|v| Prediction {
+                value: v.to_string(),
+                confidence: coverage,
+            })
+            .collect();
+        finalize_predictions(preds, self.limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::SourceTag;
+
+    #[test]
+    fn type_matchers() {
+        assert!(DataType::Integer.matches("12345"));
+        assert!(!DataType::Integer.matches("12a"));
+        assert!(DataType::Decimal.matches("3.14"));
+        assert!(DataType::Decimal.matches("-3.14"));
+        assert!(!DataType::Decimal.matches("3."));
+        assert!(DataType::ThousandsNumber.matches("1,234,567.89"));
+        assert!(!DataType::ThousandsNumber.matches("12,34"));
+        assert!(DataType::Currency.matches("$1,234.56"));
+        assert!(DataType::Percent.matches("3.5%"));
+        assert!(DataType::DateYmd.matches("2011-01-31"));
+        assert!(DataType::DateYmd.matches("2011/1/1"));
+        assert!(!DataType::DateYmd.matches("2011-13-01"));
+        assert!(DataType::DateDmy.matches("27/11/2009"));
+        assert!(DataType::DateMonthName.matches("August 16, 1983"));
+        assert!(DataType::Time.matches("12:45:30"));
+        assert!(!DataType::Time.matches("12:99"));
+        assert!(DataType::Email.matches("jane@example.com"));
+        assert!(!DataType::Email.matches("jane@com"));
+        assert!(DataType::Url.matches("http://example.com/a"));
+        assert!(DataType::IpAddress.matches("192.168.0.1"));
+        assert!(!DataType::IpAddress.matches("192.168.0.256"));
+        assert!(DataType::Phone.matches("(425) 555-0123"));
+        assert!(DataType::ZipCode.matches("98052"));
+        assert!(DataType::ZipCode.matches("98052-1234"));
+        assert!(DataType::Boolean.matches("Yes"));
+        assert!(DataType::Isbn.matches("978-3-16-148410-0"));
+    }
+
+    #[test]
+    fn flags_nonconforming_value() {
+        let col = Column::from_strs(
+            &["192.168.0.1", "10.0.0.1", "172.16.3.7", "not-an-ip"],
+            SourceTag::Csv,
+        );
+        let det = FRegexDetector::default();
+        let preds = det.detect(&col);
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0].value, "not-an-ip");
+        assert!((preds[0].confidence - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clean_typed_column_passes() {
+        let col = Column::from_strs(&["1:02", "2:45", "3:30"], SourceTag::Csv);
+        assert!(FRegexDetector::default().detect(&col).is_empty());
+    }
+
+    #[test]
+    fn untyped_column_produces_nothing() {
+        let col = Column::from_strs(
+            &["alpha one", "beta two!", "?gamma", "delta#4x", "e"],
+            SourceTag::Csv,
+        );
+        assert!(FRegexDetector::default().detect(&col).is_empty());
+    }
+
+    #[test]
+    fn infer_type_picks_majority() {
+        let col = Column::from_strs(&["1", "2", "3", "x"], SourceTag::Csv);
+        let (ty, frac) = FRegexDetector::default().infer_type(&col).unwrap();
+        assert_eq!(ty, DataType::Integer);
+        assert!((frac - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,187 @@
+//! Linear: the linear-complexity deviation-detection framework of Arning,
+//! Agrawal & Raghavan (KDD'96), instantiated with a dissimilarity function
+//! over regular-expression-style patterns, plus the paper's LinearP
+//! variant that first generalizes values with the tree classes.
+//!
+//! The framework scans the sequence, tracking a dissimilarity function
+//! `D(I)` of the prefix; the *smoothing factor* of an item is
+//! `SF(I_j) = C(I \ I_j) · (D(I) − D(I \ I_j))` — how much total
+//! dissimilarity drops when the item is removed, scaled by the remaining
+//! cardinality. Items with the largest smoothing factors form the
+//! exception set.
+
+use crate::traits::{finalize_predictions, Detector, Prediction};
+use adt_corpus::Column;
+use adt_patterns::{crude_generalize, normalized_pattern_distance, Language, Pattern};
+
+/// Shared scan logic for Linear and LinearP.
+///
+/// The dissimilarity of a value set is the count-weighted mean pairwise
+/// normalized pattern distance. The leave-one-out dissimilarities needed
+/// for the smoothing factors are derived incrementally from per-row
+/// distance sums, so the whole scan is O(d²) in the number of distinct
+/// values rather than O(d³).
+fn detect_with_patterns(
+    values: &[(String, usize)],
+    patterns: Vec<Pattern>,
+    limit: usize,
+) -> Vec<Prediction> {
+    let counts: Vec<f64> = values.iter().map(|&(_, c)| c as f64).collect();
+    let total: f64 = counts.iter().sum();
+    if total < 3.0 {
+        return Vec::new();
+    }
+    let n = patterns.len();
+    // Weighted pairwise sums: S = Σ_{i<j} w_ij d_ij, W = Σ_{i<j} w_ij,
+    // plus per-row partial sums for O(1) leave-one-out.
+    let mut row_sum = vec![0.0f64; n]; // Σ_j w_ij d_ij for j != i
+    let mut row_w = vec![0.0f64; n]; // Σ_j w_ij for j != i
+    let mut s = 0.0;
+    let mut w_total = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = normalized_pattern_distance(&patterns[i], &patterns[j]);
+            let w = counts[i] * counts[j];
+            s += d * w;
+            w_total += w;
+            row_sum[i] += d * w;
+            row_sum[j] += d * w;
+            row_w[i] += w;
+            row_w[j] += w;
+        }
+    }
+    if w_total == 0.0 || s == 0.0 {
+        return Vec::new();
+    }
+    let d_full = s / w_total;
+    let mut preds = Vec::new();
+    for i in 0..n {
+        let s_without = s - row_sum[i];
+        let w_without = w_total - row_w[i];
+        let d_without = if w_without > 0.0 {
+            s_without / w_without
+        } else {
+            0.0
+        };
+        let remaining = total - counts[i];
+        let sf = remaining * (d_full - d_without);
+        if sf > 0.0 {
+            preds.push(Prediction {
+                value: values[i].0.clone(),
+                confidence: sf,
+            });
+        }
+    }
+    finalize_predictions(preds, limit)
+}
+
+/// Linear over raw character sequences (the paper notes its
+/// generalization is too coarse and it performs poorly — reproducing that
+/// is intentional).
+#[derive(Debug, Clone)]
+pub struct LinearDetector {
+    /// Maximum predictions per column.
+    pub limit: usize,
+}
+
+impl Default for LinearDetector {
+    fn default() -> Self {
+        LinearDetector { limit: 16 }
+    }
+}
+
+impl Detector for LinearDetector {
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+
+    fn detect(&self, column: &Column) -> Vec<Prediction> {
+        let values = crate::traits::value_counts(column);
+        let patterns: Vec<Pattern> = values
+            .iter()
+            .map(|(v, _)| Pattern::generalize(v, &Language::leaf()))
+            .collect();
+        detect_with_patterns(&values, patterns, self.limit)
+    }
+}
+
+/// LinearP: Linear over tree-generalized patterns (`\D`, `\L`, …), the
+/// paper's strengthened variant.
+#[derive(Debug, Clone)]
+pub struct LinearPDetector {
+    /// Maximum predictions per column.
+    pub limit: usize,
+}
+
+impl Default for LinearPDetector {
+    fn default() -> Self {
+        LinearPDetector { limit: 16 }
+    }
+}
+
+impl Detector for LinearPDetector {
+    fn name(&self) -> &'static str {
+        "LinearP"
+    }
+
+    fn detect(&self, column: &Column) -> Vec<Prediction> {
+        let values = crate::traits::value_counts(column);
+        let patterns: Vec<Pattern> = values.iter().map(|(v, _)| crude_generalize(v)).collect();
+        detect_with_patterns(&values, patterns, self.limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::SourceTag;
+
+    #[test]
+    fn linearp_flags_the_deviant() {
+        let mut vals: Vec<String> = (0..20).map(|i| format!("20{i:02}-01-01")).collect();
+        vals.push("totally different".to_string());
+        let col = Column::new(vals, SourceTag::Csv);
+        let preds = LinearPDetector::default().detect(&col);
+        assert_eq!(preds[0].value, "totally different");
+    }
+
+    #[test]
+    fn homogeneous_patterns_silent_under_linearp() {
+        // Distinct values, identical crude patterns: dissimilarity 0.
+        let vals: Vec<String> = (0..20).map(|i| format!("20{i:02}-01-01")).collect();
+        let col = Column::new(vals, SourceTag::Csv);
+        assert!(LinearPDetector::default().detect(&col).is_empty());
+    }
+
+    #[test]
+    fn linear_flags_on_raw_characters() {
+        // Raw Linear sees "1999" vs "2000"-style char differences, so even
+        // same-pattern columns yield nonzero dissimilarity; the strongest
+        // outlier must still rank first.
+        let mut vals: Vec<String> = (0..20).map(|i| format!("{}", 1000 + i)).collect();
+        vals.push("xxxxxxxxxxxx".to_string());
+        let col = Column::new(vals, SourceTag::Csv);
+        let preds = LinearDetector::default().detect(&col);
+        assert_eq!(preds[0].value, "xxxxxxxxxxxx");
+    }
+
+    #[test]
+    fn deviant_has_maximal_smoothing_factor() {
+        // The singleton deviant must out-score every regular value, even
+        // when a second mildly different cluster exists.
+        let mut vals: Vec<String> = (0..20).map(|i| format!("20{i:02}-01-01")).collect();
+        vals.extend((0..5).map(|i| format!("20{i:02}-01")));
+        vals.push("!!deviant!!".to_string());
+        let col = Column::new(vals, SourceTag::Csv);
+        let preds = LinearPDetector::default().detect(&col);
+        assert_eq!(preds[0].value, "!!deviant!!");
+        assert!(preds[0].confidence > 0.0);
+    }
+
+    #[test]
+    fn tiny_columns_silent() {
+        let col = Column::from_strs(&["a", "b"], SourceTag::Csv);
+        assert!(LinearDetector::default().detect(&col).is_empty());
+        assert!(LinearPDetector::default().detect(&col).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! LOF: local outlier factor (Breunig et al., SIGMOD'00) over the
+//! alignment pattern distance, on the column's distinct values.
+
+use crate::traits::{finalize_predictions, Detector, Prediction};
+use adt_corpus::Column;
+use adt_patterns::{crude_generalize, normalized_pattern_distance, Pattern};
+
+/// The LOF detector.
+#[derive(Debug, Clone)]
+pub struct LofDetector {
+    /// Neighbourhood size `k` (MinPts).
+    pub k: usize,
+    /// LOF score above which a value is reported.
+    pub min_lof: f64,
+    /// Maximum predictions per column.
+    pub limit: usize,
+}
+
+impl Default for LofDetector {
+    fn default() -> Self {
+        LofDetector {
+            k: 3,
+            min_lof: 1.2,
+            limit: 16,
+        }
+    }
+}
+
+impl Detector for LofDetector {
+    fn name(&self) -> &'static str {
+        "LOF"
+    }
+
+    fn detect(&self, column: &Column) -> Vec<Prediction> {
+        let values = crate::traits::value_counts(column);
+        let n = values.len();
+        if n < 4 {
+            return Vec::new();
+        }
+        let k = self.k.min(n - 1);
+        let patterns: Vec<Pattern> = values.iter().map(|(v, _)| crude_generalize(v)).collect();
+        // Symmetric distance matrix, computed once.
+        let mut dist = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = normalized_pattern_distance(&patterns[i], &patterns[j]);
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        // Cell-level k-nearest neighbours of each distinct value.
+        // Duplicate cells collapse to one point but keep the metric
+        // honest: a value occurring m times has m-1 zero-distance
+        // neighbours, so multiplicities pad the neighbour lists.
+        let neighbours: Vec<Vec<(f64, usize)>> = (0..n)
+            .map(|i| {
+                let mut pairs: Vec<(f64, usize)> = Vec::with_capacity(n + values[i].1);
+                for _ in 1..values[i].1 {
+                    pairs.push((0.0, i));
+                }
+                for j in 0..n {
+                    if j != i {
+                        let d = dist[i * n + j];
+                        for _ in 0..values[j].1 {
+                            pairs.push((d, j));
+                        }
+                    }
+                }
+                pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+                pairs.truncate(k);
+                pairs
+            })
+            .collect();
+        // k-distance of each point (distance to its k-th nearest cell).
+        let k_dist: Vec<f64> = neighbours
+            .iter()
+            .map(|ns| ns.last().map(|&(d, _)| d).unwrap_or(0.0))
+            .collect();
+        // Local reachability density: reach-dist(i, j) = max(k_dist(j), d(i, j)).
+        let lrd: Vec<f64> = (0..n)
+            .map(|i| {
+                let sum: f64 = neighbours[i]
+                    .iter()
+                    .map(|&(d, j)| d.max(k_dist[j]))
+                    .sum();
+                let avg = sum / neighbours[i].len().max(1) as f64;
+                1.0 / avg.max(1e-9)
+            })
+            .collect();
+        let mut preds = Vec::new();
+        for i in 0..n {
+            let neigh_lrd: f64 = neighbours[i].iter().map(|&(_, j)| lrd[j]).sum::<f64>()
+                / neighbours[i].len().max(1) as f64;
+            let lof = neigh_lrd / lrd[i].max(1e-9);
+            if lof > self.min_lof {
+                preds.push(Prediction {
+                    value: values[i].0.clone(),
+                    confidence: lof,
+                });
+            }
+        }
+        finalize_predictions(preds, self.limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::SourceTag;
+
+    #[test]
+    fn isolated_point_has_high_lof() {
+        let mut vals: Vec<String> = (0..20).map(|i| format!("20{i:02}-01-01")).collect();
+        vals.push("@@@@@@@@@@@@".to_string());
+        let col = Column::new(vals, SourceTag::Csv);
+        let preds = LofDetector::default().detect(&col);
+        assert!(!preds.is_empty());
+        assert_eq!(preds[0].value, "@@@@@@@@@@@@");
+    }
+
+    #[test]
+    fn dense_cluster_scores_low() {
+        let vals: Vec<String> = (0..20).map(|i| format!("20{i:02}-01-01")).collect();
+        let col = Column::new(vals, SourceTag::Csv);
+        assert!(LofDetector::default().detect(&col).is_empty());
+    }
+
+    #[test]
+    fn two_balanced_clusters_not_outliers() {
+        // LOF is local: two dense clusters of equal size have no outliers.
+        let mut vals: Vec<String> = (0..10).map(|i| format!("20{i:02}-01-01")).collect();
+        vals.extend((0..10).map(|i| format!("word{i}")));
+        let col = Column::new(vals, SourceTag::Csv);
+        let preds = LofDetector::default().detect(&col);
+        assert!(preds.is_empty(), "got {preds:?}");
+    }
+
+    #[test]
+    fn tiny_columns_silent() {
+        let col = Column::from_strs(&["a", "b", "c"], SourceTag::Csv);
+        assert!(LofDetector::default().detect(&col).is_empty());
+    }
+}

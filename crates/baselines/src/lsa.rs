@@ -1,0 +1,156 @@
+//! LSA: entropy-based local-search outlier detection (He, Deng & Xu).
+//!
+//! Entropy of the column's pattern distribution measures its regularity;
+//! outliers are the values whose removal most reduces that entropy. The
+//! local-search procedure greedily removes one value at a time, scoring
+//! each removal by its entropy reduction.
+
+use crate::traits::{finalize_predictions, Detector, Prediction};
+use adt_corpus::Column;
+use adt_patterns::crude_generalize;
+use std::collections::BTreeMap;
+
+/// Shannon entropy of a multiset given as (count) values, with total `n`.
+fn entropy(counts: impl Iterator<Item = usize>, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    counts
+        .filter(|&c| c > 0)
+        .map(|c| {
+            let p = c as f64 / n as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// The LSA detector.
+#[derive(Debug, Clone)]
+pub struct LsaDetector {
+    /// Maximum number of greedy removals (candidate outliers).
+    pub max_outliers: usize,
+    /// Maximum predictions per column.
+    pub limit: usize,
+}
+
+impl Default for LsaDetector {
+    fn default() -> Self {
+        LsaDetector {
+            max_outliers: 8,
+            limit: 16,
+        }
+    }
+}
+
+impl Detector for LsaDetector {
+    fn name(&self) -> &'static str {
+        "LSA"
+    }
+
+    fn detect(&self, column: &Column) -> Vec<Prediction> {
+        let values = crate::traits::value_counts(column);
+        let mut total: usize = values.iter().map(|&(_, c)| c).sum();
+        if total < 4 {
+            return Vec::new();
+        }
+        // Pattern histogram.
+        let keys: Vec<String> = values
+            .iter()
+            .map(|(v, _)| crude_generalize(v).to_string())
+            .collect();
+        let mut hist: BTreeMap<&str, usize> = BTreeMap::new();
+        for (k, (_, c)) in keys.iter().zip(&values) {
+            *hist.entry(k.as_str()).or_insert(0) += c;
+        }
+
+        let mut removed: Vec<usize> = Vec::new();
+        let mut preds = Vec::new();
+        for _round in 0..self.max_outliers {
+            let h_now = entropy(hist.values().copied(), total);
+            if h_now == 0.0 {
+                break;
+            }
+            // Find the single removal with the largest entropy drop per
+            // removed cell.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, (_, cnt)) in values.iter().enumerate() {
+                if removed.contains(&i) {
+                    continue;
+                }
+                let k = keys[i].as_str();
+                let kc = hist[k];
+                if kc < *cnt {
+                    continue;
+                }
+                // Entropy after removing this value's cells.
+                let n_after = total - cnt;
+                let h_after = entropy(
+                    hist.iter()
+                        .map(|(&hk, &hc)| if hk == k { hc - cnt } else { hc }),
+                    n_after,
+                );
+                let gain = h_now - h_after;
+                let better = match best {
+                    Some((_, g)) => gain > g,
+                    None => true,
+                };
+                if better {
+                    best = Some((i, gain));
+                }
+            }
+            let Some((i, gain)) = best else { break };
+            if gain <= 0.0 {
+                break;
+            }
+            let (v, cnt) = &values[i];
+            preds.push(Prediction {
+                value: v.clone(),
+                confidence: gain,
+            });
+            let k = keys[i].as_str();
+            *hist.get_mut(k).expect("key present") -= cnt;
+            total -= cnt;
+            removed.push(i);
+        }
+        finalize_predictions(preds, self.limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::SourceTag;
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy([4usize].into_iter(), 4), 0.0);
+        assert!((entropy([2usize, 2].into_iter(), 4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn removal_of_outlier_reduces_entropy_most() {
+        let mut vals: Vec<String> = (0..20).map(|i| format!("20{i:02}-01-01")).collect();
+        vals.push("oops!".to_string());
+        let col = Column::new(vals, SourceTag::Csv);
+        let preds = LsaDetector::default().detect(&col);
+        assert_eq!(preds[0].value, "oops!");
+    }
+
+    #[test]
+    fn uniform_pattern_column_silent() {
+        let vals: Vec<String> = (0..20).map(|i| format!("20{i:02}-01-01")).collect();
+        let col = Column::new(vals, SourceTag::Csv);
+        assert!(LsaDetector::default().detect(&col).is_empty());
+    }
+
+    #[test]
+    fn respects_max_outliers() {
+        let vals: Vec<String> = (0..30).map(|i| format!("{}!{}", "x".repeat(i % 7 + 1), i)).collect();
+        let col = Column::new(vals, SourceTag::Csv);
+        let det = LsaDetector {
+            max_outliers: 3,
+            limit: 16,
+        };
+        assert!(det.detect(&col).len() <= 3);
+    }
+}

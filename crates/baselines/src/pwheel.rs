@@ -1,0 +1,228 @@
+//! Potter's Wheel: MDL-based pattern inference (Raman & Hellerstein).
+//!
+//! For each generalization granularity, values cluster by pattern; the
+//! description length of the column is the cost of declaring the patterns
+//! plus the cost of encoding every value given its pattern (residual
+//! entropy of the generalized positions) plus the cost of naming each
+//! value's pattern. The granularity with minimum total DL wins — the MDL
+//! structure extraction of the original system. Values whose patterns have
+//! low support under the winning granularity are flagged, ranked by the
+//! fraction of values consistent with the dominant patterns (§4.2).
+//!
+//! This is by construction a *local* method: as the paper's Col-1/Col-2
+//! examples show, it mispredicts when local regularity diverges from
+//! global compatibility.
+
+use crate::traits::{finalize_predictions, Detector, Prediction};
+use adt_corpus::Column;
+use adt_patterns::{crude::crude_language, Language, Pattern, Token};
+use std::collections::HashMap;
+
+/// Bits to encode one character under each tree node (log2 of the node's
+/// character count).
+fn residual_bits(t: Token) -> f64 {
+    match t {
+        Token::Literal(_) => 0.0,
+        Token::Upper | Token::Lower => (26f64).log2(),
+        Token::Letter => (52f64).log2(),
+        Token::Digit => (10f64).log2(),
+        Token::Symbol => (43f64).log2(),
+        Token::Any => (95f64).log2(),
+    }
+}
+
+/// Description cost of declaring one pattern: each run costs a token tag
+/// (3 bits) plus a length byte; literal runs also spell the character.
+fn pattern_decl_bits(p: &Pattern) -> f64 {
+    p.runs()
+        .iter()
+        .map(|&(t, _)| {
+            3.0 + 8.0
+                + match t {
+                    Token::Literal(_) => 7.0,
+                    _ => 0.0,
+                }
+        })
+        .sum()
+}
+
+/// Per-value encoding cost under its pattern.
+fn value_bits(p: &Pattern) -> f64 {
+    p.runs()
+        .iter()
+        .map(|&(t, n)| residual_bits(t) * n as f64)
+        .sum()
+}
+
+/// Total MDL of a column under one language.
+fn description_length(values: &[(&str, usize)], lang: &Language) -> (f64, HashMap<String, usize>) {
+    // Cluster by pattern display string (stable key).
+    let mut clusters: HashMap<String, (Pattern, usize)> = HashMap::new();
+    let mut total_values = 0usize;
+    for (v, cnt) in values {
+        let p = Pattern::generalize(v, lang);
+        let key = p.to_string();
+        let e = clusters.entry(key).or_insert((p, 0));
+        e.1 += cnt;
+        total_values += cnt;
+    }
+    let k = clusters.len().max(1) as f64;
+    let pattern_id_bits = k.log2().max(0.0);
+    let mut dl = 0.0;
+    let mut support: HashMap<String, usize> = HashMap::new();
+    for (key, (p, cnt)) in &clusters {
+        dl += pattern_decl_bits(p);
+        dl += (*cnt as f64) * (value_bits(p) + pattern_id_bits);
+        support.insert(key.clone(), *cnt);
+    }
+    let _ = total_values;
+    (dl, support)
+}
+
+/// The Potter's Wheel detector.
+#[derive(Debug, Clone)]
+pub struct PotterWheelDetector {
+    /// Patterns covering at least this fraction of cells are "structure";
+    /// everything else is a candidate error.
+    pub dominant_fraction: f64,
+    /// Maximum predictions per column.
+    pub limit: usize,
+}
+
+impl Default for PotterWheelDetector {
+    fn default() -> Self {
+        PotterWheelDetector {
+            dominant_fraction: 0.2,
+            limit: 16,
+        }
+    }
+}
+
+impl PotterWheelDetector {
+    /// The candidate granularities the MDL search ranges over.
+    fn granularities() -> Vec<Language> {
+        vec![
+            Language::leaf(),
+            crude_language(),
+            Language::paper_l2(),
+            Language::paper_l1(),
+            Language::root(),
+        ]
+    }
+
+    /// Picks the MDL-minimal language for the column.
+    pub fn best_language(&self, values: &[(&str, usize)]) -> (Language, HashMap<String, usize>) {
+        let mut best: Option<(f64, Language, HashMap<String, usize>)> = None;
+        for lang in Self::granularities() {
+            let (dl, support) = description_length(values, &lang);
+            let better = match &best {
+                Some((b, _, _)) => dl < *b,
+                None => true,
+            };
+            if better {
+                best = Some((dl, lang, support));
+            }
+        }
+        let (_, lang, support) = best.expect("at least one granularity");
+        (lang, support)
+    }
+}
+
+impl Detector for PotterWheelDetector {
+    fn name(&self) -> &'static str {
+        "PWheel"
+    }
+
+    fn detect(&self, column: &Column) -> Vec<Prediction> {
+        let values = crate::traits::value_counts(column);
+        if values.len() < 2 {
+            return Vec::new();
+        }
+        let refs: Vec<(&str, usize)> = values.iter().map(|(v, c)| (v.as_str(), *c)).collect();
+        let total: usize = refs.iter().map(|&(_, c)| c).sum();
+        let (lang, support) = self.best_language(&refs);
+        // Dominant patterns cover at least `dominant_fraction` of cells.
+        let threshold = ((total as f64) * self.dominant_fraction).ceil() as usize;
+        let dominant_cells: usize = support
+            .values()
+            .filter(|&&c| c >= threshold.max(2))
+            .sum();
+        if dominant_cells == 0 {
+            // No structure found; Potter's Wheel stays silent.
+            return Vec::new();
+        }
+        let consistent_fraction = dominant_cells as f64 / total as f64;
+        let preds: Vec<Prediction> = refs
+            .iter()
+            .filter(|(v, _)| {
+                let key = Pattern::generalize(v, &lang).to_string();
+                support.get(&key).copied().unwrap_or(0) < threshold.max(2)
+            })
+            .map(|(v, _)| Prediction {
+                value: v.to_string(),
+                confidence: consistent_fraction,
+            })
+            .collect();
+        finalize_predictions(preds, self.limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::SourceTag;
+
+    #[test]
+    fn flags_pattern_outlier() {
+        let mut vals: Vec<String> = (0..20).map(|i| format!("20{i:02}-01-01")).collect();
+        vals.push("January 1st".to_string());
+        let col = Column::new(vals, SourceTag::Csv);
+        let preds = PotterWheelDetector::default().detect(&col);
+        assert_eq!(preds[0].value, "January 1st");
+    }
+
+    #[test]
+    fn col1_paper_weakness_flags_separator_number() {
+        // The paper's Col-1: {0..999, "1,000"} — MDL flags "1,000" even
+        // though it is globally compatible. Reproducing the *weakness* is
+        // part of reproducing the method.
+        let mut vals: Vec<String> = (0..50).map(|i| format!("{}", i * 19 % 999)).collect();
+        vals.push("1,000".to_string());
+        let col = Column::new(vals, SourceTag::Csv);
+        let preds = PotterWheelDetector::default().detect(&col);
+        assert!(preds.iter().any(|p| p.value == "1,000"));
+    }
+
+    #[test]
+    fn balanced_mix_of_formats_is_silent() {
+        // 50-50 date-format mix: both patterns are dominant structure, so
+        // local MDL finds no outliers (the paper's Col-3 critique).
+        let mut vals: Vec<String> = (0..10).map(|i| format!("201{i}-01-01")).collect();
+        vals.extend((0..10).map(|i| format!("201{i}/01/01")));
+        let col = Column::new(vals, SourceTag::Csv);
+        assert!(PotterWheelDetector::default().detect(&col).is_empty());
+    }
+
+    #[test]
+    fn uniform_column_is_silent() {
+        let vals: Vec<String> = (0..20).map(|i| format!("{i}")).collect();
+        let col = Column::new(vals, SourceTag::Csv);
+        assert!(PotterWheelDetector::default().detect(&col).is_empty());
+    }
+
+    #[test]
+    fn mdl_prefers_digit_class_for_dates() {
+        let values = vec![("2011-01-01", 1usize), ("2012-02-02", 1), ("2013-03-03", 1)];
+        let det = PotterWheelDetector::default();
+        let (lang, _) = det.best_language(&values);
+        // All three collapse to one pattern under the crude language,
+        // which beats leaf (3 patterns) and root (expensive residuals).
+        assert_eq!(lang, crude_language());
+    }
+
+    #[test]
+    fn single_value_column_silent() {
+        let col = Column::from_strs(&["x"], SourceTag::Csv);
+        assert!(PotterWheelDetector::default().detect(&col).is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! SVDD: support vector data description (Tax & Duin), approximated over
+//! the alignment pattern distance of §4.2.
+//!
+//! The exact SVDD ball requires quadratic programming; over a discrete
+//! metric the 1-medoid ball is the standard combinatorial surrogate: the
+//! center is the value minimizing weighted total distance, the radius
+//! minimizes the description cost `cost(r) = r + C·(fraction outside)`,
+//! and values outside the ball are outliers ranked by their distance to
+//! the center.
+
+use crate::traits::{finalize_predictions, Detector, Prediction};
+use adt_corpus::Column;
+use adt_patterns::{crude_generalize, normalized_pattern_distance, Pattern};
+
+/// The SVDD detector.
+#[derive(Debug, Clone)]
+pub struct SvddDetector {
+    /// Trade-off constant `C` between ball radius and excluded mass.
+    pub cost: f64,
+    /// Maximum predictions per column.
+    pub limit: usize,
+}
+
+impl Default for SvddDetector {
+    fn default() -> Self {
+        SvddDetector {
+            cost: 4.0,
+            limit: 16,
+        }
+    }
+}
+
+impl Detector for SvddDetector {
+    fn name(&self) -> &'static str {
+        "SVDD"
+    }
+
+    fn detect(&self, column: &Column) -> Vec<Prediction> {
+        let values = crate::traits::value_counts(column);
+        let total: usize = values.iter().map(|&(_, c)| c).sum();
+        if values.len() < 3 {
+            return Vec::new();
+        }
+        let patterns: Vec<Pattern> = values.iter().map(|(v, _)| crude_generalize(v)).collect();
+        let n = patterns.len();
+        // Pairwise distances.
+        let mut dist = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = normalized_pattern_distance(&patterns[i], &patterns[j]);
+                dist[i][j] = d;
+                dist[j][i] = d;
+            }
+        }
+        // Medoid: minimize count-weighted total distance.
+        let medoid = (0..n)
+            .min_by(|&a, &b| {
+                let da: f64 = (0..n).map(|j| dist[a][j] * values[j].1 as f64).sum();
+                let db: f64 = (0..n).map(|j| dist[b][j] * values[j].1 as f64).sum();
+                da.total_cmp(&db)
+            })
+            .expect("non-empty");
+        // Radius: minimize r + C * outside_fraction over candidate radii.
+        let mut radii: Vec<f64> = (0..n).map(|j| dist[medoid][j]).collect();
+        radii.sort_by(f64::total_cmp);
+        radii.dedup();
+        let mut best_r = *radii.last().expect("non-empty");
+        let mut best_cost = f64::INFINITY;
+        for &r in &radii {
+            let outside: usize = (0..n)
+                .filter(|&j| dist[medoid][j] > r)
+                .map(|j| values[j].1)
+                .sum();
+            let c = r + self.cost * outside as f64 / total as f64;
+            if c < best_cost {
+                best_cost = c;
+                best_r = r;
+            }
+        }
+        let preds: Vec<Prediction> = (0..n)
+            .filter(|&j| dist[medoid][j] > best_r)
+            .map(|j| Prediction {
+                value: values[j].0.clone(),
+                confidence: dist[medoid][j],
+            })
+            .collect();
+        finalize_predictions(preds, self.limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::SourceTag;
+
+    #[test]
+    fn outlier_falls_outside_ball() {
+        let mut vals: Vec<String> = (0..20).map(|i| format!("20{i:02}-01-01")).collect();
+        vals.push("????????".to_string());
+        let col = Column::new(vals, SourceTag::Csv);
+        let preds = SvddDetector::default().detect(&col);
+        assert_eq!(preds[0].value, "????????");
+    }
+
+    #[test]
+    fn tight_cluster_has_no_outliers() {
+        let vals: Vec<String> = (0..20).map(|i| format!("20{i:02}-01-01")).collect();
+        let col = Column::new(vals, SourceTag::Csv);
+        assert!(SvddDetector::default().detect(&col).is_empty());
+    }
+
+    #[test]
+    fn medoid_resists_minority_cluster() {
+        // 15 dates + 5 words: the medoid must sit in the date cluster and
+        // the words fall outside.
+        let mut vals: Vec<String> = (0..15).map(|i| format!("20{i:02}-01-01")).collect();
+        for w in ["apple", "pear", "plum", "fig", "kiwi"] {
+            vals.push(w.to_string());
+        }
+        let col = Column::new(vals, SourceTag::Csv);
+        let preds = SvddDetector::default().detect(&col);
+        assert!(!preds.is_empty());
+        assert!(preds.iter().all(|p| !p.value.contains('-')));
+    }
+
+    #[test]
+    fn tiny_columns_silent() {
+        let col = Column::from_strs(&["a", "b"], SourceTag::Csv);
+        assert!(SvddDetector::default().detect(&col).is_empty());
+    }
+}

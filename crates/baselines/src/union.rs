@@ -1,0 +1,97 @@
+//! Union: pools the predictions of all baseline methods (§4.2).
+//!
+//! Each member method contributes its ranked predictions; scores are
+//! rank-normalized (method scales are incomparable) and the pooled
+//! prediction takes each value's best normalized rank across methods.
+
+use crate::traits::{finalize_predictions, Detector, Prediction};
+use adt_corpus::Column;
+use std::collections::HashMap;
+
+/// The Union meta-detector.
+pub struct UnionDetector {
+    members: Vec<Box<dyn Detector>>,
+    /// Maximum predictions per column.
+    pub limit: usize,
+}
+
+impl Default for UnionDetector {
+    fn default() -> Self {
+        UnionDetector {
+            members: crate::all_baselines(),
+            limit: 16,
+        }
+    }
+}
+
+impl UnionDetector {
+    /// A union over an explicit member set.
+    pub fn new(members: Vec<Box<dyn Detector>>) -> Self {
+        UnionDetector { members, limit: 16 }
+    }
+
+    /// Member method names.
+    pub fn member_names(&self) -> Vec<&'static str> {
+        self.members.iter().map(|m| m.name()).collect()
+    }
+}
+
+impl Detector for UnionDetector {
+    fn name(&self) -> &'static str {
+        "Union"
+    }
+
+    fn detect(&self, column: &Column) -> Vec<Prediction> {
+        let mut pooled: HashMap<String, f64> = HashMap::new();
+        for m in &self.members {
+            let preds = m.detect(column);
+            let n = preds.len();
+            for (rank, p) in preds.into_iter().enumerate() {
+                // Normalized rank score in (0, 1]: top prediction of any
+                // method scores 1, the last scores 1/n.
+                let score = (n - rank) as f64 / n as f64;
+                let e = pooled.entry(p.value).or_insert(0.0);
+                if score > *e {
+                    *e = score;
+                }
+            }
+        }
+        let preds: Vec<Prediction> = pooled
+            .into_iter()
+            .map(|(value, confidence)| Prediction { value, confidence })
+            .collect();
+        finalize_predictions(preds, self.limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::SourceTag;
+
+    #[test]
+    fn union_pools_member_predictions() {
+        let mut vals: Vec<String> = (0..20).map(|i| format!("20{i:02}-01-01")).collect();
+        vals.push("not a date".to_string());
+        let col = Column::new(vals, SourceTag::Csv);
+        let u = UnionDetector::default();
+        let preds = u.detect(&col);
+        assert!(!preds.is_empty());
+        assert_eq!(preds[0].value, "not a date");
+        assert_eq!(u.member_names().len(), 10);
+    }
+
+    #[test]
+    fn union_predictions_come_from_the_column() {
+        // Noisy members (Linear fires on almost anything) mean the union
+        // is rarely silent; its predictions must at least be real column
+        // values with normalized-rank confidences in (0, 1].
+        let vals: Vec<String> = (0..20).map(|i| format!("20{i:02}-01-01")).collect();
+        let col = Column::new(vals.clone(), SourceTag::Csv);
+        let preds = UnionDetector::default().detect(&col);
+        for p in &preds {
+            assert!(vals.contains(&p.value));
+            assert!(p.confidence > 0.0 && p.confidence <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests across all baselines: structural guarantees that hold
+//! for arbitrary columns.
+
+use adt_baselines::{all_baselines, UnionDetector};
+use adt_corpus::{Column, SourceTag};
+use adt_baselines::Detector;
+use proptest::prelude::*;
+
+fn arb_column() -> impl Strategy<Value = Column> {
+    proptest::collection::vec(
+        prop_oneof![
+            "[0-9]{1,5}",
+            "[0-9]{4}-[0-9]{2}-[0-9]{2}",
+            "[a-z]{2,8}",
+            "[A-Z][a-z]{2,6}",
+            "\\$[0-9]{1,3}\\.[0-9]{2}",
+            "[ -~]{0,12}",
+        ],
+        0..25,
+    )
+    .prop_map(|values| Column::new(values, SourceTag::Csv))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No baseline panics, and every prediction is (a) a real value of
+    /// the column, (b) finite-confidence, (c) unique per value, and (d)
+    /// the list is sorted by descending confidence.
+    #[test]
+    fn predictions_are_well_formed(col in arb_column()) {
+        for det in all_baselines() {
+            let preds = det.detect(&col);
+            let mut seen = std::collections::HashSet::new();
+            for w in preds.windows(2) {
+                prop_assert!(w[0].confidence >= w[1].confidence, "{} unsorted", det.name());
+            }
+            for p in &preds {
+                prop_assert!(
+                    col.values.iter().any(|v| v == &p.value),
+                    "{} predicted a value not in the column: {:?}",
+                    det.name(),
+                    p.value
+                );
+                prop_assert!(p.confidence.is_finite());
+                prop_assert!(seen.insert(p.value.clone()), "{} duplicated {:?}", det.name(), p.value);
+            }
+        }
+    }
+
+    /// Detection is deterministic.
+    #[test]
+    fn detection_is_deterministic(col in arb_column()) {
+        for det in all_baselines() {
+            prop_assert_eq!(det.detect(&col), det.detect(&col));
+        }
+    }
+
+    /// Row order never changes the prediction *set* (single-column
+    /// methods see a bag of values). Confidences may differ only by
+    /// floating-point association, so compare the value sets.
+    #[test]
+    fn row_order_invariance(col in arb_column(), seed in any::<u64>()) {
+        let mut shuffled = col.values.clone();
+        // Deterministic Fisher-Yates from the seed.
+        let mut s = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            shuffled.swap(i, (s as usize) % (i + 1));
+        }
+        let col2 = Column::new(shuffled, SourceTag::Csv);
+        for det in all_baselines() {
+            let a: std::collections::BTreeSet<String> =
+                det.detect(&col).into_iter().map(|p| p.value).collect();
+            let b: std::collections::BTreeSet<String> =
+                det.detect(&col2).into_iter().map(|p| p.value).collect();
+            prop_assert_eq!(&a, &b, "{} not order-invariant", det.name());
+        }
+    }
+
+    /// The union only predicts values some member predicted.
+    #[test]
+    fn union_is_subset_of_members(col in arb_column()) {
+        let union = UnionDetector::default();
+        let union_vals: std::collections::BTreeSet<String> =
+            union.detect(&col).into_iter().map(|p| p.value).collect();
+        let mut member_vals = std::collections::BTreeSet::new();
+        for det in all_baselines() {
+            for p in det.detect(&col) {
+                member_vals.insert(p.value);
+            }
+        }
+        prop_assert!(union_vals.is_subset(&member_vals));
+    }
+}

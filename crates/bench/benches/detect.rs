@@ -1,0 +1,64 @@
+//! Criterion bench for Table 5: per-column detection latency of each
+//! method, on representative Ent-XLS-profile columns.
+
+use adt_baselines::{
+    DbodDetector, DboostDetector, Detector, FRegexDetector, LinearDetector, LofDetector,
+    PotterWheelDetector, SvddDetector,
+};
+use adt_core::{train, AutoDetectConfig};
+use adt_corpus::{generate_corpus, Column, CorpusProfile};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_columns() -> Vec<Column> {
+    let mut p = CorpusProfile::ent_xls(100);
+    p.dirty_rate = 0.3;
+    generate_corpus(&p).columns().to_vec()
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let columns = bench_columns();
+    let mut group = c.benchmark_group("table5_per_column");
+    group.sample_size(10);
+
+    let baselines: Vec<Box<dyn Detector>> = vec![
+        Box::new(FRegexDetector::default()),
+        Box::new(PotterWheelDetector::default()),
+        Box::new(DboostDetector::default()),
+        Box::new(LinearDetector::default()),
+        Box::new(SvddDetector::default()),
+        Box::new(DbodDetector::default()),
+        Box::new(LofDetector::default()),
+    ];
+    for det in &baselines {
+        group.bench_function(det.name(), |b| {
+            b.iter(|| {
+                for col in &columns {
+                    black_box(det.detect(col));
+                }
+            })
+        });
+    }
+
+    // Auto-Detect with a small trained model (training cost excluded, as
+    // in the paper: statistics are precomputed offline).
+    let mut cp = CorpusProfile::web(2_000);
+    cp.dirty_rate = 0.0;
+    let corpus = generate_corpus(&cp);
+    let cfg = AutoDetectConfig {
+        training_examples: 4_000,
+        ..AutoDetectConfig::small()
+    };
+    let (model, _) = train(&corpus, &cfg);
+    group.bench_function("Auto-Detect", |b| {
+        b.iter(|| {
+            for col in &columns {
+                black_box(model.detect_column(col));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

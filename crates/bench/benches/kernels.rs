@@ -1,0 +1,213 @@
+//! Criterion benches for the core kernels: pattern generalization, NPMI
+//! scoring, count-min operations, LZSS compression, statistics scans,
+//! calibration, and greedy selection — plus the DESIGN.md §5 ablations
+//! (conservative vs plain sketch update; 144- vs 36-language spaces).
+
+use adt_core::{calibrate_language, greedy_select, CandidateSummary, Example, Label, TrainingSet};
+use adt_corpus::{generate_corpus, CorpusProfile};
+use adt_patterns::{enumerate_coarse_languages, enumerate_restricted_languages, Language, Pattern};
+use adt_sketch::{CountMinSketch, UpdateStrategy};
+use adt_stats::{LanguageStats, NpmiParams, StatsConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_generalize(c: &mut Criterion) {
+    let values = [
+        "2011-01-01",
+        "$1,234,567.89",
+        "(425) 555-0123",
+        "August 16, 1983",
+        "jane42@example.com",
+    ];
+    let l2 = Language::paper_l2();
+    c.bench_function("generalize_l2", |b| {
+        b.iter(|| {
+            for v in &values {
+                black_box(Pattern::generalize(v, &l2).hash64());
+            }
+        })
+    });
+}
+
+fn bench_npmi_scoring(c: &mut Criterion) {
+    let mut p = CorpusProfile::web(5_000);
+    p.dirty_rate = 0.0;
+    let corpus = generate_corpus(&p);
+    let stats = LanguageStats::build(Language::paper_l2(), &corpus, &StatsConfig::default());
+    let params = NpmiParams::default();
+    c.bench_function("npmi_score_pair", |b| {
+        b.iter(|| black_box(stats.score_values("2011-01-01", "2011/01/02", params)))
+    });
+}
+
+fn bench_stats_scan(c: &mut Criterion) {
+    let mut p = CorpusProfile::web(2_000);
+    p.dirty_rate = 0.0;
+    let corpus = generate_corpus(&p);
+    let mut group = c.benchmark_group("stats_scan_2k_columns");
+    group.sample_size(10);
+    group.bench_function("crude", |b| {
+        b.iter(|| {
+            black_box(LanguageStats::build(
+                adt_patterns::crude::crude_language(),
+                &corpus,
+                &StatsConfig::default(),
+            ))
+        })
+    });
+    group.bench_function("leaf", |b| {
+        b.iter(|| {
+            black_box(LanguageStats::build(
+                Language::leaf(),
+                &corpus,
+                &StatsConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_sketch_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cm_sketch_update");
+    for (name, strategy) in [
+        ("plain", UpdateStrategy::Plain),
+        ("conservative", UpdateStrategy::Conservative),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cms = CountMinSketch::new(1 << 12, 4, strategy, 7);
+                for i in 0..10_000u64 {
+                    cms.add(i % 3000, 1);
+                }
+                black_box(cms.estimate(17))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pattern_distance(c: &mut Criterion) {
+    let l = Language::leaf();
+    let a = Pattern::generalize("August 16, 1983", &l);
+    let b = Pattern::generalize("(425) 555-0123", &l);
+    c.bench_function("pattern_distance_leaf", |bch| {
+        bch.iter(|| black_box(adt_patterns::normalized_pattern_distance(&a, &b)))
+    });
+}
+
+fn bench_model_codec(c: &mut Criterion) {
+    let mut p = CorpusProfile::web(2_000);
+    p.dirty_rate = 0.0;
+    let corpus = generate_corpus(&p);
+    let stats = LanguageStats::build(Language::paper_l2(), &corpus, &StatsConfig::default());
+    let mut group = c.benchmark_group("stats_codec");
+    group.bench_function("write_binary", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            stats.write_binary(&mut buf).unwrap();
+            black_box(buf.len())
+        })
+    });
+    let mut buf = Vec::new();
+    stats.write_binary(&mut buf).unwrap();
+    group.bench_function("read_binary", |b| {
+        b.iter(|| black_box(LanguageStats::read_binary(&mut buf.as_slice()).unwrap()))
+    });
+    group.bench_function("write_json", |b| {
+        b.iter(|| black_box(serde_json::to_vec(&stats).unwrap().len()))
+    });
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let data: Vec<u8> = (0..4096u32)
+        .map(|i| b"0123456789-/., ABCdef"[(i % 21) as usize])
+        .collect();
+    c.bench_function("lzss_compressed_len_4k", |b| {
+        b.iter(|| black_box(adt_compress::compressed_len(&data)))
+    });
+}
+
+fn synthetic_training(n: usize) -> (TrainingSet, Vec<f64>) {
+    let examples: Vec<Example> = (0..n)
+        .map(|i| Example {
+            u: format!("u{i}"),
+            v: format!("v{i}"),
+            label: if i % 3 == 0 {
+                Label::Incompatible
+            } else {
+                Label::Compatible
+            },
+        })
+        .collect();
+    let scores: Vec<f64> = (0..n)
+        .map(|i| {
+            let base = -1.0 + 2.0 * (i % 1000) as f64 / 1000.0;
+            if i % 3 == 0 {
+                base - 0.4
+            } else {
+                base + 0.2
+            }
+        })
+        .collect();
+    (TrainingSet { examples }, scores)
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let (set, scores) = synthetic_training(50_000);
+    c.bench_function("calibrate_50k_examples", |b| {
+        b.iter(|| black_box(calibrate_language(&set, &scores, 0.95, 256)))
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    // 144 candidates with overlapping coverage sets.
+    let candidates: Vec<CandidateSummary> = (0..144)
+        .map(|i| CandidateSummary {
+            index: i,
+            size_bytes: 1_000 + (i * 3571) % 100_000,
+            covered_negatives: (0..2_000u32)
+                .filter(|x| (x + i as u32) % 7 < 3)
+                .collect(),
+        })
+        .collect();
+    c.bench_function("greedy_select_144", |b| {
+        b.iter(|| black_box(greedy_select(&candidates, 200_000)))
+    });
+}
+
+fn bench_language_space_ablation(c: &mut Criterion) {
+    let mut p = CorpusProfile::web(500);
+    p.dirty_rate = 0.0;
+    let corpus = generate_corpus(&p);
+    let mut group = c.benchmark_group("language_space_scan");
+    group.sample_size(10);
+    for (name, langs) in [
+        ("coarse36", enumerate_coarse_languages()),
+        ("restricted144", enumerate_restricted_languages()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for l in &langs {
+                    black_box(LanguageStats::build(*l, &corpus, &StatsConfig::default()));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generalize,
+    bench_npmi_scoring,
+    bench_stats_scan,
+    bench_sketch_ablation,
+    bench_pattern_distance,
+    bench_model_codec,
+    bench_compress,
+    bench_calibration,
+    bench_selection,
+    bench_language_space_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 17(b): cumulative distribution of NPMI scores under two
+//! generalization languages (the paper's L1 and L2) over the calibration
+//! pairs — showing (i) a large mass at NPMI = 1.0 (identical patterns),
+//! (ii) differently shaped distributions, hence (iii) why raw NPMI values
+//! cannot be aggregated across languages without calibration.
+
+use adt_bench::{default_config, emit, train_corpus};
+use adt_core::build_training_set;
+use adt_eval::report::{empirical_cdf, Figure};
+use adt_patterns::Language;
+use adt_stats::{LanguageStats, NpmiParams};
+
+fn main() {
+    let corpus = train_corpus();
+    let cfg = default_config();
+    let (training, _) = build_training_set(&corpus, &cfg);
+
+    let mut fig = Figure::new(
+        "fig17b_npmi_cdf",
+        "CDF of NPMI under L1 (symbols literal) and L2 (class level) over training pairs (paper Fig 17b)",
+    );
+    for (label, lang) in [("L1", Language::paper_l1()), ("L2", Language::paper_l2())] {
+        let stats = LanguageStats::build(lang, &corpus, &cfg.stats);
+        let mut scores: Vec<f64> = training
+            .examples
+            .iter()
+            .map(|e| stats.score_values(&e.u, &e.v, NpmiParams::default()))
+            .collect();
+        let at_one = scores.iter().filter(|&&s| s >= 0.999).count() as f64
+            / scores.len().max(1) as f64;
+        eprintln!("[fig17b] {label}: {:.1}% of pairs at NPMI = 1.0", at_one * 100.0);
+        let cdf = empirical_cdf(&mut scores, 21);
+        // Encode NPMI in [-1, 1] as (npmi + 1) * 100 for the integer axis.
+        let points: Vec<(usize, f64)> = cdf
+            .into_iter()
+            .map(|(x, p)| (((x + 1.0) * 100.0).round() as usize, p))
+            .collect();
+        fig.push(label, points);
+    }
+    emit(&fig);
+    println!("(x axis is (NPMI + 1) × 100, i.e. 0 ↦ −1, 200 ↦ +1)");
+}

@@ -1,0 +1,42 @@
+//! Table 3: summary of the table corpora, plus the §2.1 corpus
+//! cleanliness sampling (93.1% of WEB / 97.8% of WIKI columns clean in
+//! the paper; our generator profiles encode those dirty rates directly
+//! and this binary verifies them empirically on a sample).
+
+use adt_bench::scale;
+use adt_corpus::{generate_labeled_columns, CorpusProfile};
+
+fn main() {
+    println!("== Table 3: summary of table corpora (scaled ~10^3 from the paper) ==");
+    println!(
+        "{:<10} {:>10} {:>14} {:>12} {:>14}",
+        "name", "#col", "paper #col", "role", "clean rate"
+    );
+    let paper_sizes = ["350M", "1.4M", "100K*", "100K*", "441"];
+    let roles = ["train", "train", "test", "test", "test"];
+    let mut suite = CorpusProfile::default_suite();
+    for p in &mut suite {
+        p.n_columns = ((p.n_columns as f64 * scale() / 2.0) as usize).max(200);
+    }
+    for (i, p) in suite.iter().enumerate() {
+        // Cleanliness sample: label-generate and count dirty columns
+        // (the paper hand-labels 1000 sampled columns per corpus).
+        let sample = CorpusProfile {
+            n_columns: 1000.min(p.n_columns),
+            ..p.clone()
+        };
+        let labeled = generate_labeled_columns(&sample);
+        let dirty = labeled.iter().filter(|l| l.is_dirty()).count();
+        let clean_rate = 1.0 - dirty as f64 / labeled.len() as f64;
+        println!(
+            "{:<10} {:>10} {:>14} {:>12} {:>13.1}%",
+            p.name,
+            p.n_columns,
+            paper_sizes[i],
+            roles[i],
+            clean_rate * 100.0
+        );
+    }
+    println!("\n(*) WIKI / Ent-XLS are sampled to 100K test columns in the paper.");
+    println!("Paper reference: WEB 93.1% clean, WIKI 97.8% clean (manually judged samples).");
+}

@@ -1,0 +1,56 @@
+//! Order-0 entropy utilities.
+
+/// Shannon order-0 entropy of `data` in bits per symbol.
+pub fn order0_entropy_bits_per_symbol(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u32; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let n = data.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Total order-0 entropy of `data` in bits.
+pub fn order0_entropy_bits(data: &[u8]) -> f64 {
+    order0_entropy_bits_per_symbol(data) * data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_bytes_have_high_entropy() {
+        let data: Vec<u8> = (0..=255).collect();
+        let h = order0_entropy_bits_per_symbol(&data);
+        assert!((h - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_bytes_have_zero_entropy() {
+        let data = vec![7u8; 100];
+        assert_eq!(order0_entropy_bits(&data), 0.0);
+    }
+
+    #[test]
+    fn two_symbol_entropy_is_one_bit() {
+        let mut data = vec![0u8; 50];
+        data.extend(vec![1u8; 50]);
+        assert!((order0_entropy_bits_per_symbol(&data) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(order0_entropy_bits(b""), 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Property tests: the compressor must round-trip arbitrary bytes.
+
+use adt_compress::{cdm_distance, compress, compressed_len, decompress};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn roundtrip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let enc = compress(&data);
+        let dec = decompress(&enc).expect("decode must succeed");
+        prop_assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn roundtrip_ascii_text(s in "[ -~]{0,500}") {
+        let data = s.as_bytes();
+        let dec = decompress(&compress(data)).unwrap();
+        prop_assert_eq!(dec.as_slice(), data);
+    }
+
+    #[test]
+    fn compressed_len_positive_for_nonempty(data in proptest::collection::vec(any::<u8>(), 1..500)) {
+        prop_assert!(compressed_len(&data) > 0);
+    }
+
+    #[test]
+    fn cdm_in_reasonable_range(
+        a in "[ -~]{1,80}",
+        b in "[ -~]{1,80}",
+    ) {
+        let d = cdm_distance(a.as_bytes(), b.as_bytes());
+        prop_assert!(d > 0.0 && d < 2.0, "d = {}", d);
+    }
+
+    #[test]
+    fn concat_never_cheaper_than_larger_half(
+        a in "[ -~]{1,100}",
+        b in "[ -~]{1,100}",
+    ) {
+        // C(xy) should be at least roughly max(C(x), C(y)) minus coding
+        // slack: the concatenation still contains all of the longer half's
+        // information. Allow generous slack for model adaptation.
+        let ca = adt_compress::compressed_len_bits(a.as_bytes());
+        let cb = adt_compress::compressed_len_bits(b.as_bytes());
+        let mut xy = a.clone().into_bytes();
+        xy.extend_from_slice(b.as_bytes());
+        let cxy = adt_compress::compressed_len_bits(&xy);
+        prop_assert!(cxy + 1e-9 >= ca.max(cb) * 0.5, "cxy={} ca={} cb={}", cxy, ca, cb);
+    }
+}

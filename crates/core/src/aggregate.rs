@@ -1,0 +1,221 @@
+//! Prediction aggregation across the selected languages.
+//!
+//! Auto-Detect's operational aggregation is the ST union with
+//! max-confidence ranking (Appendix B): a pair is predicted incompatible
+//! as soon as *one* language fires, and its rank score is
+//! `Q = max_k P_k(s_k)` — languages have deliberate blind spots, so the
+//! most confident one should be trusted outright. Figure 8(b) compares
+//! that against naive aggregators, all implemented here.
+
+use crate::calibrate::Calibration;
+use serde::{Deserialize, Serialize};
+
+/// An aggregation strategy over per-language NPMI scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregator {
+    /// Auto-Detect: union firing, max-confidence ranking (Equation 11).
+    AutoDetect,
+    /// Rank by the negated average NPMI across languages.
+    AvgNpmi,
+    /// Rank by the negated minimum NPMI across languages.
+    MinNpmi,
+    /// Majority voting: one 0/1 vote per language (`s_k ≤ θ_k`).
+    MajorityVote,
+    /// Weighted majority voting: votes weighted by `θ_k − s_k` margin.
+    WeightedMajorityVote,
+    /// The single language at the given position (BestOne baseline).
+    BestOne(usize),
+}
+
+impl Aggregator {
+    /// All comparison aggregators for Figure 8(b) given the index of the
+    /// best single language.
+    pub fn figure8b_suite(best_one: usize) -> Vec<(&'static str, Aggregator)> {
+        vec![
+            ("Auto-Detect", Aggregator::AutoDetect),
+            ("AvgNPMI", Aggregator::AvgNpmi),
+            ("MinNPMI", Aggregator::MinNpmi),
+            ("MV", Aggregator::MajorityVote),
+            ("WMV", Aggregator::WeightedMajorityVote),
+            ("BestOne", Aggregator::BestOne(best_one)),
+        ]
+    }
+
+    /// Suspicion score for a pair: higher means more likely an error.
+    ///
+    /// `scores[k]` is `s_k(u, v)`; `calibrations[k]` the language's
+    /// calibration. The scale differs per aggregator (only ranking order
+    /// matters for precision@k).
+    pub fn suspicion(&self, scores: &[f64], calibrations: &[&Calibration]) -> f64 {
+        debug_assert_eq!(scores.len(), calibrations.len());
+        if scores.is_empty() {
+            return 0.0;
+        }
+        match self {
+            Aggregator::AutoDetect => scores
+                .iter()
+                .zip(calibrations.iter().copied())
+                .map(|(&s, c)| c.precision_at(s))
+                .fold(0.0, f64::max),
+            Aggregator::AvgNpmi => {
+                -(scores.iter().sum::<f64>() / scores.len() as f64)
+            }
+            Aggregator::MinNpmi => -scores.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregator::MajorityVote => scores
+                .iter()
+                .zip(calibrations.iter().copied())
+                .filter(|(&s, c)| c.fires(s))
+                .count() as f64,
+            Aggregator::WeightedMajorityVote => scores
+                .iter()
+                .zip(calibrations.iter().copied())
+                .filter(|(&s, c)| c.fires(s))
+                .map(|(&s, c)| c.theta.expect("fired implies theta") - s)
+                .sum(),
+            Aggregator::BestOne(k) => {
+                let k = (*k).min(scores.len() - 1);
+                calibrations[k].precision_at(scores[k])
+            }
+        }
+    }
+
+    /// Binary incompatibility decision for a pair.
+    ///
+    /// Auto-Detect, MV, WMV and BestOne use the calibrated thresholds; the
+    /// NPMI-averaging aggregators (which the paper notes cannot be
+    /// compared across languages without calibration) flag when their
+    /// pooled score is negative.
+    pub fn flags(&self, scores: &[f64], calibrations: &[&Calibration]) -> bool {
+        if scores.is_empty() {
+            return false;
+        }
+        match self {
+            Aggregator::AutoDetect => scores
+                .iter()
+                .zip(calibrations.iter().copied())
+                .any(|(&s, c)| c.fires(s)),
+            Aggregator::AvgNpmi | Aggregator::MinNpmi => self.suspicion(scores, calibrations) > 0.0,
+            Aggregator::MajorityVote => {
+                let votes = self.suspicion(scores, calibrations);
+                votes * 2.0 > scores.len() as f64
+            }
+            Aggregator::WeightedMajorityVote => self.suspicion(scores, calibrations) > 0.0,
+            Aggregator::BestOne(k) => {
+                let k = (*k).min(scores.len() - 1);
+                calibrations[k].fires(scores[k])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal(theta: Option<f64>, curve: Vec<(f64, f64)>) -> Calibration {
+        Calibration {
+            theta,
+            precision_at_theta: curve.last().map(|&(_, p)| p).unwrap_or(0.0),
+            covered_negatives: Vec::new(),
+            covered_positives: 0,
+            curve,
+        }
+    }
+
+    fn two_langs_owned() -> Vec<Calibration> {
+        vec![
+            cal(Some(-0.5), vec![(-1.0, 1.0), (-0.5, 0.9), (0.5, 0.3)]),
+            cal(Some(-0.6), vec![(-1.0, 0.95), (-0.6, 0.8), (0.5, 0.2)]),
+        ]
+    }
+
+    #[test]
+    fn autodetect_trusts_most_confident_language() {
+        let owned = two_langs_owned();
+        let cals: Vec<&Calibration> = owned.iter().collect();
+        // Language 0 very confident (-0.9), language 1 sees nothing (0.4):
+        // the union must still flag and rank by language 0's confidence.
+        let scores = [-0.9, 0.4];
+        let agg = Aggregator::AutoDetect;
+        assert!(agg.flags(&scores, &cals));
+        let q = agg.suspicion(&scores, &cals);
+        assert!((q - 1.0).abs() < 1e-9, "q = {q}");
+    }
+
+    #[test]
+    fn avg_dilutes_single_confident_signal() {
+        let owned = two_langs_owned();
+        let cals: Vec<&Calibration> = owned.iter().collect();
+        let scores = [-0.9, 1.0];
+        // Average is ~0.05 -> not flagged by AvgNPMI even though L0 fired.
+        assert!(!Aggregator::AvgNpmi.flags(&scores, &cals));
+        assert!(Aggregator::AutoDetect.flags(&scores, &cals));
+    }
+
+    #[test]
+    fn min_npmi_tracks_worst_score() {
+        let owned = two_langs_owned();
+        let cals: Vec<&Calibration> = owned.iter().collect();
+        let s = Aggregator::MinNpmi.suspicion(&[-0.9, 1.0], &cals);
+        assert!((s - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn majority_vote_requires_more_than_half() {
+        let owned = two_langs_owned();
+        let cals: Vec<&Calibration> = owned.iter().collect();
+        // Only one of two fires -> no majority.
+        assert!(!Aggregator::MajorityVote.flags(&[-0.9, 0.4], &cals));
+        // Both fire.
+        assert!(Aggregator::MajorityVote.flags(&[-0.9, -0.9], &cals));
+    }
+
+    #[test]
+    fn weighted_vote_uses_margin() {
+        let owned = two_langs_owned();
+        let cals: Vec<&Calibration> = owned.iter().collect();
+        let weak = Aggregator::WeightedMajorityVote.suspicion(&[-0.51, 1.0], &cals);
+        let strong = Aggregator::WeightedMajorityVote.suspicion(&[-0.99, 1.0], &cals);
+        assert!(strong > weak);
+    }
+
+    #[test]
+    fn best_one_ignores_other_languages() {
+        let owned = two_langs_owned();
+        let cals: Vec<&Calibration> = owned.iter().collect();
+        let agg = Aggregator::BestOne(1);
+        // Language 0 fires strongly but BestOne(1) only looks at lang 1.
+        assert!(!agg.flags(&[-0.99, 0.4], &cals));
+        assert!(agg.flags(&[0.9, -0.7], &cals));
+    }
+
+    #[test]
+    fn unfired_language_with_no_theta_never_flags() {
+        let owned = [cal(None, vec![(-1.0, 0.5)])];
+        let cals: Vec<&Calibration> = owned.iter().collect();
+        assert!(!Aggregator::AutoDetect.flags(&[-1.0], &cals));
+    }
+
+    #[test]
+    fn empty_scores_are_clean() {
+        for agg in [
+            Aggregator::AutoDetect,
+            Aggregator::AvgNpmi,
+            Aggregator::MinNpmi,
+            Aggregator::MajorityVote,
+            Aggregator::WeightedMajorityVote,
+            Aggregator::BestOne(0),
+        ] {
+            assert!(!agg.flags(&[], &[]));
+            assert_eq!(agg.suspicion(&[], &[]), 0.0);
+        }
+    }
+
+    #[test]
+    fn figure8b_suite_contains_all_six() {
+        let suite = Aggregator::figure8b_suite(2);
+        assert_eq!(suite.len(), 6);
+        assert_eq!(suite[0].0, "Auto-Detect");
+        assert!(matches!(suite[5].1, Aggregator::BestOne(2)));
+    }
+}

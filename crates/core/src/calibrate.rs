@@ -1,0 +1,307 @@
+//! Per-language threshold calibration (Equations 7–8) and
+//! precision-vs-score curves for confidence estimation (Appendix B).
+//!
+//! **Semantics.** `θ_k` is the cutoff that **maximizes coverage of T⁻
+//! subject to cumulative precision ≥ P**, tie-broken toward the smallest θ
+//! (fewest false positives), with candidate cutoffs restricted to
+//! **negative NPMI scores**: NPMI ≥ 0 means independence or positive
+//! association, which by Equation 2's semantics cannot witness
+//! incompatibility. Under this reading the paper's Example 4 / Table 2
+//! walkthrough is reproduced exactly (θ₁ = −0.5, θ₂ = −0.6, θ₃ = −0.5).
+
+use crate::training::{Label, TrainingSet};
+use serde::{Deserialize, Serialize};
+
+/// Calibration of one language against the training set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Calibration {
+    /// The calibrated threshold `θ_k`; `None` when no cutoff meets the
+    /// precision target (the language never fires).
+    pub theta: Option<f64>,
+    /// Precision achieved at `theta` on the training set.
+    pub precision_at_theta: f64,
+    /// Indices (into the training set) of covered incompatible examples:
+    /// `H⁻_k = {t ∈ T⁻ : s_k(t) ≤ θ_k}`.
+    pub covered_negatives: Vec<u32>,
+    /// Number of covered compatible examples (false positives at `θ_k`).
+    pub covered_positives: usize,
+    /// Cumulative precision curve: `(score, precision among examples with
+    /// s ≤ score)`, downsampled; used for `P_k(s)` lookups (Appendix B).
+    pub curve: Vec<(f64, f64)>,
+}
+
+impl Calibration {
+    /// `P_k(s)`: estimated precision of a prediction with score `s`.
+    ///
+    /// Looks up the cumulative-precision curve at the largest recorded
+    /// score ≤ `s`; scores below the smallest recorded score take the
+    /// first point's precision; scores above the largest take 0 (the
+    /// language is not confident there).
+    pub fn precision_at(&self, s: f64) -> f64 {
+        if self.curve.is_empty() {
+            return 0.0;
+        }
+        if s < self.curve[0].0 {
+            return self.curve[0].1;
+        }
+        if s > self.curve[self.curve.len() - 1].0 {
+            return 0.0;
+        }
+        let idx = self.curve.partition_point(|&(x, _)| x <= s);
+        self.curve[idx.saturating_sub(1)].1
+    }
+
+    /// True when the language fires on score `s` (ST aggregation test
+    /// `s ≤ θ_k`).
+    pub fn fires(&self, s: f64) -> bool {
+        match self.theta {
+            Some(t) => s <= t,
+            None => false,
+        }
+    }
+
+    /// Recall contribution `|H⁻_k|`.
+    pub fn coverage(&self) -> usize {
+        self.covered_negatives.len()
+    }
+}
+
+/// Calibrates one language given its scores over the training set.
+///
+/// `scores[i]` must be `s_k(u_i, v_i)` for `training.examples[i]`.
+/// Ties in score are processed as a block: a threshold admits every
+/// example whose score equals it.
+pub fn calibrate_language(
+    training: &TrainingSet,
+    scores: &[f64],
+    precision_target: f64,
+    curve_points: usize,
+) -> Calibration {
+    assert_eq!(training.len(), scores.len(), "one score per example");
+    let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+    order.sort_by(|&a, &b| scores[a as usize].total_cmp(&scores[b as usize]));
+
+    let mut neg_seen = 0usize;
+    let mut pos_seen = 0usize;
+    let mut best: Option<(f64, usize, usize, f64)> = None; // (theta, neg, pos, precision)
+    let mut curve_raw: Vec<(f64, f64)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < order.len() {
+        let s = scores[order[i] as usize];
+        let mut j = i;
+        while j < order.len() && scores[order[j] as usize] == s {
+            match training.examples[order[j] as usize].label {
+                Label::Incompatible => neg_seen += 1,
+                Label::Compatible => pos_seen += 1,
+            }
+            j += 1;
+        }
+        let total = neg_seen + pos_seen;
+        let precision = neg_seen as f64 / total as f64;
+        curve_raw.push((s, precision));
+        if s < 0.0 && precision >= precision_target {
+            // Maximize coverage; on ties keep the earlier (smaller) theta,
+            // which has fewer false positives.
+            let better = match &best {
+                Some((_, n, _, _)) => neg_seen > *n,
+                None => true,
+            };
+            if better {
+                best = Some((s, neg_seen, pos_seen, precision));
+            }
+        }
+        i = j;
+    }
+
+    let (theta, best_neg, best_pos, precision_at_theta) = match best {
+        Some((t, n, p, prec)) => (Some(t), n, p, prec),
+        None => (None, 0, 0, 0.0),
+    };
+
+    let covered_negatives: Vec<u32> = match theta {
+        Some(t) => order
+            .iter()
+            .copied()
+            .take_while(|&idx| scores[idx as usize] <= t)
+            .filter(|&idx| training.examples[idx as usize].label == Label::Incompatible)
+            .collect(),
+        None => Vec::new(),
+    };
+    debug_assert_eq!(covered_negatives.len(), best_neg);
+
+    let curve = if curve_raw.len() <= curve_points || curve_points < 2 {
+        curve_raw
+    } else {
+        let stride = (curve_raw.len() - 1) as f64 / (curve_points - 1) as f64;
+        (0..curve_points)
+            .map(|k| curve_raw[(k as f64 * stride).round() as usize])
+            .collect()
+    };
+
+    Calibration {
+        theta,
+        precision_at_theta,
+        covered_negatives,
+        covered_positives: best_pos,
+        curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::Example;
+
+    fn set_of(labels: &[Label]) -> TrainingSet {
+        TrainingSet {
+            examples: labels
+                .iter()
+                .enumerate()
+                .map(|(i, &label)| Example {
+                    u: format!("u{i}"),
+                    v: format!("v{i}"),
+                    label,
+                })
+                .collect(),
+        }
+    }
+
+    use Label::{Compatible as P, Incompatible as N};
+
+    // Example 4 on Table 1's L1 row: theta1 = -0.5, H−1 = {t6, t8, t9},
+    // H+1 = {t3}, precision 0.75. The t10 cutoff at 0.2 is ineligible
+    // because thresholds range over negative NPMI only.
+    #[test]
+    fn paper_example4_l1_exact() {
+        let labels = [P, P, P, P, P, N, N, N, N, N];
+        let scores = [0.5, 0.5, -0.7, 0.4, 0.5, -0.5, 0.9, -0.6, -0.7, 0.2];
+        let set = set_of(&labels);
+        let cal = calibrate_language(&set, &scores, 0.75, 64);
+        assert_eq!(cal.theta, Some(-0.5));
+        let mut cov = cal.covered_negatives.clone();
+        cov.sort_unstable();
+        assert_eq!(cov, vec![5, 7, 8]); // t6, t8, t9
+        assert_eq!(cal.covered_positives, 1); // t3
+        assert!((cal.precision_at_theta - 0.75).abs() < 1e-9);
+    }
+
+    // Example 4 on Table 1's L2 row: theta2 = -0.6, H−2 = {t7, t9, t10}.
+    #[test]
+    fn paper_example4_l2_exact() {
+        let labels = [P, P, P, P, P, N, N, N, N, N];
+        let scores = [0.5, 0.5, 0.4, -0.8, 0.5, 0.9, -0.6, 0.2, -0.7, -0.7];
+        let set = set_of(&labels);
+        let cal = calibrate_language(&set, &scores, 0.75, 64);
+        assert_eq!(cal.theta, Some(-0.6));
+        let mut cov = cal.covered_negatives.clone();
+        cov.sort_unstable();
+        assert_eq!(cov, vec![6, 8, 9]); // t7, t9, t10
+        assert_eq!(cal.covered_positives, 1); // t4
+        assert!((cal.precision_at_theta - 0.75).abs() < 1e-9);
+    }
+
+    // Table 2's L3 row is reproduced exactly: theta = -0.5, H− = {t6..t9},
+    // H+ = ∅, precision 1.0 — the tie-break toward smaller theta rejects
+    // the equal-coverage cutoff at 0.4 that would admit a false positive.
+    #[test]
+    fn paper_table2_l3_exact() {
+        let labels = [P, P, P, P, P, N, N, N, N, N];
+        let scores = [0.4, 0.5, 0.5, 0.6, 0.5, -0.6, -0.6, -0.7, -0.5, 0.9];
+        let set = set_of(&labels);
+        let cal = calibrate_language(&set, &scores, 0.75, 64);
+        assert_eq!(cal.theta, Some(-0.5));
+        let mut cov = cal.covered_negatives.clone();
+        cov.sort_unstable();
+        assert_eq!(cov, vec![5, 6, 7, 8]);
+        assert_eq!(cal.covered_positives, 0);
+        assert_eq!(cal.precision_at_theta, 1.0);
+    }
+
+    #[test]
+    fn no_threshold_when_target_unreachable() {
+        let set = set_of(&[P, N]);
+        let scores = [-0.9, -0.5];
+        let cal = calibrate_language(&set, &scores, 0.95, 64);
+        assert_eq!(cal.theta, None);
+        assert_eq!(cal.coverage(), 0);
+        assert!(!cal.fires(-1.0));
+    }
+
+    #[test]
+    fn recovers_after_local_precision_dip() {
+        // neg, neg, pos, neg: the dip at -0.7 (2/3) recovers at -0.6
+        // (3/4 = target) with better coverage.
+        let set = set_of(&[N, N, P, N]);
+        let scores = [-0.9, -0.8, -0.7, -0.6];
+        let cal = calibrate_language(&set, &scores, 0.75, 64);
+        assert_eq!(cal.theta, Some(-0.6));
+        assert_eq!(cal.coverage(), 3);
+        assert_eq!(cal.covered_positives, 1);
+    }
+
+    #[test]
+    fn tied_scores_processed_as_block() {
+        // A negative and a positive share the minimum score: the block
+        // precision is 0.5, below target -> no theta.
+        let set = set_of(&[N, P]);
+        let scores = [-0.9, -0.9];
+        let cal = calibrate_language(&set, &scores, 0.75, 64);
+        assert_eq!(cal.theta, None);
+    }
+
+    #[test]
+    fn precision_curve_lookup() {
+        let set = set_of(&[N, N, P, P]);
+        let scores = [-0.9, -0.5, 0.5, 0.9];
+        let cal = calibrate_language(&set, &scores, 0.5, 64);
+        assert_eq!(cal.precision_at(-0.95), 1.0); // below min -> first point
+        assert_eq!(cal.precision_at(-0.9), 1.0);
+        assert_eq!(cal.precision_at(-0.7), 1.0); // between points
+        assert!((cal.precision_at(0.5) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(cal.precision_at(0.95), 0.0); // above max
+    }
+
+    #[test]
+    fn curve_downsampling_keeps_bounds() {
+        let n = 1000;
+        let labels: Vec<Label> = (0..n).map(|i| if i % 3 == 0 { N } else { P }).collect();
+        let scores: Vec<f64> = (0..n).map(|i| -1.0 + 2.0 * i as f64 / n as f64).collect();
+        let set = set_of(&labels);
+        let cal = calibrate_language(&set, &scores, 0.99, 32);
+        assert!(cal.curve.len() <= 32);
+        assert_eq!(cal.curve.first().unwrap().0, scores[0]);
+        assert_eq!(cal.curve.last().unwrap().0, *scores.last().unwrap());
+    }
+
+    #[test]
+    fn fires_respects_theta() {
+        let set = set_of(&[N, P]);
+        let scores = [-0.9, 0.9];
+        let cal = calibrate_language(&set, &scores, 0.75, 64);
+        assert_eq!(cal.theta, Some(-0.9));
+        assert!(cal.fires(-0.9));
+        assert!(cal.fires(-1.0));
+        assert!(!cal.fires(-0.5));
+    }
+
+    #[test]
+    fn all_negative_training_set_covers_negative_scores() {
+        let set = set_of(&[N, N, N]);
+        let scores = [-0.9, -0.1, 0.9];
+        let cal = calibrate_language(&set, &scores, 0.95, 64);
+        // Only negative scores are eligible thresholds; the example at 0.9
+        // cannot be covered.
+        assert_eq!(cal.theta, Some(-0.1));
+        assert_eq!(cal.coverage(), 2);
+        assert_eq!(cal.precision_at_theta, 1.0);
+    }
+
+    #[test]
+    fn nonnegative_scores_never_become_thresholds() {
+        let set = set_of(&[N, N]);
+        let scores = [0.0, 0.5];
+        let cal = calibrate_language(&set, &scores, 0.5, 64);
+        assert_eq!(cal.theta, None);
+    }
+}

@@ -1,0 +1,536 @@
+//! The end-user detection API.
+//!
+//! A trained [`AutoDetect`] holds the selected generalization languages
+//! with their corpus statistics and calibrations. Detection over a column
+//! scores all distinct-value pairs; a pair is predicted incompatible when
+//! any language fires (`s_k ≤ θ_k`, ST aggregation), ranked by the
+//! max-confidence estimate `Q = max_k P_k(s_k)` (Appendix B).
+
+use crate::aggregate::Aggregator;
+use crate::calibrate::Calibration;
+use adt_corpus::Column;
+use adt_patterns::PatternHash;
+use adt_stats::{LanguageStats, NpmiParams};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One selected language with its statistics and calibration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelectedLanguage {
+    /// Corpus statistics under this language.
+    pub stats: LanguageStats,
+    /// Calibrated threshold and precision curve.
+    pub calibration: Calibration,
+}
+
+/// A trained Auto-Detect model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutoDetect {
+    /// The selected ensemble, in greedy pick order.
+    pub languages: Vec<SelectedLanguage>,
+    /// NPMI parameters used at both training and detection time.
+    pub npmi: NpmiParams,
+    /// The precision target the ensemble was calibrated for.
+    pub precision_target: f64,
+    /// Cap on distinct values per column considered during detection.
+    pub max_distinct_values: usize,
+}
+
+/// Verdict on a single value pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairVerdict {
+    /// True when at least one language fires (ST union).
+    pub incompatible: bool,
+    /// Max-confidence rank score `Q = max_k P_k(s_k)`.
+    pub confidence: f64,
+    /// Per-language NPMI scores `s_k(u, v)`.
+    pub scores: Vec<f64>,
+    /// Index of the most confident language.
+    pub best_language: usize,
+}
+
+/// One ranked finding within a column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnFinding {
+    /// The value predicted to be an error.
+    pub suspect: String,
+    /// The in-column value it is most incompatible with.
+    pub witness: String,
+    /// Confidence `Q` of the witnessing pair.
+    pub confidence: f64,
+    /// The most negative firing NPMI score of the witnessing pair.
+    pub score: f64,
+}
+
+impl AutoDetect {
+    /// Number of selected languages.
+    pub fn num_languages(&self) -> usize {
+        self.languages.len()
+    }
+
+    /// Total memory footprint of the ensemble in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.languages.iter().map(|l| l.stats.size_bytes()).sum()
+    }
+
+    /// Calibrations of the selected languages, in order.
+    pub fn calibrations(&self) -> Vec<&Calibration> {
+        self.languages.iter().map(|l| &l.calibration).collect()
+    }
+
+    /// Scores one value pair under every selected language.
+    pub fn score_pair(&self, u: &str, v: &str) -> PairVerdict {
+        let scores: Vec<f64> = self
+            .languages
+            .iter()
+            .map(|l| l.stats.score_values(u, v, self.npmi))
+            .collect();
+        self.verdict_from_scores(scores)
+    }
+
+    fn verdict_from_scores(&self, scores: Vec<f64>) -> PairVerdict {
+        let mut incompatible = false;
+        let mut confidence = 0.0;
+        let mut best_language = 0;
+        for (k, (&s, lang)) in scores.iter().zip(&self.languages).enumerate() {
+            if lang.calibration.fires(s) {
+                incompatible = true;
+            }
+            let p = lang.calibration.precision_at(s);
+            if p > confidence {
+                confidence = p;
+                best_language = k;
+            }
+        }
+        PairVerdict {
+            incompatible,
+            confidence,
+            scores,
+            best_language,
+        }
+    }
+
+    /// Distinct values of a column, most frequent first, capped.
+    fn distinct_capped<'a>(&self, column: &'a Column) -> Vec<(&'a str, usize)> {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for v in column.non_empty_values() {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let mut out: Vec<(&str, usize)> = counts.into_iter().collect();
+        // Most frequent first; lexicographic tie-break for determinism.
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        out.truncate(self.max_distinct_values);
+        out
+    }
+
+    /// Detects incompatible values in a column with the default
+    /// (Auto-Detect) aggregation. Findings are deduplicated per suspect
+    /// value and sorted by descending confidence.
+    pub fn detect_column(&self, column: &Column) -> Vec<ColumnFinding> {
+        self.detect_column_with(column, Aggregator::AutoDetect)
+    }
+
+    /// Detects incompatible values using an explicit aggregator
+    /// (Figure 8(b) comparisons).
+    pub fn detect_column_with(
+        &self,
+        column: &Column,
+        aggregator: Aggregator,
+    ) -> Vec<ColumnFinding> {
+        let distinct = self.distinct_capped(column);
+        if distinct.len() < 2 {
+            return Vec::new();
+        }
+        // Pre-generalize every distinct value once per language.
+        let hashes: Vec<Vec<PatternHash>> = self
+            .languages
+            .iter()
+            .map(|l| {
+                distinct
+                    .iter()
+                    .map(|(v, _)| l.stats.pattern_of(v))
+                    .collect()
+            })
+            .collect();
+        let calibrations: Vec<&Calibration> = self.calibrations();
+        let d = distinct.len();
+
+        // Full per-language NPMI matrices over distinct values (flattened
+        // d×d, symmetric, diagonal 1.0). These drive both pair flagging
+        // and suspect attribution.
+        let matrices: Vec<Vec<f64>> = self
+            .languages
+            .iter()
+            .enumerate()
+            .map(|(k, l)| {
+                let mut m = vec![1.0f64; d * d];
+                for i in 0..d {
+                    for j in (i + 1)..d {
+                        let s = l.stats.npmi_patterns(hashes[k][i], hashes[k][j], self.npmi);
+                        m[i * d + j] = s;
+                        m[j * d + i] = s;
+                    }
+                }
+                m
+            })
+            .collect();
+
+        // Per-language, per-value compatibility with the rest of the
+        // column: count-weighted mean NPMI against every other distinct
+        // value. An intruder is incompatible with *most* of the column,
+        // so the pair member with the lower compatibility is the suspect.
+        let compat: Vec<Vec<f64>> = matrices
+            .iter()
+            .map(|m| {
+                (0..d)
+                    .map(|i| {
+                        let mut sum = 0.0;
+                        let mut w = 0.0;
+                        for (j, &(_, cnt)) in distinct.iter().enumerate() {
+                            if j != i {
+                                sum += m[i * d + j] * cnt as f64;
+                                w += cnt as f64;
+                            }
+                        }
+                        if w > 0.0 {
+                            sum / w
+                        } else {
+                            1.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Pass 1: flag pairs and accumulate per-value flag degrees — the
+        // count-weighted amount of the column each value clashes with. An
+        // intruder clashes with most of the column; its witnesses clash
+        // only with the intruder.
+        let mut scores = vec![0.0f64; self.languages.len()];
+        let mut flagged_pairs: Vec<(usize, usize, f64, usize)> = Vec::new(); // (i, j, confidence, k*)
+        let mut degree = vec![0.0f64; d];
+        for i in 0..d {
+            for j in (i + 1)..d {
+                for (k, m) in matrices.iter().enumerate() {
+                    scores[k] = m[i * d + j];
+                }
+                if !aggregator.flags(&scores, &calibrations) {
+                    continue;
+                }
+                let confidence = aggregator.suspicion(&scores, &calibrations);
+                let k = scores
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(k, _)| k)
+                    .unwrap_or(0);
+                flagged_pairs.push((i, j, confidence, k));
+                degree[i] += distinct[j].1 as f64;
+                degree[j] += distinct[i].1 as f64;
+            }
+        }
+
+        // Pass 2: attribute each flagged pair. The suspect is the member
+        // with the higher flag degree; degree ties fall back to the lower
+        // rest-of-column compatibility under the pair's most negative
+        // language, then to corpus occurrence (the globally rarer pattern
+        // is the likelier intruder).
+        let mut best: HashMap<usize, ColumnFinding> = HashMap::new();
+        for &(i, j, confidence, k) in &flagged_pairs {
+            {
+                let (suspect_idx, witness_idx) = if (degree[i] - degree[j]).abs() > 1e-9 {
+                    if degree[i] > degree[j] {
+                        (i, j)
+                    } else {
+                        (j, i)
+                    }
+                } else if (compat[k][i] - compat[k][j]).abs() > 1e-9 {
+                    if compat[k][i] < compat[k][j] {
+                        (i, j)
+                    } else {
+                        (j, i)
+                    }
+                } else {
+                    let oi = self.languages[k].stats.occurrence(hashes[k][i]);
+                    let oj = self.languages[k].stats.occurrence(hashes[k][j]);
+                    if oi <= oj {
+                        (i, j)
+                    } else {
+                        (j, i)
+                    }
+                };
+                let pair_scores: Vec<f64> =
+                    matrices.iter().map(|m| m[i * d + j]).collect();
+                let min_firing_score = pair_scores
+                    .iter()
+                    .zip(calibrations.iter().copied())
+                    .filter(|(&s, c)| c.fires(s))
+                    .map(|(&s, _)| s)
+                    .fold(f64::INFINITY, f64::min);
+                let score = if min_firing_score.is_finite() {
+                    min_firing_score
+                } else {
+                    pair_scores.iter().copied().fold(f64::INFINITY, f64::min)
+                };
+                let finding = ColumnFinding {
+                    suspect: distinct[suspect_idx].0.to_string(),
+                    witness: distinct[witness_idx].0.to_string(),
+                    confidence,
+                    score,
+                };
+                match best.get(&suspect_idx) {
+                    Some(prev) if prev.confidence >= finding.confidence => {}
+                    _ => {
+                        best.insert(suspect_idx, finding);
+                    }
+                }
+            }
+        }
+        let mut findings: Vec<ColumnFinding> = best.into_values().collect();
+        findings.sort_by(|a, b| {
+            b.confidence
+                .total_cmp(&a.confidence)
+                .then_with(|| a.score.total_cmp(&b.score))
+                .then_with(|| a.suspect.cmp(&b.suspect))
+        });
+        findings
+    }
+
+    /// The single most incompatible pair of a column, if any pair is
+    /// flagged — the "just the most incompatible one for users to
+    /// inspect" mode of §2.2.
+    pub fn most_incompatible(&self, column: &Column) -> Option<ColumnFinding> {
+        self.detect_column(column).into_iter().next()
+    }
+
+    /// Audits every column of a table; findings ranked by confidence
+    /// across the whole table (the spreadsheet "spell-checker" surface).
+    pub fn detect_table(&self, table: &adt_corpus::Table) -> Vec<TableFinding> {
+        let mut out = Vec::new();
+        for (i, col) in table.columns.iter().enumerate() {
+            for f in self.detect_column(col) {
+                out.push(TableFinding {
+                    column_index: i,
+                    column_header: col.header.clone(),
+                    finding: f,
+                });
+            }
+        }
+        out.sort_by(|a, b| {
+            b.finding
+                .confidence
+                .total_cmp(&a.finding.confidence)
+                .then_with(|| a.column_index.cmp(&b.column_index))
+                .then_with(|| a.finding.suspect.cmp(&b.finding.suspect))
+        });
+        out
+    }
+}
+
+/// A finding located within a table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableFinding {
+    /// Zero-based column index.
+    pub column_index: usize,
+    /// The column's header, when present.
+    pub column_header: Option<String>,
+    /// The column-level finding.
+    pub finding: ColumnFinding,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::{Column, Corpus, SourceTag};
+    use adt_patterns::Language;
+    use adt_stats::StatsConfig;
+
+    /// Builds a tiny model by hand: crude language over a corpus where ISO
+    /// dates never mix with slash dates but ints mix with comma-ints.
+    fn tiny_model() -> AutoDetect {
+        let mut cols = Vec::new();
+        for i in 0..40 {
+            cols.push(Column::new(
+                vec![
+                    format!("{}", 1900 + i),
+                    format!("{},000", i + 1),
+                    format!("{}", i * 7),
+                ],
+                SourceTag::Web,
+            ));
+            cols.push(Column::new(
+                vec![
+                    format!("20{:02}-01-01", i % 30),
+                    format!("20{:02}-02-02", (i + 1) % 30),
+                ],
+                SourceTag::Web,
+            ));
+            cols.push(Column::new(
+                vec![
+                    format!("20{:02}/01/01", i % 30),
+                    format!("20{:02}/02/02", (i + 1) % 30),
+                ],
+                SourceTag::Web,
+            ));
+        }
+        let corpus = Corpus::from_columns(cols);
+        let stats = LanguageStats::build(
+            adt_patterns::crude::crude_language(),
+            &corpus,
+            &StatsConfig::default(),
+        );
+        let calibration = Calibration {
+            theta: Some(-0.4),
+            precision_at_theta: 1.0,
+            covered_negatives: vec![],
+            covered_positives: 0,
+            curve: vec![(-1.0, 0.99), (-0.4, 0.9), (0.0, 0.5), (1.0, 0.01)],
+        };
+        // A second language that only looks at symbols (L1): catches
+        // separator mixes but is blind to letter/digit swaps.
+        let stats_l1 = {
+            let mut cols2 = Vec::new();
+            for i in 0..40 {
+                cols2.push(Column::new(
+                    vec![format!("{}-{:02}", 2000 + i, i % 12 + 1)],
+                    SourceTag::Web,
+                ));
+            }
+            let c2 = Corpus::from_columns(cols2);
+            LanguageStats::build(Language::paper_l1(), &c2, &StatsConfig::default())
+        };
+        let cal_l1 = Calibration {
+            theta: Some(-0.5),
+            precision_at_theta: 0.97,
+            covered_negatives: vec![],
+            covered_positives: 0,
+            curve: vec![(-1.0, 0.97), (-0.5, 0.8), (1.0, 0.0)],
+        };
+        AutoDetect {
+            languages: vec![
+                SelectedLanguage {
+                    stats,
+                    calibration,
+                },
+                SelectedLanguage {
+                    stats: stats_l1,
+                    calibration: cal_l1,
+                },
+            ],
+            npmi: NpmiParams { smoothing: 0.1 },
+            precision_target: 0.9,
+            max_distinct_values: 50,
+        }
+    }
+
+    #[test]
+    fn flags_mixed_date_formats() {
+        let m = tiny_model();
+        let verdict = m.score_pair("2011-01-01", "2011/02/02");
+        assert!(verdict.incompatible);
+        assert!(verdict.confidence > 0.5);
+    }
+
+    #[test]
+    fn accepts_compatible_numbers() {
+        let m = tiny_model();
+        let verdict = m.score_pair("42", "7,000");
+        assert!(!verdict.incompatible, "scores: {:?}", verdict.scores);
+    }
+
+    #[test]
+    fn detect_column_finds_the_intruder() {
+        let m = tiny_model();
+        let col = Column::from_strs(
+            &["2011-01-01", "2012-02-02", "2013-03-03", "2014/04/04"],
+            SourceTag::Wiki,
+        );
+        let findings = m.detect_column(&col);
+        assert!(!findings.is_empty());
+        assert_eq!(findings[0].suspect, "2014/04/04");
+        assert_ne!(findings[0].witness, "2014/04/04");
+    }
+
+    #[test]
+    fn clean_column_yields_nothing() {
+        let m = tiny_model();
+        let col = Column::from_strs(&["2011-01-01", "2012-02-02", "2013-03-03"], SourceTag::Wiki);
+        assert!(m.detect_column(&col).is_empty());
+    }
+
+    #[test]
+    fn single_distinct_value_column_is_clean() {
+        let m = tiny_model();
+        let col = Column::from_strs(&["7", "7", "7"], SourceTag::Wiki);
+        assert!(m.detect_column(&col).is_empty());
+    }
+
+    #[test]
+    fn suspect_is_the_minority_value() {
+        let m = tiny_model();
+        let col = Column::from_strs(
+            &[
+                "2011-01-01",
+                "2011-01-01",
+                "2012-02-02",
+                "2013-03-03",
+                "2014/04/04",
+            ],
+            SourceTag::Wiki,
+        );
+        let findings = m.detect_column(&col);
+        assert_eq!(findings[0].suspect, "2014/04/04");
+    }
+
+    #[test]
+    fn most_incompatible_returns_top_finding() {
+        let m = tiny_model();
+        let col = Column::from_strs(
+            &["2011-01-01", "2012-02-02", "2014/04/04"],
+            SourceTag::Wiki,
+        );
+        let top = m.most_incompatible(&col).unwrap();
+        let all = m.detect_column(&col);
+        assert_eq!(top.suspect, all[0].suspect);
+        assert_eq!(top.confidence, all[0].confidence);
+    }
+
+    #[test]
+    fn size_accounts_all_languages() {
+        let m = tiny_model();
+        let total = m.size_bytes();
+        let sum: usize = m.languages.iter().map(|l| l.stats.size_bytes()).sum();
+        assert_eq!(total, sum);
+        assert!(total > 0);
+        assert_eq!(m.num_languages(), 2);
+    }
+
+    #[test]
+    fn detect_table_ranks_across_columns() {
+        let m = tiny_model();
+        let table = adt_corpus::Table::new(vec![
+            Column::from_strs(
+                &["2011-01-01", "2012-02-02", "2014/04/04"],
+                SourceTag::Local,
+            ),
+            Column::from_strs(&["1", "2", "3"], SourceTag::Local),
+        ]);
+        let findings = m.detect_table(&table);
+        assert!(!findings.is_empty());
+        assert_eq!(findings[0].column_index, 0);
+        assert_eq!(findings[0].finding.suspect, "2014/04/04");
+        // The clean numeric column contributes nothing.
+        assert!(findings.iter().all(|f| f.column_index == 0));
+    }
+
+    #[test]
+    fn distinct_cap_respected() {
+        let mut m = tiny_model();
+        m.max_distinct_values = 3;
+        let values: Vec<String> = (0..50).map(|i| format!("w{i}")).collect();
+        let col = Column::new(values, SourceTag::Wiki);
+        // Must not panic and must consider at most 3 distinct values.
+        let findings = m.detect_column(&col);
+        assert!(findings.len() <= 3);
+    }
+}

@@ -1,0 +1,299 @@
+//! Dynamic-threshold (DT) aggregation — the Definition 4 formulation.
+//!
+//! DT aggregation jointly chooses the language subset *and* a separate
+//! threshold per language so that the pooled union meets the precision
+//! target; the paper proves this NP-hard and inapproximable (Theorem 1)
+//! and adopts ST aggregation instead. This module implements a greedy +
+//! coordinate-ascent heuristic for DT, used by the DESIGN.md §5 ablation
+//! to quantify how much the tractable ST formulation gives up.
+
+use crate::training::{Label, TrainingSet};
+use serde::{Deserialize, Serialize};
+
+/// Input to the DT optimizer: per-language score vectors over `T`.
+#[derive(Debug, Clone)]
+pub struct DtProblem {
+    /// Ground-truth labels of the training examples.
+    pub labels: Vec<Label>,
+    /// `scores[k][i]` = `s_k(t_i)`.
+    pub scores: Vec<Vec<f64>>,
+    /// `size(L_k)` in bytes.
+    pub sizes: Vec<usize>,
+}
+
+impl DtProblem {
+    /// Builds the problem from a training set and per-language scores.
+    pub fn new(training: &TrainingSet, scores: Vec<Vec<f64>>, sizes: Vec<usize>) -> Self {
+        let labels = training.examples.iter().map(|e| e.label).collect();
+        DtProblem {
+            labels,
+            scores,
+            sizes,
+        }
+    }
+
+    fn n_examples(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+/// A DT solution: selected languages with per-language thresholds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DtSolution {
+    /// Selected language indices.
+    pub selected: Vec<usize>,
+    /// Thresholds aligned with `selected`.
+    pub thetas: Vec<f64>,
+    /// Covered incompatible examples of the pooled union.
+    pub coverage: usize,
+    /// Pooled precision of the union.
+    pub precision: f64,
+    /// Total size in bytes.
+    pub total_bytes: usize,
+}
+
+/// Pooled union coverage and precision for `(language, theta)` pairs.
+fn pooled_stats(problem: &DtProblem, picks: &[(usize, f64)]) -> (usize, f64) {
+    let n = problem.n_examples();
+    let mut flagged = vec![false; n];
+    for &(k, theta) in picks {
+        for (i, &s) in problem.scores[k].iter().enumerate() {
+            if s <= theta {
+                flagged[i] = true;
+            }
+        }
+    }
+    let mut neg = 0usize;
+    let mut total = 0usize;
+    for (i, &f) in flagged.iter().enumerate() {
+        if f {
+            total += 1;
+            if problem.labels[i] == Label::Incompatible {
+                neg += 1;
+            }
+        }
+    }
+    let precision = if total == 0 {
+        1.0
+    } else {
+        neg as f64 / total as f64
+    };
+    (neg, precision)
+}
+
+/// Candidate thresholds for language `k`: its distinct negative scores.
+fn candidate_thetas(problem: &DtProblem, k: usize) -> Vec<f64> {
+    let mut ts: Vec<f64> = problem.scores[k]
+        .iter()
+        .copied()
+        .filter(|&s| s < 0.0)
+        .collect();
+    ts.sort_by(f64::total_cmp);
+    ts.dedup();
+    ts
+}
+
+/// Greedy + coordinate-ascent heuristic for Definition 4.
+///
+/// 1. Greedily add the `(language, θ)` pair with the best marginal
+///    coverage per byte whose addition keeps pooled precision ≥ `P`,
+///    until no addition fits the budget or helps.
+/// 2. Coordinate ascent: re-optimize each selected language's threshold
+///    in turn (maximizing pooled coverage subject to pooled precision ≥
+///    `P`) until a fixed point or `max_rounds`.
+pub fn dt_optimize(
+    problem: &DtProblem,
+    precision_target: f64,
+    budget: usize,
+    max_rounds: usize,
+) -> DtSolution {
+    let m = problem.scores.len();
+    let mut picks: Vec<(usize, f64)> = Vec::new();
+    let mut used = 0usize;
+
+    // Phase 1: greedy insertion.
+    loop {
+        let (base_cov, _) = pooled_stats(problem, &picks);
+        let mut best: Option<(usize, f64, f64)> = None; // (k, theta, rate)
+        for k in 0..m {
+            if picks.iter().any(|&(s, _)| s == k) || used + problem.sizes[k] > budget {
+                continue;
+            }
+            for theta in candidate_thetas(problem, k) {
+                let mut trial = picks.clone();
+                trial.push((k, theta));
+                let (cov, prec) = pooled_stats(problem, &trial);
+                if prec < precision_target || cov <= base_cov {
+                    continue;
+                }
+                let rate = (cov - base_cov) as f64 / problem.sizes[k].max(1) as f64;
+                let better = match best {
+                    Some((_, _, r)) => rate > r,
+                    None => true,
+                };
+                if better {
+                    best = Some((k, theta, rate));
+                }
+            }
+        }
+        match best {
+            Some((k, theta, _)) => {
+                used += problem.sizes[k];
+                picks.push((k, theta));
+            }
+            None => break,
+        }
+    }
+
+    // Phase 2: coordinate ascent on thresholds.
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        for idx in 0..picks.len() {
+            let k = picks[idx].0;
+            let (cur_cov, _) = pooled_stats(problem, &picks);
+            let mut best_theta = picks[idx].1;
+            let mut best_cov = cur_cov;
+            for theta in candidate_thetas(problem, k) {
+                let mut trial = picks.clone();
+                trial[idx].1 = theta;
+                let (cov, prec) = pooled_stats(problem, &trial);
+                if prec >= precision_target && cov > best_cov {
+                    best_cov = cov;
+                    best_theta = theta;
+                }
+            }
+            if best_theta != picks[idx].1 {
+                picks[idx].1 = best_theta;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    let (coverage, precision) = pooled_stats(problem, &picks);
+    DtSolution {
+        selected: picks.iter().map(|&(k, _)| k).collect(),
+        thetas: picks.iter().map(|&(_, t)| t).collect(),
+        coverage,
+        precision,
+        total_bytes: used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::Example;
+
+    fn training(labels: &[Label]) -> TrainingSet {
+        TrainingSet {
+            examples: labels
+                .iter()
+                .enumerate()
+                .map(|(i, &label)| Example {
+                    u: format!("u{i}"),
+                    v: format!("v{i}"),
+                    label,
+                })
+                .collect(),
+        }
+    }
+
+    use Label::{Compatible as P, Incompatible as N};
+
+    #[test]
+    fn single_language_recovers_clean_threshold() {
+        // Negatives score low, positives high: DT should pick theta at
+        // the most permissive negative score.
+        let set = training(&[N, N, N, P, P]);
+        let scores = vec![vec![-0.9, -0.8, -0.4, 0.3, 0.6]];
+        let problem = DtProblem::new(&set, scores, vec![100]);
+        let sol = dt_optimize(&problem, 0.95, 1000, 4);
+        assert_eq!(sol.selected, vec![0]);
+        assert_eq!(sol.coverage, 3);
+        assert_eq!(sol.precision, 1.0);
+        assert_eq!(sol.thetas, vec![-0.4]);
+    }
+
+    #[test]
+    fn pooled_precision_allows_local_imprecision() {
+        // Language 0 alone at theta -0.4 admits one positive (precision
+        // 2/3 < 0.75). But pooled with language 1 (covers two more
+        // negatives cleanly), the union is 4 neg / 5 flagged = 0.8 >= 0.75
+        // — DT's advantage over ST, which would clamp language 0.
+        let set = training(&[N, N, P, N, N, P]);
+        let scores = vec![
+            vec![-0.9, -0.8, -0.4, 0.5, 0.5, 0.5],
+            vec![0.5, 0.5, 0.5, -0.9, -0.7, 0.4],
+        ];
+        let problem = DtProblem::new(&set, scores, vec![10, 10]);
+        let sol = dt_optimize(&problem, 0.75, 1000, 4);
+        assert_eq!(sol.coverage, 4);
+        assert!(sol.precision >= 0.75);
+        assert_eq!(sol.selected.len(), 2);
+    }
+
+    #[test]
+    fn budget_limits_selection() {
+        let set = training(&[N, N]);
+        let scores = vec![vec![-0.9, 0.5], vec![0.5, -0.9]];
+        let problem = DtProblem::new(&set, scores, vec![100, 100]);
+        let sol = dt_optimize(&problem, 0.9, 150, 4);
+        assert_eq!(sol.selected.len(), 1);
+        assert_eq!(sol.coverage, 1);
+        assert!(sol.total_bytes <= 150);
+    }
+
+    #[test]
+    fn precision_target_respected() {
+        // Any threshold on this language admits a positive first.
+        let set = training(&[P, N]);
+        let scores = vec![vec![-0.9, -0.5]];
+        let problem = DtProblem::new(&set, scores, vec![10]);
+        let sol = dt_optimize(&problem, 0.95, 1000, 4);
+        assert_eq!(sol.coverage, 0);
+        assert!(sol.selected.is_empty());
+    }
+
+    #[test]
+    fn dt_at_least_matches_st_on_shared_instances() {
+        // Compare against ST: calibrate each language separately, then
+        // union. DT must never cover fewer negatives.
+        let labels = [N, P, N, N, P, N, P, N, N, P];
+        let set = training(&labels);
+        let scores = vec![
+            vec![-0.9, -0.85, -0.8, -0.5, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7],
+            vec![0.5, 0.4, 0.3, 0.2, -0.1, -0.5, -0.6, -0.7, -0.8, 0.9],
+        ];
+        let problem = DtProblem::new(&set, scores.clone(), vec![10, 10]);
+        let dt = dt_optimize(&problem, 0.7, 1000, 6);
+
+        let st_union: usize = {
+            let mut flagged = vec![false; labels.len()];
+            for s in &scores {
+                let cal = crate::calibrate::calibrate_language(&set, s, 0.7, 64);
+                if let Some(t) = cal.theta {
+                    for (i, &x) in s.iter().enumerate() {
+                        if x <= t {
+                            flagged[i] = true;
+                        }
+                    }
+                }
+            }
+            flagged
+                .iter()
+                .zip(&labels)
+                .filter(|(&f, &l)| f && l == N)
+                .count()
+        };
+        assert!(
+            dt.coverage >= st_union,
+            "DT {} below ST union {}",
+            dt.coverage,
+            st_union
+        );
+        assert!(dt.precision >= 0.7);
+    }
+}

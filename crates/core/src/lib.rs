@@ -1,0 +1,38 @@
+//! Auto-Detect: data-driven single-column error detection (the paper's
+//! primary contribution).
+//!
+//! Pipeline (§3):
+//! 1. [`training`] — distant supervision (§3.1, Appendix F): build a large
+//!    labeled training set `T = T⁺ ∪ T⁻` from the corpus itself, with no
+//!    human labels;
+//! 2. [`calibrate`] — per-language threshold calibration (Equations 7–8):
+//!    find the loosest NPMI threshold keeping precision ≥ P on `T`, and
+//!    retain the precision-vs-score curve for confidence estimates;
+//! 3. [`selection`] — language selection (Definition 5, Algorithm 1):
+//!    greedy budgeted max-coverage over incompatible-example coverage,
+//!    with the ½(1−1/e) approximation guarantee;
+//! 4. [`detector`] — the end-user API: score pairs and columns with the
+//!    selected ensemble, union the per-language predictions
+//!    (ST aggregation), and rank by max-confidence `Q` (Appendix B);
+//! 5. [`aggregate`] — the alternative aggregators of Figure 8(b)
+//!    (AvgNPMI, MinNPMI, majority voting, weighted voting, best-single);
+//! 6. [`model`] — the trainer that wires it all together plus JSON
+//!    persistence.
+
+pub mod aggregate;
+pub mod calibrate;
+pub mod config;
+pub mod detector;
+pub mod dt;
+pub mod model;
+pub mod selection;
+pub mod training;
+
+pub use aggregate::Aggregator;
+pub use calibrate::{calibrate_language, Calibration};
+pub use config::AutoDetectConfig;
+pub use detector::{AutoDetect, ColumnFinding, PairVerdict, TableFinding};
+pub use dt::{dt_optimize, DtProblem, DtSolution};
+pub use model::{calibrate_candidates, load_model, save_model, select_and_assemble, train, train_with_training_set, CalibratedCandidate, TrainReport};
+pub use selection::{greedy_select, CandidateSummary, SelectionResult};
+pub use training::{build_training_set, Example, Label, TrainingSet};

@@ -1,0 +1,513 @@
+//! End-to-end training: distant supervision → per-candidate calibration →
+//! greedy selection → final model assembly, plus JSON persistence.
+
+use crate::calibrate::{calibrate_language, Calibration};
+use crate::config::AutoDetectConfig;
+use crate::detector::{AutoDetect, SelectedLanguage};
+use crate::selection::{greedy_select, CandidateSummary, SelectionResult};
+use crate::training::{build_training_set, TrainingSet};
+use adt_corpus::Corpus;
+use adt_patterns::{Pattern, PatternHash};
+use adt_stats::LanguageStats;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-candidate training diagnostics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CandidateReport {
+    /// Stable language id (see [`adt_patterns::Language::id`]).
+    pub language_id: String,
+    /// Exact statistics size in bytes.
+    pub size_bytes: usize,
+    /// Calibrated threshold, when one met the precision target.
+    pub theta: Option<f64>,
+    /// Covered incompatible examples at the threshold.
+    pub coverage: usize,
+    /// Training precision at the threshold.
+    pub precision: f64,
+}
+
+/// Summary of one training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Training-set size.
+    pub training_examples: usize,
+    /// `|T⁺|`.
+    pub positives: usize,
+    /// `|T⁻|`.
+    pub negatives: usize,
+    /// Per-candidate diagnostics, in candidate order.
+    pub candidates: Vec<CandidateReport>,
+    /// Selection outcome.
+    pub selection: SelectionResult,
+    /// Ids of the selected languages, in pick order.
+    pub selected_ids: Vec<String>,
+    /// Final model size in bytes (after optional sketching).
+    pub model_bytes: usize,
+}
+
+/// Scores every training example under `stats`, memoizing per-value
+/// pattern hashes (values repeat heavily across examples).
+fn score_training_set(
+    stats: &LanguageStats,
+    training: &TrainingSet,
+    npmi: adt_stats::NpmiParams,
+) -> Vec<f64> {
+    let lang = stats.language;
+    let mut memo: HashMap<&str, PatternHash> = HashMap::new();
+    let mut scores = Vec::with_capacity(training.len());
+    for e in &training.examples {
+        let hu = *memo
+            .entry(e.u.as_str())
+            .or_insert_with(|| Pattern::generalize(&e.u, &lang).hash64());
+        let hv = *memo
+            .entry(e.v.as_str())
+            .or_insert_with(|| Pattern::generalize(&e.v, &lang).hash64());
+        scores.push(stats.npmi_patterns(hu, hv, npmi));
+    }
+    scores
+}
+
+/// Trains an Auto-Detect model on `corpus` under `config`.
+///
+/// Candidate statistics are built one language at a time (in parallel
+/// worker threads when `config.threads > 1`) and dropped after
+/// calibration, so peak memory stays near a single fine-grained
+/// language's statistics; only the selected languages are rebuilt for the
+/// final model.
+pub fn train(corpus: &Corpus, config: &AutoDetectConfig) -> (AutoDetect, TrainReport) {
+    let (training, _crude) = build_training_set(corpus, config);
+    train_with_training_set(corpus, config, &training)
+}
+
+/// One calibrated candidate language: the reusable product of training
+/// phase 1 (stats scan + scoring + calibration).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalibratedCandidate {
+    /// The candidate language.
+    pub language: adt_patterns::Language,
+    /// Exact statistics size in bytes (`size(L)`).
+    pub size_bytes: usize,
+    /// Calibration against the training set.
+    pub calibration: Calibration,
+}
+
+/// Training phase 1: builds statistics for every candidate language,
+/// scores the training set, and calibrates thresholds — in parallel
+/// worker threads. The expensive phase; its output can be reused across
+/// memory budgets and aggregators (Figures 7 and 8(b)).
+pub fn calibrate_candidates(
+    corpus: &Corpus,
+    config: &AutoDetectConfig,
+    training: &TrainingSet,
+) -> Vec<CalibratedCandidate> {
+    let languages = config.candidate_languages();
+    let results: Vec<Mutex<Option<(usize, Calibration)>>> =
+        (0..languages.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let threads = config.threads.max(1).min(languages.len().max(1));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= languages.len() {
+                    break;
+                }
+                let stats = LanguageStats::build(languages[i], corpus, &config.stats);
+                let scores = score_training_set(&stats, training, config.npmi);
+                let cal =
+                    calibrate_language(training, &scores, config.precision_target, 256);
+                *results[i].lock() = Some((stats.size_bytes(), cal));
+            });
+        }
+    })
+    .expect("training worker panicked");
+    languages
+        .into_iter()
+        .zip(results)
+        .map(|(language, cell)| {
+            let (size_bytes, calibration) =
+                cell.lock().take().expect("worker filled every slot");
+            CalibratedCandidate {
+                language,
+                size_bytes,
+                calibration,
+            }
+        })
+        .collect()
+}
+
+/// Training phases 2–3: greedy selection under the budget, then model
+/// assembly (rebuilding statistics for the selected languages only).
+pub fn select_and_assemble(
+    corpus: &Corpus,
+    config: &AutoDetectConfig,
+    training: &TrainingSet,
+    pool: &[CalibratedCandidate],
+) -> (AutoDetect, TrainReport) {
+    let languages: Vec<adt_patterns::Language> = pool.iter().map(|c| c.language).collect();
+    let mut candidates = Vec::with_capacity(pool.len());
+    let mut calibrations: Vec<Calibration> = Vec::with_capacity(pool.len());
+    let mut reports = Vec::with_capacity(pool.len());
+    for (i, c) in pool.iter().enumerate() {
+        reports.push(CandidateReport {
+            language_id: c.language.id(),
+            size_bytes: c.size_bytes,
+            theta: c.calibration.theta,
+            coverage: c.calibration.coverage(),
+            precision: c.calibration.precision_at_theta,
+        });
+        candidates.push(CandidateSummary {
+            index: i,
+            size_bytes: c.size_bytes,
+            covered_negatives: c.calibration.covered_negatives.clone(),
+        });
+        calibrations.push(c.calibration.clone());
+    }
+
+    // Phase 2: greedy selection under the memory budget.
+    let selection = greedy_select(&candidates, config.memory_budget);
+
+    // Phase 3: rebuild stats for the selected languages; optionally
+    // compress co-occurrence into sketches.
+    let mut selected = Vec::with_capacity(selection.selected.len());
+    for &i in &selection.selected {
+        let mut stats = LanguageStats::build(languages[i], corpus, &config.stats);
+        if let Some(spec) = config.sketch_spec_for(stats.size_bytes()) {
+            stats.compress_cooccurrence(spec);
+        }
+        let mut calibration = calibrations[i].clone();
+        // Coverage indices are a training artifact; drop them from the
+        // shipped model to keep it small.
+        calibration.covered_negatives = Vec::new();
+        calibration.covered_negatives.shrink_to_fit();
+        selected.push(SelectedLanguage { stats, calibration });
+    }
+
+    let model = AutoDetect {
+        languages: selected,
+        npmi: config.npmi,
+        precision_target: config.precision_target,
+        max_distinct_values: 64,
+    };
+    let report = TrainReport {
+        training_examples: training.len(),
+        positives: training.positives(),
+        negatives: training.negatives(),
+        candidates: reports,
+        selected_ids: selection
+            .selected
+            .iter()
+            .map(|&i| languages[i].id())
+            .collect(),
+        selection,
+        model_bytes: model.size_bytes(),
+    };
+    (model, report)
+}
+
+/// Trains with a caller-provided training set (used by experiments that
+/// reuse one training set across configurations).
+pub fn train_with_training_set(
+    corpus: &Corpus,
+    config: &AutoDetectConfig,
+    training: &TrainingSet,
+) -> (AutoDetect, TrainReport) {
+    let pool = calibrate_candidates(corpus, config, training);
+    select_and_assemble(corpus, config, training, &pool)
+}
+
+/// Saves a model: compact binary when the path ends in `.bin`, JSON
+/// otherwise. The binary format is typically 3–5× smaller and loads an
+/// order of magnitude faster — relevant to the paper's client-side
+/// deployment constraint.
+pub fn save_model<P: AsRef<Path>>(model: &AutoDetect, path: P) -> io::Result<()> {
+    let f = std::fs::File::create(&path)?;
+    let mut w = io::BufWriter::new(f);
+    if path.as_ref().extension().is_some_and(|e| e == "bin") {
+        codec::write_model(&mut w, model)
+    } else {
+        serde_json::to_writer(w, model).map_err(io::Error::other)
+    }
+}
+
+/// Loads a model saved by [`save_model`] (format sniffed from content).
+pub fn load_model<P: AsRef<Path>>(path: P) -> io::Result<AutoDetect> {
+    let f = std::fs::File::open(path)?;
+    let mut r = io::BufReader::new(f);
+    use std::io::BufRead;
+    let is_binary = r.fill_buf()?.starts_with(codec::MODEL_MAGIC);
+    if is_binary {
+        codec::read_model(&mut r)
+    } else {
+        serde_json::from_reader(r).map_err(io::Error::other)
+    }
+}
+
+/// Binary model codec (see `adt_stats::codec` for the statistics layer).
+pub mod codec {
+    use super::*;
+    use crate::calibrate::Calibration;
+    use crate::detector::SelectedLanguage;
+    use adt_sketch::codec::{read_f64, read_varint, write_f64, write_varint};
+    use std::io::{Read, Write};
+
+    /// Leading magic of the binary model format.
+    pub const MODEL_MAGIC: &[u8; 4] = b"ADM1";
+
+    fn write_calibration<W: Write>(w: &mut W, c: &Calibration) -> io::Result<()> {
+        match c.theta {
+            Some(t) => {
+                w.write_all(&[1u8])?;
+                write_f64(w, t)?;
+            }
+            None => w.write_all(&[0u8])?,
+        }
+        write_f64(w, c.precision_at_theta)?;
+        write_varint(w, c.covered_positives as u64)?;
+        // covered_negatives are a training artifact; the shipped model
+        // clears them, so only the length (normally 0) is stored.
+        write_varint(w, c.covered_negatives.len() as u64)?;
+        for &i in &c.covered_negatives {
+            write_varint(w, i as u64)?;
+        }
+        write_varint(w, c.curve.len() as u64)?;
+        for &(s, p) in &c.curve {
+            write_f64(w, s)?;
+            write_f64(w, p)?;
+        }
+        Ok(())
+    }
+
+    fn read_calibration<R: Read>(r: &mut R) -> io::Result<Calibration> {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let theta = match tag[0] {
+            0 => None,
+            1 => Some(read_f64(r)?),
+            _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad theta tag")),
+        };
+        let precision_at_theta = read_f64(r)?;
+        let covered_positives = read_varint(r)? as usize;
+        let n_neg = read_varint(r)? as usize;
+        if n_neg > (1 << 28) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "coverage too large"));
+        }
+        let mut covered_negatives = Vec::with_capacity(n_neg);
+        for _ in 0..n_neg {
+            covered_negatives.push(read_varint(r)? as u32);
+        }
+        let n_curve = read_varint(r)? as usize;
+        if n_curve > (1 << 20) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "curve too large"));
+        }
+        let mut curve = Vec::with_capacity(n_curve);
+        for _ in 0..n_curve {
+            let s = read_f64(r)?;
+            let p = read_f64(r)?;
+            curve.push((s, p));
+        }
+        Ok(Calibration {
+            theta,
+            precision_at_theta,
+            covered_negatives,
+            covered_positives,
+            curve,
+        })
+    }
+
+    /// Writes a full model.
+    pub fn write_model<W: Write>(w: &mut W, model: &AutoDetect) -> io::Result<()> {
+        w.write_all(MODEL_MAGIC)?;
+        write_f64(w, model.npmi.smoothing)?;
+        write_f64(w, model.precision_target)?;
+        write_varint(w, model.max_distinct_values as u64)?;
+        write_varint(w, model.languages.len() as u64)?;
+        for l in &model.languages {
+            l.stats.write_binary(w)?;
+            write_calibration(w, &l.calibration)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a model written by [`write_model`].
+    pub fn read_model<R: Read>(r: &mut R) -> io::Result<AutoDetect> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MODEL_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad model magic"));
+        }
+        let smoothing = read_f64(r)?;
+        let precision_target = read_f64(r)?;
+        let max_distinct_values = read_varint(r)? as usize;
+        let n = read_varint(r)? as usize;
+        if n > 4096 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "too many languages"));
+        }
+        let mut languages = Vec::with_capacity(n);
+        for _ in 0..n {
+            let stats = LanguageStats::read_binary(r)?;
+            let calibration = read_calibration(r)?;
+            languages.push(SelectedLanguage { stats, calibration });
+        }
+        Ok(AutoDetect {
+            languages,
+            npmi: adt_stats::NpmiParams { smoothing },
+            precision_target,
+            max_distinct_values,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::{generate_corpus, CorpusProfile};
+
+    fn quick_config() -> AutoDetectConfig {
+        AutoDetectConfig {
+            training_examples: 3_000,
+            threads: 2,
+            ..AutoDetectConfig::small()
+        }
+    }
+
+    // Large enough that language selection reliably includes a
+    // symbol-sensitive member (at a few hundred columns the greedy can
+    // collapse to a single length-only language and the date-separator
+    // checks below become blind spots).
+    fn quick_corpus() -> Corpus {
+        let mut p = CorpusProfile::web(1_500);
+        p.dirty_rate = 0.0;
+        generate_corpus(&p)
+    }
+
+    #[test]
+    fn train_selects_languages_and_meets_budget() {
+        let corpus = quick_corpus();
+        let cfg = quick_config();
+        let (model, report) = train(&corpus, &cfg);
+        assert!(
+            model.num_languages() >= 1,
+            "no language selected: {:?}",
+            report.selection
+        );
+        assert!(report.selection.total_bytes <= cfg.memory_budget);
+        assert_eq!(report.candidates.len(), 36);
+        assert_eq!(report.selected_ids.len(), model.num_languages());
+    }
+
+    #[test]
+    fn trained_model_flags_obvious_incompatibility() {
+        let corpus = quick_corpus();
+        let (model, _) = train(&corpus, &quick_config());
+        let verdict = model.score_pair("2011-01-01", "2011/01/02");
+        assert!(verdict.incompatible, "scores {:?}", verdict.scores);
+        // Compatible pair must not be flagged.
+        let ok = model.score_pair("12", "3,000");
+        assert!(!ok.incompatible, "scores {:?}", ok.scores);
+    }
+
+    #[test]
+    fn training_precision_respected_on_candidates() {
+        let corpus = quick_corpus();
+        let cfg = quick_config();
+        let (_, report) = train(&corpus, &cfg);
+        for c in &report.candidates {
+            if c.theta.is_some() {
+                assert!(
+                    c.precision >= cfg.precision_target,
+                    "{} precision {}",
+                    c.language_id,
+                    c.precision
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let corpus = quick_corpus();
+        let (model, _) = train(&corpus, &quick_config());
+        let dir = std::env::temp_dir().join("adt_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save_model(&model, &path).unwrap();
+        let back = load_model(&path).unwrap();
+        assert_eq!(back.num_languages(), model.num_languages());
+        let a = model.score_pair("2011-01-01", "2011/01/02");
+        let b = back.score_pair("2011-01-01", "2011/01/02");
+        assert_eq!(a.incompatible, b.incompatible);
+        assert_eq!(a.scores, b.scores);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sketched_model_is_smaller_and_preserves_ordering() {
+        let corpus = quick_corpus();
+        let cfg = quick_config();
+        let (exact_model, _) = train(&corpus, &cfg);
+        let sketch_cfg = AutoDetectConfig {
+            sketch_fraction: Some(0.25),
+            ..cfg
+        };
+        let (sketch_model, _) = train(&corpus, &sketch_cfg);
+        assert!(sketch_model.size_bytes() < exact_model.size_bytes());
+        // Count-min never undercounts, so compatible pairs keep their high
+        // scores; incompatible pairs may inflate under collisions (this is
+        // the Figure 8(a) quality/size trade-off) but must stay below the
+        // compatible pairs under every language.
+        let bad = sketch_model.score_pair("2011-01-01", "2011/01/02");
+        let good = sketch_model.score_pair("2011-01-01", "2012-03-04");
+        for (b, g) in bad.scores.iter().zip(&good.scores) {
+            assert!(b <= g, "sketched ordering broken: {b} > {g}");
+        }
+        // The compatible pair is never flagged (one-sided sketch error).
+        assert!(!good.incompatible);
+    }
+
+    #[test]
+    fn binary_model_roundtrip_and_size() {
+        let corpus = quick_corpus();
+        let (model, _) = train(&corpus, &quick_config());
+        let dir = std::env::temp_dir().join("adt_model_codec_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bin_path = dir.join("model.bin");
+        let json_path = dir.join("model.json");
+        save_model(&model, &bin_path).unwrap();
+        save_model(&model, &json_path).unwrap();
+        let bin_len = std::fs::metadata(&bin_path).unwrap().len();
+        let json_len = std::fs::metadata(&json_path).unwrap().len();
+        assert!(
+            bin_len * 2 < json_len,
+            "binary {bin_len} vs json {json_len}"
+        );
+        // load_model sniffs the format from content.
+        let from_bin = load_model(&bin_path).unwrap();
+        let from_json = load_model(&json_path).unwrap();
+        let a = model.score_pair("2011-01-01", "2011/01/02");
+        for back in [&from_bin, &from_json] {
+            assert_eq!(back.num_languages(), model.num_languages());
+            let b = back.score_pair("2011-01-01", "2011/01/02");
+            assert_eq!(a.scores, b.scores);
+            assert_eq!(a.incompatible, b.incompatible);
+            assert_eq!(a.confidence, b.confidence);
+        }
+        std::fs::remove_file(bin_path).ok();
+        std::fs::remove_file(json_path).ok();
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let corpus = quick_corpus();
+        let cfg = quick_config();
+        let (_, r1) = train(&corpus, &cfg);
+        let (_, r2) = train(&corpus, &cfg);
+        assert_eq!(r1.selected_ids, r2.selected_ids);
+        assert_eq!(r1.selection.union_coverage, r2.selection.union_coverage);
+    }
+}

@@ -1,0 +1,347 @@
+//! Distant-supervision training data (§3.1 and Appendix F).
+//!
+//! No human labels: compatible pairs `T⁺` are sampled from columns whose
+//! values are verified statistically compatible under the crude
+//! generalization `G()`; incompatible pairs `T⁻` come from mixing a value
+//! `u` of one compatible column into another compatible column `C₂`,
+//! pruning mixes where `u` is accidentally compatible with `C₂`.
+
+use crate::config::AutoDetectConfig;
+use adt_corpus::Corpus;
+use adt_patterns::crude::crude_language;
+use adt_stats::{LanguageStats, NpmiParams};
+use rand::prelude::IndexedRandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth label of a training example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Label {
+    /// The pair is compatible (sampled from one compatible column).
+    Compatible,
+    /// The pair is incompatible (synthesized by cross-column mixing).
+    Incompatible,
+}
+
+/// One training example `t = (u, v, ±)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Example {
+    /// First value.
+    pub u: String,
+    /// Second value.
+    pub v: String,
+    /// Distant-supervision label.
+    pub label: Label,
+}
+
+/// The training set `T = T⁺ ∪ T⁻`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainingSet {
+    /// All examples; positives and negatives interleaved.
+    pub examples: Vec<Example>,
+}
+
+impl TrainingSet {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Number of incompatible examples (`|T⁻|`).
+    pub fn negatives(&self) -> usize {
+        self.examples
+            .iter()
+            .filter(|e| e.label == Label::Incompatible)
+            .count()
+    }
+
+    /// Number of compatible examples (`|T⁺|`).
+    pub fn positives(&self) -> usize {
+        self.len() - self.negatives()
+    }
+}
+
+/// Returns true when every distinct-value pair of the column scores above
+/// `threshold` under the crude statistics — the `C⁺` membership test.
+///
+/// Columns with a single distinct pattern pass trivially; columns with
+/// more than `max_check` distinct values are tested on a subsample.
+fn is_compatible_column(
+    values: &[&str],
+    crude: &LanguageStats,
+    params: NpmiParams,
+    threshold: f64,
+    max_check: usize,
+) -> bool {
+    let n = values.len().min(max_check);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if crude.score_values(values[i], values[j], params) <= threshold {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Builds the training set from `corpus` per Appendix F.
+///
+/// Also returns the crude-`G` statistics (reused by callers that need the
+/// same compatibility oracle, e.g. auto-evaluation test-case generation).
+pub fn build_training_set(
+    corpus: &Corpus,
+    config: &AutoDetectConfig,
+) -> (TrainingSet, LanguageStats) {
+    let crude = LanguageStats::build(crude_language(), corpus, &config.stats);
+    let params = config.npmi;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Pass 1: find compatible columns C+ (indices into the corpus).
+    let mut compatible: Vec<usize> = Vec::new();
+    for (i, col) in corpus.columns().iter().enumerate() {
+        let distinct: Vec<&str> = col
+            .distinct_values()
+            .into_iter()
+            .filter(|v| !v.is_empty())
+            .collect();
+        if distinct.len() < 2 {
+            continue;
+        }
+        if is_compatible_column(&distinct, &crude, params, config.compat_threshold, 12) {
+            compatible.push(i);
+        }
+    }
+
+    let mut set = TrainingSet::default();
+    if compatible.len() < 2 {
+        return (set, crude);
+    }
+
+    let target = config.training_examples;
+    let half = target / 2;
+    set.examples.reserve(target);
+
+    // T+: pairs of values from the same compatible column. Half the
+    // positives are *hard*: the lowest-scoring pair of a sampled column.
+    // Detection evaluates every pair of a column and surfaces the most
+    // incompatible one, so the deployed score distribution is the
+    // per-column minimum — calibrating only on uniformly random pairs
+    // would leave thresholds above the scores that sparse-but-legitimate
+    // pattern combinations reach (extreme-value distribution shift).
+    let mut guard = 0usize;
+    while set.positives() < half && guard < half * 20 {
+        guard += 1;
+        let &ci = compatible.choose(&mut rng).expect("non-empty");
+        let col = &corpus.columns()[ci];
+        let distinct: Vec<&str> = col
+            .distinct_values()
+            .into_iter()
+            .filter(|v| !v.is_empty())
+            .collect();
+        if distinct.len() < 2 {
+            continue;
+        }
+        let (a, b) = if guard.is_multiple_of(2) {
+            // Hard positive: the minimum crude-NPMI pair of (a sample of)
+            // the column.
+            let n = distinct.len().min(10);
+            let mut best: Option<(f64, &str, &str)> = None;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let s = crude.score_values(distinct[i], distinct[j], params);
+                    let better = match best {
+                        Some((b, _, _)) => s < b,
+                        None => true,
+                    };
+                    if better {
+                        best = Some((s, distinct[i], distinct[j]));
+                    }
+                }
+            }
+            let (_, a, b) = best.expect("at least one pair");
+            (a, b)
+        } else {
+            let a = *distinct.choose(&mut rng).expect("non-empty");
+            let b = *distinct.choose(&mut rng).expect("non-empty");
+            if a == b {
+                continue;
+            }
+            (a, b)
+        };
+        set.examples.push(Example {
+            u: a.to_string(),
+            v: b.to_string(),
+            label: Label::Compatible,
+        });
+    }
+
+    // T-: mix u from C1 into C2; prune accidental compatibility.
+    let mut guard = 0usize;
+    let negatives_per_mix = 4usize;
+    while set.negatives() < half && guard < half * 20 {
+        guard += 1;
+        let &c1 = compatible.choose(&mut rng).expect("non-empty");
+        let &c2 = compatible.choose(&mut rng).expect("non-empty");
+        if c1 == c2 {
+            continue;
+        }
+        let col1 = &corpus.columns()[c1];
+        let col2 = &corpus.columns()[c2];
+        let u = match col1
+            .non_empty_values()
+            .collect::<Vec<_>>()
+            .choose(&mut rng)
+        {
+            Some(&u) => u,
+            None => continue,
+        };
+        let distinct2: Vec<&str> = col2
+            .distinct_values()
+            .into_iter()
+            .filter(|v| !v.is_empty())
+            .collect();
+        if distinct2.is_empty() {
+            continue;
+        }
+        // Appendix F pruning: drop the mix if u is plausibly compatible
+        // with any value of C2 under crude statistics. Checked on the
+        // values we would actually emit plus a subsample of the rest.
+        let accidental = distinct2
+            .iter()
+            .take(12)
+            .any(|v| crude.score_values(u, v, params) >= config.negative_prune_threshold);
+        if accidental {
+            continue;
+        }
+        for v in distinct2.choose_multiple(&mut rng, negatives_per_mix) {
+            if set.negatives() >= half {
+                break;
+            }
+            if crude.score_values(u, v, params) >= config.negative_prune_threshold {
+                continue;
+            }
+            set.examples.push(Example {
+                u: u.to_string(),
+                v: (*v).to_string(),
+                label: Label::Incompatible,
+            });
+        }
+    }
+
+    (set, crude)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::{generate_corpus, CorpusProfile};
+
+    fn test_corpus() -> Corpus {
+        let mut p = CorpusProfile::web(800);
+        p.dirty_rate = 0.0;
+        generate_corpus(&p)
+    }
+
+    fn small_config() -> AutoDetectConfig {
+        AutoDetectConfig {
+            training_examples: 2_000,
+            ..AutoDetectConfig::small()
+        }
+    }
+
+    #[test]
+    fn builds_balanced_training_set() {
+        let corpus = test_corpus();
+        let (set, _) = build_training_set(&corpus, &small_config());
+        assert!(set.len() >= 1_000, "got {}", set.len());
+        let neg = set.negatives();
+        let pos = set.positives();
+        assert!(pos > 0 && neg > 0);
+        // Roughly balanced.
+        let ratio = pos as f64 / neg as f64;
+        assert!((0.5..=2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn positives_mostly_same_pattern_family() {
+        // Compatible pairs should score >= 0 under crude stats by
+        // construction (they passed the column-level test).
+        let corpus = test_corpus();
+        let cfg = small_config();
+        let (set, crude) = build_training_set(&corpus, &cfg);
+        let violations = set
+            .examples
+            .iter()
+            .filter(|e| e.label == Label::Compatible)
+            .filter(|e| crude.score_values(&e.u, &e.v, cfg.npmi) <= cfg.compat_threshold)
+            .count();
+        // The column-level test subsamples pairs, so allow a small slack.
+        assert!(
+            (violations as f64) < 0.1 * set.positives() as f64,
+            "{violations}/{}",
+            set.positives()
+        );
+    }
+
+    #[test]
+    fn negatives_are_crudely_incompatible() {
+        let corpus = test_corpus();
+        let cfg = small_config();
+        let (set, crude) = build_training_set(&corpus, &cfg);
+        for e in set.examples.iter().filter(|e| e.label == Label::Incompatible) {
+            let s = crude.score_values(&e.u, &e.v, cfg.npmi);
+            assert!(
+                s < cfg.negative_prune_threshold,
+                "negative ({}, {}) scored {s}",
+                e.u,
+                e.v
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let corpus = test_corpus();
+        let cfg = small_config();
+        let (a, _) = build_training_set(&corpus, &cfg);
+        let (b, _) = build_training_set(&corpus, &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.examples.iter().zip(&b.examples) {
+            assert_eq!((&x.u, &x.v, x.label), (&y.u, &y.v, y.label));
+        }
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_set() {
+        let corpus = Corpus::new();
+        let (set, _) = build_training_set(&corpus, &small_config());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn compatible_column_test_rejects_mixed_formats() {
+        let corpus = test_corpus();
+        let cfg = small_config();
+        let crude = LanguageStats::build(crude_language(), &corpus, &cfg.stats);
+        assert!(!is_compatible_column(
+            &["2011-01-01", "2011/02/02"],
+            &crude,
+            cfg.npmi,
+            cfg.compat_threshold,
+            12
+        ));
+        assert!(is_compatible_column(
+            &["2011-01-01", "2012-03-04"],
+            &crude,
+            cfg.npmi,
+            cfg.compat_threshold,
+            12
+        ));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for calibration, selection, and DT aggregation.
+
+use adt_core::{
+    calibrate_language, dt_optimize, greedy_select, selection::bruteforce_select,
+    CandidateSummary, DtProblem, Example, Label, TrainingSet,
+};
+use proptest::prelude::*;
+
+fn training_and_scores(
+    n: usize,
+) -> impl Strategy<Value = (TrainingSet, Vec<f64>)> {
+    (
+        proptest::collection::vec(any::<bool>(), n..=n),
+        proptest::collection::vec(-1.0f64..1.0, n..=n),
+    )
+        .prop_map(|(neg, scores)| {
+            let examples = neg
+                .iter()
+                .enumerate()
+                .map(|(i, &is_neg)| Example {
+                    u: format!("u{i}"),
+                    v: format!("v{i}"),
+                    label: if is_neg {
+                        Label::Incompatible
+                    } else {
+                        Label::Compatible
+                    },
+                })
+                .collect();
+            (TrainingSet { examples }, scores)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Equation 7: the calibrated threshold always meets the precision
+    /// target, and every covered negative really scores <= theta.
+    #[test]
+    fn calibration_meets_precision_target(
+        (set, scores) in training_and_scores(60),
+        target in 0.5f64..1.0,
+    ) {
+        let cal = calibrate_language(&set, &scores, target, 64);
+        if let Some(theta) = cal.theta {
+            prop_assert!(theta < 0.0, "thresholds range over negative scores");
+            prop_assert!(cal.precision_at_theta >= target);
+            for &idx in &cal.covered_negatives {
+                prop_assert!(scores[idx as usize] <= theta);
+                prop_assert_eq!(set.examples[idx as usize].label, Label::Incompatible);
+            }
+            // Exhaustive recount of the precision at theta.
+            let flagged: Vec<usize> = (0..scores.len())
+                .filter(|&i| scores[i] <= theta)
+                .collect();
+            let neg = flagged
+                .iter()
+                .filter(|&&i| set.examples[i].label == Label::Incompatible)
+                .count();
+            let precision = neg as f64 / flagged.len().max(1) as f64;
+            prop_assert!((precision - cal.precision_at_theta).abs() < 1e-9);
+        }
+    }
+
+    /// Coverage maximality: no other negative cutoff meeting the target
+    /// covers more negatives than the calibrated theta.
+    #[test]
+    fn calibration_is_coverage_maximal(
+        (set, scores) in training_and_scores(40),
+        target in 0.5f64..1.0,
+    ) {
+        let cal = calibrate_language(&set, &scores, target, 256);
+        let best = cal.coverage();
+        let mut cutoffs: Vec<f64> = scores.iter().copied().filter(|&s| s < 0.0).collect();
+        cutoffs.sort_by(f64::total_cmp);
+        cutoffs.dedup();
+        for t in cutoffs {
+            let flagged: Vec<usize> = (0..scores.len()).filter(|&i| scores[i] <= t).collect();
+            let neg = flagged
+                .iter()
+                .filter(|&&i| set.examples[i].label == Label::Incompatible)
+                .count();
+            let precision = neg as f64 / flagged.len().max(1) as f64;
+            if precision >= target {
+                prop_assert!(neg <= best, "cutoff {t} covers {neg} > calibrated {best}");
+            }
+        }
+    }
+
+    /// Greedy selection respects the budget and meets the 1/2(1-1/e)
+    /// approximation bound against brute force.
+    #[test]
+    fn greedy_meets_bound(
+        sizes in proptest::collection::vec(1usize..40, 2..8),
+        seeds in proptest::collection::vec(0u32..12, 2..8),
+        budget in 10usize..120,
+    ) {
+        let n = sizes.len().min(seeds.len());
+        let candidates: Vec<CandidateSummary> = (0..n)
+            .map(|i| CandidateSummary {
+                index: i,
+                size_bytes: sizes[i],
+                covered_negatives: (0..10u32)
+                    .filter(|x| (x + seeds[i]) % 5 < 2)
+                    .collect(),
+            })
+            .collect();
+        let greedy = greedy_select(&candidates, budget);
+        prop_assert!(greedy.total_bytes <= budget);
+        let opt = bruteforce_select(&candidates, budget);
+        let bound = 0.5 * (1.0 - (-1.0f64).exp()) * opt.union_coverage as f64;
+        prop_assert!(greedy.union_coverage as f64 >= bound);
+    }
+
+    /// DT aggregation never reports a solution violating precision or
+    /// budget, and dominates any of its languages calibrated alone.
+    #[test]
+    fn dt_solution_is_sound(
+        (set, scores_a) in training_and_scores(40),
+        scores_b in proptest::collection::vec(-1.0f64..1.0, 40..=40),
+        target in 0.6f64..0.95,
+    ) {
+        let problem = DtProblem::new(&set, vec![scores_a.clone(), scores_b], vec![10, 10]);
+        let sol = dt_optimize(&problem, target, 100, 3);
+        prop_assert!(sol.total_bytes <= 100);
+        if !sol.selected.is_empty() {
+            prop_assert!(sol.precision >= target);
+        }
+        // Against single-language ST on language 0.
+        let cal = calibrate_language(&set, &scores_a, target, 64);
+        prop_assert!(sol.coverage >= cal.coverage());
+    }
+}

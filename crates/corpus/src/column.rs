@@ -1,0 +1,166 @@
+//! The column data model.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Which corpus a column came from (Table 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SourceTag {
+    /// Web-table corpus (the paper's 350M-column WEB).
+    Web,
+    /// Wikipedia subset (WIKI).
+    Wiki,
+    /// Public spreadsheets (Pub-XLS).
+    PubXls,
+    /// Enterprise spreadsheets (Ent-XLS).
+    EntXls,
+    /// Hand-labeled CSV benchmark files.
+    Csv,
+    /// Loaded from a local file at runtime.
+    Local,
+}
+
+/// A single table column: an ordered list of cell values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Optional header cell.
+    pub header: Option<String>,
+    /// Cell values, in row order.
+    pub values: Vec<String>,
+    /// Provenance tag.
+    pub source: SourceTag,
+}
+
+impl Column {
+    /// A headerless column from values.
+    pub fn new(values: Vec<String>, source: SourceTag) -> Self {
+        Column {
+            header: None,
+            values,
+            source,
+        }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn from_strs(values: &[&str], source: SourceTag) -> Self {
+        Column::new(values.iter().map(|s| s.to_string()).collect(), source)
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Distinct cell values, sorted (deterministic iteration matters for
+    /// reproducible statistics).
+    pub fn distinct_values(&self) -> Vec<&str> {
+        let set: BTreeSet<&str> = self.values.iter().map(|s| s.as_str()).collect();
+        set.into_iter().collect()
+    }
+
+    /// Drops empty cells and trims nothing; returns the surviving values.
+    /// Mirrors the paper's "simple pruning" when extracting corpus columns.
+    pub fn non_empty_values(&self) -> impl Iterator<Item = &str> {
+        self.values
+            .iter()
+            .map(|s| s.as_str())
+            .filter(|s| !s.is_empty())
+    }
+}
+
+/// A column with exact error labels, produced by the generator/injector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabeledColumn {
+    /// The (possibly dirty) column.
+    pub column: Column,
+    /// Row indices of the injected/errored cells; empty means clean.
+    pub error_rows: Vec<usize>,
+    /// Human-readable description of the injected error, if any.
+    pub error_note: Option<String>,
+}
+
+impl LabeledColumn {
+    /// A clean labeled column.
+    pub fn clean(column: Column) -> Self {
+        LabeledColumn {
+            column,
+            error_rows: Vec::new(),
+            error_note: None,
+        }
+    }
+
+    /// True when the column carries at least one labeled error.
+    pub fn is_dirty(&self) -> bool {
+        !self.error_rows.is_empty()
+    }
+
+    /// True when row `i` is a labeled error.
+    pub fn is_error_row(&self, i: usize) -> bool {
+        self.error_rows.contains(&i)
+    }
+
+    /// True when value `v` appears only at labeled error rows.
+    ///
+    /// Ranked-prediction evaluation identifies predictions by value, so a
+    /// predicted value counts as a true error only if every occurrence of it
+    /// in the column is a labeled error cell.
+    pub fn is_error_value(&self, v: &str) -> bool {
+        let mut seen = false;
+        for (i, cell) in self.column.values.iter().enumerate() {
+            if cell == v {
+                seen = true;
+                if !self.error_rows.contains(&i) {
+                    return false;
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_values_sorted_and_deduped() {
+        let c = Column::from_strs(&["b", "a", "b", "c", "a"], SourceTag::Web);
+        assert_eq!(c.distinct_values(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn non_empty_filters_blanks() {
+        let c = Column::from_strs(&["x", "", "y", ""], SourceTag::Web);
+        let vals: Vec<&str> = c.non_empty_values().collect();
+        assert_eq!(vals, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn labeled_error_value_requires_all_occurrences_labeled() {
+        let c = Column::from_strs(&["1", "2", "1"], SourceTag::Wiki);
+        let l = LabeledColumn {
+            column: c,
+            error_rows: vec![0],
+            error_note: None,
+        };
+        // "1" appears at rows 0 and 2 but only row 0 is labeled.
+        assert!(!l.is_error_value("1"));
+        assert!(!l.is_error_value("2"));
+        assert!(!l.is_error_value("3"));
+
+        let l2 = LabeledColumn {
+            column: Column::from_strs(&["1", "2", "1x"], SourceTag::Wiki),
+            error_rows: vec![2],
+            error_note: Some("typo".into()),
+        };
+        assert!(l2.is_error_value("1x"));
+        assert!(l2.is_dirty());
+        assert!(l2.is_error_row(2));
+        assert!(!l2.is_error_row(0));
+    }
+}

@@ -1,0 +1,272 @@
+//! The corpus container: a bag of columns with persistence and sampling.
+
+use crate::column::{Column, SourceTag};
+use rand::prelude::IndexedRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// A corpus of table columns (the paper's `C`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Corpus {
+    columns: Vec<Column>,
+}
+
+impl Corpus {
+    /// Empty corpus.
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Corpus from existing columns.
+    pub fn from_columns(columns: Vec<Column>) -> Self {
+        Corpus { columns }
+    }
+
+    /// Adds a column.
+    pub fn push(&mut self, c: Column) {
+        self.columns.push(c);
+    }
+
+    /// Merges another corpus into this one (used to train on WEB ∪ Pub-XLS
+    /// as the paper's default configuration does).
+    pub fn extend_from(&mut self, other: Corpus) {
+        self.columns.extend(other.columns);
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Total number of cells across all columns.
+    pub fn total_cells(&self) -> usize {
+        self.columns.iter().map(|c| c.len()).sum()
+    }
+
+    /// Uniform random sample of `n` columns (without replacement when
+    /// possible); deterministic given the RNG.
+    pub fn sample<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<&Column> {
+        if n >= self.columns.len() {
+            return self.columns.iter().collect();
+        }
+        let mut idx: Vec<usize> = (0..self.columns.len()).collect();
+        // Partial Fisher-Yates: shuffle only the prefix we need.
+        for i in 0..n {
+            let j = rng.random_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx[..n].iter().map(|&i| &self.columns[i]).collect()
+    }
+
+    /// One uniformly random column.
+    pub fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Column> {
+        self.columns.choose(rng)
+    }
+
+    /// Writes the corpus in a newline-oriented text format:
+    /// each column is `#column <source>` followed by one escaped value per
+    /// line, terminated by a blank line.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(f);
+        for c in &self.columns {
+            writeln!(w, "#column {}", source_tag_str(c.source))?;
+            if let Some(h) = &c.header {
+                writeln!(w, "#header {}", escape(h))?;
+            }
+            for v in &c.values {
+                writeln!(w, "{}", escape(v))?;
+            }
+            writeln!(w)?;
+        }
+        w.flush()
+    }
+
+    /// Reads a corpus written by [`Corpus::save`].
+    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let f = std::fs::File::open(path)?;
+        let r = io::BufReader::new(f);
+        let mut corpus = Corpus::new();
+        let mut cur: Option<Column> = None;
+        for line in r.lines() {
+            let line = line?;
+            if let Some(rest) = line.strip_prefix("#column ") {
+                if let Some(c) = cur.take() {
+                    corpus.push(c);
+                }
+                cur = Some(Column::new(Vec::new(), parse_source_tag(rest)));
+            } else if let Some(rest) = line.strip_prefix("#header ") {
+                if let Some(c) = cur.as_mut() {
+                    c.header = Some(unescape(rest));
+                }
+            } else if line.is_empty() {
+                if let Some(c) = cur.take() {
+                    corpus.push(c);
+                }
+            } else if let Some(c) = cur.as_mut() {
+                c.values.push(unescape(&line));
+            }
+        }
+        if let Some(c) = cur.take() {
+            corpus.push(c);
+        }
+        Ok(corpus)
+    }
+}
+
+fn source_tag_str(t: SourceTag) -> &'static str {
+    match t {
+        SourceTag::Web => "web",
+        SourceTag::Wiki => "wiki",
+        SourceTag::PubXls => "pubxls",
+        SourceTag::EntXls => "entxls",
+        SourceTag::Csv => "csv",
+        SourceTag::Local => "local",
+    }
+}
+
+fn parse_source_tag(s: &str) -> SourceTag {
+    match s {
+        "wiki" => SourceTag::Wiki,
+        "pubxls" => SourceTag::PubXls,
+        "entxls" => SourceTag::EntXls,
+        "csv" => SourceTag::Csv,
+        "local" => SourceTag::Local,
+        _ => SourceTag::Web,
+    }
+}
+
+/// Escapes newlines, backslashes, and a leading `#` so values round-trip
+/// through the line-oriented format.
+fn escape(s: &str) -> String {
+    if s.is_empty() {
+        // A blank line terminates a column, so the empty value needs a
+        // dedicated escape.
+        return "\\e".to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    if out.starts_with('#') {
+        out.insert(0, '\\');
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    if s == "\\e" {
+        return String::new();
+    }
+    let s = s.strip_prefix("\\#").map(|r| format!("#{r}")).unwrap_or_else(|| s.to_string());
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn push_and_stats() {
+        let mut c = Corpus::new();
+        c.push(Column::from_strs(&["a", "b"], SourceTag::Web));
+        c.push(Column::from_strs(&["1", "2", "3"], SourceTag::Wiki));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.total_cells(), 5);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn sample_without_replacement() {
+        let mut c = Corpus::new();
+        for i in 0..100 {
+            c.push(Column::from_strs(&[&i.to_string()], SourceTag::Web));
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = c.sample(10, &mut rng);
+        assert_eq!(s.len(), 10);
+        let mut firsts: Vec<&str> = s.iter().map(|c| c.values[0].as_str()).collect();
+        firsts.sort_unstable();
+        firsts.dedup();
+        assert_eq!(firsts.len(), 10, "sampling must be without replacement");
+    }
+
+    #[test]
+    fn sample_more_than_available_returns_all() {
+        let mut c = Corpus::new();
+        c.push(Column::from_strs(&["a"], SourceTag::Web));
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(c.sample(10, &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("adt_corpus_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.cor");
+        let mut c = Corpus::new();
+        let mut col = Column::from_strs(&["a\\b", "line\nbreak", "#hash", ""], SourceTag::EntXls);
+        col.header = Some("My Header".into());
+        c.push(col);
+        c.push(Column::from_strs(&["plain"], SourceTag::Csv));
+        c.save(&path).unwrap();
+        let back = Corpus::load(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.columns()[0].header.as_deref(), Some("My Header"));
+        assert_eq!(back.columns()[0].values, c.columns()[0].values);
+        assert_eq!(back.columns()[1].source, SourceTag::Csv);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        for s in ["", "#x", "\\", "a\\nb", "\n", "normal"] {
+            assert_eq!(unescape(&escape(s)), s, "failed for {s:?}");
+        }
+    }
+
+    #[test]
+    fn merge_corpora() {
+        let mut a = Corpus::from_columns(vec![Column::from_strs(&["1"], SourceTag::Web)]);
+        let b = Corpus::from_columns(vec![Column::from_strs(&["2"], SourceTag::PubXls)]);
+        a.extend_from(b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Loading delimited files into columns.
+//!
+//! A small, dependency-free CSV reader sufficient for the example binaries
+//! and the CSV benchmark set: quoted fields with embedded delimiters,
+//! doubled-quote escapes, CR/LF line endings.
+
+use crate::column::{Column, SourceTag};
+use std::io;
+use std::path::Path;
+
+/// Parses one CSV record (already split on record boundary) into fields.
+fn parse_record(line: &str, delim: char) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else if c == '"' && cur.is_empty() {
+            in_quotes = true;
+        } else if c == delim {
+            fields.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Splits raw CSV text into records, honoring quoted newlines.
+fn split_records(text: &str) -> Vec<String> {
+    let mut records = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for c in text.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                cur.push(c);
+            }
+            '\n' if !in_quotes => {
+                if cur.ends_with('\r') {
+                    cur.pop();
+                }
+                records.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        if cur.ends_with('\r') {
+            cur.pop();
+        }
+        records.push(cur);
+    }
+    records
+}
+
+/// Parses CSV text into columns. When `has_header` is set, the first
+/// record becomes the column headers.
+pub fn columns_from_csv_text(text: &str, delim: char, has_header: bool) -> Vec<Column> {
+    let records = split_records(text);
+    let mut rows: Vec<Vec<String>> = records
+        .iter()
+        .filter(|r| !r.is_empty())
+        .map(|r| parse_record(r, delim))
+        .collect();
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let headers: Option<Vec<String>> = if has_header {
+        Some(rows.remove(0))
+    } else {
+        None
+    };
+    let width = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut columns: Vec<Column> = (0..width)
+        .map(|i| {
+            let mut c = Column::new(Vec::new(), SourceTag::Local);
+            if let Some(h) = &headers {
+                c.header = h.get(i).cloned();
+            }
+            c
+        })
+        .collect();
+    for row in &rows {
+        for (i, col) in columns.iter_mut().enumerate() {
+            col.values.push(row.get(i).cloned().unwrap_or_default());
+        }
+    }
+    columns
+}
+
+/// Loads a CSV file into columns.
+pub fn load_csv<P: AsRef<Path>>(path: P, delim: char, has_header: bool) -> io::Result<Vec<Column>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(columns_from_csv_text(&text, delim, has_header))
+}
+
+/// Writes columns back out as CSV (used by examples to persist findings).
+pub fn columns_to_csv_text(columns: &[Column], delim: char) -> String {
+    let mut out = String::new();
+    let has_headers = columns.iter().any(|c| c.header.is_some());
+    let quote = |s: &str| -> String {
+        if s.contains(delim) || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    if has_headers {
+        let row: Vec<String> = columns
+            .iter()
+            .map(|c| quote(c.header.as_deref().unwrap_or("")))
+            .collect();
+        out.push_str(&row.join(&delim.to_string()));
+        out.push('\n');
+    }
+    let height = columns.iter().map(|c| c.len()).max().unwrap_or(0);
+    for i in 0..height {
+        let row: Vec<String> = columns
+            .iter()
+            .map(|c| quote(c.values.get(i).map(|s| s.as_str()).unwrap_or("")))
+            .collect();
+        out.push_str(&row.join(&delim.to_string()));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_parse() {
+        let cols = columns_from_csv_text("a,b\n1,2\n3,4\n", ',', true);
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].header.as_deref(), Some("a"));
+        assert_eq!(cols[0].values, vec!["1", "3"]);
+        assert_eq!(cols[1].values, vec!["2", "4"]);
+    }
+
+    #[test]
+    fn quoted_fields_with_delims_and_quotes() {
+        let cols = columns_from_csv_text("\"x,y\",\"he said \"\"hi\"\"\"\n1,2\n", ',', false);
+        assert_eq!(cols[0].values[0], "x,y");
+        assert_eq!(cols[1].values[0], "he said \"hi\"");
+    }
+
+    #[test]
+    fn quoted_newline() {
+        let cols = columns_from_csv_text("\"line1\nline2\",b\n", ',', false);
+        assert_eq!(cols[0].values[0], "line1\nline2");
+        assert_eq!(cols[1].values[0], "b");
+    }
+
+    #[test]
+    fn crlf_handled() {
+        let cols = columns_from_csv_text("a,b\r\n1,2\r\n", ',', true);
+        assert_eq!(cols[0].values, vec!["1"]);
+    }
+
+    #[test]
+    fn ragged_rows_padded() {
+        let cols = columns_from_csv_text("1,2,3\n4\n", ',', false);
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols[1].values, vec!["2", ""]);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let text = "h1,h2\nplain,\"with,comma\"\n\"q\"\"uote\",x\n";
+        let cols = columns_from_csv_text(text, ',', true);
+        let back = columns_to_csv_text(&cols, ',');
+        let cols2 = columns_from_csv_text(&back, ',', true);
+        assert_eq!(cols, cols2);
+    }
+
+    #[test]
+    fn tab_delimited() {
+        let cols = columns_from_csv_text("1\t2\n3\t4\n", '\t', false);
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[1].values, vec!["2", "4"]);
+    }
+}

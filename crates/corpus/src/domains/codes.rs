@@ -1,0 +1,133 @@
+//! Code, identifier, phone, and address-fragment generators.
+
+use rand::Rng;
+
+pub fn alnum_code<R: Rng>(rng: &mut R) -> String {
+    let a = rng.random_range(b'A'..=b'Z') as char;
+    let b = rng.random_range(b'A'..=b'Z') as char;
+    format!("{a}{b}-{:04}", rng.random_range(0..10_000u32))
+}
+
+pub fn zip_us<R: Rng>(rng: &mut R) -> String {
+    format!("{:05}", rng.random_range(501..99_951u32))
+}
+
+pub fn zip_plus4<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{:05}-{:04}",
+        rng.random_range(501..99_951u32),
+        rng.random_range(0..10_000u32)
+    )
+}
+
+fn phone_parts<R: Rng>(rng: &mut R) -> (u32, u32, u32) {
+    (
+        rng.random_range(200..1000u32),
+        rng.random_range(200..1000u32),
+        rng.random_range(0..10_000u32),
+    )
+}
+
+pub fn phone_paren<R: Rng>(rng: &mut R) -> String {
+    let (a, b, c) = phone_parts(rng);
+    format!("({a}) {b}-{c:04}")
+}
+
+pub fn phone_dash<R: Rng>(rng: &mut R) -> String {
+    let (a, b, c) = phone_parts(rng);
+    format!("{a}-{b}-{c:04}")
+}
+
+pub fn phone_intl<R: Rng>(rng: &mut R) -> String {
+    let (a, b, c) = phone_parts(rng);
+    format!("+1 {a} {b} {c:04}")
+}
+
+pub fn isbn<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "978-{}-{:02}-{:06}-{}",
+        rng.random_range(0..10u32),
+        rng.random_range(0..100u32),
+        rng.random_range(0..1_000_000u32),
+        rng.random_range(0..10u32)
+    )
+}
+
+pub fn ipv4<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        rng.random_range(1..256u32),
+        rng.random_range(0..256u32),
+        rng.random_range(0..256u32),
+        rng.random_range(1..255u32)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn zip_is_five_digits() {
+        let mut r = rng();
+        for _ in 0..30 {
+            let z = zip_us(&mut r);
+            assert_eq!(z.len(), 5);
+            assert!(z.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn phone_formats_differ() {
+        let mut a = rng();
+        let mut b = rng();
+        let p1 = phone_paren(&mut a);
+        let p2 = phone_dash(&mut b);
+        assert!(p1.starts_with('('));
+        assert!(!p2.contains('('));
+        assert_eq!(p2.matches('-').count(), 2);
+    }
+
+    #[test]
+    fn intl_phone_has_plus() {
+        let mut r = rng();
+        assert!(phone_intl(&mut r).starts_with("+1 "));
+    }
+
+    #[test]
+    fn ipv4_has_four_octets() {
+        let mut r = rng();
+        for _ in 0..30 {
+            let ip = ipv4(&mut r);
+            let parts: Vec<&str> = ip.split('.').collect();
+            assert_eq!(parts.len(), 4);
+            for p in parts {
+                let n: u32 = p.parse().unwrap();
+                assert!(n < 256);
+            }
+        }
+    }
+
+    #[test]
+    fn isbn_shape() {
+        let mut r = rng();
+        let i = isbn(&mut r);
+        assert!(i.starts_with("978-"));
+        assert_eq!(i.matches('-').count(), 4);
+    }
+
+    #[test]
+    fn alnum_code_shape() {
+        let mut r = rng();
+        let c = alnum_code(&mut r);
+        assert_eq!(c.len(), 7);
+        assert!(c.chars().take(2).all(|ch| ch.is_ascii_uppercase()));
+        assert_eq!(&c[2..3], "-");
+    }
+}

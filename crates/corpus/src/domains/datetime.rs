@@ -1,0 +1,178 @@
+//! Date, time, and duration value generators.
+
+use rand::prelude::IndexedRandom;
+use rand::Rng;
+
+pub(crate) const MONTHS: [&str; 12] = [
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
+];
+
+pub(crate) const MONTHS_ABBR: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+fn ymd<R: Rng>(rng: &mut R) -> (u32, u32, u32) {
+    (
+        rng.random_range(1900..=2025),
+        rng.random_range(1..=12),
+        rng.random_range(1..=28),
+    )
+}
+
+pub fn date_iso<R: Rng>(rng: &mut R) -> String {
+    let (y, m, d) = ymd(rng);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+pub fn date_slash_ymd<R: Rng>(rng: &mut R) -> String {
+    let (y, m, d) = ymd(rng);
+    format!("{y:04}/{m:02}/{d:02}")
+}
+
+pub fn date_dot_ymd<R: Rng>(rng: &mut R) -> String {
+    let (y, m, d) = ymd(rng);
+    format!("{y:04}.{m:02}.{d:02}")
+}
+
+pub fn date_dmy_slash<R: Rng>(rng: &mut R) -> String {
+    let (y, m, d) = ymd(rng);
+    format!("{d:02}/{m:02}/{y:04}")
+}
+
+pub fn date_dmy_dash<R: Rng>(rng: &mut R) -> String {
+    let (y, m, d) = ymd(rng);
+    format!("{d:02}-{m:02}-{y:04}")
+}
+
+pub fn date_month_d_y<R: Rng>(rng: &mut R) -> String {
+    let (y, m, d) = ymd(rng);
+    format!("{} {d}, {y}", MONTHS[(m - 1) as usize])
+}
+
+pub fn date_d_mon_y<R: Rng>(rng: &mut R) -> String {
+    let (y, m, d) = ymd(rng);
+    format!("{d} {} {y}", MONTHS_ABBR[(m - 1) as usize])
+}
+
+pub fn date_mon_yy<R: Rng>(rng: &mut R) -> String {
+    let (y, m, _) = ymd(rng);
+    format!("{}-{:02}", MONTHS_ABBR[(m - 1) as usize], y % 100)
+}
+
+pub fn year_month_dash<R: Rng>(rng: &mut R) -> String {
+    let (y, m, _) = ymd(rng);
+    format!("{y:04}-{m:02}")
+}
+
+pub fn year<R: Rng>(rng: &mut R) -> String {
+    format!("{}", rng.random_range(1800..=2025))
+}
+
+pub fn year_range<R: Rng>(rng: &mut R) -> String {
+    let y = rng.random_range(1900..=2024);
+    format!("{}-{:02}", y, (y + 1) % 100)
+}
+
+pub fn month_name<R: Rng>(rng: &mut R) -> String {
+    (*MONTHS.choose(rng).expect("non-empty")).to_string()
+}
+
+pub fn time_hm<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{:02}:{:02}",
+        rng.random_range(0..24),
+        rng.random_range(0..60)
+    )
+}
+
+pub fn time_hms<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{:02}:{:02}:{:02}",
+        rng.random_range(0..24),
+        rng.random_range(0..60),
+        rng.random_range(0..60)
+    )
+}
+
+pub fn duration_ms<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{}:{:02}",
+        rng.random_range(0..10),
+        rng.random_range(0..60)
+    )
+}
+
+pub fn duration_hms<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{}:{:02}:{:02}",
+        rng.random_range(1..4),
+        rng.random_range(0..60),
+        rng.random_range(0..60)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn iso_shape() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = date_iso(&mut r);
+            assert_eq!(v.len(), 10);
+            assert_eq!(&v[4..5], "-");
+            assert_eq!(&v[7..8], "-");
+        }
+    }
+
+    #[test]
+    fn slash_vs_iso_differ_only_in_separator() {
+        let mut a = rng();
+        let mut b = rng();
+        let x = date_iso(&mut a);
+        let y = date_slash_ymd(&mut b);
+        assert_eq!(x.replace('-', "/"), y);
+    }
+
+    #[test]
+    fn month_d_y_contains_comma_and_month() {
+        let mut r = rng();
+        let v = date_month_d_y(&mut r);
+        assert!(v.contains(','));
+        assert!(MONTHS.iter().any(|m| v.starts_with(m)));
+    }
+
+    #[test]
+    fn durations_have_colon() {
+        let mut r = rng();
+        assert!(duration_ms(&mut r).contains(':'));
+        assert_eq!(duration_hms(&mut r).matches(':').count(), 2);
+    }
+
+    #[test]
+    fn year_in_range() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let y: u32 = year(&mut r).parse().unwrap();
+            assert!((1800..=2025).contains(&y));
+        }
+    }
+}

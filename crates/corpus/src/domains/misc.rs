@@ -1,0 +1,112 @@
+//! Miscellaneous domains: scores, placeholders, booleans, grades, versions,
+//! coordinates.
+
+use rand::prelude::IndexedRandom;
+use rand::Rng;
+
+pub fn score_dash<R: Rng>(rng: &mut R) -> String {
+    format!("{}-{}", rng.random_range(0..10u32), rng.random_range(0..10u32))
+}
+
+pub fn score_colon<R: Rng>(rng: &mut R) -> String {
+    format!("{}:{}", rng.random_range(0..10u32), rng.random_range(0..10u32))
+}
+
+const PLACEHOLDERS: [&str; 5] = ["N/A", "-", "TBD", "n/a", "?"];
+
+pub fn placeholder<R: Rng>(rng: &mut R) -> String {
+    (*PLACEHOLDERS.choose(rng).expect("non-empty")).to_string()
+}
+
+pub fn bool_yes_no<R: Rng>(rng: &mut R) -> String {
+    if rng.random_bool(0.5) { "Yes" } else { "No" }.to_string()
+}
+
+const GRADES: [&str; 12] = [
+    "A+", "A", "A-", "B+", "B", "B-", "C+", "C", "C-", "D+", "D", "F",
+];
+
+pub fn grade<R: Rng>(rng: &mut R) -> String {
+    (*GRADES.choose(rng).expect("non-empty")).to_string()
+}
+
+pub fn version<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{}.{}.{}",
+        rng.random_range(0..10u32),
+        rng.random_range(0..20u32),
+        rng.random_range(0..50u32)
+    )
+}
+
+pub fn weight_kg<R: Rng>(rng: &mut R) -> String {
+    format!("{} kg", rng.random_range(40..150u32))
+}
+
+pub fn weight_lb<R: Rng>(rng: &mut R) -> String {
+    format!("{} lb", rng.random_range(90..330u32))
+}
+
+pub fn coordinate<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{:.4}, {:.4}",
+        rng.random_range(-90.0..90.0f64),
+        rng.random_range(-180.0..180.0f64)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scores_are_single_digit_pairs() {
+        let mut r = StdRng::seed_from_u64(4);
+        let s = score_dash(&mut r);
+        assert_eq!(s.len(), 3);
+        assert_eq!(&s[1..2], "-");
+        let c = score_colon(&mut r);
+        assert_eq!(&c[1..2], ":");
+    }
+
+    #[test]
+    fn placeholders_from_fixed_set() {
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            assert!(PLACEHOLDERS.contains(&placeholder(&mut r).as_str()));
+        }
+    }
+
+    #[test]
+    fn version_three_parts() {
+        let mut r = StdRng::seed_from_u64(4);
+        assert_eq!(version(&mut r).split('.').count(), 3);
+    }
+
+    #[test]
+    fn coordinate_in_bounds() {
+        let mut r = StdRng::seed_from_u64(4);
+        let c = coordinate(&mut r);
+        let parts: Vec<f64> = c.split(", ").map(|p| p.parse().unwrap()).collect();
+        assert!(parts[0].abs() <= 90.0);
+        assert!(parts[1].abs() <= 180.0);
+    }
+
+    #[test]
+    fn weights_have_units() {
+        let mut r = StdRng::seed_from_u64(4);
+        assert!(weight_kg(&mut r).ends_with(" kg"));
+        assert!(weight_lb(&mut r).ends_with(" lb"));
+    }
+
+    #[test]
+    fn bool_values() {
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let b = bool_yes_no(&mut r);
+            assert!(b == "Yes" || b == "No");
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Value-domain generators.
+//!
+//! Each [`DomainKind`] produces realistic cell values of one syntactic
+//! shape. Domains are grouped into [`Family`]s: two domains of the same
+//! family carry the *same semantics in different formats* (e.g. ISO dates
+//! vs slash dates), which is exactly the confusion the paper's error
+//! classes exploit — a format-swap error replaces a value with one from a
+//! sibling domain of the same family.
+
+mod codes;
+mod datetime;
+mod misc;
+mod numeric;
+mod text;
+mod web;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Semantic family of a domain; used to pick plausible format-swap errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    Date,
+    Time,
+    Integer,
+    Decimal,
+    Currency,
+    Percent,
+    Phone,
+    Score,
+    Duration,
+    Word,
+    Name,
+    Code,
+    Email,
+    Url,
+    Ip,
+    Zip,
+    Bool,
+    Grade,
+    Version,
+    Coordinate,
+    Unit,
+    Placeholder,
+    Month,
+    Ordinal,
+}
+
+/// All value domains produced by the synthetic corpus generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DomainKind {
+    // Dates in distinct formats (same family, never mixed within a column).
+    DateIso,        // 2011-01-01
+    DateSlashYmd,   // 2011/01/01
+    DateDotYmd,     // 2011.01.02
+    DateDmySlash,   // 27/11/2009
+    DateDmyDash,    // 27-11-2009
+    DateMonthDY,    // August 16, 1983
+    DateDMonY,      // 16 Aug 1983
+    DateMonYy,      // Jul-99
+    YearMonthDash,  // 2014-01
+    Year,           // 1983
+    YearRange,      // 1983-84
+    MonthName,      // July
+    TimeHm,         // 12:45
+    TimeHms,        // 12:45:30
+    DurationMs,     // 3:45  (song length)
+    DurationHms,    // 1:02:33
+    // Numbers.
+    SmallInt,       // 0..999
+    MediumInt,      // 0..99999, no separators
+    SeparatedInt,   // 1,234,567
+    Float1,         // 3.5
+    Float2,         // 12.34
+    SignedInt,      // -12
+    Percent,        // 12%
+    PercentDecimal, // 3.5%
+    CurrencyUsd,    // $1,234.56
+    CurrencyPlain,  // 1234.56 USD
+    ParenNegative,  // (1,234)
+    Ordinal,        // 1st, 22nd
+    Scientific,     // 1.2e5
+    // Text.
+    WordLower,      // apple
+    WordCapital,    // London
+    TwoWordsCap,    // New York
+    PersonName,     // John Smith
+    NameComma,      // Smith, John
+    UpperAcronym,   // USA
+    // Codes & identifiers.
+    AlnumCode,      // AB-1234
+    ZipUs,          // 98052
+    ZipPlus4,       // 98052-1234
+    PhoneParen,     // (425) 555-0123
+    PhoneDash,      // 425-555-0123
+    PhoneIntl,      // +1 425 555 0123
+    Isbn,           // 978-3-16-148410-0
+    IpV4,           // 192.168.0.1
+    // Web.
+    Email,          // jane@example.com
+    Url,            // http://example.com/page
+    DomainName,     // example.org
+    // Misc.
+    ScoreDash,      // 2-1
+    ScoreColon,     // 2:1
+    Placeholder,    // N/A, -, TBD
+    BoolYesNo,      // Yes / No
+    Grade,          // A+, B-
+    Version,        // 1.2.3
+    Coordinate,     // 47.6062, -122.3321
+    WeightKg,       // 76 kg
+    WeightLb,       // 168 lb
+}
+
+impl DomainKind {
+    /// All domains, in a fixed order.
+    pub const ALL: [DomainKind; 55] = [
+        DomainKind::DateIso,
+        DomainKind::DateSlashYmd,
+        DomainKind::DateDotYmd,
+        DomainKind::DateDmySlash,
+        DomainKind::DateDmyDash,
+        DomainKind::DateMonthDY,
+        DomainKind::DateDMonY,
+        DomainKind::DateMonYy,
+        DomainKind::YearMonthDash,
+        DomainKind::Year,
+        DomainKind::YearRange,
+        DomainKind::MonthName,
+        DomainKind::TimeHm,
+        DomainKind::TimeHms,
+        DomainKind::DurationMs,
+        DomainKind::DurationHms,
+        DomainKind::SmallInt,
+        DomainKind::MediumInt,
+        DomainKind::SeparatedInt,
+        DomainKind::Float1,
+        DomainKind::Float2,
+        DomainKind::SignedInt,
+        DomainKind::Percent,
+        DomainKind::PercentDecimal,
+        DomainKind::CurrencyUsd,
+        DomainKind::CurrencyPlain,
+        DomainKind::ParenNegative,
+        DomainKind::Ordinal,
+        DomainKind::Scientific,
+        DomainKind::WordLower,
+        DomainKind::WordCapital,
+        DomainKind::TwoWordsCap,
+        DomainKind::PersonName,
+        DomainKind::NameComma,
+        DomainKind::UpperAcronym,
+        DomainKind::AlnumCode,
+        DomainKind::ZipUs,
+        DomainKind::ZipPlus4,
+        DomainKind::PhoneParen,
+        DomainKind::PhoneDash,
+        DomainKind::PhoneIntl,
+        DomainKind::Isbn,
+        DomainKind::IpV4,
+        DomainKind::Email,
+        DomainKind::Url,
+        DomainKind::DomainName,
+        DomainKind::ScoreDash,
+        DomainKind::ScoreColon,
+        DomainKind::Placeholder,
+        DomainKind::BoolYesNo,
+        DomainKind::Grade,
+        DomainKind::Version,
+        DomainKind::Coordinate,
+        DomainKind::WeightKg,
+        DomainKind::WeightLb,
+    ];
+
+    /// Samples one value of this domain.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> String {
+        use DomainKind::*;
+        match self {
+            DateIso => datetime::date_iso(rng),
+            DateSlashYmd => datetime::date_slash_ymd(rng),
+            DateDotYmd => datetime::date_dot_ymd(rng),
+            DateDmySlash => datetime::date_dmy_slash(rng),
+            DateDmyDash => datetime::date_dmy_dash(rng),
+            DateMonthDY => datetime::date_month_d_y(rng),
+            DateDMonY => datetime::date_d_mon_y(rng),
+            DateMonYy => datetime::date_mon_yy(rng),
+            YearMonthDash => datetime::year_month_dash(rng),
+            Year => datetime::year(rng),
+            YearRange => datetime::year_range(rng),
+            MonthName => datetime::month_name(rng),
+            TimeHm => datetime::time_hm(rng),
+            TimeHms => datetime::time_hms(rng),
+            DurationMs => datetime::duration_ms(rng),
+            DurationHms => datetime::duration_hms(rng),
+            SmallInt => numeric::small_int(rng),
+            MediumInt => numeric::medium_int(rng),
+            SeparatedInt => numeric::separated_int(rng),
+            Float1 => numeric::float1(rng),
+            Float2 => numeric::float2(rng),
+            SignedInt => numeric::signed_int(rng),
+            Percent => numeric::percent(rng),
+            PercentDecimal => numeric::percent_decimal(rng),
+            CurrencyUsd => numeric::currency_usd(rng),
+            CurrencyPlain => numeric::currency_plain(rng),
+            ParenNegative => numeric::paren_negative(rng),
+            Ordinal => numeric::ordinal(rng),
+            Scientific => numeric::scientific(rng),
+            WordLower => text::word_lower(rng),
+            WordCapital => text::word_capital(rng),
+            TwoWordsCap => text::two_words_cap(rng),
+            PersonName => text::person_name(rng),
+            NameComma => text::name_comma(rng),
+            UpperAcronym => text::upper_acronym(rng),
+            AlnumCode => codes::alnum_code(rng),
+            ZipUs => codes::zip_us(rng),
+            ZipPlus4 => codes::zip_plus4(rng),
+            PhoneParen => codes::phone_paren(rng),
+            PhoneDash => codes::phone_dash(rng),
+            PhoneIntl => codes::phone_intl(rng),
+            Isbn => codes::isbn(rng),
+            IpV4 => codes::ipv4(rng),
+            Email => web::email(rng),
+            Url => web::url(rng),
+            DomainName => web::domain_name(rng),
+            ScoreDash => misc::score_dash(rng),
+            ScoreColon => misc::score_colon(rng),
+            Placeholder => misc::placeholder(rng),
+            BoolYesNo => misc::bool_yes_no(rng),
+            Grade => misc::grade(rng),
+            Version => misc::version(rng),
+            Coordinate => misc::coordinate(rng),
+            WeightKg => misc::weight_kg(rng),
+            WeightLb => misc::weight_lb(rng),
+        }
+    }
+
+    /// Semantic family (drives format-swap error injection).
+    pub fn family(&self) -> Family {
+        use DomainKind::*;
+        match self {
+            DateIso | DateSlashYmd | DateDotYmd | DateDmySlash | DateDmyDash | DateMonthDY
+            | DateDMonY | DateMonYy | YearMonthDash | Year | YearRange => Family::Date,
+            MonthName => Family::Month,
+            TimeHm | TimeHms => Family::Time,
+            DurationMs | DurationHms => Family::Duration,
+            SmallInt | MediumInt | SeparatedInt | SignedInt => Family::Integer,
+            Float1 | Float2 | Scientific => Family::Decimal,
+            Percent | PercentDecimal => Family::Percent,
+            CurrencyUsd | CurrencyPlain | ParenNegative => Family::Currency,
+            Ordinal => Family::Ordinal,
+            WordLower | WordCapital | TwoWordsCap | UpperAcronym => Family::Word,
+            PersonName | NameComma => Family::Name,
+            AlnumCode | Isbn => Family::Code,
+            ZipUs | ZipPlus4 => Family::Zip,
+            PhoneParen | PhoneDash | PhoneIntl => Family::Phone,
+            IpV4 => Family::Ip,
+            Email => Family::Email,
+            Url | DomainName => Family::Url,
+            ScoreDash | ScoreColon => Family::Score,
+            Placeholder => Family::Placeholder,
+            BoolYesNo => Family::Bool,
+            Grade => Family::Grade,
+            Version => Family::Version,
+            Coordinate => Family::Coordinate,
+            WeightKg | WeightLb => Family::Unit,
+        }
+    }
+
+    /// Sibling domains: same family, different format. Used by the
+    /// format-swap error injector.
+    pub fn siblings(&self) -> Vec<DomainKind> {
+        DomainKind::ALL
+            .iter()
+            .copied()
+            .filter(|d| d != self && d.family() == self.family())
+            .collect()
+    }
+
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        use DomainKind::*;
+        match self {
+            DateIso => "date_iso",
+            DateSlashYmd => "date_slash_ymd",
+            DateDotYmd => "date_dot_ymd",
+            DateDmySlash => "date_dmy_slash",
+            DateDmyDash => "date_dmy_dash",
+            DateMonthDY => "date_month_d_y",
+            DateDMonY => "date_d_mon_y",
+            DateMonYy => "date_mon_yy",
+            YearMonthDash => "year_month",
+            Year => "year",
+            YearRange => "year_range",
+            MonthName => "month_name",
+            TimeHm => "time_hm",
+            TimeHms => "time_hms",
+            DurationMs => "duration_ms",
+            DurationHms => "duration_hms",
+            SmallInt => "small_int",
+            MediumInt => "medium_int",
+            SeparatedInt => "separated_int",
+            Float1 => "float1",
+            Float2 => "float2",
+            SignedInt => "signed_int",
+            Percent => "percent",
+            PercentDecimal => "percent_decimal",
+            CurrencyUsd => "currency_usd",
+            CurrencyPlain => "currency_plain",
+            ParenNegative => "paren_negative",
+            Ordinal => "ordinal",
+            Scientific => "scientific",
+            WordLower => "word_lower",
+            WordCapital => "word_capital",
+            TwoWordsCap => "two_words_cap",
+            PersonName => "person_name",
+            NameComma => "name_comma",
+            UpperAcronym => "upper_acronym",
+            AlnumCode => "alnum_code",
+            ZipUs => "zip_us",
+            ZipPlus4 => "zip_plus4",
+            PhoneParen => "phone_paren",
+            PhoneDash => "phone_dash",
+            PhoneIntl => "phone_intl",
+            Isbn => "isbn",
+            IpV4 => "ipv4",
+            Email => "email",
+            Url => "url",
+            DomainName => "domain_name",
+            ScoreDash => "score_dash",
+            ScoreColon => "score_colon",
+            Placeholder => "placeholder",
+            BoolYesNo => "bool_yes_no",
+            Grade => "grade",
+            Version => "version",
+            Coordinate => "coordinate",
+            WeightKg => "weight_kg",
+            WeightLb => "weight_lb",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_domain_samples_nonempty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for d in DomainKind::ALL {
+            for _ in 0..20 {
+                let v = d.sample(&mut rng);
+                assert!(!v.is_empty(), "{} produced empty value", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = DomainKind::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn date_formats_are_siblings() {
+        let sibs = DomainKind::DateIso.siblings();
+        assert!(sibs.contains(&DomainKind::DateSlashYmd));
+        assert!(sibs.contains(&DomainKind::DateDotYmd));
+        assert!(!sibs.contains(&DomainKind::DateIso));
+        assert!(!sibs.contains(&DomainKind::TimeHm));
+    }
+
+    #[test]
+    fn phone_formats_are_siblings() {
+        let sibs = DomainKind::PhoneParen.siblings();
+        assert_eq!(sibs.len(), 2);
+        assert!(sibs.contains(&DomainKind::PhoneDash));
+        assert!(sibs.contains(&DomainKind::PhoneIntl));
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for d in DomainKind::ALL {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Word and name generators.
+
+use rand::prelude::IndexedRandom;
+use rand::Rng;
+
+const WORDS: [&str; 40] = [
+    "apple", "river", "stone", "cloud", "maple", "amber", "birch", "cedar", "delta", "ember",
+    "frost", "grove", "haven", "iris", "jade", "karst", "lotus", "mesa", "noble", "ocean",
+    "pearl", "quartz", "ridge", "sage", "tidal", "umbra", "vale", "willow", "xenon", "yarrow",
+    "zephyr", "basin", "crest", "dune", "fjord", "glade", "heath", "inlet", "knoll", "marsh",
+];
+
+const CITIES: [&str; 24] = [
+    "London", "Paris", "Berlin", "Madrid", "Rome", "Vienna", "Prague", "Dublin", "Lisbon",
+    "Athens", "Oslo", "Helsinki", "Warsaw", "Budapest", "Brussels", "Amsterdam", "Zurich",
+    "Geneva", "Munich", "Hamburg", "Milan", "Naples", "Porto", "Seville",
+];
+
+const CITY_PAIRS: [&str; 16] = [
+    "New York", "Los Angeles", "San Francisco", "Hong Kong", "Rio Grande", "Cape Town",
+    "Buenos Aires", "Kuala Lumpur", "San Diego", "Las Vegas", "New Delhi", "Tel Aviv",
+    "Abu Dhabi", "Addis Ababa", "Santa Fe", "Saint Paul",
+];
+
+const FIRST_NAMES: [&str; 20] = [
+    "John", "Jane", "Alice", "Robert", "Maria", "David", "Laura", "James", "Emma", "Michael",
+    "Sofia", "Daniel", "Olivia", "Thomas", "Julia", "Peter", "Anna", "Mark", "Clara", "Paul",
+];
+
+const LAST_NAMES: [&str; 20] = [
+    "Smith", "Johnson", "Brown", "Taylor", "Anderson", "Thomas", "Jackson", "White", "Harris",
+    "Martin", "Garcia", "Martinez", "Robinson", "Clark", "Lewis", "Lee", "Walker", "Hall",
+    "Young", "King",
+];
+
+const ACRONYMS: [&str; 16] = [
+    "USA", "NBA", "FIFA", "NASA", "WHO", "IMF", "EU", "UN", "CEO", "CFO", "GDP", "API", "SQL",
+    "XML", "PDF", "ISO",
+];
+
+pub fn word_lower<R: Rng>(rng: &mut R) -> String {
+    (*WORDS.choose(rng).expect("non-empty")).to_string()
+}
+
+pub fn word_capital<R: Rng>(rng: &mut R) -> String {
+    (*CITIES.choose(rng).expect("non-empty")).to_string()
+}
+
+pub fn two_words_cap<R: Rng>(rng: &mut R) -> String {
+    (*CITY_PAIRS.choose(rng).expect("non-empty")).to_string()
+}
+
+pub fn person_name<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{} {}",
+        FIRST_NAMES.choose(rng).expect("non-empty"),
+        LAST_NAMES.choose(rng).expect("non-empty")
+    )
+}
+
+pub fn name_comma<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{}, {}",
+        LAST_NAMES.choose(rng).expect("non-empty"),
+        FIRST_NAMES.choose(rng).expect("non-empty")
+    )
+}
+
+pub fn upper_acronym<R: Rng>(rng: &mut R) -> String {
+    (*ACRONYMS.choose(rng).expect("non-empty")).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn words_all_lowercase() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let w = word_lower(&mut r);
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn capitals_start_upper() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let w = word_capital(&mut r);
+            assert!(w.chars().next().unwrap().is_ascii_uppercase());
+            assert!(!w.contains(' '));
+        }
+    }
+
+    #[test]
+    fn two_words_have_space() {
+        let mut r = StdRng::seed_from_u64(3);
+        assert!(two_words_cap(&mut r).contains(' '));
+    }
+
+    #[test]
+    fn name_comma_format() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = name_comma(&mut r);
+        assert!(n.contains(", "));
+    }
+
+    #[test]
+    fn acronyms_all_upper() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            assert!(upper_acronym(&mut r)
+                .chars()
+                .all(|c| c.is_ascii_uppercase()));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Email, URL, and domain-name generators.
+
+use rand::prelude::IndexedRandom;
+use rand::Rng;
+
+const USERS: [&str; 12] = [
+    "jane", "john", "info", "sales", "admin", "support", "alice", "bob", "contact", "team",
+    "office", "hello",
+];
+
+const HOSTS: [&str; 12] = [
+    "example", "acme", "contoso", "fabrikam", "northwind", "initech", "globex", "umbrella",
+    "stark", "wayne", "hooli", "vandelay",
+];
+
+const TLDS: [&str; 6] = ["com", "org", "net", "io", "co", "edu"];
+
+const PATHS: [&str; 8] = [
+    "index", "about", "products", "news", "team", "docs", "blog", "contact",
+];
+
+pub fn email<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{}{}@{}.{}",
+        USERS.choose(rng).expect("non-empty"),
+        rng.random_range(0..100u32),
+        HOSTS.choose(rng).expect("non-empty"),
+        TLDS.choose(rng).expect("non-empty")
+    )
+}
+
+pub fn url<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "http://www.{}.{}/{}",
+        HOSTS.choose(rng).expect("non-empty"),
+        TLDS.choose(rng).expect("non-empty"),
+        PATHS.choose(rng).expect("non-empty")
+    )
+}
+
+pub fn domain_name<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{}.{}",
+        HOSTS.choose(rng).expect("non-empty"),
+        TLDS.choose(rng).expect("non-empty")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn email_has_at_and_dot() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let e = email(&mut r);
+            assert!(e.contains('@'));
+            assert!(e.split('@').nth(1).unwrap().contains('.'));
+        }
+    }
+
+    #[test]
+    fn url_has_scheme() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(url(&mut r).starts_with("http://"));
+    }
+
+    #[test]
+    fn domain_is_two_labels() {
+        let mut r = StdRng::seed_from_u64(2);
+        let d = domain_name(&mut r);
+        assert_eq!(d.split('.').count(), 2);
+    }
+}

@@ -1,0 +1,374 @@
+//! Error injection.
+//!
+//! Reproduces the paper's observed single-column error classes (Figures
+//! 1–2, Table 4) with exact ground-truth labels: format mixes (`2009` vs
+//! `27-11-2009`), trailing punctuation (`1865.`), extra whitespace,
+//! inconsistent separators (`2011.01.02` in an ISO-date column), digit
+//! typos, case flips, placeholder intrusions, truncations (`198.`), and
+//! European-decimal typos (`1,87`).
+
+use crate::column::{Column, LabeledColumn};
+use crate::domains::DomainKind;
+use rand::prelude::IndexedRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The classes of injected errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// Value replaced by a sibling-format value of the same family
+    /// (Figure 1(b)/(h): mixed dates; Figure 2(b): mixed phones).
+    FormatSwap,
+    /// Trailing `.` appended (Figure 1(a), Table 4 rows 4–6).
+    TrailingDot,
+    /// Trailing `,` appended.
+    TrailingComma,
+    /// A space doubled or injected (Figure 2(a)).
+    ExtraSpace,
+    /// One separator swapped for another (`-` → `/`, `.` → `,`).
+    SeparatorSwap,
+    /// A digit replaced by a look-alike letter (`0` → `O`, `1` → `l`).
+    DigitTypo,
+    /// Letter case flipped on the whole value.
+    CaseFlip,
+    /// A placeholder (`N/A`, `?`) dropped into a column whose group does
+    /// not legitimately contain placeholders.
+    PlaceholderIntrusion,
+    /// Final character(s) dropped, often leaving dangling punctuation
+    /// (`198.` in Table 4).
+    Truncation,
+    /// Decimal point replaced by comma (`1,87` in Table 4 row 8).
+    DecimalComma,
+    /// Leading whitespace added.
+    LeadingSpace,
+    /// A parenthetical annotation appended (`3:45 (live)` among plain
+    /// song lengths — Figure 1(f)).
+    ParenNote,
+}
+
+impl ErrorKind {
+    /// All kinds, for iteration in tests and reports.
+    pub const ALL: [ErrorKind; 12] = [
+        ErrorKind::FormatSwap,
+        ErrorKind::TrailingDot,
+        ErrorKind::TrailingComma,
+        ErrorKind::ExtraSpace,
+        ErrorKind::SeparatorSwap,
+        ErrorKind::DigitTypo,
+        ErrorKind::CaseFlip,
+        ErrorKind::PlaceholderIntrusion,
+        ErrorKind::Truncation,
+        ErrorKind::DecimalComma,
+        ErrorKind::LeadingSpace,
+        ErrorKind::ParenNote,
+    ];
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorKind::FormatSwap => "format_swap",
+            ErrorKind::TrailingDot => "trailing_dot",
+            ErrorKind::TrailingComma => "trailing_comma",
+            ErrorKind::ExtraSpace => "extra_space",
+            ErrorKind::SeparatorSwap => "separator_swap",
+            ErrorKind::DigitTypo => "digit_typo",
+            ErrorKind::CaseFlip => "case_flip",
+            ErrorKind::PlaceholderIntrusion => "placeholder_intrusion",
+            ErrorKind::Truncation => "truncation",
+            ErrorKind::DecimalComma => "decimal_comma",
+            ErrorKind::LeadingSpace => "leading_space",
+            ErrorKind::ParenNote => "paren_note",
+        }
+    }
+}
+
+/// Applies `kind` to `value`; `None` when the kind is not applicable.
+///
+/// `domain` is the domain the column was generated from (used by
+/// [`ErrorKind::FormatSwap`] to pick a sibling format).
+pub fn corrupt_value<R: Rng>(
+    value: &str,
+    domain: DomainKind,
+    kind: ErrorKind,
+    rng: &mut R,
+) -> Option<String> {
+    let out = match kind {
+        ErrorKind::FormatSwap => {
+            let sibs = domain.siblings();
+            let sib = sibs.choose(rng)?;
+            sib.sample(rng)
+        }
+        ErrorKind::TrailingDot => {
+            if value.ends_with('.') {
+                return None;
+            }
+            format!("{value}.")
+        }
+        ErrorKind::TrailingComma => {
+            if value.ends_with(',') {
+                return None;
+            }
+            format!("{value},")
+        }
+        ErrorKind::ExtraSpace => {
+            if let Some(pos) = value.find(' ') {
+                // Double an existing space.
+                let mut s = value.to_string();
+                s.insert(pos, ' ');
+                s
+            } else {
+                format!("{value} ")
+            }
+        }
+        ErrorKind::SeparatorSwap => {
+            const SWAPS: [(char, char); 5] =
+                [('-', '/'), ('/', '-'), ('.', ','), (':', '.'), (',', '.')];
+            let present: Vec<(char, char)> = SWAPS
+                .iter()
+                .copied()
+                .filter(|&(from, _)| value.contains(from))
+                .collect();
+            let &(from, to) = present.choose(rng)?;
+            value.replacen(from, &to.to_string(), 1)
+        }
+        ErrorKind::DigitTypo => {
+            let digits: Vec<(usize, char)> = value
+                .char_indices()
+                .filter(|(_, c)| c.is_ascii_digit())
+                .collect();
+            let &(pos, c) = digits.choose(rng)?;
+            let repl = match c {
+                '0' => 'O',
+                '1' => 'l',
+                '5' => 'S',
+                _ => 'o',
+            };
+            let mut s = value.to_string();
+            s.replace_range(pos..pos + c.len_utf8(), &repl.to_string());
+            s
+        }
+        ErrorKind::CaseFlip => {
+            if !value.chars().any(|c| c.is_ascii_alphabetic()) {
+                return None;
+            }
+            if value.chars().any(|c| c.is_ascii_lowercase()) {
+                value.to_ascii_uppercase()
+            } else {
+                value.to_ascii_lowercase()
+            }
+        }
+        ErrorKind::PlaceholderIntrusion => {
+            if matches!(domain, DomainKind::Placeholder) {
+                return None;
+            }
+            ["N/A", "?", "TBD", "--"]
+                .choose(rng)
+                .expect("non-empty")
+                .to_string()
+        }
+        ErrorKind::Truncation => {
+            if value.chars().count() < 4 {
+                return None;
+            }
+            let cut: String = value.chars().take(value.chars().count() - 1).collect();
+            cut
+        }
+        ErrorKind::DecimalComma => {
+            if !value.contains('.')
+                || !value.chars().any(|c| c.is_ascii_digit())
+                || value.contains(',')
+            {
+                return None;
+            }
+            value.replacen('.', ",", 1)
+        }
+        ErrorKind::LeadingSpace => {
+            if value.starts_with(' ') {
+                return None;
+            }
+            format!(" {value}")
+        }
+        ErrorKind::ParenNote => {
+            if value.contains('(') {
+                return None;
+            }
+            let note = ["(2)", "(live)", "(est.)", "(*)"]
+                .choose(rng)
+                .expect("non-empty");
+            format!("{value} {note}")
+        }
+    };
+    if out == value {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Injects one error into a clean column: picks a row and an applicable
+/// error kind, replaces the value, and returns the labeled result.
+///
+/// Returns `None` if no kind applies to any sampled row (rare; e.g. an
+/// all-placeholder column).
+pub fn inject_error<R: Rng>(
+    column: &Column,
+    domain: DomainKind,
+    rng: &mut R,
+) -> Option<(LabeledColumn, ErrorKind)> {
+    if column.is_empty() {
+        return None;
+    }
+    // Try a few (row, kind) combinations before giving up.
+    for _ in 0..24 {
+        let row = rng.random_range(0..column.len());
+        let kind = *ErrorKind::ALL.choose(rng).expect("non-empty");
+        let original = &column.values[row];
+        if let Some(corrupted) = corrupt_value(original, domain, kind, rng) {
+            // Don't create a "corrupted" value that already legitimately
+            // appears elsewhere in the column.
+            if column.values.iter().any(|v| v == &corrupted) {
+                continue;
+            }
+            let mut dirty = column.clone();
+            dirty.values[row] = corrupted.clone();
+            let labeled = LabeledColumn {
+                column: dirty,
+                error_rows: vec![row],
+                error_note: Some(format!("{}: {original:?} -> {corrupted:?}", kind.name())),
+            };
+            return Some((labeled, kind));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::SourceTag;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn trailing_dot_appends() {
+        let mut r = rng();
+        let v = corrupt_value("1865", DomainKind::Year, ErrorKind::TrailingDot, &mut r);
+        assert_eq!(v.unwrap(), "1865.");
+    }
+
+    #[test]
+    fn trailing_dot_not_applicable_twice() {
+        let mut r = rng();
+        assert!(corrupt_value("1865.", DomainKind::Year, ErrorKind::TrailingDot, &mut r).is_none());
+    }
+
+    #[test]
+    fn separator_swap_changes_one_separator() {
+        let mut r = rng();
+        let v = corrupt_value(
+            "2011-01-01",
+            DomainKind::DateIso,
+            ErrorKind::SeparatorSwap,
+            &mut r,
+        )
+        .unwrap();
+        assert_ne!(v, "2011-01-01");
+        assert!(v.contains('/'));
+    }
+
+    #[test]
+    fn separator_swap_needs_separator() {
+        let mut r = rng();
+        assert!(
+            corrupt_value("2011", DomainKind::Year, ErrorKind::SeparatorSwap, &mut r).is_none()
+        );
+    }
+
+    #[test]
+    fn format_swap_uses_sibling_family() {
+        let mut r = rng();
+        let v = corrupt_value(
+            "2011-01-01",
+            DomainKind::DateIso,
+            ErrorKind::FormatSwap,
+            &mut r,
+        )
+        .unwrap();
+        assert_ne!(v, "2011-01-01");
+    }
+
+    #[test]
+    fn decimal_comma_swap() {
+        let mut r = rng();
+        let v = corrupt_value("1.87", DomainKind::Float2, ErrorKind::DecimalComma, &mut r);
+        assert_eq!(v.unwrap(), "1,87");
+        assert!(
+            corrupt_value("187", DomainKind::Float2, ErrorKind::DecimalComma, &mut r).is_none()
+        );
+    }
+
+    #[test]
+    fn case_flip_needs_letters() {
+        let mut r = rng();
+        assert!(corrupt_value("123", DomainKind::SmallInt, ErrorKind::CaseFlip, &mut r).is_none());
+        let v = corrupt_value("July", DomainKind::MonthName, ErrorKind::CaseFlip, &mut r);
+        assert_eq!(v.unwrap(), "JULY");
+    }
+
+    #[test]
+    fn digit_typo_replaces_digit() {
+        let mut r = rng();
+        let v = corrupt_value("1905", DomainKind::Year, ErrorKind::DigitTypo, &mut r).unwrap();
+        assert_ne!(v, "1905");
+        assert!(v.chars().any(|c| c.is_ascii_alphabetic()));
+        assert!(
+            corrupt_value("abc", DomainKind::WordLower, ErrorKind::DigitTypo, &mut r).is_none()
+        );
+    }
+
+    #[test]
+    fn inject_error_labels_exactly_one_row() {
+        let mut r = rng();
+        let col = Column::from_strs(
+            &["2011-01-01", "2012-02-02", "2013-03-03", "2014-04-04"],
+            SourceTag::Wiki,
+        );
+        let (labeled, kind) = inject_error(&col, DomainKind::DateIso, &mut r).unwrap();
+        assert_eq!(labeled.error_rows.len(), 1);
+        let row = labeled.error_rows[0];
+        assert_ne!(labeled.column.values[row], col.values[row]);
+        // The other rows are untouched.
+        for i in 0..col.len() {
+            if i != row {
+                assert_eq!(labeled.column.values[i], col.values[i]);
+            }
+        }
+        assert!(ErrorKind::ALL.contains(&kind));
+    }
+
+    #[test]
+    fn injected_value_not_already_present() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let col = Column::from_strs(&["1", "2", "3", "4", "5"], SourceTag::Web);
+            if let Some((labeled, _)) = inject_error(&col, DomainKind::SmallInt, &mut r) {
+                let bad = &labeled.column.values[labeled.error_rows[0]];
+                let occurrences = labeled.column.values.iter().filter(|v| v == &bad).count();
+                assert_eq!(occurrences, 1);
+                assert!(labeled.is_error_value(bad));
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_requires_length() {
+        let mut r = rng();
+        assert!(corrupt_value("ab", DomainKind::WordLower, ErrorKind::Truncation, &mut r).is_none());
+        let v = corrupt_value("1865.", DomainKind::Year, ErrorKind::Truncation, &mut r);
+        assert_eq!(v.unwrap(), "1865");
+    }
+}

@@ -1,0 +1,227 @@
+//! Deterministic seeded corpus generation from a [`CorpusProfile`].
+
+use crate::column::{Column, LabeledColumn};
+use crate::corpus::Corpus;
+use crate::domains::DomainKind;
+use crate::errors::inject_error;
+use crate::mixgroup::{registry, MixGroup, MixGroupId};
+use crate::profile::CorpusProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator bound to one profile; reusable for clean columns, labeled
+/// columns, or a whole corpus.
+pub struct CorpusGenerator {
+    profile: CorpusProfile,
+    groups: Vec<MixGroup>,
+    /// Cumulative weights aligned with `groups`.
+    cumulative: Vec<f64>,
+}
+
+impl CorpusGenerator {
+    /// Builds a generator for `profile`, applying the profile's group
+    /// weight boosts.
+    pub fn new(profile: CorpusProfile) -> Self {
+        let groups = registry();
+        let mut cumulative = Vec::with_capacity(groups.len());
+        let mut acc = 0.0;
+        for g in &groups {
+            let boost = profile.group_boost.get(g.name).copied().unwrap_or(1.0);
+            acc += g.base_weight * boost;
+            cumulative.push(acc);
+        }
+        CorpusGenerator {
+            profile,
+            groups,
+            cumulative,
+        }
+    }
+
+    /// The profile this generator was built from.
+    pub fn profile(&self) -> &CorpusProfile {
+        &self.profile
+    }
+
+    /// The mix-group registry in use.
+    pub fn groups(&self) -> &[MixGroup] {
+        &self.groups
+    }
+
+    /// Samples a mix group id according to the boosted weights.
+    pub fn sample_group<R: Rng>(&self, rng: &mut R) -> MixGroupId {
+        let total = *self.cumulative.last().expect("registry non-empty");
+        let x = rng.random_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+
+    /// Generates one clean column from mix group `gid` with `len` cells.
+    pub fn clean_column<R: Rng>(&self, gid: MixGroupId, len: usize, rng: &mut R) -> Column {
+        let group = &self.groups[gid];
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            let d = group.sample_domain(rng);
+            values.push(d.sample(rng));
+        }
+        Column::new(values, self.profile.source)
+    }
+
+    /// Samples a column length from the profile's range, skewed toward
+    /// shorter columns (web tables are mostly short).
+    pub fn sample_len<R: Rng>(&self, rng: &mut R) -> usize {
+        let lo = self.profile.min_len as f64;
+        let hi = self.profile.max_len as f64;
+        // Squared-uniform skew: mass concentrated near `lo`.
+        let u: f64 = rng.random::<f64>();
+        (lo + (hi - lo) * u * u).round() as usize
+    }
+
+    /// Generates one labeled column: clean with probability
+    /// `1 - dirty_rate`, otherwise with one injected error. Also returns
+    /// the mix group and the dominant domain used.
+    pub fn labeled_column<R: Rng>(&self, rng: &mut R) -> (LabeledColumn, MixGroupId, DomainKind) {
+        let gid = self.sample_group(rng);
+        let len = self.sample_len(rng);
+        let col = self.clean_column(gid, len, rng);
+        let domain = self.groups[gid].dominant_domain();
+        if rng.random_bool(self.profile.dirty_rate) {
+            if let Some((labeled, _kind)) = inject_error(&col, domain, rng) {
+                return (labeled, gid, domain);
+            }
+        }
+        (LabeledColumn::clean(col), gid, domain)
+    }
+
+    /// Generates the full corpus for the profile (labels dropped).
+    pub fn generate(&self) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(self.profile.seed);
+        let mut corpus = Corpus::new();
+        for _ in 0..self.profile.n_columns {
+            let (labeled, _, _) = self.labeled_column(&mut rng);
+            corpus.push(labeled.column);
+        }
+        corpus
+    }
+
+    /// Generates the full corpus keeping labels and provenance.
+    pub fn generate_labeled(&self) -> Vec<(LabeledColumn, MixGroupId, DomainKind)> {
+        let mut rng = StdRng::seed_from_u64(self.profile.seed);
+        (0..self.profile.n_columns)
+            .map(|_| self.labeled_column(&mut rng))
+            .collect()
+    }
+}
+
+/// Convenience: generates the corpus for `profile`.
+pub fn generate_corpus(profile: &CorpusProfile) -> Corpus {
+    CorpusGenerator::new(profile.clone()).generate()
+}
+
+/// Convenience: generates labeled columns for `profile`.
+pub fn generate_labeled_columns(profile: &CorpusProfile) -> Vec<LabeledColumn> {
+    CorpusGenerator::new(profile.clone())
+        .generate_labeled()
+        .into_iter()
+        .map(|(l, _, _)| l)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::CorpusProfile;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = CorpusProfile::wiki(50);
+        let a = generate_corpus(&p);
+        let b = generate_corpus(&p);
+        assert_eq!(a.len(), b.len());
+        for (ca, cb) in a.columns().iter().zip(b.columns()) {
+            assert_eq!(ca.values, cb.values);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut p1 = CorpusProfile::wiki(50);
+        let p2 = p1.clone();
+        p1.seed = 123;
+        let a = generate_corpus(&p1);
+        let b = generate_corpus(&p2);
+        let same = a
+            .columns()
+            .iter()
+            .zip(b.columns())
+            .filter(|(x, y)| x.values == y.values)
+            .count();
+        assert!(same < 50, "different seeds should differ");
+    }
+
+    #[test]
+    fn column_lengths_within_profile_bounds() {
+        let p = CorpusProfile::web(200);
+        let c = generate_corpus(&p);
+        for col in c.columns() {
+            assert!(col.len() >= p.min_len);
+            assert!(col.len() <= p.max_len);
+        }
+    }
+
+    #[test]
+    fn dirty_rate_roughly_respected() {
+        let mut p = CorpusProfile::web(2000);
+        p.dirty_rate = 0.10;
+        let labeled = generate_labeled_columns(&p);
+        let dirty = labeled.iter().filter(|l| l.is_dirty()).count();
+        // Expect ~200 ± generous tolerance.
+        assert!((100..=320).contains(&dirty), "dirty count {dirty}");
+    }
+
+    #[test]
+    fn clean_columns_have_no_error_rows() {
+        let mut p = CorpusProfile::wiki(100);
+        p.dirty_rate = 0.0;
+        let labeled = generate_labeled_columns(&p);
+        assert!(labeled.iter().all(|l| !l.is_dirty()));
+    }
+
+    #[test]
+    fn boosted_groups_occur_more_often() {
+        // Ent-XLS heavily boosts currency; WIKI suppresses it relative to
+        // score_dash. Compare group frequencies.
+        let ent = CorpusGenerator::new(CorpusProfile::ent_xls(3000));
+        let wiki = CorpusGenerator::new(CorpusProfile::wiki(3000));
+        let count = |g: &CorpusGenerator, name: &str| {
+            let gid = g.groups().iter().position(|x| x.name == name).unwrap();
+            g.generate_labeled()
+                .iter()
+                .filter(|(_, id, _)| *id == gid)
+                .count()
+        };
+        let ent_currency = count(&ent, "currency");
+        let wiki_currency = count(&wiki, "currency");
+        assert!(
+            ent_currency > wiki_currency,
+            "ent {ent_currency} vs wiki {wiki_currency}"
+        );
+        let ent_score = count(&ent, "score_dash");
+        let wiki_score = count(&wiki, "score_dash");
+        assert!(wiki_score > ent_score, "wiki {wiki_score} vs ent {ent_score}");
+    }
+
+    #[test]
+    fn sample_group_covers_registry() {
+        let g = CorpusGenerator::new(CorpusProfile::web(1));
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = vec![false; g.groups().len()];
+        for _ in 0..20_000 {
+            seen[g.sample_group(&mut rng)] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert!(
+            covered >= g.groups().len() - 2,
+            "only {covered}/{} groups sampled",
+            g.groups().len()
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Mix groups: which domains legitimately co-occur inside one column.
+//!
+//! This is the load-bearing piece of the corpus substitution (DESIGN.md §1).
+//! The paper's motivating observations are that, across a large clean
+//! corpus,
+//!
+//! * plain integers co-occur with `1,000`-style separated numbers
+//!   (2.2M real columns) and with floats (1.8M columns) — so those must
+//!   *not* be flagged, while
+//! * `\d{4}-\d{2}-\d{2}` and `\d{4}/\d{2}/\d{2}` dates almost never share a
+//!   column — so a mix *is* an error.
+//!
+//! Each [`MixGroup`] lists the domains a clean column may draw from,
+//! with weights. Strict-format domains (each date format, each phone
+//! format) get singleton groups; known-to-mix domains share groups.
+
+use crate::domains::DomainKind;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a mix group in the [`registry`].
+pub type MixGroupId = usize;
+
+/// A set of domains that legitimately co-occur within one column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixGroup {
+    /// Stable name for reports and profiles.
+    pub name: &'static str,
+    /// (domain, weight) mixture; weights need not sum to 1.
+    pub domains: Vec<(DomainKind, f64)>,
+    /// Relative frequency of this group among corpus columns (base weight;
+    /// profiles can rescale it).
+    pub base_weight: f64,
+}
+
+impl MixGroup {
+    fn new(name: &'static str, base_weight: f64, domains: &[(DomainKind, f64)]) -> Self {
+        MixGroup {
+            name,
+            domains: domains.to_vec(),
+            base_weight,
+        }
+    }
+
+    /// Singleton group holding one domain.
+    fn solo(name: &'static str, base_weight: f64, d: DomainKind) -> Self {
+        MixGroup::new(name, base_weight, &[(d, 1.0)])
+    }
+
+    /// Samples a domain from the group's mixture.
+    pub fn sample_domain<R: Rng>(&self, rng: &mut R) -> DomainKind {
+        let total: f64 = self.domains.iter().map(|&(_, w)| w).sum();
+        let mut x = rng.random_range(0.0..total);
+        for &(d, w) in &self.domains {
+            if x < w {
+                return d;
+            }
+            x -= w;
+        }
+        self.domains.last().expect("group non-empty").0
+    }
+
+    /// The dominant (highest-weight) domain of the group.
+    pub fn dominant_domain(&self) -> DomainKind {
+        self.domains
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("group non-empty")
+            .0
+    }
+}
+
+/// The full mix-group registry.
+///
+/// Ordering is fixed; [`MixGroupId`] indexes into this vector.
+pub fn registry() -> Vec<MixGroup> {
+    use DomainKind::*;
+    vec![
+        // --- numbers that legitimately mix (the paper's Col-1 / Col-2) ---
+        MixGroup::new(
+            "int_mix",
+            10.0,
+            &[
+                (SmallInt, 0.60),
+                (MediumInt, 0.25),
+                (SeparatedInt, 0.10),
+                (Float2, 0.05),
+            ],
+        ),
+        MixGroup::new(
+            "float_mix",
+            6.0,
+            &[(Float2, 0.70), (Float1, 0.20), (MediumInt, 0.10)],
+        ),
+        MixGroup::new(
+            "big_numbers",
+            4.0,
+            &[(SeparatedInt, 0.75), (MediumInt, 0.25)],
+        ),
+        MixGroup::solo("signed", 1.0, SignedInt),
+        MixGroup::new(
+            "percent",
+            2.5,
+            &[(Percent, 0.6), (PercentDecimal, 0.4)],
+        ),
+        MixGroup::new(
+            "currency",
+            3.0,
+            &[(CurrencyUsd, 0.92), (ParenNegative, 0.08)],
+        ),
+        MixGroup::solo("currency_plain", 1.0, CurrencyPlain),
+        MixGroup::solo("ordinal", 1.0, Ordinal),
+        MixGroup::solo("scientific", 0.5, Scientific),
+        // --- dates: one strict group per format ---
+        MixGroup::solo("date_iso", 5.0, DateIso),
+        MixGroup::solo("date_slash_ymd", 2.5, DateSlashYmd),
+        MixGroup::solo("date_dot_ymd", 1.5, DateDotYmd),
+        MixGroup::solo("date_dmy_slash", 2.5, DateDmySlash),
+        MixGroup::solo("date_dmy_dash", 1.5, DateDmyDash),
+        MixGroup::solo("date_month_d_y", 2.0, DateMonthDY),
+        MixGroup::solo("date_d_mon_y", 1.5, DateDMonY),
+        MixGroup::solo("date_mon_yy", 1.0, DateMonYy),
+        MixGroup::solo("year_month", 1.5, YearMonthDash),
+        MixGroup::new("year", 5.0, &[(Year, 0.95), (YearRange, 0.05)]),
+        MixGroup::solo("month_name", 1.5, MonthName),
+        // --- times & durations ---
+        MixGroup::solo("time_hm", 2.0, TimeHm),
+        MixGroup::solo("time_hms", 1.0, TimeHms),
+        MixGroup::new(
+            "duration",
+            2.0,
+            &[(DurationMs, 0.85), (DurationHms, 0.15)],
+        ),
+        // --- scores (mix with placeholders, per Figure 1(d)) ---
+        MixGroup::new(
+            "score_dash",
+            2.0,
+            &[(ScoreDash, 0.93), (Placeholder, 0.07)],
+        ),
+        MixGroup::solo("score_colon", 1.0, ScoreColon),
+        // --- text ---
+        MixGroup::solo("word_lower", 3.0, WordLower),
+        MixGroup::new(
+            "cities",
+            3.0,
+            &[(WordCapital, 0.7), (TwoWordsCap, 0.3)],
+        ),
+        MixGroup::solo("person_name", 2.5, PersonName),
+        MixGroup::solo("name_comma", 1.5, NameComma),
+        MixGroup::solo("acronym", 1.5, UpperAcronym),
+        // --- codes ---
+        MixGroup::solo("alnum_code", 2.0, AlnumCode),
+        MixGroup::solo("zip", 1.5, ZipUs),
+        MixGroup::solo("zip_plus4", 0.8, ZipPlus4),
+        MixGroup::solo("phone_paren", 1.5, PhoneParen),
+        MixGroup::solo("phone_dash", 1.2, PhoneDash),
+        MixGroup::solo("phone_intl", 0.8, PhoneIntl),
+        MixGroup::solo("isbn", 0.8, Isbn),
+        MixGroup::solo("ipv4", 1.0, IpV4),
+        // --- web ---
+        MixGroup::solo("email", 1.5, Email),
+        MixGroup::solo("url", 1.2, Url),
+        MixGroup::solo("domain", 0.8, DomainName),
+        // --- misc ---
+        MixGroup::new(
+            "bool",
+            1.5,
+            &[(BoolYesNo, 0.96), (Placeholder, 0.04)],
+        ),
+        MixGroup::solo("grade", 1.0, Grade),
+        MixGroup::solo("version", 1.0, Version),
+        MixGroup::solo("coordinate", 0.8, Coordinate),
+        MixGroup::solo("weight_kg", 1.0, WeightKg),
+        MixGroup::solo("weight_lb", 0.6, WeightLb),
+    ]
+}
+
+/// Looks up a group id by name.
+pub fn group_id_by_name(groups: &[MixGroup], name: &str) -> Option<MixGroupId> {
+    groups.iter().position(|g| g.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn registry_names_unique() {
+        let groups = registry();
+        let mut names: Vec<&str> = groups.iter().map(|g| g.name).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn every_group_nonempty_with_positive_weights() {
+        for g in registry() {
+            assert!(!g.domains.is_empty(), "{} empty", g.name);
+            assert!(g.base_weight > 0.0);
+            for (_, w) in &g.domains {
+                assert!(*w > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn int_mix_contains_paper_col1_col2_domains() {
+        let groups = registry();
+        let g = &groups[group_id_by_name(&groups, "int_mix").unwrap()];
+        let doms: Vec<DomainKind> = g.domains.iter().map(|&(d, _)| d).collect();
+        assert!(doms.contains(&DomainKind::SmallInt));
+        assert!(doms.contains(&DomainKind::SeparatedInt));
+        assert!(doms.contains(&DomainKind::Float2));
+    }
+
+    #[test]
+    fn date_formats_never_share_a_group() {
+        use DomainKind::*;
+        let date_domains = [
+            DateIso,
+            DateSlashYmd,
+            DateDotYmd,
+            DateDmySlash,
+            DateDmyDash,
+            DateMonthDY,
+            DateDMonY,
+            DateMonYy,
+        ];
+        for g in registry() {
+            let n = g
+                .domains
+                .iter()
+                .filter(|(d, _)| date_domains.contains(d))
+                .count();
+            assert!(n <= 1, "group {} mixes date formats", g.name);
+        }
+    }
+
+    #[test]
+    fn sample_domain_respects_membership() {
+        let groups = registry();
+        let mut rng = StdRng::seed_from_u64(9);
+        for g in &groups {
+            for _ in 0..20 {
+                let d = g.sample_domain(&mut rng);
+                assert!(g.domains.iter().any(|&(gd, _)| gd == d));
+            }
+        }
+    }
+
+    #[test]
+    fn dominant_domain_is_max_weight() {
+        let groups = registry();
+        let g = &groups[group_id_by_name(&groups, "int_mix").unwrap()];
+        assert_eq!(g.dominant_domain(), DomainKind::SmallInt);
+    }
+}

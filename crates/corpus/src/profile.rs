@@ -1,0 +1,177 @@
+//! Corpus profiles: the stand-ins for the paper's five corpora (Table 3).
+//!
+//! A profile fixes the column count, column-length distribution, the
+//! mix-group weight multipliers (which shift the domain mixture between
+//! web-ish, wiki-ish and enterprise-ish content), the background dirty
+//! rate, and the seed. The paper's corpus sizes (350M / 30M / 1.4M / 3.2M /
+//! 441 columns) are scaled down by ~10^3 so training runs on a laptop while
+//! preserving the *relative* sizes (WEB ≫ WIKI ≫ XLS ≫ CSV).
+
+use crate::column::SourceTag;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Parameters describing one synthetic corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusProfile {
+    /// Human-readable name (matches the paper's corpus names).
+    pub name: String,
+    /// Source tag stamped on generated columns.
+    pub source: SourceTag,
+    /// Number of columns to generate.
+    pub n_columns: usize,
+    /// Minimum column length (cells).
+    pub min_len: usize,
+    /// Maximum column length (cells).
+    pub max_len: usize,
+    /// Fraction of columns that receive an injected error (the paper
+    /// estimates 2.2% dirty for sampled WIKI and 6.9% for WEB columns).
+    pub dirty_rate: f64,
+    /// Multiplier applied to each mix group's base weight, keyed by group
+    /// name; groups not listed keep weight ×1.
+    pub group_boost: HashMap<String, f64>,
+    /// RNG seed; two generations with the same profile are identical.
+    pub seed: u64,
+}
+
+impl CorpusProfile {
+    fn base(name: &str, source: SourceTag, n_columns: usize, seed: u64) -> Self {
+        CorpusProfile {
+            name: name.to_string(),
+            source,
+            n_columns,
+            min_len: 5,
+            max_len: 50,
+            dirty_rate: 0.0,
+            group_boost: HashMap::new(),
+            seed,
+        }
+    }
+
+    fn boost(mut self, pairs: &[(&str, f64)]) -> Self {
+        for (k, v) in pairs {
+            self.group_boost.insert((*k).to_string(), *v);
+        }
+        self
+    }
+
+    /// WEB: the large, diverse training corpus (paper: 350M columns,
+    /// 93.1% clean). Scaled default: 300K columns.
+    pub fn web(n_columns: usize) -> Self {
+        let mut p = CorpusProfile::base("WEB", SourceTag::Web, n_columns, 0xAD7_0001);
+        p.dirty_rate = 0.069;
+        p
+    }
+
+    /// WIKI: smaller, cleaner, list/score-heavy (paper: 30M columns, 97.8%
+    /// clean).
+    pub fn wiki(n_columns: usize) -> Self {
+        let mut p = CorpusProfile::base("WIKI", SourceTag::Wiki, n_columns, 0xAD7_0002);
+        p.dirty_rate = 0.022;
+        p.boost(&[
+            ("score_dash", 2.5),
+            ("year", 2.0),
+            ("date_month_d_y", 2.0),
+            ("duration", 2.0),
+            ("cities", 1.5),
+            ("person_name", 1.5),
+            ("phone_paren", 0.3),
+            ("alnum_code", 0.5),
+            ("email", 0.3),
+        ])
+    }
+
+    /// Pub-XLS: public spreadsheets (paper: 1.4M columns).
+    pub fn pub_xls(n_columns: usize) -> Self {
+        let mut p = CorpusProfile::base("Pub-XLS", SourceTag::PubXls, n_columns, 0xAD7_0003);
+        p.dirty_rate = 0.05;
+        p.boost(&[
+            ("int_mix", 1.5),
+            ("float_mix", 1.5),
+            ("currency", 2.0),
+            ("percent", 1.5),
+            ("bool", 1.5),
+        ])
+    }
+
+    /// Ent-XLS: enterprise spreadsheets, numeric- and code-heavy (paper:
+    /// 3.2M columns).
+    pub fn ent_xls(n_columns: usize) -> Self {
+        let mut p = CorpusProfile::base("Ent-XLS", SourceTag::EntXls, n_columns, 0xAD7_0004);
+        p.dirty_rate = 0.04;
+        p.boost(&[
+            ("int_mix", 2.0),
+            ("float_mix", 2.0),
+            ("currency", 2.5),
+            ("currency_plain", 2.0),
+            ("alnum_code", 2.5),
+            ("percent", 2.0),
+            ("bool", 2.0),
+            ("version", 1.5),
+            ("score_dash", 0.2),
+            ("duration", 0.3),
+            ("cities", 0.5),
+        ])
+    }
+
+    /// CSV: the 441-column hand-labeled benchmark stand-in (paper: 26
+    /// files known to have quality issues; high dirty rate).
+    pub fn csv_set() -> Self {
+        let mut p = CorpusProfile::base("CSV", SourceTag::Csv, 441, 0xAD7_0005);
+        p.dirty_rate = 0.35;
+        p.min_len = 8;
+        p.max_len = 40;
+        p
+    }
+
+    /// Default scaled sizes used by the experiment binaries (see
+    /// EXPERIMENTS.md): WEB 120K, WIKI 30K, Pub-XLS 8K, Ent-XLS 12K.
+    pub fn default_suite() -> Vec<CorpusProfile> {
+        vec![
+            CorpusProfile::web(120_000),
+            CorpusProfile::pub_xls(8_000),
+            CorpusProfile::wiki(30_000),
+            CorpusProfile::ent_xls(12_000),
+            CorpusProfile::csv_set(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_distinct_seeds_and_names() {
+        let suite = CorpusProfile::default_suite();
+        let mut seeds: Vec<u64> = suite.iter().map(|p| p.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), suite.len());
+        assert_eq!(suite[0].name, "WEB");
+        assert_eq!(suite[4].name, "CSV");
+    }
+
+    #[test]
+    fn relative_sizes_preserved() {
+        let suite = CorpusProfile::default_suite();
+        // WEB > WIKI > Ent-XLS > Pub-XLS > CSV, mirroring Table 3 ordering
+        // (350M, 30M, 3.2M, 1.4M, 441).
+        assert!(suite[0].n_columns > suite[2].n_columns);
+        assert!(suite[2].n_columns > suite[3].n_columns);
+        assert!(suite[3].n_columns > suite[1].n_columns);
+        assert!(suite[1].n_columns > suite[4].n_columns);
+    }
+
+    #[test]
+    fn wiki_cleaner_than_web() {
+        assert!(CorpusProfile::wiki(1).dirty_rate < CorpusProfile::web(1).dirty_rate);
+    }
+
+    #[test]
+    fn boosts_recorded() {
+        let p = CorpusProfile::ent_xls(10);
+        assert!(p.group_boost["currency"] > 1.0);
+        assert!(p.group_boost["score_dash"] < 1.0);
+    }
+}

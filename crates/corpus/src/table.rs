@@ -1,0 +1,125 @@
+//! A table: an ordered collection of columns sharing row indices.
+
+use crate::column::{Column, SourceTag};
+use serde::{Deserialize, Serialize};
+
+/// A relational table as a set of columns.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table {
+    /// Optional table name (sheet name, file name).
+    pub name: Option<String>,
+    /// Columns, in schema order.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Builds a table from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Table {
+            name: None,
+            columns,
+        }
+    }
+
+    /// Builds a table from rows (each row one `Vec<String>`), with
+    /// optional headers.
+    pub fn from_rows(headers: Option<Vec<String>>, rows: &[Vec<String>]) -> Self {
+        let width = headers
+            .as_ref()
+            .map(|h| h.len())
+            .or_else(|| rows.iter().map(|r| r.len()).max())
+            .unwrap_or(0);
+        let mut columns: Vec<Column> = (0..width)
+            .map(|i| {
+                let mut c = Column::new(Vec::new(), SourceTag::Local);
+                c.header = headers.as_ref().and_then(|h| h.get(i).cloned());
+                c
+            })
+            .collect();
+        for row in rows {
+            for (i, col) in columns.iter_mut().enumerate() {
+                col.values.push(row.get(i).cloned().unwrap_or_default());
+            }
+        }
+        Table {
+            name: None,
+            columns,
+        }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows (the longest column).
+    pub fn height(&self) -> usize {
+        self.columns.iter().map(|c| c.len()).max().unwrap_or(0)
+    }
+
+    /// Cell accessor (column-major).
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.columns.get(col)?.values.get(row).map(|s| s.as_str())
+    }
+
+    /// Column lookup by header name.
+    pub fn column_by_header(&self, header: &str) -> Option<&Column> {
+        self.columns
+            .iter()
+            .find(|c| c.header.as_deref() == Some(header))
+    }
+
+    /// One row as a vector of cells (empty string for ragged gaps).
+    pub fn row(&self, i: usize) -> Vec<&str> {
+        self.columns
+            .iter()
+            .map(|c| c.values.get(i).map(|s| s.as_str()).unwrap_or(""))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_rows(
+            Some(vec!["date".into(), "amount".into()]),
+            &[
+                vec!["2011-01-01".into(), "12".into()],
+                vec!["2011-02-02".into(), "99".into()],
+                vec!["2011-03-03".into()],
+            ],
+        )
+    }
+
+    #[test]
+    fn shape_and_cells() {
+        let t = sample();
+        assert_eq!(t.width(), 2);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.cell(0, 0), Some("2011-01-01"));
+        // Ragged rows are padded to rectangular shape with empty cells.
+        assert_eq!(t.cell(2, 1), Some(""));
+        assert_eq!(t.cell(3, 1), None); // beyond the table
+        assert_eq!(t.row(2), vec!["2011-03-03", ""]);
+    }
+
+    #[test]
+    fn header_lookup() {
+        let t = sample();
+        assert_eq!(
+            t.column_by_header("amount").unwrap().values,
+            vec!["12", "99", ""]
+        );
+        assert!(t.column_by_header("missing").is_none());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(vec![]);
+        assert_eq!(t.width(), 0);
+        assert_eq!(t.height(), 0);
+        assert!(t.cell(0, 0).is_none());
+    }
+}

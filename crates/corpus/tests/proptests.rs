@@ -1,0 +1,81 @@
+//! Property tests for the corpus substrate.
+
+use adt_corpus::{
+    corrupt_value, inject_error, Column, CorpusProfile, CorpusGenerator, DomainKind, ErrorKind,
+    SourceTag,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_domain() -> impl Strategy<Value = DomainKind> {
+    (0..DomainKind::ALL.len()).prop_map(|i| DomainKind::ALL[i])
+}
+
+fn arb_error_kind() -> impl Strategy<Value = ErrorKind> {
+    (0..ErrorKind::ALL.len()).prop_map(|i| ErrorKind::ALL[i])
+}
+
+proptest! {
+    /// Corruption, when applicable, always changes the value.
+    #[test]
+    fn corruption_changes_the_value(
+        domain in arb_domain(),
+        kind in arb_error_kind(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = domain.sample(&mut rng);
+        if let Some(corrupted) = corrupt_value(&value, domain, kind, &mut rng) {
+            prop_assert_ne!(&corrupted, &value, "kind {:?}", kind);
+            prop_assert!(!corrupted.is_empty());
+        }
+    }
+
+    /// Injection labels exactly one row and leaves the rest untouched.
+    #[test]
+    fn injection_is_single_cell(domain in arb_domain(), seed in any::<u64>(), len in 3usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<String> = (0..len).map(|_| domain.sample(&mut rng)).collect();
+        let col = Column::new(values.clone(), SourceTag::Web);
+        if let Some((labeled, _kind)) = inject_error(&col, domain, &mut rng) {
+            prop_assert_eq!(labeled.error_rows.len(), 1);
+            let row = labeled.error_rows[0];
+            prop_assert_ne!(&labeled.column.values[row], &values[row]);
+            let diffs = labeled
+                .column
+                .values
+                .iter()
+                .zip(&values)
+                .filter(|(a, b)| a != b)
+                .count();
+            prop_assert_eq!(diffs, 1);
+            // The injected value is labeled an error value.
+            prop_assert!(labeled.is_error_value(&labeled.column.values[row]));
+        }
+    }
+
+    /// Domain samples are never empty and never contain newlines (cells
+    /// must round-trip through the line-oriented corpus format).
+    #[test]
+    fn samples_are_single_line(domain in arb_domain(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = domain.sample(&mut rng);
+        prop_assert!(!v.is_empty());
+        prop_assert!(!v.contains('\n'));
+        prop_assert!(!v.contains('\r'));
+    }
+
+    /// Generation from the same profile is fully reproducible, and
+    /// different seeds genuinely differ.
+    #[test]
+    fn generator_determinism(seed in any::<u64>()) {
+        let mut p = CorpusProfile::web(30);
+        p.seed = seed;
+        let a = CorpusGenerator::new(p.clone()).generate();
+        let b = CorpusGenerator::new(p).generate();
+        for (x, y) in a.columns().iter().zip(b.columns()) {
+            prop_assert_eq!(&x.values, &y.values);
+        }
+    }
+}

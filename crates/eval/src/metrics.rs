@@ -1,0 +1,197 @@
+//! Pooled precision@k over ranked predictions.
+
+use crate::testcases::TestCase;
+use adt_baselines::Prediction;
+use serde::{Deserialize, Serialize};
+
+/// One prediction pooled across test cases.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PooledPrediction {
+    /// Index of the test case.
+    pub case: usize,
+    /// The predicted error value.
+    pub value: String,
+    /// Method confidence (comparable within one method).
+    pub confidence: f64,
+    /// Ground truth: true when the prediction hits a labeled error.
+    pub correct: bool,
+}
+
+/// Pools per-case ranked predictions into one global ranking by
+/// confidence (the paper's precision@k setup: predictions from 100K
+/// columns ranked together).
+///
+/// `per_column_cap` limits how many predictions one column may
+/// contribute; the paper inspects the most incompatible finding(s) per
+/// column, so 1–3 is typical.
+pub fn pooled_predictions(
+    cases: &[TestCase],
+    predictions: &[Vec<Prediction>],
+    per_column_cap: usize,
+) -> Vec<PooledPrediction> {
+    assert_eq!(cases.len(), predictions.len());
+    let mut pooled: Vec<PooledPrediction> = Vec::new();
+    for (i, (case, preds)) in cases.iter().zip(predictions).enumerate() {
+        for p in preds.iter().take(per_column_cap) {
+            pooled.push(PooledPrediction {
+                case: i,
+                value: p.value.clone(),
+                confidence: p.confidence,
+                correct: case.is_error(&p.value),
+            });
+        }
+    }
+    pooled.sort_by(|a, b| {
+        b.confidence
+            .total_cmp(&a.confidence)
+            .then_with(|| a.case.cmp(&b.case))
+            .then_with(|| a.value.cmp(&b.value))
+    });
+    pooled
+}
+
+/// Precision@k over a pooled ranking: fraction of the top `k` that are
+/// correct. When fewer than `k` predictions exist, the available prefix
+/// is scored (matching how the paper reports small methods at large k).
+pub fn precision_at_k(pooled: &[PooledPrediction], k: usize) -> f64 {
+    let top = &pooled[..k.min(pooled.len())];
+    if top.is_empty() {
+        return 0.0;
+    }
+    top.iter().filter(|p| p.correct).count() as f64 / top.len() as f64
+}
+
+/// Precision@k for each requested k, as `(k, precision)` rows.
+pub fn precision_series(pooled: &[PooledPrediction], ks: &[usize]) -> Vec<(usize, f64)> {
+    ks.iter().map(|&k| (k, precision_at_k(pooled, k))).collect()
+}
+
+/// Recall@k: fraction of all labeled errors recovered within the top `k`
+/// pooled predictions. The paper reports "relative recall" on the
+/// auto-eval sets, where every dirty case carries exactly one planted
+/// error, making precision@k(=n_dirty) and recall coincide; this function
+/// is the general form for multi-error cases.
+pub fn recall_at_k(cases: &[TestCase], pooled: &[PooledPrediction], k: usize) -> f64 {
+    let total_errors: usize = cases.iter().map(|c| c.errors.len()).sum();
+    if total_errors == 0 {
+        return 0.0;
+    }
+    // Count distinct (case, value) hits in the top k.
+    let mut seen = std::collections::HashSet::new();
+    let mut hits = 0usize;
+    for p in pooled.iter().take(k) {
+        if p.correct && seen.insert((p.case, p.value.clone())) {
+            hits += 1;
+        }
+    }
+    hits as f64 / total_errors as f64
+}
+
+/// Recall@k for each requested k.
+pub fn recall_series(
+    cases: &[TestCase],
+    pooled: &[PooledPrediction],
+    ks: &[usize],
+) -> Vec<(usize, f64)> {
+    ks.iter().map(|&k| (k, recall_at_k(cases, pooled, k))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::{Column, SourceTag};
+
+    fn case(values: &[&str], errors: &[&str]) -> TestCase {
+        TestCase {
+            column: Column::from_strs(values, SourceTag::Csv),
+            errors: errors.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn pred(value: &str, confidence: f64) -> Prediction {
+        Prediction {
+            value: value.to_string(),
+            confidence,
+        }
+    }
+
+    #[test]
+    fn pooling_ranks_globally_by_confidence() {
+        let cases = vec![case(&["a", "b"], &["b"]), case(&["c", "d"], &["d"])];
+        let preds = vec![
+            vec![pred("b", 0.5), pred("a", 0.4)],
+            vec![pred("d", 0.9)],
+        ];
+        let pooled = pooled_predictions(&cases, &preds, 10);
+        assert_eq!(pooled.len(), 3);
+        assert_eq!(pooled[0].value, "d");
+        assert!(pooled[0].correct);
+        assert_eq!(pooled[1].value, "b");
+        assert!(pooled[1].correct);
+        assert!(!pooled[2].correct);
+    }
+
+    #[test]
+    fn per_column_cap_applies() {
+        let cases = vec![case(&["a", "b", "c"], &[])];
+        let preds = vec![vec![pred("a", 0.9), pred("b", 0.8), pred("c", 0.7)]];
+        let pooled = pooled_predictions(&cases, &preds, 1);
+        assert_eq!(pooled.len(), 1);
+        assert_eq!(pooled[0].value, "a");
+    }
+
+    #[test]
+    fn precision_at_k_values() {
+        let cases = vec![case(&["a", "b"], &["b"]), case(&["c", "d"], &["d"])];
+        let preds = vec![
+            vec![pred("b", 0.9)],
+            vec![pred("c", 0.8)], // wrong
+        ];
+        let pooled = pooled_predictions(&cases, &preds, 10);
+        assert_eq!(precision_at_k(&pooled, 1), 1.0);
+        assert_eq!(precision_at_k(&pooled, 2), 0.5);
+        // k beyond the pool scores the available prefix.
+        assert_eq!(precision_at_k(&pooled, 100), 0.5);
+    }
+
+    #[test]
+    fn empty_pool_is_zero() {
+        assert_eq!(precision_at_k(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_distinct_hits() {
+        let cases = vec![
+            case(&["a", "b"], &["b"]),
+            case(&["c", "d"], &["d"]),
+            case(&["e", "f"], &["f"]),
+        ];
+        let preds = vec![
+            vec![pred("b", 0.9)],
+            vec![pred("c", 0.8)], // wrong
+            vec![],               // missed
+        ];
+        let pooled = pooled_predictions(&cases, &preds, 10);
+        assert!((recall_at_k(&cases, &pooled, 1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((recall_at_k(&cases, &pooled, 10) - 1.0 / 3.0).abs() < 1e-12);
+        let series = recall_series(&cases, &pooled, &[1, 10]);
+        assert_eq!(series.len(), 2);
+    }
+
+    #[test]
+    fn recall_zero_when_no_errors_exist() {
+        let cases = vec![case(&["a"], &[])];
+        let preds = vec![vec![pred("a", 0.9)]];
+        let pooled = pooled_predictions(&cases, &preds, 10);
+        assert_eq!(recall_at_k(&cases, &pooled, 10), 0.0);
+    }
+
+    #[test]
+    fn series_shape() {
+        let cases = vec![case(&["a"], &["a"])];
+        let preds = vec![vec![pred("a", 1.0)]];
+        let pooled = pooled_predictions(&cases, &preds, 5);
+        let series = precision_series(&pooled, &[1, 5, 10]);
+        assert_eq!(series, vec![(1, 1.0), (5, 1.0), (10, 1.0)]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Experiment result structures and rendering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One method's precision@k series (one line of a paper figure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Method / configuration label.
+    pub label: String,
+    /// `(k, precision)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// A full figure: several series over the same k grid.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct Figure {
+    /// Figure identifier, e.g. "fig5-1:10".
+    pub id: String,
+    /// Axis/metadata notes.
+    pub note: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// New empty figure.
+    pub fn new(id: &str, note: &str) -> Self {
+        Figure {
+            id: id.to_string(),
+            note: note.to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds one series.
+    pub fn push(&mut self, label: &str, points: Vec<(usize, f64)>) {
+        self.series.push(Series {
+            label: label.to_string(),
+            points,
+        });
+    }
+
+    /// Renders the figure as an aligned text table (methods × k).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.note);
+        let ks: Vec<usize> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|&(k, _)| k).collect())
+            .unwrap_or_default();
+        let _ = write!(out, "{:<16}", "method");
+        for k in &ks {
+            let _ = write!(out, " p@{k:<7}");
+        }
+        let _ = writeln!(out);
+        for s in &self.series {
+            let _ = write!(out, "{:<16}", s.label);
+            for &(_, p) in &s.points {
+                let _ = write!(out, " {p:<9.3}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Saves as JSON (consumed by EXPERIMENTS.md tooling).
+    pub fn save_json<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        serde_json::to_writer_pretty(std::io::BufWriter::new(f), self)
+            .map_err(std::io::Error::other)
+    }
+}
+
+/// Empirical CDF of a sample: `(x, F(x))` at each distinct value,
+/// downsampled to at most `points` entries (Figure 17(b)).
+pub fn empirical_cdf(samples: &mut [f64], points: usize) -> Vec<(f64, f64)> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    let take = points.max(2).min(n);
+    (0..take)
+        .map(|i| {
+            let idx = if take == 1 { 0 } else { i * (n - 1) / (take - 1) };
+            (samples[idx], (idx + 1) as f64 / n as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_contains_labels_and_values() {
+        let mut fig = Figure::new("test", "note");
+        fig.push("MethodA", vec![(10, 0.95), (100, 0.80)]);
+        fig.push("MethodB", vec![(10, 0.50), (100, 0.40)]);
+        let t = fig.to_table();
+        assert!(t.contains("MethodA"));
+        assert!(t.contains("0.950"));
+        assert!(t.contains("p@10"));
+        assert!(t.contains("p@100"));
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let mut xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 100) as f64 / 50.0 - 1.0).collect();
+        let cdf = empirical_cdf(&mut xs, 64);
+        assert!(cdf.len() <= 64);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_empty() {
+        let mut xs: Vec<f64> = Vec::new();
+        assert!(empirical_cdf(&mut xs, 10).is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut fig = Figure::new("rt", "x");
+        fig.push("m", vec![(1, 0.5)]);
+        let dir = std::env::temp_dir().join("adt_eval_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig.json");
+        fig.save_json(&path).unwrap();
+        let back: Figure =
+            serde_json::from_reader(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(back.id, "rt");
+        assert_eq!(back.series[0].points, vec![(1, 0.5)]);
+        std::fs::remove_file(path).ok();
+    }
+}

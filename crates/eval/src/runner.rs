@@ -1,0 +1,73 @@
+//! Uniform method driver.
+
+use crate::testcases::TestCase;
+use adt_baselines::{Detector, Prediction};
+use adt_core::{Aggregator, AutoDetect};
+
+/// A method under evaluation.
+pub enum Method<'a> {
+    /// One of the §4.2 baselines (or Union).
+    Baseline(Box<dyn Detector>),
+    /// Auto-Detect with its native aggregation.
+    AutoDetect(&'a AutoDetect),
+    /// Auto-Detect scored through an alternative aggregator (Figure 8(b)).
+    AutoDetectWith(&'a AutoDetect, Aggregator, &'static str),
+}
+
+impl Method<'_> {
+    /// Display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Method::Baseline(d) => d.name(),
+            Method::AutoDetect(_) => "Auto-Detect",
+            Method::AutoDetectWith(_, _, name) => name,
+        }
+    }
+
+    /// Ranked predictions for one column.
+    pub fn detect(&self, column: &adt_corpus::Column) -> Vec<Prediction> {
+        match self {
+            Method::Baseline(d) => d.detect(column),
+            Method::AutoDetect(m) => findings_to_predictions(m.detect_column(column)),
+            Method::AutoDetectWith(m, agg, _) => {
+                findings_to_predictions(m.detect_column_with(column, *agg))
+            }
+        }
+    }
+}
+
+fn findings_to_predictions(findings: Vec<adt_core::ColumnFinding>) -> Vec<Prediction> {
+    findings
+        .into_iter()
+        .map(|f| Prediction {
+            value: f.suspect,
+            confidence: f.confidence,
+        })
+        .collect()
+}
+
+/// Runs a method over all test cases; `predictions[i]` are the ranked
+/// predictions for `cases[i]`.
+pub fn run_method(method: &Method<'_>, cases: &[TestCase]) -> Vec<Vec<Prediction>> {
+    cases.iter().map(|c| method.detect(&c.column)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_baselines::FRegexDetector;
+    use adt_corpus::{Column, SourceTag};
+
+    #[test]
+    fn baseline_method_runs() {
+        let cases = vec![TestCase {
+            column: Column::from_strs(&["1", "2", "3", "x"], SourceTag::Csv),
+            errors: vec!["x".to_string()],
+        }];
+        let m = Method::Baseline(Box::new(FRegexDetector::default()));
+        assert_eq!(m.name(), "F-Regex");
+        let preds = run_method(&m, &cases);
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0][0].value, "x");
+    }
+}

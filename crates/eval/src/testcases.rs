@@ -1,0 +1,234 @@
+//! Test-case construction for both evaluation regimes.
+
+use adt_corpus::{Column, Corpus, LabeledColumn};
+use adt_patterns::crude::crude_language;
+use adt_stats::{LanguageStats, NpmiParams, StatsConfig};
+use rand::prelude::IndexedRandom;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One evaluation column with its ground-truth error values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TestCase {
+    /// The column under test.
+    pub column: Column,
+    /// Values that are true errors; empty for clean columns.
+    pub errors: Vec<String>,
+}
+
+impl TestCase {
+    /// True when the case carries at least one error.
+    pub fn is_dirty(&self) -> bool {
+        !self.errors.is_empty()
+    }
+
+    /// True when `value` is one of this case's labeled errors.
+    pub fn is_error(&self, value: &str) -> bool {
+        self.errors.iter().any(|e| e == value)
+    }
+}
+
+/// Converts generator-labeled columns into test cases (the stand-in for
+/// the paper's manually judged WIKI / CSV sets, §4.3).
+pub fn cases_from_labeled(labeled: &[LabeledColumn]) -> Vec<TestCase> {
+    labeled
+        .iter()
+        .map(|l| {
+            let errors: Vec<String> = l
+                .column
+                .distinct_values()
+                .into_iter()
+                .filter(|v| l.is_error_value(v))
+                .map(|v| v.to_string())
+                .collect();
+            TestCase {
+                column: l.column.clone(),
+                errors,
+            }
+        })
+        .collect()
+}
+
+/// Automatic evaluation cases (§4.4): `n_dirty` columns built by mixing a
+/// value `v_d` from one compatible column into another compatible column
+/// `C₂` (with the same crude-NPMI pruning as Appendix F, guaranteeing
+/// `v_d` is genuinely inconsistent with `C₂`), plus `n_clean` untouched
+/// compatible columns. The dirty:clean ratio is the paper's 1:1 / 1:5 /
+/// 1:10 knob.
+pub fn auto_eval_cases(
+    source: &Corpus,
+    crude: &LanguageStats,
+    npmi: NpmiParams,
+    n_dirty: usize,
+    n_clean: usize,
+    seed: u64,
+) -> Vec<TestCase> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Compatible columns (all sampled pairs crude-compatible).
+    let mut compatible: Vec<usize> = Vec::new();
+    for (i, col) in source.columns().iter().enumerate() {
+        let distinct: Vec<&str> = col
+            .distinct_values()
+            .into_iter()
+            .filter(|v| !v.is_empty())
+            .collect();
+        if distinct.len() < 2 {
+            continue;
+        }
+        let n = distinct.len().min(10);
+        let mut ok = true;
+        'outer: for a in 0..n {
+            for b in (a + 1)..n {
+                if crude.score_values(distinct[a], distinct[b], npmi) <= 0.0 {
+                    ok = false;
+                    break 'outer;
+                }
+            }
+        }
+        if ok {
+            compatible.push(i);
+        }
+    }
+    let mut cases = Vec::with_capacity(n_dirty + n_clean);
+    if compatible.len() < 2 {
+        return cases;
+    }
+
+    // Dirty cases.
+    let mut guard = 0usize;
+    while cases.len() < n_dirty && guard < n_dirty * 50 {
+        guard += 1;
+        let &c1 = compatible.choose(&mut rng).expect("non-empty");
+        let &c2 = compatible.choose(&mut rng).expect("non-empty");
+        if c1 == c2 {
+            continue;
+        }
+        let col1 = &source.columns()[c1];
+        let col2 = &source.columns()[c2];
+        let vd = match col1.non_empty_values().collect::<Vec<_>>().choose(&mut rng) {
+            Some(&v) => v.to_string(),
+            None => continue,
+        };
+        // vd must be incompatible with every value of C2 (manually tuned
+        // compatibility score of §4.4 = crude NPMI with the Appendix F
+        // threshold).
+        let incompatible = col2
+            .distinct_values()
+            .iter()
+            .take(10)
+            .all(|v| crude.score_values(&vd, v, npmi) < -0.3);
+        if !incompatible || col2.values.iter().any(|v| v == &vd) {
+            continue;
+        }
+        let mut values = col2.values.clone();
+        let pos = rng.random_range(0..=values.len());
+        values.insert(pos, vd.clone());
+        cases.push(TestCase {
+            column: Column::new(values, col2.source),
+            errors: vec![vd],
+        });
+    }
+
+    // Clean cases: untouched compatible columns.
+    let mut clean_added = 0usize;
+    let mut idx: Vec<usize> = compatible.clone();
+    // Shuffle deterministically.
+    for i in (1..idx.len()).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    for &ci in &idx {
+        if clean_added >= n_clean {
+            break;
+        }
+        cases.push(TestCase {
+            column: source.columns()[ci].clone(),
+            errors: Vec::new(),
+        });
+        clean_added += 1;
+    }
+    cases
+}
+
+/// Builds crude statistics for auto-eval over a training corpus.
+pub fn crude_stats(corpus: &Corpus, config: &StatsConfig) -> LanguageStats {
+    LanguageStats::build(crude_language(), corpus, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::{generate_corpus, CorpusProfile, SourceTag};
+
+    fn setup() -> (Corpus, LanguageStats) {
+        let mut p = CorpusProfile::web(600);
+        p.dirty_rate = 0.0;
+        let corpus = generate_corpus(&p);
+        let crude = crude_stats(&corpus, &StatsConfig::default());
+        (corpus, crude)
+    }
+
+    #[test]
+    fn auto_eval_respects_ratio() {
+        let (corpus, crude) = setup();
+        let cases = auto_eval_cases(&corpus, &crude, NpmiParams::default(), 50, 250, 7);
+        let dirty = cases.iter().filter(|c| c.is_dirty()).count();
+        let clean = cases.len() - dirty;
+        assert_eq!(dirty, 50);
+        assert_eq!(clean, 250);
+    }
+
+    #[test]
+    fn dirty_cases_contain_the_planted_value() {
+        let (corpus, crude) = setup();
+        let cases = auto_eval_cases(&corpus, &crude, NpmiParams::default(), 30, 0, 7);
+        for c in &cases {
+            assert_eq!(c.errors.len(), 1);
+            let vd = &c.errors[0];
+            assert!(c.column.values.iter().any(|v| v == vd));
+            assert!(c.is_error(vd));
+            // The planted value appears exactly once.
+            assert_eq!(c.column.values.iter().filter(|v| *v == vd).count(), 1);
+        }
+    }
+
+    #[test]
+    fn planted_values_are_crude_incompatible() {
+        let (corpus, crude) = setup();
+        let cases = auto_eval_cases(&corpus, &crude, NpmiParams::default(), 30, 0, 7);
+        for c in &cases {
+            let vd = &c.errors[0];
+            for v in c.column.distinct_values().iter().take(10) {
+                if v == vd {
+                    continue;
+                }
+                let s = crude.score_values(vd, v, NpmiParams::default());
+                assert!(s < 0.0, "{vd} vs {v} scored {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (corpus, crude) = setup();
+        let a = auto_eval_cases(&corpus, &crude, NpmiParams::default(), 20, 20, 9);
+        let b = auto_eval_cases(&corpus, &crude, NpmiParams::default(), 20, 20, 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.column.values, y.column.values);
+            assert_eq!(x.errors, y.errors);
+        }
+    }
+
+    #[test]
+    fn labeled_conversion_keeps_error_values() {
+        let labeled = vec![LabeledColumn {
+            column: Column::from_strs(&["1", "2", "2x"], SourceTag::Wiki),
+            error_rows: vec![2],
+            error_note: None,
+        }];
+        let cases = cases_from_labeled(&labeled);
+        assert_eq!(cases[0].errors, vec!["2x".to_string()]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the evaluation metrics.
+
+use adt_baselines::Prediction;
+use adt_corpus::{Column, SourceTag};
+use adt_eval::metrics::{pooled_predictions, precision_at_k, precision_series};
+use adt_eval::TestCase;
+use proptest::prelude::*;
+
+fn arb_cases_and_preds() -> impl Strategy<Value = (Vec<TestCase>, Vec<Vec<Prediction>>)> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec("[a-e]{1,3}", 1..6), // column values
+            proptest::collection::vec(("[a-e]{1,3}", 0.0f64..1.0), 0..4), // predictions
+            any::<bool>(),                                 // first value is an error?
+        ),
+        1..12,
+    )
+    .prop_map(|specs| {
+        let mut cases = Vec::new();
+        let mut preds = Vec::new();
+        for (values, ps, dirty) in specs {
+            let errors = if dirty {
+                vec![values[0].clone()]
+            } else {
+                Vec::new()
+            };
+            let refs: Vec<&str> = values.iter().map(|s| s.as_str()).collect();
+            cases.push(TestCase {
+                column: Column::from_strs(&refs, SourceTag::Csv),
+                errors,
+            });
+            preds.push(
+                ps.into_iter()
+                    .map(|(value, confidence)| Prediction { value, confidence })
+                    .collect(),
+            );
+        }
+        (cases, preds)
+    })
+}
+
+proptest! {
+    #[test]
+    fn pooled_ranking_is_confidence_sorted((cases, preds) in arb_cases_and_preds()) {
+        let pooled = pooled_predictions(&cases, &preds, 8);
+        for w in pooled.windows(2) {
+            prop_assert!(w[0].confidence >= w[1].confidence);
+        }
+    }
+
+    #[test]
+    fn precision_bounded_and_consistent((cases, preds) in arb_cases_and_preds()) {
+        let pooled = pooled_predictions(&cases, &preds, 8);
+        for k in [1usize, 2, 5, 100] {
+            let p = precision_at_k(&pooled, k);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+        // precision_at_k(len) equals overall fraction of correct.
+        if !pooled.is_empty() {
+            let overall = pooled.iter().filter(|p| p.correct).count() as f64
+                / pooled.len() as f64;
+            prop_assert!((precision_at_k(&pooled, pooled.len()) - overall).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn per_column_cap_never_exceeded((cases, preds) in arb_cases_and_preds()) {
+        for cap in [1usize, 2, 3] {
+            let pooled = pooled_predictions(&cases, &preds, cap);
+            for (i, _) in cases.iter().enumerate() {
+                let from_case = pooled.iter().filter(|p| p.case == i).count();
+                prop_assert!(from_case <= cap);
+            }
+        }
+    }
+
+    #[test]
+    fn correctness_labels_match_ground_truth((cases, preds) in arb_cases_and_preds()) {
+        let pooled = pooled_predictions(&cases, &preds, 8);
+        for p in &pooled {
+            prop_assert_eq!(p.correct, cases[p.case].is_error(&p.value));
+        }
+    }
+
+    #[test]
+    fn series_matches_pointwise((cases, preds) in arb_cases_and_preds()) {
+        let pooled = pooled_predictions(&cases, &preds, 8);
+        let ks = [1usize, 3, 7];
+        let series = precision_series(&pooled, &ks);
+        for (i, &k) in ks.iter().enumerate() {
+            prop_assert_eq!(series[i], (k, precision_at_k(&pooled, k)));
+        }
+    }
+}

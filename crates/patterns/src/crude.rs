@@ -1,0 +1,64 @@
+//! The crude generalization `G()` used by distant supervision (Appendix F).
+//!
+//! `G()` generalizes characters by class — digits to `\D`, upper-case
+//! letters to `\U`, lower-case letters to `\l` — while leaving symbols and
+//! punctuation untouched. It is the fixed rule the paper uses to score the
+//! compatibility of candidate training columns before any language has been
+//! selected.
+
+use crate::language::{Language, Level};
+use crate::pattern::Pattern;
+
+/// The crude generalization language `G` of Appendix F.
+pub fn crude_language() -> Language {
+    Language {
+        upper: Level::Class,
+        lower: Level::Class,
+        digit: Level::Class,
+        symbol: Level::Leaf,
+    }
+}
+
+/// Applies `G()` to a value.
+///
+/// ```
+/// use adt_patterns::crude_generalize;
+/// assert_eq!(crude_generalize("2011-01-01").to_string(), r"\D[4]-\D[2]-\D[2]");
+/// ```
+pub fn crude_generalize(value: &str) -> Pattern {
+    Pattern::generalize(value, &crude_language())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crude_keeps_symbols_literal() {
+        let p = crude_generalize("2011-01-01");
+        assert_eq!(p.to_string(), r"\D[4]-\D[2]-\D[2]");
+    }
+
+    #[test]
+    fn crude_distinguishes_case() {
+        let p1 = crude_generalize("July");
+        assert_eq!(p1.to_string(), r"\U\l[3]");
+        let p2 = crude_generalize("JULY");
+        assert_eq!(p2.to_string(), r"\U[4]");
+        assert_ne!(p1.hash64(), p2.hash64());
+    }
+
+    #[test]
+    fn crude_separates_date_formats() {
+        let a = crude_generalize("2011-01-01");
+        let b = crude_generalize("2011/01/01");
+        assert_ne!(a.hash64(), b.hash64());
+    }
+
+    #[test]
+    fn crude_collapses_same_format() {
+        let a = crude_generalize("1918-01-01");
+        let b = crude_generalize("2018-12-31");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,258 @@
+//! General tree-cut languages: Definition 2 over arbitrary
+//! generalization trees.
+//!
+//! [`crate::Language`] hard-codes the Figure 3 tree's restricted form
+//! (one level per built-in character class) — the operational fast path.
+//! [`CutLanguage`] implements the unrestricted definition: any antichain
+//! of tree nodes covering the alphabet ("cut") induces a language mapping
+//! each character to its covering node. This supports custom trees, e.g.
+//! one that separates whitespace from punctuation, which the paper's
+//! extra-space errors (Figure 2(a)) motivate.
+
+use crate::pattern::PatternHash;
+use crate::tree::{GeneralizationTree, NodeId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A generalization language defined as a cut of an arbitrary tree.
+#[derive(Debug, Clone)]
+pub struct CutLanguage {
+    /// Node label each alphabet character maps to.
+    map: HashMap<char, String>,
+    /// Stable identifier derived from the cut's node set.
+    id: String,
+}
+
+impl CutLanguage {
+    /// Builds the language induced by `cut` on `tree`.
+    ///
+    /// Every alphabet character must be covered by exactly one node of
+    /// the cut (a node covers a character when it is an ancestor of, or
+    /// equal to, the character's leaf).
+    pub fn from_cut(tree: &GeneralizationTree, cut: &[NodeId]) -> Result<CutLanguage, String> {
+        let mut map = HashMap::new();
+        for c in tree.alphabet() {
+            let leaf = tree.leaf(c).expect("alphabet char has a leaf");
+            let covering: Vec<NodeId> = cut
+                .iter()
+                .copied()
+                .filter(|&n| tree.is_ancestor_or_self(n, leaf))
+                .collect();
+            match covering.as_slice() {
+                [node] => {
+                    map.insert(c, tree.node(*node).label.clone());
+                }
+                [] => return Err(format!("character {c:?} not covered by the cut")),
+                _ => {
+                    return Err(format!(
+                        "character {c:?} covered by {} cut nodes (not an antichain)",
+                        covering.len()
+                    ))
+                }
+            }
+        }
+        let mut labels: Vec<&str> = cut.iter().map(|&n| tree.node(n).label.as_str()).collect();
+        labels.sort_unstable();
+        Ok(CutLanguage {
+            map,
+            id: format!("cut[{}]", labels.join(",")),
+        })
+    }
+
+    /// Stable identifier of the cut.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Generalizes a value: per-character node labels, run-length
+    /// collapsed, rendered in the paper's notation. Characters outside
+    /// the tree's alphabet map to themselves (kept literal).
+    pub fn generalize(&self, value: &str) -> String {
+        fn flush(out: &mut String, run: &Option<(String, bool, u32)>) {
+            if let Some((label, is_leaf, n)) = run {
+                if *is_leaf {
+                    for _ in 0..*n {
+                        out.push_str(label);
+                    }
+                } else if *n == 1 {
+                    out.push_str(label);
+                } else {
+                    let _ = write!(out, "{label}[{n}]");
+                }
+            }
+        }
+        let mut out = String::new();
+        let mut run: Option<(String, bool, u32)> = None; // (label, is_leaf, len)
+        for c in value.chars() {
+            let (label, is_leaf) = match self.map.get(&c) {
+                Some(l) => (l.clone(), l.chars().count() == 1),
+                None => (c.to_string(), true),
+            };
+            match &mut run {
+                Some((rl, rleaf, n)) if *rl == label && *rleaf == is_leaf => *n += 1,
+                _ => {
+                    flush(&mut out, &run);
+                    run = Some((label, is_leaf, 1));
+                }
+            }
+        }
+        flush(&mut out, &run);
+        out
+    }
+
+    /// Pattern hash of a value under this cut (FNV-1a of the rendering).
+    pub fn pattern_hash(&self, value: &str) -> PatternHash {
+        let rendered = self.generalize(value);
+        let mut h = 0xcbf29ce484222325u64;
+        for b in rendered.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        PatternHash(h)
+    }
+}
+
+/// The Figure 3 tree extended with a whitespace class: symbols split into
+/// `\W` (space/tab) and `\P` (punctuation). Cuts of this tree can detect
+/// whitespace anomalies that the stock tree folds into `\S`.
+pub fn whitespace_tree() -> GeneralizationTree {
+    use crate::tree::TreeBuilder;
+    let mut b = TreeBuilder::new(r"\A");
+    let letters = b.child(b.root, r"\L");
+    let upper = b.child(letters, r"\U");
+    let lower = b.child(letters, r"\l");
+    let digits = b.child(b.root, r"\D");
+    let symbols = b.child(b.root, r"\S");
+    let white = b.child(symbols, r"\W");
+    let punct = b.child(symbols, r"\P");
+    for c in 'A'..='Z' {
+        b.leaf(upper, c);
+    }
+    for c in 'a'..='z' {
+        b.leaf(lower, c);
+    }
+    for c in '0'..='9' {
+        b.leaf(digits, c);
+    }
+    for c in ' '..='~' {
+        if !c.is_ascii_alphanumeric() {
+            if c == ' ' {
+                b.leaf(white, c);
+            } else {
+                b.leaf(punct, c);
+            }
+        }
+    }
+    b.build().expect("whitespace tree is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node_by_label(t: &GeneralizationTree, label: &str) -> NodeId {
+        (0..t.len())
+            .find(|&i| t.node(i).label == label)
+            .unwrap_or_else(|| panic!("no node {label}"))
+    }
+
+    #[test]
+    fn figure3_cut_reproduces_l2() {
+        let t = GeneralizationTree::figure3();
+        let cut = vec![
+            node_by_label(&t, r"\L"),
+            node_by_label(&t, r"\D"),
+            node_by_label(&t, r"\S"),
+        ];
+        let lang = CutLanguage::from_cut(&t, &cut).unwrap();
+        assert_eq!(lang.generalize("2014-01"), r"\D[4]\S\D[2]");
+        assert_eq!(lang.generalize("July-01"), r"\L[4]\S\D[2]");
+        // Matches the fast-path Language::paper_l2 rendering.
+        let l2 = crate::Language::paper_l2();
+        assert_eq!(
+            lang.generalize("2014-01"),
+            crate::Pattern::generalize("2014-01", &l2).to_string()
+        );
+    }
+
+    #[test]
+    fn incomplete_cut_rejected() {
+        let t = GeneralizationTree::figure3();
+        let cut = vec![node_by_label(&t, r"\L")]; // digits/symbols uncovered
+        assert!(CutLanguage::from_cut(&t, &cut).is_err());
+    }
+
+    #[test]
+    fn overlapping_cut_rejected() {
+        let t = GeneralizationTree::figure3();
+        let cut = vec![
+            node_by_label(&t, r"\A"),
+            node_by_label(&t, r"\D"), // \A already covers digits
+        ];
+        assert!(CutLanguage::from_cut(&t, &cut).is_err());
+    }
+
+    #[test]
+    fn leaf_level_cut_keeps_literals() {
+        let t = GeneralizationTree::figure3();
+        // Cut: every leaf under \S literal, classes for the rest.
+        let mut cut = vec![node_by_label(&t, r"\L"), node_by_label(&t, r"\D")];
+        for c in ' '..='~' {
+            if !c.is_ascii_alphanumeric() {
+                cut.push(t.leaf(c).unwrap());
+            }
+        }
+        let lang = CutLanguage::from_cut(&t, &cut).unwrap();
+        assert_eq!(lang.generalize("2011-01-01"), r"\D[4]-\D[2]-\D[2]");
+    }
+
+    #[test]
+    fn whitespace_tree_separates_space_from_punct() {
+        let t = whitespace_tree();
+        let cut = vec![
+            node_by_label(&t, r"\L"),
+            node_by_label(&t, r"\D"),
+            node_by_label(&t, r"\W"),
+            node_by_label(&t, r"\P"),
+        ];
+        let lang = CutLanguage::from_cut(&t, &cut).unwrap();
+        let single = lang.generalize("John Smith");
+        let double = lang.generalize("John  Smith");
+        assert_ne!(single, double, "whitespace runs must be distinguishable");
+        assert!(single.contains(r"\W"));
+        // Punctuation does not collide with whitespace.
+        assert_ne!(lang.generalize("a b"), lang.generalize("a-b"));
+    }
+
+    #[test]
+    fn out_of_alphabet_chars_stay_literal() {
+        let t = GeneralizationTree::figure3();
+        let cut = vec![node_by_label(&t, r"\A")];
+        let lang = CutLanguage::from_cut(&t, &cut).unwrap();
+        let g = lang.generalize("ab—cd");
+        assert!(g.contains('—'), "got {g}");
+    }
+
+    #[test]
+    fn hashes_follow_renderings() {
+        let t = GeneralizationTree::figure3();
+        let cut = vec![
+            node_by_label(&t, r"\L"),
+            node_by_label(&t, r"\D"),
+            node_by_label(&t, r"\S"),
+        ];
+        let lang = CutLanguage::from_cut(&t, &cut).unwrap();
+        assert_eq!(
+            lang.pattern_hash("2011-01-01"),
+            lang.pattern_hash("2012-02-02")
+        );
+        // Under this class-level cut '-' and '/' both map to \S — the
+        // Example 2 collision — so a separator swap is NOT distinguishable
+        // here; a different shape is.
+        assert_eq!(
+            lang.pattern_hash("2011-01-01"),
+            lang.pattern_hash("2011/01/01")
+        );
+        assert_ne!(lang.pattern_hash("2011-01-01"), lang.pattern_hash("July-01"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Enumeration of candidate language spaces.
+//!
+//! The paper restricts the 6×10^51 unrestricted language space so that all
+//! characters of a class generalize to the same tree level, which leaves
+//! 4 (upper) × 4 (lower) × 3 (digit) × 3 (symbol) = **144** candidates.
+//! [`enumerate_restricted_languages`] produces exactly that space.
+//!
+//! [`enumerate_coarse_languages`] is a 36-language ablation space that ties
+//! upper- and lower-case letters to the same level, used by the DESIGN.md §5
+//! ablation benches.
+
+use crate::language::{Language, Level};
+
+const LETTER_LEVELS: [Level; 4] = [Level::Leaf, Level::Class, Level::Super, Level::Root];
+const DIGIT_SYMBOL_LEVELS: [Level; 3] = [Level::Leaf, Level::Class, Level::Root];
+
+/// All 144 restricted candidate languages induced by the Figure 3 tree.
+///
+/// The order is deterministic: nested loops over (upper, lower, digit,
+/// symbol) levels, finest first.
+pub fn enumerate_restricted_languages() -> Vec<Language> {
+    let mut out = Vec::with_capacity(144);
+    for &u in &LETTER_LEVELS {
+        for &l in &LETTER_LEVELS {
+            for &d in &DIGIT_SYMBOL_LEVELS {
+                for &s in &DIGIT_SYMBOL_LEVELS {
+                    out.push(Language::new(u, l, d, s).expect("levels are class-legal"));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Coarser 36-language ablation space: upper and lower case share a level
+/// (letters as a block), digits and symbols free.
+///
+/// 4 (letters) × 3 (digit) × 3 (symbol) = 36 languages.
+pub fn enumerate_coarse_languages() -> Vec<Language> {
+    let mut out = Vec::with_capacity(36);
+    for &letters in &LETTER_LEVELS {
+        for &d in &DIGIT_SYMBOL_LEVELS {
+            for &s in &DIGIT_SYMBOL_LEVELS {
+                out.push(Language::new(letters, letters, d, s).expect("levels are class-legal"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::GeneralizationTree;
+    use std::collections::HashSet;
+
+    #[test]
+    fn restricted_space_has_144_distinct_languages() {
+        let langs = enumerate_restricted_languages();
+        assert_eq!(langs.len(), 144);
+        let ids: HashSet<String> = langs.iter().map(|l| l.id()).collect();
+        assert_eq!(ids.len(), 144);
+    }
+
+    #[test]
+    fn restricted_space_contains_paper_languages() {
+        let langs = enumerate_restricted_languages();
+        assert!(langs.contains(&Language::paper_l1()));
+        assert!(langs.contains(&Language::paper_l2()));
+        assert!(langs.contains(&Language::leaf()));
+        assert!(langs.contains(&Language::root()));
+    }
+
+    #[test]
+    fn all_languages_consistent_with_figure3() {
+        let t = GeneralizationTree::figure3();
+        for l in enumerate_restricted_languages() {
+            assert!(l.is_consistent_with(&t), "{} inconsistent", l.id());
+        }
+    }
+
+    #[test]
+    fn coarse_space_has_36_and_is_subset() {
+        let coarse = enumerate_coarse_languages();
+        assert_eq!(coarse.len(), 36);
+        let full: HashSet<String> = enumerate_restricted_languages()
+            .iter()
+            .map(|l| l.id())
+            .collect();
+        for l in &coarse {
+            assert!(full.contains(&l.id()));
+            assert_eq!(l.upper, l.lower);
+        }
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        assert_eq!(
+            enumerate_restricted_languages(),
+            enumerate_restricted_languages()
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! Generalization languages (Definition 2 of the paper).
+//!
+//! A generalization language maps every character of the alphabet to a node
+//! of the generalization tree that is an ancestor of (or equal to) the
+//! character's leaf. The paper restricts the candidate space so that all
+//! characters of a class (upper-case letters, lower-case letters, digits,
+//! symbols) generalize to the same level, which yields the 144-language
+//! space enumerated in [`crate::enumeration`]. [`Language`] is that
+//! restricted form; it is the operational representation used everywhere in
+//! the pipeline because applying it is a per-character table lookup.
+
+use crate::tree::GeneralizationTree;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Character class of the Figure 3 alphabet.
+///
+/// Characters outside printable ASCII are conservatively treated as
+/// [`CharKind::Symbol`]; this keeps generalization total over arbitrary
+/// cell contents (the paper focuses on the English alphabet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CharKind {
+    /// `A`–`Z`
+    Upper,
+    /// `a`–`z`
+    Lower,
+    /// `0`–`9`
+    Digit,
+    /// Everything else (punctuation, whitespace, non-ASCII).
+    Symbol,
+}
+
+impl CharKind {
+    /// Classifies a character.
+    #[inline]
+    pub fn of(c: char) -> CharKind {
+        if c.is_ascii_uppercase() {
+            CharKind::Upper
+        } else if c.is_ascii_lowercase() {
+            CharKind::Lower
+        } else if c.is_ascii_digit() {
+            CharKind::Digit
+        } else {
+            CharKind::Symbol
+        }
+    }
+}
+
+/// Level a character class generalizes to.
+///
+/// Which levels are valid depends on the class: letters have four levels
+/// (leaf, `\U`/`\l`, `\L`, `\A`), digits and symbols have three (leaf,
+/// `\D`/`\S`, `\A`), mirroring the Figure 3 tree depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Level {
+    /// Keep the literal character (leaf of the tree).
+    Leaf,
+    /// The class node directly above the leaves: `\U`, `\l`, `\D`, `\S`.
+    Class,
+    /// Letters only: the `\L` node above `\U` and `\l`.
+    Super,
+    /// The root `\A`.
+    Root,
+}
+
+/// A restricted generalization language: one level per character class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Language {
+    /// Level for `A`–`Z`.
+    pub upper: Level,
+    /// Level for `a`–`z`.
+    pub lower: Level,
+    /// Level for `0`–`9`.
+    pub digit: Level,
+    /// Level for symbols.
+    pub symbol: Level,
+}
+
+impl Language {
+    /// Builds a language, validating per-class level legality.
+    ///
+    /// `Level::Super` is only meaningful for letter classes (it is the `\L`
+    /// node); digits and symbols have no super-class node in Figure 3.
+    pub fn new(upper: Level, lower: Level, digit: Level, symbol: Level) -> Result<Self, String> {
+        if digit == Level::Super {
+            return Err("digits have no \\L-style super class".into());
+        }
+        if symbol == Level::Super {
+            return Err("symbols have no \\L-style super class".into());
+        }
+        Ok(Language {
+            upper,
+            lower,
+            digit,
+            symbol,
+        })
+    }
+
+    /// The level assigned to a character class.
+    #[inline]
+    pub fn level_of(&self, kind: CharKind) -> Level {
+        match kind {
+            CharKind::Upper => self.upper,
+            CharKind::Lower => self.lower,
+            CharKind::Digit => self.digit,
+            CharKind::Symbol => self.symbol,
+        }
+    }
+
+    /// `L1` from the paper's Example 2: symbols stay literal, everything
+    /// else generalizes to the root `\A`.
+    pub fn paper_l1() -> Self {
+        Language {
+            upper: Level::Root,
+            lower: Level::Root,
+            digit: Level::Root,
+            symbol: Level::Leaf,
+        }
+    }
+
+    /// `L2` from the paper's Example 2: letters to `\L`, digits to `\D`,
+    /// symbols to `\S`.
+    pub fn paper_l2() -> Self {
+        Language {
+            upper: Level::Super,
+            lower: Level::Super,
+            digit: Level::Class,
+            symbol: Level::Class,
+        }
+    }
+
+    /// `L_leaf`: no generalization at all (sensitive, sparse).
+    pub fn leaf() -> Self {
+        Language {
+            upper: Level::Leaf,
+            lower: Level::Leaf,
+            digit: Level::Leaf,
+            symbol: Level::Leaf,
+        }
+    }
+
+    /// `L_root`: everything generalizes to `\A` (robust, insensitive).
+    pub fn root() -> Self {
+        Language {
+            upper: Level::Root,
+            lower: Level::Root,
+            digit: Level::Root,
+            symbol: Level::Root,
+        }
+    }
+
+    /// The tree node each character class maps to, as a comparable id:
+    /// `None` for leaf level (each character its own node), `Some(label)`
+    /// for an internal node.
+    fn class_nodes(&self) -> [Option<&'static str>; 4] {
+        fn node(level: Level, class_label: &'static str) -> Option<&'static str> {
+            match level {
+                Level::Leaf => None,
+                Level::Class => Some(class_label),
+                Level::Super => Some(r"\L"),
+                Level::Root => Some(r"\A"),
+            }
+        }
+        [
+            node(self.upper, r"\U"),
+            node(self.lower, r"\l"),
+            node(self.digit, r"\D"),
+            node(self.symbol, r"\S"),
+        ]
+    }
+
+    /// True when `self` generalizes at least as much as `other`, in the
+    /// pattern-refinement sense: every pair of values with equal patterns
+    /// under `other` also has equal patterns under `self`.
+    ///
+    /// Pointwise level comparison per class is *not* sufficient: lifting
+    /// upper-case from `\L` to `\A` while lower-case stays at `\L` splits
+    /// values that `other` had merged under `\L`. Coarsening must (a) not
+    /// lower any class's level and (b) preserve every class merge `other`
+    /// performs (classes sharing a node under `other` must share one
+    /// under `self`).
+    pub fn is_coarser_or_equal(&self, other: &Language) -> bool {
+        let pointwise = self.upper >= other.upper
+            && self.lower >= other.lower
+            && self.digit >= other.digit
+            && self.symbol >= other.symbol;
+        if !pointwise {
+            return false;
+        }
+        let mine = self.class_nodes();
+        let theirs = other.class_nodes();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let merged_in_other =
+                    theirs[i].is_some() && theirs[i] == theirs[j];
+                let merged_in_self = mine[i].is_some() && mine[i] == mine[j];
+                if merged_in_other && !merged_in_self {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks this language against an explicit tree: every alphabet
+    /// character must map to an ancestor of its leaf (Definition 2).
+    pub fn is_consistent_with(&self, tree: &GeneralizationTree) -> bool {
+        tree.alphabet().all(|c| {
+            let leaf = match tree.leaf(c) {
+                Some(l) => l,
+                None => return false,
+            };
+            let target_label = self.node_label(c);
+            tree.ancestors_of(leaf)
+                .into_iter()
+                .any(|id| tree.node(id).label == target_label)
+        })
+    }
+
+    /// The tree-node label character `c` maps to under this language.
+    pub fn node_label(&self, c: char) -> String {
+        let kind = CharKind::of(c);
+        match self.level_of(kind) {
+            Level::Leaf => c.to_string(),
+            Level::Class => match kind {
+                CharKind::Upper => r"\U".into(),
+                CharKind::Lower => r"\l".into(),
+                CharKind::Digit => r"\D".into(),
+                CharKind::Symbol => r"\S".into(),
+            },
+            Level::Super => r"\L".into(),
+            Level::Root => r"\A".into(),
+        }
+    }
+
+    /// A short stable identifier, e.g. `U2l2d1s0`, encoding per-class levels
+    /// (0 = leaf, 1 = class, 2 = super, 3 = root). Useful in reports.
+    pub fn id(&self) -> String {
+        fn lv(l: Level) -> u8 {
+            match l {
+                Level::Leaf => 0,
+                Level::Class => 1,
+                Level::Super => 2,
+                Level::Root => 3,
+            }
+        }
+        format!(
+            "U{}l{}d{}s{}",
+            lv(self.upper),
+            lv(self.lower),
+            lv(self.digit),
+            lv(self.symbol)
+        )
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_chars() {
+        assert_eq!(CharKind::of('Q'), CharKind::Upper);
+        assert_eq!(CharKind::of('q'), CharKind::Lower);
+        assert_eq!(CharKind::of('7'), CharKind::Digit);
+        assert_eq!(CharKind::of('-'), CharKind::Symbol);
+        assert_eq!(CharKind::of(' '), CharKind::Symbol);
+        assert_eq!(CharKind::of('é'), CharKind::Symbol);
+    }
+
+    #[test]
+    fn super_level_invalid_for_digits_and_symbols() {
+        assert!(Language::new(Level::Leaf, Level::Leaf, Level::Super, Level::Leaf).is_err());
+        assert!(Language::new(Level::Leaf, Level::Leaf, Level::Leaf, Level::Super).is_err());
+        assert!(Language::new(Level::Super, Level::Super, Level::Class, Level::Class).is_ok());
+    }
+
+    #[test]
+    fn paper_languages_consistent_with_figure3() {
+        let t = GeneralizationTree::figure3();
+        assert!(Language::paper_l1().is_consistent_with(&t));
+        assert!(Language::paper_l2().is_consistent_with(&t));
+        assert!(Language::leaf().is_consistent_with(&t));
+        assert!(Language::root().is_consistent_with(&t));
+    }
+
+    #[test]
+    fn coarseness_partial_order() {
+        let root = Language::root();
+        let leaf = Language::leaf();
+        let l2 = Language::paper_l2();
+        assert!(root.is_coarser_or_equal(&leaf));
+        assert!(root.is_coarser_or_equal(&l2));
+        assert!(l2.is_coarser_or_equal(&leaf));
+        assert!(!leaf.is_coarser_or_equal(&l2));
+        // L1 and L2 are incomparable: L1 is coarser on digits, finer on symbols.
+        let l1 = Language::paper_l1();
+        assert!(!l1.is_coarser_or_equal(&l2));
+        assert!(!l2.is_coarser_or_equal(&l1));
+    }
+
+    #[test]
+    fn coarsening_must_preserve_merges() {
+        // Lifting upper to \A while lower stays at \L would SPLIT values
+        // like "aAaa" / "AAaA" that the \L-level language merges; the
+        // refinement order must reject it despite pointwise-higher levels.
+        let merged = Language::new(Level::Super, Level::Super, Level::Class, Level::Class)
+            .unwrap();
+        let lifted = Language::new(Level::Root, Level::Super, Level::Class, Level::Class)
+            .unwrap();
+        assert!(!lifted.is_coarser_or_equal(&merged));
+        // But lifting BOTH letter classes to \A preserves the merge.
+        let both = Language::new(Level::Root, Level::Root, Level::Class, Level::Class)
+            .unwrap();
+        assert!(both.is_coarser_or_equal(&merged));
+    }
+
+    #[test]
+    fn ids_are_distinct_for_paper_languages() {
+        assert_ne!(Language::paper_l1().id(), Language::paper_l2().id());
+        assert_eq!(Language::paper_l1().id(), "U3l3d3s0");
+        assert_eq!(Language::paper_l2().id(), "U2l2d1s1");
+    }
+
+    #[test]
+    fn node_labels() {
+        let l2 = Language::paper_l2();
+        assert_eq!(l2.node_label('X'), r"\L");
+        assert_eq!(l2.node_label('4'), r"\D");
+        assert_eq!(l2.node_label('.'), r"\S");
+        let l1 = Language::paper_l1();
+        assert_eq!(l1.node_label('.'), ".");
+        assert_eq!(l1.node_label('4'), r"\A");
+    }
+}

@@ -1,0 +1,276 @@
+//! Patterns: the result of applying a generalization language to a value
+//! (Equation 3 of the paper), stored as run-length token sequences such as
+//! `\D[4]\S\D[2]` or `\A[4]-\A[2]-\A[2]`.
+
+use crate::language::{CharKind, Language, Level};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One run-length token of a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Token {
+    /// A literal character kept at leaf level, repeated `run` times.
+    Literal(char),
+    /// `\U` run.
+    Upper,
+    /// `\l` run.
+    Lower,
+    /// `\L` run.
+    Letter,
+    /// `\D` run.
+    Digit,
+    /// `\S` run.
+    Symbol,
+    /// `\A` run.
+    Any,
+}
+
+impl Token {
+    /// Token for character `c` under language `lang`.
+    #[inline]
+    pub fn of(c: char, lang: &Language) -> Token {
+        let kind = CharKind::of(c);
+        match lang.level_of(kind) {
+            Level::Leaf => Token::Literal(c),
+            Level::Class => match kind {
+                CharKind::Upper => Token::Upper,
+                CharKind::Lower => Token::Lower,
+                CharKind::Digit => Token::Digit,
+                CharKind::Symbol => Token::Symbol,
+            },
+            Level::Super => Token::Letter,
+            Level::Root => Token::Any,
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            Token::Literal(c) => c.to_string(),
+            Token::Upper => r"\U".into(),
+            Token::Lower => r"\l".into(),
+            Token::Letter => r"\L".into(),
+            Token::Digit => r"\D".into(),
+            Token::Symbol => r"\S".into(),
+            Token::Any => r"\A".into(),
+        }
+    }
+}
+
+/// 64-bit pattern identity used as the statistics key.
+///
+/// Wraps an FNV-1a hash of the token stream. Collisions are possible in
+/// principle but at corpus scales (10^7–10^8 distinct patterns) the expected
+/// collision count is negligible and only perturbs counts, which the method
+/// tolerates by design (it already tolerates count-min overestimates).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct PatternHash(pub u64);
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+#[inline]
+fn fnv1a_step(mut h: u64, byte: u8) -> u64 {
+    h ^= byte as u64;
+    h = h.wrapping_mul(FNV_PRIME);
+    h
+}
+
+/// A generalized pattern: run-length encoded token sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pattern {
+    runs: Vec<(Token, u32)>,
+}
+
+impl Pattern {
+    /// Applies `lang` to `value` (Equation 3) and run-length encodes the
+    /// token stream. The empty value produces the empty pattern.
+    pub fn generalize(value: &str, lang: &Language) -> Pattern {
+        let mut runs: Vec<(Token, u32)> = Vec::with_capacity(8);
+        for c in value.chars() {
+            let t = Token::of(c, lang);
+            match runs.last_mut() {
+                Some((last, n)) if *last == t => *n += 1,
+                _ => runs.push((t, 1)),
+            }
+        }
+        Pattern { runs }
+    }
+
+    /// The run-length tokens of this pattern.
+    pub fn runs(&self) -> &[(Token, u32)] {
+        &self.runs
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True when the source value was empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Expands to per-character tokens (undoing run-length coding); used by
+    /// the alignment distance.
+    pub fn expanded(&self) -> Vec<Token> {
+        let mut out = Vec::with_capacity(self.runs.iter().map(|&(_, n)| n as usize).sum());
+        for &(t, n) in &self.runs {
+            out.extend(std::iter::repeat_n(t, n as usize));
+        }
+        out
+    }
+
+    /// Stable 64-bit hash of the pattern (FNV-1a over tokens and run
+    /// lengths). Two patterns compare equal iff their hashes were computed
+    /// from identical token streams, modulo 64-bit collisions.
+    pub fn hash64(&self) -> PatternHash {
+        let mut h = FNV_OFFSET;
+        for &(t, n) in &self.runs {
+            let tag: u8 = match t {
+                Token::Literal(_) => 0,
+                Token::Upper => 1,
+                Token::Lower => 2,
+                Token::Letter => 3,
+                Token::Digit => 4,
+                Token::Symbol => 5,
+                Token::Any => 6,
+            };
+            h = fnv1a_step(h, tag);
+            if let Token::Literal(c) = t {
+                for b in (c as u32).to_le_bytes() {
+                    h = fnv1a_step(h, b);
+                }
+            }
+            for b in n.to_le_bytes() {
+                h = fnv1a_step(h, b);
+            }
+        }
+        PatternHash(h)
+    }
+
+    /// Approximate in-memory footprint of one occurrence-count entry for
+    /// this pattern, in bytes: hash key + count. Used for `size(L)`
+    /// accounting before sketching.
+    pub const OCC_ENTRY_BYTES: usize = 16;
+    /// Approximate footprint of one co-occurrence entry: ordered hash pair +
+    /// count.
+    pub const COOC_ENTRY_BYTES: usize = 24;
+}
+
+impl fmt::Display for Pattern {
+    /// Prints in the paper's notation: literal runs verbatim (`--` for a
+    /// two-symbol run), class runs as `\D[4]`, with `[1]` omitted.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &(t, n) in &self.runs {
+            match t {
+                Token::Literal(c) => {
+                    for _ in 0..n {
+                        write!(f, "{c}")?;
+                    }
+                }
+                _ => {
+                    if n == 1 {
+                        write!(f, "{}", t.label())?;
+                    } else {
+                        write!(f, "{}[{}]", t.label(), n)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example2_l1() {
+        // L1: symbols literal, rest to \A.
+        let l1 = Language::paper_l1();
+        let p1 = Pattern::generalize("2011-01-01", &l1);
+        let p2 = Pattern::generalize("2011.01.02", &l1);
+        assert_eq!(p1.to_string(), r"\A[4]-\A[2]-\A[2]");
+        assert_eq!(p2.to_string(), r"\A[4].\A[2].\A[2]");
+        assert_ne!(p1.hash64(), p2.hash64());
+    }
+
+    #[test]
+    fn paper_example2_l2_collapses_dates() {
+        let l2 = Language::paper_l2();
+        let p1 = Pattern::generalize("2011-01-01", &l2);
+        let p2 = Pattern::generalize("2011.01.02", &l2);
+        assert_eq!(p1.to_string(), r"\D[4]\S\D[2]\S\D[2]");
+        assert_eq!(p1, p2);
+        assert_eq!(p1.hash64(), p2.hash64());
+    }
+
+    #[test]
+    fn paper_example2_l2_distinguishes_month_names() {
+        let l2 = Language::paper_l2();
+        let p3 = Pattern::generalize("2014-01", &l2);
+        let p4 = Pattern::generalize("July-01", &l2);
+        assert_eq!(p3.to_string(), r"\D[4]\S\D[2]");
+        assert_eq!(p4.to_string(), r"\L[4]\S\D[2]");
+        assert_ne!(p3.hash64(), p4.hash64());
+    }
+
+    #[test]
+    fn paper_example2_l1_collapses_month_names() {
+        let l1 = Language::paper_l1();
+        let p3 = Pattern::generalize("2014-01", &l1);
+        let p4 = Pattern::generalize("July-01", &l1);
+        assert_eq!(p3, p4);
+    }
+
+    #[test]
+    fn leaf_language_is_identity_like() {
+        let leaf = Language::leaf();
+        let p = Pattern::generalize("Ab-7", &leaf);
+        assert_eq!(p.to_string(), "Ab-7");
+        assert_eq!(p.expanded().len(), 4);
+    }
+
+    #[test]
+    fn literal_runs_repeat() {
+        let leaf = Language::leaf();
+        let p = Pattern::generalize("aa--", &leaf);
+        assert_eq!(p.to_string(), "aa--");
+        assert_eq!(p.len(), 2); // two runs: 'a'x2, '-'x2
+    }
+
+    #[test]
+    fn empty_value() {
+        let p = Pattern::generalize("", &Language::paper_l2());
+        assert!(p.is_empty());
+        assert_eq!(p.to_string(), "");
+    }
+
+    #[test]
+    fn run_length_matters_for_identity() {
+        let l2 = Language::paper_l2();
+        let p1 = Pattern::generalize("123", &l2);
+        let p2 = Pattern::generalize("1234", &l2);
+        assert_ne!(p1.hash64(), p2.hash64());
+    }
+
+    #[test]
+    fn hash_distinguishes_literal_chars() {
+        let l1 = Language::paper_l1();
+        let p1 = Pattern::generalize("1-2", &l1);
+        let p2 = Pattern::generalize("1/2", &l1);
+        assert_ne!(p1.hash64(), p2.hash64());
+    }
+
+    #[test]
+    fn unicode_treated_as_symbol() {
+        let l2 = Language::paper_l2();
+        let p = Pattern::generalize("café", &l2);
+        // c,a,f -> \L run; é -> \S.
+        assert_eq!(p.to_string(), r"\L[3]\S");
+    }
+}

@@ -1,0 +1,282 @@
+//! Generalization trees (Definition 1 of the paper).
+//!
+//! A generalization tree `H` over an alphabet Σ has one leaf per character
+//! and intermediate nodes representing the union of the characters below
+//! them. The paper's Figure 3 tree is provided by
+//! [`GeneralizationTree::figure3`]; custom trees can be assembled with
+//! [`TreeBuilder`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of a node inside a [`GeneralizationTree`].
+pub type NodeId = usize;
+
+/// One node of a generalization tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeNode {
+    /// Display label, e.g. `\A`, `\L`, `\D`, or a literal character.
+    pub label: String,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Child nodes; empty for leaves.
+    pub children: Vec<NodeId>,
+    /// Distance from the root (root has depth 0).
+    pub depth: u8,
+}
+
+/// A generalization tree over an alphabet (Definition 1).
+///
+/// Leaves correspond to characters; intermediate nodes are unions of their
+/// children. The tree answers ancestor queries, which is what a
+/// generalization language needs: a language must map each character to an
+/// ancestor of that character's leaf.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneralizationTree {
+    nodes: Vec<TreeNode>,
+    root: NodeId,
+    /// Leaf node of each alphabet character.
+    leaf_of: HashMap<char, NodeId>,
+}
+
+impl GeneralizationTree {
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &TreeNode {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes (leaves + internal).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree has no nodes (never the case for built trees).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The alphabet the tree is defined over.
+    pub fn alphabet(&self) -> impl Iterator<Item = char> + '_ {
+        self.leaf_of.keys().copied()
+    }
+
+    /// Leaf node of `c`, if `c` is in the alphabet.
+    pub fn leaf(&self, c: char) -> Option<NodeId> {
+        self.leaf_of.get(&c).copied()
+    }
+
+    /// True iff `anc` is `node` or one of its ancestors.
+    pub fn is_ancestor_or_self(&self, anc: NodeId, node: NodeId) -> bool {
+        let mut cur = Some(node);
+        while let Some(id) = cur {
+            if id == anc {
+                return true;
+            }
+            cur = self.nodes[id].parent;
+        }
+        false
+    }
+
+    /// All ancestors of `node` from itself up to the root (inclusive).
+    pub fn ancestors_of(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = Some(node);
+        while let Some(id) = cur {
+            out.push(id);
+            cur = self.nodes[id].parent;
+        }
+        out
+    }
+
+    /// Validates Definition 1 invariants; used by tests and `TreeBuilder`.
+    ///
+    /// Every leaf must be a registered alphabet character, every non-leaf
+    /// must have at least one child, and parent/child links must agree.
+    pub fn validate(&self) -> Result<(), String> {
+        for (id, n) in self.nodes.iter().enumerate() {
+            for &c in &n.children {
+                if self.nodes[c].parent != Some(id) {
+                    return Err(format!("child {c} of {id} has wrong parent"));
+                }
+            }
+            if let Some(p) = n.parent {
+                if !self.nodes[p].children.contains(&id) {
+                    return Err(format!("{id} missing from parent {p}'s children"));
+                }
+            } else if id != self.root {
+                return Err(format!("non-root {id} has no parent"));
+            }
+            if n.children.is_empty() && !self.leaf_of.values().any(|&l| l == id) {
+                return Err(format!("leaf {id} ({}) not in alphabet map", n.label));
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's Figure 3 tree: `\A` over `\L` (letters, split into `\U`
+    /// upper and `\l` lower), `\D` (digits) and `\S` (symbols), with one
+    /// leaf per printable ASCII character.
+    ///
+    /// Whitespace and all remaining printable ASCII characters are treated
+    /// as symbols, matching the paper's handling of punctuation.
+    pub fn figure3() -> Self {
+        let mut b = TreeBuilder::new(r"\A");
+        let letters = b.child(b.root, r"\L");
+        let upper = b.child(letters, r"\U");
+        let lower = b.child(letters, r"\l");
+        let digits = b.child(b.root, r"\D");
+        let symbols = b.child(b.root, r"\S");
+        for c in 'A'..='Z' {
+            b.leaf(upper, c);
+        }
+        for c in 'a'..='z' {
+            b.leaf(lower, c);
+        }
+        for c in '0'..='9' {
+            b.leaf(digits, c);
+        }
+        for c in ' '..='~' {
+            if !c.is_ascii_alphanumeric() {
+                b.leaf(symbols, c);
+            }
+        }
+        b.build().expect("figure3 tree is well-formed")
+    }
+}
+
+/// Incremental builder for [`GeneralizationTree`].
+#[derive(Debug)]
+pub struct TreeBuilder {
+    nodes: Vec<TreeNode>,
+    /// Root node id (always 0).
+    pub root: NodeId,
+    leaf_of: HashMap<char, NodeId>,
+}
+
+impl TreeBuilder {
+    /// Starts a tree with a root labelled `root_label`.
+    pub fn new(root_label: &str) -> Self {
+        TreeBuilder {
+            nodes: vec![TreeNode {
+                label: root_label.to_string(),
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+            }],
+            root: 0,
+            leaf_of: HashMap::new(),
+        }
+    }
+
+    /// Adds an internal node under `parent` and returns its id.
+    pub fn child(&mut self, parent: NodeId, label: &str) -> NodeId {
+        let id = self.nodes.len();
+        let depth = self.nodes[parent].depth + 1;
+        self.nodes.push(TreeNode {
+            label: label.to_string(),
+            parent: Some(parent),
+            children: Vec::new(),
+            depth,
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Adds the leaf for character `c` under `parent`.
+    pub fn leaf(&mut self, parent: NodeId, c: char) -> NodeId {
+        let id = self.child(parent, &c.to_string());
+        self.leaf_of.insert(c, id);
+        id
+    }
+
+    /// Finishes the tree, validating Definition 1 invariants.
+    pub fn build(self) -> Result<GeneralizationTree, String> {
+        let t = GeneralizationTree {
+            nodes: self.nodes,
+            root: self.root,
+            leaf_of: self.leaf_of,
+        };
+        t.validate()?;
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_shape() {
+        let t = GeneralizationTree::figure3();
+        // 95 printable ASCII leaves + root + \L + \U + \l + \D + \S.
+        assert_eq!(t.len(), 95 + 6);
+        assert_eq!(t.node(t.root()).label, r"\A");
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn figure3_alphabet_covers_printable_ascii() {
+        let t = GeneralizationTree::figure3();
+        for c in ' '..='~' {
+            assert!(t.leaf(c).is_some(), "missing leaf for {c:?}");
+        }
+        assert!(t.leaf('\u{00e9}').is_none());
+    }
+
+    #[test]
+    fn ancestor_chains() {
+        let t = GeneralizationTree::figure3();
+        let a_leaf = t.leaf('a').unwrap();
+        let chain: Vec<String> = t
+            .ancestors_of(a_leaf)
+            .into_iter()
+            .map(|id| t.node(id).label.clone())
+            .collect();
+        assert_eq!(chain, vec!["a", r"\l", r"\L", r"\A"]);
+        assert!(t.is_ancestor_or_self(t.root(), a_leaf));
+        assert!(!t.is_ancestor_or_self(a_leaf, t.root()));
+    }
+
+    #[test]
+    fn digits_do_not_pass_through_letters() {
+        let t = GeneralizationTree::figure3();
+        let d = t.leaf('7').unwrap();
+        let chain: Vec<String> = t
+            .ancestors_of(d)
+            .into_iter()
+            .map(|id| t.node(id).label.clone())
+            .collect();
+        assert_eq!(chain, vec!["7", r"\D", r"\A"]);
+    }
+
+    #[test]
+    fn builder_rejects_orphan() {
+        // A node that claims a parent the parent does not know about.
+        let mut b = TreeBuilder::new("root");
+        let x = b.child(b.root, "x");
+        b.leaf(x, 'x');
+        let mut t = b.build().unwrap();
+        // Corrupt it deliberately.
+        t.nodes[1].parent = None;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn symbols_include_space_and_punct() {
+        let t = GeneralizationTree::figure3();
+        for c in [' ', '.', ',', '-', '/', ':', '$', '(', ')'] {
+            let leaf = t.leaf(c).unwrap();
+            let labels: Vec<String> = t
+                .ancestors_of(leaf)
+                .into_iter()
+                .map(|id| t.node(id).label.clone())
+                .collect();
+            assert_eq!(labels[1], r"\S", "char {c:?} should sit under \\S");
+        }
+    }
+}

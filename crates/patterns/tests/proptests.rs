@@ -1,0 +1,102 @@
+//! Property-based tests for the pattern algebra.
+
+use adt_patterns::{
+    crude_generalize, enumerate_restricted_languages, normalized_pattern_distance,
+    pattern_distance, Language, Pattern,
+};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = String> {
+    // Mix of realistic cell contents and arbitrary printable junk.
+    prop_oneof![
+        "[0-9]{1,6}",
+        "[0-9]{4}-[0-9]{2}-[0-9]{2}",
+        "[A-Za-z]{1,10}",
+        "\\$[0-9]{1,3}(,[0-9]{3}){0,2}\\.[0-9]{2}",
+        "[ -~]{0,20}",
+    ]
+}
+
+proptest! {
+    #[test]
+    fn generalization_is_total_and_deterministic(v in arb_value()) {
+        for lang in enumerate_restricted_languages() {
+            let p1 = Pattern::generalize(&v, &lang);
+            let p2 = Pattern::generalize(&v, &lang);
+            prop_assert_eq!(p1.hash64(), p2.hash64());
+        }
+    }
+
+    #[test]
+    fn expanded_length_equals_char_count(v in arb_value()) {
+        let lang = Language::paper_l2();
+        let p = Pattern::generalize(&v, &lang);
+        prop_assert_eq!(p.expanded().len(), v.chars().count());
+    }
+
+    #[test]
+    fn coarser_language_never_splits_patterns(a in arb_value(), b in arb_value()) {
+        // If two values collide under a finer language, they must also
+        // collide under every language that is coarser on all classes.
+        let langs = enumerate_restricted_languages();
+        for fine in &langs {
+            let pa = Pattern::generalize(&a, fine);
+            let pb = Pattern::generalize(&b, fine);
+            if pa != pb {
+                continue;
+            }
+            for coarse in &langs {
+                if coarse.is_coarser_or_equal(fine) {
+                    let qa = Pattern::generalize(&a, coarse);
+                    let qb = Pattern::generalize(&b, coarse);
+                    prop_assert_eq!(qa, qb);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_nonnegative(a in arb_value(), b in arb_value()) {
+        let pa = Pattern::generalize(&a, &Language::paper_l2());
+        let pb = Pattern::generalize(&b, &Language::paper_l2());
+        let dab = pattern_distance(&pa, &pb);
+        let dba = pattern_distance(&pb, &pa);
+        prop_assert!((dab - dba).abs() < 1e-12);
+        prop_assert!(dab >= 0.0);
+    }
+
+    #[test]
+    fn normalized_distance_in_unit_interval(a in arb_value(), b in arb_value()) {
+        let pa = Pattern::generalize(&a, &Language::leaf());
+        let pb = Pattern::generalize(&b, &Language::leaf());
+        let d = normalized_pattern_distance(&pa, &pb);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn distance_zero_iff_same_pattern(a in arb_value(), b in arb_value()) {
+        let pa = Pattern::generalize(&a, &Language::paper_l2());
+        let pb = Pattern::generalize(&b, &Language::paper_l2());
+        let d = pattern_distance(&pa, &pb);
+        if pa == pb {
+            prop_assert_eq!(d, 0.0);
+        } else {
+            prop_assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn crude_generalization_identity_on_same_value(v in arb_value()) {
+        prop_assert_eq!(crude_generalize(&v), crude_generalize(&v));
+    }
+
+    #[test]
+    fn display_roundtrips_identity(v in arb_value()) {
+        // Two values with equal display under a language have equal hashes.
+        let lang = Language::paper_l1();
+        let p = Pattern::generalize(&v, &lang);
+        let q = Pattern::generalize(&v, &lang);
+        prop_assert_eq!(p.to_string(), q.to_string());
+        prop_assert_eq!(p.hash64(), q.hash64());
+    }
+}

@@ -1,0 +1,126 @@
+//! Pairwise-independent hash family for the sketch rows.
+//!
+//! Uses multiply-shift hashing over 64-bit keys: `h(x) = (a*x + b) >> s`
+//! with odd `a`, which is universal for power-of-two ranges, plus a
+//! splitmix64 finalizer to decorrelate low-entropy keys (pattern hashes
+//! already mix well, but co-occurrence keys are packed pairs).
+
+/// One member of the hash family, mapping `u64 -> [0, width)`.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct RowHasher {
+    a: u64,
+    b: u64,
+}
+
+/// splitmix64 finalizer.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl RowHasher {
+    /// Deterministically derives the `i`-th hasher from a seed.
+    pub fn derive(seed: u64, i: usize) -> Self {
+        let a = mix64(seed ^ (i as u64).wrapping_mul(0xA24BAED4963EE407)) | 1;
+        let b = mix64(seed.wrapping_add(0x9E3779B97F4A7C15) ^ (i as u64));
+        RowHasher { a, b }
+    }
+
+    /// Raw parameters (codec support).
+    pub fn params(&self) -> (u64, u64) {
+        (self.a, self.b)
+    }
+
+    /// Rebuilds a hasher from raw parameters (codec support).
+    pub fn from_params(a: u64, b: u64) -> Self {
+        RowHasher { a, b }
+    }
+
+    /// Hashes `key` into `[0, width)`.
+    #[inline]
+    pub fn index(&self, key: u64, width: usize) -> usize {
+        let h = mix64(self.a.wrapping_mul(key).wrapping_add(self.b));
+        // Multiply-high maps uniformly onto [0, width) without modulo bias.
+        ((h as u128 * width as u128) >> 64) as usize
+    }
+}
+
+/// Packs an ordered pair of 64-bit pattern hashes into one sketch key.
+///
+/// The pair is ordered (`lo <= hi`) so that `(a,b)` and `(b,a)` share a
+/// key, matching unordered column co-occurrence.
+#[inline]
+pub fn pair_key(a: u64, b: u64) -> u64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    // Combine with distinct mixes so (lo,hi) != (hi,lo) collisions between
+    // unrelated pairs stay at the 2^-64 level.
+    mix64(lo) ^ mix64(hi).rotate_left(17) ^ lo.wrapping_mul(0x9E3779B97F4A7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn index_in_range() {
+        let h = RowHasher::derive(42, 3);
+        for w in [1usize, 2, 7, 1024, 1000003] {
+            for k in 0..1000u64 {
+                assert!(h.index(k, w) < w);
+            }
+        }
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_distinct() {
+        let a = RowHasher::derive(7, 0);
+        let b = RowHasher::derive(7, 0);
+        let c = RowHasher::derive(7, 1);
+        assert_eq!(a.index(123, 1 << 20), b.index(123, 1 << 20));
+        // Different rows disagree on most keys.
+        let disagreements = (0..1000u64)
+            .filter(|&k| a.index(k, 1 << 20) != c.index(k, 1 << 20))
+            .count();
+        assert!(disagreements > 990);
+    }
+
+    #[test]
+    fn distribution_roughly_uniform() {
+        let h = RowHasher::derive(1, 0);
+        let w = 64;
+        let mut buckets = vec![0usize; w];
+        let n = 64_000u64;
+        for k in 0..n {
+            buckets[h.index(mix64(k), w)] += 1;
+        }
+        let expected = n as usize / w;
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!(
+                b > expected / 2 && b < expected * 2,
+                "bucket {i} has {b}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_key_symmetric() {
+        assert_eq!(pair_key(3, 9), pair_key(9, 3));
+        assert_eq!(pair_key(0, 0), pair_key(0, 0));
+    }
+
+    #[test]
+    fn pair_key_mostly_injective() {
+        let mut seen = HashSet::new();
+        for a in 0..200u64 {
+            for b in a..200u64 {
+                seen.insert(pair_key(mix64(a), mix64(b)));
+            }
+        }
+        // 200*201/2 = 20100 unordered pairs should all be distinct.
+        assert_eq!(seen.len(), 20100);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests: the count-min guarantee must hold for arbitrary inputs.
+
+use adt_sketch::{CountMinSketch, UpdateStrategy};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #[test]
+    fn never_undercounts(
+        inserts in proptest::collection::vec((0u64..500, 1u32..5), 1..400),
+        width in 8usize..256,
+        depth in 1usize..6,
+    ) {
+        for strategy in [UpdateStrategy::Plain, UpdateStrategy::Conservative] {
+            let mut cms = CountMinSketch::new(width, depth, strategy, 42);
+            let mut exact: HashMap<u64, u64> = HashMap::new();
+            for &(k, v) in &inserts {
+                cms.add(k, v);
+                *exact.entry(k).or_default() += v as u64;
+            }
+            for (&k, &v) in &exact {
+                prop_assert!(cms.estimate(k) >= v);
+            }
+        }
+    }
+
+    #[test]
+    fn total_is_sum_of_values(
+        inserts in proptest::collection::vec((0u64..100, 1u32..10), 0..100),
+    ) {
+        let mut cms = CountMinSketch::new(64, 3, UpdateStrategy::Plain, 1);
+        let mut sum = 0u64;
+        for &(k, v) in &inserts {
+            cms.add(k, v);
+            sum += v as u64;
+        }
+        prop_assert_eq!(cms.total(), sum);
+    }
+
+    #[test]
+    fn conservative_dominated_by_plain(
+        inserts in proptest::collection::vec((0u64..200, 1u32..4), 1..300),
+    ) {
+        // Conservative update estimates are always <= plain estimates for
+        // the same stream and geometry.
+        let mut plain = CountMinSketch::new(32, 3, UpdateStrategy::Plain, 42);
+        let mut cons = CountMinSketch::new(32, 3, UpdateStrategy::Conservative, 42);
+        for &(k, v) in &inserts {
+            plain.add(k, v);
+            cons.add(k, v);
+        }
+        for &(k, _) in &inserts {
+            prop_assert!(cons.estimate(k) <= plain.estimate(k));
+        }
+    }
+
+    #[test]
+    fn estimates_deterministic(key in any::<u64>(), v in 1u32..100) {
+        let mut a = CountMinSketch::new(128, 4, UpdateStrategy::Plain, 9);
+        let mut b = CountMinSketch::new(128, 4, UpdateStrategy::Plain, 9);
+        a.add(key, v);
+        b.add(key, v);
+        prop_assert_eq!(a.estimate(key), b.estimate(key));
+    }
+}

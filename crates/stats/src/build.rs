@@ -1,0 +1,116 @@
+//! Parallel statistics construction across candidate languages.
+//!
+//! Language selection (§3.2) needs statistics for all 144 candidates. Each
+//! language's scan is independent, so we fan languages out over crossbeam
+//! scoped threads that share the read-only corpus. Memory stays bounded by
+//! processing languages in batches and letting the caller fold each result
+//! (typically: score the training set, then drop the statistics).
+
+use crate::language_stats::{LanguageStats, StatsConfig};
+use adt_corpus::Corpus;
+use adt_patterns::Language;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Builds statistics for every language in `languages` over `corpus`,
+/// calling `fold` with each completed [`LanguageStats`] (in arbitrary
+/// order). `fold` runs under a mutex, so it may mutate shared state
+/// without further synchronization; keep it cheap relative to the scan.
+pub fn build_stats_for_languages<F>(
+    languages: &[Language],
+    corpus: &Corpus,
+    config: &StatsConfig,
+    threads: usize,
+    fold: F,
+) where
+    F: FnMut(LanguageStats) + Send,
+{
+    let threads = threads.max(1).min(languages.len().max(1));
+    let next = AtomicUsize::new(0);
+    let fold = Mutex::new(fold);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= languages.len() {
+                    break;
+                }
+                let stats = LanguageStats::build(languages[i], corpus, config);
+                (fold.lock())(stats);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Convenience: builds and collects statistics for all languages
+/// (memory-heavy; only use for small language sets or small corpora).
+pub fn collect_stats_for_languages(
+    languages: &[Language],
+    corpus: &Corpus,
+    config: &StatsConfig,
+    threads: usize,
+) -> Vec<LanguageStats> {
+    let mut out: Vec<LanguageStats> = Vec::with_capacity(languages.len());
+    build_stats_for_languages(languages, corpus, config, threads, |s| out.push(s));
+    // Restore the input order for determinism.
+    out.sort_by_key(|s| {
+        languages
+            .iter()
+            .position(|l| *l == s.language)
+            .expect("language came from input set")
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::{Column, SourceTag};
+    use adt_patterns::enumerate_coarse_languages;
+
+    fn small_corpus() -> Corpus {
+        let cols: Vec<Column> = (0..50)
+            .map(|i| {
+                Column::from_strs(
+                    &[&format!("{i}"), &format!("{i},000"), "x"],
+                    SourceTag::Web,
+                )
+            })
+            .collect();
+        Corpus::from_columns(cols)
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let corpus = small_corpus();
+        let langs = enumerate_coarse_languages();
+        let config = StatsConfig::default();
+        let parallel = collect_stats_for_languages(&langs, &corpus, &config, 4);
+        assert_eq!(parallel.len(), langs.len());
+        for (lang, stats) in langs.iter().zip(&parallel) {
+            let serial = LanguageStats::build(*lang, &corpus, &config);
+            assert_eq!(stats.language, *lang);
+            assert_eq!(stats.n_columns, serial.n_columns);
+            assert_eq!(stats.distinct_patterns(), serial.distinct_patterns());
+            assert_eq!(stats.size_bytes(), serial.size_bytes());
+        }
+    }
+
+    #[test]
+    fn fold_sees_every_language() {
+        let corpus = small_corpus();
+        let langs = enumerate_coarse_languages();
+        let mut n = 0usize;
+        build_stats_for_languages(&langs, &corpus, &StatsConfig::default(), 3, |_| n += 1);
+        assert_eq!(n, langs.len());
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let corpus = small_corpus();
+        let langs = [adt_patterns::Language::paper_l1()];
+        let out = collect_stats_for_languages(&langs, &corpus, &StatsConfig::default(), 1);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,404 @@
+//! Per-language corpus statistics and NPMI scoring of value pairs.
+
+use crate::npmi::{npmi_from_counts, NpmiParams};
+use crate::store::{CoocBackend, SketchSpec, OCC_ENTRY_BYTES};
+use adt_corpus::Corpus;
+use adt_patterns::{Language, Pattern, PatternHash};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Construction parameters for [`LanguageStats`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StatsConfig {
+    /// Cap on distinct patterns per column used for pair generation; a
+    /// column with more distinct patterns contributes a deterministic
+    /// subsample. Guards the quadratic pair blowup on fine languages.
+    pub max_distinct_per_column: usize,
+    /// When set, co-occurrence counts go into a count-min sketch instead
+    /// of an exact dictionary (§3.4).
+    pub sketch: Option<SketchSpec>,
+}
+
+impl Default for StatsConfig {
+    fn default() -> Self {
+        StatsConfig {
+            max_distinct_per_column: 24,
+            sketch: None,
+        }
+    }
+}
+
+/// Occurrence and co-occurrence statistics of one generalization language
+/// over one corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LanguageStats {
+    /// The language the statistics were computed under.
+    pub language: Language,
+    /// Number of corpus columns scanned (`|C|` in Equations 1–2).
+    pub n_columns: u64,
+    /// `c(p)`: number of columns containing pattern `p`.
+    occ: HashMap<u64, u32>,
+    /// `c(p1, p2)`: number of columns containing both patterns.
+    cooc: CoocBackend,
+}
+
+impl LanguageStats {
+    /// An empty statistics accumulator for `language`; feed it with
+    /// [`LanguageStats::absorb_column`].
+    pub fn empty(language: Language, config: &StatsConfig) -> Self {
+        LanguageStats {
+            language,
+            n_columns: 0,
+            occ: HashMap::new(),
+            cooc: match &config.sketch {
+                Some(spec) => CoocBackend::sketch(*spec),
+                None => CoocBackend::exact(),
+            },
+        }
+    }
+
+    /// Scans `corpus` and builds the statistics for `language`.
+    pub fn build(language: Language, corpus: &Corpus, config: &StatsConfig) -> Self {
+        let mut stats = LanguageStats::empty(language, config);
+        // Memoize value -> pattern hash for this language; corpora repeat
+        // values heavily (years, placeholders, common words).
+        let mut memo: HashMap<&str, PatternHash> = HashMap::new();
+        for col in corpus.columns() {
+            stats.absorb_column_memo(col, config, Some(&mut memo));
+        }
+        stats
+    }
+
+    /// Incrementally absorbs one column into the statistics (the corpus
+    /// grows; no rebuild needed). Equivalent to having included the
+    /// column in the original [`LanguageStats::build`] scan.
+    pub fn absorb_column(&mut self, column: &adt_corpus::Column, config: &StatsConfig) {
+        self.absorb_column_memo(column, config, None);
+    }
+
+    fn absorb_column_memo<'a>(
+        &mut self,
+        column: &'a adt_corpus::Column,
+        config: &StatsConfig,
+        memo: Option<&mut HashMap<&'a str, PatternHash>>,
+    ) {
+        let language = self.language;
+        self.n_columns += 1;
+        let mut hashes: Vec<PatternHash> = Vec::new();
+        match memo {
+            Some(memo) => {
+                for v in column.distinct_values() {
+                    if v.is_empty() {
+                        continue;
+                    }
+                    let h = *memo
+                        .entry(v)
+                        .or_insert_with(|| Pattern::generalize(v, &language).hash64());
+                    hashes.push(h);
+                }
+            }
+            None => {
+                for v in column.distinct_values() {
+                    if v.is_empty() {
+                        continue;
+                    }
+                    hashes.push(Pattern::generalize(v, &language).hash64());
+                }
+            }
+        }
+        hashes.sort_unstable();
+        hashes.dedup();
+        // Deterministic subsample when a column has too many distinct
+        // patterns: keep a strided selection.
+        if hashes.len() > config.max_distinct_per_column {
+            let stride = hashes.len() / config.max_distinct_per_column + 1;
+            let sampled: Vec<PatternHash> = hashes.iter().step_by(stride).copied().collect();
+            hashes = sampled;
+        }
+        for &h in &hashes {
+            *self.occ.entry(h.0).or_insert(0) += 1;
+        }
+        for i in 0..hashes.len() {
+            for j in (i + 1)..hashes.len() {
+                self.cooc.add_pair(hashes[i], hashes[j], 1);
+            }
+        }
+    }
+
+    /// `c(p)` for a pattern hash.
+    pub fn occurrence(&self, p: PatternHash) -> u64 {
+        self.occ.get(&p.0).copied().unwrap_or(0) as u64
+    }
+
+    /// `c(p1, p2)` for a pattern pair (estimate under a sketch backend).
+    pub fn cooccurrence(&self, p1: PatternHash, p2: PatternHash) -> u64 {
+        if p1 == p2 {
+            // Diagonal: a pattern trivially co-occurs with itself in every
+            // column it appears in; NPMI(p, p) = 1 falls out of this.
+            return self.occurrence(p1);
+        }
+        self.cooc.get(p1, p2)
+    }
+
+    /// NPMI of two pattern hashes under this language's statistics.
+    pub fn npmi_patterns(&self, p1: PatternHash, p2: PatternHash, params: NpmiParams) -> f64 {
+        if p1 == p2 {
+            return 1.0;
+        }
+        npmi_from_counts(
+            self.occurrence(p1),
+            self.occurrence(p2),
+            self.cooccurrence(p1, p2),
+            self.n_columns,
+            params,
+        )
+    }
+
+    /// The paper's `s_k(u, v) = NPMI(L_k(u), L_k(v))`: generalizes both
+    /// values under this language and scores the patterns.
+    pub fn score_values(&self, u: &str, v: &str, params: NpmiParams) -> f64 {
+        let pu = Pattern::generalize(u, &self.language).hash64();
+        let pv = Pattern::generalize(v, &self.language).hash64();
+        self.npmi_patterns(pu, pv, params)
+    }
+
+    /// Pattern hash of a value under this language.
+    pub fn pattern_of(&self, v: &str) -> PatternHash {
+        Pattern::generalize(v, &self.language).hash64()
+    }
+
+    /// Number of distinct patterns seen.
+    pub fn distinct_patterns(&self) -> usize {
+        self.occ.len()
+    }
+
+    /// Memory footprint `size(L)` in bytes: occurrence dictionary plus the
+    /// co-occurrence backend.
+    pub fn size_bytes(&self) -> usize {
+        self.occ.len() * OCC_ENTRY_BYTES + self.cooc.bytes()
+    }
+
+    /// Replaces the exact co-occurrence dictionary with a count-min sketch
+    /// of the given geometry (Figure 8(a)'s compression configurations).
+    pub fn compress_cooccurrence(&mut self, spec: SketchSpec) {
+        self.cooc = self.cooc.to_sketch(spec);
+    }
+
+    /// Number of exact co-occurrence entries, when exact.
+    pub fn exact_cooc_entries(&self) -> Option<usize> {
+        self.cooc.exact_entries()
+    }
+
+    /// Occurrence dictionary accessor (codec support).
+    pub(crate) fn occ_map(&self) -> &HashMap<u64, u32> {
+        &self.occ
+    }
+
+    /// Co-occurrence backend accessor (codec support).
+    pub(crate) fn cooc_backend(&self) -> &CoocBackend {
+        &self.cooc
+    }
+
+    /// Reassembles statistics from raw parts (codec support).
+    pub(crate) fn from_parts(
+        language: Language,
+        n_columns: u64,
+        occ: HashMap<u64, u32>,
+        cooc: CoocBackend,
+    ) -> Self {
+        LanguageStats {
+            language,
+            n_columns,
+            occ,
+            cooc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::{Column, SourceTag};
+
+    fn corpus_of(cols: &[&[&str]]) -> Corpus {
+        Corpus::from_columns(
+            cols.iter()
+                .map(|vals| Column::from_strs(vals, SourceTag::Web))
+                .collect(),
+        )
+    }
+
+    fn no_smooth() -> NpmiParams {
+        NpmiParams { smoothing: 0.0 }
+    }
+
+    #[test]
+    fn counts_are_column_level_not_cell_level() {
+        // "5" appears twice in the first column but should count once.
+        let c = corpus_of(&[&["5", "5", "7"], &["5", "9"]]);
+        let stats = LanguageStats::build(Language::leaf(), &c, &StatsConfig::default());
+        let p5 = stats.pattern_of("5");
+        assert_eq!(stats.occurrence(p5), 2);
+        let p7 = stats.pattern_of("7");
+        assert_eq!(stats.occurrence(p7), 1);
+        assert_eq!(stats.cooccurrence(p5, p7), 1);
+        assert_eq!(stats.n_columns, 2);
+    }
+
+    #[test]
+    fn same_pattern_values_score_one() {
+        let c = corpus_of(&[&["2011-01-01", "2012-02-02"]]);
+        let stats = LanguageStats::build(Language::paper_l2(), &c, &StatsConfig::default());
+        // Under L2 both are \D[4]\S\D[2]\S\D[2]; identical patterns -> 1.
+        assert_eq!(stats.score_values("1918-01-01", "2018-12-31", no_smooth()), 1.0);
+    }
+
+    #[test]
+    fn cooccurring_patterns_score_high_nonccurring_low() {
+        // Corpus: ints and comma-numbers co-occur; iso and slash dates don't.
+        let mut cols: Vec<&[&str]> = Vec::new();
+        let int_cols: Vec<Vec<&str>> = vec![
+            vec!["1", "1,000"],
+            vec!["2", "2,000"],
+            vec!["3", "3,000"],
+            vec!["7", "9"],
+        ];
+        let date_cols: Vec<Vec<&str>> = vec![
+            vec!["2011-01-01", "2012-02-02"],
+            vec!["2011/01/01", "2012/02/02"],
+        ];
+        for c in &int_cols {
+            cols.push(c);
+        }
+        for c in &date_cols {
+            cols.push(c);
+        }
+        let corpus = corpus_of(&cols);
+        let stats = LanguageStats::build(
+            adt_patterns::crude::crude_language(),
+            &corpus,
+            &StatsConfig::default(),
+        );
+        let compat = stats.score_values("4", "4,000", no_smooth());
+        let incompat = stats.score_values("2013-03-03", "2013/03/03", no_smooth());
+        assert!(compat > 0.0, "compat={compat}");
+        assert!(incompat <= -0.99, "incompat={incompat}");
+    }
+
+    #[test]
+    fn distinct_cap_limits_pairs() {
+        let values: Vec<String> = (0..100).map(|i| format!("word{i}x")).collect();
+        let refs: Vec<&str> = values.iter().map(|s| s.as_str()).collect();
+        let corpus = corpus_of(&[&refs]);
+        let config = StatsConfig {
+            max_distinct_per_column: 8,
+            sketch: None,
+        };
+        let stats = LanguageStats::build(Language::leaf(), &corpus, &config);
+        let entries = stats.exact_cooc_entries().unwrap();
+        assert!(entries <= 8 * 7 / 2, "got {entries} pairs");
+    }
+
+    #[test]
+    fn sketch_backend_scores_close_to_exact() {
+        let mut cols: Vec<Vec<String>> = Vec::new();
+        for i in 0..200 {
+            cols.push(vec![format!("{i}"), format!("{},000", i)]);
+        }
+        let corpus = Corpus::from_columns(
+            cols.iter()
+                .map(|c| {
+                    Column::new(c.clone(), SourceTag::Web)
+                })
+                .collect(),
+        );
+        let exact = LanguageStats::build(
+            adt_patterns::crude::crude_language(),
+            &corpus,
+            &StatsConfig::default(),
+        );
+        let sketched = LanguageStats::build(
+            adt_patterns::crude::crude_language(),
+            &corpus,
+            &StatsConfig {
+                max_distinct_per_column: 24,
+                sketch: Some(SketchSpec {
+                    budget_bytes: 1 << 16,
+                    ..SketchSpec::default()
+                }),
+            },
+        );
+        let se = exact.score_values("7", "7,000", no_smooth());
+        let ss = sketched.score_values("7", "7,000", no_smooth());
+        assert!((se - ss).abs() < 0.1, "exact {se} vs sketch {ss}");
+    }
+
+    #[test]
+    fn compress_cooccurrence_shrinks_size() {
+        let mut cols: Vec<Vec<String>> = Vec::new();
+        for i in 0..500 {
+            cols.push(vec![
+                format!("a{i}"),
+                format!("b{i}"),
+                format!("c{i}"),
+                format!("d{i}"),
+            ]);
+        }
+        let corpus = Corpus::from_columns(
+            cols.into_iter()
+                .map(|c| Column::new(c, SourceTag::Web))
+                .collect(),
+        );
+        let mut stats =
+            LanguageStats::build(Language::leaf(), &corpus, &StatsConfig::default());
+        let before = stats.size_bytes();
+        stats.compress_cooccurrence(SketchSpec {
+            budget_bytes: 1 << 12,
+            ..SketchSpec::default()
+        });
+        let after = stats.size_bytes();
+        assert!(after < before, "before {before} after {after}");
+    }
+
+    #[test]
+    fn empty_values_ignored() {
+        let c = corpus_of(&[&["", "x", ""]]);
+        let stats = LanguageStats::build(Language::leaf(), &c, &StatsConfig::default());
+        assert_eq!(stats.distinct_patterns(), 1);
+    }
+
+    #[test]
+    fn absorb_column_matches_batch_build() {
+        let cols = [
+            vec!["2011-01-01", "2012-02-02"],
+            vec!["1", "1,000", "2"],
+            vec!["x", "y"],
+        ];
+        let config = StatsConfig::default();
+        let all = corpus_of(&[&cols[0][..], &cols[1][..], &cols[2][..]]);
+        let batch = LanguageStats::build(Language::paper_l2(), &all, &config);
+
+        let mut inc = LanguageStats::empty(Language::paper_l2(), &config);
+        for c in all.columns() {
+            inc.absorb_column(c, &config);
+        }
+        assert_eq!(inc.n_columns, batch.n_columns);
+        assert_eq!(inc.distinct_patterns(), batch.distinct_patterns());
+        assert_eq!(inc.size_bytes(), batch.size_bytes());
+        let p1 = batch.pattern_of("2011-01-01");
+        let p2 = batch.pattern_of("1,000");
+        assert_eq!(inc.occurrence(p1), batch.occurrence(p1));
+        assert_eq!(inc.cooccurrence(p1, p2), batch.cooccurrence(p1, p2));
+    }
+
+    #[test]
+    fn coarser_language_fewer_patterns() {
+        let c = corpus_of(&[
+            &["2011-01-01", "2012-02-02", "abc", "XYZ"],
+            &["1", "2", "3,000"],
+        ]);
+        let fine = LanguageStats::build(Language::leaf(), &c, &StatsConfig::default());
+        let coarse = LanguageStats::build(Language::root(), &c, &StatsConfig::default());
+        assert!(coarse.distinct_patterns() <= fine.distinct_patterns());
+    }
+}

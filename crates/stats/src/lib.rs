@@ -1,0 +1,26 @@
+//! Pattern occurrence/co-occurrence statistics and NPMI scoring.
+//!
+//! Implements §2.1, §3.3 and §3.4 of the paper:
+//!
+//! * [`npmi`] — PMI / NPMI over column-level counts (Equations 1–2) with
+//!   Jelinek–Mercer smoothing of rare co-occurrences (Equation 10);
+//! * [`store`] — the occurrence dictionary plus exchangeable co-occurrence
+//!   backends: an exact pair dictionary or a count-min sketch (§3.4);
+//! * [`language_stats`] — per-generalization-language statistics built by
+//!   scanning a corpus: `c(L(v))` = number of columns containing the
+//!   pattern, `c(L(v1), L(v2))` = number of columns containing both;
+//! * [`build`] — parallel batch construction across candidate languages
+//!   (crossbeam scoped threads; read-only corpus sharing).
+
+pub mod build;
+pub mod codec;
+pub mod language_stats;
+pub mod npmi;
+pub mod profile;
+pub mod store;
+
+pub use build::build_stats_for_languages;
+pub use language_stats::{LanguageStats, StatsConfig};
+pub use npmi::{npmi_from_counts, smoothed_cooccurrence, NpmiParams};
+pub use profile::{column_profile, ColumnProfile, PatternBucket};
+pub use store::{CoocBackend, SketchSpec};

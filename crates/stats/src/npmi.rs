@@ -1,0 +1,170 @@
+//! PMI / NPMI computation (Equations 1–2) with Jelinek–Mercer smoothing
+//! (Equation 10).
+
+use serde::{Deserialize, Serialize};
+
+/// Scoring parameters shared across NPMI evaluations.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NpmiParams {
+    /// Jelinek–Mercer smoothing factor `f ∈ [0, 1]` of Equation 10; the
+    /// paper defaults to 0.1 and finds [0.1, 0.3] best (Figure 17(a)).
+    pub smoothing: f64,
+}
+
+impl Default for NpmiParams {
+    fn default() -> Self {
+        NpmiParams { smoothing: 0.1 }
+    }
+}
+
+/// Jelinek–Mercer smoothed co-occurrence count (Equation 10):
+/// `ĉ₁₂ = (1−f)·c₁₂ + f·E[c₁₂]` with `E[c₁₂] = c₁·c₂ / N`.
+pub fn smoothed_cooccurrence(c1: u64, c2: u64, c12: u64, n_columns: u64, f: f64) -> f64 {
+    let expected = (c1 as f64) * (c2 as f64) / (n_columns.max(1) as f64);
+    (1.0 - f) * c12 as f64 + f * expected
+}
+
+/// NPMI from raw column counts (Equations 1–2).
+///
+/// The paper's Example 1: with 100M columns, `c("2011") = 1M`,
+/// `c("2012") = 2M` and 500K columns containing both, the pair is
+/// strongly compatible:
+///
+/// ```
+/// use adt_stats::{npmi_from_counts, NpmiParams};
+/// let params = NpmiParams { smoothing: 0.0 };
+/// let npmi = npmi_from_counts(1_000_000, 2_000_000, 500_000, 100_000_000, params);
+/// assert!((npmi - 0.60).abs() < 0.02);
+/// ```
+///
+/// Conventions fixed in DESIGN.md §3:
+/// * `c1`/`c2` are floored at 1 so unseen patterns still score (an unseen
+///   pattern co-occurring with nothing yields −1, the most suspicious);
+/// * a smoothed co-occurrence of ~0 yields −1 (the `p₁₂ → 0` limit);
+/// * co-occurrence is capped at `min(c1, c2)` (a pair cannot co-occur in
+///   more columns than either member occurs in — count-min overestimates
+///   would otherwise push NPMI above its true value);
+/// * the result is clamped to `[-1, 1]`.
+pub fn npmi_from_counts(c1: u64, c2: u64, c12: u64, n_columns: u64, params: NpmiParams) -> f64 {
+    let n = n_columns.max(1) as f64;
+    let c1 = c1.max(1);
+    let c2 = c2.max(1);
+    let c12 = c12.min(c1).min(c2);
+    let c12_hat = smoothed_cooccurrence(c1, c2, c12, n_columns.max(1), params.smoothing)
+        .min(c1.min(c2) as f64);
+    if c12_hat <= 1e-12 {
+        return -1.0;
+    }
+    let p1 = c1 as f64 / n;
+    let p2 = c2 as f64 / n;
+    let p12 = (c12_hat / n).min(1.0);
+    let pmi = (p12 / (p1 * p2)).ln();
+    let denom = -(p12.ln());
+    if denom <= 1e-12 {
+        // p12 == 1: the pair appears in every column; perfectly compatible.
+        return if pmi >= 0.0 { 1.0 } else { -1.0 };
+    }
+    (pmi / denom).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NO_SMOOTH: NpmiParams = NpmiParams { smoothing: 0.0 };
+
+    #[test]
+    fn paper_example1_compatible_years() {
+        // |C| = 100M, c(2011)=1M, c(2012)=2M, c(2011,2012)=500K → NPMI≈0.60.
+        let v = npmi_from_counts(1_000_000, 2_000_000, 500_000, 100_000_000, NO_SMOOTH);
+        assert!((v - 0.60).abs() < 0.02, "got {v}");
+    }
+
+    #[test]
+    fn paper_example1_incompatible_pair() {
+        // c(2011)=1M, c(January-01)=2M, c(pair)=10 → NPMI≈−0.47.
+        let v = npmi_from_counts(1_000_000, 2_000_000, 10, 100_000_000, NO_SMOOTH);
+        assert!((v - (-0.47)).abs() < 0.02, "got {v}");
+    }
+
+    #[test]
+    fn independence_gives_zero() {
+        // p12 = p1*p2 exactly → PMI = 0 → NPMI = 0.
+        let v = npmi_from_counts(1000, 1000, 10, 100_000, NO_SMOOTH);
+        assert!(v.abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn never_cooccurring_is_minus_one() {
+        let v = npmi_from_counts(1000, 1000, 0, 100_000, NO_SMOOTH);
+        assert_eq!(v, -1.0);
+    }
+
+    #[test]
+    fn always_cooccurring_is_plus_one() {
+        // Pair appears in every column both members appear in, and they
+        // appear together always: c1=c2=c12.
+        let v = npmi_from_counts(500, 500, 500, 100_000, NO_SMOOTH);
+        assert!((v - 1.0).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn bounded_for_arbitrary_inputs() {
+        for &(c1, c2, c12, n) in &[
+            (0u64, 0u64, 0u64, 1u64),
+            (1, 1, 1, 1),
+            (10, 10, 100, 10), // c12 over-reported; must be capped
+            (1_000_000, 1, 1, 1_000_000),
+            (5, 7, 3, 1_000_000_000),
+        ] {
+            for f in [0.0, 0.1, 0.5, 1.0] {
+                let v = npmi_from_counts(c1, c2, c12, n, NpmiParams { smoothing: f });
+                assert!((-1.0..=1.0).contains(&v), "out of range for {c1},{c2},{c12},{n},{f}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn smoothing_pulls_zero_cooccurrence_up() {
+        // With smoothing, a rare-but-never-seen pair of popular patterns is
+        // still very negative; a never-seen pair of *rare* patterns is less
+        // penalized (the paper's motivation: rare events fluctuate).
+        let params = NpmiParams { smoothing: 0.1 };
+        let rare = npmi_from_counts(2, 2, 0, 1_000_000, params);
+        let popular = npmi_from_counts(100_000, 100_000, 0, 1_000_000, params);
+        assert!(rare > -1.0);
+        assert!(rare > popular, "rare {rare} vs popular {popular}");
+    }
+
+    #[test]
+    fn smoothing_interpolates_toward_independence() {
+        // f = 1 ignores the observed count entirely → NPMI = 0 (pure
+        // independence expectation).
+        let v = npmi_from_counts(1000, 1000, 999, 100_000, NpmiParams { smoothing: 1.0 });
+        assert!(v.abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn smoothed_count_formula() {
+        // (1-f)*c12 + f*c1*c2/N
+        let s = smoothed_cooccurrence(100, 200, 50, 10_000, 0.1);
+        assert!((s - (0.9 * 50.0 + 0.1 * 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unseen_patterns_floored() {
+        // Both unseen: c1=c2=0 floored to 1, c12=0 → -1 without smoothing.
+        let v = npmi_from_counts(0, 0, 0, 1000, NO_SMOOTH);
+        assert_eq!(v, -1.0);
+    }
+
+    #[test]
+    fn monotone_in_c12() {
+        let mut prev = -2.0;
+        for c12 in [0u64, 1, 5, 20, 100, 400] {
+            let v = npmi_from_counts(1000, 500, c12, 1_000_000, NO_SMOOTH);
+            assert!(v >= prev, "not monotone at c12={c12}");
+            prev = v;
+        }
+    }
+}

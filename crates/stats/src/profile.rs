@@ -1,0 +1,113 @@
+//! Column pattern profiling.
+//!
+//! A Trifacta-style per-column pattern histogram (cf. the paper's
+//! Appendix A discussion of commercial histogram features), used by the
+//! examples and diagnostics: which patterns a column contains under a
+//! language, with counts and representative values.
+
+use adt_corpus::Column;
+use adt_patterns::{Language, Pattern};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// One pattern bucket of a column profile.
+#[derive(Debug, Clone, Serialize)]
+pub struct PatternBucket {
+    /// Rendered pattern, e.g. `\D[4]-\D[2]-\D[2]`.
+    pub pattern: String,
+    /// Number of cells with this pattern.
+    pub count: usize,
+    /// Up to three example values.
+    pub examples: Vec<String>,
+}
+
+/// A column's pattern histogram under one language.
+#[derive(Debug, Clone, Serialize)]
+pub struct ColumnProfile {
+    /// Language id the profile was computed under.
+    pub language_id: String,
+    /// Total non-empty cells.
+    pub cells: usize,
+    /// Buckets, most frequent first.
+    pub buckets: Vec<PatternBucket>,
+}
+
+impl ColumnProfile {
+    /// Fraction of cells covered by the single most frequent pattern.
+    pub fn dominant_fraction(&self) -> f64 {
+        match self.buckets.first() {
+            Some(b) if self.cells > 0 => b.count as f64 / self.cells as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// True when every cell shares one pattern.
+    pub fn is_homogeneous(&self) -> bool {
+        self.buckets.len() <= 1
+    }
+}
+
+/// Computes a column's pattern histogram under `language`.
+pub fn column_profile(column: &Column, language: &Language) -> ColumnProfile {
+    let mut buckets: HashMap<String, PatternBucket> = HashMap::new();
+    let mut cells = 0usize;
+    for v in column.non_empty_values() {
+        cells += 1;
+        let key = Pattern::generalize(v, language).to_string();
+        let b = buckets.entry(key.clone()).or_insert_with(|| PatternBucket {
+            pattern: key,
+            count: 0,
+            examples: Vec::new(),
+        });
+        b.count += 1;
+        if b.examples.len() < 3 && !b.examples.iter().any(|e| e == v) {
+            b.examples.push(v.to_string());
+        }
+    }
+    let mut buckets: Vec<PatternBucket> = buckets.into_values().collect();
+    buckets.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.pattern.cmp(&b.pattern)));
+    ColumnProfile {
+        language_id: language.id(),
+        cells,
+        buckets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::SourceTag;
+
+    #[test]
+    fn histogram_counts_and_examples() {
+        let col = Column::from_strs(
+            &["2011-01-01", "2012-02-02", "2013/03/03", ""],
+            SourceTag::Local,
+        );
+        let p = column_profile(&col, &Language::paper_l1());
+        assert_eq!(p.cells, 3);
+        assert_eq!(p.buckets.len(), 2);
+        assert_eq!(p.buckets[0].count, 2);
+        assert!(p.buckets[0].pattern.contains('-'));
+        assert_eq!(p.buckets[0].examples.len(), 2);
+        assert!((p.dominant_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert!(!p.is_homogeneous());
+    }
+
+    #[test]
+    fn homogeneous_column() {
+        let col = Column::from_strs(&["2011-01-01", "2012-02-02"], SourceTag::Local);
+        let p = column_profile(&col, &Language::paper_l2());
+        assert!(p.is_homogeneous());
+        assert_eq!(p.dominant_fraction(), 1.0);
+    }
+
+    #[test]
+    fn empty_column() {
+        let col = Column::from_strs(&["", ""], SourceTag::Local);
+        let p = column_profile(&col, &Language::paper_l2());
+        assert_eq!(p.cells, 0);
+        assert!(p.buckets.is_empty());
+        assert_eq!(p.dominant_fraction(), 0.0);
+    }
+}

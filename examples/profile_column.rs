@@ -1,0 +1,53 @@
+//! Pattern profiling: the Trifacta-style per-column histogram the paper
+//! contrasts with (Appendix A), built from the same generalization
+//! machinery.
+//!
+//! ```bash
+//! cargo run --release --example profile_column
+//! ```
+
+use auto_detect::corpus::{Column, SourceTag};
+use auto_detect::patterns::Language;
+use auto_detect::stats::column_profile;
+
+fn main() {
+    let column = Column::from_strs(
+        &[
+            "2011-01-01",
+            "2011-02-14",
+            "2011-03-02",
+            "2011/04/22",
+            "2011-05-30",
+            "2011-06-18",
+            "N/A",
+            "2011-07-04",
+        ],
+        SourceTag::Local,
+    );
+
+    for (name, lang) in [
+        ("L1 (symbols literal)", Language::paper_l1()),
+        ("L2 (class level)", Language::paper_l2()),
+        ("crude G", auto_detect::patterns::crude::crude_language()),
+    ] {
+        let profile = column_profile(&column, &lang);
+        println!(
+            "\nunder {name} — {} cells, dominant pattern covers {:.0}%:",
+            profile.cells,
+            profile.dominant_fraction() * 100.0
+        );
+        for b in &profile.buckets {
+            println!(
+                "  {:<28} ×{:<3} e.g. {:?}",
+                b.pattern,
+                b.count,
+                b.examples.first().map(|s| s.as_str()).unwrap_or("")
+            );
+        }
+    }
+    println!(
+        "\nA histogram shows *that* the column is mixed; Auto-Detect's corpus\n\
+         statistics additionally say *which* mixes are genuinely suspicious\n\
+         (run the quickstart example for the detection side)."
+    );
+}

@@ -1,0 +1,69 @@
+//! WIKI audit: scan a Wikipedia-profile table corpus and print the
+//! top-confidence errors — a miniature of the paper's Table 4 run that
+//! discovered ~300K errors across Wikipedia tables.
+//!
+//! ```bash
+//! cargo run --release --example wiki_audit
+//! ```
+
+use auto_detect::core::{train, AutoDetectConfig};
+use auto_detect::corpus::{generate_corpus, generate_labeled_columns, CorpusProfile};
+
+fn main() {
+    println!("training on synthetic web corpus…");
+    let mut web = CorpusProfile::web(20_000);
+    web.dirty_rate = 0.0;
+    let corpus = generate_corpus(&web);
+    let config = AutoDetectConfig {
+        training_examples: 20_000,
+        ..AutoDetectConfig::default()
+    };
+    let (model, _) = train(&corpus, &config);
+
+    println!("scanning WIKI-profile tables…");
+    let wiki = CorpusProfile::wiki(5_000);
+    let labeled = generate_labeled_columns(&wiki);
+
+    let mut findings: Vec<(f64, String, String, bool, Option<String>)> = Vec::new();
+    for l in &labeled {
+        if let Some(f) = model.most_incompatible(&l.column) {
+            findings.push((
+                f.confidence,
+                f.suspect.clone(),
+                f.witness.clone(),
+                l.is_error_value(&f.suspect),
+                l.error_note.clone(),
+            ));
+        }
+    }
+    findings.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+    let dirty_total = labeled.iter().filter(|l| l.is_dirty()).count();
+    println!(
+        "\n{} columns scanned, {} carry injected errors, {} columns flagged",
+        labeled.len(),
+        dirty_total,
+        findings.len()
+    );
+    println!("\ntop 15 findings (cf. paper Table 4):");
+    println!("{:<4} {:<26} {:<26} {:>6} ground truth", "#", "suspect", "witness", "conf");
+    for (i, (q, suspect, witness, correct, note)) in findings.iter().take(15).enumerate() {
+        println!(
+            "{:<4} {:<26} {:<26} {:>6.3} {}",
+            i + 1,
+            suspect,
+            witness,
+            q,
+            if *correct {
+                note.clone().unwrap_or_else(|| "error".into())
+            } else {
+                "false positive".into()
+            }
+        );
+    }
+    let hits = findings.iter().take(100).filter(|f| f.3).count();
+    println!(
+        "\nprecision@100 = {:.2}  (paper reports >0.98 on real WIKI)",
+        hits as f64 / findings.len().min(100) as f64
+    );
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerates every paper table/figure (results/*.json + printed tables).
+# ADT_SCALE scales all corpus/test sizes (default 1.0 ≈ paper /10^3).
+# Full run is ~60-90 min on one core; ADT_SCALE=0.1 for a quick pass.
+set -x
+cargo build --release -p adt-bench
+for exp in exp_table3 exp_fig4 exp_table4 exp_fig5 exp_fig6 exp_fig7 \
+           exp_fig8a exp_fig8b exp_fig8c exp_fig17b exp_table5 \
+           exp_dt_ablation exp_paircap; do
+  ./target/release/$exp || exit 1
+done
+# The smoothing sweep retrains the full 144-candidate pool seven times;
+# run it at reduced scale unless the caller overrides.
+ADT_SCALE="${ADT_FIG17A_SCALE:-0.4}" ./target/release/exp_fig17a || exit 1
+./target/release/exp_report > results/summary.md

@@ -1,0 +1,304 @@
+//! `autodetect` — command-line interface to the Auto-Detect library.
+//!
+//! ```bash
+//! autodetect gen-corpus --profile web --columns 20000 --out corpus.txt
+//! autodetect train --corpus corpus.txt --out model.json
+//! autodetect scan data.csv --model model.json
+//! autodetect check "2011-01-01" "2011/01/02" --model model.json
+//! ```
+
+use auto_detect::core::model::{load_model, save_model};
+use auto_detect::core::{train, AutoDetect, AutoDetectConfig};
+use auto_detect::corpus::csv::load_csv;
+use auto_detect::corpus::{generate_corpus, Corpus, CorpusProfile};
+use std::process::ExitCode;
+
+mod cli {
+    //! Minimal argument parsing: positional arguments plus `--flag value`
+    //! and boolean `--flag` options.
+
+    use std::collections::HashMap;
+
+    /// Parsed command line: positionals and options.
+    #[derive(Debug, Default, PartialEq)]
+    pub struct Args {
+        pub positional: Vec<String>,
+        pub options: HashMap<String, String>,
+        pub flags: Vec<String>,
+    }
+
+    /// Options that take a value; everything else starting with `--` is a
+    /// boolean flag.
+    pub const VALUED: [&str; 11] = [
+        "--out",
+        "--model",
+        "--corpus",
+        "--profile",
+        "--columns",
+        "--examples",
+        "--budget",
+        "--precision",
+        "--delimiter",
+        "--top",
+        "--space",
+    ];
+
+    /// Parses raw arguments (without the program name).
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--").map(|_| a.as_str()) {
+                if VALUED.contains(&name) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("option {name} expects a value"))?;
+                    args.options.insert(name.to_string(), v.clone());
+                } else {
+                    args.flags.push(name.to_string());
+                }
+            } else {
+                args.positional.push(a.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    impl Args {
+        /// Option value with a default.
+        pub fn opt_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+            self.options.get(name).map(|s| s.as_str()).unwrap_or(default)
+        }
+
+        /// Parsed numeric option.
+        pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+            match self.options.get(name) {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("invalid value for {name}: {v}")),
+                None => Ok(default),
+            }
+        }
+
+        /// Boolean flag presence.
+        pub fn has(&self, flag: &str) -> bool {
+            self.flags.iter().any(|f| f == flag)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn raw(s: &[&str]) -> Vec<String> {
+            s.iter().map(|x| x.to_string()).collect()
+        }
+
+        #[test]
+        fn parses_positionals_options_flags() {
+            let a = parse(&raw(&["scan", "f.csv", "--model", "m.json", "--no-header"])).unwrap();
+            assert_eq!(a.positional, vec!["scan", "f.csv"]);
+            assert_eq!(a.opt_or("--model", ""), "m.json");
+            assert!(a.has("--no-header"));
+            assert!(!a.has("--quiet"));
+        }
+
+        #[test]
+        fn missing_value_is_an_error() {
+            assert!(parse(&raw(&["train", "--out"])).is_err());
+        }
+
+        #[test]
+        fn numeric_options() {
+            let a = parse(&raw(&["train", "--columns", "500"])).unwrap();
+            assert_eq!(a.num("--columns", 10usize).unwrap(), 500);
+            assert_eq!(a.num("--top", 7usize).unwrap(), 7);
+            let bad = parse(&raw(&["train", "--columns", "x"])).unwrap();
+            assert!(bad.num::<usize>("--columns", 1).is_err());
+        }
+
+        #[test]
+        fn defaults_apply() {
+            let a = parse(&raw(&["scan", "f.csv"])).unwrap();
+            assert_eq!(a.opt_or("--delimiter", ","), ",");
+        }
+    }
+}
+
+const USAGE: &str = "\
+autodetect — data-driven single-column error detection (SIGMOD'18 reproduction)
+
+USAGE:
+  autodetect gen-corpus [--profile web|wiki|pubxls|entxls] [--columns N] --out FILE
+  autodetect train [--corpus FILE] [--columns N] [--examples N]
+                   [--budget BYTES] [--precision P] [--space full|coarse]
+                   --out MODEL.json
+  autodetect scan FILE.csv --model MODEL.json [--delimiter C] [--no-header] [--top N]
+  autodetect check VALUE1 VALUE2 --model MODEL.json
+
+Without --corpus, `train` generates a synthetic web-table corpus
+(--columns, default 20000) reproducing the paper's co-occurrence
+structure. `scan` audits every column of a delimited file and prints
+ranked findings.";
+
+fn profile_by_name(name: &str, columns: usize) -> Result<CorpusProfile, String> {
+    let mut p = match name {
+        "web" => CorpusProfile::web(columns),
+        "wiki" => CorpusProfile::wiki(columns),
+        "pubxls" => CorpusProfile::pub_xls(columns),
+        "entxls" => CorpusProfile::ent_xls(columns),
+        other => return Err(format!("unknown profile {other:?}")),
+    };
+    p.dirty_rate = 0.0;
+    p.n_columns = columns;
+    Ok(p)
+}
+
+fn cmd_gen_corpus(args: &cli::Args) -> Result<(), String> {
+    let columns = args.num("--columns", 20_000usize)?;
+    let profile = profile_by_name(args.opt_or("--profile", "web"), columns)?;
+    let out = args
+        .options
+        .get("--out")
+        .ok_or("gen-corpus requires --out FILE")?;
+    let corpus = generate_corpus(&profile);
+    corpus.save(out).map_err(|e| e.to_string())?;
+    eprintln!("wrote {} columns to {out}", corpus.len());
+    Ok(())
+}
+
+fn cmd_train(args: &cli::Args) -> Result<(), String> {
+    let corpus = match args.options.get("--corpus") {
+        Some(path) => Corpus::load(path).map_err(|e| format!("loading {path}: {e}"))?,
+        None => {
+            let columns = args.num("--columns", 20_000usize)?;
+            eprintln!("generating synthetic web corpus ({columns} columns)…");
+            generate_corpus(&profile_by_name("web", columns)?)
+        }
+    };
+    let space = match args.opt_or("--space", "full") {
+        "full" | "144" => auto_detect::core::config::LanguageSpace::Restricted144,
+        "coarse" | "36" => auto_detect::core::config::LanguageSpace::Coarse36,
+        other => return Err(format!("unknown --space {other:?} (full|coarse)")),
+    };
+    let config = AutoDetectConfig {
+        training_examples: args.num("--examples", 40_000usize)?,
+        memory_budget: args.num("--budget", 64usize << 20)?,
+        precision_target: args.num("--precision", 0.95f64)?,
+        space,
+        ..AutoDetectConfig::default()
+    };
+    eprintln!(
+        "training on {} columns ({} candidate languages)…",
+        corpus.len(),
+        config.candidate_languages().len()
+    );
+    let (model, report) = train(&corpus, &config);
+    eprintln!(
+        "selected {} languages {:?}, model {} KB, training precision target {}",
+        model.num_languages(),
+        report.selected_ids,
+        report.model_bytes / 1024,
+        config.precision_target
+    );
+    let out = args.opt_or("--out", "model.json");
+    save_model(&model, out).map_err(|e| e.to_string())?;
+    eprintln!("saved {out}");
+    Ok(())
+}
+
+fn require_model(args: &cli::Args) -> Result<AutoDetect, String> {
+    let path = args
+        .options
+        .get("--model")
+        .ok_or("a trained model is required: pass --model MODEL.json (see `autodetect train`)")?;
+    load_model(path).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_scan(args: &cli::Args) -> Result<(), String> {
+    let file = args
+        .positional
+        .get(1)
+        .ok_or("scan requires a FILE.csv argument")?;
+    let model = require_model(args)?;
+    let delim = args
+        .opt_or("--delimiter", ",")
+        .chars()
+        .next()
+        .unwrap_or(',');
+    let has_header = !args.has("--no-header");
+    let top = args.num("--top", 5usize)?;
+    let columns = load_csv(file, delim, has_header).map_err(|e| e.to_string())?;
+    let mut total = 0usize;
+    for (i, col) in columns.iter().enumerate() {
+        let header = col
+            .header
+            .clone()
+            .unwrap_or_else(|| format!("column {}", i + 1));
+        let findings = model.detect_column(col);
+        if findings.is_empty() {
+            println!("[{header}] ok");
+        } else {
+            println!("[{header}] {} finding(s):", findings.len());
+            for f in findings.iter().take(top) {
+                println!(
+                    "    {:?} clashes with {:?} (confidence {:.2})",
+                    f.suspect, f.witness, f.confidence
+                );
+            }
+            total += findings.len();
+        }
+    }
+    println!("\n{total} suspicious value(s) across {} columns", columns.len());
+    Ok(())
+}
+
+fn cmd_check(args: &cli::Args) -> Result<(), String> {
+    let v1 = args.positional.get(1).ok_or("check requires two values")?;
+    let v2 = args.positional.get(2).ok_or("check requires two values")?;
+    let model = require_model(args)?;
+    let verdict = model.score_pair(v1, v2);
+    println!(
+        "{} — confidence {:.3}, per-language NPMI {:?}",
+        if verdict.incompatible {
+            "INCOMPATIBLE"
+        } else {
+            "compatible"
+        },
+        verdict.confidence,
+        verdict
+            .scores
+            .iter()
+            .map(|s| (s * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match cli::parse(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.positional.first().map(|s| s.as_str()) {
+        Some("gen-corpus") => cmd_gen_corpus(&args),
+        Some("train") => cmd_train(&args),
+        Some("scan") => cmd_scan(&args),
+        Some("check") => cmd_check(&args),
+        _ => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

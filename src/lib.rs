@@ -1,0 +1,25 @@
+//! # auto-detect
+//!
+//! Meta-crate for the Auto-Detect reproduction (Huang & He, SIGMOD 2018):
+//! data-driven single-column error detection in tables using co-occurrence
+//! statistics of generalized patterns over large table corpora.
+//!
+//! Re-exports the workspace crates under stable module names; see each
+//! module for details, README.md for a walkthrough, and DESIGN.md for the
+//! system inventory.
+//!
+//! ```
+//! use auto_detect::corpus::{CorpusProfile, generate_corpus};
+//!
+//! let corpus = generate_corpus(&CorpusProfile::wiki(100));
+//! assert_eq!(corpus.len(), 100);
+//! ```
+
+pub use adt_baselines as baselines;
+pub use adt_compress as compress;
+pub use adt_core as core;
+pub use adt_corpus as corpus;
+pub use adt_eval as eval;
+pub use adt_patterns as patterns;
+pub use adt_sketch as sketch;
+pub use adt_stats as stats;

@@ -1,0 +1,124 @@
+//! End-to-end CLI tests: gen-corpus → train → scan → check through the
+//! `autodetect` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_autodetect")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join("adt_cli_tests").join(name);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn usage_on_no_args() {
+    let out = Command::new(bin()).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("autodetect train"));
+}
+
+#[test]
+fn unknown_option_value_errors() {
+    let out = Command::new(bin()).args(["train", "--out"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("expects a value"));
+}
+
+#[test]
+fn scan_requires_model() {
+    let dir = tmp_dir("scan_requires_model");
+    let csv = dir.join("x.csv");
+    std::fs::write(&csv, "a\n1\n2\n").unwrap();
+    let out = Command::new(bin())
+        .args(["scan", csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--model"));
+}
+
+/// The full pipeline at miniature scale: generate a corpus, train a
+/// coarse-space model, scan a CSV with a planted date-format mix, and
+/// check a value pair.
+#[test]
+fn full_pipeline_detects_planted_error() {
+    let dir = tmp_dir("full_pipeline");
+    let corpus = dir.join("corpus.txt");
+    let model = dir.join("model.json");
+    let csv = dir.join("data.csv");
+
+    let out = Command::new(bin())
+        .args([
+            "gen-corpus",
+            "--profile",
+            "web",
+            "--columns",
+            "2500",
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = Command::new(bin())
+        .args([
+            "train",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--examples",
+            "5000",
+            "--space",
+            "coarse",
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    std::fs::write(
+        &csv,
+        "when,amount\n2019-03-01,120\n2019-03-02,95\n2019/03/04,130\n2019-03-05,88\n",
+    )
+    .unwrap();
+    let out = Command::new(bin())
+        .args(["scan", csv.to_str().unwrap(), "--model", model.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("2019/03/04"),
+        "scan should flag the slash date:\n{stdout}"
+    );
+    assert!(stdout.contains("[amount] ok"), "clean column flagged:\n{stdout}");
+
+    let out = Command::new(bin())
+        .args([
+            "check",
+            "2011-01-01",
+            "2011/01/02",
+            "--model",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("INCOMPATIBLE"));
+
+    let out = Command::new(bin())
+        .args(["check", "12", "3,000", "--model", model.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("compatible"));
+}

@@ -1,0 +1,139 @@
+//! A gallery of the paper's Figure 1 / Figure 2 error archetypes, each
+//! reproduced as a column and detected end-to-end by a trained model.
+
+use auto_detect::core::{train, AutoDetect, AutoDetectConfig};
+use auto_detect::corpus::{generate_corpus, Column, CorpusProfile, SourceTag};
+
+fn model() -> AutoDetect {
+    let mut p = CorpusProfile::web(4_000);
+    p.dirty_rate = 0.0;
+    let corpus = generate_corpus(&p);
+    let cfg = AutoDetectConfig {
+        training_examples: 8_000,
+        ..AutoDetectConfig::small()
+    };
+    let (model, _) = train(&corpus, &cfg);
+    model
+}
+
+fn expect_flagged(model: &AutoDetect, label: &str, values: &[&str], expected: &str) {
+    let col = Column::from_strs(values, SourceTag::Local);
+    let findings = model.detect_column(&col);
+    assert!(
+        findings.iter().any(|f| f.suspect == expected),
+        "{label}: expected {expected:?} flagged in {values:?}, got {findings:?}"
+    );
+}
+
+#[test]
+fn figure1_and_figure2_archetypes() {
+    let model = model();
+
+    // Figure 1(a): extra dot at the end of a number.
+    expect_flagged(
+        &model,
+        "fig1a extra dot",
+        &["1865", "1874", "1890", "1901", "1912."],
+        "1912.",
+    );
+
+    // Figure 1(b)/(h): mixed date formats.
+    expect_flagged(
+        &model,
+        "fig1b mixed dates",
+        &["2011.01.01", "2011.02.14", "2011/03/02", "2011.04.22"],
+        "2011/03/02",
+    );
+
+    // Figure 1(c): inconsistently formatted weights. Note the limitation
+    // the paper defers to future work ("semantic data values"): a unit
+    // swap that preserves the exact character pattern ("76 kg" vs
+    // "168 lb") is invisible to *any* generalization language — only
+    // format differences are detectable by pattern statistics.
+    expect_flagged(
+        &model,
+        "fig1c mixed weights",
+        &["76 kg", "81 kg", "93 kg", "168lbs", "70 kg"],
+        "168lbs",
+    );
+
+    // Figure 1(d): a foreign placeholder among scores ("—" is not one of
+    // the placeholders that legitimately co-occur with scores).
+    expect_flagged(
+        &model,
+        "fig1d score placeholder",
+        &["2-1", "0-0", "3-2", "—", "1-1"],
+        "—",
+    );
+
+    // Figure 1(e): an hour-scale entry among mm:ss song lengths is fine
+    // (durations mix), but a date is not.
+    expect_flagged(
+        &model,
+        "fig1e song lengths",
+        &["3:45", "4:02", "2:58", "03.45", "3:12"],
+        "03.45",
+    );
+
+    // Figure 1(f): parenthetical annotation on one entry.
+    expect_flagged(
+        &model,
+        "fig1f parenthesis",
+        &["3:45", "4:02", "2:58", "3:12 (live)", "3:30"],
+        "3:12 (live)",
+    );
+
+    // Figure 1(g): score with the wrong separator.
+    expect_flagged(
+        &model,
+        "fig1g scores",
+        &["2-1", "0-0", "3-2", "2:1", "1-1"],
+        "2:1",
+    );
+
+    // Figure 2(a): extra space inside a value.
+    expect_flagged(
+        &model,
+        "fig2a extra space",
+        &[
+            "John Smith",
+            "Jane  King",
+            "Maria Garcia",
+            "David Lee",
+            "Emma Hall",
+        ],
+        "Jane  King",
+    );
+
+    // Figure 2(b): mixed phone formats.
+    expect_flagged(
+        &model,
+        "fig2b mixed phones",
+        &[
+            "(425) 555-0101",
+            "(425) 555-0192",
+            "425-555-0147",
+            "(425) 555-0170",
+        ],
+        "425-555-0147",
+    );
+}
+
+#[test]
+fn gallery_counterexamples_stay_clean() {
+    let model = model();
+    // The legitimate mixes the paper warns local methods about.
+    for (label, values) in [
+        ("col1 separators", vec!["0", "17", "342", "999", "1,000"]),
+        ("col2 floats", vec!["0", "5", "42", "99", "1.99"]),
+        ("durations", vec!["3:45", "4:02", "1:02:33", "2:58"]),
+        ("score placeholders", vec!["2-1", "0-0", "N/A", "3-2"]),
+    ] {
+        let col = Column::from_strs(&values, SourceTag::Local);
+        let findings = model.detect_column(&col);
+        assert!(
+            findings.is_empty(),
+            "{label}: legitimate mix flagged: {findings:?}"
+        );
+    }
+}
