@@ -1,0 +1,26 @@
+#!/bin/sh
+# Repository CI gate: formatting, lints, tests.
+#
+#   ./ci.sh                # format check + clippy -D warnings + tests
+#   ADT_OFFLINE=1 ./ci.sh  # same, in an air-gapped container: clippy and
+#                          # tests run against the devstubs workspace copy
+#                          # (see scripts/offline_check.sh)
+set -eu
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+if [ "${ADT_OFFLINE:-0}" = "1" ]; then
+    echo "== clippy (offline stubs)"
+    scripts/offline_check.sh clippy --workspace --all-targets -- -D warnings
+    echo "== tests (offline stubs)"
+    scripts/offline_check.sh test --workspace -q
+else
+    echo "== clippy"
+    cargo clippy --workspace --all-targets -- -D warnings
+    echo "== tests"
+    cargo test --workspace -q
+fi
+
+echo "CI OK"

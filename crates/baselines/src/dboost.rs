@@ -68,7 +68,9 @@ pub fn expand(v: &str) -> Expansion {
     let parts: Vec<&str> = v.split(['-', '/', '.']).collect();
     if parts.len() == 3
         && parts[0].len() == 4
-        && parts.iter().all(|p| p.chars().all(|c| c.is_ascii_digit()) && !p.is_empty())
+        && parts
+            .iter()
+            .all(|p| p.chars().all(|c| c.is_ascii_digit()) && !p.is_empty())
     {
         discrete.push(("date_month", parts[1].parse().unwrap_or(0)));
         continuous.push(("date_year", parts[0].parse().unwrap_or(0.0)));

@@ -77,8 +77,7 @@ impl DataType {
                 if groups.len() < 2 {
                     return DataType::Integer.matches(v) || DataType::Decimal.matches(v);
                 }
-                let first_ok =
-                    !groups[0].is_empty() && groups[0].len() <= 3 && digits(groups[0]);
+                let first_ok = !groups[0].is_empty() && groups[0].len() <= 3 && digits(groups[0]);
                 let rest_ok = groups[1..].iter().all(|g| g.len() == 3 && digits(g));
                 let frac_ok = match v.split_once('.').map(|x| x.1) {
                     Some(f) => !f.is_empty() && digits(f),
@@ -223,7 +222,9 @@ fn digits(s: &str) -> bool {
 }
 
 fn in_range(s: &str, lo: u32, hi: u32) -> bool {
-    s.parse::<u32>().map(|n| n >= lo && n <= hi).unwrap_or(false)
+    s.parse::<u32>()
+        .map(|n| n >= lo && n <= hi)
+        .unwrap_or(false)
 }
 
 /// The F-Regex detector.

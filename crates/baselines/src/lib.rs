@@ -74,11 +74,7 @@ mod tests {
         let col = Column::new(values, SourceTag::Csv);
         for det in all_baselines() {
             let preds = det.detect(&col);
-            assert!(
-                !preds.is_empty(),
-                "{} produced no predictions",
-                det.name()
-            );
+            assert!(!preds.is_empty(), "{} produced no predictions", det.name());
             assert_eq!(
                 preds[0].value,
                 "not a date at all!!",

@@ -79,10 +79,7 @@ impl Detector for LofDetector {
         // Local reachability density: reach-dist(i, j) = max(k_dist(j), d(i, j)).
         let lrd: Vec<f64> = (0..n)
             .map(|i| {
-                let sum: f64 = neighbours[i]
-                    .iter()
-                    .map(|&(d, j)| d.max(k_dist[j]))
-                    .sum();
+                let sum: f64 = neighbours[i].iter().map(|&(d, j)| d.max(k_dist[j])).sum();
                 let avg = sum / neighbours[i].len().max(1) as f64;
                 1.0 / avg.max(1e-9)
             })

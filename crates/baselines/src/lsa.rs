@@ -145,7 +145,9 @@ mod tests {
 
     #[test]
     fn respects_max_outliers() {
-        let vals: Vec<String> = (0..30).map(|i| format!("{}!{}", "x".repeat(i % 7 + 1), i)).collect();
+        let vals: Vec<String> = (0..30)
+            .map(|i| format!("{}!{}", "x".repeat(i % 7 + 1), i))
+            .collect();
         let col = Column::new(vals, SourceTag::Csv);
         let det = LsaDetector {
             max_outliers: 3,

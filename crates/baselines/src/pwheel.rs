@@ -143,10 +143,7 @@ impl Detector for PotterWheelDetector {
         let (lang, support) = self.best_language(&refs);
         // Dominant patterns cover at least `dominant_fraction` of cells.
         let threshold = ((total as f64) * self.dominant_fraction).ceil() as usize;
-        let dominant_cells: usize = support
-            .values()
-            .filter(|&&c| c >= threshold.max(2))
-            .sum();
+        let dominant_cells: usize = support.values().filter(|&&c| c >= threshold.max(2)).sum();
         if dominant_cells == 0 {
             // No structure found; Potter's Wheel stays silent.
             return Vec::new();

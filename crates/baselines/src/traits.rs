@@ -1,86 +1,8 @@
-//! The common detector interface.
+//! The common detector interface — re-exported from `adt_core::api`.
+//!
+//! The trait moved into `adt-core` so Auto-Detect itself and every
+//! baseline implement the same interface and evaluation drivers consume
+//! a uniform `dyn Detector`. This module remains as the compatibility
+//! path: `adt_baselines::traits::Detector` *is* `adt_core::Detector`.
 
-use adt_corpus::Column;
-use serde::{Deserialize, Serialize};
-
-/// One predicted error within a column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Prediction {
-    /// The value predicted to be an error.
-    pub value: String,
-    /// Method-specific confidence; higher means more suspicious. Only the
-    /// ordering is comparable across columns of the *same* method.
-    pub confidence: f64,
-}
-
-/// A single-column error detector.
-pub trait Detector: Send + Sync {
-    /// The method's display name (matching the paper's legend).
-    fn name(&self) -> &'static str;
-
-    /// Ranked error predictions for one column, most confident first.
-    /// An empty vector means "column looks clean".
-    fn detect(&self, column: &Column) -> Vec<Prediction>;
-}
-
-/// Sorts predictions by descending confidence with a deterministic
-/// tie-break, truncating to `limit`.
-pub fn finalize_predictions(mut preds: Vec<Prediction>, limit: usize) -> Vec<Prediction> {
-    preds.sort_by(|a, b| {
-        b.confidence
-            .total_cmp(&a.confidence)
-            .then_with(|| a.value.cmp(&b.value))
-    });
-    preds.truncate(limit);
-    preds
-}
-
-/// Tallies distinct values with their multiplicities, sorted by frequency
-/// (ascending — rare values first) then value.
-pub fn value_counts(column: &Column) -> Vec<(String, usize)> {
-    let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
-    for v in column.non_empty_values() {
-        *counts.entry(v).or_insert(0) += 1;
-    }
-    let mut out: Vec<(String, usize)> = counts
-        .into_iter()
-        .map(|(v, c)| (v.to_string(), c))
-        .collect();
-    out.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use adt_corpus::SourceTag;
-
-    #[test]
-    fn finalize_sorts_and_truncates() {
-        let preds = vec![
-            Prediction {
-                value: "b".into(),
-                confidence: 0.5,
-            },
-            Prediction {
-                value: "a".into(),
-                confidence: 0.9,
-            },
-            Prediction {
-                value: "c".into(),
-                confidence: 0.5,
-            },
-        ];
-        let out = finalize_predictions(preds, 2);
-        assert_eq!(out.len(), 2);
-        assert_eq!(out[0].value, "a");
-        assert_eq!(out[1].value, "b"); // tie broken lexicographically
-    }
-
-    #[test]
-    fn value_counts_rare_first() {
-        let col = Column::from_strs(&["x", "y", "x", "", "x"], SourceTag::Csv);
-        let counts = value_counts(&col);
-        assert_eq!(counts, vec![("y".to_string(), 1), ("x".to_string(), 3)]);
-    }
-}
+pub use adt_core::api::{finalize_predictions, value_counts, Detector, Prediction};

@@ -1,9 +1,9 @@
 //! Property tests across all baselines: structural guarantees that hold
 //! for arbitrary columns.
 
+use adt_baselines::Detector;
 use adt_baselines::{all_baselines, UnionDetector};
 use adt_corpus::{Column, SourceTag};
-use adt_baselines::Detector;
 use proptest::prelude::*;
 
 fn arb_column() -> impl Strategy<Value = Column> {

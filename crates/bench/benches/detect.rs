@@ -49,7 +49,7 @@ fn bench_detectors(c: &mut Criterion) {
         training_examples: 4_000,
         ..AutoDetectConfig::small()
     };
-    let (model, _) = train(&corpus, &cfg);
+    let (model, _) = train(&corpus, &cfg).expect("training failed");
     group.bench_function("Auto-Detect", |b| {
         b.iter(|| {
             for col in &columns {

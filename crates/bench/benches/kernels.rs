@@ -166,9 +166,7 @@ fn bench_selection(c: &mut Criterion) {
         .map(|i| CandidateSummary {
             index: i,
             size_bytes: 1_000 + (i * 3571) % 100_000,
-            covered_negatives: (0..2_000u32)
-                .filter(|x| (x + i as u32) % 7 < 3)
-                .collect(),
+            covered_negatives: (0..2_000u32).filter(|x| (x + i as u32) % 7 < 3).collect(),
         })
         .collect();
     c.bench_function("greedy_select_144", |b| {

@@ -1,0 +1,82 @@
+//! Criterion bench for the parallel scan engine: a 1k-column corpus
+//! scanned at 1/2/4/8 worker threads, plus the streamed-CSV ingest path.
+//!
+//! The acceptance bar for the engine is ≥3× speedup at 8 threads over
+//! the serial scan on this corpus on ≥8-core hardware (per-column work
+//! is independent, so scaling is limited only by queue overhead and
+//! memory bandwidth). On a single-core container the useful signal is
+//! the inverse: the 8-thread run should cost within a few percent of
+//! the serial run, i.e. the queue adds no meaningful overhead.
+
+use adt_core::{train, AutoDetectConfig, ScanEngine};
+use adt_corpus::{generate_corpus, Column, CorpusProfile};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn scan_columns() -> Vec<Column> {
+    let mut p = CorpusProfile::ent_xls(1_000);
+    p.dirty_rate = 0.3;
+    generate_corpus(&p).columns().to_vec()
+}
+
+fn trained_engine() -> ScanEngine {
+    let mut cp = CorpusProfile::web(2_000);
+    cp.dirty_rate = 0.0;
+    let corpus = generate_corpus(&cp);
+    let cfg = AutoDetectConfig::builder()
+        .training_examples(4_000)
+        .space(adt_core::LanguageSpace::Coarse36)
+        .build()
+        .expect("valid config");
+    let (model, _) = train(&corpus, &cfg).expect("training failed");
+    ScanEngine::new(Arc::new(model))
+}
+
+fn bench_scan_threads(c: &mut Criterion) {
+    let columns = scan_columns();
+    let engine = trained_engine();
+    let mut group = c.benchmark_group("scan_1k_columns");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(columns.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        let engine = engine.clone().with_threads(threads);
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| black_box(engine.scan_columns(&columns).expect("scan failed")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan_csv_stream(c: &mut Criterion) {
+    let columns = scan_columns();
+    // One wide CSV with the bench columns side by side.
+    let rows = columns.iter().map(|c| c.len()).max().unwrap_or(0);
+    let mut csv = String::new();
+    for r in 0..rows {
+        let row: Vec<&str> = columns
+            .iter()
+            .map(|c| c.values.get(r).map(|v| v.as_str()).unwrap_or(""))
+            .collect();
+        csv.push_str(&row.join("\t"));
+        csv.push('\n');
+    }
+    let engine = trained_engine();
+    let mut group = c.benchmark_group("scan_csv_stream");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(csv.len() as u64));
+    group.bench_function("stream_8_threads", |b| {
+        let engine = engine.clone().with_threads(8);
+        b.iter(|| {
+            black_box(
+                engine
+                    .scan_csv(csv.as_bytes(), '\t', false)
+                    .expect("scan failed"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_threads, bench_scan_csv_stream);
+criterion_main!(benches);

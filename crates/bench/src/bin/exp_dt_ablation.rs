@@ -35,8 +35,11 @@ fn main() {
         training.negatives()
     );
 
-    eprintln!("[dt] calibrating {} candidates…", cfg.candidate_languages().len());
-    let pool = calibrate_candidates(&corpus, &cfg, &training);
+    eprintln!(
+        "[dt] calibrating {} candidates…",
+        cfg.candidate_languages().len()
+    );
+    let pool = calibrate_candidates(&corpus, &cfg, &training).expect("calibration failed");
 
     // Score matrices for DT (the expensive part ST avoids).
     eprintln!("[dt] scoring matrices…");

@@ -31,12 +31,17 @@ fn main() {
             ..base_cfg.clone()
         };
         let t0 = std::time::Instant::now();
-        let (model, _) = train_with_training_set(&corpus, &cfg, &training);
-        let m = Method::AutoDetect(&model);
+        let (model, _) =
+            train_with_training_set(&corpus, &cfg, &training).expect("training failed");
+        let m = Method::auto_detect(&model);
         let preds = run_method(&m, &cases);
         let pooled = pooled_predictions(&cases, &preds, 1);
         let p = precision_at_k(&pooled, k);
-        eprintln!("[fig17a] f={f}: precision@{k} = {p:.3} ({} languages, {:.1?})", model.num_languages(), t0.elapsed());
+        eprintln!(
+            "[fig17a] f={f}: precision@{k} = {p:.3} ({} languages, {:.1?})",
+            model.num_languages(),
+            t0.elapsed()
+        );
         // Encode f*100 as the integer axis of the series.
         points.push(((f * 100.0) as usize, p));
         let _ = i;

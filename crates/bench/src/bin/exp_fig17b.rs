@@ -26,9 +26,12 @@ fn main() {
             .iter()
             .map(|e| stats.score_values(&e.u, &e.v, NpmiParams::default()))
             .collect();
-        let at_one = scores.iter().filter(|&&s| s >= 0.999).count() as f64
-            / scores.len().max(1) as f64;
-        eprintln!("[fig17b] {label}: {:.1}% of pairs at NPMI = 1.0", at_one * 100.0);
+        let at_one =
+            scores.iter().filter(|&&s| s >= 0.999).count() as f64 / scores.len().max(1) as f64;
+        eprintln!(
+            "[fig17b] {label}: {:.1}% of pairs at NPMI = 1.0",
+            at_one * 100.0
+        );
         let cdf = empirical_cdf(&mut scores, 21);
         // Encode NPMI in [-1, 1] as (npmi + 1) * 100 for the integer axis.
         let points: Vec<(usize, f64)> = cdf

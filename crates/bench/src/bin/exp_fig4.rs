@@ -37,7 +37,12 @@ fn main() {
         let preds = run_method(&m, &cases);
         let pooled = pooled_predictions(&cases, &preds, 1);
         fig_a.push(m.name(), precision_series(&pooled, &ks));
-        eprintln!("[fig4a] {} done in {:.1?} ({} predictions)", m.name(), t0.elapsed(), pooled.len());
+        eprintln!(
+            "[fig4a] {} done in {:.1?} ({} predictions)",
+            m.name(),
+            t0.elapsed(),
+            pooled.len()
+        );
     }
     emit(&fig_a);
 

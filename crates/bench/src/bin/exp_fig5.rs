@@ -1,7 +1,9 @@
 //! Figure 5: automatic evaluation on WIKI at dirty:clean ratios 1:1, 1:5
 //! and 1:10 — precision@k for the seven best-performing methods.
 
-use adt_bench::{auto_eval_ks, crude, default_model, emit, figure5_methods, n_dirty, ratio_cases, wiki_corpus};
+use adt_bench::{
+    auto_eval_ks, crude, default_model, emit, figure5_methods, n_dirty, ratio_cases, wiki_corpus,
+};
 use adt_eval::metrics::{pooled_predictions, precision_series};
 use adt_eval::report::Figure;
 use adt_eval::run_method;
@@ -14,11 +16,7 @@ fn main() {
     for ratio in [1usize, 5, 10] {
         let cases = ratio_cases(&source, &oracle, n_dirty(), ratio, 0xF15 + ratio as u64);
         let dirty = cases.iter().filter(|c| c.is_dirty()).count();
-        eprintln!(
-            "[fig5 1:{ratio}] {} cases ({} dirty)",
-            cases.len(),
-            dirty
-        );
+        eprintln!("[fig5 1:{ratio}] {} cases ({} dirty)", cases.len(), dirty);
         let mut fig = Figure::new(
             &format!("fig5_wiki_1to{ratio}"),
             &format!("auto-eval precision@k on WIKI, dirty:clean = 1:{ratio} (paper Fig 5)"),

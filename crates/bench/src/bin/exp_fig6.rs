@@ -2,7 +2,9 @@
 //! 1:5 and 1:10 — the cross-corpus generalization test (trained on
 //! WEB ∪ Pub-XLS, tested on enterprise-profile columns).
 
-use adt_bench::{auto_eval_ks, crude, default_model, emit, ent_corpus, figure5_methods, n_dirty, ratio_cases};
+use adt_bench::{
+    auto_eval_ks, crude, default_model, emit, ent_corpus, figure5_methods, n_dirty, ratio_cases,
+};
 use adt_eval::metrics::{pooled_predictions, precision_series};
 use adt_eval::report::Figure;
 use adt_eval::run_method;

@@ -6,7 +6,9 @@
 //! shape to reproduce: tiny budgets select ~2 languages and stay precise
 //! at low k; larger budgets add languages and win at high k).
 
-use adt_bench::{auto_eval_ks, crude, default_config, emit, ent_corpus, n_dirty, ratio_cases, train_corpus};
+use adt_bench::{
+    auto_eval_ks, crude, default_config, emit, ent_corpus, n_dirty, ratio_cases, train_corpus,
+};
 use adt_core::{build_training_set, calibrate_candidates, select_and_assemble};
 use adt_eval::metrics::{pooled_predictions, precision_series};
 use adt_eval::report::Figure;
@@ -16,9 +18,12 @@ fn main() {
     let corpus = train_corpus();
     let cfg = default_config();
     let (training, _) = build_training_set(&corpus, &cfg);
-    eprintln!("[fig7] calibrating {} candidates once…", cfg.candidate_languages().len());
+    eprintln!(
+        "[fig7] calibrating {} candidates once…",
+        cfg.candidate_languages().len()
+    );
     let t0 = std::time::Instant::now();
-    let pool = calibrate_candidates(&corpus, &cfg, &training);
+    let pool = calibrate_candidates(&corpus, &cfg, &training).expect("calibration failed");
     eprintln!("[fig7] pool ready in {:.1?}", t0.elapsed());
 
     let budgets: [(usize, &str); 3] = [(64 << 10, "64KB"), (1 << 20, "1MB"), (8 << 20, "8MB")];
@@ -50,7 +55,7 @@ fn main() {
             ),
         );
         for (label, model) in &models {
-            let m = Method::AutoDetect(model);
+            let m = Method::auto_detect(model);
             let preds = run_method(&m, &cases);
             let pooled = pooled_predictions(&cases, &preds, 1);
             fig.push(label, precision_series(&pooled, &ks));

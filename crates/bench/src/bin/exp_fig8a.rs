@@ -2,7 +2,9 @@
 //! co-occurrence dictionaries, at 100% (no sketch), 10% and 1% of the
 //! exact size, on Ent-XLS at dirty:clean = 1:10.
 
-use adt_bench::{auto_eval_ks, crude, default_config, emit, ent_corpus, n_dirty, ratio_cases, train_corpus};
+use adt_bench::{
+    auto_eval_ks, crude, default_config, emit, ent_corpus, n_dirty, ratio_cases, train_corpus,
+};
 use adt_core::{build_training_set, calibrate_candidates, select_and_assemble};
 use adt_eval::metrics::{pooled_predictions, precision_series};
 use adt_eval::report::Figure;
@@ -13,7 +15,7 @@ fn main() {
     let cfg = default_config();
     let (training, _) = build_training_set(&corpus, &cfg);
     eprintln!("[fig8a] calibrating candidate pool…");
-    let pool = calibrate_candidates(&corpus, &cfg, &training);
+    let pool = calibrate_candidates(&corpus, &cfg, &training).expect("calibration failed");
 
     let source = ent_corpus();
     let oracle = crude(&source);
@@ -35,7 +37,7 @@ fn main() {
             report.model_bytes,
             model.num_languages()
         );
-        let m = Method::AutoDetect(&model);
+        let m = Method::auto_detect(&model);
         let preds = run_method(&m, &cases);
         let pooled = pooled_predictions(&cases, &preds, 1);
         fig.push(label, precision_series(&pooled, &ks));

@@ -26,7 +26,7 @@ fn main() {
         "aggregation functions on Ent-XLS 1:10 (paper Fig 8b)",
     );
     for (name, agg) in Aggregator::figure8b_suite(best_one) {
-        let m = Method::AutoDetectWith(&model, agg, name);
+        let m = Method::auto_detect_with(&model, agg, name);
         let t0 = std::time::Instant::now();
         let preds = run_method(&m, &cases);
         let pooled = pooled_predictions(&cases, &preds, 1);

@@ -3,7 +3,10 @@
 //! corpus, both evaluated on Ent-XLS 1:10. The paper finds the bigger
 //! WEB corpus wins despite WIKI being cleaner.
 
-use adt_bench::{auto_eval_ks, crude, default_config, emit, ent_corpus, n_dirty, ratio_cases, train_corpus, wiki_corpus};
+use adt_bench::{
+    auto_eval_ks, crude, default_config, emit, ent_corpus, n_dirty, ratio_cases, train_corpus,
+    wiki_corpus,
+};
 use adt_core::{build_training_set, train_with_training_set};
 use adt_eval::metrics::{pooled_predictions, precision_series};
 use adt_eval::report::Figure;
@@ -23,13 +26,14 @@ fn main() {
     for (label, corpus) in [("WIKI", wiki_corpus()), ("WEB", train_corpus())] {
         eprintln!("[fig8c] training on {label} ({} columns)…", corpus.len());
         let (training, _) = build_training_set(&corpus, &cfg);
-        let (model, report) = train_with_training_set(&corpus, &cfg, &training);
+        let (model, report) =
+            train_with_training_set(&corpus, &cfg, &training).expect("training failed");
         eprintln!(
             "[fig8c] {label}: {} languages, {} bytes",
             model.num_languages(),
             report.model_bytes
         );
-        let m = Method::AutoDetect(&model);
+        let m = Method::auto_detect(&model);
         let preds = run_method(&m, &cases);
         let pooled = pooled_predictions(&cases, &preds, 1);
         fig.push(label, precision_series(&pooled, &ks));

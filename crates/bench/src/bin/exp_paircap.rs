@@ -25,7 +25,14 @@ fn main() {
     let source = generate_corpus(&wiki);
     let oracle = crude_stats(&source, &StatsConfig::default());
     let n_dirty = (n / 20).max(100);
-    let cases = auto_eval_cases(&source, &oracle, NpmiParams::default(), n_dirty, n_dirty * 5, 0xCA9);
+    let cases = auto_eval_cases(
+        &source,
+        &oracle,
+        NpmiParams::default(),
+        n_dirty,
+        n_dirty * 5,
+        0xCA9,
+    );
     let k = n_dirty / 2;
 
     println!("== Pair-cap sensitivity (distinct-pattern cap per column) ==");
@@ -44,8 +51,9 @@ fn main() {
             ..AutoDetectConfig::default()
         };
         let (training, _) = build_training_set(&corpus, &cfg);
-        let (model, report) = train_with_training_set(&corpus, &cfg, &training);
-        let m = Method::AutoDetect(&model);
+        let (model, report) =
+            train_with_training_set(&corpus, &cfg, &training).expect("training failed");
+        let m = Method::auto_detect(&model);
         let preds = run_method(&m, &cases);
         let pooled = pooled_predictions(&cases, &preds, 1);
         println!(
@@ -57,5 +65,7 @@ fn main() {
             precision_at_k(&pooled, k)
         );
     }
-    println!("\n(the default cap of 24 should sit within noise of 48 at a fraction of the pair volume)");
+    println!(
+        "\n(the default cap of 24 should sit within noise of 48 at a fraction of the pair volume)"
+    );
 }

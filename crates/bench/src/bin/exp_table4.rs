@@ -20,7 +20,10 @@ fn main() {
     findings.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
 
     println!("== Table 4: top-10 predictions of incompatible values on WIKI ==");
-    println!("{:<4} {:<28} {:<28} {:>8} {:>8}", "k", "v1 (suspect)", "v2 (witness)", "conf", "label");
+    println!(
+        "{:<4} {:<28} {:<28} {:>8} {:>8}",
+        "k", "v1 (suspect)", "v2 (witness)", "conf", "label"
+    );
     for (i, (q, suspect, witness, correct)) in findings.iter().take(10).enumerate() {
         println!(
             "{:<4} {:<28} {:<28} {:>8.3} {:>8}",
@@ -32,8 +35,15 @@ fn main() {
         );
     }
     let correct_in_top10 = findings.iter().take(10).filter(|f| f.3).count();
-    println!("\ntop-10 precision: {:.2} (paper: 10/10 manually verified)", correct_in_top10 as f64 / 10.0);
-    println!("total flagged columns: {} of {}", findings.len(), labeled.len());
+    println!(
+        "\ntop-10 precision: {:.2} (paper: 10/10 manually verified)",
+        correct_in_top10 as f64 / 10.0
+    );
+    println!(
+        "total flagged columns: {} of {}",
+        findings.len(),
+        labeled.len()
+    );
 }
 
 fn truncate(s: &str, n: usize) -> String {

@@ -16,14 +16,17 @@ fn main() {
 
     let mut rows: Vec<(String, f64)> = Vec::new();
     for det in table5_detectors() {
-        let m = Method::Baseline(det);
+        let m = Method::baseline(det);
         let t0 = Instant::now();
         for c in &cases {
             std::hint::black_box(m.detect(&c.column));
         }
-        rows.push((m.name().to_string(), t0.elapsed().as_secs_f64() / cases.len() as f64));
+        rows.push((
+            m.name().to_string(),
+            t0.elapsed().as_secs_f64() / cases.len() as f64,
+        ));
     }
-    let m = Method::AutoDetect(&model);
+    let m = Method::auto_detect(&model);
     let t0 = Instant::now();
     for c in &cases {
         std::hint::black_box(m.detect(&c.column));

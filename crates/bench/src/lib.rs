@@ -69,9 +69,7 @@ pub fn default_config() -> AutoDetectConfig {
 
 /// Directory for cached artifacts and results.
 pub fn data_dir() -> PathBuf {
-    let d = PathBuf::from(
-        std::env::var("ADT_DATA_DIR").unwrap_or_else(|_| "results".to_string()),
-    );
+    let d = PathBuf::from(std::env::var("ADT_DATA_DIR").unwrap_or_else(|_| "results".to_string()));
     std::fs::create_dir_all(&d).ok();
     d
 }
@@ -84,7 +82,7 @@ pub fn default_model() -> (AutoDetect, Corpus, TrainingSet) {
     let corpus = train_corpus();
     let cfg = default_config();
     let (training, _) = adt_core::build_training_set(&corpus, &cfg);
-    let cache = data_dir().join(format!("model_default_x{}.json", scale()));
+    let cache = data_dir().join(format!("model_default_x{}.bin", scale()));
     if let Ok(model) = adt_core::load_model(&cache) {
         eprintln!("[ctx] loaded cached model from {}", cache.display());
         return (model, corpus, training);
@@ -95,7 +93,8 @@ pub fn default_model() -> (AutoDetect, Corpus, TrainingSet) {
         training.len()
     );
     let t0 = std::time::Instant::now();
-    let (model, report) = adt_core::train_with_training_set(&corpus, &cfg, &training);
+    let (model, report) =
+        adt_core::train_with_training_set(&corpus, &cfg, &training).expect("training failed");
     eprintln!(
         "[ctx] trained in {:.1?}: {} languages {:?}, {} bytes",
         t0.elapsed(),
@@ -145,31 +144,31 @@ pub fn auto_eval_ks() -> Vec<usize> {
 /// The seven best-performing methods reported in Figures 5–6.
 pub fn figure5_methods(model: &AutoDetect) -> Vec<Method<'_>> {
     vec![
-        Method::AutoDetect(model),
-        Method::Baseline(Box::new(FRegexDetector::default())),
-        Method::Baseline(Box::new(PotterWheelDetector::default())),
-        Method::Baseline(Box::new(DboostDetector::default())),
-        Method::Baseline(Box::new(SvddDetector::default())),
-        Method::Baseline(Box::new(DbodDetector::default())),
-        Method::Baseline(Box::new(LofDetector::default())),
+        Method::auto_detect(model),
+        Method::baseline(Box::new(FRegexDetector::default())),
+        Method::baseline(Box::new(PotterWheelDetector::default())),
+        Method::baseline(Box::new(DboostDetector::default())),
+        Method::baseline(Box::new(SvddDetector::default())),
+        Method::baseline(Box::new(DbodDetector::default())),
+        Method::baseline(Box::new(LofDetector::default())),
     ]
 }
 
 /// The full twelve-method roster of Figure 4.
 pub fn figure4_methods(model: &AutoDetect) -> Vec<Method<'_>> {
     vec![
-        Method::AutoDetect(model),
-        Method::Baseline(Box::new(LinearDetector::default())),
-        Method::Baseline(Box::new(LinearPDetector::default())),
-        Method::Baseline(Box::new(FRegexDetector::default())),
-        Method::Baseline(Box::new(PotterWheelDetector::default())),
-        Method::Baseline(Box::new(DboostDetector::default())),
-        Method::Baseline(Box::new(CdmDetector::default())),
-        Method::Baseline(Box::new(LsaDetector::default())),
-        Method::Baseline(Box::new(SvddDetector::default())),
-        Method::Baseline(Box::new(DbodDetector::default())),
-        Method::Baseline(Box::new(LofDetector::default())),
-        Method::Baseline(Box::new(UnionDetector::default())),
+        Method::auto_detect(model),
+        Method::baseline(Box::new(LinearDetector::default())),
+        Method::baseline(Box::new(LinearPDetector::default())),
+        Method::baseline(Box::new(FRegexDetector::default())),
+        Method::baseline(Box::new(PotterWheelDetector::default())),
+        Method::baseline(Box::new(DboostDetector::default())),
+        Method::baseline(Box::new(CdmDetector::default())),
+        Method::baseline(Box::new(LsaDetector::default())),
+        Method::baseline(Box::new(SvddDetector::default())),
+        Method::baseline(Box::new(DbodDetector::default())),
+        Method::baseline(Box::new(LofDetector::default())),
+        Method::baseline(Box::new(UnionDetector::default())),
     ]
 }
 

@@ -55,7 +55,9 @@ mod tests {
     #[test]
     fn repetitive_compresses_better_than_random() {
         let rep: Vec<u8> = b"abcabcabcabcabcabcabcabcabc".to_vec();
-        let rnd: Vec<u8> = (0..27u8).map(|i| i.wrapping_mul(97).wrapping_add(13)).collect();
+        let rnd: Vec<u8> = (0..27u8)
+            .map(|i| i.wrapping_mul(97).wrapping_add(13))
+            .collect();
         assert!(compressed_len(&rep) < compressed_len(&rnd));
     }
 

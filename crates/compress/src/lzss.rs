@@ -233,7 +233,9 @@ mod tests {
     fn cost_monotone_in_repetition() {
         let rep = b"xyzxyzxyzxyzxyzxyzxyzxyz";
         let tokens_rep = tokenize(rep);
-        let lits: Vec<u8> = (0..24u8).map(|i| i.wrapping_mul(31).wrapping_add(7)).collect();
+        let lits: Vec<u8> = (0..24u8)
+            .map(|i| i.wrapping_mul(31).wrapping_add(7))
+            .collect();
         let tokens_lit = tokenize(&lits);
         assert!(token_stream_cost_bits(&tokens_rep) < token_stream_cost_bits(&tokens_lit));
     }

@@ -57,9 +57,7 @@ impl Aggregator {
                 .zip(calibrations.iter().copied())
                 .map(|(&s, c)| c.precision_at(s))
                 .fold(0.0, f64::max),
-            Aggregator::AvgNpmi => {
-                -(scores.iter().sum::<f64>() / scores.len() as f64)
-            }
+            Aggregator::AvgNpmi => -(scores.iter().sum::<f64>() / scores.len() as f64),
             Aggregator::MinNpmi => -scores.iter().copied().fold(f64::INFINITY, f64::min),
             Aggregator::MajorityVote => scores
                 .iter()

@@ -1,0 +1,158 @@
+//! The common detector interface.
+//!
+//! Moved here from `adt-baselines` so that Auto-Detect itself and every
+//! baseline implement one trait: evaluation drivers and services consume
+//! a uniform `dyn Detector` instead of special-casing Auto-Detect.
+//! `adt-baselines` re-exports these items for compatibility.
+
+use crate::aggregate::Aggregator;
+use crate::detector::AutoDetect;
+use adt_corpus::Column;
+use serde::{Deserialize, Serialize};
+
+/// One predicted error within a column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// The value predicted to be an error.
+    pub value: String,
+    /// Method-specific confidence; higher means more suspicious. Only the
+    /// ordering is comparable across columns of the *same* method.
+    pub confidence: f64,
+}
+
+/// A single-column error detector.
+pub trait Detector: Send + Sync {
+    /// The method's display name (matching the paper's legend).
+    fn name(&self) -> &'static str;
+
+    /// Ranked error predictions for one column, most confident first.
+    /// An empty vector means "column looks clean".
+    fn detect(&self, column: &Column) -> Vec<Prediction>;
+}
+
+impl<T: Detector + ?Sized> Detector for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn detect(&self, column: &Column) -> Vec<Prediction> {
+        (**self).detect(column)
+    }
+}
+
+impl<T: Detector + ?Sized> Detector for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn detect(&self, column: &Column) -> Vec<Prediction> {
+        (**self).detect(column)
+    }
+}
+
+/// Auto-Detect is itself a [`Detector`]: native ST aggregation with
+/// max-confidence ranking.
+impl Detector for AutoDetect {
+    fn name(&self) -> &'static str {
+        "Auto-Detect"
+    }
+
+    fn detect(&self, column: &Column) -> Vec<Prediction> {
+        findings_to_predictions(self.detect_column(column))
+    }
+}
+
+/// Auto-Detect scored through an alternative aggregator (the Figure 8(b)
+/// comparisons), adapted to the [`Detector`] interface.
+pub struct AggregatedAutoDetect<'a> {
+    /// The underlying trained model.
+    pub model: &'a AutoDetect,
+    /// The aggregation strategy to apply.
+    pub aggregator: Aggregator,
+    /// Display name (e.g. `"AvgNPMI"`).
+    pub name: &'static str,
+}
+
+impl Detector for AggregatedAutoDetect<'_> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn detect(&self, column: &Column) -> Vec<Prediction> {
+        findings_to_predictions(self.model.detect_column_with(column, self.aggregator))
+    }
+}
+
+/// Converts ranked column findings into the cross-method prediction
+/// shape.
+pub fn findings_to_predictions(findings: Vec<crate::detector::ColumnFinding>) -> Vec<Prediction> {
+    findings
+        .into_iter()
+        .map(|f| Prediction {
+            value: f.suspect,
+            confidence: f.confidence,
+        })
+        .collect()
+}
+
+/// Sorts predictions by descending confidence with a deterministic
+/// tie-break, truncating to `limit`.
+pub fn finalize_predictions(mut preds: Vec<Prediction>, limit: usize) -> Vec<Prediction> {
+    preds.sort_by(|a, b| {
+        b.confidence
+            .total_cmp(&a.confidence)
+            .then_with(|| a.value.cmp(&b.value))
+    });
+    preds.truncate(limit);
+    preds
+}
+
+/// Tallies distinct values with their multiplicities, sorted by frequency
+/// (ascending — rare values first) then value.
+pub fn value_counts(column: &Column) -> Vec<(String, usize)> {
+    let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for v in column.non_empty_values() {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let mut out: Vec<(String, usize)> = counts
+        .into_iter()
+        .map(|(v, c)| (v.to_string(), c))
+        .collect();
+    out.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::SourceTag;
+
+    #[test]
+    fn finalize_sorts_and_truncates() {
+        let preds = vec![
+            Prediction {
+                value: "b".into(),
+                confidence: 0.5,
+            },
+            Prediction {
+                value: "a".into(),
+                confidence: 0.9,
+            },
+            Prediction {
+                value: "c".into(),
+                confidence: 0.5,
+            },
+        ];
+        let out = finalize_predictions(preds, 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value, "a");
+        assert_eq!(out[1].value, "b"); // tie broken lexicographically
+    }
+
+    #[test]
+    fn value_counts_rare_first() {
+        let col = Column::from_strs(&["x", "y", "x", "", "x"], SourceTag::Csv);
+        let counts = value_counts(&col);
+        assert_eq!(counts, vec![("y".to_string(), 1), ("x".to_string(), 3)]);
+    }
+}

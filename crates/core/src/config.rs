@@ -1,5 +1,6 @@
-//! Training configuration.
+//! Training and detection configuration.
 
+use crate::error::AdtError;
 use adt_stats::{NpmiParams, SketchSpec, StatsConfig};
 use serde::{Deserialize, Serialize};
 
@@ -13,6 +14,11 @@ pub enum LanguageSpace {
 }
 
 /// Full training configuration (the knobs of Definition 3).
+///
+/// Prefer [`AutoDetectConfig::builder`] over struct-literal construction:
+/// the builder validates every knob and fills derived defaults, so an
+/// invalid combination surfaces as a typed [`AdtError::Config`] instead
+/// of a silent mis-train.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AutoDetectConfig {
     /// Precision requirement `P` (the paper targets ≥ 0.95).
@@ -44,6 +50,9 @@ pub struct AutoDetectConfig {
     pub negative_prune_threshold: f64,
     /// Worker threads for per-language scans.
     pub threads: usize,
+    /// Cap on distinct values per column considered during detection
+    /// (carried into the trained model).
+    pub max_distinct_values: usize,
     /// Seed for training-set sampling.
     pub seed: u64,
     /// When set, the *final* selected languages store co-occurrence in a
@@ -66,6 +75,7 @@ impl Default for AutoDetectConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            max_distinct_values: 64,
             seed: 0xAD7_7EA1,
             sketch_fraction: None,
         }
@@ -73,6 +83,13 @@ impl Default for AutoDetectConfig {
 }
 
 impl AutoDetectConfig {
+    /// A validating builder seeded with the default configuration.
+    pub fn builder() -> AutoDetectConfigBuilder {
+        AutoDetectConfigBuilder {
+            config: AutoDetectConfig::default(),
+        }
+    }
+
     /// A small configuration for tests and examples: coarse language
     /// space, few training examples, tight budget.
     pub fn small() -> Self {
@@ -100,6 +117,124 @@ impl AutoDetectConfig {
             ..SketchSpec::default()
         })
     }
+
+    /// Validates every knob, returning the first violation.
+    pub fn validate(&self) -> Result<(), AdtError> {
+        fn fail(msg: String) -> Result<(), AdtError> {
+            Err(AdtError::Config(msg))
+        }
+        if !(self.precision_target > 0.0 && self.precision_target <= 1.0) {
+            return fail(format!(
+                "precision_target must be in (0, 1], got {}",
+                self.precision_target
+            ));
+        }
+        if self.memory_budget == 0 {
+            return fail("memory_budget must be positive".into());
+        }
+        if self.training_examples == 0 {
+            return fail("training_examples must be positive".into());
+        }
+        if self.max_distinct_values < 2 {
+            return fail(format!(
+                "max_distinct_values must be at least 2 (pairs), got {}",
+                self.max_distinct_values
+            ));
+        }
+        if self.compat_threshold <= self.negative_prune_threshold {
+            return fail(format!(
+                "compat_threshold ({}) must exceed negative_prune_threshold ({})",
+                self.compat_threshold, self.negative_prune_threshold
+            ));
+        }
+        if let Some(f) = self.sketch_fraction {
+            if !(f > 0.0 && f <= 1.0) {
+                return fail(format!("sketch_fraction must be in (0, 1], got {f}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`AutoDetectConfig`].
+///
+/// ```
+/// use adt_core::AutoDetectConfig;
+///
+/// let config = AutoDetectConfig::builder()
+///     .precision_target(0.9)
+///     .memory_budget(32 << 20)
+///     .threads(4)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.threads, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AutoDetectConfigBuilder {
+    config: AutoDetectConfig,
+}
+
+impl AutoDetectConfigBuilder {
+    /// Precision requirement `P` in `(0, 1]`.
+    pub fn precision_target(mut self, p: f64) -> Self {
+        self.config.precision_target = p;
+        self
+    }
+
+    /// Memory budget in bytes for the selected ensemble.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.config.memory_budget = bytes;
+        self
+    }
+
+    /// Worker threads for parallel scans; `0` means all available cores.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// Cap on distinct values per column considered during detection.
+    pub fn max_distinct_values(mut self, cap: usize) -> Self {
+        self.config.max_distinct_values = cap;
+        self
+    }
+
+    /// Number of training examples to generate.
+    pub fn training_examples(mut self, n: usize) -> Self {
+        self.config.training_examples = n;
+        self
+    }
+
+    /// Candidate language space.
+    pub fn space(mut self, space: LanguageSpace) -> Self {
+        self.config.space = space;
+        self
+    }
+
+    /// Seed for training-set sampling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Co-occurrence sketch compression fraction in `(0, 1]`, or `None`
+    /// for exact counts.
+    pub fn sketch_fraction(mut self, fraction: Option<f64>) -> Self {
+        self.config.sketch_fraction = fraction;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<AutoDetectConfig, AdtError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +251,8 @@ mod tests {
         assert_eq!(c.compat_threshold, -0.2);
         assert!(c.compat_threshold > c.negative_prune_threshold);
         assert_eq!(c.candidate_languages().len(), 144);
+        assert_eq!(c.max_distinct_values, 64);
+        c.validate().unwrap();
     }
 
     #[test]
@@ -133,5 +270,57 @@ mod tests {
         assert_eq!(spec.budget_bytes, (10 << 20) / 100);
         c.sketch_fraction = None;
         assert!(c.sketch_spec_for(10 << 20).is_none());
+    }
+
+    #[test]
+    fn builder_validates_and_builds() {
+        let c = AutoDetectConfig::builder()
+            .precision_target(0.9)
+            .memory_budget(1 << 20)
+            .threads(3)
+            .max_distinct_values(10)
+            .training_examples(500)
+            .space(LanguageSpace::Coarse36)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(c.precision_target, 0.9);
+        assert_eq!(c.threads, 3);
+        assert_eq!(c.max_distinct_values, 10);
+        assert_eq!(c.space, LanguageSpace::Coarse36);
+    }
+
+    #[test]
+    fn builder_rejects_bad_knobs() {
+        assert!(AutoDetectConfig::builder()
+            .precision_target(0.0)
+            .build()
+            .is_err());
+        assert!(AutoDetectConfig::builder()
+            .precision_target(1.5)
+            .build()
+            .is_err());
+        assert!(AutoDetectConfig::builder()
+            .memory_budget(0)
+            .build()
+            .is_err());
+        assert!(AutoDetectConfig::builder()
+            .max_distinct_values(1)
+            .build()
+            .is_err());
+        assert!(AutoDetectConfig::builder()
+            .sketch_fraction(Some(0.0))
+            .build()
+            .is_err());
+        assert!(AutoDetectConfig::builder()
+            .training_examples(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_zero_threads_means_available_parallelism() {
+        let c = AutoDetectConfig::builder().threads(0).build().unwrap();
+        assert!(c.threads >= 1);
     }
 }

@@ -13,6 +13,7 @@ use adt_patterns::PatternHash;
 use adt_stats::{LanguageStats, NpmiParams};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// One selected language with its statistics and calibration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -60,6 +61,108 @@ pub struct ColumnFinding {
     pub confidence: f64,
     /// The most negative firing NPMI score of the witnessing pair.
     pub score: f64,
+}
+
+/// Memoized per-value pattern hashes, one entry per selected language.
+///
+/// Generalizing a value is the per-value hot path of a scan (run-length
+/// tokenization under every language). Values repeat heavily across the
+/// columns of real tables, so workers keep one cache alive across the
+/// columns they scan: each distinct value is generalized exactly once
+/// under *all* languages, then shared for the rest of the worker's life.
+/// A cache is tied to the model it was first used with.
+#[derive(Debug, Default)]
+pub struct PatternCache {
+    map: HashMap<String, Vec<PatternHash>>,
+}
+
+impl PatternCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PatternCache::default()
+    }
+
+    /// Number of memoized values.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Ensures `value` is memoized, generalizing it under every language
+    /// of `model` on first sight.
+    fn ensure(&mut self, model: &AutoDetect, value: &str) {
+        if !self.map.contains_key(value) {
+            let hashes = model
+                .languages
+                .iter()
+                .map(|l| l.stats.pattern_of(value))
+                .collect();
+            self.map.insert(value.to_string(), hashes);
+        }
+    }
+
+    fn get(&self, value: &str) -> &[PatternHash] {
+        &self.map[value]
+    }
+}
+
+/// Counters and per-stage timings accumulated by a column scan.
+///
+/// Merged across columns (and worker threads) into the totals a
+/// [`crate::engine::ScanReport`] exposes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScanStats {
+    /// Distinct values actually scored (after the distinct-value cap).
+    pub values_scored: u64,
+    /// Value pairs scored under the ensemble.
+    pub pairs_scored: u64,
+    /// Scored pairs flagged incompatible by the aggregator.
+    pub pairs_flagged: u64,
+    /// Pairs skipped by the distinct-value cap (rare tail values beyond
+    /// `max_distinct_values` never enter the d×d matrices).
+    pub pairs_pruned: u64,
+    /// Surviving findings attributed to each language (index = position
+    /// in [`AutoDetect::languages`]).
+    pub findings_per_language: Vec<u64>,
+    /// Nanoseconds spent generalizing values to pattern hashes.
+    pub hash_nanos: u64,
+    /// Nanoseconds spent scoring pairs and attributing suspects.
+    pub score_nanos: u64,
+}
+
+impl ScanStats {
+    /// A zeroed stats block sized for `num_languages`.
+    pub fn for_languages(num_languages: usize) -> Self {
+        ScanStats {
+            findings_per_language: vec![0; num_languages],
+            ..ScanStats::default()
+        }
+    }
+
+    /// Accumulates `other` into `self` (element-wise sums).
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.values_scored += other.values_scored;
+        self.pairs_scored += other.pairs_scored;
+        self.pairs_flagged += other.pairs_flagged;
+        self.pairs_pruned += other.pairs_pruned;
+        if self.findings_per_language.len() < other.findings_per_language.len() {
+            self.findings_per_language
+                .resize(other.findings_per_language.len(), 0);
+        }
+        for (a, b) in self
+            .findings_per_language
+            .iter_mut()
+            .zip(&other.findings_per_language)
+        {
+            *a += b;
+        }
+        self.hash_nanos += other.hash_nanos;
+        self.score_nanos += other.score_nanos;
+    }
 }
 
 impl AutoDetect {
@@ -110,17 +213,19 @@ impl AutoDetect {
         }
     }
 
-    /// Distinct values of a column, most frequent first, capped.
-    fn distinct_capped<'a>(&self, column: &'a Column) -> Vec<(&'a str, usize)> {
+    /// Distinct values of a column, most frequent first, capped. Returns
+    /// the capped list plus the uncapped distinct count.
+    fn distinct_capped<'a>(&self, column: &'a Column) -> (Vec<(&'a str, usize)>, usize) {
         let mut counts: HashMap<&str, usize> = HashMap::new();
         for v in column.non_empty_values() {
             *counts.entry(v).or_insert(0) += 1;
         }
+        let total = counts.len();
         let mut out: Vec<(&str, usize)> = counts.into_iter().collect();
         // Most frequent first; lexicographic tie-break for determinism.
         out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
         out.truncate(self.max_distinct_values);
-        out
+        (out, total)
     }
 
     /// Detects incompatible values in a column with the default
@@ -137,23 +242,76 @@ impl AutoDetect {
         column: &Column,
         aggregator: Aggregator,
     ) -> Vec<ColumnFinding> {
-        let distinct = self.distinct_capped(column);
-        if distinct.len() < 2 {
-            return Vec::new();
-        }
-        // Pre-generalize every distinct value once per language.
-        let hashes: Vec<Vec<PatternHash>> = self
-            .languages
-            .iter()
-            .map(|l| {
-                distinct
-                    .iter()
-                    .map(|(v, _)| l.stats.pattern_of(v))
-                    .collect()
-            })
-            .collect();
-        let calibrations: Vec<&Calibration> = self.calibrations();
+        let mut cache = PatternCache::new();
+        self.scan_column(column, aggregator, &mut cache).0
+    }
+
+    /// The instrumented scan primitive behind every detection surface.
+    ///
+    /// Identical findings to [`AutoDetect::detect_column_with`], plus the
+    /// scan's [`ScanStats`]. `cache` memoizes value generalization across
+    /// calls; [`crate::engine::ScanEngine`] keeps one per worker thread.
+    /// Findings depend only on the column's contents, never on the cache's
+    /// prior state or the calling thread — this is what makes parallel
+    /// scans byte-identical to serial ones.
+    pub fn scan_column(
+        &self,
+        column: &Column,
+        aggregator: Aggregator,
+        cache: &mut PatternCache,
+    ) -> (Vec<ColumnFinding>, ScanStats) {
+        let (distinct, total_distinct) = self.distinct_capped(column);
+        self.scan_pairs(&distinct, total_distinct, aggregator, cache)
+    }
+
+    /// Scans a column given its distinct-value counts — the streaming
+    /// surface. `counts` must hold each distinct non-empty value exactly
+    /// once with its multiplicity (any order); the same frequency cap and
+    /// deterministic ordering as [`AutoDetect::scan_column`] are applied
+    /// here, so a streamed column yields byte-identical findings to the
+    /// materialized one.
+    pub fn scan_value_counts(
+        &self,
+        counts: &[(String, usize)],
+        aggregator: Aggregator,
+        cache: &mut PatternCache,
+    ) -> (Vec<ColumnFinding>, ScanStats) {
+        let total_distinct = counts.len();
+        let mut distinct: Vec<(&str, usize)> =
+            counts.iter().map(|(v, c)| (v.as_str(), *c)).collect();
+        distinct.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        distinct.truncate(self.max_distinct_values);
+        self.scan_pairs(&distinct, total_distinct, aggregator, cache)
+    }
+
+    fn scan_pairs(
+        &self,
+        distinct: &[(&str, usize)],
+        total_distinct: usize,
+        aggregator: Aggregator,
+        cache: &mut PatternCache,
+    ) -> (Vec<ColumnFinding>, ScanStats) {
         let d = distinct.len();
+        let mut stats = ScanStats::for_languages(self.languages.len());
+        stats.values_scored = d as u64;
+        stats.pairs_scored = (d * d.saturating_sub(1) / 2) as u64;
+        stats.pairs_pruned =
+            (total_distinct * total_distinct.saturating_sub(1) / 2) as u64 - stats.pairs_scored;
+        if d < 2 {
+            return (Vec::new(), stats);
+        }
+        // Generalize every distinct value once under all languages (cache
+        // hits skip the work entirely), then view per-language.
+        let hash_start = Instant::now();
+        for (v, _) in distinct {
+            cache.ensure(self, v);
+        }
+        let hashes: Vec<Vec<PatternHash>> = (0..self.languages.len())
+            .map(|k| distinct.iter().map(|(v, _)| cache.get(v)[k]).collect())
+            .collect();
+        stats.hash_nanos = hash_start.elapsed().as_nanos() as u64;
+        let score_start = Instant::now();
+        let calibrations: Vec<&Calibration> = self.calibrations();
 
         // Full per-language NPMI matrices over distinct values (flattened
         // d×d, symmetric, diagonal 1.0). These drive both pair flagging
@@ -229,13 +387,14 @@ impl AutoDetect {
                 degree[j] += distinct[i].1 as f64;
             }
         }
+        stats.pairs_flagged = flagged_pairs.len() as u64;
 
         // Pass 2: attribute each flagged pair. The suspect is the member
         // with the higher flag degree; degree ties fall back to the lower
         // rest-of-column compatibility under the pair's most negative
         // language, then to corpus occurrence (the globally rarer pattern
         // is the likelier intruder).
-        let mut best: HashMap<usize, ColumnFinding> = HashMap::new();
+        let mut best: HashMap<usize, (ColumnFinding, usize)> = HashMap::new();
         for &(i, j, confidence, k) in &flagged_pairs {
             {
                 let (suspect_idx, witness_idx) = if (degree[i] - degree[j]).abs() > 1e-9 {
@@ -259,8 +418,7 @@ impl AutoDetect {
                         (j, i)
                     }
                 };
-                let pair_scores: Vec<f64> =
-                    matrices.iter().map(|m| m[i * d + j]).collect();
+                let pair_scores: Vec<f64> = matrices.iter().map(|m| m[i * d + j]).collect();
                 let min_firing_score = pair_scores
                     .iter()
                     .zip(calibrations.iter().copied())
@@ -279,21 +437,26 @@ impl AutoDetect {
                     score,
                 };
                 match best.get(&suspect_idx) {
-                    Some(prev) if prev.confidence >= finding.confidence => {}
+                    Some((prev, _)) if prev.confidence >= finding.confidence => {}
                     _ => {
-                        best.insert(suspect_idx, finding);
+                        best.insert(suspect_idx, (finding, k));
                     }
                 }
             }
         }
-        let mut findings: Vec<ColumnFinding> = best.into_values().collect();
+        let mut findings: Vec<ColumnFinding> = Vec::with_capacity(best.len());
+        for (finding, k) in best.into_values() {
+            stats.findings_per_language[k] += 1;
+            findings.push(finding);
+        }
         findings.sort_by(|a, b| {
             b.confidence
                 .total_cmp(&a.confidence)
                 .then_with(|| a.score.total_cmp(&b.score))
                 .then_with(|| a.suspect.cmp(&b.suspect))
         });
-        findings
+        stats.score_nanos = score_start.elapsed().as_nanos() as u64;
+        (findings, stats)
     }
 
     /// The single most incompatible pair of a column, if any pair is
@@ -305,6 +468,9 @@ impl AutoDetect {
 
     /// Audits every column of a table; findings ranked by confidence
     /// across the whole table (the spreadsheet "spell-checker" surface).
+    ///
+    /// This is the serial reference path; [`crate::ScanEngine`] produces
+    /// identical findings in parallel and adds per-scan reporting.
     pub fn detect_table(&self, table: &adt_corpus::Table) -> Vec<TableFinding> {
         let mut out = Vec::new();
         for (i, col) in table.columns.iter().enumerate() {
@@ -339,7 +505,7 @@ pub struct TableFinding {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod testkit {
     use super::*;
     use adt_corpus::{Column, Corpus, SourceTag};
     use adt_patterns::Language;
@@ -347,7 +513,7 @@ mod tests {
 
     /// Builds a tiny model by hand: crude language over a corpus where ISO
     /// dates never mix with slash dates but ints mix with comma-ints.
-    fn tiny_model() -> AutoDetect {
+    pub(crate) fn tiny_model() -> AutoDetect {
         let mut cols = Vec::new();
         for i in 0..40 {
             cols.push(Column::new(
@@ -408,10 +574,7 @@ mod tests {
         };
         AutoDetect {
             languages: vec![
-                SelectedLanguage {
-                    stats,
-                    calibration,
-                },
+                SelectedLanguage { stats, calibration },
                 SelectedLanguage {
                     stats: stats_l1,
                     calibration: cal_l1,
@@ -422,6 +585,13 @@ mod tests {
             max_distinct_values: 50,
         }
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testkit::tiny_model;
+    use super::*;
+    use adt_corpus::{Column, SourceTag};
 
     #[test]
     fn flags_mixed_date_formats() {
@@ -485,10 +655,7 @@ mod tests {
     #[test]
     fn most_incompatible_returns_top_finding() {
         let m = tiny_model();
-        let col = Column::from_strs(
-            &["2011-01-01", "2012-02-02", "2014/04/04"],
-            SourceTag::Wiki,
-        );
+        let col = Column::from_strs(&["2011-01-01", "2012-02-02", "2014/04/04"], SourceTag::Wiki);
         let top = m.most_incompatible(&col).unwrap();
         let all = m.detect_column(&col);
         assert_eq!(top.suspect, all[0].suspect);
@@ -521,6 +688,75 @@ mod tests {
         assert_eq!(findings[0].finding.suspect, "2014/04/04");
         // The clean numeric column contributes nothing.
         assert!(findings.iter().all(|f| f.column_index == 0));
+    }
+
+    #[test]
+    fn scan_column_counts_match_and_cache_reuse_is_transparent() {
+        let m = tiny_model();
+        let col = Column::from_strs(&["2011-01-01", "2012-02-02", "2014/04/04"], SourceTag::Wiki);
+        let mut cache = PatternCache::new();
+        let (findings, stats) = m.scan_column(&col, Aggregator::AutoDetect, &mut cache);
+        assert_eq!(stats.values_scored, 3);
+        assert_eq!(stats.pairs_scored, 3); // C(3, 2)
+        assert_eq!(stats.pairs_pruned, 0);
+        assert!(stats.pairs_flagged >= 1);
+        assert_eq!(
+            stats.findings_per_language.iter().sum::<u64>(),
+            findings.len() as u64
+        );
+        assert_eq!(cache.len(), 3);
+        // A warm cache must not change the findings, and detect_column
+        // (fresh cache each call) must agree.
+        let (again, _) = m.scan_column(&col, Aggregator::AutoDetect, &mut cache);
+        assert_eq!(format!("{again:?}"), format!("{findings:?}"));
+        assert_eq!(
+            format!("{:?}", m.detect_column(&col)),
+            format!("{findings:?}")
+        );
+    }
+
+    #[test]
+    fn scan_counts_pruned_pairs_beyond_distinct_cap() {
+        let mut m = tiny_model();
+        m.max_distinct_values = 3;
+        let values: Vec<String> = (0..10).map(|i| format!("w{i}")).collect();
+        let col = Column::new(values, SourceTag::Wiki);
+        let mut cache = PatternCache::new();
+        let (_, stats) = m.scan_column(&col, Aggregator::AutoDetect, &mut cache);
+        assert_eq!(stats.values_scored, 3);
+        assert_eq!(stats.pairs_scored, 3);
+        assert_eq!(stats.pairs_pruned, 45 - 3); // C(10, 2) − C(3, 2)
+        assert_eq!(cache.len(), 3); // capped-out values never generalized
+    }
+
+    #[test]
+    fn scan_stats_merge_sums_counters() {
+        let mut a = ScanStats {
+            values_scored: 2,
+            pairs_scored: 1,
+            pairs_flagged: 1,
+            pairs_pruned: 0,
+            findings_per_language: vec![1, 0],
+            hash_nanos: 10,
+            score_nanos: 20,
+        };
+        let b = ScanStats {
+            values_scored: 3,
+            pairs_scored: 3,
+            pairs_flagged: 0,
+            pairs_pruned: 2,
+            findings_per_language: vec![0, 2],
+            hash_nanos: 5,
+            score_nanos: 5,
+        };
+        a.merge(&b);
+        assert_eq!(a.values_scored, 5);
+        assert_eq!(a.pairs_scored, 4);
+        assert_eq!(a.pairs_flagged, 1);
+        assert_eq!(a.pairs_pruned, 2);
+        assert_eq!(a.findings_per_language, vec![1, 2]);
+        assert_eq!(a.hash_nanos, 15);
+        assert_eq!(a.score_nanos, 25);
     }
 
     #[test]

@@ -1,0 +1,509 @@
+//! The parallel scan engine.
+//!
+//! [`ScanEngine`] is the production scan surface: it holds a shared
+//! trained model (`Arc<AutoDetect>`) and fans the columns of a table,
+//! corpus, or streamed CSV over a pool of scoped worker threads. Workers
+//! pull column indices from an atomic queue (the same shape as
+//! `adt_stats::build_stats_for_languages`), each keeping a private
+//! [`PatternCache`] so every distinct value is generalized once under all
+//! languages and reused across the columns that worker scans.
+//!
+//! **Determinism.** Per-column detection is a pure function of the
+//! column's contents — caches only memoize, results are collected into
+//! per-index slots, and cross-column ranking uses total orders — so a
+//! scan produces byte-identical findings at any thread count, including
+//! the streamed-CSV path versus the materialized one.
+//!
+//! **Bounded memory.** [`ScanEngine::scan_csv`] never materializes the
+//! file: it streams records and keeps only per-column distinct-value
+//! counts (detection consumes nothing else), so memory scales with the
+//! number of distinct values, not rows.
+
+use crate::aggregate::Aggregator;
+use crate::detector::{AutoDetect, ColumnFinding, PatternCache, ScanStats, TableFinding};
+use crate::error::AdtError;
+use adt_corpus::{Column, Corpus, CsvRecords, Table};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Resolves a configured thread count: `0` means all available cores.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Applies `f` to every item of `items` across `threads` scoped worker
+/// threads (0 = all cores), preserving input order in the result.
+///
+/// Workers pull indices from an atomic queue, so uneven per-item cost
+/// balances automatically. A worker panic surfaces as
+/// [`AdtError::Worker`] carrying `section`.
+pub fn parallel_map<T, R, F>(
+    items: &[T],
+    threads: usize,
+    section: &'static str,
+    f: F,
+) -> Result<Vec<R>, AdtError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_with(items, threads, section, || (), |_, i, t| f(i, t))
+}
+
+/// Like [`parallel_map`], with per-worker mutable state: each worker
+/// calls `init` once and threads the state through its items (the engine
+/// passes a [`PatternCache`] here). Results must not depend on the state
+/// for the output to stay deterministic across thread counts.
+pub fn parallel_map_with<T, R, S, Init, F>(
+    items: &[T],
+    threads: usize,
+    section: &'static str,
+    init: Init,
+    f: F,
+) -> Result<Vec<R>, AdtError>
+where
+    T: Sync,
+    R: Send,
+    Init: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len()).max(1);
+    if threads == 1 {
+        let mut state = init();
+        return Ok(items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect());
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&mut state, i, &items[i]);
+                    *slots[i].lock() = Some(r);
+                }
+            });
+        }
+    })
+    .map_err(|_| AdtError::Worker(section))?;
+    let mut out = Vec::with_capacity(items.len());
+    for slot in slots {
+        out.push(slot.into_inner().ok_or(AdtError::Worker(section))?);
+    }
+    Ok(out)
+}
+
+/// Per-column outcome in input order, for surfaces that report column by
+/// column (the CLI prints one line per column from these).
+#[derive(Debug, Clone)]
+pub struct ColumnSummary {
+    /// Zero-based column index.
+    pub index: usize,
+    /// The column's header, when present.
+    pub header: Option<String>,
+    /// Distinct values actually scored for this column.
+    pub values_scored: u64,
+    /// Number of findings in this column.
+    pub num_findings: usize,
+}
+
+/// Everything a scan produced: ranked findings, per-column outcomes, and
+/// the merged counters/timings of every worker.
+#[derive(Debug, Clone)]
+pub struct ScanReport {
+    /// Findings ranked across the whole input (confidence descending,
+    /// then column index, then suspect).
+    pub findings: Vec<TableFinding>,
+    /// Per-column outcomes in input order.
+    pub columns: Vec<ColumnSummary>,
+    /// Counters and per-stage CPU timings merged across workers.
+    pub stats: ScanStats,
+    /// Worker threads the scan ran with.
+    pub threads: usize,
+    /// Wall time spent ingesting the input (zero for in-memory scans).
+    pub read_wall: Duration,
+    /// Wall time of the parallel scan section.
+    pub scan_wall: Duration,
+    /// End-to-end wall time.
+    pub wall: Duration,
+}
+
+impl ScanReport {
+    /// Scan throughput in columns per second (over the scan section).
+    pub fn columns_per_sec(&self) -> f64 {
+        self.columns.len() as f64 / self.scan_wall.as_secs_f64().max(1e-9)
+    }
+
+    /// One human-readable line summarizing the scan.
+    pub fn summary(&self) -> String {
+        format!(
+            "scanned {} columns in {:.1} ms on {} thread{} ({:.0} cols/s): \
+             {} findings; {} values scored, {} pairs scored, {} flagged, {} pruned",
+            self.columns.len(),
+            self.wall.as_secs_f64() * 1e3,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            self.columns_per_sec(),
+            self.findings.len(),
+            self.stats.values_scored,
+            self.stats.pairs_scored,
+            self.stats.pairs_flagged,
+            self.stats.pairs_pruned,
+        )
+    }
+}
+
+/// The parallel scan engine: a shared trained model plus scan policy
+/// (thread count, aggregator).
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use adt_core::{load_model, ScanEngine};
+///
+/// let model = Arc::new(load_model("model.bin")?);
+/// let report = ScanEngine::new(model)
+///     .with_threads(8)
+///     .scan_csv_path("big.csv", ',', true)?;
+/// for f in &report.findings {
+///     println!("{}: {}", f.column_index, f.finding.suspect);
+/// }
+/// # Ok::<(), adt_core::AdtError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScanEngine {
+    model: Arc<AutoDetect>,
+    threads: usize,
+    aggregator: Aggregator,
+}
+
+impl ScanEngine {
+    /// An engine over a shared model, scanning with all available cores
+    /// and the paper's native ST aggregation.
+    pub fn new(model: Arc<AutoDetect>) -> Self {
+        ScanEngine {
+            model,
+            threads: 0,
+            aggregator: Aggregator::AutoDetect,
+        }
+    }
+
+    /// Convenience constructor taking ownership of a model.
+    pub fn from_model(model: AutoDetect) -> Self {
+        ScanEngine::new(Arc::new(model))
+    }
+
+    /// Sets the worker thread count; `0` means all available cores.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the pair aggregator (Figure 8(b) variants).
+    pub fn with_aggregator(mut self, aggregator: Aggregator) -> Self {
+        self.aggregator = aggregator;
+        self
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &AutoDetect {
+        &self.model
+    }
+
+    /// Scans a set of columns in parallel.
+    pub fn scan_columns(&self, columns: &[Column]) -> Result<ScanReport, AdtError> {
+        let start = Instant::now();
+        let model = &*self.model;
+        let aggregator = self.aggregator;
+        let scan_start = Instant::now();
+        let results = parallel_map_with(
+            columns,
+            self.threads,
+            "scan_columns",
+            PatternCache::new,
+            |cache, _, col| model.scan_column(col, aggregator, cache),
+        )?;
+        let scan_wall = scan_start.elapsed();
+        let headers = columns.iter().map(|c| c.header.clone()).collect();
+        Ok(self.assemble(headers, results, Duration::ZERO, scan_wall, start.elapsed()))
+    }
+
+    /// Scans every column of a table.
+    pub fn scan_table(&self, table: &Table) -> Result<ScanReport, AdtError> {
+        self.scan_columns(&table.columns)
+    }
+
+    /// Scans every column of a corpus.
+    pub fn scan_corpus(&self, corpus: &Corpus) -> Result<ScanReport, AdtError> {
+        self.scan_columns(corpus.columns())
+    }
+
+    /// Streams a CSV and scans its columns without materializing the
+    /// file: the ingest pass keeps only per-column distinct-value counts
+    /// (all detection ever consumes), so memory is bounded by distinct
+    /// values, not rows. Findings are byte-identical to loading the same
+    /// CSV into memory and calling [`ScanEngine::scan_columns`].
+    pub fn scan_csv<R: io::BufRead>(
+        &self,
+        reader: R,
+        delim: char,
+        has_header: bool,
+    ) -> Result<ScanReport, AdtError> {
+        let start = Instant::now();
+        let read_start = Instant::now();
+        let mut records = CsvRecords::new(reader, delim);
+        let mut headers: Option<Vec<String>> = None;
+        if has_header {
+            match records.next() {
+                Some(Ok(h)) => headers = Some(h),
+                Some(Err(e)) => return Err(AdtError::Csv(e.to_string())),
+                None => {}
+            }
+        }
+        // Columns appear lazily as wider data rows arrive — the same
+        // width rule as the in-memory loader (max over data rows), where
+        // short rows pad with empty values that detection ignores.
+        let mut counts: Vec<HashMap<String, usize>> = Vec::new();
+        for record in records {
+            let record = record.map_err(|e| AdtError::Csv(e.to_string()))?;
+            if record.len() > counts.len() {
+                counts.resize_with(record.len(), HashMap::new);
+            }
+            for (i, value) in record.into_iter().enumerate() {
+                if !value.is_empty() {
+                    *counts[i].entry(value).or_insert(0) += 1;
+                }
+            }
+        }
+        let read_wall = read_start.elapsed();
+        let inputs: Vec<Vec<(String, usize)>> = counts
+            .into_iter()
+            .map(|m| m.into_iter().collect())
+            .collect();
+        let model = &*self.model;
+        let aggregator = self.aggregator;
+        let scan_start = Instant::now();
+        let results = parallel_map_with(
+            &inputs,
+            self.threads,
+            "scan_csv",
+            PatternCache::new,
+            |cache, _, column_counts| model.scan_value_counts(column_counts, aggregator, cache),
+        )?;
+        let scan_wall = scan_start.elapsed();
+        let headers_by_index = (0..inputs.len())
+            .map(|i| headers.as_ref().and_then(|h| h.get(i).cloned()))
+            .collect();
+        Ok(self.assemble(
+            headers_by_index,
+            results,
+            read_wall,
+            scan_wall,
+            start.elapsed(),
+        ))
+    }
+
+    /// Streams a CSV file from disk (see [`ScanEngine::scan_csv`]).
+    pub fn scan_csv_path<P: AsRef<Path>>(
+        &self,
+        path: P,
+        delim: char,
+        has_header: bool,
+    ) -> Result<ScanReport, AdtError> {
+        let file = std::fs::File::open(path)?;
+        self.scan_csv(io::BufReader::new(file), delim, has_header)
+    }
+
+    fn assemble(
+        &self,
+        headers: Vec<Option<String>>,
+        results: Vec<(Vec<ColumnFinding>, ScanStats)>,
+        read_wall: Duration,
+        scan_wall: Duration,
+        wall: Duration,
+    ) -> ScanReport {
+        let mut stats = ScanStats::for_languages(self.model.num_languages());
+        let mut findings = Vec::new();
+        let mut columns = Vec::with_capacity(results.len());
+        for (index, ((column_findings, column_stats), header)) in
+            results.into_iter().zip(headers).enumerate()
+        {
+            stats.merge(&column_stats);
+            columns.push(ColumnSummary {
+                index,
+                header: header.clone(),
+                values_scored: column_stats.values_scored,
+                num_findings: column_findings.len(),
+            });
+            for finding in column_findings {
+                findings.push(TableFinding {
+                    column_index: index,
+                    column_header: header.clone(),
+                    finding,
+                });
+            }
+        }
+        findings.sort_by(|a, b| {
+            b.finding
+                .confidence
+                .total_cmp(&a.finding.confidence)
+                .then_with(|| a.column_index.cmp(&b.column_index))
+                .then_with(|| a.finding.suspect.cmp(&b.finding.suspect))
+        });
+        ScanReport {
+            findings,
+            columns,
+            stats,
+            threads: resolve_threads(self.threads),
+            read_wall,
+            scan_wall,
+            wall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::testkit::tiny_model;
+    use adt_corpus::SourceTag;
+
+    fn findings_repr(findings: &[TableFinding]) -> String {
+        findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "{}|{}|{}|{}|{}\n",
+                    f.column_index,
+                    f.finding.suspect,
+                    f.finding.witness,
+                    f.finding.confidence,
+                    f.finding.score
+                )
+            })
+            .collect()
+    }
+
+    fn mixed_columns(n: usize) -> Vec<Column> {
+        (0..n)
+            .map(|i| {
+                let mut c = if i % 3 == 0 {
+                    Column::from_strs(
+                        &["2011-01-01", "2012-02-02", "2013-03-03", "2014/04/04"],
+                        SourceTag::Local,
+                    )
+                } else if i % 3 == 1 {
+                    Column::from_strs(&["1", "2", "3,000"], SourceTag::Local)
+                } else {
+                    Column::from_strs(&["2011-01-01", "2012-02-02"], SourceTag::Local)
+                };
+                c.header = Some(format!("col{i}"));
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_serial_detect_table() {
+        let model = tiny_model();
+        let table = Table::new(mixed_columns(7));
+        let serial = model.detect_table(&table);
+        let report = ScanEngine::from_model(model)
+            .with_threads(4)
+            .scan_table(&table)
+            .unwrap();
+        assert_eq!(findings_repr(&report.findings), findings_repr(&serial));
+        assert_eq!(report.columns.len(), 7);
+        assert_eq!(report.columns[0].header.as_deref(), Some("col0"));
+        assert!(report.stats.pairs_scored > 0);
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let engine = ScanEngine::from_model(tiny_model());
+        let cols = mixed_columns(13);
+        let one = engine.clone().with_threads(1).scan_columns(&cols).unwrap();
+        let eight = engine.with_threads(8).scan_columns(&cols).unwrap();
+        assert_eq!(findings_repr(&one.findings), findings_repr(&eight.findings));
+        assert_eq!(one.threads, 1);
+        assert_eq!(eight.threads, 8);
+        assert_eq!(one.stats.pairs_scored, eight.stats.pairs_scored);
+        assert_eq!(one.stats.pairs_flagged, eight.stats.pairs_flagged);
+        assert_eq!(
+            one.stats.findings_per_language,
+            eight.stats.findings_per_language
+        );
+    }
+
+    #[test]
+    fn streamed_csv_matches_in_memory_scan() {
+        let engine = ScanEngine::from_model(tiny_model()).with_threads(2);
+        let csv = "date,amount\n2011-01-01,1\n2012-02-02,2\n2014/04/04,3,stray\n";
+        let in_memory = adt_corpus::csv::columns_from_csv_text(csv, ',', true);
+        let memory_report = engine.scan_columns(&in_memory).unwrap();
+        let stream_report = engine.scan_csv(io::Cursor::new(csv), ',', true).unwrap();
+        assert_eq!(
+            findings_repr(&stream_report.findings),
+            findings_repr(&memory_report.findings)
+        );
+        assert_eq!(stream_report.columns.len(), memory_report.columns.len());
+        assert_eq!(stream_report.columns[0].header.as_deref(), Some("date"));
+        // The stray third field appeared in a data row, so it is a column
+        // (headerless), same as the in-memory loader's width rule.
+        assert_eq!(stream_report.columns[2].header, None);
+        assert!(!stream_report.findings.is_empty());
+        assert_eq!(stream_report.findings[0].finding.suspect, "2014/04/04");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_report() {
+        let engine = ScanEngine::from_model(tiny_model());
+        let report = engine.scan_columns(&[]).unwrap();
+        assert!(report.findings.is_empty());
+        assert!(report.columns.is_empty());
+        let report = engine.scan_csv(io::Cursor::new(""), ',', true).unwrap();
+        assert!(report.columns.is_empty());
+    }
+
+    #[test]
+    fn report_summary_mentions_throughput() {
+        let engine = ScanEngine::from_model(tiny_model()).with_threads(2);
+        let report = engine.scan_columns(&mixed_columns(4)).unwrap();
+        let line = report.summary();
+        assert!(line.contains("4 columns"), "{line}");
+        assert!(line.contains("cols/s"), "{line}");
+        assert!(report.columns_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_reports_panics() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, 8, "double", |_, &x| x * 2).unwrap();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        let err = parallel_map(&items, 4, "boom", |_, &x| {
+            assert!(x != 50, "planted panic");
+            x
+        })
+        .unwrap_err();
+        assert!(matches!(err, AdtError::Worker("boom")));
+    }
+}

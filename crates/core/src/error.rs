@@ -1,0 +1,74 @@
+//! Typed errors for the Auto-Detect public API.
+//!
+//! Replaces the stringly `io::Error::other` / `InvalidData` returns that
+//! model persistence used to produce, and the `expect(...)` panics on
+//! worker-thread joins in training and scanning.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong in the Auto-Detect public API.
+#[derive(Debug)]
+pub enum AdtError {
+    /// An underlying I/O failure (file open, read, write).
+    Io(io::Error),
+    /// JSON (de)serialization of a model or report failed.
+    Json(String),
+    /// A binary model file failed structural validation.
+    Corrupt(String),
+    /// A configuration value failed validation (see
+    /// [`crate::AutoDetectConfig::builder`]).
+    Config(String),
+    /// A CSV input could not be parsed/streamed.
+    Csv(String),
+    /// A worker thread panicked inside the named parallel section.
+    Worker(&'static str),
+}
+
+impl fmt::Display for AdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdtError::Io(e) => write!(f, "I/O error: {e}"),
+            AdtError::Json(m) => write!(f, "model JSON error: {m}"),
+            AdtError::Corrupt(m) => write!(f, "corrupt model: {m}"),
+            AdtError::Config(m) => write!(f, "invalid configuration: {m}"),
+            AdtError::Csv(m) => write!(f, "CSV error: {m}"),
+            AdtError::Worker(section) => write!(f, "worker thread panicked in {section}"),
+        }
+    }
+}
+
+impl std::error::Error for AdtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdtError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for AdtError {
+    fn from(e: io::Error) -> Self {
+        AdtError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AdtError::Config("precision_target must be in (0, 1]".into());
+        assert!(e.to_string().contains("precision_target"));
+        let e = AdtError::Worker("scan_columns");
+        assert!(e.to_string().contains("scan_columns"));
+    }
+
+    #[test]
+    fn io_conversion_preserves_source() {
+        let e: AdtError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, AdtError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

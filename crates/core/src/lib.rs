@@ -17,22 +17,43 @@
 //! 5. [`aggregate`] — the alternative aggregators of Figure 8(b)
 //!    (AvgNPMI, MinNPMI, majority voting, weighted voting, best-single);
 //! 6. [`model`] — the trainer that wires it all together plus JSON
-//!    persistence.
+//!    persistence;
+//! 7. [`engine`] — the parallel [`ScanEngine`]: fans columns over scoped
+//!    worker threads with per-worker pattern caches, streams large CSV
+//!    inputs in bounded memory, and reports per-stage counters/timings;
+//! 8. [`api`] — the shared [`Detector`] trait every method (Auto-Detect
+//!    and the baselines) implements, so evaluation drivers consume one
+//!    trait object uniformly;
+//! 9. [`error`] — the typed [`AdtError`] every fallible API returns.
 
 pub mod aggregate;
+pub mod api;
 pub mod calibrate;
 pub mod config;
 pub mod detector;
 pub mod dt;
+pub mod engine;
+pub mod error;
 pub mod model;
 pub mod selection;
 pub mod training;
 
 pub use aggregate::Aggregator;
+pub use api::{
+    finalize_predictions, findings_to_predictions, value_counts, AggregatedAutoDetect, Detector,
+    Prediction,
+};
 pub use calibrate::{calibrate_language, Calibration};
-pub use config::AutoDetectConfig;
-pub use detector::{AutoDetect, ColumnFinding, PairVerdict, TableFinding};
+pub use config::{AutoDetectConfig, AutoDetectConfigBuilder, LanguageSpace};
+pub use detector::{AutoDetect, ColumnFinding, PairVerdict, PatternCache, ScanStats, TableFinding};
 pub use dt::{dt_optimize, DtProblem, DtSolution};
-pub use model::{calibrate_candidates, load_model, save_model, select_and_assemble, train, train_with_training_set, CalibratedCandidate, TrainReport};
+pub use engine::{
+    parallel_map, parallel_map_with, resolve_threads, ColumnSummary, ScanEngine, ScanReport,
+};
+pub use error::AdtError;
+pub use model::{
+    calibrate_candidates, load_model, save_model, select_and_assemble, train,
+    train_with_training_set, CalibratedCandidate, TrainReport,
+};
 pub use selection::{greedy_select, CandidateSummary, SelectionResult};
 pub use training::{build_training_set, Example, Label, TrainingSet};

@@ -193,11 +193,7 @@ pub fn build_training_set(
         }
         let col1 = &corpus.columns()[c1];
         let col2 = &corpus.columns()[c2];
-        let u = match col1
-            .non_empty_values()
-            .collect::<Vec<_>>()
-            .choose(&mut rng)
-        {
+        let u = match col1.non_empty_values().collect::<Vec<_>>().choose(&mut rng) {
             Some(&u) => u,
             None => continue,
         };
@@ -294,7 +290,11 @@ mod tests {
         let corpus = test_corpus();
         let cfg = small_config();
         let (set, crude) = build_training_set(&corpus, &cfg);
-        for e in set.examples.iter().filter(|e| e.label == Label::Incompatible) {
+        for e in set
+            .examples
+            .iter()
+            .filter(|e| e.label == Label::Incompatible)
+        {
             let s = crude.score_values(&e.u, &e.v, cfg.npmi);
             assert!(
                 s < cfg.negative_prune_threshold,

@@ -1,14 +1,12 @@
 //! Property tests for calibration, selection, and DT aggregation.
 
 use adt_core::{
-    calibrate_language, dt_optimize, greedy_select, selection::bruteforce_select,
-    CandidateSummary, DtProblem, Example, Label, TrainingSet,
+    calibrate_language, dt_optimize, greedy_select, selection::bruteforce_select, CandidateSummary,
+    DtProblem, Example, Label, TrainingSet,
 };
 use proptest::prelude::*;
 
-fn training_and_scores(
-    n: usize,
-) -> impl Strategy<Value = (TrainingSet, Vec<f64>)> {
+fn training_and_scores(n: usize) -> impl Strategy<Value = (TrainingSet, Vec<f64>)> {
     (
         proptest::collection::vec(any::<bool>(), n..=n),
         proptest::collection::vec(-1.0f64..1.0, n..=n),

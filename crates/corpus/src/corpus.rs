@@ -175,7 +175,10 @@ fn unescape(s: &str) -> String {
     if s == "\\e" {
         return String::new();
     }
-    let s = s.strip_prefix("\\#").map(|r| format!("#{r}")).unwrap_or_else(|| s.to_string());
+    let s = s
+        .strip_prefix("\\#")
+        .map(|r| format!("#{r}"))
+        .unwrap_or_else(|| s.to_string());
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {

@@ -108,6 +108,89 @@ pub fn load_csv<P: AsRef<Path>>(path: P, delim: char, has_header: bool) -> io::R
     Ok(columns_from_csv_text(&text, delim, has_header))
 }
 
+/// Streaming CSV record iterator: yields parsed records one at a time
+/// without materializing the file.
+///
+/// Record boundary semantics are identical to the in-memory path
+/// ([`columns_from_csv_text`]): records split on unquoted `\n`, trailing
+/// `\r` stripped, blank records skipped, quoted newlines and
+/// doubled-quote escapes honored. Callers that only accumulate
+/// per-column aggregates (e.g. distinct-value counts) get bounded memory
+/// regardless of row count.
+pub struct CsvRecords<R: io::BufRead> {
+    reader: R,
+    delim: char,
+    done: bool,
+}
+
+impl<R: io::BufRead> CsvRecords<R> {
+    /// Wraps a buffered reader producing `delim`-separated records.
+    pub fn new(reader: R, delim: char) -> Self {
+        CsvRecords {
+            reader,
+            delim,
+            done: false,
+        }
+    }
+}
+
+impl<R: io::BufRead> Iterator for CsvRecords<R> {
+    type Item = io::Result<Vec<String>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while !self.done {
+            // Accumulate physical lines until the quote count balances —
+            // the incremental equivalent of split_records' `in_quotes`
+            // toggle — so quoted newlines stay inside one record.
+            let mut record = String::new();
+            let mut in_quotes = false;
+            loop {
+                let mut line = String::new();
+                match self.reader.read_line(&mut line) {
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                    Ok(0) => {
+                        self.done = true;
+                        break;
+                    }
+                    Ok(_) => {
+                        for c in line.chars() {
+                            if c == '"' {
+                                in_quotes = !in_quotes;
+                            }
+                        }
+                        record.push_str(&line);
+                        if !in_quotes && record.ends_with('\n') {
+                            break;
+                        }
+                    }
+                }
+            }
+            if record.ends_with('\n') {
+                record.pop();
+            }
+            if record.ends_with('\r') {
+                record.pop();
+            }
+            if !record.is_empty() {
+                return Some(Ok(parse_record(&record, self.delim)));
+            }
+        }
+        None
+    }
+}
+
+/// Opens a CSV file as a streaming record iterator.
+pub fn stream_csv_records<P: AsRef<Path>>(
+    path: P,
+    delim: char,
+) -> io::Result<CsvRecords<io::BufReader<std::fs::File>>> {
+    let file = std::fs::File::open(path)?;
+    Ok(CsvRecords::new(io::BufReader::new(file), delim))
+}
+
 /// Writes columns back out as CSV (used by examples to persist findings).
 pub fn columns_to_csv_text(columns: &[Column], delim: char) -> String {
     let mut out = String::new();
@@ -193,5 +276,32 @@ mod tests {
         let cols = columns_from_csv_text("1\t2\n3\t4\n", '\t', false);
         assert_eq!(cols.len(), 2);
         assert_eq!(cols[1].values, vec!["2", "4"]);
+    }
+
+    #[test]
+    fn streaming_records_match_in_memory_split() {
+        // Quoted newline, doubled quotes, CRLF, blank record, no trailing
+        // newline — every boundary case of split_records at once.
+        let text = "h1,h2\r\n\"multi\nline\",\"he said \"\"hi\"\"\"\n\n1,2";
+        let streamed: Vec<Vec<String>> = CsvRecords::new(io::Cursor::new(text), ',')
+            .map(|r| r.unwrap())
+            .collect();
+        let expected: Vec<Vec<String>> = split_records(text)
+            .iter()
+            .filter(|r| !r.is_empty())
+            .map(|r| parse_record(r, ','))
+            .collect();
+        assert_eq!(streamed, expected);
+        assert_eq!(streamed.len(), 3);
+        assert_eq!(streamed[1][0], "multi\nline");
+        assert_eq!(streamed[1][1], "he said \"hi\"");
+        assert_eq!(streamed[2], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn streaming_empty_input_yields_nothing() {
+        let mut it = CsvRecords::new(io::Cursor::new(""), ',');
+        assert!(it.next().is_none());
+        assert!(it.next().is_none());
     }
 }

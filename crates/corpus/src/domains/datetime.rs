@@ -106,11 +106,7 @@ pub fn time_hms<R: Rng>(rng: &mut R) -> String {
 }
 
 pub fn duration_ms<R: Rng>(rng: &mut R) -> String {
-    format!(
-        "{}:{:02}",
-        rng.random_range(0..10),
-        rng.random_range(0..60)
-    )
+    format!("{}:{:02}", rng.random_range(0..10), rng.random_range(0..60))
 }
 
 pub fn duration_hms<R: Rng>(rng: &mut R) -> String {

@@ -5,11 +5,19 @@ use rand::prelude::IndexedRandom;
 use rand::Rng;
 
 pub fn score_dash<R: Rng>(rng: &mut R) -> String {
-    format!("{}-{}", rng.random_range(0..10u32), rng.random_range(0..10u32))
+    format!(
+        "{}-{}",
+        rng.random_range(0..10u32),
+        rng.random_range(0..10u32)
+    )
 }
 
 pub fn score_colon<R: Rng>(rng: &mut R) -> String {
-    format!("{}:{}", rng.random_range(0..10u32), rng.random_range(0..10u32))
+    format!(
+        "{}:{}",
+        rng.random_range(0..10u32),
+        rng.random_range(0..10u32)
+    )
 }
 
 const PLACEHOLDERS: [&str; 5] = ["N/A", "-", "TBD", "n/a", "?"];

@@ -50,22 +50,22 @@ pub enum Family {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DomainKind {
     // Dates in distinct formats (same family, never mixed within a column).
-    DateIso,        // 2011-01-01
-    DateSlashYmd,   // 2011/01/01
-    DateDotYmd,     // 2011.01.02
-    DateDmySlash,   // 27/11/2009
-    DateDmyDash,    // 27-11-2009
-    DateMonthDY,    // August 16, 1983
-    DateDMonY,      // 16 Aug 1983
-    DateMonYy,      // Jul-99
-    YearMonthDash,  // 2014-01
-    Year,           // 1983
-    YearRange,      // 1983-84
-    MonthName,      // July
-    TimeHm,         // 12:45
-    TimeHms,        // 12:45:30
-    DurationMs,     // 3:45  (song length)
-    DurationHms,    // 1:02:33
+    DateIso,       // 2011-01-01
+    DateSlashYmd,  // 2011/01/01
+    DateDotYmd,    // 2011.01.02
+    DateDmySlash,  // 27/11/2009
+    DateDmyDash,   // 27-11-2009
+    DateMonthDY,   // August 16, 1983
+    DateDMonY,     // 16 Aug 1983
+    DateMonYy,     // Jul-99
+    YearMonthDash, // 2014-01
+    Year,          // 1983
+    YearRange,     // 1983-84
+    MonthName,     // July
+    TimeHm,        // 12:45
+    TimeHms,       // 12:45:30
+    DurationMs,    // 3:45  (song length)
+    DurationHms,   // 1:02:33
     // Numbers.
     SmallInt,       // 0..999
     MediumInt,      // 0..99999, no separators
@@ -81,35 +81,35 @@ pub enum DomainKind {
     Ordinal,        // 1st, 22nd
     Scientific,     // 1.2e5
     // Text.
-    WordLower,      // apple
-    WordCapital,    // London
-    TwoWordsCap,    // New York
-    PersonName,     // John Smith
-    NameComma,      // Smith, John
-    UpperAcronym,   // USA
+    WordLower,    // apple
+    WordCapital,  // London
+    TwoWordsCap,  // New York
+    PersonName,   // John Smith
+    NameComma,    // Smith, John
+    UpperAcronym, // USA
     // Codes & identifiers.
-    AlnumCode,      // AB-1234
-    ZipUs,          // 98052
-    ZipPlus4,       // 98052-1234
-    PhoneParen,     // (425) 555-0123
-    PhoneDash,      // 425-555-0123
-    PhoneIntl,      // +1 425 555 0123
-    Isbn,           // 978-3-16-148410-0
-    IpV4,           // 192.168.0.1
+    AlnumCode,  // AB-1234
+    ZipUs,      // 98052
+    ZipPlus4,   // 98052-1234
+    PhoneParen, // (425) 555-0123
+    PhoneDash,  // 425-555-0123
+    PhoneIntl,  // +1 425 555 0123
+    Isbn,       // 978-3-16-148410-0
+    IpV4,       // 192.168.0.1
     // Web.
-    Email,          // jane@example.com
-    Url,            // http://example.com/page
-    DomainName,     // example.org
+    Email,      // jane@example.com
+    Url,        // http://example.com/page
+    DomainName, // example.org
     // Misc.
-    ScoreDash,      // 2-1
-    ScoreColon,     // 2:1
-    Placeholder,    // N/A, -, TBD
-    BoolYesNo,      // Yes / No
-    Grade,          // A+, B-
-    Version,        // 1.2.3
-    Coordinate,     // 47.6062, -122.3321
-    WeightKg,       // 76 kg
-    WeightLb,       // 168 lb
+    ScoreDash,   // 2-1
+    ScoreColon,  // 2:1
+    Placeholder, // N/A, -, TBD
+    BoolYesNo,   // Yes / No
+    Grade,       // A+, B-
+    Version,     // 1.2.3
+    Coordinate,  // 47.6062, -122.3321
+    WeightKg,    // 76 kg
+    WeightLb,    // 168 lb
 }
 
 impl DomainKind {

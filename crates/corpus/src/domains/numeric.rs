@@ -43,7 +43,11 @@ pub fn separated_int<R: Rng>(rng: &mut R) -> String {
 }
 
 pub fn float1<R: Rng>(rng: &mut R) -> String {
-    format!("{}.{}", log_uniform_int(rng, 1, 3), rng.random_range(0..10u32))
+    format!(
+        "{}.{}",
+        log_uniform_int(rng, 1, 3),
+        rng.random_range(0..10u32)
+    )
 }
 
 pub fn float2<R: Rng>(rng: &mut R) -> String {

@@ -5,21 +5,55 @@ use rand::Rng;
 
 const WORDS: [&str; 40] = [
     "apple", "river", "stone", "cloud", "maple", "amber", "birch", "cedar", "delta", "ember",
-    "frost", "grove", "haven", "iris", "jade", "karst", "lotus", "mesa", "noble", "ocean",
-    "pearl", "quartz", "ridge", "sage", "tidal", "umbra", "vale", "willow", "xenon", "yarrow",
-    "zephyr", "basin", "crest", "dune", "fjord", "glade", "heath", "inlet", "knoll", "marsh",
+    "frost", "grove", "haven", "iris", "jade", "karst", "lotus", "mesa", "noble", "ocean", "pearl",
+    "quartz", "ridge", "sage", "tidal", "umbra", "vale", "willow", "xenon", "yarrow", "zephyr",
+    "basin", "crest", "dune", "fjord", "glade", "heath", "inlet", "knoll", "marsh",
 ];
 
 const CITIES: [&str; 24] = [
-    "London", "Paris", "Berlin", "Madrid", "Rome", "Vienna", "Prague", "Dublin", "Lisbon",
-    "Athens", "Oslo", "Helsinki", "Warsaw", "Budapest", "Brussels", "Amsterdam", "Zurich",
-    "Geneva", "Munich", "Hamburg", "Milan", "Naples", "Porto", "Seville",
+    "London",
+    "Paris",
+    "Berlin",
+    "Madrid",
+    "Rome",
+    "Vienna",
+    "Prague",
+    "Dublin",
+    "Lisbon",
+    "Athens",
+    "Oslo",
+    "Helsinki",
+    "Warsaw",
+    "Budapest",
+    "Brussels",
+    "Amsterdam",
+    "Zurich",
+    "Geneva",
+    "Munich",
+    "Hamburg",
+    "Milan",
+    "Naples",
+    "Porto",
+    "Seville",
 ];
 
 const CITY_PAIRS: [&str; 16] = [
-    "New York", "Los Angeles", "San Francisco", "Hong Kong", "Rio Grande", "Cape Town",
-    "Buenos Aires", "Kuala Lumpur", "San Diego", "Las Vegas", "New Delhi", "Tel Aviv",
-    "Abu Dhabi", "Addis Ababa", "Santa Fe", "Saint Paul",
+    "New York",
+    "Los Angeles",
+    "San Francisco",
+    "Hong Kong",
+    "Rio Grande",
+    "Cape Town",
+    "Buenos Aires",
+    "Kuala Lumpur",
+    "San Diego",
+    "Las Vegas",
+    "New Delhi",
+    "Tel Aviv",
+    "Abu Dhabi",
+    "Addis Ababa",
+    "Santa Fe",
+    "Saint Paul",
 ];
 
 const FIRST_NAMES: [&str; 20] = [
@@ -29,8 +63,8 @@ const FIRST_NAMES: [&str; 20] = [
 
 const LAST_NAMES: [&str; 20] = [
     "Smith", "Johnson", "Brown", "Taylor", "Anderson", "Thomas", "Jackson", "White", "Harris",
-    "Martin", "Garcia", "Martinez", "Robinson", "Clark", "Lewis", "Lee", "Walker", "Hall",
-    "Young", "King",
+    "Martin", "Garcia", "Martinez", "Robinson", "Clark", "Lewis", "Lee", "Walker", "Hall", "Young",
+    "King",
 ];
 
 const ACRONYMS: [&str; 16] = [

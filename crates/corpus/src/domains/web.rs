@@ -9,8 +9,18 @@ const USERS: [&str; 12] = [
 ];
 
 const HOSTS: [&str; 12] = [
-    "example", "acme", "contoso", "fabrikam", "northwind", "initech", "globex", "umbrella",
-    "stark", "wayne", "hooli", "vandelay",
+    "example",
+    "acme",
+    "contoso",
+    "fabrikam",
+    "northwind",
+    "initech",
+    "globex",
+    "umbrella",
+    "stark",
+    "wayne",
+    "hooli",
+    "vandelay",
 ];
 
 const TLDS: [&str; 6] = ["com", "org", "net", "io", "co", "edu"];

@@ -367,7 +367,9 @@ mod tests {
     #[test]
     fn truncation_requires_length() {
         let mut r = rng();
-        assert!(corrupt_value("ab", DomainKind::WordLower, ErrorKind::Truncation, &mut r).is_none());
+        assert!(
+            corrupt_value("ab", DomainKind::WordLower, ErrorKind::Truncation, &mut r).is_none()
+        );
         let v = corrupt_value("1865.", DomainKind::Year, ErrorKind::Truncation, &mut r);
         assert_eq!(v.unwrap(), "1865");
     }

@@ -206,7 +206,10 @@ mod tests {
         );
         let ent_score = count(&ent, "score_dash");
         let wiki_score = count(&wiki, "score_dash");
-        assert!(wiki_score > ent_score, "wiki {wiki_score} vs ent {ent_score}");
+        assert!(
+            wiki_score > ent_score,
+            "wiki {wiki_score} vs ent {ent_score}"
+        );
     }
 
     #[test]

@@ -98,11 +98,7 @@ pub fn registry() -> Vec<MixGroup> {
             &[(SeparatedInt, 0.75), (MediumInt, 0.25)],
         ),
         MixGroup::solo("signed", 1.0, SignedInt),
-        MixGroup::new(
-            "percent",
-            2.5,
-            &[(Percent, 0.6), (PercentDecimal, 0.4)],
-        ),
+        MixGroup::new("percent", 2.5, &[(Percent, 0.6), (PercentDecimal, 0.4)]),
         MixGroup::new(
             "currency",
             3.0,
@@ -126,25 +122,13 @@ pub fn registry() -> Vec<MixGroup> {
         // --- times & durations ---
         MixGroup::solo("time_hm", 2.0, TimeHm),
         MixGroup::solo("time_hms", 1.0, TimeHms),
-        MixGroup::new(
-            "duration",
-            2.0,
-            &[(DurationMs, 0.85), (DurationHms, 0.15)],
-        ),
+        MixGroup::new("duration", 2.0, &[(DurationMs, 0.85), (DurationHms, 0.15)]),
         // --- scores (mix with placeholders, per Figure 1(d)) ---
-        MixGroup::new(
-            "score_dash",
-            2.0,
-            &[(ScoreDash, 0.93), (Placeholder, 0.07)],
-        ),
+        MixGroup::new("score_dash", 2.0, &[(ScoreDash, 0.93), (Placeholder, 0.07)]),
         MixGroup::solo("score_colon", 1.0, ScoreColon),
         // --- text ---
         MixGroup::solo("word_lower", 3.0, WordLower),
-        MixGroup::new(
-            "cities",
-            3.0,
-            &[(WordCapital, 0.7), (TwoWordsCap, 0.3)],
-        ),
+        MixGroup::new("cities", 3.0, &[(WordCapital, 0.7), (TwoWordsCap, 0.3)]),
         MixGroup::solo("person_name", 2.5, PersonName),
         MixGroup::solo("name_comma", 1.5, NameComma),
         MixGroup::solo("acronym", 1.5, UpperAcronym),
@@ -162,11 +146,7 @@ pub fn registry() -> Vec<MixGroup> {
         MixGroup::solo("url", 1.2, Url),
         MixGroup::solo("domain", 0.8, DomainName),
         // --- misc ---
-        MixGroup::new(
-            "bool",
-            1.5,
-            &[(BoolYesNo, 0.96), (Placeholder, 0.04)],
-        ),
+        MixGroup::new("bool", 1.5, &[(BoolYesNo, 0.96), (Placeholder, 0.04)]),
         MixGroup::solo("grade", 1.0, Grade),
         MixGroup::solo("version", 1.0, Version),
         MixGroup::solo("coordinate", 0.8, Coordinate),

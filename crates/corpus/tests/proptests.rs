@@ -1,7 +1,7 @@
 //! Property tests for the corpus substrate.
 
 use adt_corpus::{
-    corrupt_value, inject_error, Column, CorpusProfile, CorpusGenerator, DomainKind, ErrorKind,
+    corrupt_value, inject_error, Column, CorpusGenerator, CorpusProfile, DomainKind, ErrorKind,
     SourceTag,
 };
 use proptest::prelude::*;

@@ -93,7 +93,9 @@ pub fn recall_series(
     pooled: &[PooledPrediction],
     ks: &[usize],
 ) -> Vec<(usize, f64)> {
-    ks.iter().map(|&k| (k, recall_at_k(cases, pooled, k))).collect()
+    ks.iter()
+        .map(|&k| (k, recall_at_k(cases, pooled, k)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -118,10 +120,7 @@ mod tests {
     #[test]
     fn pooling_ranks_globally_by_confidence() {
         let cases = vec![case(&["a", "b"], &["b"]), case(&["c", "d"], &["d"])];
-        let preds = vec![
-            vec![pred("b", 0.5), pred("a", 0.4)],
-            vec![pred("d", 0.9)],
-        ];
+        let preds = vec![vec![pred("b", 0.5), pred("a", 0.4)], vec![pred("d", 0.9)]];
         let pooled = pooled_predictions(&cases, &preds, 10);
         assert_eq!(pooled.len(), 3);
         assert_eq!(pooled[0].value, "d");

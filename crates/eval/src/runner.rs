@@ -1,56 +1,89 @@
 //! Uniform method driver.
+//!
+//! Every method under evaluation — the §4.2 baselines and Auto-Detect
+//! itself — is one [`Detector`] trait object. [`Method`] only adds the
+//! borrow plumbing (Auto-Detect variants borrow a trained model owned by
+//! the caller), and [`run_method`] fans the test cases over worker
+//! threads via the core scan engine's `parallel_map`.
 
 use crate::testcases::TestCase;
 use adt_baselines::{Detector, Prediction};
-use adt_core::{Aggregator, AutoDetect};
+use adt_core::api::AggregatedAutoDetect;
+use adt_core::{parallel_map, Aggregator, AutoDetect};
 
-/// A method under evaluation.
-pub enum Method<'a> {
-    /// One of the §4.2 baselines (or Union).
-    Baseline(Box<dyn Detector>),
-    /// Auto-Detect with its native aggregation.
-    AutoDetect(&'a AutoDetect),
-    /// Auto-Detect scored through an alternative aggregator (Figure 8(b)).
-    AutoDetectWith(&'a AutoDetect, Aggregator, &'static str),
+/// A method under evaluation: any [`Detector`], possibly borrowing a
+/// trained model.
+pub struct Method<'a> {
+    detector: Box<dyn Detector + 'a>,
 }
 
-impl Method<'_> {
+impl<'a> Method<'a> {
+    /// Wraps any detector (the §4.2 baselines and Union).
+    pub fn baseline(detector: Box<dyn Detector>) -> Self {
+        Method { detector }
+    }
+
+    /// Auto-Detect with its native ST aggregation.
+    pub fn auto_detect(model: &'a AutoDetect) -> Self {
+        Method {
+            detector: Box::new(model),
+        }
+    }
+
+    /// Auto-Detect scored through an alternative aggregator
+    /// (Figure 8(b)), displayed under `name`.
+    pub fn auto_detect_with(
+        model: &'a AutoDetect,
+        aggregator: Aggregator,
+        name: &'static str,
+    ) -> Self {
+        Method {
+            detector: Box::new(AggregatedAutoDetect {
+                model,
+                aggregator,
+                name,
+            }),
+        }
+    }
+
+    /// Any detector with a non-static borrow (escape hatch for custom
+    /// methods).
+    pub fn from_detector(detector: Box<dyn Detector + 'a>) -> Self {
+        Method { detector }
+    }
+
     /// Display name.
     pub fn name(&self) -> &str {
-        match self {
-            Method::Baseline(d) => d.name(),
-            Method::AutoDetect(_) => "Auto-Detect",
-            Method::AutoDetectWith(_, _, name) => name,
-        }
+        self.detector.name()
     }
 
     /// Ranked predictions for one column.
     pub fn detect(&self, column: &adt_corpus::Column) -> Vec<Prediction> {
-        match self {
-            Method::Baseline(d) => d.detect(column),
-            Method::AutoDetect(m) => findings_to_predictions(m.detect_column(column)),
-            Method::AutoDetectWith(m, agg, _) => {
-                findings_to_predictions(m.detect_column_with(column, *agg))
-            }
-        }
+        self.detector.detect(column)
     }
 }
 
-fn findings_to_predictions(findings: Vec<adt_core::ColumnFinding>) -> Vec<Prediction> {
-    findings
-        .into_iter()
-        .map(|f| Prediction {
-            value: f.suspect,
-            confidence: f.confidence,
-        })
-        .collect()
+/// Runs a method over all test cases in parallel (all cores);
+/// `predictions[i]` are the ranked predictions for `cases[i]`, identical
+/// to a serial run.
+pub fn run_method(method: &Method<'_>, cases: &[TestCase]) -> Vec<Vec<Prediction>> {
+    run_method_threads(method, cases, 0)
 }
 
-/// Runs a method over all test cases; `predictions[i]` are the ranked
-/// predictions for `cases[i]`.
-pub fn run_method(method: &Method<'_>, cases: &[TestCase]) -> Vec<Vec<Prediction>> {
-    cases.iter().map(|c| method.detect(&c.column)).collect()
+/// [`run_method`] with an explicit worker thread count (0 = all cores).
+pub fn run_method_threads(
+    method: &Method<'_>,
+    cases: &[TestCase],
+    threads: usize,
+) -> Vec<Vec<Prediction>> {
+    parallel_map(cases, threads, "run_method", |_, c| {
+        method.detect(&c.column)
+    })
+    .expect("evaluation worker panicked")
 }
+
+/// Re-exported for callers that convert findings themselves.
+pub use adt_core::api::findings_to_predictions as convert_findings;
 
 #[cfg(test)]
 mod tests {
@@ -64,10 +97,24 @@ mod tests {
             column: Column::from_strs(&["1", "2", "3", "x"], SourceTag::Csv),
             errors: vec!["x".to_string()],
         }];
-        let m = Method::Baseline(Box::new(FRegexDetector::default()));
+        let m = Method::baseline(Box::new(FRegexDetector::default()));
         assert_eq!(m.name(), "F-Regex");
         let preds = run_method(&m, &cases);
         assert_eq!(preds.len(), 1);
         assert_eq!(preds[0][0].value, "x");
+    }
+
+    #[test]
+    fn parallel_run_matches_serial() {
+        let cases: Vec<TestCase> = (0..32)
+            .map(|i| TestCase {
+                column: Column::from_strs(&["1", "2", "3", &format!("x{i}")], SourceTag::Csv),
+                errors: vec![format!("x{i}")],
+            })
+            .collect();
+        let m = Method::baseline(Box::new(FRegexDetector::default()));
+        let serial = run_method_threads(&m, &cases, 1);
+        let parallel = run_method_threads(&m, &cases, 8);
+        assert_eq!(serial, parallel);
     }
 }

@@ -253,6 +253,9 @@ mod tests {
             lang.pattern_hash("2011-01-01"),
             lang.pattern_hash("2011/01/01")
         );
-        assert_ne!(lang.pattern_hash("2011-01-01"), lang.pattern_hash("July-01"));
+        assert_ne!(
+            lang.pattern_hash("2011-01-01"),
+            lang.pattern_hash("July-01")
+        );
     }
 }

@@ -191,8 +191,7 @@ impl Language {
         let theirs = other.class_nodes();
         for i in 0..4 {
             for j in (i + 1)..4 {
-                let merged_in_other =
-                    theirs[i].is_some() && theirs[i] == theirs[j];
+                let merged_in_other = theirs[i].is_some() && theirs[i] == theirs[j];
                 let merged_in_self = mine[i].is_some() && mine[i] == mine[j];
                 if merged_in_other && !merged_in_self {
                     return false;
@@ -310,14 +309,11 @@ mod tests {
         // Lifting upper to \A while lower stays at \L would SPLIT values
         // like "aAaa" / "AAaA" that the \L-level language merges; the
         // refinement order must reject it despite pointwise-higher levels.
-        let merged = Language::new(Level::Super, Level::Super, Level::Class, Level::Class)
-            .unwrap();
-        let lifted = Language::new(Level::Root, Level::Super, Level::Class, Level::Class)
-            .unwrap();
+        let merged = Language::new(Level::Super, Level::Super, Level::Class, Level::Class).unwrap();
+        let lifted = Language::new(Level::Root, Level::Super, Level::Class, Level::Class).unwrap();
         assert!(!lifted.is_coarser_or_equal(&merged));
         // But lifting BOTH letter classes to \A preserves the merge.
-        let both = Language::new(Level::Root, Level::Root, Level::Class, Level::Class)
-            .unwrap();
+        let both = Language::new(Level::Root, Level::Root, Level::Class, Level::Class).unwrap();
         assert!(both.is_coarser_or_equal(&merged));
     }
 

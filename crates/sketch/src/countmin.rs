@@ -230,10 +230,7 @@ mod tests {
         // With width far above the number of keys, collisions are rare and
         // most estimates are exact.
         let (exact, cms) = exact_and_sketch(UpdateStrategy::Conservative, 1 << 18, 200);
-        let exact_hits = exact
-            .iter()
-            .filter(|(&k, &v)| cms.estimate(k) == v)
-            .count();
+        let exact_hits = exact.iter().filter(|(&k, &v)| cms.estimate(k) == v).count();
         assert!(exact_hits as f64 / exact.len() as f64 > 0.95);
     }
 

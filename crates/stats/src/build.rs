@@ -72,10 +72,7 @@ mod tests {
     fn small_corpus() -> Corpus {
         let cols: Vec<Column> = (0..50)
             .map(|i| {
-                Column::from_strs(
-                    &[&format!("{i}"), &format!("{i},000"), "x"],
-                    SourceTag::Web,
-                )
+                Column::from_strs(&[&format!("{i}"), &format!("{i},000"), "x"], SourceTag::Web)
             })
             .collect();
         Corpus::from_columns(cols)

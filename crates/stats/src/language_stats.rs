@@ -250,7 +250,10 @@ mod tests {
         let c = corpus_of(&[&["2011-01-01", "2012-02-02"]]);
         let stats = LanguageStats::build(Language::paper_l2(), &c, &StatsConfig::default());
         // Under L2 both are \D[4]\S\D[2]\S\D[2]; identical patterns -> 1.
-        assert_eq!(stats.score_values("1918-01-01", "2018-12-31", no_smooth()), 1.0);
+        assert_eq!(
+            stats.score_values("1918-01-01", "2018-12-31", no_smooth()),
+            1.0
+        );
     }
 
     #[test]
@@ -307,9 +310,7 @@ mod tests {
         }
         let corpus = Corpus::from_columns(
             cols.iter()
-                .map(|c| {
-                    Column::new(c.clone(), SourceTag::Web)
-                })
+                .map(|c| Column::new(c.clone(), SourceTag::Web))
                 .collect(),
         );
         let exact = LanguageStats::build(
@@ -349,8 +350,7 @@ mod tests {
                 .map(|c| Column::new(c, SourceTag::Web))
                 .collect(),
         );
-        let mut stats =
-            LanguageStats::build(Language::leaf(), &corpus, &StatsConfig::default());
+        let mut stats = LanguageStats::build(Language::leaf(), &corpus, &StatsConfig::default());
         let before = stats.size_bytes();
         stats.compress_cooccurrence(SketchSpec {
             budget_bytes: 1 << 12,

@@ -119,7 +119,10 @@ mod tests {
         ] {
             for f in [0.0, 0.1, 0.5, 1.0] {
                 let v = npmi_from_counts(c1, c2, c12, n, NpmiParams { smoothing: f });
-                assert!((-1.0..=1.0).contains(&v), "out of range for {c1},{c2},{c12},{n},{f}: {v}");
+                assert!(
+                    (-1.0..=1.0).contains(&v),
+                    "out of range for {c1},{c2},{c12},{n},{f}: {v}"
+                );
             }
         }
     }

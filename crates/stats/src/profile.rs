@@ -65,7 +65,11 @@ pub fn column_profile(column: &Column, language: &Language) -> ColumnProfile {
         }
     }
     let mut buckets: Vec<PatternBucket> = buckets.into_values().collect();
-    buckets.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.pattern.cmp(&b.pattern)));
+    buckets.sort_by(|a, b| {
+        b.count
+            .cmp(&a.count)
+            .then_with(|| a.pattern.cmp(&b.pattern))
+    });
     ColumnProfile {
         language_id: language.id(),
         cells,

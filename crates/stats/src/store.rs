@@ -46,6 +46,9 @@ pub enum CoocBackend {
     Sketch(CountMinSketch),
 }
 
+// Only referenced through the `#[serde(with = ...)]` attribute; the
+// offline stub derive drops that attribute, so allow dead_code there.
+#[allow(dead_code)]
 mod pair_map_serde {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
     use std::collections::HashMap;
@@ -54,8 +57,7 @@ mod pair_map_serde {
         map: &HashMap<(u64, u64), u32>,
         ser: S,
     ) -> Result<S::Ok, S::Error> {
-        let mut entries: Vec<(u64, u64, u32)> =
-            map.iter().map(|(&(a, b), &c)| (a, b, c)).collect();
+        let mut entries: Vec<(u64, u64, u32)> = map.iter().map(|(&(a, b), &c)| (a, b, c)).collect();
         entries.sort_unstable();
         entries.serialize(ser)
     }

@@ -1,0 +1,2 @@
+//! Stub bytes: empty; declared in workspace.dependencies but unused by
+//! any member crate.

@@ -1,0 +1,88 @@
+//! Stub criterion: each benchmark body runs once (smoke semantics), no
+//! statistics. Enough to type-check and smoke-run `cargo bench` offline.
+
+use std::marker::PhantomData;
+use std::time::Instant;
+
+#[derive(Default)]
+pub struct Criterion {}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: PhantomData<&'a mut Criterion>,
+}
+
+pub struct Bencher {}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        eprintln!("    one iteration: {:.3?}", t0.elapsed());
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: PhantomData,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        eprintln!("bench {id} (stub criterion: single run)");
+        f(&mut Bencher {});
+        self
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        eprintln!("bench {}/{id} (stub criterion: single run)", self.name);
+        f(&mut Bencher {});
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

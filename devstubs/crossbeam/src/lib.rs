@@ -1,0 +1,77 @@
+//! Stub crossbeam: `thread::scope` delegating to `std::thread::scope`,
+//! so spawned closures run on real OS threads and parallel scaling is
+//! observable offline. Panics in spawned closures are surfaced the way
+//! real crossbeam surfaces them: `join` returns `Err(payload)`, and a
+//! panic from an unjoined handle makes `scope` itself return `Err`.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    type Payload = Box<dyn Any + Send + 'static>;
+    type PanicList = Arc<Mutex<Vec<Payload>>>;
+
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        panics: PanicList,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T, Payload> {
+            match self.inner.join() {
+                Ok(Some(v)) => Ok(v),
+                // The payload went to the scope's panic list; report the
+                // panic without it (callers only branch on Err).
+                _ => Err(Box::new("worker thread panicked")),
+            }
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            let panics = Arc::clone(&self.panics);
+            let inner = self.inner.spawn(move || {
+                let scope = Scope {
+                    inner: inner_scope,
+                    panics: Arc::clone(&panics),
+                };
+                match catch_unwind(AssertUnwindSafe(|| f(&scope))) {
+                    Ok(v) => Some(v),
+                    Err(payload) => {
+                        panics.lock().unwrap_or_else(|e| e.into_inner()).push(payload);
+                        None
+                    }
+                }
+            });
+            ScopedJoinHandle { inner }
+        }
+    }
+
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let panics: PanicList = Arc::new(Mutex::new(Vec::new()));
+        let r = std::thread::scope(|s| {
+            f(&Scope {
+                inner: s,
+                panics: Arc::clone(&panics),
+            })
+        });
+        let first_panic = panics.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        match first_panic {
+            Some(payload) => Err(payload),
+            None => Ok(r),
+        }
+    }
+}

@@ -1,0 +1,3 @@
+//! Stub proptest: empty. The offline check script removes
+//! `tests/proptests.rs` files from its scratch copy, so nothing links
+//! against this crate's (absent) API.

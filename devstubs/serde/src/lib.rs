@@ -1,0 +1,47 @@
+//! Stub serde: traits blanket-implemented for every type, so derives
+//! (which expand to nothing) and trait bounds type-check. Serialization
+//! itself is not functional offline.
+
+// Macro namespace: the no-op derives. Type namespace: the traits below.
+// Same-name coexistence mirrors the real serde crate.
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serializer: Sized {
+    type Ok;
+    type Error;
+}
+
+pub trait Deserializer<'de>: Sized {
+    type Error;
+}
+
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+impl<T: ?Sized> Serialize for T {
+    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+        unimplemented!("stub serde cannot serialize")
+    }
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl<'de, T> Deserialize<'de> for T {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        unimplemented!("stub serde cannot deserialize")
+    }
+}
+
+pub mod de {
+    pub use super::{Deserialize, Deserializer};
+
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    pub use super::{Serialize, Serializer};
+}

@@ -1,0 +1,47 @@
+//! Stub serde_json: signatures only; every function panics when called.
+//! Offline-runnable tests must use the binary model codec instead.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+use std::io;
+
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stub serde_json error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_writer<W: io::Write, T: ?Sized + Serialize>(_writer: W, _value: &T) -> Result<()> {
+    unimplemented!("stub serde_json")
+}
+
+pub fn to_writer_pretty<W: io::Write, T: ?Sized + Serialize>(
+    _writer: W,
+    _value: &T,
+) -> Result<()> {
+    unimplemented!("stub serde_json")
+}
+
+pub fn to_vec<T: ?Sized + Serialize>(_value: &T) -> Result<Vec<u8>> {
+    unimplemented!("stub serde_json")
+}
+
+pub fn to_string<T: ?Sized + Serialize>(_value: &T) -> Result<String> {
+    unimplemented!("stub serde_json")
+}
+
+pub fn from_reader<R: io::Read, T: DeserializeOwned>(_reader: R) -> Result<T> {
+    unimplemented!("stub serde_json")
+}
+
+pub fn from_str<T: DeserializeOwned>(_s: &str) -> Result<T> {
+    unimplemented!("stub serde_json")
+}

@@ -24,7 +24,12 @@ fn main() {
     ];
     let stats: Vec<(&str, LanguageStats)> = languages
         .iter()
-        .map(|(name, l)| (*name, LanguageStats::build(*l, &corpus, &StatsConfig::default())))
+        .map(|(name, l)| {
+            (
+                *name,
+                LanguageStats::build(*l, &corpus, &StatsConfig::default()),
+            )
+        })
         .collect();
     let params = NpmiParams::default();
 
@@ -45,8 +50,11 @@ fn main() {
     };
 
     for (u, v) in &pairs {
-        println!("\npair ({u:?}, {v:?})  [crude patterns {} | {}]",
-            crude_generalize(u), crude_generalize(v));
+        println!(
+            "\npair ({u:?}, {v:?})  [crude patterns {} | {}]",
+            crude_generalize(u),
+            crude_generalize(v)
+        );
         for (name, s) in &stats {
             let pu = Pattern::generalize(u, &s.language);
             let pv = Pattern::generalize(v, &s.language);

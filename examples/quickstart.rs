@@ -20,12 +20,12 @@ fn main() {
     // 2. Train: distant supervision -> per-language calibration -> greedy
     //    language selection under a memory budget.
     println!("training Auto-Detect ({} columns)…", corpus.len());
-    let config = AutoDetectConfig {
-        training_examples: 20_000,
-        memory_budget: 32 << 20,
-        ..AutoDetectConfig::default()
-    };
-    let (model, report) = train(&corpus, &config);
+    let config = AutoDetectConfig::builder()
+        .training_examples(20_000)
+        .memory_budget(32 << 20)
+        .build()
+        .expect("valid config");
+    let (model, report) = train(&corpus, &config).expect("training failed");
     println!(
         "selected {} generalization languages {:?} ({} KB)",
         model.num_languages(),
@@ -62,7 +62,10 @@ fn main() {
         println!("  clean — mixed numeric formats co-occur globally, no error");
     } else {
         for finding in findings {
-            println!("  suspect {:?} (confidence {:.3})", finding.suspect, finding.confidence);
+            println!(
+                "  suspect {:?} (confidence {:.3})",
+                finding.suspect, finding.confidence
+            );
         }
     }
 }

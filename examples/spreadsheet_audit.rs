@@ -8,7 +8,7 @@
 //! Without an argument, a demo spreadsheet with planted errors (mixed
 //! date formats, a stray trailing dot, an extra space) is audited.
 
-use auto_detect::core::{train, AutoDetect, AutoDetectConfig};
+use auto_detect::core::{train, AutoDetect, AutoDetectConfig, ScanEngine};
 use auto_detect::corpus::csv::columns_from_csv_text;
 use auto_detect::corpus::{generate_corpus, Column, CorpusProfile};
 
@@ -27,33 +27,40 @@ fn train_model() -> AutoDetect {
     let mut profile = CorpusProfile::web(20_000);
     profile.dirty_rate = 0.0;
     let corpus = generate_corpus(&profile);
-    let config = AutoDetectConfig {
-        training_examples: 20_000,
-        ..AutoDetectConfig::default()
-    };
-    let (model, _) = train(&corpus, &config);
+    let config = AutoDetectConfig::builder()
+        .training_examples(20_000)
+        .build()
+        .expect("valid config");
+    let (model, _) = train(&corpus, &config).expect("training failed");
     model
 }
 
-fn audit(model: &AutoDetect, columns: &[Column]) {
-    for (i, col) in columns.iter().enumerate() {
-        let header = col
+fn audit(model: AutoDetect, columns: &[Column]) {
+    let engine = ScanEngine::from_model(model);
+    let report = engine.scan_columns(columns).expect("scan failed");
+    for summary in &report.columns {
+        let header = summary
             .header
             .clone()
-            .unwrap_or_else(|| format!("column {}", i + 1));
-        let findings = model.detect_column(col);
-        if findings.is_empty() {
-            println!("  [{header}] ok ({} cells)", col.len());
+            .unwrap_or_else(|| format!("column {}", summary.index + 1));
+        if summary.num_findings == 0 {
+            println!("  [{header}] ok ({} cells)", columns[summary.index].len());
         } else {
-            println!("  [{header}] {} suspicious value(s):", findings.len());
-            for f in findings.iter().take(3) {
+            println!("  [{header}] {} suspicious value(s):", summary.num_findings);
+            for f in report
+                .findings
+                .iter()
+                .filter(|f| f.column_index == summary.index)
+                .take(3)
+            {
                 println!(
                     "      {:?} clashes with {:?} (confidence {:.2})",
-                    f.suspect, f.witness, f.confidence
+                    f.finding.suspect, f.finding.witness, f.finding.confidence
                 );
             }
         }
     }
+    println!("\n  {}", report.summary());
 }
 
 fn main() {
@@ -68,5 +75,5 @@ fn main() {
     };
     println!("\nauditing {label}:");
     let columns = columns_from_csv_text(&text, ',', true);
-    audit(&model, &columns);
+    audit(model, &columns);
 }

@@ -6,37 +6,45 @@
 //! cargo run --release --example wiki_audit
 //! ```
 
-use auto_detect::core::{train, AutoDetectConfig};
-use auto_detect::corpus::{generate_corpus, generate_labeled_columns, CorpusProfile};
+use auto_detect::core::{train, AutoDetectConfig, ScanEngine};
+use auto_detect::corpus::{generate_corpus, generate_labeled_columns, Column, CorpusProfile};
 
 fn main() {
     println!("training on synthetic web corpus…");
     let mut web = CorpusProfile::web(20_000);
     web.dirty_rate = 0.0;
     let corpus = generate_corpus(&web);
-    let config = AutoDetectConfig {
-        training_examples: 20_000,
-        ..AutoDetectConfig::default()
-    };
-    let (model, _) = train(&corpus, &config);
+    let config = AutoDetectConfig::builder()
+        .training_examples(20_000)
+        .build()
+        .expect("valid config");
+    let (model, _) = train(&corpus, &config).expect("training failed");
 
     println!("scanning WIKI-profile tables…");
     let wiki = CorpusProfile::wiki(5_000);
     let labeled = generate_labeled_columns(&wiki);
 
+    // Scan every column in parallel; the report ranks findings across
+    // the whole corpus, so the first finding per column is that column's
+    // most incompatible pair.
+    let columns: Vec<Column> = labeled.iter().map(|l| l.column.clone()).collect();
+    let report = ScanEngine::from_model(model)
+        .scan_columns(&columns)
+        .expect("scan failed");
     let mut findings: Vec<(f64, String, String, bool, Option<String>)> = Vec::new();
-    for l in &labeled {
-        if let Some(f) = model.most_incompatible(&l.column) {
+    let mut seen = std::collections::HashSet::new();
+    for f in &report.findings {
+        if seen.insert(f.column_index) {
+            let l = &labeled[f.column_index];
             findings.push((
-                f.confidence,
-                f.suspect.clone(),
-                f.witness.clone(),
-                l.is_error_value(&f.suspect),
+                f.finding.confidence,
+                f.finding.suspect.clone(),
+                f.finding.witness.clone(),
+                l.is_error_value(&f.finding.suspect),
                 l.error_note.clone(),
             ));
         }
     }
-    findings.sort_by(|a, b| b.0.total_cmp(&a.0));
 
     let dirty_total = labeled.iter().filter(|l| l.is_dirty()).count();
     println!(
@@ -46,7 +54,10 @@ fn main() {
         findings.len()
     );
     println!("\ntop 15 findings (cf. paper Table 4):");
-    println!("{:<4} {:<26} {:<26} {:>6} ground truth", "#", "suspect", "witness", "conf");
+    println!(
+        "{:<4} {:<26} {:<26} {:>6} ground truth",
+        "#", "suspect", "witness", "conf"
+    );
     for (i, (q, suspect, witness, correct, note)) in findings.iter().take(15).enumerate() {
         println!(
             "{:<4} {:<26} {:<26} {:>6.3} {}",

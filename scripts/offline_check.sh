@@ -1,0 +1,51 @@
+#!/bin/sh
+# Offline build/check/test harness for air-gapped containers.
+#
+# The workspace's external dependencies live on crates.io; without
+# registry access nothing resolves. This script copies the workspace to
+# a scratch directory, rewrites [workspace.dependencies] to point at the
+# stub crates in devstubs/ (see devstubs/README.md for fidelity caveats),
+# deletes the proptest suites (stub proptest has no API), and runs the
+# requested cargo command there.
+#
+# Usage:
+#   scripts/offline_check.sh                 # cargo check --all-targets
+#   scripts/offline_check.sh test           # cargo test (offline-safe subset)
+#   scripts/offline_check.sh clippy        # cargo clippy -D warnings
+#   scripts/offline_check.sh <anything>    # cargo <anything> in the copy
+set -eu
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+SCRATCH="${ADT_OFFLINE_DIR:-/tmp/adt-offline-check}"
+STUBS="$REPO/devstubs"
+
+mkdir -p "$SCRATCH"
+# Copy sources; keep the scratch target/ so incremental builds work.
+(cd "$REPO" && tar cf - --exclude=./target --exclude=./.git --exclude=./devstubs \
+    --exclude=./results .) | (cd "$SCRATCH" && tar xf -)
+
+# Point every external dependency at its stub.
+cat > "$SCRATCH/deps_override.py" <<EOF
+import re
+path = "$SCRATCH/Cargo.toml"
+text = open(path).read()
+stubs = "$STUBS"
+for name in ["rand", "proptest", "criterion", "crossbeam", "parking_lot",
+             "bytes", "serde_json"]:
+    text = re.sub(r'(?m)^%s = .*$' % name,
+                  '%s = { path = "%s/%s" }' % (name, stubs, name), text)
+text = re.sub(r'(?m)^serde = .*$',
+              'serde = { path = "%s/serde" }' % stubs, text)
+open(path, "w").write(text)
+EOF
+python3 "$SCRATCH/deps_override.py"
+rm "$SCRATCH/deps_override.py"
+
+# The proptest suites need the real proptest crate; drop them offline.
+find "$SCRATCH/crates" -name proptests.rs -delete
+
+cd "$SCRATCH"
+if [ "$#" -eq 0 ]; then
+    exec cargo check --workspace --all-targets
+fi
+exec cargo "$@"

@@ -8,7 +8,7 @@
 //! ```
 
 use auto_detect::core::model::{load_model, save_model};
-use auto_detect::core::{train, AutoDetect, AutoDetectConfig};
+use auto_detect::core::{train, AutoDetect, AutoDetectConfig, ScanEngine};
 use auto_detect::corpus::csv::load_csv;
 use auto_detect::corpus::{generate_corpus, Corpus, CorpusProfile};
 use std::process::ExitCode;
@@ -29,7 +29,7 @@ mod cli {
 
     /// Options that take a value; everything else starting with `--` is a
     /// boolean flag.
-    pub const VALUED: [&str; 11] = [
+    pub const VALUED: [&str; 12] = [
         "--out",
         "--model",
         "--corpus",
@@ -41,7 +41,11 @@ mod cli {
         "--delimiter",
         "--top",
         "--space",
+        "--threads",
     ];
+
+    /// Boolean flags (present or absent, no value).
+    pub const FLAGS: [&str; 2] = ["--no-header", "--stream"];
 
     /// Parses raw arguments (without the program name).
     pub fn parse(raw: &[String]) -> Result<Args, String> {
@@ -54,8 +58,10 @@ mod cli {
                         .next()
                         .ok_or_else(|| format!("option {name} expects a value"))?;
                     args.options.insert(name.to_string(), v.clone());
-                } else {
+                } else if FLAGS.contains(&name) {
                     args.flags.push(name.to_string());
+                } else {
+                    return Err(format!("unknown option {name}"));
                 }
             } else {
                 args.positional.push(a.clone());
@@ -67,7 +73,10 @@ mod cli {
     impl Args {
         /// Option value with a default.
         pub fn opt_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
-            self.options.get(name).map(|s| s.as_str()).unwrap_or(default)
+            self.options
+                .get(name)
+                .map(|s| s.as_str())
+                .unwrap_or(default)
         }
 
         /// Parsed numeric option.
@@ -109,6 +118,12 @@ mod cli {
         }
 
         #[test]
+        fn unknown_option_is_an_error() {
+            let err = parse(&raw(&["scan", "f.csv", "--theads", "4"])).unwrap_err();
+            assert!(err.contains("--theads"), "{err}");
+        }
+
+        #[test]
         fn numeric_options() {
             let a = parse(&raw(&["train", "--columns", "500"])).unwrap();
             assert_eq!(a.num("--columns", 10usize).unwrap(), 500);
@@ -133,13 +148,18 @@ USAGE:
   autodetect train [--corpus FILE] [--columns N] [--examples N]
                    [--budget BYTES] [--precision P] [--space full|coarse]
                    --out MODEL.json
-  autodetect scan FILE.csv --model MODEL.json [--delimiter C] [--no-header] [--top N]
+  autodetect scan FILE.csv --model MODEL.json [--delimiter C] [--no-header]
+                  [--top N] [--threads N] [--stream]
   autodetect check VALUE1 VALUE2 --model MODEL.json
 
 Without --corpus, `train` generates a synthetic web-table corpus
 (--columns, default 20000) reproducing the paper's co-occurrence
-structure. `scan` audits every column of a delimited file and prints
-ranked findings.";
+structure. `scan` audits every column of a delimited file through the
+parallel scan engine (--threads, default all cores) and prints ranked
+findings; --stream ingests the file with bounded memory instead of
+loading it whole. Findings are identical at any thread count and in
+either ingest mode. Model files ending in .bin use the compact binary
+codec; anything else is JSON.";
 
 fn profile_by_name(name: &str, columns: usize) -> Result<CorpusProfile, String> {
     let mut p = match name {
@@ -181,19 +201,19 @@ fn cmd_train(args: &cli::Args) -> Result<(), String> {
         "coarse" | "36" => auto_detect::core::config::LanguageSpace::Coarse36,
         other => return Err(format!("unknown --space {other:?} (full|coarse)")),
     };
-    let config = AutoDetectConfig {
-        training_examples: args.num("--examples", 40_000usize)?,
-        memory_budget: args.num("--budget", 64usize << 20)?,
-        precision_target: args.num("--precision", 0.95f64)?,
-        space,
-        ..AutoDetectConfig::default()
-    };
+    let config = AutoDetectConfig::builder()
+        .training_examples(args.num("--examples", 40_000usize)?)
+        .memory_budget(args.num("--budget", 64usize << 20)?)
+        .precision_target(args.num("--precision", 0.95f64)?)
+        .space(space)
+        .build()
+        .map_err(|e| e.to_string())?;
     eprintln!(
         "training on {} columns ({} candidate languages)…",
         corpus.len(),
         config.candidate_languages().len()
     );
-    let (model, report) = train(&corpus, &config);
+    let (model, report) = train(&corpus, &config).map_err(|e| e.to_string())?;
     eprintln!(
         "selected {} languages {:?}, model {} KB, training precision target {}",
         model.num_languages(),
@@ -228,28 +248,45 @@ fn cmd_scan(args: &cli::Args) -> Result<(), String> {
         .unwrap_or(',');
     let has_header = !args.has("--no-header");
     let top = args.num("--top", 5usize)?;
-    let columns = load_csv(file, delim, has_header).map_err(|e| e.to_string())?;
+    let threads = args.num("--threads", 0usize)?;
+    let engine = ScanEngine::from_model(model).with_threads(threads);
+    let report = if args.has("--stream") {
+        engine.scan_csv_path(file, delim, has_header)
+    } else {
+        load_csv(file, delim, has_header)
+            .map_err(adt_core::AdtError::from)
+            .and_then(|columns| engine.scan_columns(&columns))
+    }
+    .map_err(|e| format!("scanning {file}: {e}"))?;
     let mut total = 0usize;
-    for (i, col) in columns.iter().enumerate() {
-        let header = col
+    for summary in &report.columns {
+        let header = summary
             .header
             .clone()
-            .unwrap_or_else(|| format!("column {}", i + 1));
-        let findings = model.detect_column(col);
-        if findings.is_empty() {
+            .unwrap_or_else(|| format!("column {}", summary.index + 1));
+        if summary.num_findings == 0 {
             println!("[{header}] ok");
         } else {
-            println!("[{header}] {} finding(s):", findings.len());
-            for f in findings.iter().take(top) {
+            println!("[{header}] {} finding(s):", summary.num_findings);
+            for f in report
+                .findings
+                .iter()
+                .filter(|f| f.column_index == summary.index)
+                .take(top)
+            {
                 println!(
                     "    {:?} clashes with {:?} (confidence {:.2})",
-                    f.suspect, f.witness, f.confidence
+                    f.finding.suspect, f.finding.witness, f.finding.confidence
                 );
             }
-            total += findings.len();
+            total += summary.num_findings;
         }
     }
-    println!("\n{total} suspicious value(s) across {} columns", columns.len());
+    println!(
+        "\n{total} suspicious value(s) across {} columns",
+        report.columns.len()
+    );
+    println!("{}", report.summary());
     Ok(())
 }
 

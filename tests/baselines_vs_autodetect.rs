@@ -31,7 +31,7 @@ fn col1_contrast_between_local_and_global() {
         training_examples: 6_000,
         ..AutoDetectConfig::small()
     };
-    let (model, _) = train(&corpus, &cfg);
+    let (model, _) = train(&corpus, &cfg).expect("training failed");
     let ad_findings = model.detect_column(&col);
     assert!(
         !ad_findings.iter().any(|f| f.suspect == "1,000"),
@@ -59,7 +59,7 @@ fn col3_balanced_mix_detected_only_globally() {
         training_examples: 6_000,
         ..AutoDetectConfig::small()
     };
-    let (model, _) = train(&corpus, &cfg);
+    let (model, _) = train(&corpus, &cfg).expect("training failed");
     let findings = model.detect_column(&col);
     assert!(
         !findings.is_empty(),
@@ -78,7 +78,7 @@ fn autodetect_beats_local_baselines_on_auto_eval() {
         training_examples: 6_000,
         ..AutoDetectConfig::small()
     };
-    let (model, _) = train(&corpus, &cfg);
+    let (model, _) = train(&corpus, &cfg).expect("training failed");
 
     let mut wp = CorpusProfile::wiki(2_500);
     wp.dirty_rate = 0.0;
@@ -91,15 +91,12 @@ fn autodetect_beats_local_baselines_on_auto_eval() {
         let pooled = pooled_predictions(&cases, &preds, 1);
         precision_at_k(&pooled, 100)
     };
-    let ad = score(&Method::AutoDetect(&model));
-    let pw = score(&Method::Baseline(Box::new(PotterWheelDetector::default())));
-    let linear = score(&Method::Baseline(Box::new(
+    let ad = score(&Method::auto_detect(&model));
+    let pw = score(&Method::baseline(Box::new(PotterWheelDetector::default())));
+    let linear = score(&Method::baseline(Box::new(
         auto_detect::baselines::LinearDetector::default(),
     )));
-    assert!(
-        ad >= pw,
-        "Auto-Detect p@100 {ad} should be >= PWheel {pw}"
-    );
+    assert!(ad >= pw, "Auto-Detect p@100 {ad} should be >= PWheel {pw}");
     assert!(
         ad > linear,
         "Auto-Detect p@100 {ad} should beat Linear {linear}"

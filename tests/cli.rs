@@ -25,7 +25,10 @@ fn usage_on_no_args() {
 
 #[test]
 fn unknown_option_value_errors() {
-    let out = Command::new(bin()).args(["train", "--out"]).output().unwrap();
+    let out = Command::new(bin())
+        .args(["train", "--out"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("expects a value"));
@@ -44,14 +47,25 @@ fn scan_requires_model() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--model"));
 }
 
+/// The findings portion of a scan's stdout: everything up to the total
+/// line, excluding the timing summary (which varies run to run).
+fn findings_part(stdout: &str) -> String {
+    stdout
+        .lines()
+        .take_while(|l| !l.contains("suspicious value(s)"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 /// The full pipeline at miniature scale: generate a corpus, train a
-/// coarse-space model, scan a CSV with a planted date-format mix, and
-/// check a value pair.
+/// coarse-space model (binary codec), scan a CSV with a planted
+/// date-format mix — serial, parallel, and streamed — and check a value
+/// pair.
 #[test]
 fn full_pipeline_detects_planted_error() {
     let dir = tmp_dir("full_pipeline");
     let corpus = dir.join("corpus.txt");
-    let model = dir.join("model.json");
+    let model = dir.join("model.bin");
     let csv = dir.join("data.csv");
 
     let out = Command::new(bin())
@@ -66,7 +80,11 @@ fn full_pipeline_detects_planted_error() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = Command::new(bin())
         .args([
@@ -82,7 +100,11 @@ fn full_pipeline_detects_planted_error() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
 
     std::fs::write(
@@ -91,16 +113,53 @@ fn full_pipeline_detects_planted_error() {
     )
     .unwrap();
     let out = Command::new(bin())
-        .args(["scan", csv.to_str().unwrap(), "--model", model.to_str().unwrap()])
+        .args([
+            "scan",
+            csv.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
         stdout.contains("2019/03/04"),
         "scan should flag the slash date:\n{stdout}"
     );
-    assert!(stdout.contains("[amount] ok"), "clean column flagged:\n{stdout}");
+    assert!(
+        stdout.contains("[amount] ok"),
+        "clean column flagged:\n{stdout}"
+    );
+
+    // The engine guarantees identical findings at any thread count and in
+    // streaming mode; only the timing summary may differ.
+    for extra in [&["--threads", "1"][..], &["--threads", "8"], &["--stream"]] {
+        let rerun = Command::new(bin())
+            .args([
+                "scan",
+                csv.to_str().unwrap(),
+                "--model",
+                model.to_str().unwrap(),
+            ])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(
+            rerun.status.success(),
+            "{}",
+            String::from_utf8_lossy(&rerun.stderr)
+        );
+        assert_eq!(
+            findings_part(&stdout),
+            findings_part(&String::from_utf8_lossy(&rerun.stdout)),
+            "scan findings changed under {extra:?}"
+        );
+    }
 
     let out = Command::new(bin())
         .args([

@@ -8,10 +8,7 @@ use auto_detect::eval::testcases::crude_stats;
 use auto_detect::eval::{auto_eval_cases, run_method, Method};
 use auto_detect::stats::{NpmiParams, StatsConfig};
 
-fn trained_model() -> (
-    auto_detect::core::AutoDetect,
-    auto_detect::corpus::Corpus,
-) {
+fn trained_model() -> (auto_detect::core::AutoDetect, auto_detect::corpus::Corpus) {
     let mut p = CorpusProfile::web(3_000);
     p.dirty_rate = 0.0;
     let corpus = generate_corpus(&p);
@@ -19,7 +16,7 @@ fn trained_model() -> (
         training_examples: 6_000,
         ..AutoDetectConfig::small()
     };
-    let (model, report) = train(&corpus, &cfg);
+    let (model, report) = train(&corpus, &cfg).expect("training failed");
     assert!(model.num_languages() >= 1, "selection failed: {report:?}");
     (model, corpus)
 }
@@ -35,7 +32,7 @@ fn trained_model_meets_precision_on_auto_eval() {
     let cases = auto_eval_cases(&source, &crude, NpmiParams::default(), 150, 750, 42);
     assert!(cases.iter().filter(|c| c.is_dirty()).count() >= 100);
 
-    let m = Method::AutoDetect(&model);
+    let m = Method::auto_detect(&model);
     let preds = run_method(&m, &cases);
     let pooled = pooled_predictions(&cases, &preds, 1);
     let p50 = precision_at_k(&pooled, 50);
@@ -102,7 +99,7 @@ fn model_roundtrip_preserves_detection() {
     let (model, _) = trained_model();
     let dir = std::env::temp_dir().join("adt_e2e");
     std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("model.json");
+    let path = dir.join("model.bin");
     auto_detect::core::model::save_model(&model, &path).unwrap();
     let back = auto_detect::core::model::load_model(&path).unwrap();
     let col = Column::from_strs(

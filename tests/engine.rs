@@ -1,0 +1,161 @@
+//! Integration tests for the parallel scan engine and the unified
+//! Detector API, through the public `auto_detect` surface.
+
+use auto_detect::core::{
+    load_model, save_model, train, AdtError, AutoDetect, AutoDetectConfig, Detector, ScanEngine,
+    ScanReport,
+};
+use auto_detect::corpus::{generate_corpus, Column, CorpusProfile, SourceTag};
+use std::sync::OnceLock;
+
+/// One small coarse-space model shared across tests (training dominates
+/// test wall time).
+fn model() -> &'static AutoDetect {
+    static MODEL: OnceLock<AutoDetect> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let mut p = CorpusProfile::web(3_000);
+        p.dirty_rate = 0.0;
+        let corpus = generate_corpus(&p);
+        let cfg = AutoDetectConfig::builder()
+            .training_examples(6_000)
+            .space(auto_detect::core::LanguageSpace::Coarse36)
+            .build()
+            .expect("valid config");
+        let (model, _) = train(&corpus, &cfg).expect("training failed");
+        model
+    })
+}
+
+fn dirty_columns(n: usize) -> Vec<Column> {
+    let mut p = CorpusProfile::ent_xls(n);
+    p.dirty_rate = 0.4;
+    generate_corpus(&p).columns().to_vec()
+}
+
+/// Findings rendered to a canonical string (ColumnFinding has no
+/// PartialEq; timings in the report legitimately differ between runs).
+fn repr(report: &ScanReport) -> String {
+    let mut s = String::new();
+    for f in &report.findings {
+        s.push_str(&format!(
+            "{} {:?} {:?} {:.6}\n",
+            f.column_index, f.finding.suspect, f.finding.witness, f.finding.confidence
+        ));
+    }
+    s
+}
+
+#[test]
+fn findings_identical_across_thread_counts() {
+    let columns = dirty_columns(120);
+    let engine = ScanEngine::from_model(model().clone());
+    let serial = engine
+        .clone()
+        .with_threads(1)
+        .scan_columns(&columns)
+        .unwrap();
+    let parallel = engine.with_threads(8).scan_columns(&columns).unwrap();
+    assert_eq!(serial.threads, 1);
+    assert_eq!(parallel.threads, 8);
+    assert_eq!(repr(&serial), repr(&parallel));
+    assert_eq!(serial.stats.values_scored, parallel.stats.values_scored);
+    assert_eq!(serial.stats.pairs_scored, parallel.stats.pairs_scored);
+    assert_eq!(serial.stats.pairs_flagged, parallel.stats.pairs_flagged);
+    assert!(
+        !serial.findings.is_empty(),
+        "dirty corpus produced no findings"
+    );
+}
+
+#[test]
+fn streamed_csv_matches_in_memory() {
+    let columns = dirty_columns(40);
+    let rows = columns.iter().map(|c| c.len()).max().unwrap();
+    let mut csv = String::from(
+        &columns
+            .iter()
+            .enumerate()
+            .map(|(i, _)| format!("c{i}"))
+            .collect::<Vec<_>>()
+            .join("\t"),
+    );
+    csv.push('\n');
+    for r in 0..rows {
+        let row: Vec<&str> = columns
+            .iter()
+            .map(|c| c.values.get(r).map(|v| v.as_str()).unwrap_or(""))
+            .collect();
+        csv.push_str(&row.join("\t"));
+        csv.push('\n');
+    }
+    let engine = ScanEngine::from_model(model().clone());
+    let streamed = engine.scan_csv(csv.as_bytes(), '\t', true).unwrap();
+    // Equivalent in-memory columns: same values, headers attached.
+    let mem_columns: Vec<Column> = columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let mut col = Column::from_strs(
+                &c.values.iter().map(|v| v.as_str()).collect::<Vec<_>>(),
+                SourceTag::Csv,
+            );
+            col.header = Some(format!("c{i}"));
+            col
+        })
+        .collect();
+    let in_memory = engine.scan_columns(&mem_columns).unwrap();
+    assert_eq!(repr(&streamed), repr(&in_memory));
+    assert_eq!(streamed.columns.len(), in_memory.columns.len());
+    for (s, m) in streamed.columns.iter().zip(&in_memory.columns) {
+        assert_eq!(s.header, m.header);
+        assert_eq!(s.num_findings, m.num_findings);
+    }
+}
+
+#[test]
+fn autodetect_is_a_detector() {
+    let det: &dyn Detector = model();
+    assert_eq!(det.name(), "Auto-Detect");
+    let col = Column::from_strs(
+        &["2011-01-01", "2012-02-02", "2013-03-03", "2014/04/04"],
+        SourceTag::Csv,
+    );
+    let preds = det.detect(&col);
+    assert!(!preds.is_empty());
+    assert_eq!(preds[0].value, "2014/04/04");
+}
+
+#[test]
+fn model_roundtrips_through_binary_codec() {
+    let dir = std::env::temp_dir().join("adt_engine_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.bin");
+    save_model(model(), &path).unwrap();
+    let loaded = load_model(&path).unwrap();
+    let columns = dirty_columns(20);
+    let a = ScanEngine::from_model(model().clone())
+        .scan_columns(&columns)
+        .unwrap();
+    let b = ScanEngine::from_model(loaded)
+        .scan_columns(&columns)
+        .unwrap();
+    assert_eq!(repr(&a), repr(&b));
+}
+
+#[test]
+fn errors_are_typed() {
+    // Missing model file surfaces as AdtError::Io, not a panic.
+    match load_model("/nonexistent/adt/model.bin") {
+        Err(AdtError::Io(_)) => {}
+        other => panic!("expected AdtError::Io, got {other:?}"),
+    }
+    // Invalid configs are rejected at build time.
+    assert!(matches!(
+        AutoDetectConfig::builder().precision_target(1.5).build(),
+        Err(AdtError::Config(_))
+    ));
+    assert!(matches!(
+        AutoDetectConfig::builder().max_distinct_values(1).build(),
+        Err(AdtError::Config(_))
+    ));
+}

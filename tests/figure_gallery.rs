@@ -12,7 +12,7 @@ fn model() -> AutoDetect {
         training_examples: 8_000,
         ..AutoDetectConfig::small()
     };
-    let (model, _) = train(&corpus, &cfg);
+    let (model, _) = train(&corpus, &cfg).expect("training failed");
     model
 }
 
