@@ -16,11 +16,17 @@ if [ "${ADT_OFFLINE:-0}" = "1" ]; then
     scripts/offline_check.sh clippy --workspace --all-targets -- -D warnings
     echo "== tests (offline stubs)"
     scripts/offline_check.sh test --workspace -q
+    echo "== serve smoke test (offline stubs)"
+    scripts/offline_check.sh build --bin autodetect
+    scripts/serve_smoke.sh "${ADT_OFFLINE_DIR:-/tmp/adt-offline-check}/target/debug/autodetect"
 else
     echo "== clippy"
     cargo clippy --workspace --all-targets -- -D warnings
     echo "== tests"
     cargo test --workspace -q
+    echo "== serve smoke test"
+    cargo build --bin autodetect
+    scripts/serve_smoke.sh target/debug/autodetect
 fi
 
 echo "CI OK"

@@ -1,0 +1,110 @@
+//! Criterion bench for the detection service: request throughput over
+//! loopback at 1/4/8 HTTP worker threads.
+//!
+//! Two shapes are measured: sequential keep-alive requests on a single
+//! connection (per-request latency floor: framing + routing + one
+//! engine dispatch), and a 16-client closed-loop burst (where the
+//! micro-batcher amortizes engine dispatches across requests — the
+//! `serve` design's throughput case).
+
+use adt_corpus::{Column, SourceTag};
+use adt_serve::testutil::tiny_model;
+use adt_serve::{Client, Json, ModelRegistry, ServeConfig, Server, ServerHandle};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn models_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("adt_serve_bench_models");
+    std::fs::create_dir_all(&dir).unwrap();
+    adt_core::save_model(&tiny_model(), dir.join("default.bin")).unwrap();
+    dir
+}
+
+fn request_columns() -> Vec<Column> {
+    let mut date = Column::from_strs(
+        &["2011-01-01", "2012-02-02", "2013-03-03", "2014/04/04"],
+        SourceTag::Local,
+    );
+    date.header = Some("date".into());
+    let amount = Column::from_strs(&["1", "2", "3,000", "4"], SourceTag::Local);
+    vec![date, amount]
+}
+
+fn start_server(workers: usize) -> (Client, ServerHandle) {
+    let config = ServeConfig {
+        workers,
+        engine_threads: 1,
+        ..ServeConfig::default()
+    };
+    let registry = ModelRegistry::open(models_dir()).unwrap();
+    let (addr, handle, _join) = Server::bind(config, registry).unwrap().spawn();
+    let client = Client::new(&addr.to_string())
+        .unwrap()
+        .with_timeout(Duration::from_secs(30));
+    (client, handle)
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let columns = request_columns();
+    let body = adt_serve::protocol::scan_request_to_json(None, &columns);
+
+    let mut group = c.benchmark_group("serve_requests");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    for workers in [1usize, 4, 8] {
+        let (client, handle) = start_server(workers);
+        let mut conn = client.connect().unwrap();
+        group.bench_function(format!("keepalive_workers_{workers}"), |b| {
+            b.iter(|| {
+                let resp = conn
+                    .request("POST", "/v1/scan", Some(&body))
+                    .expect("request failed");
+                assert_eq!(resp.status, 200);
+                black_box(resp.body)
+            })
+        });
+        drop(conn);
+        handle.shutdown();
+    }
+    group.finish();
+
+    const CLIENTS: usize = 16;
+    const REQUESTS_PER_CLIENT: usize = 4;
+    let mut group = c.benchmark_group("serve_burst_16_clients");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((CLIENTS * REQUESTS_PER_CLIENT) as u64));
+    for workers in [1usize, 4, 8] {
+        let (client, handle) = start_server(workers);
+        group.bench_function(format!("workers_{workers}"), |b| {
+            b.iter(|| {
+                let threads: Vec<_> = (0..CLIENTS)
+                    .map(|_| {
+                        let client = client.clone();
+                        let columns = request_columns();
+                        std::thread::spawn(move || {
+                            let mut batched = 0usize;
+                            for _ in 0..REQUESTS_PER_CLIENT {
+                                let resp = client.scan(None, &columns).expect("scan failed");
+                                batched += resp.batched_with;
+                            }
+                            batched
+                        })
+                    })
+                    .collect();
+                let batched: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
+                black_box(batched)
+            })
+        });
+        // Amortization sanity: stats must show fewer engine dispatches
+        // than scans when clients overlap (not asserted — contention
+        // varies by machine — but exposed for inspection).
+        let stats = client.get("/v1/stats").unwrap();
+        black_box(stats.get("batches").and_then(Json::as_u64));
+        handle.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(serve, bench_serve_throughput);
+criterion_main!(serve);

@@ -23,6 +23,18 @@ pub enum AdtError {
     Csv(String),
     /// A worker thread panicked inside the named parallel section.
     Worker(&'static str),
+    /// No model file exists at the path given to
+    /// [`crate::model::load_model`].
+    ModelNotFound(String),
+    /// A model file exists but could not be read as a model (truncated,
+    /// corrupt, or not a model at all). Carries the offending path so
+    /// servers can surface it to clients.
+    ModelParse {
+        /// The file that failed to parse.
+        path: String,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AdtError {
@@ -34,6 +46,10 @@ impl fmt::Display for AdtError {
             AdtError::Config(m) => write!(f, "invalid configuration: {m}"),
             AdtError::Csv(m) => write!(f, "CSV error: {m}"),
             AdtError::Worker(section) => write!(f, "worker thread panicked in {section}"),
+            AdtError::ModelNotFound(path) => write!(f, "model file not found: {path}"),
+            AdtError::ModelParse { path, detail } => {
+                write!(f, "model file {path} could not be parsed: {detail}")
+            }
         }
     }
 }
@@ -63,6 +79,20 @@ mod tests {
         assert!(e.to_string().contains("precision_target"));
         let e = AdtError::Worker("scan_columns");
         assert!(e.to_string().contains("scan_columns"));
+    }
+
+    #[test]
+    fn model_errors_name_the_path() {
+        let e = AdtError::ModelNotFound("/models/prod.bin".into());
+        assert!(e.to_string().contains("/models/prod.bin"));
+        assert!(e.to_string().contains("not found"));
+        let e = AdtError::ModelParse {
+            path: "/models/prod.bin".into(),
+            detail: "bad model magic".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("/models/prod.bin"), "{text}");
+        assert!(text.contains("bad model magic"), "{text}");
     }
 
     #[test]

@@ -245,27 +245,82 @@ fn codec_error(e: io::Error) -> AdtError {
 /// otherwise. The binary format is typically 3–5× smaller and loads an
 /// order of magnitude faster — relevant to the paper's client-side
 /// deployment constraint.
+///
+/// The write is **atomic**: bytes go to a temporary file in the target
+/// directory, which is renamed over `path` only after a successful
+/// flush. A crash mid-train can never leave a truncated model where a
+/// serving [`load_model`] (or a registry hot-reload) would find it —
+/// readers see either the old complete file or the new complete file.
 pub fn save_model<P: AsRef<Path>>(model: &AutoDetect, path: P) -> Result<(), AdtError> {
-    let f = std::fs::File::create(&path)?;
-    let mut w = io::BufWriter::new(f);
-    if path.as_ref().extension().is_some_and(|e| e == "bin") {
-        codec::write_model(&mut w, model).map_err(codec_error)
-    } else {
-        serde_json::to_writer(w, model).map_err(|e| AdtError::Json(e.to_string()))
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)?;
     }
+    // Same directory as the target so the rename cannot cross
+    // filesystems (rename is only atomic within one).
+    let tmp = path.with_file_name(format!(
+        ".{}.tmp{}",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("model"),
+        std::process::id()
+    ));
+    let result = (|| {
+        let f = std::fs::File::create(&tmp)?;
+        let mut w = io::BufWriter::new(f);
+        if path.extension().is_some_and(|e| e == "bin") {
+            codec::write_model(&mut w, model).map_err(codec_error)?;
+        } else {
+            serde_json::to_writer(&mut w, model).map_err(|e| AdtError::Json(e.to_string()))?;
+        }
+        let f = w
+            .into_inner()
+            .map_err(|e| AdtError::Io(io::Error::other(e.to_string())))?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
 }
 
 /// Loads a model saved by [`save_model`] (format sniffed from content).
+///
+/// Errors are typed for callers that surface them to users or clients:
+/// a missing file is [`AdtError::ModelNotFound`] and any unparsable file
+/// is [`AdtError::ModelParse`] — both carry the offending path.
 pub fn load_model<P: AsRef<Path>>(path: P) -> Result<AutoDetect, AdtError> {
-    let f = std::fs::File::open(path)?;
+    let path = path.as_ref();
+    let display = path.display().to_string();
+    let f = std::fs::File::open(path).map_err(|e| {
+        if e.kind() == io::ErrorKind::NotFound {
+            AdtError::ModelNotFound(display.clone())
+        } else {
+            AdtError::Io(e)
+        }
+    })?;
     let mut r = io::BufReader::new(f);
     use std::io::BufRead;
     let is_binary = r.fill_buf()?.starts_with(codec::MODEL_MAGIC);
-    if is_binary {
+    let parsed = if is_binary {
         codec::read_model(&mut r).map_err(codec_error)
+    } else if path.extension().is_some_and(|e| e == "bin") {
+        // A .bin file without the magic is corrupt (or mid-write on a
+        // non-atomic filesystem) — never try to parse it as JSON.
+        Err(AdtError::Json("missing ADM1 magic".into()))
     } else {
         serde_json::from_reader(r).map_err(|e| AdtError::Json(e.to_string()))
-    }
+    };
+    parsed.map_err(|e| match e {
+        // I/O failures while reading bytes stay I/O errors; everything
+        // that means "the bytes are not a model" becomes ModelParse.
+        AdtError::Io(io) if io.kind() != io::ErrorKind::UnexpectedEof => AdtError::Io(io),
+        other => AdtError::ModelParse {
+            path: display,
+            detail: other.to_string(),
+        },
+    })
 }
 
 /// Binary model codec (see `adt_stats::codec` for the statistics layer).
@@ -546,6 +601,62 @@ mod tests {
             assert_eq!(a.confidence, b.confidence);
         }
         std::fs::remove_file(bin_path).ok();
+    }
+
+    #[test]
+    fn load_errors_are_typed_and_name_the_path() {
+        let dir = std::env::temp_dir().join("adt_model_load_errors");
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("missing.bin");
+        match load_model(&missing) {
+            Err(AdtError::ModelNotFound(p)) => assert!(p.contains("missing.bin"), "{p}"),
+            other => panic!("expected ModelNotFound, got {other:?}"),
+        }
+        let garbage = dir.join("garbage.bin");
+        std::fs::write(&garbage, b"ADM1 but then nonsense").unwrap();
+        match load_model(&garbage) {
+            Err(AdtError::ModelParse { path, .. }) => {
+                assert!(path.contains("garbage.bin"), "{path}")
+            }
+            other => panic!("expected ModelParse, got {other:?}"),
+        }
+        // Truncated mid-stream file: also a parse error, not a bare I/O.
+        let truncated = dir.join("truncated.bin");
+        std::fs::write(&truncated, &codec::MODEL_MAGIC[..]).unwrap();
+        match load_model(&truncated) {
+            Err(AdtError::ModelParse { path, .. }) => {
+                assert!(path.contains("truncated.bin"), "{path}")
+            }
+            other => panic!("expected ModelParse, got {other:?}"),
+        }
+        std::fs::remove_file(garbage).ok();
+        std::fs::remove_file(truncated).ok();
+    }
+
+    #[test]
+    fn save_model_is_atomic_and_leaves_no_temp_files() {
+        let corpus = quick_corpus();
+        let (model, _) = train(&corpus, &quick_config()).unwrap();
+        let dir = std::env::temp_dir().join("adt_model_atomic_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("m.bin");
+        // Saving into a fresh directory creates it.
+        save_model(&model, &path).unwrap();
+        let first = std::fs::read(&path).unwrap();
+        // Overwrite in place: the file is replaced wholesale.
+        save_model(&model, &path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), first);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

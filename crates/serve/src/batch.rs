@@ -1,0 +1,271 @@
+//! Micro-batching: concurrent small scan requests are drained from one
+//! queue and dispatched through a single [`ScanEngine::scan_columns`]
+//! call per model, amortizing thread-pool spin-up and letting one
+//! worker's `PatternCache` serve every request in the batch (values
+//! repeat heavily across real requests).
+//!
+//! Splitting a batch back into per-request results is exact, not
+//! approximate: per-column findings are a pure function of the column,
+//! and the engine's global ranking restricted to one request's column
+//! range is the same total order that request would get scanned alone —
+//! so batched responses are byte-identical to unbatched ones (the
+//! concurrency test in `tests/serve.rs` asserts this).
+
+use crate::registry::ModelHandle;
+use adt_core::{ColumnSummary, ScanEngine, TableFinding};
+use adt_corpus::Column;
+use std::sync::mpsc::{Receiver, Sender};
+
+/// One request's scan, queued for the batcher.
+pub struct ScanJob {
+    /// The model resolved for this request.
+    pub handle: ModelHandle,
+    /// The request's columns.
+    pub columns: Vec<Column>,
+    /// Where the result goes; the worker blocks on the paired receiver.
+    /// The error side is a display string — `AdtError` is not `Clone`,
+    /// and every job of a failed dispatch gets the same message.
+    pub reply: Sender<Result<JobResult, String>>,
+}
+
+/// A per-request slice of a batch scan.
+#[derive(Debug)]
+pub struct JobResult {
+    /// Findings for this request's columns, reindexed to request-local
+    /// column indices, in engine ranking order.
+    pub findings: Vec<TableFinding>,
+    /// Per-column outcomes, request-local indices.
+    pub columns: Vec<ColumnSummary>,
+    /// How many other requests shared the dispatch.
+    pub batched_with: usize,
+}
+
+/// Outcome counters from one drain, for the stats layer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DrainStats {
+    /// Engine dispatches performed (one per distinct model in the drain).
+    pub dispatches: u64,
+    /// Jobs answered.
+    pub jobs: u64,
+}
+
+/// Runs the batch loop until every job sender is dropped. `max_jobs`
+/// bounds one drain so a burst cannot grow an unbounded dispatch;
+/// `engine_threads` is passed through to the scan engine.
+pub fn run_batcher(
+    rx: Receiver<ScanJob>,
+    engine_threads: usize,
+    max_jobs: usize,
+    mut on_drain: impl FnMut(DrainStats),
+) {
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        // Opportunistic drain: take whatever queued while the previous
+        // dispatch ran. No linger — an idle server adds zero latency.
+        while jobs.len() < max_jobs.max(1) {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+        let stats = dispatch(jobs, engine_threads);
+        on_drain(stats);
+    }
+}
+
+/// Groups `jobs` by model identity (same `Arc`, not just same name, so a
+/// hot-reload mid-drain never mixes generations), scans each group with
+/// one engine call, and replies to every job.
+fn dispatch(jobs: Vec<ScanJob>, engine_threads: usize) -> DrainStats {
+    let mut stats = DrainStats {
+        dispatches: 0,
+        jobs: jobs.len() as u64,
+    };
+    // Group in arrival order, keyed by Arc identity.
+    let mut groups: Vec<(usize, Vec<ScanJob>)> = Vec::new();
+    for job in jobs {
+        let key = std::sync::Arc::as_ptr(&job.handle.model) as usize;
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, group)) => group.push(job),
+            None => groups.push((key, vec![job])),
+        }
+    }
+    for (_, group) in groups {
+        stats.dispatches += 1;
+        scan_group(group, engine_threads);
+    }
+    stats
+}
+
+fn scan_group(group: Vec<ScanJob>, engine_threads: usize) {
+    let batched_with = group.len() - 1;
+    let mut all_columns: Vec<Column> = Vec::new();
+    let mut offsets = Vec::with_capacity(group.len());
+    for job in &group {
+        offsets.push((all_columns.len(), job.columns.len()));
+        all_columns.extend(job.columns.iter().cloned());
+    }
+    let engine =
+        ScanEngine::new(std::sync::Arc::clone(&group[0].handle.model)).with_threads(engine_threads);
+    let report = match engine.scan_columns(&all_columns) {
+        Ok(r) => r,
+        Err(e) => {
+            // A worker panic fails the whole dispatch; every job hears
+            // about it (the server turns this into a 500 per request).
+            let msg = e.to_string();
+            for job in group {
+                let _ = job.reply.send(Err(msg.clone()));
+            }
+            return;
+        }
+    };
+    for (job, (offset, len)) in group.into_iter().zip(offsets) {
+        let findings = report
+            .findings
+            .iter()
+            .filter(|f| f.column_index >= offset && f.column_index < offset + len)
+            .map(|f| TableFinding {
+                column_index: f.column_index - offset,
+                column_header: f.column_header.clone(),
+                finding: f.finding.clone(),
+            })
+            .collect();
+        let columns = report.columns[offset..offset + len]
+            .iter()
+            .map(|c| ColumnSummary {
+                index: c.index - offset,
+                header: c.header.clone(),
+                values_scored: c.values_scored,
+                num_findings: c.num_findings,
+            })
+            .collect();
+        let _ = job.reply.send(Ok(JobResult {
+            findings,
+            columns,
+            batched_with,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_model;
+    use adt_corpus::SourceTag;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    fn handle() -> ModelHandle {
+        ModelHandle {
+            name: "test".into(),
+            model: Arc::new(tiny_model()),
+            generation: 1,
+        }
+    }
+
+    fn dirty_column() -> Column {
+        Column::from_strs(
+            &["2011-01-01", "2012-02-02", "2013-03-03", "2014/04/04"],
+            SourceTag::Local,
+        )
+    }
+
+    fn repr(findings: &[TableFinding]) -> Vec<String> {
+        findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "{}|{}|{}|{}",
+                    f.column_index, f.finding.suspect, f.finding.witness, f.finding.confidence
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_results_match_solo_scans() {
+        let h = handle();
+        let solo = ScanEngine::new(Arc::clone(&h.model))
+            .with_threads(1)
+            .scan_columns(&[dirty_column()])
+            .unwrap();
+
+        // Three identical jobs dispatched as one batch.
+        let mut receivers = Vec::new();
+        let jobs: Vec<ScanJob> = (0..3)
+            .map(|_| {
+                let (tx, rx) = mpsc::channel();
+                receivers.push(rx);
+                ScanJob {
+                    handle: h.clone(),
+                    columns: vec![dirty_column()],
+                    reply: tx,
+                }
+            })
+            .collect();
+        let stats = dispatch(jobs, 1);
+        assert_eq!(stats.dispatches, 1, "same model must share one dispatch");
+        assert_eq!(stats.jobs, 3);
+        for rx in receivers {
+            let result = rx.recv().unwrap().unwrap();
+            assert_eq!(result.batched_with, 2);
+            assert_eq!(repr(&result.findings), repr(&solo.findings));
+            assert_eq!(result.columns.len(), 1);
+            assert_eq!(result.columns[0].index, 0);
+            assert_eq!(
+                result.columns[0].values_scored,
+                solo.columns[0].values_scored
+            );
+        }
+    }
+
+    #[test]
+    fn different_models_get_separate_dispatches() {
+        let h1 = handle();
+        let h2 = handle(); // distinct Arc → distinct identity
+        let (tx1, rx1) = mpsc::channel();
+        let (tx2, rx2) = mpsc::channel();
+        let stats = dispatch(
+            vec![
+                ScanJob {
+                    handle: h1,
+                    columns: vec![dirty_column()],
+                    reply: tx1,
+                },
+                ScanJob {
+                    handle: h2,
+                    columns: vec![dirty_column()],
+                    reply: tx2,
+                },
+            ],
+            1,
+        );
+        assert_eq!(stats.dispatches, 2);
+        assert_eq!(rx1.recv().unwrap().unwrap().batched_with, 0);
+        assert_eq!(rx2.recv().unwrap().unwrap().batched_with, 0);
+    }
+
+    #[test]
+    fn batcher_loop_drains_and_exits() {
+        let (tx, rx) = mpsc::channel::<ScanJob>();
+        let h = handle();
+        let mut replies = Vec::new();
+        for _ in 0..5 {
+            let (rtx, rrx) = mpsc::channel();
+            tx.send(ScanJob {
+                handle: h.clone(),
+                columns: vec![dirty_column()],
+                reply: rtx,
+            })
+            .unwrap();
+            replies.push(rrx);
+        }
+        drop(tx);
+        let mut drains = 0u64;
+        run_batcher(rx, 1, 4, |d| drains += d.dispatches);
+        assert!(drains >= 1);
+        for rrx in replies {
+            assert!(rrx.recv().unwrap().is_ok());
+        }
+    }
+}

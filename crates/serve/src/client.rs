@@ -1,0 +1,242 @@
+//! A small blocking client for the detection protocol — the other half
+//! of `autodetect query` and of the integration tests. One request per
+//! call; [`Client::scan`] opens a fresh connection (callers that want
+//! keep-alive throughput use [`Connection`] directly).
+
+use crate::json::{self, Json};
+use crate::protocol::{self, ScanResponse};
+use adt_corpus::Column;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect / read / write.
+    Io(std::io::Error),
+    /// The response was not valid HTTP or JSON.
+    Malformed(String),
+    /// The server answered with an error status.
+    Status { status: u16, message: String },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Malformed(m) => write!(f, "malformed response: {m}"),
+            ClientError::Status { status, message } => {
+                write!(f, "server returned {status}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A parsed HTTP response (client side).
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Parsed JSON body.
+    pub body: Json,
+}
+
+/// One keep-alive connection to a detection server.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    /// Connects with the given I/O timeout.
+    pub fn open(addr: &SocketAddr, timeout: Duration) -> Result<Connection, ClientError> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Connection { stream, reader })
+    }
+
+    /// Sends one request and reads the JSON response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<Response, ClientError> {
+        let body_text = body.map(Json::to_text).unwrap_or_default();
+        write!(
+            self.stream,
+            "{method} {path} HTTP/1.1\r\nHost: adt\r\nContent-Length: {}\r\n\r\n{}",
+            body_text.len(),
+            body_text
+        )?;
+        self.stream.flush()?;
+        read_json_response(&mut self.reader)
+    }
+}
+
+/// Reads a status line + headers + `Content-Length` JSON body.
+fn read_json_response<R: BufRead>(r: &mut R) -> Result<Response, ClientError> {
+    let mut status_line = String::new();
+    r.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Malformed(format!("bad status line {status_line:?}")))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        r.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ClientError::Malformed("bad Content-Length".into()))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    let text = String::from_utf8(body)
+        .map_err(|_| ClientError::Malformed("response body is not UTF-8".into()))?;
+    let body =
+        json::parse(&text).map_err(|e| ClientError::Malformed(format!("body not JSON: {e}")))?;
+    Ok(Response { status, body })
+}
+
+fn status_error(resp: Response) -> ClientError {
+    let message = resp
+        .body
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or("(no error message)")
+        .to_string();
+    ClientError::Status {
+        status: resp.status,
+        message,
+    }
+}
+
+/// Convenience client: resolves the address once, opens one connection
+/// per call.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr` (e.g. `127.0.0.1:8080`).
+    pub fn new(addr: &str) -> Result<Client, ClientError> {
+        let resolved = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Malformed(format!("address {addr:?} did not resolve")))?;
+        Ok(Client {
+            addr: resolved,
+            timeout: Duration::from_secs(30),
+        })
+    }
+
+    /// Overrides the default 30 s I/O timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The resolved server address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Opens a keep-alive connection for repeated requests.
+    pub fn connect(&self) -> Result<Connection, ClientError> {
+        Connection::open(&self.addr, self.timeout)
+    }
+
+    /// Scans `columns` under `model` (server default when `None`).
+    pub fn scan(
+        &self,
+        model: Option<&str>,
+        columns: &[Column],
+    ) -> Result<ScanResponse, ClientError> {
+        let body = protocol::scan_request_to_json(model, columns);
+        let resp = self.connect()?.request("POST", "/v1/scan", Some(&body))?;
+        if resp.status != 200 {
+            return Err(status_error(resp));
+        }
+        protocol::parse_scan_response(&resp.body).map_err(|e| ClientError::Malformed(e.to_string()))
+    }
+
+    /// `GET`s a JSON endpoint (`/v1/healthz`, `/v1/stats`, `/v1/models`).
+    pub fn get(&self, path: &str) -> Result<Json, ClientError> {
+        let resp = self.connect()?.request("GET", path, None)?;
+        if resp.status != 200 {
+            return Err(status_error(resp));
+        }
+        Ok(resp.body)
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        let resp = self.connect()?.request("POST", "/v1/shutdown", None)?;
+        if resp.status != 200 {
+            return Err(status_error(resp));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_response() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 11\r\n\r\n{\"ok\":true}";
+        let resp = read_json_response(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_garbage_status_line() {
+        let raw = "FTP NOPE\r\n\r\n";
+        assert!(matches!(
+            read_json_response(&mut Cursor::new(raw)),
+            Err(ClientError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn error_status_carries_message() {
+        let resp = Response {
+            status: 404,
+            body: crate::protocol::error_to_json("unknown model \"x\""),
+        };
+        let e = status_error(resp);
+        let text = e.to_string();
+        assert!(text.contains("404"), "{text}");
+        assert!(text.contains("unknown model"), "{text}");
+    }
+}

@@ -1,0 +1,284 @@
+//! Minimal HTTP/1.1 framing over `std::net` — just enough for the
+//! detection protocol: request-line + headers + `Content-Length` bodies
+//! in, status + JSON bodies out, with keep-alive. No TLS, no chunked
+//! transfer encoding (a request declaring one is rejected with `411`),
+//! and a hard request-size limit enforced *before* the body is read so an
+//! oversized upload costs one header parse, not an allocation.
+
+use std::io::{self, BufRead, Write};
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, query string included.
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked to keep the connection open (the
+    /// HTTP/1.1 default, unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically invalid request (→ `400`).
+    Malformed(String),
+    /// Declared body exceeds the configured limit (→ `413`).
+    BodyTooLarge { declared: usize, limit: usize },
+    /// `Transfer-Encoding` present; only `Content-Length` framing is
+    /// supported (→ `411`).
+    LengthRequired,
+    /// The socket failed or timed out mid-request.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds limit of {limit}")
+            }
+            HttpError::LengthRequired => write!(f, "only Content-Length framing is supported"),
+            HttpError::Io(e) => write!(f, "I/O: {e}"),
+        }
+    }
+}
+
+/// Longest accepted request line or header line, a hygiene bound against
+/// unframed garbage on the socket.
+const MAX_LINE: usize = 16 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 100;
+
+fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = r.fill_buf().map_err(HttpError::Io)?;
+        if buf.is_empty() {
+            return if line.is_empty() {
+                Ok(None) // clean EOF between requests
+            } else {
+                Err(HttpError::Malformed("truncated line".into()))
+            };
+        }
+        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (buf.len(), false),
+        };
+        line.extend_from_slice(&buf[..chunk]);
+        r.consume(chunk);
+        if line.len() > MAX_LINE {
+            return Err(HttpError::Malformed("header line too long".into()));
+        }
+        if done {
+            while matches!(line.last(), Some(b'\n' | b'\r')) {
+                line.pop();
+            }
+            return Ok(Some(
+                String::from_utf8(line)
+                    .map_err(|_| HttpError::Malformed("non-UTF-8 header".into()))?,
+            ));
+        }
+    }
+}
+
+/// Reads one request. `Ok(None)` means the peer closed the connection
+/// cleanly between requests (normal keep-alive termination).
+pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(r)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line missing path".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line missing version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported {version}")));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?
+            .ok_or_else(|| HttpError::Malformed("connection closed in headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without colon: {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if req.header("transfer-encoding").is_some() {
+        return Err(HttpError::LengthRequired);
+    }
+    if let Some(len) = req.header("content-length") {
+        let declared: usize = len
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {len:?}")))?;
+        if declared > max_body {
+            return Err(HttpError::BodyTooLarge {
+                declared,
+                limit: max_body,
+            });
+        }
+        let mut body = vec![0u8; declared];
+        io::Read::read_exact(r, &mut body).map_err(HttpError::Io)?;
+        req.body = body;
+    }
+    Ok(Some(req))
+}
+
+/// Standard reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response. `keep_alive: false` adds `Connection:
+/// close` so well-behaved clients stop reusing the socket.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}\r\n{}",
+        status,
+        reason(status),
+        body.len(),
+        if keep_alive {
+            ""
+        } else {
+            "Connection: close\r\n"
+        },
+        body,
+    )?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_request_with_body() {
+        let raw = "POST /v1/scan HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut Cursor::new(raw), 1024).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/scan");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let raw = "GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let req = read_request(&mut Cursor::new(raw), 1024).unwrap().unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(read_request(&mut Cursor::new(""), 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_body_rejected_before_read() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+        match read_request(&mut Cursor::new(raw), 1024) {
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                assert_eq!(declared, 999999);
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / SPDY/3\r\n\r\n",
+            "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            assert!(
+                read_request(&mut Cursor::new(raw), 1024).is_err(),
+                "accepted {raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_encoding_needs_length() {
+        let raw = "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut Cursor::new(raw), 1024),
+            Err(HttpError::LengthRequired)
+        ));
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

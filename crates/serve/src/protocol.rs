@@ -1,0 +1,333 @@
+//! The wire protocol: JSON shapes shared by server and client, so the
+//! two sides cannot drift apart.
+//!
+//! `POST /v1/scan` request:
+//!
+//! ```json
+//! {"model": "prod",
+//!  "columns": [{"header": "date", "values": ["2011-01-01", "2011/01/02"]}]}
+//! ```
+//!
+//! Response:
+//!
+//! ```json
+//! {"model": "prod", "generation": 1, "batched_with": 0,
+//!  "findings": [{"column": 0, "header": "date", "suspect": "2011/01/02",
+//!                "witness": "2011-01-01", "confidence": 0.97, "score": -0.62}],
+//!  "columns": [{"index": 0, "header": "date", "values_scored": 2, "findings": 1}]}
+//! ```
+//!
+//! Errors are `{"error": "<message>"}` with a 4xx/5xx status.
+
+use crate::json::Json;
+use adt_core::{ColumnSummary, TableFinding};
+use adt_corpus::{Column, SourceTag};
+
+/// A parsed scan request.
+#[derive(Debug)]
+pub struct ScanRequest {
+    /// Requested model name; `None` selects the registry default.
+    pub model: Option<String>,
+    /// Columns to scan, in request order.
+    pub columns: Vec<Column>,
+}
+
+/// One finding on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireFinding {
+    /// Column index within the request.
+    pub column: usize,
+    /// The request column's header, when given.
+    pub header: Option<String>,
+    /// The value predicted to be an error.
+    pub suspect: String,
+    /// The in-column value it clashes with.
+    pub witness: String,
+    /// Confidence `Q` of the witnessing pair.
+    pub confidence: f64,
+    /// Most negative firing NPMI score.
+    pub score: f64,
+}
+
+/// Per-column outcome on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireColumn {
+    /// Column index within the request.
+    pub index: usize,
+    /// Header echoed back.
+    pub header: Option<String>,
+    /// Distinct values scored.
+    pub values_scored: u64,
+    /// Finding count for the column.
+    pub findings: usize,
+}
+
+/// A parsed scan response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanResponse {
+    /// Model that served the request.
+    pub model: String,
+    /// Registry generation of that model (bumps on hot-reload).
+    pub generation: u64,
+    /// How many *other* requests shared the engine dispatch with this one.
+    pub batched_with: usize,
+    /// Ranked findings (confidence descending).
+    pub findings: Vec<WireFinding>,
+    /// Per-column outcomes in request order.
+    pub columns: Vec<WireColumn>,
+}
+
+/// Protocol-level failure: the payload was JSON but not a valid message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid message: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn bad(msg: impl Into<String>) -> ProtocolError {
+    ProtocolError(msg.into())
+}
+
+/// Decodes a scan request body.
+pub fn parse_scan_request(v: &Json) -> Result<ScanRequest, ProtocolError> {
+    let model = match v.get("model") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(_) => return Err(bad("\"model\" must be a string")),
+    };
+    let cols = v
+        .get("columns")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("\"columns\" must be an array"))?;
+    let mut columns = Vec::with_capacity(cols.len());
+    for (i, col) in cols.iter().enumerate() {
+        let values = col
+            .get("values")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad(format!("columns[{i}].values must be an array")))?;
+        let mut out = Vec::with_capacity(values.len());
+        for val in values {
+            out.push(
+                val.as_str()
+                    .ok_or_else(|| bad(format!("columns[{i}] has a non-string value")))?
+                    .to_string(),
+            );
+        }
+        let mut column = Column::new(out, SourceTag::Local);
+        column.header = match col.get("header") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => return Err(bad(format!("columns[{i}].header must be a string"))),
+        };
+        columns.push(column);
+    }
+    Ok(ScanRequest { model, columns })
+}
+
+/// Encodes a scan request body.
+pub fn scan_request_to_json(model: Option<&str>, columns: &[Column]) -> Json {
+    let cols = columns
+        .iter()
+        .map(|c| {
+            let mut members = Vec::new();
+            if let Some(h) = &c.header {
+                members.push(("header", Json::str(h.clone())));
+            }
+            members.push((
+                "values",
+                Json::Arr(c.values.iter().map(|v| Json::str(v.clone())).collect()),
+            ));
+            Json::obj(members)
+        })
+        .collect();
+    let mut members = Vec::new();
+    if let Some(m) = model {
+        members.push(("model", Json::str(m)));
+    }
+    members.push(("columns", Json::Arr(cols)));
+    Json::obj(members)
+}
+
+fn opt_str(v: Option<&Json>) -> Option<String> {
+    v.and_then(Json::as_str).map(str::to_string)
+}
+
+/// Encodes a scan response from engine output.
+pub fn scan_response_to_json(
+    model: &str,
+    generation: u64,
+    batched_with: usize,
+    findings: &[TableFinding],
+    columns: &[ColumnSummary],
+) -> Json {
+    let findings = findings
+        .iter()
+        .map(|f| {
+            Json::obj(vec![
+                ("column", Json::num(f.column_index as f64)),
+                (
+                    "header",
+                    f.column_header
+                        .as_ref()
+                        .map_or(Json::Null, |h| Json::str(h.clone())),
+                ),
+                ("suspect", Json::str(f.finding.suspect.clone())),
+                ("witness", Json::str(f.finding.witness.clone())),
+                ("confidence", Json::num(f.finding.confidence)),
+                ("score", Json::num(f.finding.score)),
+            ])
+        })
+        .collect();
+    let columns = columns
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("index", Json::num(c.index as f64)),
+                (
+                    "header",
+                    c.header
+                        .as_ref()
+                        .map_or(Json::Null, |h| Json::str(h.clone())),
+                ),
+                ("values_scored", Json::num(c.values_scored as f64)),
+                ("findings", Json::num(c.num_findings as f64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("model", Json::str(model)),
+        ("generation", Json::num(generation as f64)),
+        ("batched_with", Json::num(batched_with as f64)),
+        ("findings", Json::Arr(findings)),
+        ("columns", Json::Arr(columns)),
+    ])
+}
+
+/// Decodes a scan response (the client side).
+pub fn parse_scan_response(v: &Json) -> Result<ScanResponse, ProtocolError> {
+    let model = v
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("\"model\" must be a string"))?
+        .to_string();
+    let generation = v.get("generation").and_then(Json::as_u64).unwrap_or(0);
+    let batched_with = v.get("batched_with").and_then(Json::as_u64).unwrap_or(0) as usize;
+    let mut findings = Vec::new();
+    for f in v
+        .get("findings")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("\"findings\" must be an array"))?
+    {
+        findings.push(WireFinding {
+            column: f
+                .get("column")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("finding.column must be an integer"))?
+                as usize,
+            header: opt_str(f.get("header")),
+            suspect: opt_str(f.get("suspect")).ok_or_else(|| bad("finding.suspect missing"))?,
+            witness: opt_str(f.get("witness")).ok_or_else(|| bad("finding.witness missing"))?,
+            confidence: f
+                .get("confidence")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad("finding.confidence missing"))?,
+            score: f
+                .get("score")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad("finding.score missing"))?,
+        });
+    }
+    let mut columns = Vec::new();
+    for c in v
+        .get("columns")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("\"columns\" must be an array"))?
+    {
+        columns.push(WireColumn {
+            index: c
+                .get("index")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("column.index must be an integer"))? as usize,
+            header: opt_str(c.get("header")),
+            values_scored: c.get("values_scored").and_then(Json::as_u64).unwrap_or(0),
+            findings: c.get("findings").and_then(Json::as_u64).unwrap_or(0) as usize,
+        });
+    }
+    Ok(ScanResponse {
+        model,
+        generation,
+        batched_with,
+        findings,
+        columns,
+    })
+}
+
+/// Encodes an error body.
+pub fn error_to_json(message: &str) -> Json {
+    Json::obj(vec![("error", Json::str(message))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use adt_core::ColumnFinding;
+
+    #[test]
+    fn scan_request_roundtrip() {
+        let mut col = Column::from_strs(&["a", "b"], SourceTag::Local);
+        col.header = Some("h".into());
+        let noheader = Column::from_strs(&["c"], SourceTag::Local);
+        let json = scan_request_to_json(Some("m"), &[col.clone(), noheader.clone()]);
+        let back = parse_scan_request(&parse(&json.to_text()).unwrap()).unwrap();
+        assert_eq!(back.model.as_deref(), Some("m"));
+        assert_eq!(back.columns, vec![col, noheader]);
+    }
+
+    #[test]
+    fn scan_request_validation() {
+        for bad in [
+            r#"{"columns": "nope"}"#,
+            r#"{"columns": [{"values": [1]}]}"#,
+            r#"{"columns": [{"values": "x"}]}"#,
+            r#"{"model": 3, "columns": []}"#,
+            r#"{"columns": [{"header": [], "values": []}]}"#,
+        ] {
+            let v = parse(bad).unwrap();
+            assert!(parse_scan_request(&v).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn scan_response_roundtrip() {
+        let findings = vec![TableFinding {
+            column_index: 0,
+            column_header: Some("h".into()),
+            finding: ColumnFinding {
+                suspect: "2011/01/02".into(),
+                witness: "2011-01-01".into(),
+                confidence: 0.97,
+                score: -0.62,
+            },
+        }];
+        let columns = vec![ColumnSummary {
+            index: 0,
+            header: Some("h".into()),
+            values_scored: 2,
+            num_findings: 1,
+        }];
+        let json = scan_response_to_json("m", 3, 2, &findings, &columns);
+        let back = parse_scan_response(&parse(&json.to_text()).unwrap()).unwrap();
+        assert_eq!(back.model, "m");
+        assert_eq!(back.generation, 3);
+        assert_eq!(back.batched_with, 2);
+        assert_eq!(back.findings[0].suspect, "2011/01/02");
+        assert_eq!(back.findings[0].confidence, 0.97);
+        assert_eq!(back.columns[0].values_scored, 2);
+    }
+}

@@ -1,0 +1,448 @@
+//! The detection server: a `TcpListener` accept loop feeding a bounded
+//! queue of connections into a pool of worker threads, which parse HTTP,
+//! route, and push scan work through the shared micro-batcher.
+//!
+//! Operational properties:
+//!
+//! - **Backpressure.** The accept queue is bounded; when it is full the
+//!   acceptor answers `503` inline and drops the connection instead of
+//!   queueing unbounded work.
+//! - **Panic isolation.** Each request is routed under `catch_unwind`;
+//!   a panicking handler costs that request a `500`, never the process.
+//!   (Engine worker panics are already converted to errors upstream.)
+//! - **Timeouts.** Sockets carry read/write timeouts, so a stalled or
+//!   malicious peer cannot pin a worker forever.
+//! - **Graceful shutdown.** `POST /v1/shutdown` (or
+//!   [`ServerHandle::shutdown`], which the CLI can wire to a signal flag)
+//!   flips an atomic checked between accepts and wakes the acceptor with
+//!   a self-connection. The acceptor stops, queued connections drain,
+//!   in-flight requests complete and are answered, then workers and the
+//!   batcher exit and [`Server::run`] returns.
+
+use crate::batch::{run_batcher, ScanJob};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::json::{self, Json};
+use crate::protocol;
+use crate::registry::ModelRegistry;
+use crate::stats::ServerStats;
+use adt_core::AdtError;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// HTTP worker threads (0 = available cores).
+    pub workers: usize,
+    /// Scan-engine threads per batch dispatch (0 = available cores).
+    pub engine_threads: usize,
+    /// Bounded accept queue depth; beyond it connections get `503`.
+    pub queue_capacity: usize,
+    /// Hard request-body limit (enforced before the body is read).
+    pub max_body_bytes: usize,
+    /// Socket read/write timeout — bounds how long a stalled peer can
+    /// hold a worker (and how long shutdown waits on idle keep-alives).
+    pub io_timeout: Duration,
+    /// Most requests merged into one micro-batch dispatch.
+    pub max_batch_jobs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            engine_threads: 0,
+            queue_capacity: 128,
+            max_body_bytes: 8 << 20,
+            io_timeout: Duration::from_secs(10),
+            max_batch_jobs: 32,
+        }
+    }
+}
+
+/// Remote control for a running server: trigger shutdown from another
+/// thread (tests, a CLI signal flag, the shutdown endpoint).
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// True once shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and wakes the acceptor. Idempotent.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway self-connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+/// A bound-but-not-yet-running detection server.
+#[derive(Debug)]
+pub struct Server {
+    config: ServeConfig,
+    registry: Arc<ModelRegistry>,
+    stats: Arc<ServerStats>,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener. The server starts serving on [`Server::run`].
+    pub fn bind(config: ServeConfig, registry: ModelRegistry) -> Result<Server, AdtError> {
+        let addrs: Vec<SocketAddr> = config
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| AdtError::Config(format!("bad address {:?}: {e}", config.addr)))?
+            .collect();
+        let listener = TcpListener::bind(&addrs[..])?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            config,
+            registry: Arc::new(registry),
+            stats: Arc::new(ServerStats::default()),
+            listener,
+            local_addr,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that can stop the server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shutdown: Arc::clone(&self.shutdown),
+            addr: self.local_addr,
+        }
+    }
+
+    /// The shared stats (also served at `GET /v1/stats`).
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Runs the server on a background thread; returns the bound address,
+    /// the control handle, and the join handle. Convenience for tests,
+    /// benches, and embedding.
+    #[allow(clippy::type_complexity)]
+    pub fn spawn(
+        self,
+    ) -> (
+        SocketAddr,
+        ServerHandle,
+        thread::JoinHandle<Result<(), AdtError>>,
+    ) {
+        let addr = self.local_addr();
+        let handle = self.handle();
+        let join = thread::spawn(move || self.run());
+        (addr, handle, join)
+    }
+
+    /// Serves until shutdown is requested, then drains and returns.
+    pub fn run(self) -> Result<(), AdtError> {
+        let workers = adt_core::resolve_threads(self.config.workers).max(1);
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(self.config.queue_capacity.max(1));
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let (job_tx, job_rx) = mpsc::channel::<ScanJob>();
+
+        let batcher = {
+            let stats = Arc::clone(&self.stats);
+            let engine_threads = self.config.engine_threads;
+            let max_jobs = self.config.max_batch_jobs;
+            thread::Builder::new()
+                .name("adt-batcher".into())
+                .spawn(move || {
+                    run_batcher(job_rx, engine_threads, max_jobs, |d| {
+                        stats.batches.fetch_add(d.dispatches, Ordering::Relaxed);
+                    })
+                })
+                .map_err(AdtError::Io)?
+        };
+
+        let mut worker_joins = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let ctx = WorkerCtx {
+                conn_rx: Arc::clone(&conn_rx),
+                registry: Arc::clone(&self.registry),
+                stats: Arc::clone(&self.stats),
+                job_tx: job_tx.clone(),
+                handle: self.handle(),
+                max_body: self.config.max_body_bytes,
+            };
+            worker_joins.push(
+                thread::Builder::new()
+                    .name(format!("adt-worker-{i}"))
+                    .spawn(move || worker_loop(ctx))
+                    .map_err(AdtError::Io)?,
+            );
+        }
+        // Workers own the only remaining job senders; when the last
+        // worker exits, the batcher's receiver disconnects and it stops.
+        drop(job_tx);
+
+        // Accept loop: runs on the calling thread until shutdown.
+        loop {
+            let (stream, _peer) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(_) if self.shutdown.load(Ordering::SeqCst) => break,
+                Err(_) => continue,
+            };
+            if self.shutdown.load(Ordering::SeqCst) {
+                break; // the wake-up connection (or a late client) is dropped
+            }
+            let _ = stream.set_read_timeout(Some(self.config.io_timeout));
+            let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+            let _ = stream.set_nodelay(true);
+            match conn_tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(mut stream)) => {
+                    // Backpressure: answer 503 inline and shed the load.
+                    self.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                    let body = protocol::error_to_json("server busy, try again").to_text();
+                    let _ = write_response(&mut stream, 503, &body, false);
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            }
+        }
+
+        // Drain: closing the connection channel lets workers finish the
+        // queued and in-flight connections, then exit.
+        drop(conn_tx);
+        for join in worker_joins {
+            let _ = join.join();
+        }
+        let _ = batcher.join();
+        Ok(())
+    }
+}
+
+struct WorkerCtx {
+    conn_rx: Arc<Mutex<Receiver<TcpStream>>>,
+    registry: Arc<ModelRegistry>,
+    stats: Arc<ServerStats>,
+    job_tx: mpsc::Sender<ScanJob>,
+    handle: ServerHandle,
+    max_body: usize,
+}
+
+fn worker_loop(ctx: WorkerCtx) {
+    loop {
+        // Standard shared-receiver pattern: the lock is held only for
+        // the blocking recv; disconnection means the acceptor is done.
+        let stream = match ctx.conn_rx.lock().unwrap().recv() {
+            Ok(s) => s,
+            Err(_) => break,
+        };
+        serve_connection(&ctx, stream);
+    }
+}
+
+fn serve_connection(ctx: &WorkerCtx, stream: TcpStream) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader, ctx.max_body) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // peer closed cleanly
+            Err(e) => {
+                let (status, msg) = match &e {
+                    HttpError::Malformed(m) => (400, m.clone()),
+                    HttpError::BodyTooLarge { declared, limit } => (
+                        413,
+                        format!("request body of {declared} bytes exceeds limit of {limit}"),
+                    ),
+                    HttpError::LengthRequired => {
+                        (411, "requests must use Content-Length framing".into())
+                    }
+                    HttpError::Io(_) => return, // timeout / reset: just close
+                };
+                ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+                ctx.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                let body = protocol::error_to_json(&msg).to_text();
+                let _ = write_response(&mut writer, status, &body, false);
+                return;
+            }
+        };
+        let keep_alive = req.keep_alive() && !ctx.handle.is_shutting_down();
+        // Panic isolation: a handler bug costs this request a 500.
+        let (status, body) = match catch_unwind(AssertUnwindSafe(|| route(ctx, &req))) {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                ctx.stats.server_errors.fetch_add(1, Ordering::Relaxed);
+                (500, protocol::error_to_json("internal error"))
+            }
+        };
+        if write_response(&mut writer, status, &body.to_text(), keep_alive).is_err() {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Routes one request; returns `(status, body)`.
+fn route(ctx: &WorkerCtx, req: &Request) -> (u16, Json) {
+    ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let outcome = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/v1/healthz") => (
+            200,
+            Json::obj(vec![
+                ("status", Json::str("ok")),
+                (
+                    "models",
+                    Json::Arr(ctx.registry.names().into_iter().map(Json::Str).collect()),
+                ),
+            ]),
+        ),
+        ("GET", "/v1/stats") => {
+            let mut v = ctx.stats.to_json();
+            if let Json::Obj(members) = &mut v {
+                members.push((
+                    "model_reloads".into(),
+                    Json::num(ctx.registry.reloads() as f64),
+                ));
+                members.push((
+                    "model_reload_errors".into(),
+                    Json::num(ctx.registry.reload_errors() as f64),
+                ));
+            }
+            (200, v)
+        }
+        ("GET", "/v1/models") => {
+            let rows = ctx
+                .registry
+                .describe()
+                .into_iter()
+                .map(|(name, generation, languages, bytes)| {
+                    Json::obj(vec![
+                        ("name", Json::str(name)),
+                        ("generation", Json::num(generation as f64)),
+                        ("languages", Json::num(languages as f64)),
+                        ("size_bytes", Json::num(bytes as f64)),
+                    ])
+                })
+                .collect();
+            (200, Json::obj(vec![("models", Json::Arr(rows))]))
+        }
+        ("POST", "/v1/scan") => handle_scan(ctx, req),
+        ("POST", "/v1/shutdown") => {
+            ctx.handle.shutdown();
+            (200, Json::obj(vec![("status", Json::str("shutting down"))]))
+        }
+        (_, "/v1/healthz" | "/v1/stats" | "/v1/models" | "/v1/scan" | "/v1/shutdown") => (
+            405,
+            protocol::error_to_json(&format!("method {} not allowed here", req.method)),
+        ),
+        (_, path) => (
+            404,
+            protocol::error_to_json(&format!("no such route {path}")),
+        ),
+    };
+    match outcome.0 {
+        400..=499 => {
+            ctx.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        500..=599 => {
+            ctx.stats.server_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+    outcome
+}
+
+fn handle_scan(ctx: &WorkerCtx, req: &Request) -> (u16, Json) {
+    let start = Instant::now();
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return (400, protocol::error_to_json("body is not UTF-8")),
+    };
+    let value = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return (400, protocol::error_to_json(&format!("invalid JSON: {e}"))),
+    };
+    let scan = match protocol::parse_scan_request(&value) {
+        Ok(s) => s,
+        Err(e) => return (400, protocol::error_to_json(&e.to_string())),
+    };
+    let name = match scan.model.or_else(|| ctx.registry.default_name()) {
+        Some(n) => n,
+        None => {
+            return (
+                400,
+                protocol::error_to_json(
+                    "multiple models are loaded and none is named \"default\"; \
+                     pass \"model\" in the request",
+                ),
+            )
+        }
+    };
+    let handle = match ctx.registry.get(&name) {
+        Some(h) => h,
+        None => {
+            return (
+                404,
+                protocol::error_to_json(&format!("unknown model {name:?}")),
+            )
+        }
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = ScanJob {
+        handle: handle.clone(),
+        columns: scan.columns,
+        reply: reply_tx,
+    };
+    if ctx.job_tx.send(job).is_err() {
+        return (500, protocol::error_to_json("scan queue is closed"));
+    }
+    let result = match reply_rx.recv() {
+        Ok(Ok(r)) => r,
+        Ok(Err(msg)) => return (500, protocol::error_to_json(&format!("scan failed: {msg}"))),
+        Err(_) => return (500, protocol::error_to_json("scan worker disappeared")),
+    };
+    ctx.stats.scans_ok.fetch_add(1, Ordering::Relaxed);
+    ctx.stats
+        .findings
+        .fetch_add(result.findings.len() as u64, Ordering::Relaxed);
+    ctx.stats
+        .columns_scanned
+        .fetch_add(result.columns.len() as u64, Ordering::Relaxed);
+    ctx.stats.values_scored.fetch_add(
+        result.columns.iter().map(|c| c.values_scored).sum::<u64>(),
+        Ordering::Relaxed,
+    );
+    ctx.stats.record_model_hit(&handle.name);
+    ctx.stats.latency.record(start.elapsed());
+    (
+        200,
+        protocol::scan_response_to_json(
+            &handle.name,
+            handle.generation,
+            result.batched_with,
+            &result.findings,
+            &result.columns,
+        ),
+    )
+}

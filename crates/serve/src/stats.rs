@@ -1,0 +1,199 @@
+//! Cumulative server counters: request/scan totals, latency quantiles,
+//! and per-model hit counts — the `ScanReport`-style observability layer
+//! behind `GET /v1/stats`.
+//!
+//! Counters are lock-free atomics; latency is a fixed power-of-two
+//! histogram over microseconds (64 buckets cover ~18 minutes), so p50/p99
+//! are bucket-resolution estimates (≤2× error), never a sorted-vector
+//! scan on the hot path. Per-model hits take a short mutex — one map
+//! bump per request, negligible next to a scan.
+
+use crate::json::Json;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const BUCKETS: usize = 64;
+
+/// A power-of-two latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let micros = d.as_micros().min(u64::MAX as u128) as u64;
+        // Bucket i holds durations in [2^(i-1), 2^i) µs; bucket 0 is <1µs.
+        let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.5` = p50) as the upper bound of the bucket
+    /// the quantile falls in, in microseconds; `None` when empty.
+    pub fn quantile_micros(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(if i == 0 { 1 } else { 1u64 << i });
+            }
+        }
+        Some(1u64 << (BUCKETS - 1))
+    }
+}
+
+/// Cumulative counters for one server lifetime.
+#[derive(Debug)]
+pub struct ServerStats {
+    started: Instant,
+    /// Every request that reached the router.
+    pub requests: AtomicU64,
+    /// Successful `POST /v1/scan` requests.
+    pub scans_ok: AtomicU64,
+    /// Requests answered with a 4xx.
+    pub client_errors: AtomicU64,
+    /// Requests answered with a 5xx.
+    pub server_errors: AtomicU64,
+    /// Connections rejected `503` because the accept queue was full.
+    pub rejected_busy: AtomicU64,
+    /// Distinct values scored across all scans.
+    pub values_scored: AtomicU64,
+    /// Columns scanned across all scans.
+    pub columns_scanned: AtomicU64,
+    /// Findings returned across all scans.
+    pub findings: AtomicU64,
+    /// Engine dispatches (micro-batches); `scans_ok / batches` ≥ 1 is the
+    /// amortization factor.
+    pub batches: AtomicU64,
+    /// End-to-end scan-request latency.
+    pub latency: LatencyHistogram,
+    per_model: Mutex<HashMap<String, u64>>,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            scans_ok: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            server_errors: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            values_scored: AtomicU64::new(0),
+            columns_scanned: AtomicU64::new(0),
+            findings: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
+            per_model: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl ServerStats {
+    /// Counts one served scan against `model`.
+    pub fn record_model_hit(&self, model: &str) {
+        let mut map = self.per_model.lock().unwrap();
+        *map.entry(model.to_string()).or_insert(0) += 1;
+    }
+
+    /// Sorted `(model, hits)` pairs.
+    pub fn model_hits(&self) -> Vec<(String, u64)> {
+        let map = self.per_model.lock().unwrap();
+        let mut hits: Vec<(String, u64)> = map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        hits.sort();
+        hits
+    }
+
+    /// Snapshot as the `/v1/stats` JSON body.
+    pub fn to_json(&self) -> Json {
+        let get = |a: &AtomicU64| Json::num(a.load(Ordering::Relaxed) as f64);
+        let quant = |q: f64| {
+            self.latency
+                .quantile_micros(q)
+                .map_or(Json::Null, |v| Json::num(v as f64))
+        };
+        let per_model = self
+            .model_hits()
+            .into_iter()
+            .map(|(name, hits)| (name, Json::num(hits as f64)))
+            .collect();
+        Json::obj(vec![
+            (
+                "uptime_ms",
+                Json::num(self.started.elapsed().as_millis() as f64),
+            ),
+            ("requests", get(&self.requests)),
+            ("scans_ok", get(&self.scans_ok)),
+            ("client_errors", get(&self.client_errors)),
+            ("server_errors", get(&self.server_errors)),
+            ("rejected_busy", get(&self.rejected_busy)),
+            ("values_scored", get(&self.values_scored)),
+            ("columns_scanned", get(&self.columns_scanned)),
+            ("findings", get(&self.findings)),
+            ("batches", get(&self.batches)),
+            ("scan_latency_p50_us", quant(0.5)),
+            ("scan_latency_p99_us", quant(0.99)),
+            ("model_hits", Json::Obj(per_model)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_micros(0.5), None);
+        for micros in [10u64, 20, 40, 80, 5000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.quantile_micros(0.5).unwrap();
+        assert!((32..=64).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_micros(0.99).unwrap();
+        assert!(p99 >= 4096, "p99 {p99}");
+        // Quantiles never undershoot by more than a bucket: the p0+ε
+        // bucket bound is ≥ the smallest sample.
+        assert!(h.quantile_micros(0.01).unwrap() >= 10);
+    }
+
+    #[test]
+    fn stats_json_has_all_counters() {
+        let s = ServerStats::default();
+        s.requests.fetch_add(3, Ordering::Relaxed);
+        s.record_model_hit("prod");
+        s.record_model_hit("prod");
+        s.latency.record(Duration::from_micros(100));
+        let v = s.to_json();
+        assert_eq!(v.get("requests").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            v.get("model_hits").unwrap().get("prod").unwrap().as_u64(),
+            Some(2)
+        );
+        assert!(v.get("scan_latency_p50_us").unwrap().as_u64().is_some());
+        assert!(v.get("uptime_ms").is_some());
+    }
+}

@@ -1,0 +1,108 @@
+//! Hand-built miniature models for tests, benches, and smoke runs.
+//!
+//! Mirrors `adt-core`'s internal test kit (which is `pub(crate)` and
+//! compiled only under `cfg(test)`) using the public API, so the serve
+//! crate's integration tests and benches can stand up a server without
+//! paying for a real training run. Not a stable API.
+#![doc(hidden)]
+
+use adt_core::{AutoDetect, Calibration};
+use adt_corpus::{Column, Corpus, SourceTag};
+use adt_patterns::Language;
+use adt_stats::{LanguageStats, NpmiParams, StatsConfig};
+
+fn date_mix_corpus() -> Corpus {
+    let mut cols = Vec::new();
+    for i in 0..40 {
+        cols.push(Column::new(
+            vec![
+                format!("{}", 1900 + i),
+                format!("{},000", i + 1),
+                format!("{}", i * 7),
+            ],
+            SourceTag::Web,
+        ));
+        cols.push(Column::new(
+            vec![
+                format!("20{:02}-01-01", i % 30),
+                format!("20{:02}-02-02", (i + 1) % 30),
+            ],
+            SourceTag::Web,
+        ));
+        cols.push(Column::new(
+            vec![
+                format!("20{:02}/01/01", i % 30),
+                format!("20{:02}/02/02", (i + 1) % 30),
+            ],
+            SourceTag::Web,
+        ));
+    }
+    Corpus::from_columns(cols)
+}
+
+fn crude_language() -> (LanguageStats, Calibration) {
+    let stats = LanguageStats::build(
+        adt_patterns::crude::crude_language(),
+        &date_mix_corpus(),
+        &StatsConfig::default(),
+    );
+    let calibration = Calibration {
+        theta: Some(-0.4),
+        precision_at_theta: 1.0,
+        covered_negatives: vec![],
+        covered_positives: 0,
+        curve: vec![(-1.0, 0.99), (-0.4, 0.9), (0.0, 0.5), (1.0, 0.01)],
+    };
+    (stats, calibration)
+}
+
+/// A two-language model that flags ISO-vs-slash date mixes but accepts
+/// int / comma-int mixes — same shape as `adt-core`'s `tiny_model`.
+pub fn tiny_model() -> AutoDetect {
+    let (stats, calibration) = crude_language();
+    let stats_l1 = {
+        let mut cols = Vec::new();
+        for i in 0..40 {
+            cols.push(Column::new(
+                vec![format!("{}-{:02}", 2000 + i, i % 12 + 1)],
+                SourceTag::Web,
+            ));
+        }
+        LanguageStats::build(
+            Language::paper_l1(),
+            &Corpus::from_columns(cols),
+            &StatsConfig::default(),
+        )
+    };
+    let cal_l1 = Calibration {
+        theta: Some(-0.5),
+        precision_at_theta: 0.97,
+        covered_negatives: vec![],
+        covered_positives: 0,
+        curve: vec![(-1.0, 0.97), (-0.5, 0.8), (1.0, 0.0)],
+    };
+    AutoDetect {
+        languages: vec![
+            adt_core::detector::SelectedLanguage { stats, calibration },
+            adt_core::detector::SelectedLanguage {
+                stats: stats_l1,
+                calibration: cal_l1,
+            },
+        ],
+        npmi: NpmiParams { smoothing: 0.1 },
+        precision_target: 0.9,
+        max_distinct_values: 50,
+    }
+}
+
+/// A one-language variant, distinguishable from [`tiny_model`] by
+/// `num_languages` (and by file size) — used to observe hot-reloads.
+pub fn tiny_model_one_language() -> AutoDetect {
+    let (stats, calibration) = crude_language();
+    AutoDetect {
+        languages: vec![adt_core::detector::SelectedLanguage { stats, calibration }],
+        npmi: NpmiParams { smoothing: 0.1 },
+        precision_target: 0.9,
+        max_distinct_values: 50,
+    }
+}

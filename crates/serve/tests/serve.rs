@@ -1,0 +1,405 @@
+//! End-to-end tests of the detection service over real sockets: wire
+//! protocol edge cases, concurrent clients vs. a direct engine scan,
+//! hot-reload, backpressure, and graceful shutdown.
+
+use adt_core::{save_model, ScanEngine};
+use adt_corpus::{Column, SourceTag};
+use adt_serve::testutil::{tiny_model, tiny_model_one_language};
+use adt_serve::{Client, ClientError, Json, ModelRegistry, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmp_models(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("adt_serve_tests").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    save_model(&tiny_model(), dir.join("default.bin")).unwrap();
+    dir
+}
+
+fn start(name: &str, config: ServeConfig) -> (Client, adt_serve::ServerHandle, ServerJoin) {
+    let registry = ModelRegistry::open(tmp_models(name)).unwrap();
+    let server = Server::bind(config, registry).unwrap();
+    let (addr, handle, join) = server.spawn();
+    let client = Client::new(&addr.to_string())
+        .unwrap()
+        .with_timeout(Duration::from_secs(10));
+    let guard = ServerJoin {
+        handle: handle.clone(),
+        join: Some(join),
+    };
+    (client, handle, guard)
+}
+
+/// Stops and joins the server on drop, so a failing assertion unwinds
+/// into a clean teardown instead of deadlocking on a live accept loop.
+struct ServerJoin {
+    handle: adt_serve::ServerHandle,
+    join: Option<std::thread::JoinHandle<Result<(), adt_core::AdtError>>>,
+}
+
+impl ServerJoin {
+    fn finish(mut self) -> Result<(), adt_core::AdtError> {
+        self.join.take().unwrap().join().unwrap()
+    }
+}
+
+impl Drop for ServerJoin {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            self.handle.shutdown();
+            let _ = join.join();
+        }
+    }
+}
+
+fn dirty_columns() -> Vec<Column> {
+    let mut date = Column::from_strs(
+        &["2011-01-01", "2012-02-02", "2013-03-03", "2014/04/04"],
+        SourceTag::Local,
+    );
+    date.header = Some("date".into());
+    let mut amount = Column::from_strs(&["1", "2", "3,000"], SourceTag::Local);
+    amount.header = Some("amount".into());
+    vec![date, amount]
+}
+
+#[test]
+fn scan_round_trip_matches_direct_engine() {
+    let (client, handle, join) = start("round_trip", ServeConfig::default());
+    let columns = dirty_columns();
+    let response = client.scan(None, &columns).unwrap();
+    assert_eq!(response.model, "default");
+    assert_eq!(response.generation, 1);
+    assert_eq!(response.columns.len(), 2);
+    assert_eq!(response.columns[0].header.as_deref(), Some("date"));
+
+    let direct = ScanEngine::from_model(tiny_model())
+        .with_threads(1)
+        .scan_columns(&columns)
+        .unwrap();
+    assert_eq!(response.findings.len(), direct.findings.len());
+    for (remote, local) in response.findings.iter().zip(&direct.findings) {
+        assert_eq!(remote.column, local.column_index);
+        assert_eq!(remote.suspect, local.finding.suspect);
+        assert_eq!(remote.witness, local.finding.witness);
+        assert_eq!(remote.confidence, local.finding.confidence);
+        assert_eq!(remote.score, local.finding.score);
+    }
+    assert_eq!(response.findings[0].suspect, "2014/04/04");
+
+    handle.shutdown();
+    join.finish().unwrap();
+}
+
+#[test]
+fn wire_protocol_rejects_bad_requests_with_correct_codes() {
+    let config = ServeConfig {
+        max_body_bytes: 4096,
+        ..ServeConfig::default()
+    };
+    let (client, handle, join) = start("wire_protocol", config);
+
+    let status_of = |err: ClientError| match err {
+        ClientError::Status { status, .. } => status,
+        other => panic!("expected status error, got {other}"),
+    };
+
+    // Unknown route and wrong method.
+    assert_eq!(status_of(client.get("/v1/nope").unwrap_err()), 404);
+    assert_eq!(status_of(client.get("/v1/scan").unwrap_err()), 405);
+
+    // Unknown model.
+    let err = client.scan(Some("missing"), &dirty_columns()).unwrap_err();
+    match err {
+        ClientError::Status { status, message } => {
+            assert_eq!(status, 404);
+            assert!(message.contains("missing"), "{message}");
+        }
+        other => panic!("{other}"),
+    }
+
+    // Hand-rolled requests for the byte-level cases.
+    let raw = |payload: &str| -> u16 {
+        let mut s = TcpStream::connect(client.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(payload.as_bytes()).unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        buf.split_whitespace()
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no status in {buf:?}"))
+    };
+
+    // Malformed JSON body → 400.
+    let body = "{not json";
+    assert_eq!(
+        raw(&format!(
+            "POST /v1/scan HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )),
+        400
+    );
+    // Valid JSON, invalid message shape → 400.
+    let body = r#"{"columns": 7}"#;
+    assert_eq!(
+        raw(&format!(
+            "POST /v1/scan HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )),
+        400
+    );
+    // Oversized body → 413 without reading it.
+    assert_eq!(
+        raw("POST /v1/scan HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n"),
+        413
+    );
+    // Garbage request line → 400.
+    assert_eq!(raw("EHLO hi\r\n\r\n"), 400);
+    // Chunked framing → 411.
+    assert_eq!(
+        raw("POST /v1/scan HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+        411
+    );
+
+    // The server is still healthy after all of that.
+    let health = client.get("/v1/healthz").unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+
+    handle.shutdown();
+    join.finish().unwrap();
+}
+
+#[test]
+fn concurrent_clients_get_engine_identical_results() {
+    let config = ServeConfig {
+        workers: 4,
+        engine_threads: 2,
+        ..ServeConfig::default()
+    };
+    let (client, handle, join) = start("concurrency", config);
+
+    // Each client thread scans a distinct column set; expectations come
+    // from a direct single-threaded engine scan of the same columns.
+    let model = Arc::new(tiny_model());
+    let cases: Vec<Vec<Column>> = (0..8)
+        .map(|i| {
+            let mut cols = dirty_columns();
+            cols[0].values.push(format!("20{:02}-05-05", (i * 3) % 30));
+            if i % 2 == 0 {
+                cols.push(Column::from_strs(
+                    &["2011/01/01", "2011-02-02", "2011/03/03"],
+                    SourceTag::Local,
+                ));
+            }
+            cols
+        })
+        .collect();
+    let expected: Vec<Vec<String>> = cases
+        .iter()
+        .map(|cols| {
+            ScanEngine::new(Arc::clone(&model))
+                .with_threads(1)
+                .scan_columns(cols)
+                .unwrap()
+                .findings
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{}|{}|{}|{}|{}",
+                        f.column_index,
+                        f.finding.suspect,
+                        f.finding.witness,
+                        f.finding.confidence,
+                        f.finding.score
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    const ROUNDS: usize = 5;
+    let mut threads = Vec::new();
+    for (case, want) in cases.into_iter().zip(expected) {
+        let client = client.clone();
+        threads.push(std::thread::spawn(move || {
+            for _ in 0..ROUNDS {
+                let response = client.scan(None, &case).expect("scan failed");
+                let got: Vec<String> = response
+                    .findings
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{}|{}|{}|{}|{}",
+                            f.column, f.suspect, f.witness, f.confidence, f.score
+                        )
+                    })
+                    .collect();
+                assert_eq!(got, want, "served findings diverged from direct engine");
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let stats = client.get("/v1/stats").unwrap();
+    let scans = stats.get("scans_ok").and_then(Json::as_u64).unwrap();
+    assert_eq!(scans, 8 * ROUNDS as u64);
+    let batches = stats.get("batches").and_then(Json::as_u64).unwrap();
+    assert!(batches >= 1 && batches <= scans, "batches {batches}");
+    assert!(stats.get("scan_latency_p50_us").unwrap().as_u64().is_some());
+    assert_eq!(
+        stats
+            .get("model_hits")
+            .and_then(|m| m.get("default"))
+            .and_then(Json::as_u64),
+        Some(scans)
+    );
+
+    handle.shutdown();
+    join.finish().unwrap();
+}
+
+#[test]
+fn hot_reload_swaps_model_between_requests() {
+    let (client, handle, join) = start("hot_reload", ServeConfig::default());
+    let path = {
+        // Recover the registry dir from the test helper's convention.
+        std::env::temp_dir()
+            .join("adt_serve_tests")
+            .join("hot_reload")
+            .join("default.bin")
+    };
+
+    let before = client.scan(None, &dirty_columns()).unwrap();
+    assert_eq!(before.generation, 1);
+    let models = client.get("/v1/models").unwrap();
+    let row = &models.get("models").unwrap().as_arr().unwrap()[0];
+    assert_eq!(row.get("languages").and_then(Json::as_u64), Some(2));
+
+    // Retrain (atomically) to a distinguishable model.
+    save_model(&tiny_model_one_language(), &path).unwrap();
+
+    let after = client.scan(None, &dirty_columns()).unwrap();
+    assert_eq!(after.generation, 2, "hot-reload should bump generation");
+    let models = client.get("/v1/models").unwrap();
+    let row = &models.get("models").unwrap().as_arr().unwrap()[0];
+    assert_eq!(row.get("languages").and_then(Json::as_u64), Some(1));
+    let stats = client.get("/v1/stats").unwrap();
+    assert_eq!(stats.get("model_reloads").and_then(Json::as_u64), Some(1));
+
+    // Corrupt file: keeps serving the generation-2 model.
+    std::fs::write(&path, b"garbage").unwrap();
+    let stale = client.scan(None, &dirty_columns()).unwrap();
+    assert_eq!(stale.generation, 2);
+    let stats = client.get("/v1/stats").unwrap();
+    assert!(stats.get("model_reload_errors").and_then(Json::as_u64) >= Some(1));
+
+    handle.shutdown();
+    join.finish().unwrap();
+}
+
+#[test]
+fn full_queue_rejects_with_503_and_drains_after() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        io_timeout: Duration::from_secs(2),
+        ..ServeConfig::default()
+    };
+    let (client, handle, join) = start("busy", config);
+
+    // Occupy the single worker with an idle connection, fill the
+    // one-slot queue with another, then watch the third get shed.
+    let hold_worker = TcpStream::connect(client.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(300)); // let the worker adopt it
+    let hold_queue = TcpStream::connect(client.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut shed = TcpStream::connect(client.addr()).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = String::new();
+    shed.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 503"), "expected 503, got {buf:?}");
+    assert!(buf.contains("busy"), "{buf:?}");
+
+    drop(hold_worker);
+    drop(hold_queue);
+    // The worker frees up (idle holders closed) and normal service
+    // resumes — retry through the tail of the drain.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let response = loop {
+        match client.scan(None, &dirty_columns()) {
+            Ok(r) => break r,
+            Err(ClientError::Status { status: 503, .. })
+                if std::time::Instant::now() < deadline =>
+            {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(other) => panic!("scan did not recover after drain: {other}"),
+        }
+    };
+    assert!(!response.findings.is_empty());
+    let stats = client.get("/v1/stats").unwrap();
+    assert!(stats.get("rejected_busy").and_then(Json::as_u64) >= Some(1));
+
+    handle.shutdown();
+    join.finish().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let config = ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    };
+    let (client, handle, join) = start("shutdown", config);
+
+    // Clients hammer the server while another thread pulls the plug;
+    // every request that got a connection must get a complete response.
+    let mut threads = Vec::new();
+    for _ in 0..4 {
+        let client = client.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut completed = 0usize;
+            for _ in 0..20 {
+                match client.scan(None, &dirty_columns()) {
+                    Ok(response) => {
+                        assert_eq!(response.columns.len(), 2);
+                        completed += 1;
+                    }
+                    // Connection refused/reset after shutdown is fine;
+                    // a *served* request must never be half-answered.
+                    Err(ClientError::Io(_)) => break,
+                    Err(ClientError::Status { status: 503, .. }) => continue,
+                    Err(other) => panic!("unexpected failure: {other}"),
+                }
+            }
+            completed
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    client.shutdown().unwrap();
+    join.finish().unwrap();
+
+    let completed: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    assert!(completed > 0, "no request completed before shutdown");
+    // The listener is gone.
+    assert!(TcpStream::connect_timeout(&client.addr(), Duration::from_millis(500)).is_err());
+    // Idempotent from the handle side too.
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_endpoint_alone_stops_the_server() {
+    let (client, _handle, join) = start("shutdown_endpoint", ServeConfig::default());
+    client.shutdown().unwrap();
+    join.finish().unwrap();
+}

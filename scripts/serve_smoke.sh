@@ -1,0 +1,82 @@
+#!/bin/sh
+# Serving smoke test: train a tiny model with the real CLI, start
+# `autodetect serve` on an ephemeral port, round-trip a query, and shut
+# the server down cleanly.
+#
+#   scripts/serve_smoke.sh path/to/autodetect
+#
+# Exits non-zero if any step fails, if the known-dirty value is not
+# flagged, or if the server does not exit cleanly after `stop`.
+set -eu
+
+BIN=${1:?usage: serve_smoke.sh path/to/autodetect-binary}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/adt-serve-smoke.XXXXXX")
+SERVER_PID=""
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== serve smoke: training a miniature model"
+"$BIN" gen-corpus --columns 2500 --out "$WORK/corpus.jsonl" >/dev/null 2>&1
+mkdir -p "$WORK/models"
+"$BIN" train --corpus "$WORK/corpus.jsonl" --examples 5000 --space coarse \
+    --out "$WORK/models/default.bin" >/dev/null 2>&1
+
+cat > "$WORK/ledger.csv" <<'EOF'
+when,amount
+2019-03-01,120
+2019-03-02,95
+2019/03/04,130
+2019-03-05,88
+EOF
+
+echo "== serve smoke: starting server"
+"$BIN" serve --models "$WORK/models" --addr 127.0.0.1:0 \
+    > "$WORK/serve.out" 2> "$WORK/serve.err" &
+SERVER_PID=$!
+
+# Wait for the "listening on ADDR" banner (the bound ephemeral port).
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's/^listening on //p' "$WORK/serve.out" | head -n 1)
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "serve smoke FAILED: server exited early" >&2
+        cat "$WORK/serve.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+    echo "serve smoke FAILED: server never announced its address" >&2
+    exit 1
+fi
+echo "== serve smoke: server is at $ADDR"
+
+"$BIN" query --addr "$ADDR" "$WORK/ledger.csv" > "$WORK/query.out"
+if ! grep -q "2019/03/04" "$WORK/query.out"; then
+    echo "serve smoke FAILED: known-dirty value not flagged:" >&2
+    cat "$WORK/query.out" >&2
+    exit 1
+fi
+
+echo "== serve smoke: stopping server"
+"$BIN" stop --addr "$ADDR"
+
+# A clean shutdown returns promptly; the watchdog turns a hang into a
+# failed (killed → non-zero) wait instead of a stuck CI job.
+( sleep 30; kill "$SERVER_PID" 2>/dev/null ) &
+WATCHDOG=$!
+if ! wait "$SERVER_PID"; then
+    echo "serve smoke FAILED: server did not exit cleanly after stop" >&2
+    cat "$WORK/serve.err" >&2
+    exit 1
+fi
+SERVER_PID=""
+kill "$WATCHDOG" 2>/dev/null || true
+echo "serve smoke OK"

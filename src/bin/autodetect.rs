@@ -29,7 +29,7 @@ mod cli {
 
     /// Options that take a value; everything else starting with `--` is a
     /// boolean flag.
-    pub const VALUED: [&str; 12] = [
+    pub const VALUED: [&str; 16] = [
         "--out",
         "--model",
         "--corpus",
@@ -42,6 +42,10 @@ mod cli {
         "--top",
         "--space",
         "--threads",
+        "--models",
+        "--addr",
+        "--workers",
+        "--queue",
     ];
 
     /// Boolean flags (present or absent, no value).
@@ -151,6 +155,11 @@ USAGE:
   autodetect scan FILE.csv --model MODEL.json [--delimiter C] [--no-header]
                   [--top N] [--threads N] [--stream]
   autodetect check VALUE1 VALUE2 --model MODEL.json
+  autodetect serve --models DIR [--addr HOST:PORT] [--threads N]
+                   [--workers N] [--queue N]
+  autodetect query FILE.csv --addr HOST:PORT [--model NAME]
+                   [--delimiter C] [--no-header] [--top N]
+  autodetect stop --addr HOST:PORT
 
 Without --corpus, `train` generates a synthetic web-table corpus
 (--columns, default 20000) reproducing the paper's co-occurrence
@@ -159,7 +168,15 @@ parallel scan engine (--threads, default all cores) and prints ranked
 findings; --stream ingests the file with bounded memory instead of
 loading it whole. Findings are identical at any thread count and in
 either ingest mode. Model files ending in .bin use the compact binary
-codec; anything else is JSON.";
+codec; anything else is JSON.
+
+`serve` loads every model in --models DIR (name = file stem) and answers
+POST /v1/scan, GET /v1/healthz, GET /v1/stats, GET /v1/models, and
+POST /v1/shutdown on --addr (default 127.0.0.1:7171; port 0 picks an
+ephemeral one, printed as `listening on HOST:PORT`). Models hot-reload
+when their file changes. `query` round-trips a CSV through a running
+server and prints findings in `scan`'s format; `stop` shuts a server
+down gracefully, draining in-flight requests.";
 
 fn profile_by_name(name: &str, columns: usize) -> Result<CorpusProfile, String> {
     let mut p = match name {
@@ -290,6 +307,107 @@ fn cmd_scan(args: &cli::Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &cli::Args) -> Result<(), String> {
+    use auto_detect::serve::{ModelRegistry, ServeConfig, Server};
+    let dir = args
+        .options
+        .get("--models")
+        .ok_or("serve requires --models DIR (a directory of trained *.bin/*.json models)")?;
+    let config = ServeConfig {
+        addr: args.opt_or("--addr", "127.0.0.1:7171").to_string(),
+        engine_threads: args.num("--threads", 0usize)?,
+        workers: args.num("--workers", 0usize)?,
+        queue_capacity: args.num("--queue", 128usize)?,
+        ..ServeConfig::default()
+    };
+    let registry = ModelRegistry::open(dir).map_err(|e| e.to_string())?;
+    eprintln!(
+        "loaded {} model(s) from {dir}: {:?}",
+        registry.names().len(),
+        registry.names()
+    );
+    let server = Server::bind(config, registry).map_err(|e| e.to_string())?;
+    // To stdout, and flushed: smoke tests and orchestrators parse this
+    // line to discover an ephemeral port.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| e.to_string())?;
+    eprintln!("shut down cleanly");
+    Ok(())
+}
+
+fn cmd_query(args: &cli::Args) -> Result<(), String> {
+    use auto_detect::serve::Client;
+    let file = args
+        .positional
+        .get(1)
+        .ok_or("query requires a FILE.csv argument")?;
+    let addr = args
+        .options
+        .get("--addr")
+        .ok_or("query requires --addr HOST:PORT of a running `autodetect serve`")?;
+    let delim = args
+        .opt_or("--delimiter", ",")
+        .chars()
+        .next()
+        .unwrap_or(',');
+    let has_header = !args.has("--no-header");
+    let top = args.num("--top", 5usize)?;
+    let columns = load_csv(file, delim, has_header).map_err(|e| format!("loading {file}: {e}"))?;
+    let client = Client::new(addr).map_err(|e| e.to_string())?;
+    let response = client
+        .scan(args.options.get("--model").map(|s| s.as_str()), &columns)
+        .map_err(|e| format!("querying {addr}: {e}"))?;
+    let mut total = 0usize;
+    for col in &response.columns {
+        let header = col
+            .header
+            .clone()
+            .unwrap_or_else(|| format!("column {}", col.index + 1));
+        if col.findings == 0 {
+            println!("[{header}] ok");
+        } else {
+            println!("[{header}] {} finding(s):", col.findings);
+            for f in response
+                .findings
+                .iter()
+                .filter(|f| f.column == col.index)
+                .take(top)
+            {
+                println!(
+                    "    {:?} clashes with {:?} (confidence {:.2})",
+                    f.suspect, f.witness, f.confidence
+                );
+            }
+            total += col.findings;
+        }
+    }
+    println!(
+        "\n{total} suspicious value(s) across {} columns",
+        response.columns.len()
+    );
+    println!(
+        "served by model {:?} (generation {}, batched with {} other request(s))",
+        response.model, response.generation, response.batched_with
+    );
+    Ok(())
+}
+
+fn cmd_stop(args: &cli::Args) -> Result<(), String> {
+    use auto_detect::serve::Client;
+    let addr = args
+        .options
+        .get("--addr")
+        .ok_or("stop requires --addr HOST:PORT of a running `autodetect serve`")?;
+    let client = Client::new(addr).map_err(|e| e.to_string())?;
+    client
+        .shutdown()
+        .map_err(|e| format!("stopping {addr}: {e}"))?;
+    eprintln!("asked {addr} to shut down");
+    Ok(())
+}
+
 fn cmd_check(args: &cli::Args) -> Result<(), String> {
     let v1 = args.positional.get(1).ok_or("check requires two values")?;
     let v2 = args.positional.get(2).ok_or("check requires two values")?;
@@ -326,6 +444,9 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args),
         Some("scan") => cmd_scan(&args),
         Some("check") => cmd_check(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("query") => cmd_query(&args),
+        Some("stop") => cmd_stop(&args),
         _ => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

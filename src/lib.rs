@@ -21,5 +21,6 @@ pub use adt_core as core;
 pub use adt_corpus as corpus;
 pub use adt_eval as eval;
 pub use adt_patterns as patterns;
+pub use adt_serve as serve;
 pub use adt_sketch as sketch;
 pub use adt_stats as stats;

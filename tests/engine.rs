@@ -144,10 +144,12 @@ fn model_roundtrips_through_binary_codec() {
 
 #[test]
 fn errors_are_typed() {
-    // Missing model file surfaces as AdtError::Io, not a panic.
+    // Missing model file surfaces as a typed error naming the path.
     match load_model("/nonexistent/adt/model.bin") {
-        Err(AdtError::Io(_)) => {}
-        other => panic!("expected AdtError::Io, got {other:?}"),
+        Err(AdtError::ModelNotFound(path)) => {
+            assert!(path.contains("/nonexistent/adt/model.bin"), "{path}")
+        }
+        other => panic!("expected AdtError::ModelNotFound, got {other:?}"),
     }
     // Invalid configs are rejected at build time.
     assert!(matches!(

@@ -1,0 +1,132 @@
+//! End-to-end serving test through the `autodetect` binary: save a model,
+//! `autodetect serve`, `autodetect query` a CSV against it, `autodetect
+//! stop`, and check the server exits cleanly.
+
+use auto_detect::serve::testutil::tiny_model;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_autodetect")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join("adt_serve_cli_tests").join(name);
+    std::fs::remove_dir_all(&d).ok();
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Kills the server on drop so a failed assertion can't leak a process.
+struct Reap(Child);
+
+impl Drop for Reap {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn serve_query_stop_round_trip() {
+    let dir = tmp_dir("round_trip");
+    let models = dir.join("models");
+    std::fs::create_dir_all(&models).unwrap();
+    adt_core::save_model(&tiny_model(), models.join("default.bin")).unwrap();
+
+    let csv = dir.join("ledger.csv");
+    std::fs::write(
+        &csv,
+        "when,amount\n2019-03-01,120\n2019-03-02,95\n2019/03/04,130\n2019-03-05,88\n",
+    )
+    .unwrap();
+
+    let mut server = Reap(
+        Command::new(bin())
+            .args([
+                "serve",
+                "--models",
+                models.to_str().unwrap(),
+                "--addr",
+                "127.0.0.1:0",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap(),
+    );
+
+    // The server prints "listening on ADDR" once bound; read it to learn
+    // the ephemeral port.
+    let stdout = server.0.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .unwrap();
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            break rest.trim().to_string();
+        }
+    };
+
+    let query = Command::new(bin())
+        .args(["query", "--addr", &addr, csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = String::from_utf8_lossy(&query.stdout);
+    let err = String::from_utf8_lossy(&query.stderr);
+    assert!(query.status.success(), "query failed: {out}\n{err}");
+    assert!(out.contains("2019/03/04"), "slash date not flagged: {out}");
+    assert!(out.contains("served by model \"default\""), "{out}");
+
+    let stop = Command::new(bin())
+        .args(["stop", "--addr", &addr])
+        .output()
+        .unwrap();
+    assert!(
+        stop.status.success(),
+        "{}",
+        String::from_utf8_lossy(&stop.stderr)
+    );
+
+    // The server must now exit on its own, cleanly.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = server.0.try_wait().unwrap() {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "server did not exit after stop");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(status.success(), "server exited with {status}");
+}
+
+#[test]
+fn query_against_no_server_fails_cleanly() {
+    let dir = tmp_dir("no_server");
+    let csv = dir.join("x.csv");
+    std::fs::write(&csv, "a\n1\n").unwrap();
+    // Port 1 is essentially never listening.
+    let out = Command::new(bin())
+        .args(["query", "--addr", "127.0.0.1:1", csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
+#[test]
+fn serve_refuses_empty_model_dir() {
+    let dir = tmp_dir("empty_models");
+    let out = Command::new(bin())
+        .args(["serve", "--models", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("model"), "{stderr}");
+}
