@@ -19,6 +19,8 @@ if [ "${ADT_OFFLINE:-0}" = "1" ]; then
     echo "== serve smoke test (offline stubs)"
     scripts/offline_check.sh build --bin autodetect
     scripts/serve_smoke.sh "${ADT_OFFLINE_DIR:-/tmp/adt-offline-check}/target/debug/autodetect"
+    echo "== kernel bench report smoke (offline stubs)"
+    scripts/bench_report.sh quick
 else
     echo "== clippy"
     cargo clippy --workspace --all-targets -- -D warnings
@@ -27,6 +29,8 @@ else
     echo "== serve smoke test"
     cargo build --bin autodetect
     scripts/serve_smoke.sh target/debug/autodetect
+    echo "== kernel bench report smoke"
+    scripts/bench_report.sh quick
 fi
 
 echo "CI OK"

@@ -1,0 +1,53 @@
+//! Criterion bench: the pattern-group scoring kernel versus the naive
+//! value-pair reference scan (compiled via the `reference-kernel`
+//! feature) on the shared column shapes.
+//!
+//! Expected shape of the results: on `wide_duplicate` and
+//! `mixed_format` the group kernel wins by roughly d/d′ on the NPMI
+//! probe side (cold) and the warm run collapses further because the
+//! `NpmiMemo` answers every group-pair score; on `all_distinct` (d′ = d)
+//! the cold group run tracks the reference to within bookkeeping
+//! overhead — the kernel must never lose badly on its worst case.
+
+use adt_bench::kernel_bench::{bench_model, shape_counts, shape_width, SHAPES};
+use adt_core::{Aggregator, PatternCache};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_kernel_groups(c: &mut Criterion) {
+    let model = bench_model();
+    for shape in SHAPES {
+        let d = shape_width(shape, false);
+        let counts = shape_counts(shape, d);
+        let mut group = c.benchmark_group(format!("kernel_{shape}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements((d * d.saturating_sub(1) / 2) as u64));
+        group.bench_function("group_cold", |b| {
+            b.iter(|| {
+                let mut cache = PatternCache::new();
+                black_box(model.scan_value_counts(&counts, Aggregator::AutoDetect, &mut cache))
+            })
+        });
+        group.bench_function("group_warm", |b| {
+            let mut cache = PatternCache::new();
+            model.scan_value_counts(&counts, Aggregator::AutoDetect, &mut cache);
+            b.iter(|| {
+                black_box(model.scan_value_counts(&counts, Aggregator::AutoDetect, &mut cache))
+            })
+        });
+        group.bench_function("reference", |b| {
+            b.iter(|| {
+                let mut cache = PatternCache::new();
+                black_box(model.scan_value_counts_reference(
+                    &counts,
+                    Aggregator::AutoDetect,
+                    &mut cache,
+                ))
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernel_groups);
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! Machine-readable perf report for the pattern-group scan kernel.
+//!
+//! Races the group kernel (cold cache and warm cache) against the naive
+//! value-pair reference on the shared bench shapes, checks the two
+//! kernels still agree byte-for-byte, and writes a JSON report with
+//! per-shape median ns/op and NPMI probe counters. JSON is hand-rolled:
+//! the report must also work in the offline CI harness, whose
+//! `serde_json` stub cannot serialize.
+//!
+//!   bench_report [--quick] [--iters N] [--out PATH]
+//!
+//! `--quick` halves the shape widths and iteration count — the CI smoke
+//! configuration (`scripts/bench_report.sh quick`). Timings from a
+//! debug build are only good for the probe-ratio columns; use
+//! `scripts/bench_report.sh` (release, full widths) for real numbers.
+
+use adt_bench::kernel_bench::{bench_model, shape_counts, shape_width, SHAPES};
+use adt_core::{Aggregator, AutoDetect, PatternCache};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct ShapeReport {
+    shape: &'static str,
+    d: usize,
+    groups_per_language: Vec<u64>,
+    group_cold_ns: u64,
+    group_warm_ns: u64,
+    reference_ns: u64,
+    group_probes: u64,
+    group_memo_hits: u64,
+    reference_probes: u64,
+}
+
+impl ShapeReport {
+    /// Reference probes per cold group-kernel probe (the ≥3× acceptance
+    /// ratio on duplicate-heavy shapes).
+    fn probe_ratio(&self) -> f64 {
+        self.reference_probes as f64 / (self.group_probes.max(1)) as f64
+    }
+}
+
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn run_shape(model: &AutoDetect, shape: &'static str, quick: bool, iters: usize) -> ShapeReport {
+    let d = shape_width(shape, quick);
+    let counts = shape_counts(shape, d);
+
+    // Counters and the differential check come from one instrumented run
+    // of each kernel.
+    let (group_findings, group_stats) =
+        model.scan_value_counts(&counts, Aggregator::AutoDetect, &mut PatternCache::new());
+    let (ref_findings, ref_stats) = model.scan_value_counts_reference(
+        &counts,
+        Aggregator::AutoDetect,
+        &mut PatternCache::new(),
+    );
+    if format!("{group_findings:?}") != format!("{ref_findings:?}") {
+        eprintln!("FAIL: kernels disagree on shape {shape} (d={d})");
+        std::process::exit(1);
+    }
+
+    let group_cold_ns = median_ns(iters, || {
+        let mut cache = PatternCache::new();
+        black_box(model.scan_value_counts(&counts, Aggregator::AutoDetect, &mut cache));
+    });
+    let mut warm = PatternCache::new();
+    model.scan_value_counts(&counts, Aggregator::AutoDetect, &mut warm);
+    let group_warm_ns = median_ns(iters, || {
+        black_box(model.scan_value_counts(&counts, Aggregator::AutoDetect, &mut warm));
+    });
+    let reference_ns = median_ns(iters, || {
+        let mut cache = PatternCache::new();
+        black_box(model.scan_value_counts_reference(&counts, Aggregator::AutoDetect, &mut cache));
+    });
+
+    ShapeReport {
+        shape,
+        d,
+        groups_per_language: group_stats.groups_per_language.clone(),
+        group_cold_ns,
+        group_warm_ns,
+        reference_ns,
+        group_probes: group_stats.npmi_probes,
+        group_memo_hits: group_stats.npmi_memo_hits,
+        reference_probes: ref_stats.npmi_probes,
+    }
+}
+
+fn json_report(mode: &str, iters: usize, shapes: &[ShapeReport]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"scan_kernels\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "dev"
+        } else {
+            "release"
+        }
+    ));
+    s.push_str(&format!("  \"iters\": {iters},\n"));
+    s.push_str("  \"shapes\": [\n");
+    for (i, r) in shapes.iter().enumerate() {
+        let groups: Vec<String> = r.groups_per_language.iter().map(u64::to_string).collect();
+        s.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"d\": {}, \"groups_per_language\": [{}], \
+             \"group_cold_median_ns\": {}, \"group_warm_median_ns\": {}, \
+             \"reference_median_ns\": {}, \"group_npmi_probes\": {}, \
+             \"group_npmi_memo_hits\": {}, \"reference_npmi_probes\": {}, \
+             \"probe_ratio\": {:.2}}}{}\n",
+            r.shape,
+            r.d,
+            groups.join(", "),
+            r.group_cold_ns,
+            r.group_warm_ns,
+            r.reference_ns,
+            r.group_probes,
+            r.group_memo_hits,
+            r.reference_probes,
+            r.probe_ratio(),
+            if i + 1 < shapes.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut iters: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next(),
+            "--iters" => iters = args.next().and_then(|s| s.parse().ok()),
+            other => {
+                eprintln!("usage: bench_report [--quick] [--iters N] [--out PATH] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let iters = iters.unwrap_or(if quick { 9 } else { 41 });
+    let mode = if quick { "quick" } else { "full" };
+
+    eprintln!("[bench_report] training bench model…");
+    let model = bench_model();
+    let reports: Vec<ShapeReport> = SHAPES
+        .iter()
+        .map(|shape| run_shape(&model, shape, quick, iters))
+        .collect();
+
+    println!(
+        "{:<16} {:>5} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "shape", "d", "group_cold_ns", "group_warm_ns", "reference_ns", "ref_probes", "probe_ratio"
+    );
+    for r in &reports {
+        println!(
+            "{:<16} {:>5} {:>14} {:>14} {:>14} {:>12} {:>11.1}x",
+            r.shape,
+            r.d,
+            r.group_cold_ns,
+            r.group_warm_ns,
+            r.reference_ns,
+            r.reference_probes,
+            r.probe_ratio()
+        );
+    }
+
+    let json = json_report(mode, iters, &reports);
+    if let Some(path) = out {
+        std::fs::write(&path, &json).unwrap_or_else(|e| {
+            eprintln!("FAIL: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[bench_report] wrote {path}");
+    } else {
+        print!("{json}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Shared fixtures for the pattern-group kernel benchmarks
+//! (`benches/kernel_groups.rs` and `src/bin/bench_report.rs`): one
+//! trained model plus deterministic column shapes spanning the kernel's
+//! best case (duplicate-heavy, d′ ≪ d), the typical case (mixed
+//! formats), and the worst case (all-distinct patterns, d′ = d).
+//!
+//! Shapes are pure functions of `(name, d)` — no RNG — so bench numbers
+//! and the JSON report are reproducible run to run.
+
+use adt_core::{train, AutoDetect, AutoDetectConfig, LanguageSpace};
+use adt_corpus::{generate_corpus, CorpusProfile};
+
+/// The shapes the kernel is measured on, best → worst case for the
+/// group collapse.
+pub const SHAPES: [&str; 3] = ["wide_duplicate", "mixed_format", "all_distinct"];
+
+/// Trains a small Coarse36 model on a clean WEB-profile corpus — the
+/// same recipe as the scan-engine bench, sized to train in seconds. The
+/// distinct-value cap is raised so the wide bench shapes are scored in
+/// full rather than pruned.
+pub fn bench_model() -> AutoDetect {
+    let mut cp = CorpusProfile::web(1_000);
+    cp.dirty_rate = 0.0;
+    let corpus = generate_corpus(&cp);
+    let cfg = AutoDetectConfig::builder()
+        .training_examples(2_000)
+        .space(LanguageSpace::Coarse36)
+        .max_distinct_values(512)
+        .build()
+        .expect("valid config");
+    let (model, _) = train(&corpus, &cfg).expect("training failed");
+    model
+}
+
+/// A deterministic distinct-value multiset of size `d` for `shape`.
+pub fn shape_counts(shape: &str, d: usize) -> Vec<(String, usize)> {
+    match shape {
+        // d−1 four-digit years plus one slash date: a handful of pattern
+        // groups no matter how wide the column gets.
+        "wide_duplicate" => (0..d.saturating_sub(1))
+            .map(|i| (format!("{}", 1900 + i), 1 + i % 3))
+            .chain(std::iter::once(("2014/04/04".to_string(), 1)))
+            .collect(),
+        // Four interleaved format families; distinct values, but only a
+        // few pattern groups per language.
+        "mixed_format" => (0..d)
+            .map(|i| {
+                let v = match i % 4 {
+                    0 => format!("1{i:03}-{:02}-01", i % 12 + 1),
+                    1 => format!("1{i:03}/{:02}/02", i % 12 + 1),
+                    2 => format!("{},{:03}", i + 1, (i * 37) % 1000),
+                    _ => format!("{}", 10_000 + i),
+                };
+                (v, 1 + i % 2)
+            })
+            .collect(),
+        // Unique run-length shapes: every value is its own pattern group
+        // under the length-preserving languages, so the kernel degrades
+        // to the reference's probe count.
+        "all_distinct" => (0..d)
+            .map(|i| (format!("{}{}", "x".repeat(i + 1), "7".repeat(i)), 1))
+            .collect(),
+        other => panic!("unknown bench shape {other:?}"),
+    }
+}
+
+/// The distinct-value width used for `shape` (`quick` halves the work
+/// for CI smoke runs).
+pub fn shape_width(shape: &str, quick: bool) -> usize {
+    match (shape, quick) {
+        ("all_distinct", true) => 40,
+        ("all_distinct", false) => 64,
+        (_, true) => 96,
+        (_, false) => 224,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_distinct_value_multisets() {
+        for shape in SHAPES {
+            for quick in [true, false] {
+                let d = shape_width(shape, quick);
+                let counts = shape_counts(shape, d);
+                assert_eq!(counts.len(), d, "{shape}");
+                let mut values: Vec<&str> = counts.iter().map(|(v, _)| v.as_str()).collect();
+                values.sort_unstable();
+                values.dedup();
+                assert_eq!(values.len(), d, "{shape} has duplicate values");
+                assert!(counts.iter().all(|(_, c)| *c >= 1), "{shape}");
+            }
+        }
+    }
+}

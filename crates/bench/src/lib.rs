@@ -11,6 +11,8 @@
 //! run). Results are written to `results/*.json` next to the printed
 //! tables.
 
+pub mod kernel_bench;
+
 use adt_baselines::{
     CdmDetector, DbodDetector, DboostDetector, Detector, FRegexDetector, LinearDetector,
     LinearPDetector, LofDetector, LsaDetector, PotterWheelDetector, SvddDetector, UnionDetector,

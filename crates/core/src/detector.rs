@@ -5,14 +5,33 @@
 //! scores all distinct-value pairs; a pair is predicted incompatible when
 //! any language fires (`s_k ≤ θ_k`, ST aggregation), ranked by the
 //! max-confidence estimate `Q = max_k P_k(s_k)` (Appendix B).
+//!
+//! # The pattern-group kernel
+//!
+//! NPMI is a function of *patterns*, not values: every value pair whose
+//! members generalize identically under a language scores identically.
+//! Real columns are duplicate-heavy at the pattern level (a thousand
+//! distinct integers are a handful of digit-run patterns), so the scan
+//! collapses the `d` distinct values of a column to `d′ ≤ d` distinct
+//! pattern groups per language, computes one `d′×d′` NPMI matrix over
+//! groups, and evaluates all pair decisions group-wise:
+//! `O(K·d′²)` count probes plus `O(K·d·d′)` arithmetic instead of the
+//! naive `O(K·d²)` probes. Findings are byte-identical to the naive
+//! value-pair scan (kept as the differential-test reference under
+//! `cfg(test)` / the `reference-kernel` feature): matrix entries are
+//! bit-equal (`npmi_patterns(p, p)` is exactly `1.0`, matching the group
+//! diagonal), flag degrees are exact integer sums, and every tie-break
+//! the naive path takes is replayed per-pair on the rare shapes where it
+//! can trigger.
 
 use crate::aggregate::Aggregator;
 use crate::calibrate::Calibration;
 use adt_corpus::Column;
 use adt_patterns::PatternHash;
-use adt_stats::{LanguageStats, NpmiParams};
+use adt_stats::memo::DEFAULT_MEMO_CAPACITY;
+use adt_stats::{FxHashMap, FxHasher, LanguageStats, NpmiMatrix, NpmiMemo, NpmiParams};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 /// One selected language with its statistics and calibration.
@@ -63,23 +82,65 @@ pub struct ColumnFinding {
     pub score: f64,
 }
 
-/// Memoized per-value pattern hashes, one entry per selected language.
+/// Default cap on memoized values per [`PatternCache`]. A cache entry is
+/// the value string plus one hash per language; at the cap the map stays
+/// in the tens of megabytes even for pathological value lengths.
+pub const DEFAULT_VALUE_CAPACITY: usize = 1 << 16;
+
+/// Per-worker scan memory: value → pattern hashes, plus one bounded
+/// NPMI pair-score memo per selected language.
 ///
 /// Generalizing a value is the per-value hot path of a scan (run-length
 /// tokenization under every language). Values repeat heavily across the
 /// columns of real tables, so workers keep one cache alive across the
 /// columns they scan: each distinct value is generalized exactly once
 /// under *all* languages, then shared for the rest of the worker's life.
-/// A cache is tied to the model it was first used with.
-#[derive(Debug, Default)]
+/// The per-language memos let the group kernel skip recomputing NPMI for
+/// pattern pairs it has already scored in earlier columns.
+///
+/// Both layers are bounded: at capacity they flush wholesale
+/// (deterministic generational eviction), so unbounded distinct traffic
+/// — a long-lived serve worker fed adversarial columns — costs
+/// recomputation, never memory. Cached hashes and memoized scores are
+/// meaningful only for the model that produced them, so the cache stamps
+/// itself with the model's [`AutoDetect::fingerprint`] on first use and
+/// silently resets (counted in [`PatternCache::rebinds`]) when handed a
+/// different model.
+#[derive(Debug)]
 pub struct PatternCache {
-    map: HashMap<String, Vec<PatternHash>>,
+    map: FxHashMap<String, Vec<PatternHash>>,
+    memos: Vec<NpmiMemo>,
+    fingerprint: Option<u64>,
+    value_capacity: usize,
+    memo_capacity: usize,
+    value_flushes: u64,
+    rebinds: u64,
+}
+
+impl Default for PatternCache {
+    fn default() -> Self {
+        PatternCache::with_capacity(DEFAULT_VALUE_CAPACITY, DEFAULT_MEMO_CAPACITY)
+    }
 }
 
 impl PatternCache {
-    /// An empty cache.
+    /// An empty cache with default capacities.
     pub fn new() -> Self {
         PatternCache::default()
+    }
+
+    /// An empty cache holding at most `value_capacity` generalized values
+    /// and `memo_capacity` pair scores per language (each min 1).
+    pub fn with_capacity(value_capacity: usize, memo_capacity: usize) -> Self {
+        PatternCache {
+            map: FxHashMap::default(),
+            memos: Vec::new(),
+            fingerprint: None,
+            value_capacity: value_capacity.max(1),
+            memo_capacity: memo_capacity.max(1),
+            value_flushes: 0,
+            rebinds: 0,
+        }
     }
 
     /// Number of memoized values.
@@ -92,21 +153,84 @@ impl PatternCache {
         self.map.is_empty()
     }
 
-    /// Ensures `value` is memoized, generalizing it under every language
-    /// of `model` on first sight.
-    fn ensure(&mut self, model: &AutoDetect, value: &str) {
-        if !self.map.contains_key(value) {
-            let hashes = model
-                .languages
-                .iter()
-                .map(|l| l.stats.pattern_of(value))
+    /// The cap on memoized values.
+    pub fn value_capacity(&self) -> usize {
+        self.value_capacity
+    }
+
+    /// Wholesale value-map evictions performed to stay under the cap.
+    pub fn value_flushes(&self) -> u64 {
+        self.value_flushes
+    }
+
+    /// Times the cache was handed a model other than the one it was
+    /// stamped with (each reset the whole cache).
+    pub fn rebinds(&self) -> u64 {
+        self.rebinds
+    }
+
+    /// Fingerprint of the model this cache is bound to, if any.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
+    }
+
+    /// Total memoized NPMI pair scores across languages.
+    pub fn memo_len(&self) -> usize {
+        self.memos.iter().map(|m| m.len()).sum()
+    }
+
+    /// Lifetime NPMI memo hits across languages.
+    pub fn memo_hits(&self) -> u64 {
+        self.memos.iter().map(|m| m.hits()).sum()
+    }
+
+    /// Lifetime NPMI memo misses (fresh probes) across languages.
+    pub fn memo_misses(&self) -> u64 {
+        self.memos.iter().map(|m| m.misses()).sum()
+    }
+
+    /// Stamps the cache with `model`, resetting it first when it was
+    /// bound to a different model (hashes and scores don't transfer).
+    fn bind(&mut self, model: &AutoDetect) {
+        let fp = model.fingerprint();
+        if self.fingerprint != Some(fp) {
+            if self.fingerprint.is_some() {
+                self.rebinds += 1;
+                self.map.clear();
+            }
+            self.memos = (0..model.languages.len())
+                .map(|_| NpmiMemo::with_capacity(self.memo_capacity))
                 .collect();
-            self.map.insert(value.to_string(), hashes);
+            self.fingerprint = Some(fp);
         }
     }
 
-    fn get(&self, value: &str) -> &[PatternHash] {
-        &self.map[value]
+    fn memo_mut(&mut self, k: usize) -> &mut NpmiMemo {
+        &mut self.memos[k]
+    }
+
+    /// Appends `value`'s hash under every language of `model` to the
+    /// per-language columns of `out`, generalizing on first sight.
+    fn append_hashes(&mut self, model: &AutoDetect, value: &str, out: &mut [Vec<PatternHash>]) {
+        if let Some(hs) = self.map.get(value) {
+            for (k, &h) in hs.iter().enumerate() {
+                out[k].push(h);
+            }
+            return;
+        }
+        let hs: Vec<PatternHash> = model
+            .languages
+            .iter()
+            .map(|l| l.stats.pattern_of(value))
+            .collect();
+        for (k, &h) in hs.iter().enumerate() {
+            out[k].push(h);
+        }
+        if self.map.len() >= self.value_capacity {
+            self.map.clear();
+            self.value_flushes += 1;
+        }
+        self.map.insert(value.to_string(), hs);
     }
 }
 
@@ -125,6 +249,16 @@ pub struct ScanStats {
     /// Pairs skipped by the distinct-value cap (rare tail values beyond
     /// `max_distinct_values` never enter the d×d matrices).
     pub pairs_pruned: u64,
+    /// NPMI scores actually computed from count probes. The group kernel
+    /// needs at most `K·C(d′,2)` of these per column versus the naive
+    /// `K·C(d,2)`; the memo reduces it further.
+    pub npmi_probes: u64,
+    /// NPMI scores answered from the per-worker pair-score memo.
+    pub npmi_memo_hits: u64,
+    /// Distinct pattern groups per language, summed over scanned columns
+    /// (index = position in [`AutoDetect::languages`]). Together with
+    /// `values_scored` this exposes the d′/d collapse ratio.
+    pub groups_per_language: Vec<u64>,
     /// Surviving findings attributed to each language (index = position
     /// in [`AutoDetect::languages`]).
     pub findings_per_language: Vec<u64>,
@@ -138,6 +272,7 @@ impl ScanStats {
     /// A zeroed stats block sized for `num_languages`.
     pub fn for_languages(num_languages: usize) -> Self {
         ScanStats {
+            groups_per_language: vec![0; num_languages],
             findings_per_language: vec![0; num_languages],
             ..ScanStats::default()
         }
@@ -149,6 +284,19 @@ impl ScanStats {
         self.pairs_scored += other.pairs_scored;
         self.pairs_flagged += other.pairs_flagged;
         self.pairs_pruned += other.pairs_pruned;
+        self.npmi_probes += other.npmi_probes;
+        self.npmi_memo_hits += other.npmi_memo_hits;
+        if self.groups_per_language.len() < other.groups_per_language.len() {
+            self.groups_per_language
+                .resize(other.groups_per_language.len(), 0);
+        }
+        for (a, b) in self
+            .groups_per_language
+            .iter_mut()
+            .zip(&other.groups_per_language)
+        {
+            *a += b;
+        }
         if self.findings_per_language.len() < other.findings_per_language.len() {
             self.findings_per_language
                 .resize(other.findings_per_language.len(), 0);
@@ -165,6 +313,27 @@ impl ScanStats {
     }
 }
 
+/// A flagged pair of joint pattern groups with its pair-level verdict
+/// (identical for every member value pair).
+struct FlaggedClassPair {
+    a: usize,
+    b: usize,
+    confidence: f64,
+    k: usize,
+    score: f64,
+}
+
+/// Attribution candidate kept per suspect while replaying the naive
+/// best-finding semantics: max confidence wins, confidence ties go to
+/// the earliest-enumerated value pair (`enum_key = u·d + v`, `u < v`).
+struct BestFinding {
+    confidence: f64,
+    enum_key: u64,
+    witness: usize,
+    k: usize,
+    score: f64,
+}
+
 impl AutoDetect {
     /// Number of selected languages.
     pub fn num_languages(&self) -> usize {
@@ -179,6 +348,34 @@ impl AutoDetect {
     /// Calibrations of the selected languages, in order.
     pub fn calibrations(&self) -> Vec<&Calibration> {
         self.languages.iter().map(|l| &l.calibration).collect()
+    }
+
+    /// A cheap structural fingerprint of the model, used to stamp
+    /// [`PatternCache`]s: two models that fingerprint differently must
+    /// not share cached hashes or memoized scores.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FxHasher::default();
+        self.languages.len().hash(&mut h);
+        for l in &self.languages {
+            l.stats.language.hash(&mut h);
+            l.stats.n_columns.hash(&mut h);
+            (l.stats.distinct_patterns() as u64).hash(&mut h);
+            l.calibration
+                .theta
+                .unwrap_or(f64::NAN)
+                .to_bits()
+                .hash(&mut h);
+            l.calibration.precision_at_theta.to_bits().hash(&mut h);
+            l.calibration.curve.len().hash(&mut h);
+            for &(s, p) in &l.calibration.curve {
+                s.to_bits().hash(&mut h);
+                p.to_bits().hash(&mut h);
+            }
+        }
+        self.npmi.smoothing.to_bits().hash(&mut h);
+        self.precision_target.to_bits().hash(&mut h);
+        self.max_distinct_values.hash(&mut h);
+        h.finish()
     }
 
     /// Scores one value pair under every selected language.
@@ -216,7 +413,7 @@ impl AutoDetect {
     /// Distinct values of a column, most frequent first, capped. Returns
     /// the capped list plus the uncapped distinct count.
     fn distinct_capped<'a>(&self, column: &'a Column) -> (Vec<(&'a str, usize)>, usize) {
-        let mut counts: HashMap<&str, usize> = HashMap::new();
+        let mut counts: FxHashMap<&str, usize> = FxHashMap::default();
         for v in column.non_empty_values() {
             *counts.entry(v).or_insert(0) += 1;
         }
@@ -249,11 +446,11 @@ impl AutoDetect {
     /// The instrumented scan primitive behind every detection surface.
     ///
     /// Identical findings to [`AutoDetect::detect_column_with`], plus the
-    /// scan's [`ScanStats`]. `cache` memoizes value generalization across
-    /// calls; [`crate::engine::ScanEngine`] keeps one per worker thread.
-    /// Findings depend only on the column's contents, never on the cache's
-    /// prior state or the calling thread — this is what makes parallel
-    /// scans byte-identical to serial ones.
+    /// scan's [`ScanStats`]. `cache` memoizes value generalization and
+    /// pattern-pair scores across calls; [`crate::engine::ScanEngine`]
+    /// keeps one per worker thread. Findings depend only on the column's
+    /// contents, never on the cache's prior state or the calling thread —
+    /// this is what makes parallel scans byte-identical to serial ones.
     pub fn scan_column(
         &self,
         column: &Column,
@@ -284,6 +481,9 @@ impl AutoDetect {
         self.scan_pairs(&distinct, total_distinct, aggregator, cache)
     }
 
+    /// The pattern-group scoring kernel (see the module docs). Findings
+    /// and pair counters are byte-identical to
+    /// [`AutoDetect::scan_pairs_reference`].
     fn scan_pairs(
         &self,
         distinct: &[(&str, usize)],
@@ -292,7 +492,8 @@ impl AutoDetect {
         cache: &mut PatternCache,
     ) -> (Vec<ColumnFinding>, ScanStats) {
         let d = distinct.len();
-        let mut stats = ScanStats::for_languages(self.languages.len());
+        let num_langs = self.languages.len();
+        let mut stats = ScanStats::for_languages(num_langs);
         stats.values_scored = d as u64;
         stats.pairs_scored = (d * d.saturating_sub(1) / 2) as u64;
         stats.pairs_pruned =
@@ -300,126 +501,125 @@ impl AutoDetect {
         if d < 2 {
             return (Vec::new(), stats);
         }
+        cache.bind(self);
+
         // Generalize every distinct value once under all languages (cache
-        // hits skip the work entirely), then view per-language.
+        // hits skip the work entirely), viewed per-language.
         let hash_start = Instant::now();
+        let mut hashes: Vec<Vec<PatternHash>> =
+            (0..num_langs).map(|_| Vec::with_capacity(d)).collect();
         for (v, _) in distinct {
-            cache.ensure(self, v);
+            cache.append_hashes(self, v, &mut hashes);
         }
-        let hashes: Vec<Vec<PatternHash>> = (0..self.languages.len())
-            .map(|k| distinct.iter().map(|(v, _)| cache.get(v)[k]).collect())
-            .collect();
         stats.hash_nanos = hash_start.elapsed().as_nanos() as u64;
         let score_start = Instant::now();
         let calibrations: Vec<&Calibration> = self.calibrations();
 
-        // Full per-language NPMI matrices over distinct values (flattened
-        // d×d, symmetric, diagonal 1.0). These drive both pair flagging
-        // and suspect attribution.
-        let matrices: Vec<Vec<f64>> = self
-            .languages
-            .iter()
-            .enumerate()
-            .map(|(k, l)| {
-                let mut m = vec![1.0f64; d * d];
-                for i in 0..d {
-                    for j in (i + 1)..d {
-                        let s = l.stats.npmi_patterns(hashes[k][i], hashes[k][j], self.npmi);
-                        m[i * d + j] = s;
-                        m[j * d + i] = s;
-                    }
+        // Group stage: per language, collapse values to distinct-pattern
+        // groups in first-seen order. `group_of[k][i]` is value i's group
+        // under language k; `group_patterns[k]` the group representatives.
+        let mut group_of: Vec<Vec<u32>> = Vec::with_capacity(num_langs);
+        let mut group_patterns: Vec<Vec<PatternHash>> = Vec::with_capacity(num_langs);
+        for hs in &hashes {
+            let mut ids: FxHashMap<u64, u32> = FxHashMap::default();
+            let mut of = Vec::with_capacity(d);
+            let mut pats: Vec<PatternHash> = Vec::new();
+            for &h in hs {
+                let next = pats.len() as u32;
+                let g = *ids.entry(h.0).or_insert(next);
+                if g == next {
+                    pats.push(h);
                 }
-                m
-            })
-            .collect();
+                of.push(g);
+            }
+            group_of.push(of);
+            group_patterns.push(pats);
+        }
+        for (k, pats) in group_patterns.iter().enumerate() {
+            stats.groups_per_language[k] += pats.len() as u64;
+        }
 
-        // Per-language, per-value compatibility with the rest of the
-        // column: count-weighted mean NPMI against every other distinct
-        // value. An intruder is incompatible with *most* of the column,
-        // so the pair member with the lower compatibility is the suspect.
-        let compat: Vec<Vec<f64>> = matrices
+        // Probe stage: one d′×d′ NPMI matrix per language over pattern
+        // groups, served from the per-worker memo where possible. Entries
+        // are bit-identical to the naive per-value matrix: same
+        // `npmi_patterns` calls, and the diagonal 1.0 equals the
+        // identical-pattern early return.
+        let mut matrices: Vec<NpmiMatrix> = Vec::with_capacity(num_langs);
+        for (k, l) in self.languages.iter().enumerate() {
+            let m = l
+                .stats
+                .npmi_matrix(&group_patterns[k], self.npmi, Some(cache.memo_mut(k)));
+            stats.npmi_probes += m.probes;
+            stats.npmi_memo_hits += m.memo_hits;
+            matrices.push(m);
+        }
+
+        // Joint groups: values equivalent under *every* language form one
+        // equivalence class (successive partition refinement); flagging,
+        // confidence, k* and score are pure functions of the class pair.
+        let mut joint_of: Vec<u32> = vec![0; d];
+        let mut n_joint = 1usize;
+        for of in &group_of {
+            let mut remap: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+            let mut next = 0u32;
+            for i in 0..d {
+                let id = *remap.entry((joint_of[i], of[i])).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                });
+                joint_of[i] = id;
+            }
+            n_joint = next as usize;
+        }
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_joint];
+        for (i, &jg) in joint_of.iter().enumerate() {
+            members[jg as usize].push(i);
+        }
+        let joint_weight: Vec<f64> = members
             .iter()
-            .map(|m| {
-                (0..d)
-                    .map(|i| {
-                        let mut sum = 0.0;
-                        let mut w = 0.0;
-                        for (j, &(_, cnt)) in distinct.iter().enumerate() {
-                            if j != i {
-                                sum += m[i * d + j] * cnt as f64;
-                                w += cnt as f64;
-                            }
-                        }
-                        if w > 0.0 {
-                            sum / w
-                        } else {
-                            1.0
-                        }
-                    })
-                    .collect()
-            })
+            .map(|ms| ms.iter().map(|&i| distinct[i].1 as f64).sum())
             .collect();
 
-        // Pass 1: flag pairs and accumulate per-value flag degrees — the
-        // count-weighted amount of the column each value clashes with. An
-        // intruder clashes with most of the column; its witnesses clash
-        // only with the intruder.
-        let mut scores = vec![0.0f64; self.languages.len()];
-        let mut flagged_pairs: Vec<(usize, usize, f64, usize)> = Vec::new(); // (i, j, confidence, k*)
+        // An intra-class pair scores exactly [1.0; K] (identical patterns
+        // under every language), so whether such pairs flag at all is one
+        // global decision — false for any sane calibration, true only for
+        // degenerate θ ≥ 1.0 thresholds.
+        let ones = vec![1.0f64; num_langs];
+        let intra_flags = aggregator.flags(&ones, &calibrations);
+
+        // Pass 1 (group-wise): flag joint-class pairs and expand exact
+        // per-value flag degrees — the count-weighted amount of the column
+        // each value clashes with. Degrees are integer-valued f64 sums
+        // (all partial sums exactly representable), so group-order
+        // accumulation is bit-identical to the naive per-pair loop.
+        let mut scores = vec![0.0f64; num_langs];
+        let mut flagged: Vec<FlaggedClassPair> = Vec::new();
         let mut degree = vec![0.0f64; d];
-        for i in 0..d {
-            for j in (i + 1)..d {
-                for (k, m) in matrices.iter().enumerate() {
-                    scores[k] = m[i * d + j];
-                }
-                if !aggregator.flags(&scores, &calibrations) {
-                    continue;
+        for a in 0..n_joint {
+            for b in a..n_joint {
+                if a == b {
+                    if !intra_flags || members[a].len() < 2 {
+                        continue;
+                    }
+                    scores.iter_mut().for_each(|s| *s = 1.0);
+                } else {
+                    let (ra, rb) = (members[a][0], members[b][0]);
+                    for (k, m) in matrices.iter().enumerate() {
+                        scores[k] = m.at(group_of[k][ra] as usize, group_of[k][rb] as usize);
+                    }
+                    if !aggregator.flags(&scores, &calibrations) {
+                        continue;
+                    }
                 }
                 let confidence = aggregator.suspicion(&scores, &calibrations);
                 let k = scores
                     .iter()
                     .enumerate()
-                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .min_by(|x, y| x.1.total_cmp(y.1))
                     .map(|(k, _)| k)
                     .unwrap_or(0);
-                flagged_pairs.push((i, j, confidence, k));
-                degree[i] += distinct[j].1 as f64;
-                degree[j] += distinct[i].1 as f64;
-            }
-        }
-        stats.pairs_flagged = flagged_pairs.len() as u64;
-
-        // Pass 2: attribute each flagged pair. The suspect is the member
-        // with the higher flag degree; degree ties fall back to the lower
-        // rest-of-column compatibility under the pair's most negative
-        // language, then to corpus occurrence (the globally rarer pattern
-        // is the likelier intruder).
-        let mut best: HashMap<usize, (ColumnFinding, usize)> = HashMap::new();
-        for &(i, j, confidence, k) in &flagged_pairs {
-            {
-                let (suspect_idx, witness_idx) = if (degree[i] - degree[j]).abs() > 1e-9 {
-                    if degree[i] > degree[j] {
-                        (i, j)
-                    } else {
-                        (j, i)
-                    }
-                } else if (compat[k][i] - compat[k][j]).abs() > 1e-9 {
-                    if compat[k][i] < compat[k][j] {
-                        (i, j)
-                    } else {
-                        (j, i)
-                    }
-                } else {
-                    let oi = self.languages[k].stats.occurrence(hashes[k][i]);
-                    let oj = self.languages[k].stats.occurrence(hashes[k][j]);
-                    if oi <= oj {
-                        (i, j)
-                    } else {
-                        (j, i)
-                    }
-                };
-                let pair_scores: Vec<f64> = matrices.iter().map(|m| m[i * d + j]).collect();
-                let min_firing_score = pair_scores
+                let min_firing_score = scores
                     .iter()
                     .zip(calibrations.iter().copied())
                     .filter(|(&s, c)| c.fires(s))
@@ -428,26 +628,167 @@ impl AutoDetect {
                 let score = if min_firing_score.is_finite() {
                     min_firing_score
                 } else {
-                    pair_scores.iter().copied().fold(f64::INFINITY, f64::min)
+                    scores.iter().copied().fold(f64::INFINITY, f64::min)
                 };
-                let finding = ColumnFinding {
-                    suspect: distinct[suspect_idx].0.to_string(),
-                    witness: distinct[witness_idx].0.to_string(),
-                    confidence,
-                    score,
-                };
-                match best.get(&suspect_idx) {
-                    Some((prev, _)) if prev.confidence >= finding.confidence => {}
-                    _ => {
-                        best.insert(suspect_idx, (finding, k));
+                if a == b {
+                    let n = members[a].len();
+                    stats.pairs_flagged += (n * (n - 1) / 2) as u64;
+                    for &i in &members[a] {
+                        degree[i] += joint_weight[a] - distinct[i].1 as f64;
+                    }
+                } else {
+                    stats.pairs_flagged += (members[a].len() * members[b].len()) as u64;
+                    for &i in &members[a] {
+                        degree[i] += joint_weight[b];
+                    }
+                    for &j in &members[b] {
+                        degree[j] += joint_weight[a];
                     }
                 }
+                flagged.push(FlaggedClassPair {
+                    a,
+                    b,
+                    confidence,
+                    k,
+                    score,
+                });
+            }
+        }
+
+        // Pass 2: attribute each flagged class pair. The suspect is the
+        // member with the higher flag degree; with intra flagging off,
+        // degrees are uniform within a class, so one comparison settles
+        // all |A|·|B| member pairs and the witness is the class's
+        // first-enumerated member. Degree ties (and the degenerate intra
+        // case) replay the naive per-pair tie-breaks exactly: lower
+        // rest-of-column compatibility under the pair's most negative
+        // language, then corpus occurrence (the globally rarer pattern is
+        // the likelier intruder). Compatibility is computed lazily in the
+        // naive summation order so even its f64 rounding matches.
+        let mut best: FxHashMap<usize, BestFinding> = FxHashMap::default();
+        let consider = |best: &mut FxHashMap<usize, BestFinding>,
+                        suspect: usize,
+                        witness: usize,
+                        confidence: f64,
+                        k: usize,
+                        score: f64| {
+            let (u, v) = if suspect < witness {
+                (suspect, witness)
+            } else {
+                (witness, suspect)
+            };
+            let enum_key = (u * d + v) as u64;
+            match best.get(&suspect) {
+                Some(prev)
+                    if prev.confidence > confidence
+                        || (prev.confidence == confidence && prev.enum_key <= enum_key) => {}
+                _ => {
+                    best.insert(
+                        suspect,
+                        BestFinding {
+                            confidence,
+                            enum_key,
+                            witness,
+                            k,
+                            score,
+                        },
+                    );
+                }
+            }
+        };
+        let mut compat_memo: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+        let compat_at = |memo: &mut FxHashMap<(u32, u32), f64>, k: usize, i: usize| -> f64 {
+            *memo.entry((k as u32, i as u32)).or_insert_with(|| {
+                let m = &matrices[k];
+                let gi = group_of[k][i] as usize;
+                let mut sum = 0.0;
+                let mut w = 0.0;
+                for (j, &(_, cnt)) in distinct.iter().enumerate() {
+                    if j != i {
+                        sum += m.at(gi, group_of[k][j] as usize) * cnt as f64;
+                        w += cnt as f64;
+                    }
+                }
+                if w > 0.0 {
+                    sum / w
+                } else {
+                    1.0
+                }
+            })
+        };
+        for f in &flagged {
+            if f.a != f.b && !intra_flags {
+                let da = degree[members[f.a][0]];
+                let db = degree[members[f.b][0]];
+                if (da - db).abs() > 1e-9 {
+                    let (sc, wc) = if da > db { (f.a, f.b) } else { (f.b, f.a) };
+                    let w0 = members[wc][0];
+                    for &i in &members[sc] {
+                        consider(&mut best, i, w0, f.confidence, f.k, f.score);
+                    }
+                    continue;
+                }
+            }
+            // Rare shapes only: degree ties, or intra flagging making
+            // within-class degrees non-uniform.
+            let member_pairs = |a: usize, b: usize| -> Vec<(usize, usize)> {
+                if a == b {
+                    let ms = &members[a];
+                    let mut v = Vec::with_capacity(ms.len() * (ms.len() - 1) / 2);
+                    for x in 0..ms.len() {
+                        for y in (x + 1)..ms.len() {
+                            v.push((ms[x], ms[y]));
+                        }
+                    }
+                    v
+                } else {
+                    let mut v = Vec::with_capacity(members[a].len() * members[b].len());
+                    for &x in &members[a] {
+                        for &y in &members[b] {
+                            v.push(if x < y { (x, y) } else { (y, x) });
+                        }
+                    }
+                    v
+                }
+            };
+            for (i, j) in member_pairs(f.a, f.b) {
+                let (suspect, witness) = if (degree[i] - degree[j]).abs() > 1e-9 {
+                    if degree[i] > degree[j] {
+                        (i, j)
+                    } else {
+                        (j, i)
+                    }
+                } else {
+                    let ci = compat_at(&mut compat_memo, f.k, i);
+                    let cj = compat_at(&mut compat_memo, f.k, j);
+                    if (ci - cj).abs() > 1e-9 {
+                        if ci < cj {
+                            (i, j)
+                        } else {
+                            (j, i)
+                        }
+                    } else {
+                        let oi = self.languages[f.k].stats.occurrence(hashes[f.k][i]);
+                        let oj = self.languages[f.k].stats.occurrence(hashes[f.k][j]);
+                        if oi <= oj {
+                            (i, j)
+                        } else {
+                            (j, i)
+                        }
+                    }
+                };
+                consider(&mut best, suspect, witness, f.confidence, f.k, f.score);
             }
         }
         let mut findings: Vec<ColumnFinding> = Vec::with_capacity(best.len());
-        for (finding, k) in best.into_values() {
-            stats.findings_per_language[k] += 1;
-            findings.push(finding);
+        for (suspect_idx, bf) in best {
+            stats.findings_per_language[bf.k] += 1;
+            findings.push(ColumnFinding {
+                suspect: distinct[suspect_idx].0.to_string(),
+                witness: distinct[bf.witness].0.to_string(),
+                confidence: bf.confidence,
+                score: bf.score,
+            });
         }
         findings.sort_by(|a, b| {
             b.confidence
@@ -490,6 +831,207 @@ impl AutoDetect {
                 .then_with(|| a.finding.suspect.cmp(&b.finding.suspect))
         });
         out
+    }
+}
+
+/// The naive O(K·d²) value-pair scan, kept verbatim as the differential
+/// reference for the pattern-group kernel. Compiled for tests and for
+/// benches via the `reference-kernel` feature; production builds carry
+/// only the group kernel.
+#[cfg(any(test, feature = "reference-kernel"))]
+impl AutoDetect {
+    /// [`AutoDetect::scan_column`] through the reference kernel.
+    pub fn scan_column_reference(
+        &self,
+        column: &Column,
+        aggregator: Aggregator,
+        cache: &mut PatternCache,
+    ) -> (Vec<ColumnFinding>, ScanStats) {
+        let (distinct, total_distinct) = self.distinct_capped(column);
+        self.scan_pairs_reference(&distinct, total_distinct, aggregator, cache)
+    }
+
+    /// [`AutoDetect::scan_value_counts`] through the reference kernel.
+    pub fn scan_value_counts_reference(
+        &self,
+        counts: &[(String, usize)],
+        aggregator: Aggregator,
+        cache: &mut PatternCache,
+    ) -> (Vec<ColumnFinding>, ScanStats) {
+        let total_distinct = counts.len();
+        let mut distinct: Vec<(&str, usize)> =
+            counts.iter().map(|(v, c)| (v.as_str(), *c)).collect();
+        distinct.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        distinct.truncate(self.max_distinct_values);
+        self.scan_pairs_reference(&distinct, total_distinct, aggregator, cache)
+    }
+
+    /// The pre-group-kernel scan: full per-value d×d matrices, per-pair
+    /// flagging and attribution. `groups_per_language` is left zero (the
+    /// reference does no grouping); `npmi_probes` counts every computed
+    /// entry and `npmi_memo_hits` stays zero (no memo).
+    fn scan_pairs_reference(
+        &self,
+        distinct: &[(&str, usize)],
+        total_distinct: usize,
+        aggregator: Aggregator,
+        cache: &mut PatternCache,
+    ) -> (Vec<ColumnFinding>, ScanStats) {
+        let d = distinct.len();
+        let mut stats = ScanStats::for_languages(self.languages.len());
+        stats.values_scored = d as u64;
+        stats.pairs_scored = (d * d.saturating_sub(1) / 2) as u64;
+        stats.pairs_pruned =
+            (total_distinct * total_distinct.saturating_sub(1) / 2) as u64 - stats.pairs_scored;
+        if d < 2 {
+            return (Vec::new(), stats);
+        }
+        cache.bind(self);
+        let hash_start = Instant::now();
+        let mut hashes: Vec<Vec<PatternHash>> = (0..self.languages.len())
+            .map(|_| Vec::with_capacity(d))
+            .collect();
+        for (v, _) in distinct {
+            cache.append_hashes(self, v, &mut hashes);
+        }
+        stats.hash_nanos = hash_start.elapsed().as_nanos() as u64;
+        let score_start = Instant::now();
+        let calibrations: Vec<&Calibration> = self.calibrations();
+
+        // Full per-language NPMI matrices over distinct values (flattened
+        // d×d, symmetric, diagonal 1.0).
+        let matrices: Vec<Vec<f64>> = self
+            .languages
+            .iter()
+            .enumerate()
+            .map(|(k, l)| {
+                let mut m = vec![1.0f64; d * d];
+                for i in 0..d {
+                    for j in (i + 1)..d {
+                        let s = l.stats.npmi_patterns(hashes[k][i], hashes[k][j], self.npmi);
+                        stats.npmi_probes += 1;
+                        m[i * d + j] = s;
+                        m[j * d + i] = s;
+                    }
+                }
+                m
+            })
+            .collect();
+
+        // Per-language, per-value compatibility with the rest of the
+        // column: count-weighted mean NPMI against every other distinct
+        // value.
+        let compat: Vec<Vec<f64>> = matrices
+            .iter()
+            .map(|m| {
+                (0..d)
+                    .map(|i| {
+                        let mut sum = 0.0;
+                        let mut w = 0.0;
+                        for (j, &(_, cnt)) in distinct.iter().enumerate() {
+                            if j != i {
+                                sum += m[i * d + j] * cnt as f64;
+                                w += cnt as f64;
+                            }
+                        }
+                        if w > 0.0 {
+                            sum / w
+                        } else {
+                            1.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Pass 1: flag pairs and accumulate per-value flag degrees.
+        let mut scores = vec![0.0f64; self.languages.len()];
+        let mut flagged_pairs: Vec<(usize, usize, f64, usize)> = Vec::new();
+        let mut degree = vec![0.0f64; d];
+        for i in 0..d {
+            for j in (i + 1)..d {
+                for (k, m) in matrices.iter().enumerate() {
+                    scores[k] = m[i * d + j];
+                }
+                if !aggregator.flags(&scores, &calibrations) {
+                    continue;
+                }
+                let confidence = aggregator.suspicion(&scores, &calibrations);
+                let k = scores
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(k, _)| k)
+                    .unwrap_or(0);
+                flagged_pairs.push((i, j, confidence, k));
+                degree[i] += distinct[j].1 as f64;
+                degree[j] += distinct[i].1 as f64;
+            }
+        }
+        stats.pairs_flagged = flagged_pairs.len() as u64;
+
+        // Pass 2: attribute each flagged pair.
+        let mut best: FxHashMap<usize, (ColumnFinding, usize)> = FxHashMap::default();
+        for &(i, j, confidence, k) in &flagged_pairs {
+            let (suspect_idx, witness_idx) = if (degree[i] - degree[j]).abs() > 1e-9 {
+                if degree[i] > degree[j] {
+                    (i, j)
+                } else {
+                    (j, i)
+                }
+            } else if (compat[k][i] - compat[k][j]).abs() > 1e-9 {
+                if compat[k][i] < compat[k][j] {
+                    (i, j)
+                } else {
+                    (j, i)
+                }
+            } else {
+                let oi = self.languages[k].stats.occurrence(hashes[k][i]);
+                let oj = self.languages[k].stats.occurrence(hashes[k][j]);
+                if oi <= oj {
+                    (i, j)
+                } else {
+                    (j, i)
+                }
+            };
+            let pair_scores: Vec<f64> = matrices.iter().map(|m| m[i * d + j]).collect();
+            let min_firing_score = pair_scores
+                .iter()
+                .zip(calibrations.iter().copied())
+                .filter(|(&s, c)| c.fires(s))
+                .map(|(&s, _)| s)
+                .fold(f64::INFINITY, f64::min);
+            let score = if min_firing_score.is_finite() {
+                min_firing_score
+            } else {
+                pair_scores.iter().copied().fold(f64::INFINITY, f64::min)
+            };
+            let finding = ColumnFinding {
+                suspect: distinct[suspect_idx].0.to_string(),
+                witness: distinct[witness_idx].0.to_string(),
+                confidence,
+                score,
+            };
+            match best.get(&suspect_idx) {
+                Some((prev, _)) if prev.confidence >= finding.confidence => {}
+                _ => {
+                    best.insert(suspect_idx, (finding, k));
+                }
+            }
+        }
+        let mut findings: Vec<ColumnFinding> = Vec::with_capacity(best.len());
+        for (finding, k) in best.into_values() {
+            stats.findings_per_language[k] += 1;
+            findings.push(finding);
+        }
+        findings.sort_by(|a, b| {
+            b.confidence
+                .total_cmp(&a.confidence)
+                .then_with(|| a.score.total_cmp(&b.score))
+                .then_with(|| a.suspect.cmp(&b.suspect))
+        });
+        stats.score_nanos = score_start.elapsed().as_nanos() as u64;
+        (findings, stats)
     }
 }
 
@@ -707,12 +1249,31 @@ mod tests {
         assert_eq!(cache.len(), 3);
         // A warm cache must not change the findings, and detect_column
         // (fresh cache each call) must agree.
-        let (again, _) = m.scan_column(&col, Aggregator::AutoDetect, &mut cache);
+        let (again, warm) = m.scan_column(&col, Aggregator::AutoDetect, &mut cache);
         assert_eq!(format!("{again:?}"), format!("{findings:?}"));
         assert_eq!(
             format!("{:?}", m.detect_column(&col)),
             format!("{findings:?}")
         );
+        // Second scan of the same column answers every probe from the
+        // per-worker memo.
+        assert_eq!(warm.npmi_probes, 0);
+        assert_eq!(warm.npmi_memo_hits, stats.npmi_probes);
+    }
+
+    #[test]
+    fn group_kernel_probes_at_most_pairwise() {
+        let m = tiny_model();
+        // Ten distinct 4-digit years: one pattern group per language, so
+        // the kernel needs zero probes where the naive path needs
+        // K·C(10,2).
+        let values: Vec<String> = (0..10).map(|i| format!("{}", 1990 + i)).collect();
+        let col = Column::new(values, SourceTag::Wiki);
+        let mut cache = PatternCache::new();
+        let (_, stats) = m.scan_column(&col, Aggregator::AutoDetect, &mut cache);
+        assert_eq!(stats.pairs_scored, 45);
+        assert_eq!(stats.npmi_probes, 0);
+        assert_eq!(stats.groups_per_language, vec![1, 1]);
     }
 
     #[test]
@@ -736,6 +1297,9 @@ mod tests {
             pairs_scored: 1,
             pairs_flagged: 1,
             pairs_pruned: 0,
+            npmi_probes: 4,
+            npmi_memo_hits: 1,
+            groups_per_language: vec![2, 1],
             findings_per_language: vec![1, 0],
             hash_nanos: 10,
             score_nanos: 20,
@@ -745,6 +1309,9 @@ mod tests {
             pairs_scored: 3,
             pairs_flagged: 0,
             pairs_pruned: 2,
+            npmi_probes: 2,
+            npmi_memo_hits: 3,
+            groups_per_language: vec![1, 3],
             findings_per_language: vec![0, 2],
             hash_nanos: 5,
             score_nanos: 5,
@@ -754,6 +1321,9 @@ mod tests {
         assert_eq!(a.pairs_scored, 4);
         assert_eq!(a.pairs_flagged, 1);
         assert_eq!(a.pairs_pruned, 2);
+        assert_eq!(a.npmi_probes, 6);
+        assert_eq!(a.npmi_memo_hits, 4);
+        assert_eq!(a.groups_per_language, vec![3, 4]);
         assert_eq!(a.findings_per_language, vec![1, 2]);
         assert_eq!(a.hash_nanos, 15);
         assert_eq!(a.score_nanos, 25);
@@ -768,5 +1338,53 @@ mod tests {
         // Must not panic and must consider at most 3 distinct values.
         let findings = m.detect_column(&col);
         assert!(findings.len() <= 3);
+    }
+
+    #[test]
+    fn pattern_cache_value_map_stays_under_capacity() {
+        let m = tiny_model();
+        let mut cache = PatternCache::with_capacity(8, 16);
+        // Feed far more distinct values than the cap, across many scans,
+        // as a long-lived serve worker would see.
+        for batch in 0..40 {
+            let values: Vec<String> = (0..10).map(|i| format!("v{batch}x{i}")).collect();
+            let col = Column::new(values, SourceTag::Wiki);
+            let _ = m.scan_column(&col, Aggregator::AutoDetect, &mut cache);
+            assert!(
+                cache.len() <= cache.value_capacity(),
+                "cache grew to {} (cap {})",
+                cache.len(),
+                cache.value_capacity()
+            );
+        }
+        assert!(cache.value_flushes() > 0);
+    }
+
+    #[test]
+    fn pattern_cache_resets_when_handed_a_different_model() {
+        let m1 = tiny_model();
+        let mut m2 = tiny_model();
+        m2.npmi.smoothing = 0.9; // same languages, different scoring
+        assert_ne!(m1.fingerprint(), m2.fingerprint());
+
+        let col = Column::from_strs(&["2011-01-01", "2012-02-02", "2014/04/04"], SourceTag::Wiki);
+        let mut shared = PatternCache::new();
+        let (f1, _) = m1.scan_column(&col, Aggregator::AutoDetect, &mut shared);
+        assert_eq!(shared.fingerprint(), Some(m1.fingerprint()));
+        assert_eq!(shared.rebinds(), 0);
+
+        // Handing the cache to a different model must reset it (stale
+        // hashes/scores never leak) and still produce the findings a
+        // fresh cache would.
+        let (f2_shared, s2) = m2.scan_column(&col, Aggregator::AutoDetect, &mut shared);
+        assert_eq!(shared.rebinds(), 1);
+        assert_eq!(shared.fingerprint(), Some(m2.fingerprint()));
+        assert_eq!(s2.npmi_memo_hits, 0); // memos were rebuilt, not reused
+        let (f2_fresh, _) = m2.scan_column(&col, Aggregator::AutoDetect, &mut PatternCache::new());
+        assert_eq!(format!("{f2_shared:?}"), format!("{f2_fresh:?}"));
+        // And back: the cache rebinds again rather than mixing models.
+        let (f1_again, _) = m1.scan_column(&col, Aggregator::AutoDetect, &mut shared);
+        assert_eq!(shared.rebinds(), 2);
+        assert_eq!(format!("{f1_again:?}"), format!("{f1:?}"));
     }
 }

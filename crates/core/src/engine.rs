@@ -113,6 +113,85 @@ where
     Ok(out)
 }
 
+/// A shared pool of [`PatternCache`]s checked out by scan workers and
+/// returned when a parallel section ends.
+///
+/// Without a pool every engine run starts its workers cold: values are
+/// re-generalized and pattern-pair NPMI scores re-probed. A long-lived
+/// owner — the serve batcher holds one across dispatches — passes the
+/// pool via [`ScanEngine::with_cache_pool`] so each worker resumes some
+/// earlier worker's cache, amortizing both layers across runs. Caches
+/// are model-stamped (see [`PatternCache`]), so pooling across model
+/// swaps is safe: a mismatched cache resets itself.
+#[derive(Debug, Default)]
+pub struct CachePool {
+    caches: Mutex<Vec<PatternCache>>,
+}
+
+impl CachePool {
+    /// An empty shareable pool.
+    pub fn new() -> Arc<CachePool> {
+        Arc::new(CachePool::default())
+    }
+
+    /// Takes a cache out of the pool, or starts a fresh one.
+    fn checkout(&self) -> PatternCache {
+        self.caches.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a cache for future workers.
+    fn restore(&self, cache: PatternCache) {
+        self.caches.lock().push(cache);
+    }
+
+    /// Number of caches currently checked in.
+    pub fn size(&self) -> usize {
+        self.caches.lock().len()
+    }
+
+    /// Lifetime NPMI memo hits summed over checked-in caches.
+    pub fn memo_hits(&self) -> u64 {
+        self.caches.lock().iter().map(|c| c.memo_hits()).sum()
+    }
+
+    /// Lifetime NPMI memo misses summed over checked-in caches.
+    pub fn memo_misses(&self) -> u64 {
+        self.caches.lock().iter().map(|c| c.memo_misses()).sum()
+    }
+}
+
+/// Worker-thread cache state: pooled when the engine has a [`CachePool`]
+/// (checked out at worker start, restored on drop), private otherwise.
+struct WorkerCache {
+    cache: Option<PatternCache>,
+    pool: Option<Arc<CachePool>>,
+}
+
+impl WorkerCache {
+    fn new(pool: Option<Arc<CachePool>>) -> Self {
+        let cache = match &pool {
+            Some(p) => p.checkout(),
+            None => PatternCache::new(),
+        };
+        WorkerCache {
+            cache: Some(cache),
+            pool,
+        }
+    }
+
+    fn cache_mut(&mut self) -> &mut PatternCache {
+        self.cache.as_mut().expect("cache present until drop")
+    }
+}
+
+impl Drop for WorkerCache {
+    fn drop(&mut self) {
+        if let (Some(pool), Some(cache)) = (&self.pool, self.cache.take()) {
+            pool.restore(cache);
+        }
+    }
+}
+
 /// Per-column outcome in input order, for surfaces that report column by
 /// column (the CLI prints one line per column from these).
 #[derive(Debug, Clone)]
@@ -158,7 +237,8 @@ impl ScanReport {
     pub fn summary(&self) -> String {
         format!(
             "scanned {} columns in {:.1} ms on {} thread{} ({:.0} cols/s): \
-             {} findings; {} values scored, {} pairs scored, {} flagged, {} pruned",
+             {} findings; {} values scored, {} pairs scored, {} flagged, {} pruned; \
+             {} npmi probes ({} memoized)",
             self.columns.len(),
             self.wall.as_secs_f64() * 1e3,
             self.threads,
@@ -169,6 +249,8 @@ impl ScanReport {
             self.stats.pairs_scored,
             self.stats.pairs_flagged,
             self.stats.pairs_pruned,
+            self.stats.npmi_probes,
+            self.stats.npmi_memo_hits,
         )
     }
 }
@@ -194,6 +276,7 @@ pub struct ScanEngine {
     model: Arc<AutoDetect>,
     threads: usize,
     aggregator: Aggregator,
+    cache_pool: Option<Arc<CachePool>>,
 }
 
 impl ScanEngine {
@@ -204,6 +287,7 @@ impl ScanEngine {
             model,
             threads: 0,
             aggregator: Aggregator::AutoDetect,
+            cache_pool: None,
         }
     }
 
@@ -224,6 +308,14 @@ impl ScanEngine {
         self
     }
 
+    /// Draws worker caches from `pool` instead of starting cold, so
+    /// generalization work and memoized NPMI scores persist across
+    /// engine runs that share the pool. Findings are unaffected.
+    pub fn with_cache_pool(mut self, pool: Arc<CachePool>) -> Self {
+        self.cache_pool = Some(pool);
+        self
+    }
+
     /// The underlying model.
     pub fn model(&self) -> &AutoDetect {
         &self.model
@@ -239,8 +331,8 @@ impl ScanEngine {
             columns,
             self.threads,
             "scan_columns",
-            PatternCache::new,
-            |cache, _, col| model.scan_column(col, aggregator, cache),
+            || WorkerCache::new(self.cache_pool.clone()),
+            |worker, _, col| model.scan_column(col, aggregator, worker.cache_mut()),
         )?;
         let scan_wall = scan_start.elapsed();
         let headers = columns.iter().map(|c| c.header.clone()).collect();
@@ -306,8 +398,10 @@ impl ScanEngine {
             &inputs,
             self.threads,
             "scan_csv",
-            PatternCache::new,
-            |cache, _, column_counts| model.scan_value_counts(column_counts, aggregator, cache),
+            || WorkerCache::new(self.cache_pool.clone()),
+            |worker, _, column_counts| {
+                model.scan_value_counts(column_counts, aggregator, worker.cache_mut())
+            },
         )?;
         let scan_wall = scan_start.elapsed();
         let headers_by_index = (0..inputs.len())
@@ -492,6 +586,36 @@ mod tests {
         assert!(line.contains("4 columns"), "{line}");
         assert!(line.contains("cols/s"), "{line}");
         assert!(report.columns_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn cache_pool_amortizes_probes_across_engine_runs() {
+        let pool = CachePool::new();
+        let engine = ScanEngine::from_model(tiny_model())
+            .with_threads(1)
+            .with_cache_pool(Arc::clone(&pool));
+        let cols = mixed_columns(6);
+        let cold = engine.scan_columns(&cols).unwrap();
+        assert_eq!(pool.size(), 1, "worker cache returned to the pool");
+        assert!(cold.stats.npmi_probes > 0);
+        // The second run resumes the pooled cache: every pattern pair it
+        // needs was memoized by the first run, and findings are
+        // unchanged.
+        let warm = engine.scan_columns(&cols).unwrap();
+        assert_eq!(warm.stats.npmi_probes, 0, "warm run recomputed scores");
+        assert_eq!(
+            warm.stats.npmi_memo_hits,
+            cold.stats.npmi_probes + cold.stats.npmi_memo_hits
+        );
+        assert_eq!(findings_repr(&warm.findings), findings_repr(&cold.findings));
+        assert_eq!(pool.size(), 1);
+        assert!(pool.memo_hits() >= warm.stats.npmi_memo_hits);
+        // An engine without a pool stays cold every run.
+        let solo = ScanEngine::from_model(tiny_model()).with_threads(1);
+        let a = solo.scan_columns(&cols).unwrap();
+        let b = solo.scan_columns(&cols).unwrap();
+        assert_eq!(a.stats.npmi_probes, b.stats.npmi_probes);
+        assert!(b.stats.npmi_probes > 0);
     }
 
     #[test]

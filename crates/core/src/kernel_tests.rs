@@ -1,0 +1,320 @@
+//! Differential tests: the pattern-group kernel versus the naive
+//! value-pair reference scan.
+//!
+//! The group kernel's contract is *byte-identical findings* — same
+//! suspects, witnesses, confidences, scores, ordering — and identical
+//! pair counters, on every column shape: duplicate-heavy, all-distinct,
+//! degree-tied, degenerate calibrations, exact and sketched
+//! co-occurrence backends, warm and cold caches. Randomized shapes use a
+//! fixed-seed RNG so failures replay.
+
+use crate::aggregate::Aggregator;
+use crate::detector::testkit::tiny_model;
+use crate::detector::{AutoDetect, PatternCache, ScanStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Families of values that collide heavily at the pattern level under
+/// the tiny model's languages.
+fn random_value(rng: &mut StdRng) -> String {
+    match rng.random_range(0..7u32) {
+        0 => format!("{}", 1900 + rng.random_range(0..120u32)),
+        1 => format!(
+            "{},{:03}",
+            1 + rng.random_range(0..9u32),
+            rng.random_range(0..1000u32)
+        ),
+        2 => format!(
+            "20{:02}-{:02}-{:02}",
+            rng.random_range(0..30u32),
+            1 + rng.random_range(0..12u32),
+            1 + rng.random_range(0..28u32)
+        ),
+        3 => format!(
+            "20{:02}/{:02}/{:02}",
+            rng.random_range(0..30u32),
+            1 + rng.random_range(0..12u32),
+            1 + rng.random_range(0..28u32)
+        ),
+        4 => format!("w{}", rng.random_range(0..50u32)),
+        5 => format!("{}", rng.random_range(0..10_000u32)),
+        // All-distinct tail: unique shapes, one pattern group each.
+        _ => {
+            let len = 1 + rng.random_range(0..6u32);
+            let mut s = String::new();
+            for _ in 0..len {
+                let c = match rng.random_range(0..3u32) {
+                    0 => char::from(b'a' + (rng.random_range(0..26u32) as u8)),
+                    1 => char::from(b'0' + (rng.random_range(0..10u32) as u8)),
+                    _ => ['-', '/', ',', '.'][rng.random_range(0..4u32) as usize],
+                };
+                s.push(c);
+            }
+            s
+        }
+    }
+}
+
+/// A random distinct-value multiset: `d` values with counts 1..=4.
+/// Duplicate value strings are merged (scan_value_counts requires each
+/// distinct value once).
+fn random_counts(rng: &mut StdRng, d: usize) -> Vec<(String, usize)> {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    while counts.len() < d {
+        let v = random_value(rng);
+        let c = 1 + rng.random_range(0..4u32) as usize;
+        match counts.iter_mut().find(|(u, _)| *u == v) {
+            Some((_, existing)) => *existing += c,
+            None => counts.push((v, c)),
+        }
+    }
+    counts
+}
+
+fn assert_counters_match(group: &ScanStats, reference: &ScanStats, ctx: &str) {
+    assert_eq!(group.values_scored, reference.values_scored, "{ctx}");
+    assert_eq!(group.pairs_scored, reference.pairs_scored, "{ctx}");
+    assert_eq!(group.pairs_flagged, reference.pairs_flagged, "{ctx}");
+    assert_eq!(group.pairs_pruned, reference.pairs_pruned, "{ctx}");
+    assert_eq!(
+        group.findings_per_language, reference.findings_per_language,
+        "{ctx}"
+    );
+    // The kernel's whole point: never more probes than the naive path.
+    assert!(
+        group.npmi_probes + group.npmi_memo_hits <= reference.npmi_probes,
+        "{ctx}: group demanded {} + {} scores, reference probed {}",
+        group.npmi_probes,
+        group.npmi_memo_hits,
+        reference.npmi_probes
+    );
+}
+
+/// Runs both kernels on `counts` and asserts byte-identical output.
+/// `warm_cache` lets callers thread one group-path cache across many
+/// columns, proving memo reuse never leaks into findings.
+fn assert_kernels_agree(
+    model: &AutoDetect,
+    counts: &[(String, usize)],
+    aggregator: Aggregator,
+    warm_cache: &mut PatternCache,
+    ctx: &str,
+) {
+    let (got, got_stats) = model.scan_value_counts(counts, aggregator, warm_cache);
+    let mut ref_cache = PatternCache::new();
+    let (want, want_stats) = model.scan_value_counts_reference(counts, aggregator, &mut ref_cache);
+    assert_eq!(
+        format!("{got:?}"),
+        format!("{want:?}"),
+        "{ctx}: findings diverged"
+    );
+    assert_counters_match(&got_stats, &want_stats, ctx);
+    // And a cold group-path cache agrees with the warm one.
+    let (cold, _) = model.scan_value_counts(counts, aggregator, &mut PatternCache::new());
+    assert_eq!(
+        format!("{cold:?}"),
+        format!("{got:?}"),
+        "{ctx}: cache state leaked into findings"
+    );
+}
+
+#[test]
+fn random_columns_match_reference_exact_backend() {
+    let model = tiny_model();
+    let mut rng = StdRng::seed_from_u64(0xAD7_0001);
+    let mut warm = PatternCache::new();
+    for case in 0..60 {
+        let d = rng.random_range(0..40u32) as usize;
+        let counts = random_counts(&mut rng, d);
+        assert_kernels_agree(
+            &model,
+            &counts,
+            Aggregator::AutoDetect,
+            &mut warm,
+            &format!("exact case {case} (d={d})"),
+        );
+    }
+    assert!(warm.memo_hits() > 0, "warm cache never amortized anything");
+}
+
+#[test]
+fn random_columns_match_reference_sketch_backend() {
+    let mut model = tiny_model();
+    for l in &mut model.languages {
+        l.stats.compress_cooccurrence(adt_stats::SketchSpec {
+            budget_bytes: 1 << 14,
+            ..adt_stats::SketchSpec::default()
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(0xAD7_0002);
+    let mut warm = PatternCache::new();
+    for case in 0..40 {
+        let d = rng.random_range(0..32u32) as usize;
+        let counts = random_counts(&mut rng, d);
+        assert_kernels_agree(
+            &model,
+            &counts,
+            Aggregator::AutoDetect,
+            &mut warm,
+            &format!("sketch case {case} (d={d})"),
+        );
+    }
+}
+
+#[test]
+fn random_columns_match_reference_across_aggregators() {
+    let model = tiny_model();
+    for (ai, aggregator) in [
+        Aggregator::AvgNpmi,
+        Aggregator::MinNpmi,
+        Aggregator::MajorityVote,
+        Aggregator::WeightedMajorityVote,
+        Aggregator::BestOne(0),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut rng = StdRng::seed_from_u64(0xAD7_0100 + ai as u64);
+        let mut warm = PatternCache::new();
+        for case in 0..12 {
+            let d = rng.random_range(0..24u32) as usize;
+            let counts = random_counts(&mut rng, d);
+            assert_kernels_agree(
+                &model,
+                &counts,
+                aggregator,
+                &mut warm,
+                &format!("aggregator {aggregator:?} case {case} (d={d})"),
+            );
+        }
+    }
+}
+
+#[test]
+fn all_distinct_worst_case_matches_reference() {
+    // Every value its own pattern group: d′ = d, the kernel degrades to
+    // the reference's probe count but must stay byte-identical.
+    let model = tiny_model();
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for i in 0..20usize {
+        // Unique run-length shapes: i+1 letters then i digits.
+        let v = format!("{}{}", "x".repeat(i + 1), "7".repeat(i));
+        counts.push((v, 1));
+    }
+    let mut warm = PatternCache::new();
+    assert_kernels_agree(
+        &model,
+        &counts,
+        Aggregator::AutoDetect,
+        &mut warm,
+        "all-distinct",
+    );
+    let (_, stats) =
+        model.scan_value_counts(&counts, Aggregator::AutoDetect, &mut PatternCache::new());
+    // Crude language sees 20 distinct patterns; L1 (symbols only)
+    // collapses them all into one group.
+    assert_eq!(stats.groups_per_language.len(), 2);
+    assert!(stats.groups_per_language[0] >= 19);
+}
+
+#[test]
+fn degree_ties_take_reference_tiebreaks() {
+    // Two equally-weighted pattern classes flag each other: every degree
+    // ties, forcing the compat/occurrence fallback path.
+    let model = tiny_model();
+    let mut warm = PatternCache::new();
+    for (ctx, counts) in [
+        (
+            "2v2",
+            vec![("2011-01-01".to_string(), 2), ("2014/04/04".to_string(), 2)],
+        ),
+        (
+            "balanced classes",
+            vec![
+                ("2011-01-01".to_string(), 1),
+                ("2012-02-02".to_string(), 1),
+                ("2014/04/04".to_string(), 1),
+                ("2015/05/05".to_string(), 1),
+            ],
+        ),
+        (
+            "self-symmetric",
+            vec![
+                ("2011-01-01".to_string(), 3),
+                ("2014/04/04".to_string(), 3),
+                ("2015/05/05".to_string(), 3),
+            ],
+        ),
+    ] {
+        assert_kernels_agree(&model, &counts, Aggregator::AutoDetect, &mut warm, ctx);
+    }
+}
+
+#[test]
+fn degenerate_threshold_flags_intra_class_pairs_identically() {
+    // θ ≥ 1.0 fires on *every* pair, including identical-pattern ones —
+    // the intra-class path where per-value degrees stop being uniform
+    // within a class. The kernel must fall back to per-pair attribution
+    // and still match the reference exactly.
+    let mut model = tiny_model();
+    for l in &mut model.languages {
+        l.calibration.theta = Some(1.5);
+    }
+    let mut rng = StdRng::seed_from_u64(0xAD7_0003);
+    let mut warm = PatternCache::new();
+    for case in 0..15 {
+        let d = rng.random_range(0..16u32) as usize;
+        let counts = random_counts(&mut rng, d);
+        assert_kernels_agree(
+            &model,
+            &counts,
+            Aggregator::AutoDetect,
+            &mut warm,
+            &format!("degenerate case {case} (d={d})"),
+        );
+    }
+}
+
+#[test]
+fn distinct_cap_prunes_identically() {
+    let mut model = tiny_model();
+    model.max_distinct_values = 8;
+    let mut rng = StdRng::seed_from_u64(0xAD7_0004);
+    let mut warm = PatternCache::new();
+    for case in 0..10 {
+        let counts = random_counts(&mut rng, 30);
+        assert_kernels_agree(
+            &model,
+            &counts,
+            Aggregator::AutoDetect,
+            &mut warm,
+            &format!("capped case {case}"),
+        );
+    }
+}
+
+#[test]
+fn duplicate_heavy_columns_collapse_probes() {
+    // The headline claim: on wide duplicate-pattern columns the group
+    // kernel needs a small fraction of the reference's probes (≥3× fewer
+    // as demanded, typically far better).
+    let model = tiny_model();
+    let counts: Vec<(String, usize)> = (0..48)
+        .map(|i| (format!("{}", 1900 + i), 1usize))
+        .chain((0..2).map(|i| (format!("20{i:02}/01/01"), 1usize)))
+        .collect();
+    let (_, group) =
+        model.scan_value_counts(&counts, Aggregator::AutoDetect, &mut PatternCache::new());
+    let (_, reference) = model.scan_value_counts_reference(
+        &counts,
+        Aggregator::AutoDetect,
+        &mut PatternCache::new(),
+    );
+    assert_eq!(reference.npmi_probes, 2 * (50 * 49 / 2));
+    assert!(
+        group.npmi_probes * 3 <= reference.npmi_probes,
+        "group {} vs reference {}",
+        group.npmi_probes,
+        reference.npmi_probes
+    );
+}

@@ -34,6 +34,8 @@ pub mod detector;
 pub mod dt;
 pub mod engine;
 pub mod error;
+#[cfg(test)]
+mod kernel_tests;
 pub mod model;
 pub mod selection;
 pub mod training;
@@ -48,7 +50,8 @@ pub use config::{AutoDetectConfig, AutoDetectConfigBuilder, LanguageSpace};
 pub use detector::{AutoDetect, ColumnFinding, PairVerdict, PatternCache, ScanStats, TableFinding};
 pub use dt::{dt_optimize, DtProblem, DtSolution};
 pub use engine::{
-    parallel_map, parallel_map_with, resolve_threads, ColumnSummary, ScanEngine, ScanReport,
+    parallel_map, parallel_map_with, resolve_threads, CachePool, ColumnSummary, ScanEngine,
+    ScanReport,
 };
 pub use error::AdtError;
 pub use model::{

@@ -12,9 +12,10 @@
 //! concurrency test in `tests/serve.rs` asserts this).
 
 use crate::registry::ModelHandle;
-use adt_core::{ColumnSummary, ScanEngine, TableFinding};
+use adt_core::{CachePool, ColumnSummary, ScanEngine, TableFinding};
 use adt_corpus::Column;
 use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
 
 /// One request's scan, queued for the batcher.
 pub struct ScanJob {
@@ -47,17 +48,25 @@ pub struct DrainStats {
     pub dispatches: u64,
     /// Jobs answered.
     pub jobs: u64,
+    /// NPMI scores computed from count probes across the drain's scans.
+    pub npmi_probes: u64,
+    /// NPMI scores answered from the batcher's long-lived cache pool.
+    pub npmi_memo_hits: u64,
 }
 
 /// Runs the batch loop until every job sender is dropped. `max_jobs`
 /// bounds one drain so a burst cannot grow an unbounded dispatch;
-/// `engine_threads` is passed through to the scan engine.
+/// `engine_threads` is passed through to the scan engine. The batcher
+/// owns one [`CachePool`] for its whole life, so worker pattern caches
+/// and memoized NPMI pair scores persist across dispatches — steady
+/// traffic over similar schemas converges to near-zero probes per scan.
 pub fn run_batcher(
     rx: Receiver<ScanJob>,
     engine_threads: usize,
     max_jobs: usize,
     mut on_drain: impl FnMut(DrainStats),
 ) {
+    let pool = CachePool::new();
     while let Ok(first) = rx.recv() {
         let mut jobs = vec![first];
         // Opportunistic drain: take whatever queued while the previous
@@ -68,7 +77,7 @@ pub fn run_batcher(
                 Err(_) => break,
             }
         }
-        let stats = dispatch(jobs, engine_threads);
+        let stats = dispatch(jobs, engine_threads, &pool);
         on_drain(stats);
     }
 }
@@ -76,15 +85,17 @@ pub fn run_batcher(
 /// Groups `jobs` by model identity (same `Arc`, not just same name, so a
 /// hot-reload mid-drain never mixes generations), scans each group with
 /// one engine call, and replies to every job.
-fn dispatch(jobs: Vec<ScanJob>, engine_threads: usize) -> DrainStats {
+fn dispatch(jobs: Vec<ScanJob>, engine_threads: usize, pool: &Arc<CachePool>) -> DrainStats {
     let mut stats = DrainStats {
         dispatches: 0,
         jobs: jobs.len() as u64,
+        npmi_probes: 0,
+        npmi_memo_hits: 0,
     };
     // Group in arrival order, keyed by Arc identity.
     let mut groups: Vec<(usize, Vec<ScanJob>)> = Vec::new();
     for job in jobs {
-        let key = std::sync::Arc::as_ptr(&job.handle.model) as usize;
+        let key = Arc::as_ptr(&job.handle.model) as usize;
         match groups.iter_mut().find(|(k, _)| *k == key) {
             Some((_, group)) => group.push(job),
             None => groups.push((key, vec![job])),
@@ -92,12 +103,16 @@ fn dispatch(jobs: Vec<ScanJob>, engine_threads: usize) -> DrainStats {
     }
     for (_, group) in groups {
         stats.dispatches += 1;
-        scan_group(group, engine_threads);
+        let (probes, memo_hits) = scan_group(group, engine_threads, pool);
+        stats.npmi_probes += probes;
+        stats.npmi_memo_hits += memo_hits;
     }
     stats
 }
 
-fn scan_group(group: Vec<ScanJob>, engine_threads: usize) {
+/// Scans one model group; returns the scan's `(npmi_probes,
+/// npmi_memo_hits)` (zeros when the dispatch failed).
+fn scan_group(group: Vec<ScanJob>, engine_threads: usize, pool: &Arc<CachePool>) -> (u64, u64) {
     let batched_with = group.len() - 1;
     let mut all_columns: Vec<Column> = Vec::new();
     let mut offsets = Vec::with_capacity(group.len());
@@ -105,8 +120,9 @@ fn scan_group(group: Vec<ScanJob>, engine_threads: usize) {
         offsets.push((all_columns.len(), job.columns.len()));
         all_columns.extend(job.columns.iter().cloned());
     }
-    let engine =
-        ScanEngine::new(std::sync::Arc::clone(&group[0].handle.model)).with_threads(engine_threads);
+    let engine = ScanEngine::new(Arc::clone(&group[0].handle.model))
+        .with_threads(engine_threads)
+        .with_cache_pool(Arc::clone(pool));
     let report = match engine.scan_columns(&all_columns) {
         Ok(r) => r,
         Err(e) => {
@@ -116,7 +132,7 @@ fn scan_group(group: Vec<ScanJob>, engine_threads: usize) {
             for job in group {
                 let _ = job.reply.send(Err(msg.clone()));
             }
-            return;
+            return (0, 0);
         }
     };
     for (job, (offset, len)) in group.into_iter().zip(offsets) {
@@ -145,6 +161,7 @@ fn scan_group(group: Vec<ScanJob>, engine_threads: usize) {
             batched_with,
         }));
     }
+    (report.stats.npmi_probes, report.stats.npmi_memo_hits)
 }
 
 #[cfg(test)]
@@ -203,7 +220,7 @@ mod tests {
                 }
             })
             .collect();
-        let stats = dispatch(jobs, 1);
+        let stats = dispatch(jobs, 1, &CachePool::new());
         assert_eq!(stats.dispatches, 1, "same model must share one dispatch");
         assert_eq!(stats.jobs, 3);
         for rx in receivers {
@@ -239,10 +256,38 @@ mod tests {
                 },
             ],
             1,
+            &CachePool::new(),
         );
         assert_eq!(stats.dispatches, 2);
         assert_eq!(rx1.recv().unwrap().unwrap().batched_with, 0);
         assert_eq!(rx2.recv().unwrap().unwrap().batched_with, 0);
+    }
+
+    #[test]
+    fn shared_pool_amortizes_probes_across_dispatches() {
+        let h = handle();
+        let pool = CachePool::new();
+        let run = |pool: &Arc<CachePool>| {
+            let (tx, rx) = mpsc::channel();
+            let stats = dispatch(
+                vec![ScanJob {
+                    handle: h.clone(),
+                    columns: vec![dirty_column()],
+                    reply: tx,
+                }],
+                1,
+                pool,
+            );
+            rx.recv().unwrap().unwrap();
+            stats
+        };
+        let cold = run(&pool);
+        assert!(cold.npmi_probes > 0);
+        // A later dispatch through the same pool reuses the memoized
+        // scores, as the long-lived batcher does across drains.
+        let warm = run(&pool);
+        assert_eq!(warm.npmi_probes, 0, "second dispatch recomputed scores");
+        assert_eq!(warm.npmi_memo_hits, cold.npmi_probes + cold.npmi_memo_hits);
     }
 
     #[test]

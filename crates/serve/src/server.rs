@@ -173,6 +173,12 @@ impl Server {
                 .spawn(move || {
                     run_batcher(job_rx, engine_threads, max_jobs, |d| {
                         stats.batches.fetch_add(d.dispatches, Ordering::Relaxed);
+                        stats
+                            .npmi_probes
+                            .fetch_add(d.npmi_probes, Ordering::Relaxed);
+                        stats
+                            .npmi_memo_hits
+                            .fetch_add(d.npmi_memo_hits, Ordering::Relaxed);
                     })
                 })
                 .map_err(AdtError::Io)?

@@ -86,6 +86,12 @@ pub struct ServerStats {
     /// Engine dispatches (micro-batches); `scans_ok / batches` ≥ 1 is the
     /// amortization factor.
     pub batches: AtomicU64,
+    /// NPMI scores computed from count probes across all scans.
+    pub npmi_probes: AtomicU64,
+    /// NPMI scores answered from the batcher's long-lived score memo;
+    /// `npmi_memo_hits / (npmi_probes + npmi_memo_hits)` is the memo hit
+    /// rate steady traffic converges to.
+    pub npmi_memo_hits: AtomicU64,
     /// End-to-end scan-request latency.
     pub latency: LatencyHistogram,
     per_model: Mutex<HashMap<String, u64>>,
@@ -104,6 +110,8 @@ impl Default for ServerStats {
             columns_scanned: AtomicU64::new(0),
             findings: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            npmi_probes: AtomicU64::new(0),
+            npmi_memo_hits: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             per_model: Mutex::new(HashMap::new()),
         }
@@ -152,6 +160,8 @@ impl ServerStats {
             ("columns_scanned", get(&self.columns_scanned)),
             ("findings", get(&self.findings)),
             ("batches", get(&self.batches)),
+            ("npmi_probes", get(&self.npmi_probes)),
+            ("npmi_memo_hits", get(&self.npmi_memo_hits)),
             ("scan_latency_p50_us", quant(0.5)),
             ("scan_latency_p99_us", quant(0.99)),
             ("model_hits", Json::Obj(per_model)),

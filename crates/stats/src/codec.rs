@@ -6,12 +6,12 @@
 //! and an order of magnitude faster to load — which matters for the
 //! paper's client-side deployment story.
 
+use crate::fxhash::FxHashMap;
 use crate::language_stats::LanguageStats;
 use crate::store::CoocBackend;
 use adt_patterns::{Language, Level};
 use adt_sketch::codec::{read_varint, write_varint};
 use adt_sketch::CountMinSketch;
-use std::collections::HashMap;
 use std::io::{self, Read, Write};
 
 const STATS_MAGIC: &[u8; 4] = b"ADT1";
@@ -57,7 +57,7 @@ fn read_language<R: Read>(r: &mut R) -> io::Result<Language> {
 }
 
 /// Sorted + delta-encoded u64 key dictionary with u32 values.
-fn write_u64_map<W: Write>(w: &mut W, map: &HashMap<u64, u32>) -> io::Result<()> {
+fn write_u64_map<W: Write>(w: &mut W, map: &FxHashMap<u64, u32>) -> io::Result<()> {
     let mut entries: Vec<(u64, u32)> = map.iter().map(|(&k, &v)| (k, v)).collect();
     entries.sort_unstable();
     write_varint(w, entries.len() as u64)?;
@@ -70,12 +70,12 @@ fn write_u64_map<W: Write>(w: &mut W, map: &HashMap<u64, u32>) -> io::Result<()>
     Ok(())
 }
 
-fn read_u64_map<R: Read>(r: &mut R) -> io::Result<HashMap<u64, u32>> {
+fn read_u64_map<R: Read>(r: &mut R) -> io::Result<FxHashMap<u64, u32>> {
     let n = read_varint(r)? as usize;
     if n > (1 << 28) {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "map too large"));
     }
-    let mut map = HashMap::with_capacity(n);
+    let mut map = FxHashMap::with_capacity_and_hasher(n, Default::default());
     let mut prev = 0u64;
     for _ in 0..n {
         let k = prev.wrapping_add(read_varint(r)?);
@@ -90,7 +90,7 @@ fn read_u64_map<R: Read>(r: &mut R) -> io::Result<HashMap<u64, u32>> {
 }
 
 /// Sorted + delta-encoded pair dictionary (lexicographic on `(lo, hi)`).
-fn write_pair_map<W: Write>(w: &mut W, map: &HashMap<(u64, u64), u32>) -> io::Result<()> {
+fn write_pair_map<W: Write>(w: &mut W, map: &FxHashMap<(u64, u64), u32>) -> io::Result<()> {
     let mut entries: Vec<((u64, u64), u32)> = map.iter().map(|(&k, &v)| (k, v)).collect();
     entries.sort_unstable();
     write_varint(w, entries.len() as u64)?;
@@ -105,12 +105,12 @@ fn write_pair_map<W: Write>(w: &mut W, map: &HashMap<(u64, u64), u32>) -> io::Re
     Ok(())
 }
 
-fn read_pair_map<R: Read>(r: &mut R) -> io::Result<HashMap<(u64, u64), u32>> {
+fn read_pair_map<R: Read>(r: &mut R) -> io::Result<FxHashMap<(u64, u64), u32>> {
     let n = read_varint(r)? as usize;
     if n > (1 << 28) {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "map too large"));
     }
-    let mut map = HashMap::with_capacity(n);
+    let mut map = FxHashMap::with_capacity_and_hasher(n, Default::default());
     let mut prev_lo = 0u64;
     for _ in 0..n {
         let lo = prev_lo.wrapping_add(read_varint(r)?);

@@ -1,0 +1,157 @@
+//! A vendored FxHash-style hasher for the statistics hot paths.
+//!
+//! The occurrence/co-occurrence dictionaries and the kernel memo tables
+//! are keyed by pattern hashes that are already well-mixed 64-bit values
+//! (FNV-1a over token streams), so SipHash's DoS hardening buys nothing
+//! here while costing most of the probe time. This is the rustc
+//! multiply-rotate scheme: one rotate, one xor, one multiply per word.
+//! It is fully deterministic (no per-process seed), which the engine's
+//! byte-identical-across-thread-counts guarantee and the binary codec's
+//! sorted encodings both rely on.
+//!
+//! Vendored in-tree because the build must work in air-gapped containers
+//! with no registry access; the implementation is ~40 lines.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// 2^64 / φ, the multiplicative mixing constant used by rustc's FxHash.
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// The hasher state: a single 64-bit accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" and "ab\0" stay distinct.
+            self.add_to_hash(u64::from_le_bytes(buf) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// Builds [`FxHasher`]s; stateless, so every map starts identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes one value with [`FxHasher`] (fingerprints, cache keys).
+pub fn fx_hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_maps() {
+        let a = fx_hash_one(&(42u64, 7u64));
+        let b = fx_hash_one(&(42u64, 7u64));
+        assert_eq!(a, b);
+        let mut m1: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut m2: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m1.insert(i.wrapping_mul(0x9E3779B97F4A7C15), i as u32);
+            m2.insert(i.wrapping_mul(0x9E3779B97F4A7C15), i as u32);
+        }
+        assert_eq!(m1, m2);
+        assert_eq!(m1.len(), 1000);
+    }
+
+    #[test]
+    fn distinguishes_values_and_lengths() {
+        assert_ne!(fx_hash_one(&1u64), fx_hash_one(&2u64));
+        let mut h1 = FxHasher::default();
+        h1.write(b"ab");
+        let mut h2 = FxHasher::default();
+        h2.write(b"ab\0");
+        assert_ne!(h1.finish(), h2.finish());
+        let mut h3 = FxHasher::default();
+        h3.write(b"abcdefgh");
+        let mut h4 = FxHasher::default();
+        h4.write(b"abcdefg");
+        assert_ne!(h3.finish(), h4.finish());
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Sequential u64 keys must not collapse to a few buckets.
+        let mut low_bits: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..256u64 {
+            low_bits.insert(fx_hash_one(&i) & 0xFF);
+        }
+        assert!(low_bits.len() > 100, "only {} buckets hit", low_bits.len());
+    }
+}

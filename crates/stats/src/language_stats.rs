@@ -1,5 +1,7 @@
 //! Per-language corpus statistics and NPMI scoring of value pairs.
 
+use crate::fxhash::FxHashMap;
+use crate::memo::NpmiMemo;
 use crate::npmi::{npmi_from_counts, NpmiParams};
 use crate::store::{CoocBackend, SketchSpec, OCC_ENTRY_BYTES};
 use adt_corpus::Corpus;
@@ -36,8 +38,10 @@ pub struct LanguageStats {
     pub language: Language,
     /// Number of corpus columns scanned (`|C|` in Equations 1–2).
     pub n_columns: u64,
-    /// `c(p)`: number of columns containing pattern `p`.
-    occ: HashMap<u64, u32>,
+    /// `c(p)`: number of columns containing pattern `p`. Keyed through
+    /// the deterministic fast hasher — pattern hashes are already
+    /// well-mixed, so SipHash would only slow the probe hot path.
+    occ: FxHashMap<u64, u32>,
     /// `c(p1, p2)`: number of columns containing both patterns.
     cooc: CoocBackend,
 }
@@ -49,7 +53,7 @@ impl LanguageStats {
         LanguageStats {
             language,
             n_columns: 0,
-            occ: HashMap::new(),
+            occ: FxHashMap::default(),
             cooc: match &config.sketch {
                 Some(spec) => CoocBackend::sketch(*spec),
                 None => CoocBackend::exact(),
@@ -154,6 +158,61 @@ impl LanguageStats {
         )
     }
 
+    /// Batched NPMI over a set of *distinct* pattern hashes: the flattened
+    /// symmetric `d′×d′` matrix with diagonal `1.0` (a pattern is always
+    /// compatible with itself), one [`LanguageStats::npmi_patterns`]
+    /// evaluation per off-diagonal pair.
+    ///
+    /// This is the pattern-group scoring kernel's probe stage: callers
+    /// dedupe a column's values into distinct patterns first, so the
+    /// matrix is `d′×d′` instead of `d×d` (`d′ ≤ d`, typically ≪). With a
+    /// `memo`, pair scores previously computed by the same worker — across
+    /// columns and requests — are reused instead of recomputed; memo use
+    /// never changes a score, only [`NpmiMatrix::probes`] vs
+    /// [`NpmiMatrix::memo_hits`].
+    pub fn npmi_matrix(
+        &self,
+        patterns: &[PatternHash],
+        params: NpmiParams,
+        mut memo: Option<&mut NpmiMemo>,
+    ) -> NpmiMatrix {
+        let dim = patterns.len();
+        let mut values = vec![1.0f64; dim * dim];
+        let mut probes = 0u64;
+        let mut memo_hits = 0u64;
+        for i in 0..dim {
+            for j in (i + 1)..dim {
+                let (a, b) = (patterns[i], patterns[j]);
+                let s = match memo.as_deref_mut() {
+                    Some(memo) => match memo.lookup(a, b) {
+                        Some(s) => {
+                            memo_hits += 1;
+                            s
+                        }
+                        None => {
+                            let s = self.npmi_patterns(a, b, params);
+                            memo.insert(a, b, s);
+                            probes += 1;
+                            s
+                        }
+                    },
+                    None => {
+                        probes += 1;
+                        self.npmi_patterns(a, b, params)
+                    }
+                };
+                values[i * dim + j] = s;
+                values[j * dim + i] = s;
+            }
+        }
+        NpmiMatrix {
+            dim,
+            values,
+            probes,
+            memo_hits,
+        }
+    }
+
     /// The paper's `s_k(u, v) = NPMI(L_k(u), L_k(v))`: generalizes both
     /// values under this language and scores the patterns.
     pub fn score_values(&self, u: &str, v: &str, params: NpmiParams) -> f64 {
@@ -190,7 +249,7 @@ impl LanguageStats {
     }
 
     /// Occurrence dictionary accessor (codec support).
-    pub(crate) fn occ_map(&self) -> &HashMap<u64, u32> {
+    pub(crate) fn occ_map(&self) -> &FxHashMap<u64, u32> {
         &self.occ
     }
 
@@ -203,7 +262,7 @@ impl LanguageStats {
     pub(crate) fn from_parts(
         language: Language,
         n_columns: u64,
-        occ: HashMap<u64, u32>,
+        occ: FxHashMap<u64, u32>,
         cooc: CoocBackend,
     ) -> Self {
         LanguageStats {
@@ -212,6 +271,29 @@ impl LanguageStats {
             occ,
             cooc,
         }
+    }
+}
+
+/// Result of [`LanguageStats::npmi_matrix`]: the flattened symmetric
+/// score matrix plus the probe accounting that makes kernel wins
+/// observable.
+#[derive(Debug, Clone)]
+pub struct NpmiMatrix {
+    /// Matrix dimension (number of input patterns).
+    pub dim: usize,
+    /// Flattened row-major `dim×dim` scores; symmetric, diagonal `1.0`.
+    pub values: Vec<f64>,
+    /// Fresh NPMI evaluations performed (occ/cooc probes + arithmetic).
+    pub probes: u64,
+    /// Entries served from the memo without recomputation.
+    pub memo_hits: u64,
+}
+
+impl NpmiMatrix {
+    /// The score at `(i, j)`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.dim + j]
     }
 }
 
@@ -389,6 +471,67 @@ mod tests {
         let p2 = batch.pattern_of("1,000");
         assert_eq!(inc.occurrence(p1), batch.occurrence(p1));
         assert_eq!(inc.cooccurrence(p1, p2), batch.cooccurrence(p1, p2));
+    }
+
+    #[test]
+    fn npmi_matrix_matches_pairwise_scores() {
+        let c = corpus_of(&[
+            &["1", "1,000"],
+            &["2", "2,000"],
+            &["2011-01-01", "2012-02-02"],
+            &["2011/01/01", "2012/02/02"],
+        ]);
+        let stats = LanguageStats::build(
+            adt_patterns::crude::crude_language(),
+            &c,
+            &StatsConfig::default(),
+        );
+        let params = NpmiParams::default();
+        let patterns = [
+            stats.pattern_of("7"),
+            stats.pattern_of("9,000"),
+            stats.pattern_of("2013-03-03"),
+        ];
+        let m = stats.npmi_matrix(&patterns, params, None);
+        assert_eq!(m.dim, 3);
+        assert_eq!(m.probes, 3); // C(3, 2)
+        assert_eq!(m.memo_hits, 0);
+        for i in 0..3 {
+            assert_eq!(m.at(i, i), 1.0);
+            for j in 0..3 {
+                assert_eq!(m.at(i, j), m.at(j, i));
+                if i != j {
+                    assert_eq!(
+                        m.at(i, j),
+                        stats.npmi_patterns(patterns[i], patterns[j], params)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn npmi_matrix_memo_reuses_scores_across_calls() {
+        let c = corpus_of(&[&["1", "1,000"], &["2", "2,000"]]);
+        let stats = LanguageStats::build(
+            adt_patterns::crude::crude_language(),
+            &c,
+            &StatsConfig::default(),
+        );
+        let params = NpmiParams::default();
+        let patterns = [
+            stats.pattern_of("7"),
+            stats.pattern_of("9,000"),
+            stats.pattern_of("x"),
+        ];
+        let mut memo = crate::NpmiMemo::new();
+        let cold = stats.npmi_matrix(&patterns, params, Some(&mut memo));
+        assert_eq!(cold.probes, 3);
+        assert_eq!(cold.memo_hits, 0);
+        let warm = stats.npmi_matrix(&patterns, params, Some(&mut memo));
+        assert_eq!(warm.probes, 0);
+        assert_eq!(warm.memo_hits, 3);
+        assert_eq!(warm.values, cold.values);
     }
 
     #[test]

@@ -10,17 +10,26 @@
 //!   scanning a corpus: `c(L(v))` = number of columns containing the
 //!   pattern, `c(L(v1), L(v2))` = number of columns containing both;
 //! * [`build`] — parallel batch construction across candidate languages
-//!   (crossbeam scoped threads; read-only corpus sharing).
+//!   (crossbeam scoped threads; read-only corpus sharing);
+//! * [`fxhash`] — the vendored deterministic fast hasher keying the
+//!   occurrence/co-occurrence dictionaries and memo tables;
+//! * [`memo`] — the bounded per-worker pattern-pair score memo consumed
+//!   by [`LanguageStats::npmi_matrix`], the batched scoring surface of
+//!   the detection kernel.
 
 pub mod build;
 pub mod codec;
+pub mod fxhash;
 pub mod language_stats;
+pub mod memo;
 pub mod npmi;
 pub mod profile;
 pub mod store;
 
 pub use build::build_stats_for_languages;
-pub use language_stats::{LanguageStats, StatsConfig};
+pub use fxhash::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use language_stats::{LanguageStats, NpmiMatrix, StatsConfig};
+pub use memo::NpmiMemo;
 pub use npmi::{npmi_from_counts, smoothed_cooccurrence, NpmiParams};
 pub use profile::{column_profile, ColumnProfile, PatternBucket};
 pub use store::{CoocBackend, SketchSpec};

@@ -1,0 +1,166 @@
+//! A bounded memo of pattern-pair NPMI scores.
+//!
+//! A long-lived scan worker sees the same pattern pairs over and over —
+//! every wide integer column probes the same handful of numeric-pattern
+//! pairs — so [`crate::LanguageStats::npmi_matrix`] can consult one of
+//! these to skip recomputation (two `occ` probes, one `cooc` probe, and
+//! the NPMI arithmetic per entry). The memo is per-language: pattern
+//! hashes do not encode the language, and the same pair scores
+//! differently under different statistics.
+//!
+//! **Bounded.** Long-running serve workers would otherwise grow the memo
+//! without limit on adversarial all-distinct traffic. At `capacity`
+//! entries the memo flushes wholesale (generational eviction): it is
+//! deterministic, O(1) amortized, keeps the hot recent working set
+//! rebuilding immediately, and never affects scores — only whether they
+//! are recomputed.
+
+use crate::fxhash::FxHashMap;
+use adt_patterns::PatternHash;
+
+/// Default entry cap per memo (≈16 bytes/entry → ~4 MiB at the cap).
+pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 18;
+
+/// A capped `(pattern, pattern) → NPMI` memo with hit/miss counters.
+#[derive(Debug, Clone)]
+pub struct NpmiMemo {
+    map: FxHashMap<(u64, u64), f64>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    flushes: u64,
+}
+
+impl Default for NpmiMemo {
+    fn default() -> Self {
+        NpmiMemo::with_capacity(DEFAULT_MEMO_CAPACITY)
+    }
+}
+
+impl NpmiMemo {
+    /// An empty memo with the default capacity.
+    pub fn new() -> Self {
+        NpmiMemo::default()
+    }
+
+    /// An empty memo holding at most `capacity` pair scores (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        NpmiMemo {
+            map: FxHashMap::default(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Number of memoized pair scores.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The entry cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime memo hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime memo misses (fresh score computations).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Wholesale evictions performed to stay under the cap.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Drops every memoized score (counters survive).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    #[inline]
+    fn key(a: PatternHash, b: PatternHash) -> (u64, u64) {
+        if a.0 <= b.0 {
+            (a.0, b.0)
+        } else {
+            (b.0, a.0)
+        }
+    }
+
+    /// The memoized score of an unordered pair, counting a hit.
+    #[inline]
+    pub fn lookup(&mut self, a: PatternHash, b: PatternHash) -> Option<f64> {
+        let s = self.map.get(&Self::key(a, b)).copied();
+        if s.is_some() {
+            self.hits += 1;
+        }
+        s
+    }
+
+    /// Memoizes a freshly computed score, counting a miss. Flushes the
+    /// whole memo first when inserting would exceed the cap.
+    #[inline]
+    pub fn insert(&mut self, a: PatternHash, b: PatternHash, score: f64) {
+        self.misses += 1;
+        if self.map.len() >= self.capacity {
+            self.map.clear();
+            self.flushes += 1;
+        }
+        self.map.insert(Self::key(a, b), score);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(x: u64) -> PatternHash {
+        PatternHash(x)
+    }
+
+    #[test]
+    fn lookup_is_symmetric() {
+        let mut m = NpmiMemo::new();
+        assert_eq!(m.lookup(h(1), h(2)), None);
+        m.insert(h(2), h(1), -0.5);
+        assert_eq!(m.lookup(h(1), h(2)), Some(-0.5));
+        assert_eq!(m.lookup(h(2), h(1)), Some(-0.5));
+        assert_eq!(m.hits(), 2);
+        assert_eq!(m.misses(), 1);
+    }
+
+    #[test]
+    fn stays_under_capacity_forever() {
+        let mut m = NpmiMemo::with_capacity(64);
+        for i in 0..10_000u64 {
+            m.insert(h(i), h(i + 1), 0.0);
+            assert!(m.len() <= 64, "len {} exceeds cap", m.len());
+        }
+        assert!(m.flushes() > 0);
+        assert_eq!(m.misses(), 10_000);
+    }
+
+    #[test]
+    fn flush_preserves_determinism_of_scores() {
+        // Eviction may only cost recomputation, never change a score:
+        // a re-inserted pair reads back what was inserted.
+        let mut m = NpmiMemo::with_capacity(2);
+        m.insert(h(1), h(2), 0.25);
+        m.insert(h(3), h(4), 0.5);
+        m.insert(h(5), h(6), 0.75); // triggers flush
+        assert_eq!(m.lookup(h(1), h(2)), None);
+        m.insert(h(1), h(2), 0.25);
+        assert_eq!(m.lookup(h(1), h(2)), Some(0.25));
+    }
+}

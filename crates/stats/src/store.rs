@@ -1,9 +1,9 @@
 //! Storage backends for occurrence and co-occurrence counts.
 
+use crate::fxhash::FxHashMap;
 use adt_patterns::PatternHash;
 use adt_sketch::{CountMinSketch, UpdateStrategy};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Bytes per exact occurrence entry (u64 key + u32 count, padded).
 pub const OCC_ENTRY_BYTES: usize = 16;
@@ -41,7 +41,7 @@ pub enum CoocBackend {
     ///
     /// Serialized as a list of `(lo, hi, count)` entries: JSON object keys
     /// must be strings, so the tuple-keyed map cannot serialize natively.
-    Exact(#[serde(with = "pair_map_serde")] HashMap<(u64, u64), u32>),
+    Exact(#[serde(with = "pair_map_serde")] FxHashMap<(u64, u64), u32>),
     /// Count-min sketch over packed pair keys.
     Sketch(CountMinSketch),
 }
@@ -50,11 +50,11 @@ pub enum CoocBackend {
 // offline stub derive drops that attribute, so allow dead_code there.
 #[allow(dead_code)]
 mod pair_map_serde {
+    use crate::fxhash::FxHashMap;
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::collections::HashMap;
 
     pub fn serialize<S: Serializer>(
-        map: &HashMap<(u64, u64), u32>,
+        map: &FxHashMap<(u64, u64), u32>,
         ser: S,
     ) -> Result<S::Ok, S::Error> {
         let mut entries: Vec<(u64, u64, u32)> = map.iter().map(|(&(a, b), &c)| (a, b, c)).collect();
@@ -64,7 +64,7 @@ mod pair_map_serde {
 
     pub fn deserialize<'de, D: Deserializer<'de>>(
         de: D,
-    ) -> Result<HashMap<(u64, u64), u32>, D::Error> {
+    ) -> Result<FxHashMap<(u64, u64), u32>, D::Error> {
         let entries = Vec::<(u64, u64, u32)>::deserialize(de)?;
         Ok(entries.into_iter().map(|(a, b, c)| ((a, b), c)).collect())
     }
@@ -73,7 +73,7 @@ mod pair_map_serde {
 impl CoocBackend {
     /// New exact backend.
     pub fn exact() -> Self {
-        CoocBackend::Exact(HashMap::new())
+        CoocBackend::Exact(FxHashMap::default())
     }
 
     /// New sketch backend with the given geometry.

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Perf report for the pattern-group scan kernel: races the group kernel
+# against the naive value-pair reference and writes BENCH_scan.json
+# (override the path with BENCH_OUT) with per-shape median ns/op and
+# NPMI probe counters.
+#
+#   scripts/bench_report.sh             # full: release build, full widths
+#   scripts/bench_report.sh quick       # smoke: debug build, half widths
+#   ADT_OFFLINE=1 scripts/bench_report.sh quick   # via the devstubs copy
+#
+# Quick mode exists so CI can exercise the bench wiring and the built-in
+# kernel differential check cheaply; its debug-build timings are not
+# meaningful, only the probe columns are.
+set -eu
+cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+OUT="${BENCH_OUT:-$(pwd)/BENCH_scan.json}"
+FLAGS=""
+PROFILE="--release"
+if [ "$MODE" = "quick" ]; then
+    FLAGS="--quick"
+    PROFILE=""
+fi
+
+if [ "${ADT_OFFLINE:-0}" = "1" ]; then
+    scripts/offline_check.sh run $PROFILE -q -p adt-bench --bin bench_report -- $FLAGS --out "$OUT"
+else
+    cargo run $PROFILE -q -p adt-bench --bin bench_report -- $FLAGS --out "$OUT"
+fi
