@@ -1,10 +1,13 @@
 #!/bin/sh
-# Repository CI gate: formatting, lints, tests.
+# Repository CI gate: formatting, lints, repo-invariant analysis, tests.
 #
-#   ./ci.sh                # format check + clippy -D warnings + tests
+#   ./ci.sh                # format check + clippy -D warnings + adt-analyze
+#                          # --deny + tests
 #   ADT_OFFLINE=1 ./ci.sh  # same, in an air-gapped container: clippy and
 #                          # tests run against the devstubs workspace copy
 #                          # (see scripts/offline_check.sh)
+#   ADT_SANITIZERS=1 ./ci.sh  # additionally run scripts/sanitizers.sh
+#                             # (ASan/TSan; needs a nightly toolchain)
 set -eu
 cd "$(dirname "$0")"
 
@@ -14,6 +17,10 @@ cargo fmt --all --check
 if [ "${ADT_OFFLINE:-0}" = "1" ]; then
     echo "== clippy (offline stubs)"
     scripts/offline_check.sh clippy --workspace --all-targets -- -D warnings
+    echo "== adt-analyze --deny (offline stubs)"
+    # The binary builds in the scratch copy but analyzes the real tree,
+    # so the stub-parity rule sees devstubs/.
+    scripts/offline_check.sh run -q -p adt-analyze -- --deny --root "$(pwd)"
     echo "== tests (offline stubs)"
     scripts/offline_check.sh test --workspace -q
     echo "== serve smoke test (offline stubs)"
@@ -24,6 +31,8 @@ if [ "${ADT_OFFLINE:-0}" = "1" ]; then
 else
     echo "== clippy"
     cargo clippy --workspace --all-targets -- -D warnings
+    echo "== adt-analyze --deny"
+    cargo run -q -p adt-analyze -- --deny
     echo "== tests"
     cargo test --workspace -q
     echo "== serve smoke test"
@@ -31,6 +40,11 @@ else
     scripts/serve_smoke.sh target/debug/autodetect
     echo "== kernel bench report smoke"
     scripts/bench_report.sh quick
+fi
+
+if [ "${ADT_SANITIZERS:-0}" = "1" ]; then
+    echo "== sanitizers (nightly)"
+    scripts/sanitizers.sh
 fi
 
 echo "CI OK"

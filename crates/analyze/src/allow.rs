@@ -1,0 +1,107 @@
+//! Inline suppression markers.
+//!
+//! A finding is suppressed by a comment on the same line or the line
+//! directly above, of the form `adt-allow` + `(<rule>): <reason>`. The
+//! reason is mandatory; reason-less and unused (stale) markers are
+//! themselves findings under the `allow-audit` rule, so suppressions
+//! stay justified and current.
+
+use crate::lexer::Comment;
+
+pub const RULES: [&str; 5] = [
+    "determinism",
+    "panic-safety",
+    "lock-discipline",
+    "allow-audit",
+    "stub-parity",
+];
+
+/// One parsed marker.
+#[derive(Debug)]
+pub struct Marker {
+    pub line: u32,
+    pub rule: String,
+    pub reason: String,
+    /// Set when some finding was suppressed by this marker.
+    pub used: bool,
+}
+
+/// Extracts markers from a file's comments. `skip_lines` holds line
+/// ranges of test-gated code, where rules do not run and markers would
+/// always read as stale; markers there are ignored entirely.
+pub fn collect_markers(comments: &[Comment], skip_lines: &[(u32, u32)]) -> Vec<Marker> {
+    let mut out = Vec::new();
+    for c in comments {
+        if skip_lines.iter().any(|&(a, b)| a <= c.line && c.line <= b) {
+            continue;
+        }
+        let Some(pos) = c.text.find("adt-allow(") else {
+            continue;
+        };
+        let rest = &c.text[pos + "adt-allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        let reason = after
+            .strip_prefix(':')
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        out.push(Marker {
+            line: c.line,
+            rule,
+            reason,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Finds a marker covering `(rule, line)`: same line (trailing comment)
+/// or the line directly above. Returns its index.
+pub fn find_marker(markers: &[Marker], rule: &str, line: u32) -> Option<usize> {
+    markers
+        .iter()
+        .position(|m| m.rule == rule && (m.line == line || m.line + 1 == line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn markers_parse_rule_and_reason() {
+        let src = "let a = 1; // adt-allow(determinism): timing feeds stats only\n// adt-allow(panic-safety):\n// adt-allow(nope) missing colon\n// plain comment";
+        let lx = lex(src);
+        let ms = collect_markers(&lx.comments, &[]);
+        assert_eq!(ms.len(), 3);
+        assert_eq!(ms[0].rule, "determinism");
+        assert_eq!(ms[0].reason, "timing feeds stats only");
+        assert_eq!(ms[0].line, 1);
+        assert_eq!(ms[1].rule, "panic-safety");
+        assert_eq!(ms[1].reason, "");
+        assert_eq!(ms[2].rule, "nope");
+        assert_eq!(ms[2].reason, "");
+    }
+
+    #[test]
+    fn marker_lookup_covers_same_and_previous_line() {
+        let src = "// adt-allow(determinism): above\nlet a = 1;\nlet b = 2; // adt-allow(determinism): trailing";
+        let lx = lex(src);
+        let ms = collect_markers(&lx.comments, &[]);
+        assert!(find_marker(&ms, "determinism", 2).is_some());
+        assert_eq!(find_marker(&ms, "determinism", 3), Some(1));
+        assert!(find_marker(&ms, "panic-safety", 2).is_none());
+        assert!(find_marker(&ms, "determinism", 5).is_none());
+    }
+
+    #[test]
+    fn markers_in_test_spans_are_ignored() {
+        let src = "// adt-allow(determinism): in tests\nlet a = 1;";
+        let lx = lex(src);
+        let ms = collect_markers(&lx.comments, &[(1, 2)]);
+        assert!(ms.is_empty());
+    }
+}

@@ -1,0 +1,482 @@
+//! A hand-rolled token-level Rust lexer.
+//!
+//! The analyzer needs token streams with line numbers plus the comment
+//! text (for `adt-allow` markers) — not a full AST. Lexing by hand keeps
+//! the crate std-only so it builds under the offline devstub harness
+//! where `syn`/`proc-macro2` are unavailable. The lexer is intentionally
+//! forgiving: on input it cannot make sense of it emits punctuation
+//! tokens and moves on, because a lint pass must never be the thing that
+//! fails the build on exotic-but-valid syntax.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// Numeric literal (`42`, `0x1f`, `1.5e3`).
+    Num,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (`{`, `[`, `.`, `#`, …).
+    Punct,
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes() == [ch as u8]
+    }
+}
+
+/// One comment (line or block) with the line it starts on. Text excludes
+/// the delimiters.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn slice(&self, start: usize) -> &'a [u8] {
+        &self.bytes[start..self.pos]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `source` into tokens and comments. Never fails; unrecognized
+/// bytes become punctuation tokens.
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+    while let Some(b) = cur.peek() {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos + 2;
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned(),
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                let mut depth = 1usize;
+                let mut end = cur.pos;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            end = cur.pos;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => {
+                            end = cur.pos;
+                            break;
+                        }
+                    }
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: String::from_utf8_lossy(&cur.bytes[start..end]).into_owned(),
+                });
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'\'' => lex_quote(&mut cur, &mut out, line),
+            b'r' | b'b' if starts_raw_or_byte_literal(&cur) => {
+                lex_prefixed_literal(&mut cur, &mut out, line);
+            }
+            _ if is_ident_start(b) => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: String::from_utf8_lossy(cur.slice(start)).into_owned(),
+                    line,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let start = cur.pos;
+                cur.bump();
+                while let Some(c) = cur.peek() {
+                    if is_ident_continue(c)
+                        || (c == b'.' && cur.peek_at(1).is_some_and(|n| n.is_ascii_digit()))
+                    {
+                        cur.bump();
+                    } else if (c == b'+' || c == b'-')
+                        && matches!(cur.bytes.get(cur.pos - 1), Some(b'e') | Some(b'E'))
+                    {
+                        // Exponent sign inside `1e-3`.
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: String::from_utf8_lossy(cur.slice(start)).into_owned(),
+                    line,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// At a `r` or `b`: is this the start of a raw string, byte string,
+/// byte char, or raw identifier (rather than a plain identifier)?
+fn starts_raw_or_byte_literal(cur: &Cursor) -> bool {
+    let b = cur.peek();
+    match (b, cur.peek_at(1)) {
+        (Some(b'r'), Some(b'"')) | (Some(b'b'), Some(b'"')) | (Some(b'b'), Some(b'\'')) => true,
+        (Some(b'r'), Some(b'#')) => {
+            // `r#"…"#` raw string or `r#ident` raw identifier.
+            matches!(cur.peek_at(2), Some(b'"') | Some(b'#')) || {
+                // r#ident — treated below as raw ident, still handled here.
+                cur.peek_at(2).is_some_and(is_ident_start)
+            }
+        }
+        (Some(b'b'), Some(b'r')) => matches!(cur.peek_at(2), Some(b'"') | Some(b'#')),
+        _ => false,
+    }
+}
+
+fn lex_prefixed_literal(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    // Consume the prefix letters (`r`, `b`, or `br`).
+    let first = cur.bump();
+    if first == Some(b'b') && cur.peek() == Some(b'r') {
+        cur.bump();
+    }
+    if cur.peek() == Some(b'\'') {
+        // b'…' byte char.
+        cur.bump();
+        if cur.peek() == Some(b'\\') {
+            cur.bump();
+            cur.bump();
+        } else {
+            cur.bump();
+        }
+        if cur.peek() == Some(b'\'') {
+            cur.bump();
+        }
+        out.tokens.push(Token {
+            kind: TokKind::Char,
+            text: String::new(),
+            line,
+        });
+        return;
+    }
+    // Count `#`s for raw strings; a raw identifier has ident chars after `#`.
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if hashes == 1 && cur.peek().is_some_and(is_ident_start) && first == Some(b'r') {
+        // r#ident raw identifier.
+        let start = cur.pos;
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        out.tokens.push(Token {
+            kind: TokKind::Ident,
+            text: String::from_utf8_lossy(cur.slice(start)).into_owned(),
+            line,
+        });
+        return;
+    }
+    if cur.peek() == Some(b'"') {
+        cur.bump();
+        if hashes == 0 && first == Some(b'b') {
+            // b"…" is escape-processed like a normal string.
+            lex_string_body(cur);
+        } else if hashes == 0 {
+            // r"…": no escapes, ends at the first quote.
+            while let Some(c) = cur.bump() {
+                if c == b'"' {
+                    break;
+                }
+            }
+        } else {
+            // r#…#"…"#…#: ends at `"` followed by `hashes` hashes.
+            'outer: while let Some(c) = cur.bump() {
+                if c == b'"' {
+                    let mut seen = 0usize;
+                    while seen < hashes {
+                        if cur.peek() == Some(b'#') {
+                            cur.bump();
+                            seen += 1;
+                        } else {
+                            continue 'outer;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        out.tokens.push(Token {
+            kind: TokKind::Str,
+            text: String::new(),
+            line,
+        });
+    } else {
+        // `r` or `b` was a plain identifier after all; emit it and let the
+        // `#`s (already consumed) go missing — harmless for linting.
+        out.tokens.push(Token {
+            kind: TokKind::Ident,
+            text: if first == Some(b'b') { "b" } else { "r" }.to_string(),
+            line,
+        });
+    }
+}
+
+fn lex_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    lex_string_body(cur);
+}
+
+fn lex_string_body(cur: &mut Cursor) {
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// At a `'`: char literal or lifetime?
+fn lex_quote(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    cur.bump(); // the quote
+    match (cur.peek(), cur.peek_at(1)) {
+        (Some(b'\\'), _) => {
+            // Escaped char literal: consume to the closing quote.
+            cur.bump();
+            cur.bump();
+            while let Some(c) = cur.peek() {
+                cur.bump();
+                if c == b'\'' {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Char,
+                text: String::new(),
+                line,
+            });
+        }
+        (Some(c), Some(b'\'')) if c != b'\'' => {
+            // 'x' plain char literal.
+            cur.bump();
+            cur.bump();
+            out.tokens.push(Token {
+                kind: TokKind::Char,
+                text: String::new(),
+                line,
+            });
+        }
+        (Some(c), _) if is_ident_start(c) => {
+            // 'lifetime
+            let start = cur.pos;
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Lifetime,
+                text: String::from_utf8_lossy(cur.slice(start)).into_owned(),
+                line,
+            });
+        }
+        _ => {
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: "'".to_string(),
+                line,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_numbers() {
+        let toks = kinds("fn foo(x: u32) -> u32 { x + 0x1f }");
+        assert!(toks.contains(&(TokKind::Ident, "fn".into())));
+        assert!(toks.contains(&(TokKind::Ident, "foo".into())));
+        assert!(toks.contains(&(TokKind::Num, "0x1f".into())));
+    }
+
+    #[test]
+    fn float_and_exponent_literals_stay_single_tokens() {
+        let toks = kinds("let x = 1.5e-3 + 2.0;");
+        assert!(toks.contains(&(TokKind::Num, "1.5e-3".into())));
+        assert!(toks.contains(&(TokKind::Num, "2.0".into())));
+    }
+
+    #[test]
+    fn range_is_not_swallowed_by_number() {
+        let toks = kinds("0..len");
+        assert_eq!(toks[0], (TokKind::Num, "0".into()));
+        assert!(toks.contains(&(TokKind::Ident, "len".into())));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks.contains(&(TokKind::Lifetime, "a".into())));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Char).count(),
+            2,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn strings_raw_strings_and_bytes() {
+        let toks =
+            kinds(r####"let a = "hi \" there"; let b = r#"raw "x" body"#; let c = b"by";"####);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 3);
+        // Nothing inside the strings leaked out as identifiers.
+        assert!(!toks.contains(&(TokKind::Ident, "raw".into())));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let lx = lex("let a = 1; // trailing note\n/* block\nspanning */ let b = 2;\n// last");
+        assert_eq!(lx.comments.len(), 3);
+        assert_eq!(lx.comments[0].line, 1);
+        assert_eq!(lx.comments[0].text.trim(), "trailing note");
+        assert_eq!(lx.comments[1].line, 2);
+        assert_eq!(lx.comments[2].line, 4);
+        // Tokens after the block comment carry the right line.
+        let b = lx.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.tokens.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokKind::Ident, "type".into())));
+    }
+
+    #[test]
+    fn lone_r_and_b_are_identifiers() {
+        let toks = kinds("let r = b + 1;");
+        assert!(toks.contains(&(TokKind::Ident, "r".into())));
+        assert!(toks.contains(&(TokKind::Ident, "b".into())));
+    }
+}

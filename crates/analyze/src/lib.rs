@@ -1,0 +1,402 @@
+//! `adt-analyze`: the repo-invariant lint engine.
+//!
+//! PRs 1–3 rest on invariants the compiler does not check: scans are
+//! byte-identical across thread counts and hash-map iteration orders, a
+//! panic never escapes a serve worker, and no lock is held across
+//! blocking I/O. This crate machine-checks them with a hand-rolled,
+//! std-only token analyzer (no `syn` — it must build under the offline
+//! devstub harness) and five rules:
+//!
+//! - **determinism** — no seed-randomized `HashMap`/`HashSet` in
+//!   `adt-core`/`adt-stats`, no wall-clock reads outside the serve stats
+//!   layer and the bench crate.
+//! - **panic-safety** — no `unwrap`/`expect`/panicking macros/computed
+//!   slice indices in the scan kernel or serve request handlers.
+//! - **lock-discipline** — consistent lock acquisition order across
+//!   `adt-serve`, and no guard held across blocking I/O.
+//! - **allow-audit** — suppression markers must carry a reason and must
+//!   actually suppress something.
+//! - **stub-parity** — `devstubs/` crates export what the workspace
+//!   imports from their real counterparts.
+//!
+//! Findings are suppressed inline with a justified marker comment (see
+//! [`allow`]); `DESIGN.md` §9 documents the protocol.
+
+pub mod allow;
+pub mod lexer;
+pub mod locks;
+pub mod parity;
+pub mod rules;
+pub mod scopes;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A finding not yet attached to a file.
+#[derive(Debug)]
+pub struct RawFinding {
+    pub rule: &'static str,
+    pub line: u32,
+    pub message: String,
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rules apply to a file, derived from its repo-relative path.
+#[derive(Debug, Clone, Default)]
+pub struct FileClass {
+    /// `HashMap`/`HashSet` are flagged (core/stats determinism scope).
+    pub determinism_hash: bool,
+    /// Wall-clock reads are allowed (serve stats layer, bench crate).
+    pub time_exempt: bool,
+    /// Panic-safety rules apply (scan kernel, serve handlers).
+    pub panic_scope: bool,
+    /// Lock-discipline rules apply (adt-serve).
+    pub lock_scope: bool,
+}
+
+/// The default path → rule-scope mapping for this repository.
+pub fn classify(rel: &str) -> FileClass {
+    let serve_src = rel.starts_with("crates/serve/src/");
+    FileClass {
+        determinism_hash: rel.starts_with("crates/core/src/")
+            || rel.starts_with("crates/stats/src/"),
+        time_exempt: rel == "crates/serve/src/stats.rs" || rel.starts_with("crates/bench/"),
+        panic_scope: rel == "crates/core/src/detector.rs"
+            || rel == "crates/core/src/engine.rs"
+            || (serve_src && !rel.ends_with("/testutil.rs") && !rel.ends_with("/client.rs")),
+        lock_scope: serve_src,
+    }
+}
+
+/// Per-file analysis output, before cross-file passes and suppression.
+pub struct FileAnalysis {
+    pub rel: String,
+    pub raw: Vec<RawFinding>,
+    pub markers: Vec<allow::Marker>,
+    pub pairs: Vec<locks::OrderedPair>,
+    pub imports: Vec<parity::Import>,
+}
+
+/// Runs the single-file rules. `stub_crates` drives import harvesting
+/// for the stub-parity pass (pass an empty set to skip it).
+pub fn analyze_file(
+    rel: &str,
+    source: &str,
+    class: &FileClass,
+    stub_crates: &BTreeSet<String>,
+) -> FileAnalysis {
+    let lx = lexer::lex(source);
+    let braces = scopes::Braces::build(&lx.tokens);
+    let skip = scopes::test_spans(&lx.tokens, &braces);
+    let skip_lines: Vec<(u32, u32)> = skip
+        .iter()
+        .map(|&(a, b)| (lx.tokens[a].line, lx.tokens[b].line))
+        .collect();
+    let markers = allow::collect_markers(&lx.comments, &skip_lines);
+    let mut raw = Vec::new();
+    rules::determinism(&lx.tokens, &skip, class, &mut raw);
+    rules::panic_safety(&lx.tokens, &braces, &skip, class, &mut raw);
+    let pairs = if class.lock_scope {
+        let fns = scopes::fn_spans(&lx.tokens, &braces);
+        locks::collect(rel, &lx.tokens, &braces, &skip, &fns, &mut raw)
+    } else {
+        Vec::new()
+    };
+    let mut imports = Vec::new();
+    if !stub_crates.is_empty() {
+        parity::collect_imports(rel, &lx.tokens, stub_crates, &mut imports);
+    }
+    FileAnalysis {
+        rel: rel.to_string(),
+        raw,
+        markers,
+        pairs,
+        imports,
+    }
+}
+
+/// The combined result of a workspace run.
+#[derive(Debug)]
+pub struct Analysis {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// Stable machine-readable report.
+    pub fn to_json(&self) -> String {
+        let mut counts: BTreeMap<&str, usize> = allow::RULES.iter().map(|r| (*r, 0)).collect();
+        for f in &self.findings {
+            *counts.entry(f.rule).or_insert(0) += 1;
+        }
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"counts\": {");
+        let mut first = true;
+        for (rule, n) in &counts {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    {}: {}", json_str(rule), n));
+        }
+        out.push_str("\n  },\n  \"findings\": [");
+        let mut first = true;
+        for f in &self.findings {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule),
+                json_str(&f.message)
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// How a walked file participates in the run.
+enum Tier {
+    /// All rules.
+    Prod,
+    /// Import harvesting (stub parity) only: tests, benches, examples.
+    ImportOnly,
+}
+
+fn tier_of(rel: &str) -> Tier {
+    let is_testish = rel
+        .split('/')
+        .any(|c| c == "tests" || c == "benches" || c == "examples")
+        || Path::new(rel)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .is_some_and(|s| s.contains("test"));
+    if is_testish {
+        Tier::ImportOnly
+    } else {
+        Tier::Prod
+    }
+}
+
+const SKIP_DIRS: [&str; 5] = [".git", "target", "devstubs", "results", "fixtures"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            // `scripts/offline_check.sh` deletes `proptests.rs` files
+            // before building against the stubs, so their imports are
+            // exempt from the stub-parity contract by construction.
+            if path.file_name().is_some_and(|n| n == "proptests.rs") {
+                continue;
+            }
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Analyzes the workspace rooted at `root`. `only` (when non-empty)
+/// restricts analysis to files whose repo-relative path contains one of
+/// the given substrings — handy for focused runs; cross-file checks then
+/// see only that subset.
+pub fn analyze_workspace(root: &Path, only: &[String]) -> std::io::Result<Analysis> {
+    let stubs_dir = root.join("devstubs");
+    let mut stub_crates: BTreeSet<String> = BTreeSet::new();
+    if stubs_dir.is_dir() {
+        for e in std::fs::read_dir(&stubs_dir)? {
+            let e = e?;
+            if e.path().is_dir() {
+                if let Some(name) = e.file_name().to_str() {
+                    stub_crates.insert(name.to_string());
+                }
+            }
+        }
+    }
+
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    let mut analyses: Vec<FileAnalysis> = Vec::new();
+    let mut imports: Vec<parity::Import> = Vec::new();
+    let mut files_scanned = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if !only.is_empty() && !only.iter().any(|o| rel.contains(o.as_str())) {
+            continue;
+        }
+        let source = std::fs::read_to_string(path)?;
+        files_scanned += 1;
+        match tier_of(&rel) {
+            Tier::Prod => {
+                let class = classify(&rel);
+                let mut fa = analyze_file(&rel, &source, &class, &stub_crates);
+                imports.append(&mut fa.imports);
+                analyses.push(fa);
+            }
+            Tier::ImportOnly => {
+                if stub_crates.is_empty() {
+                    continue;
+                }
+                let lx = lexer::lex(&source);
+                parity::collect_imports(&rel, &lx.tokens, &stub_crates, &mut imports);
+            }
+        }
+    }
+
+    // Cross-file: lock order.
+    let all_pairs: Vec<locks::OrderedPair> = analyses
+        .iter()
+        .flat_map(|a| a.pairs.iter().cloned())
+        .collect();
+    let order = locks::order_findings(&all_pairs);
+
+    // Cross-file: stub parity.
+    let mut stub_trees = BTreeMap::new();
+    for name in &stub_crates {
+        if let Ok(tree) = parity::build_stub_tree(&stubs_dir.join(name)) {
+            stub_trees.insert(name.clone(), tree);
+        }
+    }
+    let parity_findings = parity::check(&imports, &stub_trees);
+
+    // Attach, suppress, audit.
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut marker_sets: BTreeMap<String, Vec<allow::Marker>> = analyses
+        .into_iter()
+        .map(|a| {
+            for rf in a.raw {
+                findings.push(Finding {
+                    file: a.rel.clone(),
+                    line: rf.line,
+                    rule: rf.rule,
+                    message: rf.message,
+                });
+            }
+            (a.rel, a.markers)
+        })
+        .collect();
+    for (file, rf) in order {
+        findings.push(Finding {
+            file,
+            line: rf.line,
+            rule: rf.rule,
+            message: rf.message,
+        });
+    }
+    findings.extend(parity_findings);
+
+    findings.retain(|f| {
+        let Some(markers) = marker_sets.get_mut(&f.file) else {
+            return true;
+        };
+        match allow::find_marker(markers, f.rule, f.line) {
+            Some(i) => {
+                markers[i].used = true;
+                false
+            }
+            None => true,
+        }
+    });
+
+    for (file, markers) in &marker_sets {
+        for m in markers {
+            if !allow::RULES.contains(&m.rule.as_str()) {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: m.line,
+                    rule: "allow-audit",
+                    message: format!(
+                        "unknown rule `{}` in suppression marker (rules: {})",
+                        m.rule,
+                        allow::RULES.join(", ")
+                    ),
+                });
+                continue;
+            }
+            if m.reason.is_empty() {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: m.line,
+                    rule: "allow-audit",
+                    message: format!(
+                        "suppression of `{}` without a reason; write `: <why>` after the marker",
+                        m.rule
+                    ),
+                });
+            }
+            if !m.used {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: m.line,
+                    rule: "allow-audit",
+                    message: format!(
+                        "stale marker: no `{}` finding on this or the next line — remove it",
+                        m.rule
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.sort();
+    findings.dedup();
+    Ok(Analysis {
+        findings,
+        files_scanned,
+    })
+}

@@ -1,0 +1,344 @@
+//! Lock discipline: per-function guard acquisition sequences.
+//!
+//! Two checks over `Mutex`/`RwLock` guard acquisitions (`.lock()`,
+//! `.read()`, `.write()`, `try_` variants — the empty-argument calls,
+//! which distinguishes them from `io::Read::read`/`Write::write`):
+//!
+//! 1. **Blocking-while-locked** — a guard whose lifetime (conservatively:
+//!    to the end of the enclosing block for `let`-bound guards, to the end
+//!    of the statement otherwise, or to an explicit `drop(guard)`) covers
+//!    a blocking call (`send`, `recv`, `write_all`, `accept`, …) stalls
+//!    every other thread contending for that lock.
+//! 2. **Lock order** — if one function acquires `a` then `b` while `a` is
+//!    still held, and another acquires `b` then `a`, the pair can
+//!    deadlock; one order must win.
+//!
+//! Lock identity is the receiver path with a leading `self.` stripped
+//! (`self.entries.read()` → `entries`), which makes sequences comparable
+//! across methods of one type and across files sharing a field name.
+
+use crate::lexer::{TokKind, Token};
+use crate::scopes::{in_spans, Braces, FnSpan};
+use crate::RawFinding;
+
+const ACQUIRERS: [&str; 6] = ["lock", "read", "write", "try_lock", "try_read", "try_write"];
+const BLOCKING: [&str; 15] = [
+    "send",
+    "send_timeout",
+    "recv",
+    "recv_timeout",
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+    "flush",
+    "accept",
+    "connect",
+    "join",
+    "wait",
+    "sleep",
+];
+
+/// One ordered acquisition `first` → `second` (while `first` was held),
+/// with where the second acquisition happened.
+#[derive(Debug, Clone)]
+pub struct OrderedPair {
+    pub first: String,
+    pub second: String,
+    pub file: String,
+    pub fn_name: String,
+    pub line: u32,
+}
+
+#[derive(Debug)]
+struct Acquisition {
+    lock: String,
+    tok: usize,
+    line: u32,
+    guard_end: usize,
+}
+
+/// Scans one file: emits blocking-while-locked findings into `out` and
+/// returns the ordered acquisition pairs for the cross-file order check.
+pub fn collect(
+    file: &str,
+    tokens: &[Token],
+    braces: &Braces,
+    skip: &[(usize, usize)],
+    fns: &[FnSpan],
+    out: &mut Vec<RawFinding>,
+) -> Vec<OrderedPair> {
+    let mut pairs = Vec::new();
+    for f in fns {
+        if in_spans(skip, f.body_start) {
+            continue;
+        }
+        let acqs = acquisitions(tokens, braces, f);
+        for a in &acqs {
+            for (j, t) in tokens[a.tok..=a.guard_end.min(tokens.len() - 1)]
+                .iter()
+                .enumerate()
+            {
+                let i = a.tok + j;
+                if i <= a.tok {
+                    continue;
+                }
+                if t.kind == TokKind::Ident
+                    && BLOCKING.contains(&t.text.as_str())
+                    && tokens[i - 1].is_punct('.')
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                {
+                    out.push(RawFinding {
+                        rule: "lock-discipline",
+                        line: t.line,
+                        message: format!(
+                            "blocking `.{}()` while guard of `{}` (acquired line {}) \
+                             may still be held; drop the guard first",
+                            t.text, a.lock, a.line
+                        ),
+                    });
+                }
+            }
+        }
+        for (i, a) in acqs.iter().enumerate() {
+            for b in &acqs[i + 1..] {
+                if b.tok <= a.guard_end && a.lock != b.lock {
+                    pairs.push(OrderedPair {
+                        first: a.lock.clone(),
+                        second: b.lock.clone(),
+                        file: file.to_string(),
+                        fn_name: f.name.clone(),
+                        line: b.line,
+                    });
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Cross-file pass: report every acquisition site participating in an
+/// inconsistent order pair. Returns `(file, finding)` rows.
+pub fn order_findings(pairs: &[OrderedPair]) -> Vec<(String, RawFinding)> {
+    let mut out = Vec::new();
+    for p in pairs {
+        if let Some(rev) = pairs
+            .iter()
+            .find(|q| q.first == p.second && q.second == p.first)
+        {
+            out.push((
+                p.file.clone(),
+                RawFinding {
+                    rule: "lock-discipline",
+                    line: p.line,
+                    message: format!(
+                        "inconsistent lock order: `{}` then `{}` in `{}`, but the \
+                         opposite order occurs in `{}` ({}:{}); pick one order",
+                        p.first, p.second, p.fn_name, rev.fn_name, rev.file, rev.line
+                    ),
+                },
+            ));
+        }
+    }
+    out
+}
+
+fn acquisitions(tokens: &[Token], braces: &Braces, f: &FnSpan) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    let end = f.body_end.min(tokens.len());
+    for i in f.body_start..end {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident || !ACQUIRERS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `.lock()` — method position, empty argument list.
+        if i == 0 || !tokens[i - 1].is_punct('.') {
+            continue;
+        }
+        if !(tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct(')')))
+        {
+            continue;
+        }
+        let Some(lock) = receiver_path(tokens, i - 1) else {
+            continue;
+        };
+        let guard_end = guard_end(tokens, braces, i, end);
+        out.push(Acquisition {
+            lock,
+            tok: i,
+            line: t.line,
+            guard_end,
+        });
+    }
+    out
+}
+
+/// The dotted receiver path ending at the `.` before the acquirer, e.g.
+/// `ctx.conn_rx` for `ctx.conn_rx.lock()`. `None` when the receiver is
+/// not a plain ident path (a call result, an index, …).
+fn receiver_path(tokens: &[Token], dot: usize) -> Option<String> {
+    let mut segs: Vec<&str> = Vec::new();
+    let mut i = dot; // points at a separator initially
+    loop {
+        if i == 0 {
+            break;
+        }
+        let prev = &tokens[i - 1];
+        if prev.kind == TokKind::Ident {
+            segs.push(&prev.text);
+            i -= 1;
+            // Continue through `.` or `::` separators.
+            if i >= 1 && tokens[i - 1].is_punct('.') {
+                i -= 1;
+                continue;
+            }
+            if i >= 2 && tokens[i - 1].is_punct(':') && tokens[i - 2].is_punct(':') {
+                i -= 2;
+                continue;
+            }
+            break;
+        }
+        return None;
+    }
+    if segs.is_empty() {
+        return None;
+    }
+    segs.reverse();
+    let joined = segs.join(".");
+    Some(
+        joined
+            .strip_prefix("self.")
+            .map(str::to_string)
+            .unwrap_or(joined),
+    )
+}
+
+/// Where the guard from the acquisition at `i` should be assumed dead.
+fn guard_end(tokens: &[Token], braces: &Braces, i: usize, fn_end: usize) -> usize {
+    // Find the start of the statement and whether it is a `let`.
+    let mut s = i;
+    let mut let_name: Option<&str> = None;
+    while s > 0 {
+        let t = &tokens[s - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        if t.is_ident("let") {
+            let mut n = s; // token after `let`
+            if tokens.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            if tokens.get(n).is_some_and(|t| t.kind == TokKind::Ident) {
+                let_name = Some(&tokens[n].text);
+            } else {
+                let_name = Some(""); // pattern binding: no drop tracking
+            }
+        }
+        s -= 1;
+    }
+    let block_close = braces
+        .enclosing_brace(i)
+        .and_then(|b| braces.matching(b))
+        .unwrap_or(fn_end)
+        .min(fn_end);
+    if let Some(name) = let_name {
+        // Live to the end of the block, or an explicit drop(name).
+        if !name.is_empty() {
+            for j in i..block_close {
+                if tokens[j].is_ident("drop")
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct('('))
+                    && tokens.get(j + 2).is_some_and(|t| t.is_ident(name))
+                    && tokens.get(j + 3).is_some_and(|t| t.is_punct(')'))
+                {
+                    return j;
+                }
+            }
+        }
+        block_close
+    } else {
+        // Temporary guard: dead at the end of the statement.
+        (i..block_close)
+            .find(|&j| {
+                tokens[j].is_punct(';') && braces.enclosing_brace(j) == braces.enclosing_brace(i)
+            })
+            .unwrap_or(block_close)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scopes::{fn_spans, test_spans, Braces};
+
+    fn run(src: &str) -> (Vec<RawFinding>, Vec<OrderedPair>) {
+        let lx = lex(src);
+        let braces = Braces::build(&lx.tokens);
+        let skip = test_spans(&lx.tokens, &braces);
+        let fns = fn_spans(&lx.tokens, &braces);
+        let mut out = Vec::new();
+        let pairs = collect("f.rs", &lx.tokens, &braces, &skip, &fns, &mut out);
+        (out, pairs)
+    }
+
+    #[test]
+    fn guard_across_recv_flagged() {
+        let (f, _) = run("fn w(ctx: &Ctx) { let s = ctx.conn_rx.lock().unwrap().recv(); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("recv"));
+        assert!(f[0].message.contains("conn_rx"));
+    }
+
+    #[test]
+    fn scoped_guard_then_io_not_flagged() {
+        let (f, _) = run(
+            "fn g(&self) { let p = { let e = self.entries.read(); e.path() }; self.tx.send(p); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn dropped_guard_then_io_not_flagged() {
+        let (f, _) = run("fn g(&self) { let e = self.entries.read(); drop(e); self.tx.send(1); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn io_write_with_args_is_not_an_acquisition() {
+        let (f, pairs) = run("fn g(w: &mut W) { w.write(buf); w.read(buf); }");
+        assert!(f.is_empty());
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn nested_acquisitions_produce_ordered_pairs() {
+        let (_, pairs) = run("fn g(&self) { let a = self.a.lock(); let b = self.b.lock(); }");
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(
+            (pairs[0].first.as_str(), pairs[0].second.as_str()),
+            ("a", "b")
+        );
+    }
+
+    #[test]
+    fn inconsistent_order_across_functions_reported() {
+        let (_, pairs) = run(
+            "fn g(&self) { let a = self.a.lock(); let b = self.b.lock(); }\n\
+             fn h(&self) { let b = self.b.lock(); let a = self.a.lock(); }",
+        );
+        let findings = order_findings(&pairs);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].1.message.contains("inconsistent lock order"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let (_, pairs) = run(
+            "fn g(&self) { let a = self.a.lock(); let b = self.b.lock(); }\n\
+             fn h(&self) { let a = self.a.lock(); let b = self.b.lock(); }",
+        );
+        assert!(order_findings(&pairs).is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! CLI for the repo-invariant lint engine.
+//!
+//!     cargo run -p adt-analyze -- [--deny] [--json] [--root DIR] [paths…]
+//!
+//! Findings print as `file:line: rule: message`. `--deny` exits non-zero
+//! when any finding remains (the CI gate); `--json` emits the stable
+//! machine-readable report instead; `paths` restrict the run to files
+//! whose repo-relative path contains one of the given substrings.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: adt-analyze [--deny] [--json] [--root DIR] [paths...]";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut only: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => only.push(path.to_string()),
+        }
+    }
+
+    let analysis = match adt_analyze::analyze_workspace(&root, &only) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("adt-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", analysis.to_json());
+    } else {
+        for f in &analysis.findings {
+            println!("{f}");
+        }
+        eprintln!(
+            "adt-analyze: {} finding{} in {} file{} scanned",
+            analysis.findings.len(),
+            if analysis.findings.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
+            analysis.files_scanned,
+            if analysis.files_scanned == 1 { "" } else { "s" },
+        );
+    }
+
+    if deny && !analysis.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

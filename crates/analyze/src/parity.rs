@@ -1,0 +1,516 @@
+//! Stub parity: every `devstubs/<crate>` must export the symbols the
+//! workspace imports from the real crate, so the offline harness
+//! (`scripts/offline_check.sh`) cannot silently rot as new imports land.
+//!
+//! The check is resolution-shaped but deliberately conservative: a path
+//! `crate::a::b::c` is walked segment by segment through the stub's
+//! module tree; the walk **accepts** as soon as it reaches a non-module
+//! export (`b` a struct → `c` is an associated item we cannot see) or a
+//! module marked *open* (it contains a glob re-export). Only a segment
+//! missing from a closed module is a finding.
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::scopes::Braces;
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// One imported path: the crate name plus the following segments, and
+/// where the import happens.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Import {
+    pub krate: String,
+    pub path: Vec<String>,
+    pub file: String,
+    pub line: u32,
+}
+
+/// A stub crate's module, as far as exports are concerned.
+#[derive(Debug, Default)]
+pub struct StubModule {
+    exports: BTreeSet<String>,
+    modules: BTreeMap<String, StubModule>,
+    /// A glob re-export makes the export set unknowable; accept anything.
+    open: bool,
+}
+
+/// Harvests `use` declarations and inline qualified paths that root at
+/// one of `stub_crates` from a token stream.
+pub fn collect_imports(
+    file: &str,
+    tokens: &[Token],
+    stub_crates: &BTreeSet<String>,
+    out: &mut Vec<Import>,
+) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_ident("use") {
+            let mut paths = Vec::new();
+            let end = parse_use_tree(tokens, i + 1, &mut Vec::new(), &mut paths);
+            for (line, segs) in paths {
+                if let Some((first, rest)) = segs.split_first() {
+                    if stub_crates.contains(first) {
+                        out.push(Import {
+                            krate: first.clone(),
+                            path: rest.to_vec(),
+                            file: file.to_string(),
+                            line,
+                        });
+                    }
+                }
+            }
+            i = end;
+            continue;
+        }
+        // Inline qualified path: `crossbeam::thread::scope(...)`.
+        if t.kind == TokKind::Ident && stub_crates.contains(&t.text) {
+            let at_path_start =
+                i < 2 || !(tokens[i - 1].is_punct(':') && tokens[i - 2].is_punct(':'));
+            if at_path_start && is_path_sep(tokens, i + 1) {
+                let mut segs = Vec::new();
+                let mut j = i + 1;
+                while is_path_sep(tokens, j)
+                    && tokens.get(j + 2).map(|t| t.kind) == Some(TokKind::Ident)
+                {
+                    segs.push(tokens[j + 2].text.clone());
+                    j += 3;
+                }
+                if !segs.is_empty() {
+                    out.push(Import {
+                        krate: t.text.clone(),
+                        path: segs,
+                        file: file.to_string(),
+                        line: t.line,
+                    });
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+fn is_path_sep(tokens: &[Token], i: usize) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+}
+
+/// Parses a use-tree starting after `use` (or after a `::{` within one),
+/// appending `(line, full_path)` rows. Returns the index after the tree.
+fn parse_use_tree(
+    tokens: &[Token],
+    mut i: usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<(u32, Vec<String>)>,
+) -> usize {
+    let depth_at_entry = prefix.len();
+    let mut line = tokens.get(i).map_or(0, |t| t.line);
+    while let Some(t) = tokens.get(i) {
+        match (&t.kind, t.text.as_str()) {
+            (TokKind::Ident, "as") => {
+                // Rename: the source path is already recorded; skip the
+                // new name.
+                i += 2;
+            }
+            (TokKind::Ident, seg) => {
+                line = t.line;
+                prefix.push(seg.to_string());
+                i += 1;
+                if is_path_sep(tokens, i) {
+                    i += 2;
+                    if tokens.get(i).is_some_and(|t| t.is_punct('{')) {
+                        i += 1;
+                        // Each group entry recurses with this prefix.
+                        loop {
+                            i = parse_use_tree(tokens, i, prefix, out);
+                            match tokens.get(i) {
+                                Some(t) if t.is_punct(',') => i += 1,
+                                Some(t) if t.is_punct('}') => {
+                                    i += 1;
+                                    break;
+                                }
+                                _ => break,
+                            }
+                        }
+                        prefix.truncate(depth_at_entry);
+                        return i;
+                    }
+                    continue;
+                }
+                // Terminal segment.
+                out.push((line, prefix.clone()));
+                prefix.truncate(depth_at_entry);
+                // Skip a possible rename, then stop at , } or ;.
+                while let Some(t) = tokens.get(i) {
+                    if t.is_punct(',') || t.is_punct('}') || t.is_punct(';') {
+                        break;
+                    }
+                    i += 1;
+                }
+                return i;
+            }
+            (TokKind::Punct, "*") => {
+                prefix.push("*".to_string());
+                out.push((line, prefix.clone()));
+                prefix.truncate(depth_at_entry);
+                return i + 1;
+            }
+            (TokKind::Punct, ";") | (TokKind::Punct, ",") | (TokKind::Punct, "}") => break,
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    prefix.truncate(depth_at_entry);
+    i
+}
+
+const ITEM_KEYWORDS: [&str; 9] = [
+    "fn", "struct", "enum", "trait", "type", "const", "static", "union", "mod",
+];
+
+/// Builds the export tree of one stub crate from `src/lib.rs`.
+pub fn build_stub_tree(crate_dir: &Path) -> std::io::Result<StubModule> {
+    let lib = crate_dir.join("src").join("lib.rs");
+    let source = std::fs::read_to_string(&lib)?;
+    let mut root = StubModule::default();
+    let mut macros = Vec::new();
+    parse_module_source(&source, &crate_dir.join("src"), &mut root, &mut macros);
+    for m in macros {
+        root.exports.insert(m);
+    }
+    Ok(root)
+}
+
+fn parse_module_source(
+    source: &str,
+    dir: &Path,
+    module: &mut StubModule,
+    macros: &mut Vec<String>,
+) {
+    let lx = lex(source);
+    let braces = Braces::build(&lx.tokens);
+    parse_items(&lx.tokens, &braces, 0, lx.tokens.len(), dir, module, macros);
+}
+
+/// Walks the items in `tokens[start..end]` (one module body), recording
+/// public exports into `module`. `macros` collects `#[macro_export]`
+/// macro names, which always export at the crate root.
+fn parse_items(
+    tokens: &[Token],
+    braces: &Braces,
+    start: usize,
+    end: usize,
+    dir: &Path,
+    module: &mut StubModule,
+    macros: &mut Vec<String>,
+) {
+    let mut i = start;
+    let mut macro_export_pending = false;
+    while i < end {
+        let t = &tokens[i];
+        // Attributes: note #[macro_export], skip the rest.
+        if t.is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            if let Some(e) = braces.matching(i + 1) {
+                if tokens[i + 2..e].iter().any(|t| t.is_ident("macro_export")) {
+                    macro_export_pending = true;
+                }
+                i = e + 1;
+                continue;
+            }
+        }
+        if t.is_ident("macro_rules") {
+            if macro_export_pending {
+                if let Some(name) = tokens.get(i + 2) {
+                    macros.push(name.text.clone());
+                }
+            }
+            macro_export_pending = false;
+            i = skip_item(tokens, braces, i + 1, end);
+            continue;
+        }
+        if !t.is_ident("pub") {
+            // Private item (or stray token): skip to its end.
+            if t.kind == TokKind::Ident
+                && (ITEM_KEYWORDS.contains(&t.text.as_str()) || t.text == "use" || t.text == "impl")
+            {
+                i = skip_item(tokens, braces, i + 1, end);
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        // `pub` — maybe restricted: pub(crate)/pub(super) are not
+        // visible to the workspace.
+        let mut j = i + 1;
+        let mut restricted = false;
+        if tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+            restricted = true;
+            j = braces.matching(j).map_or(j + 1, |e| e + 1);
+        }
+        let Some(kw) = tokens.get(j) else { break };
+        if restricted {
+            i = skip_item(tokens, braces, j, end);
+            continue;
+        }
+        match kw.text.as_str() {
+            "mod" => {
+                let Some(name) = tokens.get(j + 1) else { break };
+                let name = name.text.clone();
+                module.exports.insert(name.clone());
+                let child = module.modules.entry(name.clone()).or_default();
+                match tokens.get(j + 2) {
+                    Some(t) if t.is_punct('{') => {
+                        let close = braces.matching(j + 2).unwrap_or(end);
+                        parse_items(
+                            tokens,
+                            braces,
+                            j + 3,
+                            close,
+                            &dir.join(&name),
+                            child,
+                            macros,
+                        );
+                        i = close + 1;
+                    }
+                    _ => {
+                        // `pub mod name;` — module in its own file.
+                        for cand in [
+                            dir.join(format!("{name}.rs")),
+                            dir.join(&name).join("mod.rs"),
+                        ] {
+                            if let Ok(src) = std::fs::read_to_string(&cand) {
+                                parse_module_source(&src, &dir.join(&name), child, macros);
+                                break;
+                            }
+                        }
+                        i = skip_item(tokens, braces, j + 1, end);
+                    }
+                }
+            }
+            "use" => {
+                // `pub use path::{A, B as C, *};` — re-exports. The
+                // exported name is the rename when present, else the
+                // terminal segment; a glob opens the module.
+                let mut k = j + 1;
+                let item_end = skip_item(tokens, braces, j + 1, end);
+                while k < item_end {
+                    let t = &tokens[k];
+                    if t.is_punct('*') {
+                        module.open = true;
+                    }
+                    if t.is_ident("as") {
+                        // Rename: drop the previously recorded source
+                        // name, record the rename.
+                        if let Some(prev) = tokens.get(k.wrapping_sub(1)) {
+                            module.exports.remove(&prev.text);
+                        }
+                        if let Some(new) = tokens.get(k + 1) {
+                            module.exports.insert(new.text.clone());
+                        }
+                        k += 2;
+                        continue;
+                    }
+                    if t.kind == TokKind::Ident && t.text != "self" {
+                        // Terminal if the next token is not `::`.
+                        if !is_path_sep(tokens, k + 1) {
+                            module.exports.insert(t.text.clone());
+                        }
+                    }
+                    k += 1;
+                }
+                i = item_end;
+            }
+            kw_text if ITEM_KEYWORDS.contains(&kw_text) => {
+                if let Some(name) = tokens.get(j + 1) {
+                    if name.kind == TokKind::Ident {
+                        module.exports.insert(name.text.clone());
+                    }
+                }
+                i = skip_item(tokens, braces, j + 1, end);
+            }
+            _ => {
+                i = j + 1;
+            }
+        }
+        macro_export_pending = false;
+    }
+}
+
+/// Advances past the current item: to just after the first top-level `;`
+/// or matched `{…}` body. A `{…}` ends the item (fn/struct/trait bodies);
+/// `(...)`/`[...]` groups are stepped over (tuple structs, array types —
+/// whose `;` must not end the item early). A stray `;` left behind by an
+/// initializer like `static X: u8 = { 1 };` is harmlessly skipped by the
+/// caller's item loop.
+fn skip_item(tokens: &[Token], braces: &Braces, from: usize, end: usize) -> usize {
+    let mut i = from;
+    while i < end {
+        let t = &tokens[i];
+        if t.is_punct(';') {
+            return i + 1;
+        }
+        if t.is_punct('{') {
+            return braces.matching(i).map_or(i + 1, |e| e + 1);
+        }
+        if t.is_punct('(') || t.is_punct('[') {
+            i = braces.matching(i).map_or(i + 1, |e| e + 1);
+            continue;
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Checks `imports` against the stub trees; returns findings for paths a
+/// stub cannot satisfy.
+pub fn check(imports: &[Import], stubs: &BTreeMap<String, StubModule>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    for imp in imports {
+        let Some(root) = stubs.get(&imp.krate) else {
+            continue;
+        };
+        if resolves(root, &imp.path) {
+            continue;
+        }
+        let full = format!("{}::{}", imp.krate, imp.path.join("::"));
+        if !seen.insert((imp.file.clone(), imp.line, full.clone())) {
+            continue;
+        }
+        out.push(Finding {
+            file: imp.file.clone(),
+            line: imp.line,
+            rule: "stub-parity",
+            message: format!(
+                "`{}` is imported here but devstubs/{} does not export it; \
+                 the offline harness will fail to build",
+                full, imp.krate
+            ),
+        });
+    }
+    out
+}
+
+fn resolves(root: &StubModule, path: &[String]) -> bool {
+    let mut module = root;
+    for seg in path {
+        if module.open || seg == "*" || seg == "self" {
+            return true;
+        }
+        if let Some(child) = module.modules.get(seg) {
+            module = child;
+            continue;
+        }
+        // A non-module export ends the walk: deeper segments are
+        // associated items or enum variants we cannot verify.
+        return module.exports.contains(seg);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn imports_of(src: &str, crates: &[&str]) -> Vec<Import> {
+        let lx = lex(src);
+        let set: BTreeSet<String> = crates.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        collect_imports("t.rs", &lx.tokens, &set, &mut out);
+        out
+    }
+
+    fn paths(imports: &[Import]) -> Vec<String> {
+        imports
+            .iter()
+            .map(|i| format!("{}::{}", i.krate, i.path.join("::")))
+            .collect()
+    }
+
+    #[test]
+    fn use_trees_flatten() {
+        let got = paths(&imports_of(
+            "use rand::{Rng, SeedableRng};\nuse rand::rngs::StdRng;\nuse std::io::Read;",
+            &["rand"],
+        ));
+        assert_eq!(
+            got,
+            vec!["rand::Rng", "rand::SeedableRng", "rand::rngs::StdRng"]
+        );
+    }
+
+    #[test]
+    fn nested_groups_renames_and_globs() {
+        let got = paths(&imports_of(
+            "use crossbeam::{thread::{scope as cb_scope, Scope}, channel::*};",
+            &["crossbeam"],
+        ));
+        assert_eq!(
+            got,
+            vec![
+                "crossbeam::thread::scope",
+                "crossbeam::thread::Scope",
+                "crossbeam::channel::*"
+            ]
+        );
+    }
+
+    #[test]
+    fn inline_qualified_paths_collected() {
+        let got = paths(&imports_of(
+            "fn f() { crossbeam::thread::scope(|s| {}).unwrap(); }",
+            &["crossbeam"],
+        ));
+        assert_eq!(got, vec!["crossbeam::thread::scope"]);
+    }
+
+    fn stub_from(src: &str) -> StubModule {
+        let mut m = StubModule::default();
+        let mut macros = Vec::new();
+        parse_module_source(src, Path::new("/nonexistent"), &mut m, &mut macros);
+        for mac in macros {
+            m.exports.insert(mac);
+        }
+        m
+    }
+
+    #[test]
+    fn stub_exports_resolve() {
+        let stub = stub_from(
+            "pub trait Rng {}\npub mod rngs { pub struct StdRng; }\n\
+             pub use rngs::StdRng;\n#[macro_export] macro_rules! mk { () => {} }\n\
+             pub(crate) fn hidden() {}\nfn private() {}",
+        );
+        assert!(resolves(&stub, &["Rng".into()]));
+        assert!(resolves(&stub, &["rngs".into(), "StdRng".into()]));
+        assert!(resolves(&stub, &["StdRng".into()]));
+        assert!(resolves(&stub, &["mk".into()]));
+        assert!(!resolves(&stub, &["hidden".into()]));
+        assert!(!resolves(&stub, &["private".into()]));
+        assert!(!resolves(&stub, &["Missing".into()]));
+        // Associated items beyond a resolved type are accepted.
+        assert!(resolves(
+            &stub,
+            &["rngs".into(), "StdRng".into(), "from_seed".into()]
+        ));
+    }
+
+    #[test]
+    fn glob_reexport_opens_module() {
+        let stub = stub_from("pub use inner::*;\nmod inner { pub fn anything() {} }");
+        assert!(resolves(&stub, &["whatever".into()]));
+    }
+
+    #[test]
+    fn check_reports_missing_export() {
+        let mut stubs = BTreeMap::new();
+        stubs.insert("foo".to_string(), stub_from("pub fn real() {}"));
+        let imports = imports_of("use foo::{real, missing};", &["foo"]);
+        let f = check(&imports, &stubs);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("foo::missing"), "{}", f[0].message);
+    }
+}

@@ -1,0 +1,236 @@
+//! The determinism and panic-safety rules: straight-line scans over the
+//! token stream, gated by the file's [`FileClass`].
+
+use crate::lexer::{TokKind, Token};
+use crate::scopes::{in_spans, Braces};
+use crate::{FileClass, RawFinding};
+
+/// Determinism: in scoped crates, findings are byte-identical across
+/// runs, thread counts, and platforms — so (a) no seed-randomized std
+/// `HashMap`/`HashSet` (use the vendored `FxHashMap`/`FxHashSet`, or a
+/// `BTreeMap` when iteration order reaches output), and (b) no wall
+/// clock (`Instant::now` / `SystemTime::now`) outside the exempted
+/// stats/bench layers.
+pub fn determinism(
+    tokens: &[Token],
+    skip: &[(usize, usize)],
+    class: &FileClass,
+    out: &mut Vec<RawFinding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_spans(skip, i) {
+            continue;
+        }
+        if class.determinism_hash && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(RawFinding {
+                rule: "determinism",
+                line: t.line,
+                message: format!(
+                    "seed-randomized std `{}` in a determinism-scoped crate; \
+                     use `FxHashMap`/`FxHashSet` (plus an explicit sort where \
+                     iteration order reaches output) or `BTreeMap`",
+                    t.text
+                ),
+            });
+        }
+        if !class.time_exempt && (t.text == "Instant" || t.text == "SystemTime") {
+            let is_now = tokens.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                && tokens.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                && tokens.get(i + 3).is_some_and(|a| a.is_ident("now"));
+            if is_now {
+                out.push(RawFinding {
+                    rule: "determinism",
+                    line: t.line,
+                    message: format!(
+                        "`{}::now` outside the serve stats layer; wall-clock reads \
+                         make scans time-dependent",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Panic-safety: in the scan kernel and serve request handlers a panic
+/// poisons a whole batch (every job in the dispatch fails) or costs a
+/// request a 500, so `unwrap`/`expect`, panicking macros, and computed
+/// slice indices are flagged for an error path or a justified allow.
+pub fn panic_safety(
+    tokens: &[Token],
+    braces: &Braces,
+    skip: &[(usize, usize)],
+    class: &FileClass,
+    out: &mut Vec<RawFinding>,
+) {
+    if !class.panic_scope {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if in_spans(skip, i) {
+            continue;
+        }
+        if t.kind == TokKind::Ident && (t.text == "unwrap" || t.text == "expect") {
+            let is_method_call = i > 0
+                && tokens[i - 1].is_punct('.')
+                && tokens.get(i + 1).is_some_and(|a| a.is_punct('('));
+            if is_method_call {
+                out.push(RawFinding {
+                    rule: "panic-safety",
+                    line: t.line,
+                    message: format!(
+                        "`.{}()` in a panic-scoped path; return a typed error \
+                         (a panic here poisons the batch / costs a 500)",
+                        t.text
+                    ),
+                });
+            }
+        }
+        if t.kind == TokKind::Ident && PANIC_MACROS.contains(&t.text.as_str()) {
+            let is_macro = tokens.get(i + 1).is_some_and(|a| a.is_punct('!'));
+            let is_def = i > 0 && tokens[i - 1].is_ident("macro_rules");
+            if is_macro && !is_def {
+                out.push(RawFinding {
+                    rule: "panic-safety",
+                    line: t.line,
+                    message: format!("`{}!` in a panic-scoped path; return a typed error", t.text),
+                });
+            }
+        }
+        // Computed slice index: postfix `expr[…]` whose index expression
+        // does arithmetic — the classic off-by-one panic shape. Plain
+        // `v[i]` loop indexing is accepted (bounds usually come from the
+        // loop range); `v[i + 1]` is not.
+        if t.is_punct('[') {
+            let postfix = i > 0
+                && (tokens[i - 1].kind == TokKind::Ident
+                    || tokens[i - 1].is_punct(')')
+                    || tokens[i - 1].is_punct(']'));
+            if !postfix {
+                continue;
+            }
+            let Some(close) = braces.matching(i) else {
+                continue;
+            };
+            let has_arith = tokens[i + 1..close].iter().any(|t| {
+                t.kind == TokKind::Punct && matches!(t.text.as_str(), "+" | "-" | "*" | "/" | "%")
+            });
+            if has_arith {
+                out.push(RawFinding {
+                    rule: "panic-safety",
+                    line: t.line,
+                    message: "computed slice index in a panic-scoped path; use `.get()` \
+                              or hoist the bound check"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scopes::{test_spans, Braces};
+
+    fn run(src: &str, class: &FileClass) -> Vec<RawFinding> {
+        let lx = lex(src);
+        let braces = Braces::build(&lx.tokens);
+        let skip = test_spans(&lx.tokens, &braces);
+        let mut out = Vec::new();
+        determinism(&lx.tokens, &skip, class, &mut out);
+        panic_safety(&lx.tokens, &braces, &skip, class, &mut out);
+        out
+    }
+
+    fn all_rules() -> FileClass {
+        FileClass {
+            determinism_hash: true,
+            time_exempt: false,
+            panic_scope: true,
+            lock_scope: true,
+        }
+    }
+
+    #[test]
+    fn hashmap_and_now_flagged_in_scope() {
+        let f = run(
+            "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }",
+            &all_rules(),
+        );
+        assert_eq!(f.iter().filter(|f| f.rule == "determinism").count(), 2);
+    }
+
+    #[test]
+    fn fxhashmap_and_elapsed_not_flagged() {
+        let f = run(
+            "use adt_stats::FxHashMap;\nfn f(t: Instant) { t.elapsed(); }",
+            &all_rules(),
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn out_of_scope_class_silences() {
+        let class = FileClass {
+            determinism_hash: false,
+            time_exempt: true,
+            panic_scope: false,
+            lock_scope: false,
+        };
+        let f = run(
+            "use std::collections::HashMap;\nfn f() { Instant::now(); x.unwrap(); }",
+            &class,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_expect_macros_flagged() {
+        let f = run(
+            "fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"boom\"); unreachable!(); }",
+            &all_rules(),
+        );
+        assert_eq!(f.iter().filter(|f| f.rule == "panic-safety").count(), 4);
+    }
+
+    #[test]
+    fn unwrap_or_variants_not_flagged() {
+        let f = run(
+            "fn f() { a.unwrap_or(0); b.unwrap_or_else(|e| e.into_inner()); c.unwrap_or_default(); }",
+            &all_rules(),
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn computed_index_flagged_plain_index_not() {
+        let f = run(
+            "fn f() { let a = v[i]; let b = v[i + 1]; let c = m[j]; let d = &v[..]; }",
+            &all_rules(),
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "panic-safety");
+    }
+
+    #[test]
+    fn array_literals_and_types_not_indexing() {
+        let f = run(
+            "fn f() -> [u8; 2 + 2] { let a: [u8; 4] = [0; 2 + 2]; a }",
+            &all_rules(),
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let f = run(
+            "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); let m = HashMap::new(); } }",
+            &all_rules(),
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

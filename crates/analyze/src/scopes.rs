@@ -1,0 +1,250 @@
+//! Structural scaffolding over the token stream: brace matching,
+//! `#[cfg(test)]`-ish span detection, and function-body spans.
+
+use crate::lexer::{TokKind, Token};
+
+/// Brace/bracket/paren structure of a token stream.
+#[derive(Debug, Default)]
+pub struct Braces {
+    /// For each opening delimiter token index, the index of its closer
+    /// (and vice versa). Unbalanced input simply lacks entries.
+    close_of: Vec<Option<usize>>,
+    /// For each token index, the index of the innermost `{` enclosing it
+    /// (not counting a `{` at the index itself).
+    brace_parent: Vec<Option<usize>>,
+}
+
+impl Braces {
+    pub fn build(tokens: &[Token]) -> Braces {
+        let mut close_of = vec![None; tokens.len()];
+        let mut brace_parent = vec![None; tokens.len()];
+        let mut stack: Vec<(usize, char)> = Vec::new();
+        for (i, t) in tokens.iter().enumerate() {
+            brace_parent[i] = stack
+                .iter()
+                .rev()
+                .find(|(_, c)| *c == '{')
+                .map(|(idx, _)| *idx);
+            if t.kind != TokKind::Punct {
+                continue;
+            }
+            match t.text.as_str() {
+                "{" | "[" | "(" => stack.push((i, t.text.as_bytes()[0] as char)),
+                "}" | "]" | ")" => {
+                    let open = match t.text.as_str() {
+                        "}" => '{',
+                        "]" => '[',
+                        _ => '(',
+                    };
+                    // Pop until the matching opener kind (tolerates
+                    // mismatched input rather than panicking).
+                    while let Some((j, c)) = stack.pop() {
+                        if c == open {
+                            close_of[j] = Some(i);
+                            close_of[i] = Some(j);
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Braces {
+            close_of,
+            brace_parent,
+        }
+    }
+
+    /// The index of the delimiter matching the one at `i`, if balanced.
+    pub fn matching(&self, i: usize) -> Option<usize> {
+        self.close_of.get(i).copied().flatten()
+    }
+
+    /// Innermost `{` enclosing token `i`.
+    pub fn enclosing_brace(&self, i: usize) -> Option<usize> {
+        self.brace_parent.get(i).copied().flatten()
+    }
+}
+
+/// Token-index ranges (inclusive) of items gated behind a cfg mentioning
+/// `test` (`#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`). Lint
+/// rules target production code; test code may unwrap and time freely.
+pub fn test_spans(tokens: &[Token], braces: &Braces) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = braces.matching(i + 1) else {
+            i += 2;
+            continue;
+        };
+        let mentions_test = tokens[i + 2..attr_end]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "test");
+        if !mentions_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes, then find the item body.
+        let mut j = attr_end + 1;
+        while j + 1 < tokens.len() && tokens[j].is_punct('#') && tokens[j + 1].is_punct('[') {
+            match braces.matching(j + 1) {
+                Some(e) => j = e + 1,
+                None => break,
+            }
+        }
+        // The gated item runs to its body's closing brace, or to the
+        // terminating semicolon for bodyless items.
+        let mut k = j;
+        let mut end = None;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct('{') {
+                end = braces.matching(k);
+                break;
+            }
+            if t.is_punct(';') {
+                end = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        match end {
+            Some(e) => {
+                spans.push((i, e));
+                i = e + 1;
+            }
+            None => i = j + 1,
+        }
+    }
+    spans
+}
+
+/// True when token index `i` falls inside any of `spans`.
+pub fn in_spans(spans: &[(usize, usize)], i: usize) -> bool {
+    spans.iter().any(|&(a, b)| a <= i && i <= b)
+}
+
+/// One `fn` item: its name and body token range (exclusive of braces).
+#[derive(Debug)]
+pub struct FnSpan {
+    pub name: String,
+    pub body_start: usize,
+    pub body_end: usize,
+}
+
+/// Every function with a body, innermost-last so callers can attribute a
+/// token to the innermost containing function by scanning in reverse.
+pub fn fn_spans(tokens: &[Token], braces: &Braces) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        // Find the parameter list, then the body brace (stopping at `;`
+        // for trait-method declarations without bodies).
+        let mut j = i + 2;
+        let mut body = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('(') || t.is_punct('<') {
+                // Skip the parameter list; generics lack brace matching
+                // (`<` is not a delimiter), so only parens are jumped.
+                if t.is_punct('(') {
+                    match braces.matching(j) {
+                        Some(e) => {
+                            j = e + 1;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            if t.is_punct('{') {
+                body = braces.matching(j).map(|e| (j + 1, e));
+                break;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        if let Some((s, e)) = body {
+            out.push(FnSpan {
+                name: name_tok.text.clone(),
+                body_start: s,
+                body_end: e,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn braces_match_and_nest() {
+        let lx = lex("fn f() { let v = [1, (2)]; }");
+        let b = Braces::build(&lx.tokens);
+        let open = lx.tokens.iter().position(|t| t.is_punct('{')).unwrap();
+        let close = lx.tokens.iter().rposition(|t| t.is_punct('}')).unwrap();
+        assert_eq!(b.matching(open), Some(close));
+        // The `(` inside the array literal (not the parameter list).
+        let inner = lx.tokens.iter().rposition(|t| t.is_punct('(')).unwrap();
+        assert_eq!(b.enclosing_brace(inner), Some(open));
+    }
+
+    #[test]
+    fn cfg_test_items_are_spanned() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn also_live() {}";
+        let lx = lex(src);
+        let b = Braces::build(&lx.tokens);
+        let spans = test_spans(&lx.tokens, &b);
+        assert_eq!(spans.len(), 1);
+        let unwrap_idx = lx.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(in_spans(&spans, unwrap_idx));
+        let live_idx = lx
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("also_live"))
+            .unwrap();
+        assert!(!in_spans(&spans, live_idx));
+    }
+
+    #[test]
+    fn cfg_any_test_feature_is_spanned() {
+        let src = "#[cfg(any(test, feature = \"reference-kernel\"))]\nimpl Foo { fn r(&self) { x.unwrap(); } }\nfn live() { y.unwrap(); }";
+        let lx = lex(src);
+        let b = Braces::build(&lx.tokens);
+        let spans = test_spans(&lx.tokens, &b);
+        let x = lx.tokens.iter().position(|t| t.is_ident("x")).unwrap();
+        let y = lx.tokens.iter().position(|t| t.is_ident("y")).unwrap();
+        assert!(in_spans(&spans, x));
+        assert!(!in_spans(&spans, y));
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let src = "fn a() { one(); }\nimpl T { fn b(&self) -> usize { two() } }";
+        let lx = lex(src);
+        let b = Braces::build(&lx.tokens);
+        let fns = fn_spans(&lx.tokens, &b);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "a");
+        assert_eq!(fns[1].name, "b");
+        let two = lx.tokens.iter().position(|t| t.is_ident("two")).unwrap();
+        assert!(fns[1].body_start <= two && two <= fns[1].body_end);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: marker-audit violations.
+
+// adt-allow(determinism): fixture: stale marker with nothing to suppress
+pub fn clean() -> u32 {
+    7
+}
+
+// adt-allow(mystery-rule): fixture: unknown rule name
+pub fn also_clean() -> u32 {
+    9
+}
+
+pub fn reasonless() -> usize {
+    // adt-allow(determinism)
+    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    m.len()
+}

@@ -1,0 +1,23 @@
+//! Fixture: panic-scoped kernel file with seeded violations.
+
+pub fn kernel(v: &[u32], i: usize) -> u32 {
+    let first = v.first().unwrap();
+    if *first > 3 {
+        panic!("boom");
+    }
+    v[i + 1]
+}
+
+pub fn guarded(v: &[u32]) -> u32 {
+    // adt-allow(panic-safety): fixture: caller guarantees non-empty input
+    *v.iter().next().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let w: Option<u32> = Some(2);
+        assert_eq!(w.unwrap(), 2);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: determinism-scoped file with seeded violations.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn scan(n: u32) -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(n, n);
+    let t = Instant::now();
+    // adt-allow(determinism): fixture: deterministic input set, order never reaches output
+    let mut s: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    s.insert(n);
+    m.len() + s.len() + t.elapsed().as_nanos() as usize
+}

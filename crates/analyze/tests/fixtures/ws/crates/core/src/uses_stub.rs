@@ -1,0 +1,11 @@
+//! Fixture: imports against the devstubs tree.
+
+use fakedep::sub::there;
+use fakedep::Good;
+use fakedep::Missing;
+
+pub fn f() -> Good {
+    there();
+    let _ = Missing;
+    Good
+}

@@ -1,0 +1,14 @@
+//! Fixture: opposite lock order from server.rs — a deadlock pair.
+
+pub struct Mirror {
+    alpha: std::sync::Mutex<u32>,
+    beta: std::sync::Mutex<u32>,
+}
+
+impl Mirror {
+    pub fn reversed(&self) -> u32 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *a + *b
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: serve-scoped file with lock-discipline violations.
+
+pub struct Hub {
+    alpha: std::sync::Mutex<u32>,
+    beta: std::sync::Mutex<u32>,
+    rx: std::sync::Mutex<std::sync::mpsc::Receiver<u32>>,
+    tx: std::sync::mpsc::Sender<u32>,
+}
+
+impl Hub {
+    pub fn pump(&self) {
+        let g = self.alpha.lock();
+        let _ = self.tx.send(0);
+        drop(g);
+    }
+
+    pub fn ordered(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    pub fn drain(&self) {
+        // adt-allow(lock-discipline): fixture: guard exists only for the recv handoff
+        let _ = self.rx.lock().recv();
+    }
+}

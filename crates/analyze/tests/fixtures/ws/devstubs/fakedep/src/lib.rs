@@ -1,0 +1,7 @@
+//! Fixture stub crate: exports `Good` and `sub::there`, but not `Missing`.
+
+pub struct Good;
+
+pub mod sub {
+    pub fn there() {}
+}

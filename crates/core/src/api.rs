@@ -110,7 +110,7 @@ pub fn finalize_predictions(mut preds: Vec<Prediction>, limit: usize) -> Vec<Pre
 /// Tallies distinct values with their multiplicities, sorted by frequency
 /// (ascending — rare values first) then value.
 pub fn value_counts(column: &Column) -> Vec<(String, usize)> {
-    let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    let mut counts: adt_stats::FxHashMap<&str, usize> = adt_stats::FxHashMap::default();
     for v in column.non_empty_values() {
         *counts.entry(v).or_insert(0) += 1;
     }

@@ -505,6 +505,7 @@ impl AutoDetect {
 
         // Generalize every distinct value once under all languages (cache
         // hits skip the work entirely), viewed per-language.
+        // adt-allow(determinism): wall-clock feeds ScanStats timing fields only, never detection results
         let hash_start = Instant::now();
         let mut hashes: Vec<Vec<PatternHash>> =
             (0..num_langs).map(|_| Vec::with_capacity(d)).collect();
@@ -512,6 +513,7 @@ impl AutoDetect {
             cache.append_hashes(self, v, &mut hashes);
         }
         stats.hash_nanos = hash_start.elapsed().as_nanos() as u64;
+        // adt-allow(determinism): wall-clock feeds ScanStats timing fields only, never detection results
         let score_start = Instant::now();
         let calibrations: Vec<&Calibration> = self.calibrations();
 

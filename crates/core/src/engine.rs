@@ -23,8 +23,8 @@ use crate::aggregate::Aggregator;
 use crate::detector::{AutoDetect, ColumnFinding, PatternCache, ScanStats, TableFinding};
 use crate::error::AdtError;
 use adt_corpus::{Column, Corpus, CsvRecords, Table};
+use adt_stats::FxHashMap;
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -180,6 +180,7 @@ impl WorkerCache {
     }
 
     fn cache_mut(&mut self) -> &mut PatternCache {
+        // adt-allow(panic-safety): the Option is only emptied by Drop; a None here is an impossible state worth a loud failure
         self.cache.as_mut().expect("cache present until drop")
     }
 }
@@ -323,9 +324,11 @@ impl ScanEngine {
 
     /// Scans a set of columns in parallel.
     pub fn scan_columns(&self, columns: &[Column]) -> Result<ScanReport, AdtError> {
+        // adt-allow(determinism): wall-clock feeds ScanStats timing fields only, never detection results
         let start = Instant::now();
         let model = &*self.model;
         let aggregator = self.aggregator;
+        // adt-allow(determinism): wall-clock feeds ScanStats timing fields only, never detection results
         let scan_start = Instant::now();
         let results = parallel_map_with(
             columns,
@@ -360,7 +363,9 @@ impl ScanEngine {
         delim: char,
         has_header: bool,
     ) -> Result<ScanReport, AdtError> {
+        // adt-allow(determinism): wall-clock feeds ScanStats timing fields only, never detection results
         let start = Instant::now();
+        // adt-allow(determinism): wall-clock feeds ScanStats timing fields only, never detection results
         let read_start = Instant::now();
         let mut records = CsvRecords::new(reader, delim);
         let mut headers: Option<Vec<String>> = None;
@@ -374,11 +379,11 @@ impl ScanEngine {
         // Columns appear lazily as wider data rows arrive — the same
         // width rule as the in-memory loader (max over data rows), where
         // short rows pad with empty values that detection ignores.
-        let mut counts: Vec<HashMap<String, usize>> = Vec::new();
+        let mut counts: Vec<FxHashMap<String, usize>> = Vec::new();
         for record in records {
             let record = record.map_err(|e| AdtError::Csv(e.to_string()))?;
             if record.len() > counts.len() {
-                counts.resize_with(record.len(), HashMap::new);
+                counts.resize_with(record.len(), FxHashMap::default);
             }
             for (i, value) in record.into_iter().enumerate() {
                 if !value.is_empty() {
@@ -393,6 +398,7 @@ impl ScanEngine {
             .collect();
         let model = &*self.model;
         let aggregator = self.aggregator;
+        // adt-allow(determinism): wall-clock feeds ScanStats timing fields only, never detection results
         let scan_start = Instant::now();
         let results = parallel_map_with(
             &inputs,

@@ -12,7 +12,6 @@ use adt_patterns::{Pattern, PatternHash};
 use adt_stats::LanguageStats;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -59,7 +58,7 @@ fn score_training_set(
     npmi: adt_stats::NpmiParams,
 ) -> Vec<f64> {
     let lang = stats.language;
-    let mut memo: HashMap<&str, PatternHash> = HashMap::new();
+    let mut memo: adt_stats::FxHashMap<&str, PatternHash> = adt_stats::FxHashMap::default();
     let mut scores = Vec::with_capacity(training.len());
     for e in &training.examples {
         let hu = *memo

@@ -146,8 +146,11 @@ fn scan_group(group: Vec<ScanJob>, engine_threads: usize, pool: &Arc<CachePool>)
                 finding: f.finding.clone(),
             })
             .collect();
-        let columns = report.columns[offset..offset + len]
+        let columns = report
+            .columns
             .iter()
+            .skip(offset)
+            .take(len)
             .map(|c| ColumnSummary {
                 index: c.index - offset,
                 header: c.header.clone(),

@@ -315,8 +315,11 @@ impl<'a> Parser<'a> {
             }
             if self.pos > start {
                 // The input is valid UTF-8 (it came from a &str) and the
-                // run stops at an ASCII boundary, so the slice is valid.
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                // run stops at an ASCII boundary, so the slice is valid;
+                // still, fail as a parse error rather than a panic.
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                out.push_str(run);
             }
             match self.peek() {
                 Some(b'"') => {
@@ -411,7 +414,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("invalid number"))

@@ -16,7 +16,7 @@ use adt_core::{load_model, AdtError, AutoDetect};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::SystemTime;
 
 /// A model resolved for one request.
@@ -103,9 +103,21 @@ impl ModelRegistry {
         &self.dir
     }
 
+    /// A poisoned lock means some other worker panicked mid-read or
+    /// mid-swap; the map itself is still consistent (writers only ever
+    /// install fully-built entries), so recover the guard instead of
+    /// cascading the panic into every subsequent request.
+    fn read_entries(&self) -> RwLockReadGuard<'_, HashMap<String, Entry>> {
+        self.entries.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_entries(&self) -> RwLockWriteGuard<'_, HashMap<String, Entry>> {
+        self.entries.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Sorted model names.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.entries.read().unwrap().keys().cloned().collect();
+        let mut names: Vec<String> = self.read_entries().keys().cloned().collect();
         names.sort();
         names
     }
@@ -114,7 +126,7 @@ impl ModelRegistry {
     /// model named `default` if present, otherwise the single loaded
     /// model, otherwise `None` (the caller must then name one).
     pub fn default_name(&self) -> Option<String> {
-        let entries = self.entries.read().unwrap();
+        let entries = self.read_entries();
         if entries.contains_key("default") {
             return Some("default".to_string());
         }
@@ -138,25 +150,26 @@ impl ModelRegistry {
     /// changed. Returns `None` for unknown names.
     pub fn get(&self, name: &str) -> Option<ModelHandle> {
         let (path, stale_fp) = {
-            let entries = self.entries.read().unwrap();
+            let entries = self.read_entries();
             let e = entries.get(name)?;
-            let current = fingerprint(&e.path);
-            if current == Some((e.mtime, e.len)) || current.is_none() {
+            match fingerprint(&e.path) {
+                Some(fp) if fp != (e.mtime, e.len) => (e.path.clone(), fp),
                 // Unchanged (or the file vanished: keep serving what we
                 // have — models are immutable once loaded).
-                return Some(ModelHandle {
-                    name: name.to_string(),
-                    model: Arc::clone(&e.model),
-                    generation: e.generation,
-                });
+                _ => {
+                    return Some(ModelHandle {
+                        name: name.to_string(),
+                        model: Arc::clone(&e.model),
+                        generation: e.generation,
+                    });
+                }
             }
-            (e.path.clone(), current.unwrap())
         };
         // Changed on disk: reload outside any lock (loads can be slow),
         // then swap under the write lock.
         match load_model(&path) {
             Ok(model) => {
-                let mut entries = self.entries.write().unwrap();
+                let mut entries = self.write_entries();
                 let e = entries.get_mut(name)?;
                 // Another worker may have won the race; only bump once
                 // per observed fingerprint.
@@ -176,7 +189,7 @@ impl ModelRegistry {
             Err(_) => {
                 // Unreadable mid-write file: keep the old model.
                 self.reload_errors.fetch_add(1, Ordering::Relaxed);
-                let entries = self.entries.read().unwrap();
+                let entries = self.read_entries();
                 let e = entries.get(name)?;
                 Some(ModelHandle {
                     name: name.to_string(),
@@ -190,7 +203,7 @@ impl ModelRegistry {
     /// Per-model `(name, generation, languages, size_bytes)` rows for
     /// `/v1/models` and `/v1/stats`.
     pub fn describe(&self) -> Vec<(String, u64, usize, usize)> {
-        let entries = self.entries.read().unwrap();
+        let entries = self.read_entries();
         let mut rows: Vec<(String, u64, usize, usize)> = entries
             .iter()
             .map(|(name, e)| {

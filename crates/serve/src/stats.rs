@@ -121,13 +121,22 @@ impl Default for ServerStats {
 impl ServerStats {
     /// Counts one served scan against `model`.
     pub fn record_model_hit(&self, model: &str) {
-        let mut map = self.per_model.lock().unwrap();
+        // Counters stay valid under poison (increments are atomic with
+        // respect to the guard), so recover instead of panicking the
+        // worker that merely wanted to bump a stat.
+        let mut map = self
+            .per_model
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *map.entry(model.to_string()).or_insert(0) += 1;
     }
 
     /// Sorted `(model, hits)` pairs.
     pub fn model_hits(&self) -> Vec<(String, u64)> {
-        let map = self.per_model.lock().unwrap();
+        let map = self
+            .per_model
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut hits: Vec<(String, u64)> = map.iter().map(|(k, v)| (k.clone(), *v)).collect();
         hits.sort();
         hits

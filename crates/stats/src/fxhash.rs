@@ -12,6 +12,7 @@
 //! Vendored in-tree because the build must work in air-gapped containers
 //! with no registry access; the implementation is ~40 lines.
 
+// adt-allow(determinism): this is the FxHashMap definition site; std maps are re-exported with the deterministic hasher below
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasher, Hasher};
 
@@ -100,9 +101,9 @@ impl BuildHasher for FxBuildHasher {
 }
 
 /// A `HashMap` keyed through [`FxHasher`].
-pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>; // adt-allow(determinism): alias definition; hasher is seedless and deterministic
 /// A `HashSet` keyed through [`FxHasher`].
-pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>; // adt-allow(determinism): alias definition; hasher is seedless and deterministic
 
 /// Hashes one value with [`FxHasher`] (fingerprints, cache keys).
 pub fn fx_hash_one<T: std::hash::Hash>(value: &T) -> u64 {

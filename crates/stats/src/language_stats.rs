@@ -7,7 +7,6 @@ use crate::store::{CoocBackend, SketchSpec, OCC_ENTRY_BYTES};
 use adt_corpus::Corpus;
 use adt_patterns::{Language, Pattern, PatternHash};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Construction parameters for [`LanguageStats`].
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -66,7 +65,7 @@ impl LanguageStats {
         let mut stats = LanguageStats::empty(language, config);
         // Memoize value -> pattern hash for this language; corpora repeat
         // values heavily (years, placeholders, common words).
-        let mut memo: HashMap<&str, PatternHash> = HashMap::new();
+        let mut memo: FxHashMap<&str, PatternHash> = FxHashMap::default();
         for col in corpus.columns() {
             stats.absorb_column_memo(col, config, Some(&mut memo));
         }
@@ -84,7 +83,7 @@ impl LanguageStats {
         &mut self,
         column: &'a adt_corpus::Column,
         config: &StatsConfig,
-        memo: Option<&mut HashMap<&'a str, PatternHash>>,
+        memo: Option<&mut FxHashMap<&'a str, PatternHash>>,
     ) {
         let language = self.language;
         self.n_columns += 1;

@@ -5,10 +5,10 @@
 //! examples and diagnostics: which patterns a column contains under a
 //! language, with counts and representative values.
 
+use crate::fxhash::FxHashMap;
 use adt_corpus::Column;
 use adt_patterns::{Language, Pattern};
 use serde::Serialize;
-use std::collections::HashMap;
 
 /// One pattern bucket of a column profile.
 #[derive(Debug, Clone, Serialize)]
@@ -49,7 +49,7 @@ impl ColumnProfile {
 
 /// Computes a column's pattern histogram under `language`.
 pub fn column_profile(column: &Column, language: &Language) -> ColumnProfile {
-    let mut buckets: HashMap<String, PatternBucket> = HashMap::new();
+    let mut buckets: FxHashMap<String, PatternBucket> = FxHashMap::default();
     let mut cells = 0usize;
     for v in column.non_empty_values() {
         cells += 1;

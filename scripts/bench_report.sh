@@ -28,3 +28,27 @@ if [ "${ADT_OFFLINE:-0}" = "1" ]; then
 else
     cargo run $PROFILE -q -p adt-bench --bin bench_report -- $FLAGS --out "$OUT"
 fi
+
+# Record the adt-analyze gate's end-to-end runtime (build + scan of the
+# real tree) in the same sidecar: the lint pass is part of the CI budget
+# and regressions in it should show up next to the kernel numbers.
+START_NS=$(date +%s%N)
+if [ "${ADT_OFFLINE:-0}" = "1" ]; then
+    scripts/offline_check.sh run -q -p adt-analyze -- --json --root "$(pwd)" >/dev/null
+else
+    cargo run -q -p adt-analyze -- --json >/dev/null
+fi
+END_NS=$(date +%s%N)
+python3 - "$OUT" "$START_NS" "$END_NS" <<'EOF'
+import json
+import sys
+
+path, start, end = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+with open(path) as f:
+    data = json.load(f)
+data["analyze_gate_seconds"] = round((end - start) / 1e9, 3)
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+    f.write("\n")
+EOF
+echo "analyze gate runtime recorded in $OUT"
