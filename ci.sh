@@ -26,7 +26,7 @@ if [ "${ADT_OFFLINE:-0}" = "1" ]; then
     echo "== serve smoke test (offline stubs)"
     scripts/offline_check.sh build --bin autodetect
     scripts/serve_smoke.sh "${ADT_OFFLINE_DIR:-/tmp/adt-offline-check}/target/debug/autodetect"
-    echo "== kernel bench report smoke (offline stubs)"
+    echo "== bench report smoke: kernels + train pipeline (offline stubs)"
     scripts/bench_report.sh quick
 else
     echo "== clippy"
@@ -38,7 +38,7 @@ else
     echo "== serve smoke test"
     cargo build --bin autodetect
     scripts/serve_smoke.sh target/debug/autodetect
-    echo "== kernel bench report smoke"
+    echo "== bench report smoke: kernels + train pipeline"
     scripts/bench_report.sh quick
 fi
 

@@ -51,6 +51,16 @@ fn seeded_violations_reported_with_file_and_line() {
         has(f, "crates/core/src/detector.rs", 8, "panic-safety"),
         "{f:#?}"
     );
+    // panic-safety + determinism in the widened stats-build scope: the
+    // sharded training pipeline is held to the same kernel rules.
+    assert!(
+        has(f, "crates/stats/src/pipeline.rs", 4, "determinism"),
+        "{f:#?}"
+    );
+    assert!(
+        has(f, "crates/stats/src/pipeline.rs", 8, "panic-safety"),
+        "{f:#?}"
+    );
     // lock-discipline: blocking send under a guard, and both sides of an
     // inconsistent cross-file acquisition order.
     assert!(
@@ -89,13 +99,13 @@ fn seeded_violations_reported_with_file_and_line() {
 fn per_rule_counts_are_exact() {
     let a = run_fixture();
     let count = |rule: &str| a.findings.iter().filter(|f| f.rule == rule).count();
-    assert_eq!(count("determinism"), 3, "{:#?}", a.findings);
-    assert_eq!(count("panic-safety"), 3, "{:#?}", a.findings);
+    assert_eq!(count("determinism"), 4, "{:#?}", a.findings);
+    assert_eq!(count("panic-safety"), 4, "{:#?}", a.findings);
     assert_eq!(count("lock-discipline"), 3, "{:#?}", a.findings);
     assert_eq!(count("allow-audit"), 3, "{:#?}", a.findings);
     assert_eq!(count("stub-parity"), 1, "{:#?}", a.findings);
-    assert_eq!(a.findings.len(), 13, "{:#?}", a.findings);
-    assert_eq!(a.files_scanned, 6);
+    assert_eq!(a.findings.len(), 15, "{:#?}", a.findings);
+    assert_eq!(a.files_scanned, 7);
 }
 
 #[test]
@@ -110,6 +120,11 @@ fn justified_markers_suppress_their_findings() {
     // Suppressed: expect under a reasoned marker.
     assert!(
         !has(f, "crates/core/src/detector.rs", 13, "panic-safety"),
+        "{f:#?}"
+    );
+    // Suppressed: worker-slot expect in the stats pipeline scope.
+    assert!(
+        !has(f, "crates/stats/src/pipeline.rs", 13, "panic-safety"),
         "{f:#?}"
     );
     // Suppressed: recv-under-guard handoff under a reasoned marker.
@@ -146,14 +161,14 @@ fn json_report_is_stable_and_structured() {
     let second = run_fixture().to_json();
     assert_eq!(first, second, "JSON report must be byte-stable across runs");
     assert!(first.contains("\"version\": 1"));
-    assert!(first.contains("\"files_scanned\": 6"));
-    assert!(first.contains("\"determinism\": 3"));
-    assert!(first.contains("\"panic-safety\": 3"));
+    assert!(first.contains("\"files_scanned\": 7"));
+    assert!(first.contains("\"determinism\": 4"));
+    assert!(first.contains("\"panic-safety\": 4"));
     assert!(first.contains("\"lock-discipline\": 3"));
     assert!(first.contains("\"allow-audit\": 3"));
     assert!(first.contains("\"stub-parity\": 1"));
     // One JSON row per finding.
-    assert_eq!(first.matches("{\"file\": ").count(), 13);
+    assert_eq!(first.matches("{\"file\": ").count(), 15);
 }
 
 #[test]

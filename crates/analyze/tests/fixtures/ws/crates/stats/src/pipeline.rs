@@ -1,0 +1,14 @@
+//! Fixture: the sharded training pipeline is panic- and determinism-scoped.
+
+pub fn merge_shards(shards: &[Vec<u64>], stride: usize) -> u64 {
+    let mut acc = std::collections::HashMap::new();
+    for s in shards {
+        acc.insert(s.len() as u64, 1u64);
+    }
+    shards[stride * 2].len() as u64
+}
+
+pub fn take_slot(slots: &mut Vec<Option<u64>>) -> u64 {
+    // adt-allow(panic-safety): fixture: slot was filled by the worker that just joined
+    slots.pop().flatten().expect("worker result present")
+}

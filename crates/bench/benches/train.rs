@@ -1,0 +1,86 @@
+//! Criterion bench for the sharded training pipeline: multi-language
+//! statistics construction, corpus-major pipeline vs the language-major
+//! reference build.
+//!
+//! The acceptance bar is ≥3× over the reference at equal thread count on
+//! the coarse-36 language set — the win is algorithmic (one corpus
+//! intern + one multi-language character traversal per distinct value,
+//! instead of K independent full-corpus scans), so it must hold even on
+//! a single core. Thread sweeps on the pipeline additionally show shard
+//! scaling on multi-core hardware.
+
+use adt_corpus::{generate_corpus, Corpus, CorpusProfile};
+use adt_patterns::enumerate_coarse_languages;
+use adt_stats::{collect_stats_for_languages, collect_stats_reference, StatsConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_corpus(columns: usize) -> Corpus {
+    let mut p = CorpusProfile::web(columns);
+    p.dirty_rate = 0.0;
+    generate_corpus(&p)
+}
+
+fn bench_train_pipeline_vs_reference(c: &mut Criterion) {
+    let corpus = bench_corpus(400);
+    let config = StatsConfig::default();
+    for n_langs in [6usize, 36] {
+        let languages: Vec<_> = enumerate_coarse_languages()
+            .into_iter()
+            .take(n_langs)
+            .collect();
+        let mut group = c.benchmark_group(format!("train_400c_{n_langs}l"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(
+            (corpus.len() * languages.len()) as u64,
+        ));
+        group.bench_function("reference_1t", |b| {
+            b.iter(|| {
+                black_box(
+                    collect_stats_reference(&languages, &corpus, &config, 1)
+                        .expect("reference build failed"),
+                )
+            })
+        });
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_function(format!("pipeline_{threads}t"), |b| {
+                b.iter(|| {
+                    black_box(
+                        collect_stats_for_languages(&languages, &corpus, &config, threads)
+                            .expect("pipeline build failed"),
+                    )
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_train_corpus_scaling(c: &mut Criterion) {
+    let config = StatsConfig::default();
+    let languages: Vec<_> = enumerate_coarse_languages().into_iter().take(12).collect();
+    let mut group = c.benchmark_group("train_corpus_scaling_12l");
+    group.sample_size(10);
+    for columns in [100usize, 400, 1_600] {
+        let corpus = bench_corpus(columns);
+        group.throughput(Throughput::Elements(
+            (corpus.len() * languages.len()) as u64,
+        ));
+        group.bench_function(format!("pipeline_{columns}c"), |b| {
+            b.iter(|| {
+                black_box(
+                    collect_stats_for_languages(&languages, &corpus, &config, 0)
+                        .expect("pipeline build failed"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_train_pipeline_vs_reference,
+    bench_train_corpus_scaling
+);
+criterion_main!(benches);

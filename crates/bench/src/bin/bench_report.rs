@@ -1,21 +1,29 @@
-//! Machine-readable perf report for the pattern-group scan kernel.
+//! Machine-readable perf report for the pattern-group scan kernel and
+//! the sharded training pipeline.
 //!
 //! Races the group kernel (cold cache and warm cache) against the naive
-//! value-pair reference on the shared bench shapes, checks the two
-//! kernels still agree byte-for-byte, and writes a JSON report with
-//! per-shape median ns/op and NPMI probe counters. JSON is hand-rolled:
-//! the report must also work in the offline CI harness, whose
-//! `serde_json` stub cannot serialize.
+//! value-pair reference on the shared bench shapes, races the
+//! corpus-major training pipeline against the language-major reference
+//! build, checks each pair still agrees byte-for-byte, and writes a JSON
+//! report with per-shape median ns/op, NPMI probe counters, and training
+//! throughput. JSON is hand-rolled: the report must also work in the
+//! offline CI harness, whose `serde_json` stub cannot serialize.
 //!
 //!   bench_report [--quick] [--iters N] [--out PATH]
 //!
-//! `--quick` halves the shape widths and iteration count — the CI smoke
-//! configuration (`scripts/bench_report.sh quick`). Timings from a
-//! debug build are only good for the probe-ratio columns; use
+//! `--quick` halves the shape widths, corpus size, and iteration count —
+//! the CI smoke configuration (`scripts/bench_report.sh quick`). Timings
+//! from a debug build are only good for the probe-ratio and
+//! train-speedup columns (both algorithmic ratios); use
 //! `scripts/bench_report.sh` (release, full widths) for real numbers.
 
 use adt_bench::kernel_bench::{bench_model, shape_counts, shape_width, SHAPES};
 use adt_core::{Aggregator, AutoDetect, PatternCache};
+use adt_corpus::{Column, Corpus, SourceTag};
+use adt_patterns::enumerate_coarse_languages;
+use adt_stats::{
+    collect_stats_reference, for_each_language_stats, LanguageStats, PipelineOptions, StatsConfig,
+};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -95,7 +103,125 @@ fn run_shape(model: &AutoDetect, shape: &'static str, quick: bool, iters: usize)
     }
 }
 
-fn json_report(mode: &str, iters: usize, shapes: &[ShapeReport]) -> String {
+struct TrainReport {
+    columns: usize,
+    languages: usize,
+    interned_values: u64,
+    value_occurrences: u64,
+    generalizations_saved: u64,
+    pipeline_ns: u64,
+    reference_ns: u64,
+}
+
+impl TrainReport {
+    /// Language-major reference time per corpus-major pipeline time at
+    /// equal thread count (the ≥3× acceptance ratio; the win is
+    /// algorithmic, so it must hold on one core and in debug builds).
+    fn speedup(&self) -> f64 {
+        self.reference_ns as f64 / self.pipeline_ns.max(1) as f64
+    }
+
+    fn columns_per_sec(&self) -> f64 {
+        self.columns as f64 / (self.pipeline_ns.max(1) as f64 / 1e9)
+    }
+
+    fn values_per_sec(&self) -> f64 {
+        self.value_occurrences as f64 / (self.pipeline_ns.max(1) as f64 / 1e9)
+    }
+}
+
+fn stats_bytes(s: &LanguageStats) -> Vec<u8> {
+    let mut buf = Vec::new();
+    s.write_binary(&mut buf).expect("in-memory write");
+    buf
+}
+
+/// A duplicate-heavy web-table-style training corpus: 100-cell columns
+/// drawing from a 16-value window of a shared 64-value family pool
+/// (dates, currency, codes, decimals). Value repetition — across the
+/// corpus and especially within a column (think country, category, or
+/// year columns) — is the defining property of the paper's 350M-column
+/// web corpus, and what the pipeline's intern pass collapses once while
+/// the language-major reference re-pays it per occurrence per language.
+fn train_bench_corpus(columns: usize) -> Corpus {
+    type Family = fn(usize) -> String;
+    let families: [Family; 4] = [
+        |i| format!("{:02}/{:02}/20{:02}", i % 12 + 1, i % 28 + 1, i % 20),
+        |i| format!("${}.{:02}", 10 + i % 90, i % 100),
+        |i| format!("AB-{:04}", 1000 + i * 7 % 9000),
+        |i| format!("{}.{:03}", i % 50, i * 13 % 1000),
+    ];
+    // Fixed-seed LCG so the report is reproducible run to run.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let cols = (0..columns)
+        .map(|c| {
+            let fam = families[c % families.len()];
+            let window = next() % 64;
+            let vals: Vec<String> = (0..100).map(|_| fam((window + next() % 16) % 64)).collect();
+            Column::new(vals, SourceTag::Web)
+        })
+        .collect();
+    Corpus::from_columns(cols)
+}
+
+/// Races the sharded training pipeline against the language-major
+/// reference build on the coarse-36 language set, after checking the two
+/// produce byte-identical statistics for every language.
+fn run_train(quick: bool, iters: usize) -> TrainReport {
+    let corpus = train_bench_corpus(if quick { 300 } else { 1_200 });
+    let languages = enumerate_coarse_languages();
+    let config = StatsConfig::default();
+    let opts = PipelineOptions {
+        threads: 1, // equal footing with the single-thread reference
+        ..PipelineOptions::default()
+    };
+
+    let (pipeline_stats, report) =
+        for_each_language_stats(&languages, &corpus, &config, &opts, |_, s| s)
+            .expect("pipeline build failed");
+    let reference_stats =
+        collect_stats_reference(&languages, &corpus, &config, 1).expect("reference build failed");
+    for (lang, (p, r)) in languages
+        .iter()
+        .zip(pipeline_stats.iter().zip(&reference_stats))
+    {
+        if stats_bytes(p) != stats_bytes(r) {
+            eprintln!("FAIL: training builds disagree for language {lang:?}");
+            std::process::exit(1);
+        }
+    }
+
+    let pipeline_ns = median_ns(iters, || {
+        black_box(
+            for_each_language_stats(&languages, &corpus, &config, &opts, |_, s| s)
+                .expect("pipeline build failed"),
+        );
+    });
+    let reference_ns = median_ns(iters, || {
+        black_box(
+            collect_stats_reference(&languages, &corpus, &config, 1)
+                .expect("reference build failed"),
+        );
+    });
+
+    TrainReport {
+        columns: corpus.len(),
+        languages: languages.len(),
+        interned_values: report.interned_values,
+        value_occurrences: report.value_occurrences,
+        generalizations_saved: report.generalizations_saved,
+        pipeline_ns,
+        reference_ns,
+    }
+}
+
+fn json_report(mode: &str, iters: usize, shapes: &[ShapeReport], train: &TrainReport) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"bench\": \"scan_kernels\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
@@ -130,7 +256,24 @@ fn json_report(mode: &str, iters: usize, shapes: &[ShapeReport]) -> String {
             if i + 1 < shapes.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"train\": {{\"columns\": {}, \"languages\": {}, \"interned_values\": {}, \
+         \"value_occurrences\": {}, \"generalizations_saved\": {}, \
+         \"pipeline_median_ns\": {}, \"reference_median_ns\": {}, \
+         \"columns_per_sec\": {:.1}, \"values_per_sec\": {:.1}, \"speedup\": {:.2}}}\n",
+        train.columns,
+        train.languages,
+        train.interned_values,
+        train.value_occurrences,
+        train.generalizations_saved,
+        train.pipeline_ns,
+        train.reference_ns,
+        train.columns_per_sec(),
+        train.values_per_sec(),
+        train.speedup()
+    ));
+    s.push_str("}\n");
     s
 }
 
@@ -160,6 +303,9 @@ fn main() {
         .map(|shape| run_shape(&model, shape, quick, iters))
         .collect();
 
+    eprintln!("[bench_report] racing training pipeline vs reference build…");
+    let train = run_train(quick, if quick { 3 } else { 7 });
+
     println!(
         "{:<16} {:>5} {:>14} {:>14} {:>14} {:>12} {:>12}",
         "shape", "d", "group_cold_ns", "group_warm_ns", "reference_ns", "ref_probes", "probe_ratio"
@@ -177,7 +323,21 @@ fn main() {
         );
     }
 
-    let json = json_report(mode, iters, &reports);
+    println!(
+        "train: {} columns x {} languages, {} distinct values ({} occurrences), \
+         pipeline {} ns vs reference {} ns = {:.1}x ({:.0} columns/s, {:.0} values/s)",
+        train.columns,
+        train.languages,
+        train.interned_values,
+        train.value_occurrences,
+        train.pipeline_ns,
+        train.reference_ns,
+        train.speedup(),
+        train.columns_per_sec(),
+        train.values_per_sec()
+    );
+
+    let json = json_report(mode, iters, &reports, &train);
     if let Some(path) = out {
         std::fs::write(&path, &json).unwrap_or_else(|e| {
             eprintln!("FAIL: cannot write {path}: {e}");

@@ -14,7 +14,7 @@ use adt_core::{
 };
 use adt_corpus::{generate_corpus, CorpusProfile};
 use adt_patterns::Pattern;
-use adt_stats::LanguageStats;
+use adt_stats::collect_stats_for_languages;
 use std::collections::HashMap;
 
 fn main() {
@@ -41,12 +41,19 @@ fn main() {
     );
     let pool = calibrate_candidates(&corpus, &cfg, &training).expect("calibration failed");
 
-    // Score matrices for DT (the expensive part ST avoids).
+    // Score matrices for DT (the expensive part ST avoids). All 36
+    // statistics come from one sharded-pipeline pass over the corpus.
     eprintln!("[dt] scoring matrices…");
     let languages = cfg.candidate_languages();
+    let all_stats = collect_stats_for_languages(
+        &languages,
+        &corpus,
+        &cfg.stats,
+        cfg.effective_train_threads(),
+    )
+    .expect("stats build failed");
     let mut scores: Vec<Vec<f64>> = Vec::with_capacity(languages.len());
-    for lang in &languages {
-        let stats = LanguageStats::build(*lang, &corpus, &cfg.stats);
+    for (lang, stats) in languages.iter().zip(&all_stats) {
         let mut memo: HashMap<&str, adt_patterns::PatternHash> = HashMap::new();
         let v: Vec<f64> = training
             .examples

@@ -8,7 +8,7 @@ use adt_bench::{default_config, emit, train_corpus};
 use adt_core::build_training_set;
 use adt_eval::report::{empirical_cdf, Figure};
 use adt_patterns::Language;
-use adt_stats::{LanguageStats, NpmiParams};
+use adt_stats::{collect_stats_for_languages, NpmiParams};
 
 fn main() {
     let corpus = train_corpus();
@@ -19,8 +19,15 @@ fn main() {
         "fig17b_npmi_cdf",
         "CDF of NPMI under L1 (symbols literal) and L2 (class level) over training pairs (paper Fig 17b)",
     );
-    for (label, lang) in [("L1", Language::paper_l1()), ("L2", Language::paper_l2())] {
-        let stats = LanguageStats::build(lang, &corpus, &cfg.stats);
+    let languages = [Language::paper_l1(), Language::paper_l2()];
+    let stats_pair = collect_stats_for_languages(
+        &languages,
+        &corpus,
+        &cfg.stats,
+        cfg.effective_train_threads(),
+    )
+    .expect("stats build failed");
+    for (label, stats) in ["L1", "L2"].iter().zip(&stats_pair) {
         let mut scores: Vec<f64> = training
             .examples
             .iter()

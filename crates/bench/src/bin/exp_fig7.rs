@@ -33,7 +33,8 @@ fn main() {
             memory_budget: budget,
             ..cfg.clone()
         };
-        let (model, report) = select_and_assemble(&corpus, &budget_cfg, &training, &pool);
+        let (model, report) =
+            select_and_assemble(&corpus, &budget_cfg, &training, &pool).expect("assembly failed");
         eprintln!(
             "[fig7] budget {label}: {} languages {:?} ({} bytes)",
             model.num_languages(),

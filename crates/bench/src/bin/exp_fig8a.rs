@@ -31,7 +31,8 @@ fn main() {
             sketch_fraction: frac,
             ..cfg.clone()
         };
-        let (model, report) = select_and_assemble(&corpus, &sketch_cfg, &training, &pool);
+        let (model, report) =
+            select_and_assemble(&corpus, &sketch_cfg, &training, &pool).expect("assembly failed");
         eprintln!(
             "[fig8a] {label}: model {} bytes ({} languages)",
             report.model_bytes,

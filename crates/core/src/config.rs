@@ -50,6 +50,11 @@ pub struct AutoDetectConfig {
     pub negative_prune_threshold: f64,
     /// Worker threads for per-language scans.
     pub threads: usize,
+    /// Worker threads for the sharded training pipeline; `0` defers to
+    /// [`AutoDetectConfig::threads`]. Training results are identical at
+    /// any setting (the pipeline merges deterministically), so this only
+    /// tunes wall-clock and memory.
+    pub train_threads: usize,
     /// Cap on distinct values per column considered during detection
     /// (carried into the trained model).
     pub max_distinct_values: usize,
@@ -75,6 +80,7 @@ impl Default for AutoDetectConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            train_threads: 0,
             max_distinct_values: 64,
             seed: 0xAD7_7EA1,
             sketch_fraction: None,
@@ -106,6 +112,17 @@ impl AutoDetectConfig {
         match self.space {
             LanguageSpace::Restricted144 => adt_patterns::enumerate_restricted_languages(),
             LanguageSpace::Coarse36 => adt_patterns::enumerate_coarse_languages(),
+        }
+    }
+
+    /// Worker threads the training pipeline will actually use:
+    /// [`AutoDetectConfig::train_threads`] when set, otherwise
+    /// [`AutoDetectConfig::threads`] (floored at 1).
+    pub fn effective_train_threads(&self) -> usize {
+        if self.train_threads > 0 {
+            self.train_threads
+        } else {
+            self.threads.max(1)
         }
     }
 
@@ -196,6 +213,13 @@ impl AutoDetectConfigBuilder {
         } else {
             threads
         };
+        self
+    }
+
+    /// Worker threads for the sharded training pipeline; `0` defers to
+    /// the scan thread count.
+    pub fn train_threads(mut self, threads: usize) -> Self {
+        self.config.train_threads = threads;
         self
     }
 
@@ -322,5 +346,21 @@ mod tests {
     fn builder_zero_threads_means_available_parallelism() {
         let c = AutoDetectConfig::builder().threads(0).build().unwrap();
         assert!(c.threads >= 1);
+    }
+
+    #[test]
+    fn train_threads_defers_to_scan_threads_when_zero() {
+        let c = AutoDetectConfig::builder()
+            .threads(3)
+            .train_threads(0)
+            .build()
+            .unwrap();
+        assert_eq!(c.effective_train_threads(), 3);
+        let c = AutoDetectConfig::builder()
+            .threads(3)
+            .train_threads(7)
+            .build()
+            .unwrap();
+        assert_eq!(c.effective_train_threads(), 7);
     }
 }

@@ -55,8 +55,8 @@ pub use engine::{
 };
 pub use error::AdtError;
 pub use model::{
-    calibrate_candidates, load_model, save_model, select_and_assemble, train,
-    train_with_training_set, CalibratedCandidate, TrainReport,
+    calibrate_candidates, calibrate_candidates_with_report, load_model, save_model,
+    select_and_assemble, train, train_with_training_set, CalibratedCandidate, TrainReport,
 };
 pub use selection::{greedy_select, CandidateSummary, SelectionResult};
 pub use training::{build_training_set, Example, Label, TrainingSet};

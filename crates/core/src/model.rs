@@ -9,12 +9,17 @@ use crate::selection::{greedy_select, CandidateSummary, SelectionResult};
 use crate::training::{build_training_set, TrainingSet};
 use adt_corpus::Corpus;
 use adt_patterns::{Pattern, PatternHash};
-use adt_stats::LanguageStats;
-use parking_lot::Mutex;
+use adt_stats::{LanguageStats, PipelineOptions, PipelineReport, StatsError};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn pipeline_error(e: StatsError) -> AdtError {
+    match e {
+        StatsError::WorkerPanicked(phase) => AdtError::Worker(phase),
+        StatsError::Merge(msg) => AdtError::Worker(msg),
+    }
+}
 
 /// Per-candidate training diagnostics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -48,6 +53,10 @@ pub struct TrainReport {
     pub selected_ids: Vec<String>,
     /// Final model size in bytes (after optional sketching).
     pub model_bytes: usize,
+    /// Training-pipeline counters (interned values, generalizations
+    /// performed vs saved, per-phase wall-clock), summed over the
+    /// calibration and assembly passes.
+    pub pipeline: PipelineReport,
 }
 
 /// Scores every training example under `stats`, memoizing per-value
@@ -74,11 +83,13 @@ fn score_training_set(
 
 /// Trains an Auto-Detect model on `corpus` under `config`.
 ///
-/// Candidate statistics are built one language at a time (in parallel
-/// worker threads when `config.threads > 1`) and dropped after
-/// calibration, so peak memory stays near a single fine-grained
-/// language's statistics; only the selected languages are rebuilt for the
-/// final model.
+/// Candidate statistics come from the corpus-major sharded pipeline
+/// (`adt_stats::TrainPipeline`): the corpus is interned once, every
+/// distinct value is generalized under whole language batches in a
+/// single traversal, and columns are sharded across
+/// `config.effective_train_threads()` workers. Statistics are calibrated
+/// and dropped batch by batch, so peak memory stays near one language
+/// batch; only the selected languages are rebuilt for the final model.
 ///
 /// Fails with [`AdtError::Config`] on an invalid configuration and
 /// [`AdtError::Worker`] if a training worker thread panics.
@@ -103,61 +114,52 @@ pub struct CalibratedCandidate {
     pub calibration: Calibration,
 }
 
-/// Training phase 1: builds statistics for every candidate language,
-/// scores the training set, and calibrates thresholds — in parallel
-/// worker threads. The expensive phase; its output can be reused across
-/// memory budgets and aggregators (Figures 7 and 8(b)).
+/// Training phase 1: builds statistics for every candidate language
+/// through the sharded pipeline, scores the training set, and calibrates
+/// thresholds. The expensive phase; its output can be reused across
+/// memory budgets and aggregators (Figures 7 and 8(b)). Also returns the
+/// pipeline's counter report.
+pub fn calibrate_candidates_with_report(
+    corpus: &Corpus,
+    config: &AutoDetectConfig,
+    training: &TrainingSet,
+) -> Result<(Vec<CalibratedCandidate>, PipelineReport), AdtError> {
+    config.validate()?;
+    let languages = config.candidate_languages();
+    let opts = PipelineOptions {
+        threads: config.effective_train_threads(),
+        ..PipelineOptions::default()
+    };
+    adt_stats::for_each_language_stats(&languages, corpus, &config.stats, &opts, |_, stats| {
+        let scores = score_training_set(&stats, training, config.npmi);
+        let calibration = calibrate_language(training, &scores, config.precision_target, 256);
+        CalibratedCandidate {
+            language: stats.language,
+            size_bytes: stats.size_bytes(),
+            calibration,
+        }
+    })
+    .map_err(pipeline_error)
+}
+
+/// [`calibrate_candidates_with_report`] without the counter report.
 pub fn calibrate_candidates(
     corpus: &Corpus,
     config: &AutoDetectConfig,
     training: &TrainingSet,
 ) -> Result<Vec<CalibratedCandidate>, AdtError> {
-    config.validate()?;
-    let languages = config.candidate_languages();
-    let results: Vec<Mutex<Option<(usize, Calibration)>>> =
-        (0..languages.len()).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let threads = config.threads.max(1).min(languages.len().max(1));
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= languages.len() {
-                    break;
-                }
-                let stats = LanguageStats::build(languages[i], corpus, &config.stats);
-                let scores = score_training_set(&stats, training, config.npmi);
-                let cal = calibrate_language(training, &scores, config.precision_target, 256);
-                *results[i].lock() = Some((stats.size_bytes(), cal));
-            });
-        }
-    })
-    .map_err(|_| AdtError::Worker("calibrate_candidates"))?;
-    languages
-        .into_iter()
-        .zip(results)
-        .map(|(language, cell)| {
-            let (size_bytes, calibration) = cell
-                .lock()
-                .take()
-                .ok_or(AdtError::Worker("calibrate_candidates"))?;
-            Ok(CalibratedCandidate {
-                language,
-                size_bytes,
-                calibration,
-            })
-        })
-        .collect()
+    Ok(calibrate_candidates_with_report(corpus, config, training)?.0)
 }
 
 /// Training phases 2–3: greedy selection under the budget, then model
-/// assembly (rebuilding statistics for the selected languages only).
+/// assembly (rebuilding statistics for the selected languages only,
+/// through the sharded pipeline).
 pub fn select_and_assemble(
     corpus: &Corpus,
     config: &AutoDetectConfig,
     training: &TrainingSet,
     pool: &[CalibratedCandidate],
-) -> (AutoDetect, TrainReport) {
+) -> Result<(AutoDetect, TrainReport), AdtError> {
     let languages: Vec<adt_patterns::Language> = pool.iter().map(|c| c.language).collect();
     let mut candidates = Vec::with_capacity(pool.len());
     let mut calibrations: Vec<Calibration> = Vec::with_capacity(pool.len());
@@ -181,15 +183,35 @@ pub fn select_and_assemble(
     // Phase 2: greedy selection under the memory budget.
     let selection = greedy_select(&candidates, config.memory_budget);
 
-    // Phase 3: rebuild stats for the selected languages; optionally
-    // compress co-occurrence into sketches.
+    // Phase 3: rebuild stats for the selected languages (one pipeline
+    // pass over the corpus); optionally compress co-occurrence into
+    // sketches.
+    let selected_languages: Vec<adt_patterns::Language> = selection
+        .selected
+        .iter()
+        .filter_map(|&i| languages.get(i).copied())
+        .collect();
+    let opts = PipelineOptions {
+        threads: config.effective_train_threads(),
+        ..PipelineOptions::default()
+    };
+    let (rebuilt, pipeline) = adt_stats::for_each_language_stats(
+        &selected_languages,
+        corpus,
+        &config.stats,
+        &opts,
+        |_, s| s,
+    )
+    .map_err(pipeline_error)?;
     let mut selected = Vec::with_capacity(selection.selected.len());
-    for &i in &selection.selected {
-        let mut stats = LanguageStats::build(languages[i], corpus, &config.stats);
+    for (&i, mut stats) in selection.selected.iter().zip(rebuilt) {
         if let Some(spec) = config.sketch_spec_for(stats.size_bytes()) {
             stats.compress_cooccurrence(spec);
         }
-        let mut calibration = calibrations[i].clone();
+        let mut calibration = calibrations
+            .get(i)
+            .cloned()
+            .ok_or(AdtError::Worker("select_and_assemble"))?;
         // Coverage indices are a training artifact; drop them from the
         // shipped model to keep it small.
         calibration.covered_negatives = Vec::new();
@@ -211,23 +233,27 @@ pub fn select_and_assemble(
         selected_ids: selection
             .selected
             .iter()
-            .map(|&i| languages[i].id())
+            .filter_map(|&i| languages.get(i).map(|l| l.id()))
             .collect(),
         selection,
         model_bytes: model.size_bytes(),
+        pipeline,
     };
-    (model, report)
+    Ok((model, report))
 }
 
 /// Trains with a caller-provided training set (used by experiments that
-/// reuse one training set across configurations).
+/// reuse one training set across configurations). The report's pipeline
+/// counters cover both the calibration and assembly passes.
 pub fn train_with_training_set(
     corpus: &Corpus,
     config: &AutoDetectConfig,
     training: &TrainingSet,
 ) -> Result<(AutoDetect, TrainReport), AdtError> {
-    let pool = calibrate_candidates(corpus, config, training)?;
-    Ok(select_and_assemble(corpus, config, training, &pool))
+    let (pool, calibration_report) = calibrate_candidates_with_report(corpus, config, training)?;
+    let (model, mut report) = select_and_assemble(corpus, config, training, &pool)?;
+    report.pipeline.absorb(&calibration_report);
+    Ok((model, report))
 }
 
 /// Maps a codec-layer error: structural validation failures surface as

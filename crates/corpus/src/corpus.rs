@@ -55,6 +55,28 @@ impl Corpus {
         self.columns.iter().map(|c| c.len()).sum()
     }
 
+    /// Splits the column index space into at most `shards` contiguous,
+    /// non-overlapping ranges that cover `0..len()`. Sizes differ by at
+    /// most one and the split depends only on `len()` and `shards`, so
+    /// shard-parallel scans stay deterministic work units.
+    pub fn shard_ranges(&self, shards: usize) -> Vec<std::ops::Range<usize>> {
+        let n = self.columns.len();
+        let shards = shards.max(1).min(n.max(1));
+        if n == 0 {
+            return Vec::new();
+        }
+        let base = n / shards;
+        let extra = n % shards;
+        let mut out = Vec::with_capacity(shards);
+        let mut start = 0;
+        for i in 0..shards {
+            let len = base + usize::from(i < extra);
+            out.push(start..start + len);
+            start += len;
+        }
+        out
+    }
+
     /// Uniform random sample of `n` columns (without replacement when
     /// possible); deterministic given the RNG.
     pub fn sample<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<&Column> {
@@ -214,6 +236,30 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.total_cells(), 5);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn shard_ranges_cover_and_balance() {
+        let mut c = Corpus::new();
+        for i in 0..13 {
+            c.push(Column::from_strs(&[&i.to_string()], SourceTag::Web));
+        }
+        for shards in [1, 2, 3, 5, 13, 64] {
+            let ranges = c.shard_ranges(shards);
+            assert!(ranges.len() <= shards.max(1));
+            let mut covered = 0;
+            let mut expect_start = 0;
+            for r in &ranges {
+                assert_eq!(r.start, expect_start, "ranges must be contiguous");
+                expect_start = r.end;
+                covered += r.len();
+            }
+            assert_eq!(covered, 13);
+            let min = ranges.iter().map(|r| r.len()).min().unwrap();
+            let max = ranges.iter().map(|r| r.len()).max().unwrap();
+            assert!(max - min <= 1, "unbalanced shards: {ranges:?}");
+        }
+        assert!(Corpus::new().shard_ranges(4).is_empty());
     }
 
     #[test]

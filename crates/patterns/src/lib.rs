@@ -36,6 +36,7 @@ pub mod cut;
 pub mod distance;
 pub mod enumeration;
 pub mod language;
+pub mod multi;
 pub mod pattern;
 pub mod tree;
 
@@ -44,5 +45,6 @@ pub use cut::{whitespace_tree, CutLanguage};
 pub use distance::{normalized_pattern_distance, pattern_distance};
 pub use enumeration::{enumerate_coarse_languages, enumerate_restricted_languages};
 pub use language::{CharKind, Language, Level};
+pub use multi::{MultiGeneralizer, MultiHasher};
 pub use pattern::{Pattern, PatternHash, Token};
 pub use tree::{GeneralizationTree, NodeId};

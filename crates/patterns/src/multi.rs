@@ -1,0 +1,286 @@
+//! Multi-language generalization: hash a value under K languages in one
+//! character traversal.
+//!
+//! Training (§3.2) needs every distinct corpus value generalized under all
+//! ~144 candidate languages. Doing that with K independent
+//! [`Pattern::generalize`](crate::Pattern::generalize) walks decodes and
+//! classifies each character K times and allocates K run vectors per
+//! value. [`MultiGeneralizer`] inverts this: characters are decoded and
+//! classified **once**, and the shared `(CharKind, char)` stream is mapped
+//! through per-language token tables, folding each language's run-length
+//! stream directly into its incremental FNV-1a state. The emitted hashes
+//! are bit-identical to `Pattern::generalize(v, lang).hash64()` — the
+//! run-length encoding and hash framing are reproduced exactly, just
+//! without materializing the intermediate [`Pattern`](crate::Pattern).
+
+use crate::language::{CharKind, Language, Level};
+use crate::pattern::{fnv1a_step, FNV_OFFSET};
+use crate::PatternHash;
+
+/// Token tags as framed by `Pattern::hash64` (`Literal = 0`, `\U = 1`,
+/// `\l = 2`, `\L = 3`, `\D = 4`, `\S = 5`, `\A = 6`).
+const TAG_LITERAL: u8 = 0;
+
+#[inline]
+fn tag_of(level: Level, kind: CharKind) -> u8 {
+    match level {
+        Level::Leaf => TAG_LITERAL,
+        Level::Class => match kind {
+            CharKind::Upper => 1,
+            CharKind::Lower => 2,
+            CharKind::Digit => 4,
+            CharKind::Symbol => 5,
+        },
+        Level::Super => 3,
+        Level::Root => 6,
+    }
+}
+
+#[inline]
+fn kind_index(c: char) -> usize {
+    match CharKind::of(c) {
+        CharKind::Upper => 0,
+        CharKind::Lower => 1,
+        CharKind::Digit => 2,
+        CharKind::Symbol => 3,
+    }
+}
+
+/// Shared, immutable per-language token tables: for each language, the
+/// `hash64` token tag each [`CharKind`] maps to. Build once per language
+/// batch, share read-only across worker threads.
+#[derive(Debug, Clone)]
+pub struct MultiGeneralizer {
+    languages: Vec<Language>,
+    /// Per language: token tag indexed by [`kind_index`].
+    tables: Vec<[u8; 4]>,
+}
+
+impl MultiGeneralizer {
+    /// Precomputes the token tables for `languages`.
+    pub fn new(languages: &[Language]) -> Self {
+        let tables = languages
+            .iter()
+            .map(|lang| {
+                [
+                    tag_of(lang.upper, CharKind::Upper),
+                    tag_of(lang.lower, CharKind::Lower),
+                    tag_of(lang.digit, CharKind::Digit),
+                    tag_of(lang.symbol, CharKind::Symbol),
+                ]
+            })
+            .collect();
+        MultiGeneralizer {
+            languages: languages.to_vec(),
+            tables,
+        }
+    }
+
+    /// Number of languages `K`.
+    pub fn len(&self) -> usize {
+        self.languages.len()
+    }
+
+    /// True when constructed over zero languages.
+    pub fn is_empty(&self) -> bool {
+        self.languages.is_empty()
+    }
+
+    /// The languages, in table order.
+    pub fn languages(&self) -> &[Language] {
+        &self.languages
+    }
+
+    /// A reusable per-thread hashing scratch bound to these tables.
+    pub fn hasher(&self) -> MultiHasher<'_> {
+        MultiHasher {
+            gen: self,
+            states: vec![RunState::default(); self.languages.len()],
+            out: vec![PatternHash(0); self.languages.len()],
+        }
+    }
+}
+
+/// Per-language incremental run-length + FNV-1a state.
+#[derive(Debug, Clone, Copy)]
+struct RunState {
+    hash: u64,
+    tag: u8,
+    lit: char,
+    run: u32,
+}
+
+impl Default for RunState {
+    fn default() -> Self {
+        RunState {
+            hash: FNV_OFFSET,
+            tag: 0,
+            lit: '\0',
+            run: 0,
+        }
+    }
+}
+
+impl RunState {
+    /// Folds the pending run into the hash exactly as `Pattern::hash64`
+    /// frames it: tag byte, then (for literals) the char as LE `u32`,
+    /// then the run length as LE `u32`.
+    #[inline]
+    fn flush(&mut self) {
+        if self.run == 0 {
+            return;
+        }
+        let mut h = fnv1a_step(self.hash, self.tag);
+        if self.tag == TAG_LITERAL {
+            for b in (self.lit as u32).to_le_bytes() {
+                h = fnv1a_step(h, b);
+            }
+        }
+        for b in self.run.to_le_bytes() {
+            h = fnv1a_step(h, b);
+        }
+        self.hash = h;
+        self.run = 0;
+    }
+}
+
+/// Stateful multi-language hasher: one allocation at construction, zero
+/// per value. Not `Sync`; give each worker thread its own via
+/// [`MultiGeneralizer::hasher`].
+#[derive(Debug, Clone)]
+pub struct MultiHasher<'g> {
+    gen: &'g MultiGeneralizer,
+    states: Vec<RunState>,
+    out: Vec<PatternHash>,
+}
+
+impl MultiHasher<'_> {
+    /// Hashes `value` under every language in one character traversal.
+    /// The returned slice is indexed like
+    /// [`MultiGeneralizer::languages`]; entry `k` equals
+    /// `Pattern::generalize(value, &languages[k]).hash64()`.
+    pub fn hash_value(&mut self, value: &str) -> &[PatternHash] {
+        for s in &mut self.states {
+            *s = RunState::default();
+        }
+        for c in value.chars() {
+            let ki = kind_index(c);
+            for (state, table) in self.states.iter_mut().zip(&self.gen.tables) {
+                let tag = table[ki];
+                // Same run: same tag, and for literal runs the same char.
+                if state.run > 0 && state.tag == tag && (tag != TAG_LITERAL || state.lit == c) {
+                    state.run += 1;
+                } else {
+                    state.flush();
+                    state.tag = tag;
+                    state.lit = c;
+                    state.run = 1;
+                }
+            }
+        }
+        for (o, state) in self.out.iter_mut().zip(&mut self.states) {
+            state.flush();
+            *o = PatternHash(state.hash);
+        }
+        &self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumeration::{enumerate_coarse_languages, enumerate_restricted_languages};
+    use crate::pattern::Pattern;
+
+    fn check_all(languages: &[Language], values: &[&str]) {
+        let gen = MultiGeneralizer::new(languages);
+        let mut hasher = gen.hasher();
+        for v in values {
+            let got = hasher.hash_value(v).to_vec();
+            for (k, lang) in languages.iter().enumerate() {
+                let want = Pattern::generalize(v, lang).hash64();
+                assert_eq!(
+                    got[k],
+                    want,
+                    "value {v:?} under language {} (index {k})",
+                    lang.id()
+                );
+            }
+        }
+    }
+
+    const TRICKY: &[&str] = &[
+        "",
+        "a",
+        "A",
+        "7",
+        "-",
+        "2011-01-01",
+        "2011.01.02",
+        "July-01",
+        "aa--",
+        "Ab-7",
+        "café",
+        "naïve-Straße",
+        "日本語123",
+        "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA",
+        "aA0-aA0-aA0",
+        "   ",
+        "\t\n",
+        "x",
+        "1,000,000.00",
+        "MIXEDcase99##",
+    ];
+
+    #[test]
+    fn matches_generalize_for_paper_languages() {
+        check_all(
+            &[
+                Language::paper_l1(),
+                Language::paper_l2(),
+                Language::leaf(),
+                Language::root(),
+                crate::crude::crude_language(),
+            ],
+            TRICKY,
+        );
+    }
+
+    #[test]
+    fn matches_generalize_for_all_144_languages() {
+        check_all(&enumerate_restricted_languages(), TRICKY);
+    }
+
+    #[test]
+    fn matches_generalize_for_coarse_space() {
+        check_all(&enumerate_coarse_languages(), TRICKY);
+    }
+
+    #[test]
+    fn long_runs_and_long_values() {
+        let long_run = "9".repeat(5000);
+        let alternating: String = ('a'..='z').cycle().take(3000).collect();
+        let values = [long_run.as_str(), alternating.as_str()];
+        check_all(&enumerate_coarse_languages(), &values);
+    }
+
+    #[test]
+    fn hasher_is_reusable_across_values() {
+        let gen = MultiGeneralizer::new(&enumerate_coarse_languages());
+        let mut hasher = gen.hasher();
+        // Interleave long and short values to shake out stale run state.
+        let first = hasher.hash_value("2011-01-01").to_vec();
+        hasher.hash_value("x");
+        hasher.hash_value("");
+        let again = hasher.hash_value("2011-01-01").to_vec();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn empty_language_set() {
+        let gen = MultiGeneralizer::new(&[]);
+        assert!(gen.is_empty());
+        let mut hasher = gen.hasher();
+        assert!(hasher.hash_value("abc").is_empty());
+    }
+}

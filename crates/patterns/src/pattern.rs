@@ -67,11 +67,11 @@ impl Token {
 )]
 pub struct PatternHash(pub u64);
 
-const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 const FNV_PRIME: u64 = 0x100000001b3;
 
 #[inline]
-fn fnv1a_step(mut h: u64, byte: u8) -> u64 {
+pub(crate) fn fnv1a_step(mut h: u64, byte: u8) -> u64 {
     h ^= byte as u64;
     h = h.wrapping_mul(FNV_PRIME);
     h

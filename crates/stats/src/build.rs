@@ -1,66 +1,127 @@
-//! Parallel statistics construction across candidate languages.
+//! Batch statistics construction across candidate languages.
 //!
-//! Language selection (§3.2) needs statistics for all 144 candidates. Each
-//! language's scan is independent, so we fan languages out over crossbeam
-//! scoped threads that share the read-only corpus. Memory stays bounded by
-//! processing languages in batches and letting the caller fold each result
-//! (typically: score the training set, then drop the statistics).
+//! Language selection (§3.2) needs statistics for all 144 candidates.
+//! These entry points run the corpus-major [`TrainPipeline`]: the corpus
+//! is interned once, every interned value is generalized under a whole
+//! batch of languages in one character traversal, and columns are
+//! sharded across threads into thread-local accumulators that merge
+//! deterministically. Results are bit-identical to the per-language
+//! serial scan ([`LanguageStats::build`]) at any thread count; the old
+//! language-major fan-out survives as [`collect_stats_reference`] behind
+//! `cfg(any(test, feature = "reference-kernel"))` for differential tests
+//! and benchmarks.
 
 use crate::language_stats::{LanguageStats, StatsConfig};
+use crate::pipeline::{PipelineOptions, PipelineReport, StatsError, TrainPipeline};
 use adt_corpus::Corpus;
 use adt_patterns::Language;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Builds statistics for every language in `languages` over `corpus`,
-/// calling `fold` with each completed [`LanguageStats`] (in arbitrary
-/// order). `fold` runs under a mutex, so it may mutate shared state
-/// without further synchronization; keep it cheap relative to the scan.
+/// Builds statistics for every language in `languages` over `corpus`
+/// through the sharded pipeline, consuming each completed
+/// [`LanguageStats`] with `f(language_index, stats)`. Consumption runs in
+/// parallel within a language batch (`f` must be `Sync`); the returned
+/// results are in input-language order alongside the pipeline's counter
+/// report.
+pub fn for_each_language_stats<R, F>(
+    languages: &[Language],
+    corpus: &Corpus,
+    config: &StatsConfig,
+    opts: &PipelineOptions,
+    f: F,
+) -> Result<(Vec<R>, PipelineReport), StatsError>
+where
+    R: Send,
+    F: Fn(usize, LanguageStats) -> R + Sync,
+{
+    let mut pipe = TrainPipeline::new(corpus, opts)?;
+    let out = pipe.run(languages, config, f)?;
+    Ok((out, *pipe.report()))
+}
+
+/// Builds statistics for every language, folding each completed
+/// [`LanguageStats`] serially on the calling thread in input-language
+/// order. Memory stays bounded by the pipeline's language batch size:
+/// each batch is built, folded, and dropped before the next starts.
 pub fn build_stats_for_languages<F>(
     languages: &[Language],
     corpus: &Corpus,
     config: &StatsConfig,
     threads: usize,
-    fold: F,
-) where
-    F: FnMut(LanguageStats) + Send,
+    mut fold: F,
+) -> Result<PipelineReport, StatsError>
+where
+    F: FnMut(LanguageStats),
 {
-    let threads = threads.max(1).min(languages.len().max(1));
-    let next = AtomicUsize::new(0);
-    let fold = Mutex::new(fold);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= languages.len() {
-                    break;
-                }
-                let stats = LanguageStats::build(languages[i], corpus, config);
-                (fold.lock())(stats);
-            });
+    let opts = PipelineOptions {
+        threads,
+        ..PipelineOptions::default()
+    };
+    let mut pipe = TrainPipeline::new(corpus, &opts)?;
+    let batch_size = pipe.lang_batch();
+    for (bi, batch) in languages.chunks(batch_size).enumerate() {
+        let stats = pipe.run_batch(bi * batch_size, batch, config, &|_, s| s)?;
+        for s in stats {
+            fold(s);
         }
-    })
-    .expect("worker thread panicked");
+    }
+    Ok(*pipe.report())
 }
 
-/// Convenience: builds and collects statistics for all languages
-/// (memory-heavy; only use for small language sets or small corpora).
+/// Convenience: builds and collects statistics for all languages in
+/// input order (memory-heavy; the whole language set's statistics are
+/// alive at once).
 pub fn collect_stats_for_languages(
     languages: &[Language],
     corpus: &Corpus,
     config: &StatsConfig,
     threads: usize,
-) -> Vec<LanguageStats> {
-    let mut out: Vec<LanguageStats> = Vec::with_capacity(languages.len());
-    build_stats_for_languages(languages, corpus, config, threads, |s| out.push(s));
-    // Restore the input order for determinism.
-    out.sort_by_key(|s| {
-        languages
-            .iter()
-            .position(|l| *l == s.language)
-            .expect("language came from input set")
-    });
-    out
+) -> Result<Vec<LanguageStats>, StatsError> {
+    let opts = PipelineOptions {
+        threads,
+        ..PipelineOptions::default()
+    };
+    Ok(for_each_language_stats(languages, corpus, config, &opts, |_, s| s)?.0)
+}
+
+/// The pre-pipeline language-major build: one full corpus scan per
+/// language, fanned out over crossbeam scoped threads. Kept as the
+/// ground truth for differential tests and as the benchmark baseline the
+/// pipeline's speedup is measured against.
+#[cfg(any(test, feature = "reference-kernel"))]
+pub fn collect_stats_reference(
+    languages: &[Language],
+    corpus: &Corpus,
+    config: &StatsConfig,
+    threads: usize,
+) -> Result<Vec<LanguageStats>, StatsError> {
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let threads = threads.max(1).min(languages.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<LanguageStats>>> =
+        (0..languages.len()).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&lang) = languages.get(i) else { break };
+                let stats = LanguageStats::build(lang, corpus, config);
+                if let Some(slot) = slots.get(i) {
+                    *slot.lock() = Some(stats);
+                }
+            });
+        }
+    })
+    .map_err(|_| StatsError::WorkerPanicked("reference build"))?;
+    let mut out = Vec::with_capacity(languages.len());
+    for slot in slots {
+        out.push(
+            slot.into_inner()
+                .ok_or(StatsError::WorkerPanicked("reference build"))?,
+        );
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -78,36 +139,72 @@ mod tests {
         Corpus::from_columns(cols)
     }
 
+    fn stats_bytes(s: &LanguageStats) -> Vec<u8> {
+        let mut buf = Vec::new();
+        s.write_binary(&mut buf).expect("in-memory write");
+        buf
+    }
+
     #[test]
-    fn parallel_matches_serial() {
+    fn pipeline_matches_reference_bit_for_bit() {
         let corpus = small_corpus();
         let langs = enumerate_coarse_languages();
         let config = StatsConfig::default();
-        let parallel = collect_stats_for_languages(&langs, &corpus, &config, 4);
-        assert_eq!(parallel.len(), langs.len());
-        for (lang, stats) in langs.iter().zip(&parallel) {
-            let serial = LanguageStats::build(*lang, &corpus, &config);
-            assert_eq!(stats.language, *lang);
-            assert_eq!(stats.n_columns, serial.n_columns);
-            assert_eq!(stats.distinct_patterns(), serial.distinct_patterns());
-            assert_eq!(stats.size_bytes(), serial.size_bytes());
+        let reference = collect_stats_reference(&langs, &corpus, &config, 2).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let pipeline = collect_stats_for_languages(&langs, &corpus, &config, threads).unwrap();
+            assert_eq!(pipeline.len(), langs.len());
+            for ((lang, r), p) in langs.iter().zip(&reference).zip(&pipeline) {
+                assert_eq!(p.language, *lang);
+                assert_eq!(
+                    stats_bytes(r),
+                    stats_bytes(p),
+                    "stats diverged for {lang:?} at {threads} threads"
+                );
+            }
         }
     }
 
     #[test]
-    fn fold_sees_every_language() {
+    fn fold_sees_every_language_in_order() {
         let corpus = small_corpus();
         let langs = enumerate_coarse_languages();
-        let mut n = 0usize;
-        build_stats_for_languages(&langs, &corpus, &StatsConfig::default(), 3, |_| n += 1);
-        assert_eq!(n, langs.len());
+        let mut seen = Vec::new();
+        let report = build_stats_for_languages(&langs, &corpus, &StatsConfig::default(), 3, |s| {
+            seen.push(s.language)
+        })
+        .unwrap();
+        assert_eq!(seen, langs);
+        assert_eq!(report.languages, langs.len() as u64);
+        assert_eq!(report.columns, corpus.len() as u64);
+    }
+
+    #[test]
+    fn for_each_indices_follow_input_order() {
+        let corpus = small_corpus();
+        let langs = enumerate_coarse_languages();
+        let (indexed, report) = for_each_language_stats(
+            &langs,
+            &corpus,
+            &StatsConfig::default(),
+            &PipelineOptions {
+                threads: 2,
+                lang_batch: 5, // force several batches
+            },
+            |i, s| (i, s.language),
+        )
+        .unwrap();
+        let expect: Vec<(usize, adt_patterns::Language)> =
+            langs.iter().copied().enumerate().collect();
+        assert_eq!(indexed, expect);
+        assert!(report.batches >= 2);
     }
 
     #[test]
     fn single_thread_works() {
         let corpus = small_corpus();
         let langs = [adt_patterns::Language::paper_l1()];
-        let out = collect_stats_for_languages(&langs, &corpus, &StatsConfig::default(), 1);
+        let out = collect_stats_for_languages(&langs, &corpus, &StatsConfig::default(), 1).unwrap();
         assert_eq!(out.len(), 1);
     }
 }

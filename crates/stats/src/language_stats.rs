@@ -61,13 +61,33 @@ impl LanguageStats {
     }
 
     /// Scans `corpus` and builds the statistics for `language`.
+    ///
+    /// With a sketch configured, co-occurrence is accumulated **exactly**
+    /// during the scan and finalized into the sketch at the end (sorted
+    /// replay; see [`CoocBackend::to_sketch`]). This makes the result a
+    /// pure function of the corpus *contents* — conservative count-min
+    /// updates are order-dependent, so streaming them during the scan
+    /// would bake column order into the counters — and it is what lets
+    /// the sharded training pipeline (`crate::pipeline`) reproduce this
+    /// build bit-for-bit at any thread count. The trade-off is that peak
+    /// memory during a sketched build briefly reaches the exact size;
+    /// [`LanguageStats::empty`] + [`LanguageStats::absorb_column`] keeps
+    /// the old bounded-memory streaming semantics for callers that need
+    /// them.
     pub fn build(language: Language, corpus: &Corpus, config: &StatsConfig) -> Self {
-        let mut stats = LanguageStats::empty(language, config);
+        let exact_config = StatsConfig {
+            sketch: None,
+            ..*config
+        };
+        let mut stats = LanguageStats::empty(language, &exact_config);
         // Memoize value -> pattern hash for this language; corpora repeat
         // values heavily (years, placeholders, common words).
         let mut memo: FxHashMap<&str, PatternHash> = FxHashMap::default();
         for col in corpus.columns() {
-            stats.absorb_column_memo(col, config, Some(&mut memo));
+            stats.absorb_column_memo(col, &exact_config, Some(&mut memo));
+        }
+        if let Some(spec) = config.sketch {
+            stats.compress_cooccurrence(spec);
         }
         stats
     }
@@ -86,7 +106,6 @@ impl LanguageStats {
         memo: Option<&mut FxHashMap<&'a str, PatternHash>>,
     ) {
         let language = self.language;
-        self.n_columns += 1;
         let mut hashes: Vec<PatternHash> = Vec::new();
         match memo {
             Some(memo) => {
@@ -109,16 +128,40 @@ impl LanguageStats {
                 }
             }
         }
+        self.absorb_column_hashes(&mut hashes, config);
+    }
+
+    /// The column-absorb tail shared by the per-language scan and the
+    /// sharded pipeline: counts the column, sorts/dedups its pattern
+    /// hashes, applies the deterministic strided subsample, and updates
+    /// occ/cooc. `hashes` holds one entry per distinct non-empty value
+    /// (duplicate pattern hashes allowed; dedup happens here) and is left
+    /// cleared with its capacity intact so callers can reuse the buffer
+    /// across columns. Keeping this on one code path is what makes the
+    /// per-language scan and the sharded pipeline provably identical per
+    /// column.
+    pub(crate) fn absorb_column_hashes(
+        &mut self,
+        hashes: &mut Vec<PatternHash>,
+        config: &StatsConfig,
+    ) {
+        self.n_columns += 1;
         hashes.sort_unstable();
         hashes.dedup();
         // Deterministic subsample when a column has too many distinct
-        // patterns: keep a strided selection.
+        // patterns: keep a strided selection (compacted in place).
         if hashes.len() > config.max_distinct_per_column {
             let stride = hashes.len() / config.max_distinct_per_column + 1;
-            let sampled: Vec<PatternHash> = hashes.iter().step_by(stride).copied().collect();
-            hashes = sampled;
+            let mut kept = 0usize;
+            let mut next = 0usize;
+            while next < hashes.len() {
+                hashes[kept] = hashes[next];
+                kept += 1;
+                next += stride;
+            }
+            hashes.truncate(kept);
         }
-        for &h in &hashes {
+        for &h in hashes.iter() {
             *self.occ.entry(h.0).or_insert(0) += 1;
         }
         for i in 0..hashes.len() {
@@ -126,6 +169,24 @@ impl LanguageStats {
                 self.cooc.add_pair(hashes[i], hashes[j], 1);
             }
         }
+        hashes.clear();
+    }
+
+    /// Merges statistics accumulated over a disjoint column shard of the
+    /// same corpus (same language, same backend kind): column counts and
+    /// occ/cooc entries add. Exact backends merge exactly, so splitting a
+    /// corpus into shards, absorbing each, and merging equals one
+    /// sequential scan — the primitive behind the sharded training
+    /// pipeline and incremental corpus absorption.
+    pub fn merge_from(&mut self, other: &LanguageStats) -> Result<(), &'static str> {
+        if self.language != other.language {
+            return Err("language mismatch");
+        }
+        self.n_columns += other.n_columns;
+        for (&k, &v) in other.occ.iter() {
+            *self.occ.entry(k).or_insert(0) += v;
+        }
+        self.cooc.merge_from(&other.cooc)
     }
 
     /// `c(p)` for a pattern hash.

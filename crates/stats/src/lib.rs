@@ -9,8 +9,12 @@
 //! * [`language_stats`] — per-generalization-language statistics built by
 //!   scanning a corpus: `c(L(v))` = number of columns containing the
 //!   pattern, `c(L(v1), L(v2))` = number of columns containing both;
-//! * [`build`] — parallel batch construction across candidate languages
-//!   (crossbeam scoped threads; read-only corpus sharing);
+//! * [`pipeline`] — the corpus-major sharded training pipeline: values
+//!   are interned once, generalized under whole language batches in one
+//!   traversal, and accumulated in thread-local shards that merge
+//!   deterministically (bit-identical to the serial scan);
+//! * [`build`] — batch construction entry points across candidate
+//!   languages, built on the pipeline;
 //! * [`fxhash`] — the vendored deterministic fast hasher keying the
 //!   occurrence/co-occurrence dictionaries and memo tables;
 //! * [`memo`] — the bounded per-worker pattern-pair score memo consumed
@@ -23,13 +27,17 @@ pub mod fxhash;
 pub mod language_stats;
 pub mod memo;
 pub mod npmi;
+pub mod pipeline;
 pub mod profile;
 pub mod store;
 
-pub use build::build_stats_for_languages;
+#[cfg(any(test, feature = "reference-kernel"))]
+pub use build::collect_stats_reference;
+pub use build::{build_stats_for_languages, collect_stats_for_languages, for_each_language_stats};
 pub use fxhash::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use language_stats::{LanguageStats, NpmiMatrix, StatsConfig};
 pub use memo::NpmiMemo;
 pub use npmi::{npmi_from_counts, smoothed_cooccurrence, NpmiParams};
+pub use pipeline::{effective_threads, PipelineOptions, PipelineReport, StatsError, TrainPipeline};
 pub use profile::{column_profile, ColumnProfile, PatternBucket};
 pub use store::{CoocBackend, SketchSpec};

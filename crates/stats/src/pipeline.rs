@@ -1,0 +1,726 @@
+//! One-pass sharded training pipeline: corpus-parallel, value-interned
+//! multi-language statistics construction.
+//!
+//! The per-language scan ([`LanguageStats::build`]) walks the whole corpus
+//! once *per candidate language* — 144 full passes for the paper's
+//! restricted space, each re-deduplicating every column and re-hashing
+//! every value. This module inverts the loop to corpus-major order:
+//!
+//! 1. **Intern** (once per corpus): collect the distinct non-empty values
+//!    corpus-wide and replace every column by a list of compact `u32`
+//!    value ids. Columns are sharded across threads; shard dictionaries
+//!    are merged serially into one global dictionary.
+//! 2. **Generalize** (once per language batch): for a batch of `K`
+//!    candidate languages, compute all `K` pattern hashes of every
+//!    interned value in a single character traversal per value
+//!    ([`MultiGeneralizer`]), filling an `n_values × K` hash matrix in
+//!    parallel chunks. Work is proportional to *distinct* values, not
+//!    value occurrences — corpora repeat values heavily, so this is the
+//!    big algorithmic win over the per-column scan.
+//! 3. **Accumulate** (once per language batch): shard columns across
+//!    threads again; each worker owns thread-local exact
+//!    [`LanguageStats`] accumulators for the batch and absorbs its
+//!    columns through the same [`LanguageStats::absorb_column_hashes`]
+//!    tail the serial scan uses. Worker accumulators merge by keyed
+//!    addition ([`LanguageStats::merge_from`]) — exact and
+//!    order-independent — and sketch-configured builds finalize by sorted
+//!    replay afterwards, so the result is **bit-identical** to the serial
+//!    per-language build at any thread count.
+//!
+//! Memory is bounded by `lang_batch`: the hash matrix and the per-worker
+//! accumulators exist for one batch of languages at a time.
+
+use crate::fxhash::FxHashMap;
+use crate::language_stats::{LanguageStats, StatsConfig};
+use adt_corpus::Corpus;
+use adt_patterns::{Language, MultiGeneralizer, PatternHash};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Tuning knobs for the sharded training pipeline.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PipelineOptions {
+    /// Worker threads for every parallel phase; `0` means all available
+    /// cores. Results are identical at any setting.
+    pub threads: usize,
+    /// Languages generalized and accumulated per batch. Bounds peak
+    /// memory (hash matrix and per-worker accumulators are batch-sized);
+    /// results are independent of the batch size.
+    pub lang_batch: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            threads: 0,
+            lang_batch: 12,
+        }
+    }
+}
+
+/// Resolves a requested thread count: `0` means all available cores.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Observability counters for one pipeline run. Timing fields are
+/// wall-clock diagnostics; every other field is a pure function of the
+/// corpus, the language set, and the options.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Corpus columns scanned.
+    pub columns: u64,
+    /// Per-column distinct non-empty value entries (what the per-language
+    /// scan would hash per language without a memo).
+    pub value_occurrences: u64,
+    /// Corpus-wide distinct non-empty values (what the pipeline actually
+    /// generalizes per language).
+    pub interned_values: u64,
+    /// Candidate languages processed.
+    pub languages: u64,
+    /// Language batches run.
+    pub batches: u64,
+    /// Column shards per accumulate phase.
+    pub shards: u64,
+    /// Worker threads used.
+    pub threads: u64,
+    /// Value generalizations performed (`interned_values × languages`).
+    pub generalizations_performed: u64,
+    /// Generalizations avoided versus a memo-less per-language scan
+    /// (`(value_occurrences − interned_values) × languages`).
+    pub generalizations_saved: u64,
+    /// Wall-clock nanoseconds interning values.
+    pub intern_nanos: u64,
+    /// Wall-clock nanoseconds filling hash matrices.
+    pub generalize_nanos: u64,
+    /// Wall-clock nanoseconds absorbing columns into accumulators.
+    pub accumulate_nanos: u64,
+    /// Wall-clock nanoseconds merging shard accumulators and finalizing
+    /// sketches.
+    pub merge_nanos: u64,
+}
+
+impl PipelineReport {
+    /// Folds another report's counters into this one (for combining the
+    /// reports of successive pipeline runs, e.g. selection then final
+    /// model assembly). Counts add; `threads` takes the maximum.
+    pub fn absorb(&mut self, other: &PipelineReport) {
+        self.columns += other.columns;
+        self.value_occurrences += other.value_occurrences;
+        self.interned_values += other.interned_values;
+        self.languages += other.languages;
+        self.batches += other.batches;
+        self.shards += other.shards;
+        self.threads = self.threads.max(other.threads);
+        self.generalizations_performed += other.generalizations_performed;
+        self.generalizations_saved += other.generalizations_saved;
+        self.intern_nanos += other.intern_nanos;
+        self.generalize_nanos += other.generalize_nanos;
+        self.accumulate_nanos += other.accumulate_nanos;
+        self.merge_nanos += other.merge_nanos;
+    }
+}
+
+/// Errors from the parallel training pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// A worker thread panicked during the named phase; partial results
+    /// were discarded.
+    WorkerPanicked(&'static str),
+    /// Merging shard accumulators broke an invariant (mismatched
+    /// language or backend kind — a pipeline bug, not a data error).
+    Merge(&'static str),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::WorkerPanicked(phase) => {
+                write!(f, "statistics worker panicked during {phase}")
+            }
+            StatsError::Merge(msg) => write!(f, "shard merge invariant broken: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+fn clock() -> Instant {
+    Instant::now() // adt-allow(determinism): wall-clock feeds pipeline timing counters only, never statistics
+}
+
+/// Distinct-value dictionary of one column shard, with column value lists
+/// rewritten to shard-local ids.
+struct ShardIntern<'c> {
+    vals: Vec<&'c str>,
+    col_offsets: Vec<usize>,
+    col_ids: Vec<u32>,
+}
+
+fn intern_shard<'c>(corpus: &'c Corpus, range: Range<usize>) -> ShardIntern<'c> {
+    let mut map: FxHashMap<&'c str, u32> = FxHashMap::default();
+    let mut vals: Vec<&'c str> = Vec::new();
+    let mut col_offsets: Vec<usize> = Vec::with_capacity(range.len() + 1);
+    col_offsets.push(0);
+    let mut col_ids: Vec<u32> = Vec::new();
+    let mut seen: Vec<u32> = Vec::new();
+    for col in corpus.columns().get(range).into_iter().flatten() {
+        seen.clear();
+        for v in &col.values {
+            if v.is_empty() {
+                continue;
+            }
+            let next = vals.len() as u32;
+            let id = *map.entry(v.as_str()).or_insert_with(|| {
+                vals.push(v.as_str());
+                next
+            });
+            seen.push(id);
+        }
+        // Dedup by id (= by value); final per-column order is irrelevant
+        // because `absorb_column_hashes` sorts pattern hashes anyway.
+        seen.sort_unstable();
+        seen.dedup();
+        col_ids.extend_from_slice(&seen);
+        col_offsets.push(col_ids.len());
+    }
+    ShardIntern {
+        vals,
+        col_offsets,
+        col_ids,
+    }
+}
+
+/// The corpus-major training pipeline: intern once, then run language
+/// batches against the interned corpus. Construction performs the intern
+/// pass; [`TrainPipeline::run`] (or [`TrainPipeline::run_batch`]) does
+/// the per-language work.
+pub struct TrainPipeline<'c> {
+    corpus: &'c Corpus,
+    threads: usize,
+    lang_batch: usize,
+    /// Corpus-wide distinct non-empty values.
+    values: Vec<&'c str>,
+    /// Per-column ranges into `col_ids` (`col_offsets[c]..col_offsets[c+1]`).
+    col_offsets: Vec<usize>,
+    /// Flattened per-column distinct value ids.
+    col_ids: Vec<u32>,
+    report: PipelineReport,
+}
+
+impl<'c> TrainPipeline<'c> {
+    /// Interns the corpus (phase 1) and prepares the pipeline.
+    pub fn new(corpus: &'c Corpus, opts: &PipelineOptions) -> Result<Self, StatsError> {
+        let threads = effective_threads(opts.threads);
+        let t0 = clock();
+        let ranges = corpus.shard_ranges(threads);
+        let shards: Vec<ShardIntern<'c>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|r| {
+                    let r = r.clone();
+                    scope.spawn(move |_| intern_shard(corpus, r))
+                })
+                .collect();
+            let mut out = Vec::with_capacity(handles.len());
+            for h in handles {
+                match h.join() {
+                    Ok(s) => out.push(s),
+                    Err(_) => return Err(StatsError::WorkerPanicked("intern")),
+                }
+            }
+            Ok(out)
+        })
+        .map_err(|_| StatsError::WorkerPanicked("intern"))??;
+
+        // Serial merge: shard dictionaries into one global dictionary,
+        // remapping each shard's column id lists. Shards are contiguous
+        // column ranges in order, so concatenation preserves column order.
+        let mut map: FxHashMap<&'c str, u32> = FxHashMap::default();
+        let mut values: Vec<&'c str> = Vec::new();
+        let mut col_offsets: Vec<usize> = Vec::with_capacity(corpus.len() + 1);
+        col_offsets.push(0);
+        let mut col_ids: Vec<u32> = Vec::new();
+        for shard in &shards {
+            let mut remap: Vec<u32> = Vec::with_capacity(shard.vals.len());
+            for &v in &shard.vals {
+                let next = values.len() as u32;
+                let gid = *map.entry(v).or_insert_with(|| {
+                    values.push(v);
+                    next
+                });
+                remap.push(gid);
+            }
+            for w in shard.col_offsets.windows(2) {
+                for &lid in shard.col_ids.get(w[0]..w[1]).into_iter().flatten() {
+                    col_ids.push(remap[lid as usize]);
+                }
+                col_offsets.push(col_ids.len());
+            }
+        }
+        drop(map);
+
+        let report = PipelineReport {
+            columns: corpus.len() as u64,
+            value_occurrences: col_ids.len() as u64,
+            interned_values: values.len() as u64,
+            threads: threads as u64,
+            intern_nanos: t0.elapsed().as_nanos() as u64,
+            ..PipelineReport::default()
+        };
+        Ok(TrainPipeline {
+            corpus,
+            threads,
+            lang_batch: opts.lang_batch.max(1),
+            values,
+            col_offsets,
+            col_ids,
+            report,
+        })
+    }
+
+    /// Counters accumulated so far.
+    pub fn report(&self) -> &PipelineReport {
+        &self.report
+    }
+
+    /// Effective language batch size.
+    pub fn lang_batch(&self) -> usize {
+        self.lang_batch
+    }
+
+    /// Effective worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Corpus-wide distinct non-empty value count.
+    pub fn interned_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Runs every language in `languages` through the pipeline in batches
+    /// of [`TrainPipeline::lang_batch`], consuming each finished
+    /// [`LanguageStats`] with `f(global_index, stats)` (indices into
+    /// `languages`; consumption is parallel within a batch). Returns the
+    /// results in input-language order.
+    pub fn run<R, F>(
+        &mut self,
+        languages: &[Language],
+        config: &StatsConfig,
+        f: F,
+    ) -> Result<Vec<R>, StatsError>
+    where
+        R: Send,
+        F: Fn(usize, LanguageStats) -> R + Sync,
+    {
+        let mut out = Vec::with_capacity(languages.len());
+        let batch_size = self.lang_batch;
+        for (bi, batch) in languages.chunks(batch_size).enumerate() {
+            out.extend(self.run_batch(bi * batch_size, batch, config, &f)?);
+        }
+        Ok(out)
+    }
+
+    /// Runs one batch of languages: fills the `n_values × K` hash matrix
+    /// (phase 2), shards columns into thread-local accumulators (phase 3),
+    /// merges deterministically, finalizes sketches, and consumes each
+    /// result with `f(offset + batch_index, stats)`. Returns the results
+    /// in batch order.
+    pub fn run_batch<R, F>(
+        &mut self,
+        offset: usize,
+        batch: &[Language],
+        config: &StatsConfig,
+        f: &F,
+    ) -> Result<Vec<R>, StatsError>
+    where
+        R: Send,
+        F: Fn(usize, LanguageStats) -> R + Sync,
+    {
+        let k = batch.len();
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let n_values = self.values.len();
+
+        // Phase 2: one character traversal per interned value emits the
+        // pattern hash under every language in the batch.
+        let t0 = clock();
+        let generalizer = MultiGeneralizer::new(batch);
+        let mut matrix: Vec<PatternHash> = vec![PatternHash(0); n_values * k];
+        let chunk = n_values.div_ceil(self.threads).max(1);
+        {
+            let generalizer = &generalizer;
+            crossbeam::thread::scope(|scope| {
+                for (vals, out) in self.values.chunks(chunk).zip(matrix.chunks_mut(chunk * k)) {
+                    scope.spawn(move |_| {
+                        let mut hasher = generalizer.hasher();
+                        for (v, row) in vals.iter().zip(out.chunks_mut(k)) {
+                            row.copy_from_slice(hasher.hash_value(v));
+                        }
+                    });
+                }
+            })
+            .map_err(|_| StatsError::WorkerPanicked("generalize"))?;
+        }
+        self.report.generalize_nanos += t0.elapsed().as_nanos() as u64;
+
+        // Phase 3: shard columns over workers with thread-local exact
+        // accumulators. Over-shard relative to the thread count so uneven
+        // columns balance; results are shard-count-independent.
+        let t1 = clock();
+        let exact_config = StatsConfig {
+            sketch: None,
+            ..*config
+        };
+        let ranges = self.corpus.shard_ranges(self.threads * 4);
+        self.report.shards = self.report.shards.max(ranges.len() as u64);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Vec<LanguageStats>>>> =
+            (0..self.threads).map(|_| Mutex::new(None)).collect();
+        {
+            let matrix = &matrix;
+            let col_offsets = &self.col_offsets;
+            let col_ids = &self.col_ids;
+            let next = &next;
+            let ranges = &ranges;
+            let exact_config = &exact_config;
+            crossbeam::thread::scope(|scope| {
+                for slot in &slots {
+                    scope.spawn(move |_| {
+                        let mut acc: Vec<LanguageStats> = batch
+                            .iter()
+                            .map(|l| LanguageStats::empty(*l, exact_config))
+                            .collect();
+                        let mut scratch: Vec<Vec<PatternHash>> = vec![Vec::new(); k];
+                        loop {
+                            let s = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(range) = ranges.get(s) else { break };
+                            for c in range.clone() {
+                                let bounds = col_offsets
+                                    .get(c)
+                                    .copied()
+                                    .zip(col_offsets.get(c + 1).copied());
+                                let Some((lo, hi)) = bounds else { continue };
+                                for &id in col_ids.get(lo..hi).into_iter().flatten() {
+                                    let base = id as usize * k;
+                                    if let Some(row) = matrix.get(base..base + k) {
+                                        for (hs, &h) in scratch.iter_mut().zip(row) {
+                                            hs.push(h);
+                                        }
+                                    }
+                                }
+                                // Empty columns still count: absorb with an
+                                // empty hash list, exactly like the serial
+                                // scan.
+                                for (stats, hs) in acc.iter_mut().zip(scratch.iter_mut()) {
+                                    stats.absorb_column_hashes(hs, exact_config);
+                                }
+                            }
+                        }
+                        *slot.lock() = Some(acc);
+                    });
+                }
+            })
+            .map_err(|_| StatsError::WorkerPanicked("accumulate"))?;
+        }
+        self.report.accumulate_nanos += t1.elapsed().as_nanos() as u64;
+
+        // Deterministic merge: keyed addition is order-independent, and
+        // sketch finalization replays sorted keys, so the merged result
+        // is bit-identical to a serial scan at any thread count.
+        let t2 = clock();
+        let mut merged: Option<Vec<LanguageStats>> = None;
+        for slot in slots {
+            let Some(acc) = slot.into_inner() else {
+                continue;
+            };
+            match merged.as_mut() {
+                None => merged = Some(acc),
+                Some(base) => {
+                    for (dst, src) in base.iter_mut().zip(acc.iter()) {
+                        dst.merge_from(src).map_err(StatsError::Merge)?;
+                    }
+                }
+            }
+        }
+        let mut merged = merged.ok_or(StatsError::WorkerPanicked("accumulate"))?;
+        if let Some(spec) = config.sketch {
+            for stats in merged.iter_mut() {
+                stats.compress_cooccurrence(spec);
+            }
+        }
+        self.report.merge_nanos += t2.elapsed().as_nanos() as u64;
+
+        self.report.batches += 1;
+        self.report.languages += k as u64;
+        self.report.generalizations_performed += n_values as u64 * k as u64;
+        self.report.generalizations_saved +=
+            (self.col_ids.len() as u64).saturating_sub(n_values as u64) * k as u64;
+
+        // Consume in parallel: `f` typically scores a training set against
+        // the statistics, which costs more than the merge itself.
+        let inputs: Vec<Mutex<Option<(usize, LanguageStats)>>> = merged
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Mutex::new(Some((offset + i, s))))
+            .collect();
+        let out_slots: Vec<Mutex<Option<R>>> = (0..k).map(|_| Mutex::new(None)).collect();
+        let consume_next = AtomicUsize::new(0);
+        {
+            let inputs = &inputs;
+            let out_slots = &out_slots;
+            let consume_next = &consume_next;
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..self.threads.min(k) {
+                    scope.spawn(move |_| loop {
+                        let i = consume_next.fetch_add(1, Ordering::Relaxed);
+                        let Some(input) = inputs.get(i) else { break };
+                        let Some((gi, stats)) = input.lock().take() else {
+                            continue;
+                        };
+                        let r = f(gi, stats);
+                        if let Some(slot) = out_slots.get(i) {
+                            *slot.lock() = Some(r);
+                        }
+                    });
+                }
+            })
+            .map_err(|_| StatsError::WorkerPanicked("consume"))?;
+        }
+        let mut out = Vec::with_capacity(k);
+        for slot in out_slots {
+            out.push(
+                slot.into_inner()
+                    .ok_or(StatsError::WorkerPanicked("consume"))?,
+            );
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::collect_stats_reference;
+    use crate::store::SketchSpec;
+    use adt_corpus::{Column, SourceTag};
+    use adt_patterns::{enumerate_coarse_languages, enumerate_restricted_languages};
+
+    fn stats_bytes(s: &LanguageStats) -> Vec<u8> {
+        let mut buf = Vec::new();
+        s.write_binary(&mut buf).expect("in-memory write");
+        buf
+    }
+
+    /// Pipeline output at several thread counts and batch sizes must be
+    /// byte-identical (via the canonical sorted binary codec) to the
+    /// serial per-language build.
+    fn assert_differential(corpus: &Corpus, languages: &[Language], config: &StatsConfig) {
+        let reference = collect_stats_reference(languages, corpus, config, 1).unwrap();
+        let expect: Vec<Vec<u8>> = reference.iter().map(stats_bytes).collect();
+        for threads in [1, 2, 4, 8] {
+            for lang_batch in [1, 3, 64] {
+                let opts = PipelineOptions {
+                    threads,
+                    lang_batch,
+                };
+                let mut pipe = TrainPipeline::new(corpus, &opts).unwrap();
+                let got = pipe.run(languages, config, |_, s| s).unwrap();
+                assert_eq!(got.len(), languages.len());
+                for ((lang, e), g) in languages.iter().zip(&expect).zip(&got) {
+                    assert_eq!(g.language, *lang);
+                    assert_eq!(
+                        *e,
+                        stats_bytes(g),
+                        "diverged for {lang:?} (threads={threads}, lang_batch={lang_batch})"
+                    );
+                }
+            }
+        }
+    }
+
+    fn mixed_corpus() -> Corpus {
+        let mut cols: Vec<Column> = Vec::new();
+        for i in 0..40 {
+            cols.push(Column::from_strs(
+                &[&format!("{i}"), &format!("{i},000"), "x", ""],
+                SourceTag::Web,
+            ));
+            cols.push(Column::from_strs(
+                &[
+                    &format!("{}-01-0{}", 1980 + i, i % 9 + 1),
+                    &format!("{}/02/11", 1990 + i),
+                    "café",
+                    "naïve-Straße",
+                ],
+                SourceTag::PubXls,
+            ));
+        }
+        // Duplicate-heavy columns exercise interning; an all-empty and a
+        // zero-length column exercise the empty-absorb path.
+        cols.push(Column::from_strs(&["x", "x", "x"], SourceTag::Web));
+        cols.push(Column::from_strs(&["", "", ""], SourceTag::Web));
+        cols.push(Column::from_strs(&[], SourceTag::Web));
+        Corpus::from_columns(cols)
+    }
+
+    #[test]
+    fn exact_backend_differential() {
+        assert_differential(
+            &mixed_corpus(),
+            &enumerate_coarse_languages(),
+            &StatsConfig::default(),
+        );
+    }
+
+    #[test]
+    fn sketch_backend_differential() {
+        // Conservative count-min is update-order-dependent; identity at
+        // every thread count only holds because both builds accumulate
+        // exactly and finalize by sorted replay.
+        assert_differential(
+            &mixed_corpus(),
+            &enumerate_coarse_languages(),
+            &StatsConfig {
+                max_distinct_per_column: 24,
+                sketch: Some(SketchSpec {
+                    budget_bytes: 1 << 12,
+                    ..SketchSpec::default()
+                }),
+            },
+        );
+    }
+
+    #[test]
+    fn stride_subsample_differential() {
+        // Columns far over the distinct cap hit the strided subsample.
+        let cols: Vec<Column> = (0..8)
+            .map(|c| {
+                let values: Vec<String> = (0..100)
+                    .map(|i| format!("w{}-{}", c, "y".repeat(i % 17 + 1)))
+                    .collect();
+                Column::new(values, SourceTag::Web)
+            })
+            .collect();
+        assert_differential(
+            &Corpus::from_columns(cols),
+            &enumerate_coarse_languages(),
+            &StatsConfig {
+                max_distinct_per_column: 6,
+                sketch: None,
+            },
+        );
+    }
+
+    #[test]
+    fn empty_corpus_differential() {
+        assert_differential(
+            &Corpus::new(),
+            &enumerate_coarse_languages(),
+            &StatsConfig::default(),
+        );
+    }
+
+    #[test]
+    fn full_restricted_space_small_corpus_differential() {
+        let cols: Vec<Column> = (0..12)
+            .map(|i| {
+                Column::from_strs(
+                    &[&format!("{}", 1900 + i), &format!("AbC{i}"), "#x?"],
+                    SourceTag::Web,
+                )
+            })
+            .collect();
+        assert_differential(
+            &Corpus::from_columns(cols),
+            &enumerate_restricted_languages(),
+            &StatsConfig::default(),
+        );
+    }
+
+    #[test]
+    fn report_counts_interning_wins() {
+        let corpus = mixed_corpus();
+        let langs = enumerate_coarse_languages();
+        let opts = PipelineOptions {
+            threads: 2,
+            lang_batch: 4,
+        };
+        let mut pipe = TrainPipeline::new(&corpus, &opts).unwrap();
+        let _ = pipe
+            .run(&langs, &StatsConfig::default(), |_, s| s.n_columns)
+            .unwrap();
+        let r = pipe.report();
+        assert_eq!(r.columns, corpus.len() as u64);
+        assert_eq!(r.languages, langs.len() as u64);
+        assert_eq!(r.batches, langs.len().div_ceil(4) as u64);
+        assert!(r.interned_values > 0);
+        assert!(
+            r.interned_values < r.value_occurrences,
+            "duplicate-heavy corpus must intern fewer values than occurrences"
+        );
+        assert_eq!(r.generalizations_performed, r.interned_values * r.languages);
+        assert_eq!(
+            r.generalizations_saved,
+            (r.value_occurrences - r.interned_values) * r.languages
+        );
+        assert_eq!(r.threads, 2);
+    }
+
+    #[test]
+    fn report_absorb_adds_counts() {
+        let mut a = PipelineReport {
+            columns: 10,
+            languages: 4,
+            threads: 2,
+            ..PipelineReport::default()
+        };
+        let b = PipelineReport {
+            columns: 5,
+            languages: 140,
+            threads: 8,
+            ..PipelineReport::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.columns, 15);
+        assert_eq!(a.languages, 144);
+        assert_eq!(a.threads, 8);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_error() {
+        let corpus = mixed_corpus();
+        let mut pipe = TrainPipeline::new(&corpus, &PipelineOptions::default()).unwrap();
+        let langs = [Language::paper_l1(), Language::paper_l2()];
+        let err = pipe
+            .run(&langs, &StatsConfig::default(), |i, _| {
+                assert!(i < 10, "boom"); // never trips
+                if i == 1 {
+                    panic!("consume panic");
+                }
+                i
+            })
+            .unwrap_err();
+        assert_eq!(err, StatsError::WorkerPanicked("consume"));
+    }
+
+    #[test]
+    fn stats_error_displays() {
+        let e = StatsError::WorkerPanicked("intern");
+        assert!(e.to_string().contains("intern"));
+        let m = StatsError::Merge("language mismatch");
+        assert!(m.to_string().contains("language mismatch"));
+    }
+}

@@ -130,6 +130,14 @@ impl CoocBackend {
 
     /// Converts an exact backend into a sketch of the given geometry by
     /// replaying all entries; no-op on an existing sketch.
+    ///
+    /// Entries are replayed in sorted key order, so the resulting sketch
+    /// depends only on the map *contents* — never on hash-map iteration
+    /// order. This matters for [`UpdateStrategy::Conservative`], whose
+    /// updates are order-dependent: sorted replay makes sketch
+    /// finalization reproducible across builds, thread counts, and merge
+    /// schedules (each key's full mass arrives as one add, which also
+    /// gives conservative updates their tightest estimates).
     pub fn to_sketch(&self, spec: SketchSpec) -> CoocBackend {
         match self {
             CoocBackend::Exact(map) => {
@@ -139,12 +147,32 @@ impl CoocBackend {
                     spec.strategy,
                     spec.seed,
                 );
-                for (&(lo, hi), &cnt) in map {
+                let mut entries: Vec<(u64, u64, u32)> =
+                    map.iter().map(|(&(lo, hi), &cnt)| (lo, hi, cnt)).collect();
+                entries.sort_unstable();
+                for (lo, hi, cnt) in entries {
                     cms.add(adt_sketch::hashing::pair_key(lo, hi), cnt);
                 }
                 CoocBackend::Sketch(cms)
             }
             CoocBackend::Sketch(cms) => CoocBackend::Sketch(cms.clone()),
+        }
+    }
+
+    /// Merges another backend of the same kind into this one: exact maps
+    /// merge by keyed addition (exact, order-independent), sketches by
+    /// cell-wise addition (see [`CountMinSketch::merge_from`]). Mixed
+    /// kinds are an error.
+    pub fn merge_from(&mut self, other: &CoocBackend) -> Result<(), &'static str> {
+        match (self, other) {
+            (CoocBackend::Exact(into), CoocBackend::Exact(from)) => {
+                for (&k, &v) in from.iter() {
+                    *into.entry(k).or_insert(0) += v;
+                }
+                Ok(())
+            }
+            (CoocBackend::Sketch(into), CoocBackend::Sketch(from)) => into.merge_from(from),
+            _ => Err("co-occurrence backend kind mismatch"),
         }
     }
 }
@@ -196,6 +224,57 @@ mod tests {
         for i in 0..200u64 {
             assert!(sk.get(h(i), h(i * 7 + 1)) >= exact.get(h(i), h(i * 7 + 1)));
         }
+    }
+
+    #[test]
+    fn to_sketch_is_iteration_order_independent() {
+        // Same entries inserted in opposite orders must produce identical
+        // sketch tables (conservative updates are order-sensitive, so this
+        // only holds because replay sorts).
+        let spec = SketchSpec {
+            budget_bytes: 1 << 10,
+            ..SketchSpec::default()
+        };
+        let mut fwd = CoocBackend::exact();
+        let mut rev = CoocBackend::exact();
+        for i in 0..300u64 {
+            fwd.add_pair(h(i), h(i * 3 + 1), (i % 4 + 1) as u32);
+        }
+        for i in (0..300u64).rev() {
+            rev.add_pair(h(i), h(i * 3 + 1), (i % 4 + 1) as u32);
+        }
+        let (a, b) = (fwd.to_sketch(spec), rev.to_sketch(spec));
+        match (a, b) {
+            (CoocBackend::Sketch(sa), CoocBackend::Sketch(sb)) => {
+                assert_eq!(sa.table(), sb.table());
+                assert_eq!(sa.total(), sb.total());
+            }
+            _ => panic!("expected sketches"),
+        }
+    }
+
+    #[test]
+    fn merge_exact_backends_adds_counts() {
+        let mut a = CoocBackend::exact();
+        let mut b = CoocBackend::exact();
+        a.add_pair(h(1), h(2), 2);
+        a.add_pair(h(1), h(3), 1);
+        b.add_pair(h(2), h(1), 5);
+        b.add_pair(h(4), h(5), 7);
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.get(h(1), h(2)), 7);
+        assert_eq!(a.get(h(1), h(3)), 1);
+        assert_eq!(a.get(h(4), h(5)), 7);
+        assert_eq!(a.exact_entries(), Some(3));
+    }
+
+    #[test]
+    fn merge_mixed_backends_is_error() {
+        let mut a = CoocBackend::exact();
+        let b = CoocBackend::sketch(SketchSpec::default());
+        assert!(a.merge_from(&b).is_err());
+        let mut c = CoocBackend::sketch(SketchSpec::default());
+        assert!(c.merge_from(&CoocBackend::exact()).is_err());
     }
 
     #[test]

@@ -1,8 +1,10 @@
 #!/bin/sh
-# Perf report for the pattern-group scan kernel: races the group kernel
-# against the naive value-pair reference and writes BENCH_scan.json
-# (override the path with BENCH_OUT) with per-shape median ns/op and
-# NPMI probe counters.
+# Perf report for the pattern-group scan kernel and the sharded training
+# pipeline: races the group kernel against the naive value-pair reference
+# and the corpus-major training pipeline against the language-major
+# reference build, then writes BENCH_scan.json (override the path with
+# BENCH_OUT) with per-shape median ns/op, NPMI probe counters, and
+# training throughput (columns/sec, values/sec, speedup vs reference).
 #
 #   scripts/bench_report.sh             # full: release build, full widths
 #   scripts/bench_report.sh quick       # smoke: debug build, half widths

@@ -29,7 +29,7 @@ mod cli {
 
     /// Options that take a value; everything else starting with `--` is a
     /// boolean flag.
-    pub const VALUED: [&str; 16] = [
+    pub const VALUED: [&str; 17] = [
         "--out",
         "--model",
         "--corpus",
@@ -42,6 +42,7 @@ mod cli {
         "--top",
         "--space",
         "--threads",
+        "--train-threads",
         "--models",
         "--addr",
         "--workers",
@@ -151,7 +152,7 @@ USAGE:
   autodetect gen-corpus [--profile web|wiki|pubxls|entxls] [--columns N] --out FILE
   autodetect train [--corpus FILE] [--columns N] [--examples N]
                    [--budget BYTES] [--precision P] [--space full|coarse]
-                   --out MODEL.json
+                   [--train-threads N] --out MODEL.json
   autodetect scan FILE.csv --model MODEL.json [--delimiter C] [--no-header]
                   [--top N] [--threads N] [--stream]
   autodetect check VALUE1 VALUE2 --model MODEL.json
@@ -163,7 +164,9 @@ USAGE:
 
 Without --corpus, `train` generates a synthetic web-table corpus
 (--columns, default 20000) reproducing the paper's co-occurrence
-structure. `scan` audits every column of a delimited file through the
+structure. Training runs the sharded corpus-major pipeline
+(--train-threads, default all cores); the trained model is identical at
+any thread count. `scan` audits every column of a delimited file through the
 parallel scan engine (--threads, default all cores) and prints ranked
 findings; --stream ingests the file with bounded memory instead of
 loading it whole. Findings are identical at any thread count and in
@@ -223,14 +226,33 @@ fn cmd_train(args: &cli::Args) -> Result<(), String> {
         .memory_budget(args.num("--budget", 64usize << 20)?)
         .precision_target(args.num("--precision", 0.95f64)?)
         .space(space)
+        .train_threads(args.num("--train-threads", 0usize)?)
         .build()
         .map_err(|e| e.to_string())?;
     eprintln!(
-        "training on {} columns ({} candidate languages)…",
+        "training on {} columns ({} candidate languages, {} pipeline threads)…",
         corpus.len(),
-        config.candidate_languages().len()
+        config.candidate_languages().len(),
+        config.effective_train_threads()
     );
     let (model, report) = train(&corpus, &config).map_err(|e| e.to_string())?;
+    let p = &report.pipeline;
+    eprintln!(
+        "pipeline: {} columns, {} distinct values interned ({} occurrences), \
+         {} generalizations performed, {} saved vs per-column rescan",
+        p.columns,
+        p.interned_values,
+        p.value_occurrences,
+        p.generalizations_performed,
+        p.generalizations_saved
+    );
+    eprintln!(
+        "pipeline wall-clock: intern {:.2}s, generalize {:.2}s, accumulate {:.2}s, merge {:.2}s",
+        p.intern_nanos as f64 / 1e9,
+        p.generalize_nanos as f64 / 1e9,
+        p.accumulate_nanos as f64 / 1e9,
+        p.merge_nanos as f64 / 1e9
+    );
     eprintln!(
         "selected {} languages {:?}, model {} KB, training precision target {}",
         model.num_languages(),
