@@ -28,6 +28,8 @@ if [ "${ADT_OFFLINE:-0}" = "1" ]; then
     scripts/serve_smoke.sh "${ADT_OFFLINE_DIR:-/tmp/adt-offline-check}/target/debug/autodetect"
     echo "== bench report smoke: kernels + train pipeline (offline stubs)"
     scripts/bench_report.sh quick
+    echo "== matrix report smoke: detector x error-class (offline stubs)"
+    scripts/matrix_report.sh quick
 else
     echo "== clippy"
     cargo clippy --workspace --all-targets -- -D warnings
@@ -40,6 +42,8 @@ else
     scripts/serve_smoke.sh target/debug/autodetect
     echo "== bench report smoke: kernels + train pipeline"
     scripts/bench_report.sh quick
+    echo "== matrix report smoke: detector x error-class"
+    scripts/matrix_report.sh quick
 fi
 
 if [ "${ADT_SANITIZERS:-0}" = "1" ]; then

@@ -83,6 +83,7 @@ pub fn classify(rel: &str) -> FileClass {
         time_exempt: rel == "crates/serve/src/stats.rs" || rel.starts_with("crates/bench/"),
         panic_scope: rel == "crates/core/src/detector.rs"
             || rel == "crates/core/src/engine.rs"
+            || rel == "crates/core/src/ensemble.rs"
             || rel == "crates/stats/src/build.rs"
             || rel == "crates/stats/src/pipeline.rs"
             || (serve_src && !rel.ends_with("/testutil.rs") && !rel.ends_with("/client.rs")),

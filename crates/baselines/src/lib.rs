@@ -58,6 +58,35 @@ pub fn all_baselines() -> Vec<Box<dyn Detector>> {
     ]
 }
 
+/// Registers the ten §4.2 baselines plus `"union"` into `reg` under
+/// their canonical configuration names (see
+/// [`adt_core::KNOWN_DETECTORS`]).
+pub fn register_baselines(reg: &mut adt_core::DetectorRegistry) {
+    reg.register("fregex", || Box::new(FRegexDetector::default()));
+    reg.register("pwheel", || Box::new(PotterWheelDetector::default()));
+    reg.register("dboost", || Box::new(DboostDetector::default()));
+    reg.register("linear", || Box::new(LinearDetector::default()));
+    reg.register("linearp", || Box::new(LinearPDetector::default()));
+    reg.register("cdm", || Box::new(CdmDetector::default()));
+    reg.register("lsa", || Box::new(LsaDetector::default()));
+    reg.register("svdd", || Box::new(SvddDetector::default()));
+    reg.register("dbod", || Box::new(DbodDetector::default()));
+    reg.register("lof", || Box::new(LofDetector::default()));
+    reg.register("union", || Box::new(UnionDetector::default()));
+}
+
+/// The full standard registry: the core `"autodetect"` detector backed
+/// by `model` plus every baseline. Covers all of
+/// [`adt_core::KNOWN_DETECTORS`], so any validated
+/// [`adt_core::DetectorSpec`] builds.
+pub fn standard_registry(
+    model: std::sync::Arc<adt_core::AutoDetect>,
+) -> adt_core::DetectorRegistry {
+    let mut reg = adt_core::DetectorRegistry::with_model(model);
+    register_baselines(&mut reg);
+    reg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +122,26 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), n);
         assert_eq!(n, 10);
+    }
+
+    /// `register_baselines` must cover every canonical detector name
+    /// except `"autodetect"` (which needs a trained model and is
+    /// registered by `DetectorRegistry::with_model`), so any detector
+    /// list that passes config validation also resolves through
+    /// `standard_registry`.
+    #[test]
+    fn register_baselines_covers_every_known_detector() {
+        let mut reg = adt_core::DetectorRegistry::new();
+        register_baselines(&mut reg);
+        for name in adt_core::KNOWN_DETECTORS {
+            if name == "autodetect" {
+                assert!(!reg.contains(name), "baselines must not fake autodetect");
+                continue;
+            }
+            let spec = adt_core::DetectorSpec::parse(name).unwrap();
+            let det = reg.build(&spec).unwrap();
+            assert!(!det.name().is_empty(), "{name} built a nameless detector");
+        }
+        assert_eq!(reg.names().len(), adt_core::KNOWN_DETECTORS.len() - 1);
     }
 }

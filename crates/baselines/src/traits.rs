@@ -1,8 +1,13 @@
 //! The common detector interface — re-exported from `adt_core::api`.
 //!
-//! The trait moved into `adt-core` so Auto-Detect itself and every
-//! baseline implement the same interface and evaluation drivers consume
-//! a uniform `dyn Detector`. This module remains as the compatibility
-//! path: `adt_baselines::traits::Detector` *is* `adt_core::Detector`.
+//! **Deprecated path.** The trait moved into `adt-core` so Auto-Detect
+//! itself and every baseline implement the same interface and
+//! evaluation drivers consume a uniform `dyn Detector`. This module
+//! remains only as the compatibility path —
+//! `adt_baselines::traits::Detector` *is* `adt_core::Detector` — and
+//! re-exports nothing of its own (the old duplicated `Prediction` is
+//! gone). New code should import from `adt_core::api` directly, which
+//! also carries the batch/registry surface (`detect_batch`,
+//! `DetectorInfo`, `DetectorRegistry`, `DetectorSpec`).
 
 pub use adt_core::api::{finalize_predictions, value_counts, Detector, Prediction};

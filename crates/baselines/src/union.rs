@@ -3,10 +3,17 @@
 //! Each member method contributes its ranked predictions; scores are
 //! rank-normalized (method scales are incomparable) and the pooled
 //! prediction takes each value's best normalized rank across methods.
+//!
+//! Since the ensemble redesign this is a thin wrapper over
+//! [`EnsembleEngine`]'s `union` merge policy, which reproduces the
+//! historical rank-pooling byte for byte (see the differential test
+//! below). The type is kept for paper parity — `Union` is one of the
+//! §4.2 comparison methods — and as the `"union"` registry entry.
 
-use crate::traits::{finalize_predictions, Detector, Prediction};
+use crate::traits::{Detector, Prediction};
+use adt_core::api::{CostClass, DetectorInfo, DetectorKind};
+use adt_core::ensemble::{EnsembleEngine, MergePolicy};
 use adt_corpus::Column;
-use std::collections::HashMap;
 
 /// The Union meta-detector.
 pub struct UnionDetector {
@@ -41,9 +48,60 @@ impl Detector for UnionDetector {
         "Union"
     }
 
+    fn info(&self) -> DetectorInfo {
+        DetectorInfo {
+            name: self.name(),
+            kind: DetectorKind::Meta,
+            cost: CostClass::Expensive,
+        }
+    }
+
     fn detect(&self, column: &Column) -> Vec<Prediction> {
+        let mut batch = self.detect_batch(std::slice::from_ref(column));
+        batch.pop().unwrap_or_default()
+    }
+
+    fn detect_batch(&self, columns: &[Column]) -> Vec<Vec<Prediction>> {
+        // Members are borrowed (`&dyn Detector` is itself a Detector), so
+        // the engine is rebuilt per call without cloning the member set.
+        // One worker thread: Union is routinely driven from inside an
+        // already-parallel evaluation loop, and the historical
+        // implementation was serial.
+        let engine = EnsembleEngine::new(
+            self.members
+                .iter()
+                .map(|m| Box::new(m.as_ref()) as Box<dyn Detector + '_>)
+                .collect(),
+        )
+        .with_merge(MergePolicy::Union)
+        .with_threads(1)
+        .with_limit(self.limit);
+        match engine.run(columns) {
+            Ok(report) => report.predictions,
+            // Unreachable in practice (single-threaded runs execute
+            // inline and the member set is non-empty by construction);
+            // degrade to "no predictions" rather than panicking.
+            Err(_) => columns.iter().map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::finalize_predictions;
+    use adt_corpus::SourceTag;
+    use std::collections::HashMap;
+
+    /// The pre-ensemble rank-pooling implementation, preserved verbatim
+    /// as the reference for the differential test.
+    fn reference_union(
+        members: &[Box<dyn Detector>],
+        limit: usize,
+        column: &Column,
+    ) -> Vec<Prediction> {
         let mut pooled: HashMap<String, f64> = HashMap::new();
-        for m in &self.members {
+        for m in members {
             let preds = m.detect(column);
             let n = preds.len();
             for (rank, p) in preds.into_iter().enumerate() {
@@ -60,14 +118,49 @@ impl Detector for UnionDetector {
             .into_iter()
             .map(|(value, confidence)| Prediction { value, confidence })
             .collect();
-        finalize_predictions(preds, self.limit)
+        finalize_predictions(preds, limit)
     }
-}
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use adt_corpus::SourceTag;
+    fn mixed_columns() -> Vec<Column> {
+        let mut cols = Vec::new();
+        // 19 ISO dates + intruder.
+        let mut vals: Vec<String> = (1..20)
+            .map(|i| format!("2011-{:02}-{:02}", (i % 12) + 1, (i % 27) + 1))
+            .collect();
+        vals.push("not a date at all!!".to_string());
+        cols.push(Column::new(vals, SourceTag::Csv));
+        // Numbers with a thousands-separator intruder.
+        let mut vals: Vec<String> = (0..18).map(|i| format!("{}", 100 + i * 7)).collect();
+        vals.push("3,000".to_string());
+        cols.push(Column::new(vals, SourceTag::Csv));
+        // Clean short codes (many methods stay silent here).
+        let vals: Vec<String> = (0..15).map(|i| format!("AB-{i:03}")).collect();
+        cols.push(Column::new(vals, SourceTag::Csv));
+        cols
+    }
+
+    /// The ensemble-backed Union must be byte-identical to the historical
+    /// rank-pooling implementation on every prediction.
+    #[test]
+    fn differential_against_rank_pooling_reference() {
+        let u = UnionDetector::default();
+        let reference_members = crate::all_baselines();
+        for (i, col) in mixed_columns().iter().enumerate() {
+            let new = u.detect(col);
+            let old = reference_union(&reference_members, u.limit, col);
+            assert_eq!(new.len(), old.len(), "column {i}: prediction count");
+            for (n, o) in new.iter().zip(&old) {
+                assert_eq!(n.value, o.value, "column {i}: value order diverged");
+                assert!(
+                    n.confidence.to_bits() == o.confidence.to_bits(),
+                    "column {i}: confidence diverged for {}: {} vs {}",
+                    n.value,
+                    n.confidence,
+                    o.confidence
+                );
+            }
+        }
+    }
 
     #[test]
     fn union_pools_member_predictions() {
@@ -79,6 +172,7 @@ mod tests {
         assert!(!preds.is_empty());
         assert_eq!(preds[0].value, "not a date");
         assert_eq!(u.member_names().len(), 10);
+        assert_eq!(u.info().kind, DetectorKind::Meta);
     }
 
     #[test]

@@ -17,8 +17,10 @@
 //! train-speedup columns (both algorithmic ratios); use
 //! `scripts/bench_report.sh` (release, full widths) for real numbers.
 
+use adt_baselines::{CdmDetector, FRegexDetector};
 use adt_bench::kernel_bench::{bench_model, shape_counts, shape_width, SHAPES};
-use adt_core::{Aggregator, AutoDetect, PatternCache};
+use adt_core::api::Detector;
+use adt_core::{Aggregator, AutoDetect, EnsembleEngine, EnsembleReport, PatternCache};
 use adt_corpus::{Column, Corpus, SourceTag};
 use adt_patterns::enumerate_coarse_languages;
 use adt_stats::{
@@ -221,7 +223,76 @@ fn run_train(quick: bool, iters: usize) -> TrainReport {
     }
 }
 
-fn json_report(mode: &str, iters: usize, shapes: &[ShapeReport], train: &TrainReport) -> String {
+struct EnsembleRow {
+    columns: usize,
+    serial_ns: u64,
+    parallel_ns: u64,
+    /// The instrumented run whose lanes and merge time are reported.
+    report: EnsembleReport,
+}
+
+impl EnsembleRow {
+    fn speedup(&self) -> f64 {
+        self.serial_ns as f64 / self.parallel_ns.max(1) as f64
+    }
+}
+
+/// Times the ensemble engine (Auto-Detect + F-Regex + CDM, union merge)
+/// over a duplicate-heavy column set, serial vs all cores, after
+/// checking the two runs merge to identical predictions.
+fn run_ensemble(model: &AutoDetect, quick: bool, iters: usize) -> EnsembleRow {
+    let corpus = train_bench_corpus(if quick { 48 } else { 192 });
+    let columns = corpus.columns();
+    let members = || -> Vec<Box<dyn Detector + '_>> {
+        vec![
+            Box::new(model),
+            Box::new(FRegexDetector::default()),
+            Box::new(CdmDetector::default()),
+        ]
+    };
+    let serial = EnsembleEngine::new(members())
+        .with_threads(1)
+        .run(columns)
+        .expect("serial ensemble run failed");
+    let parallel = EnsembleEngine::new(members())
+        .with_threads(0)
+        .run(columns)
+        .expect("parallel ensemble run failed");
+    if serial.predictions != parallel.predictions {
+        eprintln!("FAIL: ensemble predictions differ between 1 thread and all cores");
+        std::process::exit(1);
+    }
+    let serial_ns = median_ns(iters, || {
+        black_box(
+            EnsembleEngine::new(members())
+                .with_threads(1)
+                .run(columns)
+                .expect("serial ensemble run failed"),
+        );
+    });
+    let parallel_ns = median_ns(iters, || {
+        black_box(
+            EnsembleEngine::new(members())
+                .with_threads(0)
+                .run(columns)
+                .expect("parallel ensemble run failed"),
+        );
+    });
+    EnsembleRow {
+        columns: columns.len(),
+        serial_ns,
+        parallel_ns,
+        report: parallel,
+    }
+}
+
+fn json_report(
+    mode: &str,
+    iters: usize,
+    shapes: &[ShapeReport],
+    train: &TrainReport,
+    ensemble: &EnsembleRow,
+) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"bench\": \"scan_kernels\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
@@ -261,7 +332,7 @@ fn json_report(mode: &str, iters: usize, shapes: &[ShapeReport], train: &TrainRe
         "  \"train\": {{\"columns\": {}, \"languages\": {}, \"interned_values\": {}, \
          \"value_occurrences\": {}, \"generalizations_saved\": {}, \
          \"pipeline_median_ns\": {}, \"reference_median_ns\": {}, \
-         \"columns_per_sec\": {:.1}, \"values_per_sec\": {:.1}, \"speedup\": {:.2}}}\n",
+         \"columns_per_sec\": {:.1}, \"values_per_sec\": {:.1}, \"speedup\": {:.2}}},\n",
         train.columns,
         train.languages,
         train.interned_values,
@@ -272,6 +343,29 @@ fn json_report(mode: &str, iters: usize, shapes: &[ShapeReport], train: &TrainRe
         train.columns_per_sec(),
         train.values_per_sec(),
         train.speedup()
+    ));
+    let lanes: Vec<String> = ensemble
+        .report
+        .stats
+        .detectors
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"name\": \"{}\", \"wall_nanos\": {}, \"predictions\": {}, \"columns\": {}}}",
+                l.name, l.wall_nanos, l.predictions, l.columns
+            )
+        })
+        .collect();
+    s.push_str(&format!(
+        "  \"ensemble\": {{\"columns\": {}, \"merge\": \"union\", \
+         \"serial_median_ns\": {}, \"parallel_median_ns\": {}, \"speedup\": {:.2}, \
+         \"merge_nanos\": {}, \"lanes\": [{}]}}\n",
+        ensemble.columns,
+        ensemble.serial_ns,
+        ensemble.parallel_ns,
+        ensemble.speedup(),
+        ensemble.report.merge_nanos,
+        lanes.join(", ")
     ));
     s.push_str("}\n");
     s
@@ -306,6 +400,9 @@ fn main() {
     eprintln!("[bench_report] racing training pipeline vs reference build…");
     let train = run_train(quick, if quick { 3 } else { 7 });
 
+    eprintln!("[bench_report] timing ensemble engine (serial vs all cores)…");
+    let ensemble = run_ensemble(&model, quick, if quick { 3 } else { 7 });
+
     println!(
         "{:<16} {:>5} {:>14} {:>14} {:>14} {:>12} {:>12}",
         "shape", "d", "group_cold_ns", "group_warm_ns", "reference_ns", "ref_probes", "probe_ratio"
@@ -336,8 +433,18 @@ fn main() {
         train.columns_per_sec(),
         train.values_per_sec()
     );
+    println!(
+        "ensemble: {} columns x {} detector(s), serial {} ns vs all-cores {} ns = {:.1}x \
+         (merge {} ns)",
+        ensemble.columns,
+        ensemble.report.stats.detectors.len(),
+        ensemble.serial_ns,
+        ensemble.parallel_ns,
+        ensemble.speedup(),
+        ensemble.report.merge_nanos
+    );
 
-    let json = json_report(mode, iters, &reports, &train);
+    let json = json_report(mode, iters, &reports, &train, &ensemble);
     if let Some(path) = out {
         std::fs::write(&path, &json).unwrap_or_else(|e| {
             eprintln!("FAIL: cannot write {path}: {e}");

@@ -1,5 +1,7 @@
 //! Training and detection configuration.
 
+use crate::api::DetectorSpec;
+use crate::ensemble::MergePolicy;
 use crate::error::AdtError;
 use adt_stats::{NpmiParams, SketchSpec, StatsConfig};
 use serde::{Deserialize, Serialize};
@@ -64,6 +66,20 @@ pub struct AutoDetectConfig {
     /// count-min sketch with this fraction of their exact size
     /// (Figure 8(a): 1%, 10%, 100%=None).
     pub sketch_fraction: Option<f64>,
+    /// Detector set for ensemble scans, as canonical configuration names
+    /// validated against [`crate::api::KNOWN_DETECTORS`]. The default
+    /// single-member set runs Auto-Detect alone (no ensemble engine).
+    #[serde(default = "default_detectors")]
+    pub detectors: Vec<String>,
+    /// How per-detector rankings are merged when more than one detector
+    /// is configured.
+    #[serde(default)]
+    pub merge: MergePolicy,
+}
+
+/// The default single-detector set.
+fn default_detectors() -> Vec<String> {
+    vec!["autodetect".to_string()]
 }
 
 impl Default for AutoDetectConfig {
@@ -84,6 +100,8 @@ impl Default for AutoDetectConfig {
             max_distinct_values: 64,
             seed: 0xAD7_7EA1,
             sketch_fraction: None,
+            detectors: default_detectors(),
+            merge: MergePolicy::default(),
         }
     }
 }
@@ -169,7 +187,50 @@ impl AutoDetectConfig {
                 return fail(format!("sketch_fraction must be in (0, 1], got {f}"));
             }
         }
+        let mut specs: Vec<DetectorSpec> = Vec::with_capacity(self.detectors.len());
+        for name in &self.detectors {
+            let spec = DetectorSpec::parse(name)?;
+            if specs.contains(&spec) {
+                return fail(format!("duplicate detector '{}'", spec.name()));
+            }
+            specs.push(spec);
+        }
+        if specs.is_empty() {
+            return fail("detectors must name at least one detector".into());
+        }
+        match &self.merge {
+            MergePolicy::Union => {}
+            MergePolicy::Vote(k) => {
+                if *k < 1 {
+                    return fail("vote merge threshold must be at least 1".into());
+                }
+                if *k > specs.len() {
+                    return fail(format!(
+                        "vote merge threshold {k} exceeds the {} configured detector(s)",
+                        specs.len()
+                    ));
+                }
+            }
+            MergePolicy::Calibrated(priors) => {
+                for (name, weight) in priors {
+                    DetectorSpec::parse(name)?;
+                    if !(weight.is_finite() && *weight > 0.0) {
+                        return fail(format!(
+                            "calibrated prior for '{name}' must be a positive finite weight, got {weight}"
+                        ));
+                    }
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// The validated, normalized detector specs this configuration names.
+    pub fn detector_specs(&self) -> Result<Vec<DetectorSpec>, AdtError> {
+        self.detectors
+            .iter()
+            .map(|n| DetectorSpec::parse(n))
+            .collect()
     }
 }
 
@@ -251,6 +312,26 @@ impl AutoDetectConfigBuilder {
     /// for exact counts.
     pub fn sketch_fraction(mut self, fraction: Option<f64>) -> Self {
         self.config.sketch_fraction = fraction;
+        self
+    }
+
+    /// Detector set for ensemble scans by canonical configuration name
+    /// (`"autodetect"`, `"fregex"`, …). Unknown names, duplicates, and
+    /// an empty set are [`AdtError::Config`] errors at [`Self::build`].
+    pub fn detectors<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.config.detectors = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Merge policy pooling per-detector rankings. A `vote:k` threshold
+    /// larger than the detector set is an [`AdtError::Config`] error at
+    /// [`Self::build`].
+    pub fn merge_policy(mut self, merge: MergePolicy) -> Self {
+        self.config.merge = merge;
         self
     }
 
@@ -340,6 +421,75 @@ mod tests {
             .training_examples(0)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn builder_accepts_valid_detector_sets() {
+        let c = AutoDetectConfig::builder()
+            .detectors(["autodetect", "fregex", "cdm"])
+            .merge_policy(MergePolicy::Vote(2))
+            .build()
+            .unwrap();
+        assert_eq!(c.detectors, vec!["autodetect", "fregex", "cdm"]);
+        assert_eq!(c.merge, MergePolicy::Vote(2));
+        let specs = c.detector_specs().unwrap();
+        assert_eq!(specs[1].name(), "fregex");
+    }
+
+    #[test]
+    fn builder_rejects_unknown_detector_name() {
+        let err = AutoDetectConfig::builder()
+            .detectors(["autodetect", "nonesuch"])
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, AdtError::Config(ref m) if m.contains("nonesuch")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_detector_sets_and_merges() {
+        // Duplicate member.
+        assert!(AutoDetectConfig::builder()
+            .detectors(["fregex", "fregex"])
+            .build()
+            .is_err());
+        // Empty set.
+        assert!(AutoDetectConfig::builder()
+            .detectors(Vec::<String>::new())
+            .build()
+            .is_err());
+        // Malformed vote threshold (programmatic construction can bypass
+        // MergePolicy::parse).
+        assert!(AutoDetectConfig::builder()
+            .detectors(["autodetect", "fregex"])
+            .merge_policy(MergePolicy::Vote(0))
+            .build()
+            .is_err());
+        // Vote threshold above the member count can never fire.
+        assert!(AutoDetectConfig::builder()
+            .detectors(["autodetect", "fregex"])
+            .merge_policy(MergePolicy::Vote(3))
+            .build()
+            .is_err());
+        // Calibrated priors must name known detectors with sane weights.
+        assert!(AutoDetectConfig::builder()
+            .merge_policy(MergePolicy::Calibrated(vec![("nonesuch".into(), 0.5)]))
+            .build()
+            .is_err());
+        assert!(AutoDetectConfig::builder()
+            .merge_policy(MergePolicy::Calibrated(vec![("fregex".into(), 0.0)]))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn default_detector_set_is_autodetect_union() {
+        let c = AutoDetectConfig::default();
+        assert_eq!(c.detectors, vec!["autodetect"]);
+        assert_eq!(c.merge, MergePolicy::Union);
+        c.validate().unwrap();
     }
 
     #[test]

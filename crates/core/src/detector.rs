@@ -266,6 +266,25 @@ pub struct ScanStats {
     pub hash_nanos: u64,
     /// Nanoseconds spent scoring pairs and attributing suspects.
     pub score_nanos: u64,
+    /// Per-detector instrumentation lanes recorded by the ensemble
+    /// engine (empty for plain single-model scans). Merged by name.
+    pub detectors: Vec<DetectorLane>,
+}
+
+/// One detector's share of an ensemble scan: wall time and output
+/// volume, accumulated across columns and worker threads.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DetectorLane {
+    /// The detector's display name.
+    pub name: String,
+    /// Nanoseconds of wall time spent inside this detector's
+    /// `detect_batch` calls (summed across chunks, so with multiple
+    /// workers this can exceed the scan's elapsed time).
+    pub wall_nanos: u64,
+    /// Predictions emitted before merging.
+    pub predictions: u64,
+    /// Columns this detector scanned.
+    pub columns: u64,
 }
 
 impl ScanStats {
@@ -310,6 +329,16 @@ impl ScanStats {
         }
         self.hash_nanos += other.hash_nanos;
         self.score_nanos += other.score_nanos;
+        for lane in &other.detectors {
+            match self.detectors.iter_mut().find(|l| l.name == lane.name) {
+                Some(mine) => {
+                    mine.wall_nanos += lane.wall_nanos;
+                    mine.predictions += lane.predictions;
+                    mine.columns += lane.columns;
+                }
+                None => self.detectors.push(lane.clone()),
+            }
+        }
     }
 }
 
@@ -1305,6 +1334,12 @@ mod tests {
             findings_per_language: vec![1, 0],
             hash_nanos: 10,
             score_nanos: 20,
+            detectors: vec![DetectorLane {
+                name: "Auto-Detect".into(),
+                wall_nanos: 7,
+                predictions: 2,
+                columns: 1,
+            }],
         };
         let b = ScanStats {
             values_scored: 3,
@@ -1317,6 +1352,20 @@ mod tests {
             findings_per_language: vec![0, 2],
             hash_nanos: 5,
             score_nanos: 5,
+            detectors: vec![
+                DetectorLane {
+                    name: "Auto-Detect".into(),
+                    wall_nanos: 3,
+                    predictions: 1,
+                    columns: 2,
+                },
+                DetectorLane {
+                    name: "F-Regex".into(),
+                    wall_nanos: 9,
+                    predictions: 4,
+                    columns: 2,
+                },
+            ],
         };
         a.merge(&b);
         assert_eq!(a.values_scored, 5);
@@ -1329,6 +1378,14 @@ mod tests {
         assert_eq!(a.findings_per_language, vec![1, 2]);
         assert_eq!(a.hash_nanos, 15);
         assert_eq!(a.score_nanos, 25);
+        // Lanes merge by name: Auto-Detect sums, F-Regex is adopted.
+        assert_eq!(a.detectors.len(), 2);
+        assert_eq!(a.detectors[0].name, "Auto-Detect");
+        assert_eq!(a.detectors[0].wall_nanos, 10);
+        assert_eq!(a.detectors[0].predictions, 3);
+        assert_eq!(a.detectors[0].columns, 3);
+        assert_eq!(a.detectors[1].name, "F-Regex");
+        assert_eq!(a.detectors[1].predictions, 4);
     }
 
     #[test]

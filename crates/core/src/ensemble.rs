@@ -1,0 +1,492 @@
+//! Multi-detector orchestration: run a configurable detector set over a
+//! column batch in parallel and merge their rankings.
+//!
+//! The paper evaluates Auto-Detect against a bench of baseline detectors
+//! whose union is itself a meta-detector (§4.2). [`EnsembleEngine`]
+//! turns that evaluation harness into an orchestration feature:
+//!
+//! * every member implements the canonical [`Detector`] trait and is
+//!   driven through `detect_batch`, so setup cost (Auto-Detect's pattern
+//!   cache) is amortized per chunk rather than per column;
+//! * work is fanned over [`parallel_map`] as (detector × column-chunk)
+//!   items with a **fixed** chunk width, so the work decomposition — and
+//!   therefore every detector's output — is independent of the thread
+//!   count;
+//! * per-detector wall time and prediction counts are recorded as
+//!   [`DetectorLane`]s in [`ScanStats`];
+//! * rankings are merged by a pluggable [`MergePolicy`], deduping by
+//!   (column, value) with the deterministic confidence-then-value
+//!   ordering of [`finalize_predictions`].
+//!
+//! Determinism argument: chunk boundaries depend only on the column
+//! count; `parallel_map` preserves item order regardless of which worker
+//! ran which item; merging folds detectors in their configured order
+//! with order-insensitive max/count pooling; and the final sort breaks
+//! confidence ties lexicographically. Wall-clock readings feed timing
+//! lanes only, never findings, so merged output is byte-identical at any
+//! thread count.
+
+use crate::api::{finalize_predictions, Detector, Prediction};
+use crate::detector::{DetectorLane, ScanStats};
+use crate::engine::parallel_map;
+use crate::error::AdtError;
+use adt_corpus::Column;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// How per-detector rankings are combined into one ranking per column.
+///
+/// All policies first rank-normalize each member's predictions — the
+/// top prediction of any method scores 1, the last 1/n — because raw
+/// confidences are incomparable across methods.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum MergePolicy {
+    /// Max-pool the normalized ranks across members (the paper's §4.2
+    /// Union baseline).
+    #[default]
+    Union,
+    /// Keep only values predicted by at least `k` members; confidence is
+    /// the best normalized rank among them.
+    Vote(usize),
+    /// Weight each member's normalized ranks by a per-detector precision
+    /// prior (as measured by the `adt-eval` scenario matrix) before
+    /// max-pooling. Detectors absent from the prior list weigh 1.0, so
+    /// an empty list degenerates to `Union`.
+    Calibrated(Vec<(String, f64)>),
+}
+
+impl MergePolicy {
+    /// Parses the configuration syntax: `union`, `vote:k` (k ≥ 1), or
+    /// `calibrated`. Anything else is a typed [`AdtError::Config`].
+    pub fn parse(raw: &str) -> Result<Self, AdtError> {
+        let s = raw.trim().to_ascii_lowercase();
+        if s == "union" {
+            return Ok(MergePolicy::Union);
+        }
+        if s == "calibrated" {
+            return Ok(MergePolicy::Calibrated(Vec::new()));
+        }
+        if let Some(k) = s.strip_prefix("vote:") {
+            return match k.parse::<usize>() {
+                Ok(k) if k >= 1 => Ok(MergePolicy::Vote(k)),
+                _ => Err(AdtError::Config(format!(
+                    "malformed merge policy '{raw}': vote:k needs an integer k >= 1"
+                ))),
+            };
+        }
+        if s == "vote" {
+            return Err(AdtError::Config(format!(
+                "malformed merge policy '{raw}': vote needs a threshold, e.g. vote:2"
+            )));
+        }
+        Err(AdtError::Config(format!(
+            "unknown merge policy '{raw}' (known: union, vote:k, calibrated)"
+        )))
+    }
+
+    /// The configuration spelling (`union`, `vote:2`, `calibrated`).
+    pub fn label(&self) -> String {
+        match self {
+            MergePolicy::Union => "union".to_string(),
+            MergePolicy::Vote(k) => format!("vote:{k}"),
+            MergePolicy::Calibrated(_) => "calibrated".to_string(),
+        }
+    }
+}
+
+/// Normalizes a detector display name to its canonical configuration
+/// form: `"Auto-Detect"` → `"autodetect"`, `"F-Regex"` → `"fregex"`.
+fn canonical_name(display: &str) -> String {
+    display
+        .chars()
+        .filter(|c| *c != '-' && *c != '_')
+        .collect::<String>()
+        .to_ascii_lowercase()
+}
+
+/// The merged result of one ensemble scan.
+#[derive(Debug, Clone)]
+pub struct EnsembleReport {
+    /// Merged, ranked predictions per input column.
+    pub predictions: Vec<Vec<Prediction>>,
+    /// Scan counters with one [`DetectorLane`] per member.
+    pub stats: ScanStats,
+    /// Nanoseconds spent merging rankings (single-threaded tail).
+    pub merge_nanos: u64,
+    /// End-to-end wall nanoseconds for the whole run.
+    pub elapsed_nanos: u64,
+}
+
+/// Columns per work item. Fixed — never derived from the thread count —
+/// so the work decomposition is identical at any parallelism.
+const CHUNK_COLUMNS: usize = 32;
+
+/// Runs a detector set over column batches and merges their rankings.
+///
+/// The lifetime lets member detectors borrow (e.g. [`Detector`] is
+/// implemented for `&T`, so a meta-detector can lend its members);
+/// owning engines simply use `EnsembleEngine<'static>`.
+pub struct EnsembleEngine<'a> {
+    detectors: Vec<Box<dyn Detector + 'a>>,
+    merge: MergePolicy,
+    threads: usize,
+    limit: usize,
+}
+
+impl<'a> EnsembleEngine<'a> {
+    /// An engine over `detectors` with union merging, all cores, and the
+    /// paper-parity per-column cap of 16 predictions.
+    pub fn new(detectors: Vec<Box<dyn Detector + 'a>>) -> Self {
+        EnsembleEngine {
+            detectors,
+            merge: MergePolicy::Union,
+            threads: 0,
+            limit: 16,
+        }
+    }
+
+    /// Sets the merge policy.
+    pub fn with_merge(mut self, merge: MergePolicy) -> Self {
+        self.merge = merge;
+        self
+    }
+
+    /// Sets the worker thread count (0 = all cores). Affects wall time
+    /// only, never the merged output.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the per-column cap on merged predictions.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Member display names, in configured order.
+    pub fn detector_names(&self) -> Vec<&'static str> {
+        self.detectors.iter().map(|d| d.name()).collect()
+    }
+
+    /// The configured merge policy.
+    pub fn merge_policy(&self) -> &MergePolicy {
+        &self.merge
+    }
+
+    /// Scans `columns` with every member and merges the rankings.
+    ///
+    /// Work items are (detector, column-chunk) pairs over a fixed chunk
+    /// width, pulled by [`parallel_map`] workers; a member's
+    /// `detect_batch` sees each chunk whole, so batch-amortized
+    /// detectors keep their warm caches. Returns [`AdtError::Worker`]
+    /// if a detector panics, [`AdtError::Config`] if the engine has no
+    /// members.
+    pub fn run(&self, columns: &[Column]) -> Result<EnsembleReport, AdtError> {
+        if self.detectors.is_empty() {
+            return Err(AdtError::Config("ensemble has no detectors".into()));
+        }
+        // adt-allow(determinism): wall-clock feeds EnsembleReport timing fields only, never detection results
+        let run_start = Instant::now();
+
+        let chunks: Vec<&[Column]> = columns.chunks(CHUNK_COLUMNS.max(1)).collect();
+        let mut items: Vec<(usize, usize)> =
+            Vec::with_capacity(self.detectors.len() * chunks.len());
+        for d in 0..self.detectors.len() {
+            for c in 0..chunks.len() {
+                items.push((d, c));
+            }
+        }
+
+        let outputs = parallel_map(&items, self.threads, "ensemble", |_, &(d, c)| {
+            let det = &self.detectors[d];
+            let chunk = chunks[c];
+            // adt-allow(determinism): wall-clock feeds DetectorLane timing fields only, never detection results
+            let start = Instant::now();
+            let preds = det.detect_batch(chunk);
+            (start.elapsed().as_nanos() as u64, preds)
+        })?;
+
+        // Reassemble: items were emitted detector-major and parallel_map
+        // preserves item order, so per-detector outputs concatenate back
+        // into column order.
+        let mut per_detector: Vec<Vec<Vec<Prediction>>> = (0..self.detectors.len())
+            .map(|_| Vec::with_capacity(columns.len()))
+            .collect();
+        let mut lanes: Vec<DetectorLane> = self
+            .detectors
+            .iter()
+            .map(|det| DetectorLane {
+                name: det.name().to_string(),
+                ..DetectorLane::default()
+            })
+            .collect();
+        for (&(d, _), (nanos, preds)) in items.iter().zip(outputs) {
+            if let Some(lane) = lanes.get_mut(d) {
+                lane.wall_nanos += nanos;
+                lane.predictions += preds.iter().map(|p| p.len() as u64).sum::<u64>();
+                lane.columns += preds.len() as u64;
+            }
+            if let Some(dest) = per_detector.get_mut(d) {
+                dest.extend(preds);
+            }
+        }
+
+        // adt-allow(determinism): wall-clock feeds EnsembleReport timing fields only, never detection results
+        let merge_start = Instant::now();
+        let names: Vec<&'static str> = self.detector_names();
+        let mut merged: Vec<Vec<Prediction>> = Vec::with_capacity(columns.len());
+        for col in 0..columns.len() {
+            let mut ranked: Vec<(&str, &[Prediction])> = Vec::with_capacity(names.len());
+            for (det_idx, name) in names.iter().enumerate() {
+                let preds = per_detector
+                    .get(det_idx)
+                    .and_then(|cols| cols.get(col))
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[]);
+                ranked.push((name, preds));
+            }
+            merged.push(merge_column(&ranked, &self.merge, self.limit));
+        }
+        let merge_nanos = merge_start.elapsed().as_nanos() as u64;
+
+        let stats = ScanStats {
+            detectors: lanes,
+            ..ScanStats::default()
+        };
+        Ok(EnsembleReport {
+            predictions: merged,
+            stats,
+            merge_nanos,
+            elapsed_nanos: run_start.elapsed().as_nanos() as u64,
+        })
+    }
+}
+
+/// Merges one column's per-detector rankings under `policy`.
+///
+/// Every policy rank-normalizes first: within one detector, the
+/// prediction at `rank` out of `n` scores `(n - rank) / n` ∈ (0, 1] —
+/// exactly the historical `UnionDetector` pooling, which the `Union`
+/// policy reproduces byte-for-byte. Pooling is max-based and detectors
+/// are folded in configured order, but max and vote-counting are
+/// order-insensitive, so the result is independent of scheduling.
+fn merge_column(
+    ranked: &[(&str, &[Prediction])],
+    policy: &MergePolicy,
+    limit: usize,
+) -> Vec<Prediction> {
+    let (threshold, priors): (usize, &[(String, f64)]) = match policy {
+        MergePolicy::Union => (1, &[]),
+        MergePolicy::Vote(k) => (*k, &[]),
+        MergePolicy::Calibrated(p) => (1, p.as_slice()),
+    };
+    let mut pooled: BTreeMap<&str, (f64, usize)> = BTreeMap::new();
+    for (name, preds) in ranked {
+        let canon = canonical_name(name);
+        let weight = priors
+            .iter()
+            .find(|(n, _)| canonical_name(n) == canon)
+            .map(|(_, w)| *w)
+            .unwrap_or(1.0);
+        let n = preds.len();
+        for (rank, p) in preds.iter().enumerate() {
+            let score = weight * ((n - rank) as f64 / n as f64);
+            let entry = pooled.entry(p.value.as_str()).or_insert((0.0, 0));
+            if score > entry.0 {
+                entry.0 = score;
+            }
+            entry.1 += 1;
+        }
+    }
+    let preds: Vec<Prediction> = pooled
+        .into_iter()
+        .filter(|(_, (_, votes))| *votes >= threshold)
+        .map(|(value, (confidence, _))| Prediction {
+            value: value.to_string(),
+            confidence,
+        })
+        .collect();
+    finalize_predictions(preds, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_corpus::SourceTag;
+
+    struct Fixed {
+        name: &'static str,
+        preds: Vec<(&'static str, f64)>,
+    }
+
+    impl Detector for Fixed {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn detect(&self, _column: &Column) -> Vec<Prediction> {
+            self.preds
+                .iter()
+                .map(|(v, c)| Prediction {
+                    value: v.to_string(),
+                    confidence: *c,
+                })
+                .collect()
+        }
+    }
+
+    /// Flags every value whose byte length is below the column median —
+    /// column-dependent, cheap, and deterministic.
+    struct ShortValues;
+
+    impl Detector for ShortValues {
+        fn name(&self) -> &'static str {
+            "Short"
+        }
+        fn detect(&self, column: &Column) -> Vec<Prediction> {
+            let mut lens: Vec<usize> = column.non_empty_values().map(|v| v.len()).collect();
+            lens.sort_unstable();
+            let median = lens.get(lens.len() / 2).copied().unwrap_or(0);
+            let preds = crate::api::value_counts(column)
+                .into_iter()
+                .filter(|(v, _)| v.len() < median)
+                .map(|(value, _)| Prediction {
+                    confidence: 1.0 / (value.len() + 1) as f64,
+                    value,
+                })
+                .collect();
+            finalize_predictions(preds, 16)
+        }
+    }
+
+    fn cols(n: usize) -> Vec<Column> {
+        (0..n)
+            .map(|i| {
+                let vals: Vec<String> = (0..12)
+                    .map(|j| {
+                        if j == 7 && i % 3 == 0 {
+                            "x".to_string()
+                        } else {
+                            format!("value-{i}-{j}")
+                        }
+                    })
+                    .collect();
+                Column::new(vals, SourceTag::Csv)
+            })
+            .collect()
+    }
+
+    fn engine() -> EnsembleEngine<'static> {
+        EnsembleEngine::new(vec![
+            Box::new(ShortValues),
+            Box::new(Fixed {
+                name: "A",
+                preds: vec![("x", 9.0), ("value-0-0", 3.0)],
+            }),
+        ])
+    }
+
+    #[test]
+    fn merge_policy_parse_round_trips() {
+        assert_eq!(MergePolicy::parse("union").unwrap(), MergePolicy::Union);
+        assert_eq!(MergePolicy::parse("VOTE:2").unwrap(), MergePolicy::Vote(2));
+        assert_eq!(
+            MergePolicy::parse("calibrated").unwrap(),
+            MergePolicy::Calibrated(Vec::new())
+        );
+        assert_eq!(MergePolicy::parse("vote:2").unwrap().label(), "vote:2");
+        for bad in ["vote", "vote:0", "vote:x", "vote:", "intersect", ""] {
+            let err = MergePolicy::parse(bad).unwrap_err();
+            assert!(
+                matches!(err, AdtError::Config(_)),
+                "{bad:?} should be a Config error"
+            );
+        }
+    }
+
+    fn p(value: &str, confidence: f64) -> Prediction {
+        Prediction {
+            value: value.to_string(),
+            confidence,
+        }
+    }
+
+    #[test]
+    fn union_matches_rank_pooling_reference() {
+        let a = vec![p("x", 9.0), p("y", 5.0)];
+        let b = vec![p("y", 0.1)];
+        let ranked: Vec<(&str, &[Prediction])> = vec![("A", &a), ("B", &b)];
+        let merged = merge_column(&ranked, &MergePolicy::Union, 16);
+        // A: x → 2/2 = 1.0, y → 1/2 = 0.5; B: y → 1/1 = 1.0 (max pool).
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].value, "x"); // 1.0, tie broken by value
+        assert_eq!(merged[1].value, "y"); // 1.0
+        assert!((merged[0].confidence - 1.0).abs() < 1e-12);
+        assert!((merged[1].confidence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vote_filters_by_member_count() {
+        let a = vec![p("x", 9.0), p("y", 5.0)];
+        let b = vec![p("y", 0.1)];
+        let ranked: Vec<(&str, &[Prediction])> = vec![("A", &a), ("B", &b)];
+        let merged = merge_column(&ranked, &MergePolicy::Vote(2), 16);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].value, "y");
+    }
+
+    #[test]
+    fn calibrated_priors_reweight() {
+        let a = vec![p("x", 9.0)];
+        let b = vec![p("y", 9.0)];
+        let ranked: Vec<(&str, &[Prediction])> = vec![("A", &a), ("B", &b)];
+        let policy = MergePolicy::Calibrated(vec![("a".to_string(), 0.2)]);
+        let merged = merge_column(&ranked, &policy, 16);
+        assert_eq!(merged[0].value, "y"); // B keeps weight 1.0
+        assert!((merged[0].confidence - 1.0).abs() < 1e-12);
+        assert!((merged[1].confidence - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lanes_record_time_and_volume() {
+        let columns = cols(67); // 3 chunks at width 32
+        let report = engine().run(&columns).unwrap();
+        assert_eq!(report.predictions.len(), columns.len());
+        let lanes = &report.stats.detectors;
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0].name, "Short");
+        assert_eq!(lanes[1].name, "A");
+        for lane in lanes {
+            assert_eq!(lane.columns, columns.len() as u64);
+            assert!(lane.predictions > 0, "{} emitted nothing", lane.name);
+        }
+    }
+
+    #[test]
+    fn empty_engine_is_a_config_error() {
+        let e = EnsembleEngine::new(Vec::new());
+        assert!(matches!(e.run(&cols(1)), Err(AdtError::Config(_))));
+    }
+
+    #[test]
+    fn merged_findings_identical_at_any_thread_count() {
+        let columns = cols(67);
+        let reference = engine()
+            .with_threads(1)
+            .with_merge(MergePolicy::Vote(2))
+            .run(&columns)
+            .unwrap();
+        for threads in [2, 4, 8] {
+            let got = engine()
+                .with_threads(threads)
+                .with_merge(MergePolicy::Vote(2))
+                .run(&columns)
+                .unwrap();
+            assert_eq!(
+                got.predictions, reference.predictions,
+                "ensemble output diverged at {threads} threads"
+            );
+        }
+    }
+}

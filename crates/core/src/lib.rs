@@ -22,9 +22,15 @@
 //!    worker threads with per-worker pattern caches, streams large CSV
 //!    inputs in bounded memory, and reports per-stage counters/timings;
 //! 8. [`api`] — the shared [`Detector`] trait every method (Auto-Detect
-//!    and the baselines) implements, so evaluation drivers consume one
-//!    trait object uniformly;
-//! 9. [`error`] — the typed [`AdtError`] every fallible API returns.
+//!    and the baselines) implements — single-column and batch detection,
+//!    [`DetectorInfo`] descriptors, and the name-keyed
+//!    [`DetectorRegistry`] — so evaluation drivers, the ensemble, and
+//!    services consume one trait object uniformly;
+//! 9. [`ensemble`] — the [`EnsembleEngine`]: runs a configurable
+//!    detector set per scan with per-detector instrumentation and merges
+//!    rankings under a pluggable [`MergePolicy`] (union / vote(k) /
+//!    calibrated), deterministically at any thread count;
+//! 10. [`error`] — the typed [`AdtError`] every fallible API returns.
 
 pub mod aggregate;
 pub mod api;
@@ -33,6 +39,7 @@ pub mod config;
 pub mod detector;
 pub mod dt;
 pub mod engine;
+pub mod ensemble;
 pub mod error;
 #[cfg(test)]
 mod kernel_tests;
@@ -42,17 +49,21 @@ pub mod training;
 
 pub use aggregate::Aggregator;
 pub use api::{
-    finalize_predictions, findings_to_predictions, value_counts, AggregatedAutoDetect, Detector,
-    Prediction,
+    finalize_predictions, findings_to_predictions, validate_detector_name, value_counts,
+    AggregatedAutoDetect, CostClass, Detector, DetectorInfo, DetectorKind, DetectorRegistry,
+    DetectorSpec, Prediction, KNOWN_DETECTORS,
 };
 pub use calibrate::{calibrate_language, Calibration};
 pub use config::{AutoDetectConfig, AutoDetectConfigBuilder, LanguageSpace};
-pub use detector::{AutoDetect, ColumnFinding, PairVerdict, PatternCache, ScanStats, TableFinding};
+pub use detector::{
+    AutoDetect, ColumnFinding, DetectorLane, PairVerdict, PatternCache, ScanStats, TableFinding,
+};
 pub use dt::{dt_optimize, DtProblem, DtSolution};
 pub use engine::{
     parallel_map, parallel_map_with, resolve_threads, CachePool, ColumnSummary, ScanEngine,
     ScanReport,
 };
+pub use ensemble::{EnsembleEngine, EnsembleReport, MergePolicy};
 pub use error::AdtError;
 pub use model::{
     calibrate_candidates, calibrate_candidates_with_report, load_model, save_model,

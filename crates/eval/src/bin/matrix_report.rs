@@ -1,0 +1,164 @@
+//! Machine-readable detector × error-class precision matrix.
+//!
+//! Trains a small coarse-space model on a clean synthetic web corpus,
+//! builds one scenario per injected error class, runs each requested
+//! detector over every scenario, and writes `BENCH_matrix.json` with
+//! per-cell pooled precision@k plus the per-detector micro-averaged
+//! priors the `calibrated` merge policy consumes. JSON is hand-rolled:
+//! the report must also work in the offline CI harness, whose
+//! `serde_json` stub cannot serialize.
+//!
+//!   matrix_report [--quick] [--threads N] [--out PATH]
+//!
+//! `--quick` shrinks the training corpus, the scenario sizes, and the
+//! detector set to four methods — the CI smoke configuration
+//! (`scripts/matrix_report.sh quick`). Quick-mode precision numbers are
+//! noisy; use the full run for real calibration priors.
+
+use adt_core::config::LanguageSpace;
+use adt_core::{train, AutoDetectConfig, DetectorSpec};
+use adt_corpus::{generate_corpus, CorpusProfile, ErrorKind};
+use adt_eval::matrix::{build_scenarios, run_matrix};
+use std::sync::Arc;
+
+const SEED: u64 = 0xAD7_0001;
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut threads = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next(),
+            "--threads" => {
+                threads = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads expects a number");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "usage: matrix_report [--quick] [--threads N] [--out PATH] (got {other:?})"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let mode = if quick { "quick" } else { "full" };
+    let (corpus_columns, examples, n_dirty, n_clean) = if quick {
+        (800, 2_000, 6, 12)
+    } else {
+        (4_000, 10_000, 40, 80)
+    };
+    let detector_list = if quick {
+        "autodetect,fregex,dboost,cdm"
+    } else {
+        "autodetect,fregex,pwheel,dboost,linear,linearp,cdm,lsa,svdd,dbod,lof,union"
+    };
+    let specs = DetectorSpec::parse_list(detector_list).expect("static detector list is valid");
+
+    eprintln!("[matrix_report] training {corpus_columns}-column coarse model…");
+    let mut train_profile = CorpusProfile::web(corpus_columns);
+    train_profile.dirty_rate = 0.0;
+    let corpus = generate_corpus(&train_profile);
+    let config = AutoDetectConfig::builder()
+        .training_examples(examples)
+        .space(LanguageSpace::Coarse36)
+        .build()
+        .expect("static config is valid");
+    let (model, _) = train(&corpus, &config).unwrap_or_else(|e| {
+        eprintln!("FAIL: training: {e}");
+        std::process::exit(1);
+    });
+    let registry = adt_baselines::standard_registry(Arc::new(model));
+
+    let mut eval_profile = CorpusProfile::web(1);
+    eval_profile.dirty_rate = 0.0;
+    let scenarios = build_scenarios(&eval_profile, n_dirty, n_clean, SEED);
+    eprintln!(
+        "[matrix_report] {} detector(s) × {} error class(es), {} case(s) per scenario…",
+        specs.len(),
+        scenarios.len(),
+        scenarios.first().map_or(0, |s| s.cases.len())
+    );
+    let report = run_matrix(&registry, &specs, &scenarios, threads).unwrap_or_else(|e| {
+        eprintln!("FAIL: matrix run: {e}");
+        std::process::exit(1);
+    });
+
+    // Console table: one row per detector, one column per class, prior
+    // at the end.
+    print!("{:<12}", "detector");
+    for kind in ErrorKind::ALL {
+        let name = kind.name();
+        print!(" {:>5}", &name[..name.len().min(5)]);
+    }
+    println!(" {:>6}", "prior");
+    for (spec, (_, prior)) in specs.iter().zip(&report.priors) {
+        print!("{:<12}", spec.name());
+        for cell in report.row(spec.name()) {
+            print!(" {:>5.2}", cell.precision);
+        }
+        println!(" {prior:>6.2}");
+    }
+
+    let json = json_report(mode, &specs, &report);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| {
+                eprintln!("FAIL: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("[matrix_report] wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}
+
+fn json_report(mode: &str, specs: &[DetectorSpec], report: &adt_eval::MatrixReport) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"detector_matrix\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "dev"
+        } else {
+            "release"
+        }
+    ));
+    let classes: Vec<String> = ErrorKind::ALL
+        .iter()
+        .map(|k| format!("\"{}\"", k.name()))
+        .collect();
+    s.push_str(&format!("  \"classes\": [{}],\n", classes.join(", ")));
+    let detectors: Vec<String> = specs.iter().map(|d| format!("\"{}\"", d.name())).collect();
+    s.push_str(&format!("  \"detectors\": [{}],\n", detectors.join(", ")));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in report.cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"detector\": \"{}\", \"class\": \"{}\", \"k\": {}, \
+             \"precision\": {:.4}, \"hits\": {}, \"predictions\": {}, \
+             \"wall_ms\": {:.3}}}{}\n",
+            c.detector,
+            c.class,
+            c.k,
+            c.precision,
+            c.hits,
+            c.predictions,
+            c.wall_nanos as f64 / 1e6,
+            if i + 1 < report.cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    let priors: Vec<String> = report
+        .priors
+        .iter()
+        .map(|(name, p)| format!("\"{name}\": {p:.4}"))
+        .collect();
+    s.push_str(&format!("  \"priors\": {{{}}}\n", priors.join(", ")));
+    s.push_str("}\n");
+    s
+}

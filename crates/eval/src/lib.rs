@@ -8,13 +8,18 @@
 //! * [`runner`] — uniform driver over Auto-Detect, its aggregation
 //!   variants, and every baseline;
 //! * [`metrics`] — pooled precision@k over ranked predictions;
+//! * [`matrix`] — detector × error-class scenario matrix (the runner
+//!   behind `matrix_report` / `BENCH_matrix.json`), whose per-detector
+//!   precision rows double as `calibrated` merge-policy priors;
 //! * [`report`] — experiment result structures, CDFs, and table printing.
 
+pub mod matrix;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod testcases;
 
+pub use matrix::{build_scenarios, run_matrix, MatrixCell, MatrixReport, Scenario};
 pub use metrics::{pooled_predictions, precision_at_k, PooledPrediction};
 pub use runner::{run_method, Method};
 pub use testcases::{auto_eval_cases, cases_from_labeled, TestCase};

@@ -187,6 +187,24 @@ impl Client {
         protocol::parse_scan_response(&resp.body).map_err(|e| ClientError::Malformed(e.to_string()))
     }
 
+    /// Scans `columns` through an explicit detector ensemble. `merge`
+    /// falls back to the server default (`union`) when `None`; the
+    /// response carries the per-detector lanes in `ensemble`.
+    pub fn scan_ensemble(
+        &self,
+        model: Option<&str>,
+        columns: &[Column],
+        detectors: &[String],
+        merge: Option<&str>,
+    ) -> Result<ScanResponse, ClientError> {
+        let body = protocol::scan_request_to_json_full(model, columns, Some(detectors), merge);
+        let resp = self.connect()?.request("POST", "/v1/scan", Some(&body))?;
+        if resp.status != 200 {
+            return Err(status_error(resp));
+        }
+        protocol::parse_scan_response(&resp.body).map_err(|e| ClientError::Malformed(e.to_string()))
+    }
+
     /// `GET`s a JSON endpoint (`/v1/healthz`, `/v1/stats`, `/v1/models`).
     pub fn get(&self, path: &str) -> Result<Json, ClientError> {
         let resp = self.connect()?.request("GET", path, None)?;

@@ -8,6 +8,15 @@
 //!  "columns": [{"header": "date", "values": ["2011-01-01", "2011/01/02"]}]}
 //! ```
 //!
+//! Optional ensemble fields: `"detectors": ["autodetect", "fregex"]`
+//! routes the scan through the multi-detector engine (an unknown name is
+//! a 400 carrying the offending name), and `"merge": "vote:2"` picks the
+//! merge policy (`union` when absent; `"merge"` without `"detectors"` is
+//! a 400). Ensemble responses add an `"ensemble"` section with the merge
+//! policy and per-detector lanes; their findings carry an empty
+//! `witness` and a zero `score` (rank-pooled confidences have no single
+//! witnessing pair).
+//!
 //! Response:
 //!
 //! ```json
@@ -20,7 +29,7 @@
 //! Errors are `{"error": "<message>"}` with a 4xx/5xx status.
 
 use crate::json::Json;
-use adt_core::{ColumnSummary, TableFinding};
+use adt_core::{ColumnSummary, DetectorLane, TableFinding};
 use adt_corpus::{Column, SourceTag};
 
 /// A parsed scan request.
@@ -30,6 +39,12 @@ pub struct ScanRequest {
     pub model: Option<String>,
     /// Columns to scan, in request order.
     pub columns: Vec<Column>,
+    /// Detector set for an ensemble scan; `None` means the plain
+    /// single-model path through the micro-batcher.
+    pub detectors: Option<Vec<String>>,
+    /// Merge policy spelling (`union`, `vote:k`, `calibrated`); only
+    /// meaningful alongside `detectors`.
+    pub merge: Option<String>,
 }
 
 /// One finding on the wire.
@@ -62,6 +77,28 @@ pub struct WireColumn {
     pub findings: usize,
 }
 
+/// One detector's instrumentation lane on the wire (ensemble scans).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireDetectorLane {
+    /// Detector display name.
+    pub name: String,
+    /// Wall nanoseconds inside this detector's `detect_batch` calls.
+    pub wall_nanos: u64,
+    /// Predictions emitted before merging.
+    pub predictions: u64,
+    /// Columns scanned.
+    pub columns: u64,
+}
+
+/// The ensemble section of a scan response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireEnsemble {
+    /// Merge policy spelling (`union`, `vote:2`, `calibrated`).
+    pub merge: String,
+    /// Per-detector lanes in configured order.
+    pub detectors: Vec<WireDetectorLane>,
+}
+
 /// A parsed scan response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScanResponse {
@@ -75,6 +112,8 @@ pub struct ScanResponse {
     pub findings: Vec<WireFinding>,
     /// Per-column outcomes in request order.
     pub columns: Vec<WireColumn>,
+    /// Present when the scan ran through the ensemble engine.
+    pub ensemble: Option<WireEnsemble>,
 }
 
 /// Protocol-level failure: the payload was JSON but not a valid message.
@@ -126,11 +165,49 @@ pub fn parse_scan_request(v: &Json) -> Result<ScanRequest, ProtocolError> {
         };
         columns.push(column);
     }
-    Ok(ScanRequest { model, columns })
+    let detectors = match v.get("detectors") {
+        None | Some(Json::Null) => None,
+        Some(Json::Arr(items)) => {
+            let mut names = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                names.push(
+                    item.as_str()
+                        .ok_or_else(|| bad(format!("detectors[{i}] must be a string")))?
+                        .to_string(),
+                );
+            }
+            Some(names)
+        }
+        Some(_) => return Err(bad("\"detectors\" must be an array of strings")),
+    };
+    let merge = match v.get("merge") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(_) => return Err(bad("\"merge\" must be a string")),
+    };
+    if merge.is_some() && detectors.is_none() {
+        return Err(bad("\"merge\" requires \"detectors\""));
+    }
+    Ok(ScanRequest {
+        model,
+        columns,
+        detectors,
+        merge,
+    })
 }
 
 /// Encodes a scan request body.
 pub fn scan_request_to_json(model: Option<&str>, columns: &[Column]) -> Json {
+    scan_request_to_json_full(model, columns, None, None)
+}
+
+/// Encodes a scan request body with the optional ensemble fields.
+pub fn scan_request_to_json_full(
+    model: Option<&str>,
+    columns: &[Column],
+    detectors: Option<&[String]>,
+    merge: Option<&str>,
+) -> Json {
     let cols = columns
         .iter()
         .map(|c| {
@@ -150,6 +227,15 @@ pub fn scan_request_to_json(model: Option<&str>, columns: &[Column]) -> Json {
         members.push(("model", Json::str(m)));
     }
     members.push(("columns", Json::Arr(cols)));
+    if let Some(names) = detectors {
+        members.push((
+            "detectors",
+            Json::Arr(names.iter().map(|n| Json::str(n.clone())).collect()),
+        ));
+    }
+    if let Some(m) = merge {
+        members.push(("merge", Json::str(m)));
+    }
     Json::obj(members)
 }
 
@@ -164,6 +250,19 @@ pub fn scan_response_to_json(
     batched_with: usize,
     findings: &[TableFinding],
     columns: &[ColumnSummary],
+) -> Json {
+    scan_response_to_json_full(model, generation, batched_with, findings, columns, None)
+}
+
+/// Encodes a scan response, optionally with the ensemble section
+/// (merge-policy spelling plus the engine's per-detector lanes).
+pub fn scan_response_to_json_full(
+    model: &str,
+    generation: u64,
+    batched_with: usize,
+    findings: &[TableFinding],
+    columns: &[ColumnSummary],
+    ensemble: Option<(&str, &[DetectorLane])>,
 ) -> Json {
     let findings = findings
         .iter()
@@ -199,13 +298,34 @@ pub fn scan_response_to_json(
             ])
         })
         .collect();
-    Json::obj(vec![
+    let mut members = vec![
         ("model", Json::str(model)),
         ("generation", Json::num(generation as f64)),
         ("batched_with", Json::num(batched_with as f64)),
         ("findings", Json::Arr(findings)),
         ("columns", Json::Arr(columns)),
-    ])
+    ];
+    if let Some((merge, lanes)) = ensemble {
+        let lanes = lanes
+            .iter()
+            .map(|l| {
+                Json::obj(vec![
+                    ("name", Json::str(l.name.clone())),
+                    ("wall_nanos", Json::num(l.wall_nanos as f64)),
+                    ("predictions", Json::num(l.predictions as f64)),
+                    ("columns", Json::num(l.columns as f64)),
+                ])
+            })
+            .collect();
+        members.push((
+            "ensemble",
+            Json::obj(vec![
+                ("merge", Json::str(merge)),
+                ("detectors", Json::Arr(lanes)),
+            ]),
+        ));
+    }
+    Json::obj(members)
 }
 
 /// Decodes a scan response (the client side).
@@ -258,12 +378,41 @@ pub fn parse_scan_response(v: &Json) -> Result<ScanResponse, ProtocolError> {
             findings: c.get("findings").and_then(Json::as_u64).unwrap_or(0) as usize,
         });
     }
+    let ensemble = match v.get("ensemble") {
+        None | Some(Json::Null) => None,
+        Some(e) => {
+            let merge = e
+                .get("merge")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("ensemble.merge must be a string"))?
+                .to_string();
+            let mut lanes = Vec::new();
+            for l in e
+                .get("detectors")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("ensemble.detectors must be an array"))?
+            {
+                lanes.push(WireDetectorLane {
+                    name: opt_str(l.get("name"))
+                        .ok_or_else(|| bad("ensemble detector lane is missing a name"))?,
+                    wall_nanos: l.get("wall_nanos").and_then(Json::as_u64).unwrap_or(0),
+                    predictions: l.get("predictions").and_then(Json::as_u64).unwrap_or(0),
+                    columns: l.get("columns").and_then(Json::as_u64).unwrap_or(0),
+                });
+            }
+            Some(WireEnsemble {
+                merge,
+                detectors: lanes,
+            })
+        }
+    };
     Ok(ScanResponse {
         model,
         generation,
         batched_with,
         findings,
         columns,
+        ensemble,
     })
 }
 
@@ -297,10 +446,24 @@ mod tests {
             r#"{"columns": [{"values": "x"}]}"#,
             r#"{"model": 3, "columns": []}"#,
             r#"{"columns": [{"header": [], "values": []}]}"#,
+            r#"{"columns": [], "detectors": "autodetect"}"#,
+            r#"{"columns": [], "detectors": [1]}"#,
+            r#"{"columns": [], "merge": 2, "detectors": ["autodetect"]}"#,
+            r#"{"columns": [], "merge": "vote:2"}"#,
         ] {
             let v = parse(bad).unwrap();
             assert!(parse_scan_request(&v).is_err(), "accepted {bad}");
         }
+    }
+
+    #[test]
+    fn ensemble_request_roundtrip() {
+        let col = Column::from_strs(&["a", "b"], SourceTag::Local);
+        let detectors = vec!["autodetect".to_string(), "fregex".to_string()];
+        let json = scan_request_to_json_full(Some("m"), &[col], Some(&detectors), Some("vote:2"));
+        let back = parse_scan_request(&parse(&json.to_text()).unwrap()).unwrap();
+        assert_eq!(back.detectors.as_deref(), Some(&detectors[..]));
+        assert_eq!(back.merge.as_deref(), Some("vote:2"));
     }
 
     #[test]
@@ -329,5 +492,32 @@ mod tests {
         assert_eq!(back.findings[0].suspect, "2011/01/02");
         assert_eq!(back.findings[0].confidence, 0.97);
         assert_eq!(back.columns[0].values_scored, 2);
+        assert_eq!(back.ensemble, None);
+    }
+
+    #[test]
+    fn ensemble_response_roundtrip() {
+        let lanes = vec![
+            DetectorLane {
+                name: "Auto-Detect".into(),
+                wall_nanos: 1200,
+                predictions: 3,
+                columns: 2,
+            },
+            DetectorLane {
+                name: "F-Regex".into(),
+                wall_nanos: 80,
+                predictions: 1,
+                columns: 2,
+            },
+        ];
+        let json = scan_response_to_json_full("m", 1, 0, &[], &[], Some(("vote:2", &lanes)));
+        let back = parse_scan_response(&parse(&json.to_text()).unwrap()).unwrap();
+        let ens = back.ensemble.expect("ensemble section missing");
+        assert_eq!(ens.merge, "vote:2");
+        assert_eq!(ens.detectors.len(), 2);
+        assert_eq!(ens.detectors[0].name, "Auto-Detect");
+        assert_eq!(ens.detectors[0].wall_nanos, 1200);
+        assert_eq!(ens.detectors[1].predictions, 1);
     }
 }

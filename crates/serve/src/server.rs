@@ -23,9 +23,11 @@ use crate::batch::{run_batcher, ScanJob};
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::json::{self, Json};
 use crate::protocol;
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelHandle, ModelRegistry};
 use crate::stats::ServerStats;
-use adt_core::AdtError;
+use adt_core::ensemble::{EnsembleEngine, MergePolicy};
+use adt_core::{AdtError, ColumnFinding, ColumnSummary, DetectorSpec, TableFinding};
+use adt_corpus::Column;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -193,6 +195,7 @@ impl Server {
                 job_tx: job_tx.clone(),
                 handle: self.handle(),
                 max_body: self.config.max_body_bytes,
+                engine_threads: self.config.engine_threads,
             };
             worker_joins.push(
                 thread::Builder::new()
@@ -248,6 +251,7 @@ struct WorkerCtx {
     job_tx: mpsc::Sender<ScanJob>,
     handle: ServerHandle,
     max_body: usize,
+    engine_threads: usize,
 }
 
 fn worker_loop(ctx: WorkerCtx) {
@@ -425,6 +429,16 @@ fn handle_scan(ctx: &WorkerCtx, req: &Request) -> (u16, Json) {
             )
         }
     };
+    if let Some(detectors) = &scan.detectors {
+        return handle_ensemble_scan(
+            ctx,
+            &handle,
+            detectors,
+            scan.merge.as_deref(),
+            &scan.columns,
+            start,
+        );
+    }
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = ScanJob {
         handle: handle.clone(),
@@ -460,6 +474,139 @@ fn handle_scan(ctx: &WorkerCtx, req: &Request) -> (u16, Json) {
             result.batched_with,
             &result.findings,
             &result.columns,
+        ),
+    )
+}
+
+/// The ensemble path of `POST /v1/scan`: builds the requested detector
+/// set around the resolved model, runs the [`EnsembleEngine`] inline
+/// (bypassing the micro-batcher — member detectors are constructed per
+/// request and share no cache pool), and encodes merged predictions
+/// with the per-detector lanes. Unknown detector names, duplicates, and
+/// malformed merge policies are 400s carrying the offending input.
+fn handle_ensemble_scan(
+    ctx: &WorkerCtx,
+    handle: &ModelHandle,
+    detectors: &[String],
+    merge: Option<&str>,
+    columns: &[Column],
+    start: Instant,
+) -> (u16, Json) {
+    if detectors.is_empty() {
+        return (
+            400,
+            protocol::error_to_json("\"detectors\" must name at least one detector"),
+        );
+    }
+    let mut specs = Vec::with_capacity(detectors.len());
+    for name in detectors {
+        match DetectorSpec::parse(name) {
+            // The Config error text names the offender and the valid
+            // choices — exactly what a 400 should carry.
+            Err(e) => return (400, protocol::error_to_json(&e.to_string())),
+            Ok(spec) => {
+                if specs.contains(&spec) {
+                    return (
+                        400,
+                        protocol::error_to_json(&format!("duplicate detector '{}'", spec.name())),
+                    );
+                }
+                specs.push(spec);
+            }
+        }
+    }
+    let merge = match MergePolicy::parse(merge.unwrap_or("union")) {
+        Ok(m) => m,
+        Err(e) => return (400, protocol::error_to_json(&e.to_string())),
+    };
+    if let MergePolicy::Vote(k) = merge {
+        if k > specs.len() {
+            return (
+                400,
+                protocol::error_to_json(&format!(
+                    "vote merge threshold {k} exceeds the {} requested detector(s)",
+                    specs.len()
+                )),
+            );
+        }
+    }
+    let registry = adt_baselines::standard_registry(Arc::clone(&handle.model));
+    let members = match registry.build_set(&specs) {
+        Ok(m) => m,
+        Err(e) => return (400, protocol::error_to_json(&e.to_string())),
+    };
+    let merge_label = merge.label();
+    let engine = EnsembleEngine::new(members)
+        .with_merge(merge)
+        .with_threads(ctx.engine_threads);
+    let report = match engine.run(columns) {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                500,
+                protocol::error_to_json(&format!("ensemble scan failed: {e}")),
+            )
+        }
+    };
+
+    let mut findings: Vec<TableFinding> = Vec::new();
+    let mut summaries: Vec<ColumnSummary> = Vec::with_capacity(columns.len());
+    for (i, (col, preds)) in columns.iter().zip(&report.predictions).enumerate() {
+        summaries.push(ColumnSummary {
+            index: i,
+            header: col.header.clone(),
+            values_scored: adt_core::api::value_counts(col).len() as u64,
+            num_findings: preds.len(),
+        });
+        for p in preds {
+            findings.push(TableFinding {
+                column_index: i,
+                column_header: col.header.clone(),
+                finding: ColumnFinding {
+                    suspect: p.value.clone(),
+                    // Rank-pooled confidences have no single witnessing
+                    // pair or NPMI score; the wire shape documents this.
+                    witness: String::new(),
+                    confidence: p.confidence,
+                    score: 0.0,
+                },
+            });
+        }
+    }
+    // Same global order the single-model engine reports: confidence
+    // descending, then column, then suspect.
+    findings.sort_by(|a, b| {
+        b.finding
+            .confidence
+            .total_cmp(&a.finding.confidence)
+            .then_with(|| a.column_index.cmp(&b.column_index))
+            .then_with(|| a.finding.suspect.cmp(&b.finding.suspect))
+    });
+
+    ctx.stats.scans_ok.fetch_add(1, Ordering::Relaxed);
+    ctx.stats.ensemble_scans.fetch_add(1, Ordering::Relaxed);
+    ctx.stats
+        .findings
+        .fetch_add(findings.len() as u64, Ordering::Relaxed);
+    ctx.stats
+        .columns_scanned
+        .fetch_add(columns.len() as u64, Ordering::Relaxed);
+    ctx.stats.values_scored.fetch_add(
+        summaries.iter().map(|c| c.values_scored).sum::<u64>(),
+        Ordering::Relaxed,
+    );
+    ctx.stats.record_detector_lanes(&report.stats.detectors);
+    ctx.stats.record_model_hit(&handle.name);
+    ctx.stats.latency.record(start.elapsed());
+    (
+        200,
+        protocol::scan_response_to_json_full(
+            &handle.name,
+            handle.generation,
+            0,
+            &findings,
+            &summaries,
+            Some((&merge_label, &report.stats.detectors)),
         ),
     )
 }

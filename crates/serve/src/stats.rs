@@ -9,6 +9,7 @@
 //! bump per request, negligible next to a scan.
 
 use crate::json::Json;
+use adt_core::DetectorLane;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -92,9 +93,14 @@ pub struct ServerStats {
     /// `npmi_memo_hits / (npmi_probes + npmi_memo_hits)` is the memo hit
     /// rate steady traffic converges to.
     pub npmi_memo_hits: AtomicU64,
+    /// Successful ensemble scans (requests that passed `detectors`).
+    pub ensemble_scans: AtomicU64,
     /// End-to-end scan-request latency.
     pub latency: LatencyHistogram,
     per_model: Mutex<HashMap<String, u64>>,
+    /// Cumulative per-detector lanes from ensemble scans:
+    /// name → (wall_nanos, predictions, columns).
+    per_detector: Mutex<HashMap<String, (u64, u64, u64)>>,
 }
 
 impl Default for ServerStats {
@@ -112,8 +118,10 @@ impl Default for ServerStats {
             batches: AtomicU64::new(0),
             npmi_probes: AtomicU64::new(0),
             npmi_memo_hits: AtomicU64::new(0),
+            ensemble_scans: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             per_model: Mutex::new(HashMap::new()),
+            per_detector: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -129,6 +137,34 @@ impl ServerStats {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         *map.entry(model.to_string()).or_insert(0) += 1;
+    }
+
+    /// Accumulates one ensemble scan's per-detector lanes.
+    pub fn record_detector_lanes(&self, lanes: &[DetectorLane]) {
+        let mut map = self
+            .per_detector
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for lane in lanes {
+            let entry = map.entry(lane.name.clone()).or_insert((0, 0, 0));
+            entry.0 += lane.wall_nanos;
+            entry.1 += lane.predictions;
+            entry.2 += lane.columns;
+        }
+    }
+
+    /// Sorted cumulative `(name, wall_nanos, predictions, columns)` rows.
+    pub fn detector_lanes(&self) -> Vec<(String, u64, u64, u64)> {
+        let map = self
+            .per_detector
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut rows: Vec<(String, u64, u64, u64)> = map
+            .iter()
+            .map(|(k, (w, p, c))| (k.clone(), *w, *p, *c))
+            .collect();
+        rows.sort();
+        rows
     }
 
     /// Sorted `(model, hits)` pairs.
@@ -171,9 +207,28 @@ impl ServerStats {
             ("batches", get(&self.batches)),
             ("npmi_probes", get(&self.npmi_probes)),
             ("npmi_memo_hits", get(&self.npmi_memo_hits)),
+            ("ensemble_scans", get(&self.ensemble_scans)),
             ("scan_latency_p50_us", quant(0.5)),
             ("scan_latency_p99_us", quant(0.99)),
             ("model_hits", Json::Obj(per_model)),
+            (
+                "detectors",
+                Json::Obj(
+                    self.detector_lanes()
+                        .into_iter()
+                        .map(|(name, wall, preds, cols)| {
+                            (
+                                name,
+                                Json::obj(vec![
+                                    ("wall_nanos", Json::num(wall as f64)),
+                                    ("predictions", Json::num(preds as f64)),
+                                    ("columns", Json::num(cols as f64)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -214,5 +269,37 @@ mod tests {
         );
         assert!(v.get("scan_latency_p50_us").unwrap().as_u64().is_some());
         assert!(v.get("uptime_ms").is_some());
+    }
+
+    #[test]
+    fn detector_lanes_accumulate_by_name() {
+        let s = ServerStats::default();
+        let lane = |name: &str, wall, preds, cols| DetectorLane {
+            name: name.into(),
+            wall_nanos: wall,
+            predictions: preds,
+            columns: cols,
+        };
+        s.record_detector_lanes(&[lane("Auto-Detect", 100, 2, 1), lane("F-Regex", 10, 1, 1)]);
+        s.record_detector_lanes(&[lane("Auto-Detect", 50, 1, 1)]);
+        let rows = s.detector_lanes();
+        assert_eq!(
+            rows,
+            vec![
+                ("Auto-Detect".to_string(), 150, 3, 2),
+                ("F-Regex".to_string(), 10, 1, 1),
+            ]
+        );
+        let v = s.to_json();
+        let det = v.get("detectors").unwrap();
+        assert_eq!(
+            det.get("Auto-Detect")
+                .unwrap()
+                .get("wall_nanos")
+                .unwrap()
+                .as_u64(),
+            Some(150)
+        );
+        assert!(v.get("ensemble_scans").is_some());
     }
 }

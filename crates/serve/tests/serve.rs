@@ -177,6 +177,107 @@ fn wire_protocol_rejects_bad_requests_with_correct_codes() {
 }
 
 #[test]
+fn ensemble_scan_reports_lanes_and_rejects_unknown_detectors() {
+    let (client, handle, join) = start("ensemble", ServeConfig::default());
+    let columns = dirty_columns();
+    let names = |list: &[&str]| -> Vec<String> { list.iter().map(|s| s.to_string()).collect() };
+
+    // Unknown detector → 400 naming the offender.
+    let err = client
+        .scan_ensemble(None, &columns, &names(&["autodetect", "nonesuch"]), None)
+        .unwrap_err();
+    match err {
+        ClientError::Status { status, message } => {
+            assert_eq!(status, 400);
+            assert!(message.contains("nonesuch"), "{message}");
+        }
+        other => panic!("expected status error, got {other}"),
+    }
+    // Duplicate detectors → 400.
+    let err = client
+        .scan_ensemble(None, &columns, &names(&["fregex", "f-regex"]), None)
+        .unwrap_err();
+    match err {
+        ClientError::Status { status, message } => {
+            assert_eq!(status, 400);
+            assert!(message.contains("duplicate"), "{message}");
+        }
+        other => panic!("expected status error, got {other}"),
+    }
+    // Vote threshold above the set size → 400.
+    let err = client
+        .scan_ensemble(None, &columns, &names(&["autodetect"]), Some("vote:3"))
+        .unwrap_err();
+    match err {
+        ClientError::Status { status, message } => {
+            assert_eq!(status, 400);
+            assert!(message.contains("vote"), "{message}");
+        }
+        other => panic!("expected status error, got {other}"),
+    }
+    // `merge` without `detectors` is rejected at the protocol layer.
+    let body = r#"{"columns": [{"values": ["a"]}], "merge": "union"}"#;
+    let mut s = TcpStream::connect(client.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(
+        format!(
+            "POST /v1/scan HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 400"), "{buf:?}");
+
+    // Happy path: two detectors, union merge, per-detector lanes.
+    let response = client
+        .scan_ensemble(None, &columns, &names(&["autodetect", "fregex"]), None)
+        .unwrap();
+    assert_eq!(response.model, "default");
+    assert_eq!(response.columns.len(), 2);
+    let ensemble = response.ensemble.expect("ensemble section missing");
+    assert_eq!(ensemble.merge, "union");
+    let lane_names: Vec<&str> = ensemble.detectors.iter().map(|l| l.name.as_str()).collect();
+    assert_eq!(lane_names, ["Auto-Detect", "F-Regex"]);
+    for lane in &ensemble.detectors {
+        assert_eq!(lane.columns, 2, "{}", lane.name);
+    }
+    assert!(!response.findings.is_empty());
+    assert!(
+        response.findings.iter().any(|f| f.suspect == "2014/04/04"),
+        "union of autodetect+fregex should keep the model's top suspect"
+    );
+    for f in &response.findings {
+        assert!(
+            f.witness.is_empty(),
+            "rank-pooled findings carry no witness"
+        );
+        assert_eq!(f.score, 0.0);
+    }
+    // Plain scans keep the old shape.
+    let plain = client.scan(None, &columns).unwrap();
+    assert!(plain.ensemble.is_none());
+
+    let stats = client.get("/v1/stats").unwrap();
+    assert_eq!(stats.get("ensemble_scans").and_then(Json::as_u64), Some(1));
+    let lanes = stats.get("detectors").unwrap();
+    assert!(
+        lanes
+            .get("Auto-Detect")
+            .and_then(|l| l.get("columns"))
+            .and_then(Json::as_u64)
+            >= Some(2)
+    );
+    assert!(lanes.get("F-Regex").is_some());
+
+    handle.shutdown();
+    join.finish().unwrap();
+}
+
+#[test]
 fn concurrent_clients_get_engine_identical_results() {
     let config = ServeConfig {
         workers: 4,

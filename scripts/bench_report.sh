@@ -3,8 +3,10 @@
 # pipeline: races the group kernel against the naive value-pair reference
 # and the corpus-major training pipeline against the language-major
 # reference build, then writes BENCH_scan.json (override the path with
-# BENCH_OUT) with per-shape median ns/op, NPMI probe counters, and
-# training throughput (columns/sec, values/sec, speedup vs reference).
+# BENCH_OUT) with per-shape median ns/op, NPMI probe counters, training
+# throughput (columns/sec, values/sec, speedup vs reference), and an
+# `ensemble` section timing the multi-detector engine serial vs all
+# cores with per-detector lanes.
 #
 #   scripts/bench_report.sh             # full: release build, full widths
 #   scripts/bench_report.sh quick       # smoke: debug build, half widths

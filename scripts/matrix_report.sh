@@ -1,0 +1,32 @@
+#!/bin/sh
+# Detector × error-class precision matrix: trains a small coarse-space
+# model, runs every detector over one scenario per injected error class,
+# and writes BENCH_matrix.json (override the path with MATRIX_OUT) with
+# per-cell pooled precision@k and the per-detector priors consumed by
+# the `calibrated` ensemble merge policy.
+#
+#   scripts/matrix_report.sh             # full: release build, 12 detectors
+#   scripts/matrix_report.sh quick       # smoke: debug build, 4 detectors
+#   ADT_OFFLINE=1 scripts/matrix_report.sh quick   # via the devstubs copy
+#
+# Quick mode exists so CI can exercise the matrix wiring cheaply; its
+# precision numbers are noisy and its priors are not meant for real
+# calibration.
+set -eu
+cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+OUT="${MATRIX_OUT:-$(pwd)/BENCH_matrix.json}"
+FLAGS=""
+PROFILE="--release"
+if [ "$MODE" = "quick" ]; then
+    FLAGS="--quick"
+    PROFILE=""
+fi
+
+if [ "${ADT_OFFLINE:-0}" = "1" ]; then
+    scripts/offline_check.sh run $PROFILE -q -p adt-eval --bin matrix_report -- $FLAGS --out "$OUT"
+else
+    cargo run $PROFILE -q -p adt-eval --bin matrix_report -- $FLAGS --out "$OUT"
+fi
+echo "matrix written to $OUT"

@@ -29,7 +29,7 @@ mod cli {
 
     /// Options that take a value; everything else starting with `--` is a
     /// boolean flag.
-    pub const VALUED: [&str; 17] = [
+    pub const VALUED: [&str; 19] = [
         "--out",
         "--model",
         "--corpus",
@@ -47,6 +47,8 @@ mod cli {
         "--addr",
         "--workers",
         "--queue",
+        "--detectors",
+        "--merge",
     ];
 
     /// Boolean flags (present or absent, no value).
@@ -155,11 +157,13 @@ USAGE:
                    [--train-threads N] --out MODEL.json
   autodetect scan FILE.csv --model MODEL.json [--delimiter C] [--no-header]
                   [--top N] [--threads N] [--stream]
+                  [--detectors NAME,NAME,…] [--merge union|vote:K|calibrated]
   autodetect check VALUE1 VALUE2 --model MODEL.json
   autodetect serve --models DIR [--addr HOST:PORT] [--threads N]
                    [--workers N] [--queue N]
   autodetect query FILE.csv --addr HOST:PORT [--model NAME]
                    [--delimiter C] [--no-header] [--top N]
+                   [--detectors NAME,NAME,…] [--merge union|vote:K|calibrated]
   autodetect stop --addr HOST:PORT
 
 Without --corpus, `train` generates a synthetic web-table corpus
@@ -172,6 +176,14 @@ findings; --stream ingests the file with bounded memory instead of
 loading it whole. Findings are identical at any thread count and in
 either ingest mode. Model files ending in .bin use the compact binary
 codec; anything else is JSON.
+
+--detectors runs an ensemble instead of the single Auto-Detect engine:
+a comma-separated subset of autodetect, fregex, pwheel, dboost, linear,
+linearp, cdm, lsa, svdd, dbod, lof, union, merged by --merge (default
+union; vote:K keeps values flagged by at least K detectors; calibrated
+weights by precision priors). --merge requires --detectors; --stream is
+incompatible with --detectors. Ensemble findings are rank-pooled
+confidences without witness pairs, identical at any thread count.
 
 `serve` loads every model in --models DIR (name = file stem) and answers
 POST /v1/scan, GET /v1/healthz, GET /v1/stats, GET /v1/models, and
@@ -279,6 +291,19 @@ fn cmd_scan(args: &cli::Args) -> Result<(), String> {
         .positional
         .get(1)
         .ok_or("scan requires a FILE.csv argument")?;
+    if args.options.contains_key("--merge") && !args.options.contains_key("--detectors") {
+        return Err(
+            "--merge requires --detectors (e.g. --detectors autodetect,fregex --merge vote:2)"
+                .into(),
+        );
+    }
+    if args.options.contains_key("--detectors") && args.has("--stream") {
+        return Err(
+            "--stream is incompatible with --detectors (ensemble scans need the \
+                    columns in memory)"
+                .into(),
+        );
+    }
     let model = require_model(args)?;
     let delim = args
         .opt_or("--delimiter", ",")
@@ -288,6 +313,12 @@ fn cmd_scan(args: &cli::Args) -> Result<(), String> {
     let has_header = !args.has("--no-header");
     let top = args.num("--top", 5usize)?;
     let threads = args.num("--threads", 0usize)?;
+    if let Some(detectors) = args.options.get("--detectors") {
+        let merge = args.opt_or("--merge", "union");
+        return cmd_scan_ensemble(
+            file, model, delim, has_header, top, threads, detectors, merge,
+        );
+    }
     let engine = ScanEngine::from_model(model).with_threads(threads);
     let report = if args.has("--stream") {
         engine.scan_csv_path(file, delim, has_header)
@@ -326,6 +357,76 @@ fn cmd_scan(args: &cli::Args) -> Result<(), String> {
         report.columns.len()
     );
     println!("{}", report.summary());
+    Ok(())
+}
+
+/// `scan --detectors …`: runs the named detector set through the
+/// ensemble engine and prints merged findings plus per-detector lanes.
+#[allow(clippy::too_many_arguments)]
+fn cmd_scan_ensemble(
+    file: &str,
+    model: AutoDetect,
+    delim: char,
+    has_header: bool,
+    top: usize,
+    threads: usize,
+    detectors: &str,
+    merge: &str,
+) -> Result<(), String> {
+    use auto_detect::core::{DetectorSpec, EnsembleEngine, MergePolicy};
+    let specs = DetectorSpec::parse_list(detectors).map_err(|e| e.to_string())?;
+    let merge = MergePolicy::parse(merge).map_err(|e| e.to_string())?;
+    if let MergePolicy::Vote(k) = merge {
+        if k > specs.len() {
+            return Err(format!(
+                "--merge vote:{k} needs at least {k} detectors, got {}",
+                specs.len()
+            ));
+        }
+    }
+    let registry = auto_detect::baselines::standard_registry(std::sync::Arc::new(model));
+    let members = registry.build_set(&specs).map_err(|e| e.to_string())?;
+    let columns = load_csv(file, delim, has_header).map_err(|e| format!("loading {file}: {e}"))?;
+    let label = merge.label();
+    let report = EnsembleEngine::new(members)
+        .with_merge(merge)
+        .with_threads(threads)
+        .run(&columns)
+        .map_err(|e| format!("scanning {file}: {e}"))?;
+    let mut total = 0usize;
+    for (i, (col, preds)) in columns.iter().zip(&report.predictions).enumerate() {
+        let header = col
+            .header
+            .clone()
+            .unwrap_or_else(|| format!("column {}", i + 1));
+        if preds.is_empty() {
+            println!("[{header}] ok");
+        } else {
+            println!("[{header}] {} finding(s):", preds.len());
+            for p in preds.iter().take(top) {
+                println!("    {:?} (confidence {:.2})", p.value, p.confidence);
+            }
+            total += preds.len();
+        }
+    }
+    println!(
+        "\n{total} suspicious value(s) across {} columns",
+        columns.len()
+    );
+    println!(
+        "ensemble: {} detector(s), merge {label}, {:.1} ms scan + {:.1} ms merge",
+        report.stats.detectors.len(),
+        (report.elapsed_nanos.saturating_sub(report.merge_nanos)) as f64 / 1e6,
+        report.merge_nanos as f64 / 1e6
+    );
+    for lane in &report.stats.detectors {
+        println!(
+            "    {:<12} {:>9.1} ms  {:>6} prediction(s)",
+            lane.name,
+            lane.wall_nanos as f64 / 1e6,
+            lane.predictions
+        );
+    }
     Ok(())
 }
 
@@ -376,11 +477,28 @@ fn cmd_query(args: &cli::Args) -> Result<(), String> {
         .unwrap_or(',');
     let has_header = !args.has("--no-header");
     let top = args.num("--top", 5usize)?;
+    if args.options.contains_key("--merge") && !args.options.contains_key("--detectors") {
+        return Err(
+            "--merge requires --detectors (e.g. --detectors autodetect,fregex --merge vote:2)"
+                .into(),
+        );
+    }
     let columns = load_csv(file, delim, has_header).map_err(|e| format!("loading {file}: {e}"))?;
     let client = Client::new(addr).map_err(|e| e.to_string())?;
-    let response = client
-        .scan(args.options.get("--model").map(|s| s.as_str()), &columns)
-        .map_err(|e| format!("querying {addr}: {e}"))?;
+    let model = args.options.get("--model").map(|s| s.as_str());
+    let response = match args.options.get("--detectors") {
+        Some(raw) => {
+            let detectors: Vec<String> = raw.split(',').map(|s| s.trim().to_string()).collect();
+            client.scan_ensemble(
+                model,
+                &columns,
+                &detectors,
+                args.options.get("--merge").map(|s| s.as_str()),
+            )
+        }
+        None => client.scan(model, &columns),
+    }
+    .map_err(|e| format!("querying {addr}: {e}"))?;
     let mut total = 0usize;
     for col in &response.columns {
         let header = col
@@ -397,10 +515,16 @@ fn cmd_query(args: &cli::Args) -> Result<(), String> {
                 .filter(|f| f.column == col.index)
                 .take(top)
             {
-                println!(
-                    "    {:?} clashes with {:?} (confidence {:.2})",
-                    f.suspect, f.witness, f.confidence
-                );
+                if f.witness.is_empty() {
+                    // Ensemble findings are rank-pooled across detectors
+                    // and carry no single witness value.
+                    println!("    {:?} (confidence {:.2})", f.suspect, f.confidence);
+                } else {
+                    println!(
+                        "    {:?} clashes with {:?} (confidence {:.2})",
+                        f.suspect, f.witness, f.confidence
+                    );
+                }
             }
             total += col.findings;
         }
@@ -413,6 +537,17 @@ fn cmd_query(args: &cli::Args) -> Result<(), String> {
         "served by model {:?} (generation {}, batched with {} other request(s))",
         response.model, response.generation, response.batched_with
     );
+    if let Some(ensemble) = &response.ensemble {
+        println!("ensemble: merge {}", ensemble.merge);
+        for lane in &ensemble.detectors {
+            println!(
+                "    {:<12} {:>9.1} ms  {:>6} prediction(s)",
+                lane.name,
+                lane.wall_nanos as f64 / 1e6,
+                lane.predictions
+            );
+        }
+    }
     Ok(())
 }
 

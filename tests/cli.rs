@@ -181,3 +181,122 @@ fn full_pipeline_detects_planted_error() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("compatible"));
 }
+
+/// `scan --detectors` runs the ensemble engine: findings are
+/// byte-identical at any thread count, the lane summary names every
+/// member, and the flag-validation errors fire before any work.
+#[test]
+fn ensemble_scan_is_thread_invariant_and_validates_flags() {
+    let dir = tmp_dir("ensemble_scan");
+    let corpus = dir.join("corpus.txt");
+    let model = dir.join("model.bin");
+    let csv = dir.join("data.csv");
+
+    for args in [
+        vec![
+            "gen-corpus",
+            "--profile",
+            "web",
+            "--columns",
+            "1500",
+            "--out",
+            corpus.to_str().unwrap(),
+        ],
+        vec![
+            "train",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--examples",
+            "3000",
+            "--space",
+            "coarse",
+            "--out",
+            model.to_str().unwrap(),
+        ],
+    ] {
+        let out = Command::new(bin()).args(&args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    std::fs::write(
+        &csv,
+        "when,amount\n2019-03-01,120\n2019-03-02,95\n2019/03/04,130\n2019-03-05,88\n",
+    )
+    .unwrap();
+
+    let scan = |extra: &[&str]| {
+        Command::new(bin())
+            .args([
+                "scan",
+                csv.to_str().unwrap(),
+                "--model",
+                model.to_str().unwrap(),
+                "--detectors",
+                "autodetect,fregex",
+            ])
+            .args(extra)
+            .output()
+            .unwrap()
+    };
+
+    let out = scan(&["--threads", "1"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        stdout.contains("2019/03/04"),
+        "ensemble union should keep the slash date:\n{stdout}"
+    );
+    assert!(stdout.contains("merge union"), "{stdout}");
+    assert!(stdout.contains("Auto-Detect"), "{stdout}");
+    assert!(stdout.contains("F-Regex"), "{stdout}");
+
+    // Byte-identical findings at any thread count; only timings differ.
+    let rerun = scan(&["--threads", "8"]);
+    assert!(
+        rerun.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rerun.stderr)
+    );
+    assert_eq!(
+        findings_part(&stdout),
+        findings_part(&String::from_utf8_lossy(&rerun.stdout)),
+        "ensemble findings changed with --threads 8"
+    );
+
+    // A vote merge also runs (both members must agree).
+    let out = scan(&["--merge", "vote:2"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("merge vote:2"));
+
+    // Flag validation: --merge without --detectors, --stream with
+    // --detectors, unknown detector names.
+    let bad = |args: &[&str], needle: &str| {
+        let out = Command::new(bin())
+            .args(["scan", csv.to_str().unwrap(), "--model"])
+            .arg(model.to_str().unwrap())
+            .args(args)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{args:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+    };
+    bad(&["--merge", "vote:2"], "--detectors");
+    bad(&["--detectors", "autodetect", "--stream"], "--stream");
+    bad(&["--detectors", "autodetect,nonesuch"], "nonesuch");
+    bad(
+        &["--detectors", "autodetect", "--merge", "vote:9"],
+        "vote:9",
+    );
+}
