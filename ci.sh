@@ -26,6 +26,8 @@ if [ "${ADT_OFFLINE:-0}" = "1" ]; then
     echo "== serve smoke test (offline stubs)"
     scripts/offline_check.sh build --bin autodetect
     scripts/serve_smoke.sh "${ADT_OFFLINE_DIR:-/tmp/adt-offline-check}/target/debug/autodetect"
+    echo "== learn loop smoke test (offline stubs)"
+    scripts/learn_smoke.sh "${ADT_OFFLINE_DIR:-/tmp/adt-offline-check}/target/debug/autodetect"
     echo "== bench report smoke: kernels + train pipeline (offline stubs)"
     scripts/bench_report.sh quick
     echo "== matrix report smoke: detector x error-class (offline stubs)"
@@ -40,6 +42,8 @@ else
     echo "== serve smoke test"
     cargo build --bin autodetect
     scripts/serve_smoke.sh target/debug/autodetect
+    echo "== learn loop smoke test"
+    scripts/learn_smoke.sh target/debug/autodetect
     echo "== bench report smoke: kernels + train pipeline"
     scripts/bench_report.sh quick
     echo "== matrix report smoke: detector x error-class"

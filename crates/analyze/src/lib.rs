@@ -84,6 +84,7 @@ pub fn classify(rel: &str) -> FileClass {
         panic_scope: rel == "crates/core/src/detector.rs"
             || rel == "crates/core/src/engine.rs"
             || rel == "crates/core/src/ensemble.rs"
+            || rel == "crates/core/src/online.rs"
             || rel == "crates/stats/src/build.rs"
             || rel == "crates/stats/src/pipeline.rs"
             || (serve_src && !rel.ends_with("/testutil.rs") && !rel.ends_with("/client.rs")),

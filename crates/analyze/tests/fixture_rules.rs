@@ -51,6 +51,20 @@ fn seeded_violations_reported_with_file_and_line() {
         has(f, "crates/core/src/detector.rs", 8, "panic-safety"),
         "{f:#?}"
     );
+    // The online learner joined the kernel scopes: unwrap, computed
+    // index, and a wall-clock read are all reported there.
+    assert!(
+        has(f, "crates/core/src/online.rs", 5, "panic-safety"),
+        "{f:#?}"
+    );
+    assert!(
+        has(f, "crates/core/src/online.rs", 6, "determinism"),
+        "{f:#?}"
+    );
+    assert!(
+        has(f, "crates/core/src/online.rs", 7, "panic-safety"),
+        "{f:#?}"
+    );
     // panic-safety + determinism in the widened stats-build scope: the
     // sharded training pipeline is held to the same kernel rules.
     assert!(
@@ -99,13 +113,13 @@ fn seeded_violations_reported_with_file_and_line() {
 fn per_rule_counts_are_exact() {
     let a = run_fixture();
     let count = |rule: &str| a.findings.iter().filter(|f| f.rule == rule).count();
-    assert_eq!(count("determinism"), 4, "{:#?}", a.findings);
-    assert_eq!(count("panic-safety"), 4, "{:#?}", a.findings);
+    assert_eq!(count("determinism"), 5, "{:#?}", a.findings);
+    assert_eq!(count("panic-safety"), 6, "{:#?}", a.findings);
     assert_eq!(count("lock-discipline"), 3, "{:#?}", a.findings);
     assert_eq!(count("allow-audit"), 3, "{:#?}", a.findings);
     assert_eq!(count("stub-parity"), 1, "{:#?}", a.findings);
-    assert_eq!(a.findings.len(), 15, "{:#?}", a.findings);
-    assert_eq!(a.files_scanned, 7);
+    assert_eq!(a.findings.len(), 18, "{:#?}", a.findings);
+    assert_eq!(a.files_scanned, 8);
 }
 
 #[test]
@@ -120,6 +134,11 @@ fn justified_markers_suppress_their_findings() {
     // Suppressed: expect under a reasoned marker.
     assert!(
         !has(f, "crates/core/src/detector.rs", 13, "panic-safety"),
+        "{f:#?}"
+    );
+    // Suppressed: non-empty expect in the online-learner scope.
+    assert!(
+        !has(f, "crates/core/src/online.rs", 13, "panic-safety"),
         "{f:#?}"
     );
     // Suppressed: worker-slot expect in the stats pipeline scope.
@@ -161,14 +180,14 @@ fn json_report_is_stable_and_structured() {
     let second = run_fixture().to_json();
     assert_eq!(first, second, "JSON report must be byte-stable across runs");
     assert!(first.contains("\"version\": 1"));
-    assert!(first.contains("\"files_scanned\": 7"));
-    assert!(first.contains("\"determinism\": 4"));
-    assert!(first.contains("\"panic-safety\": 4"));
+    assert!(first.contains("\"files_scanned\": 8"));
+    assert!(first.contains("\"determinism\": 5"));
+    assert!(first.contains("\"panic-safety\": 6"));
     assert!(first.contains("\"lock-discipline\": 3"));
     assert!(first.contains("\"allow-audit\": 3"));
     assert!(first.contains("\"stub-parity\": 1"));
     // One JSON row per finding.
-    assert_eq!(first.matches("{\"file\": ").count(), 15);
+    assert_eq!(first.matches("{\"file\": ").count(), 18);
 }
 
 #[test]

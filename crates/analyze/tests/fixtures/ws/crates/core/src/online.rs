@@ -1,0 +1,14 @@
+//! Fixture: the online learner is held to kernel determinism and
+//! panic-safety rules.
+
+pub fn absorb(vals: &[u64]) -> u64 {
+    let first = *vals.first().unwrap();
+    let t = std::time::Instant::now();
+    let last = vals[vals.len() - 1];
+    first + last + t.elapsed().as_nanos() as u64
+}
+
+pub fn retrain(vals: &[u64]) -> u64 {
+    // adt-allow(panic-safety): fixture: absorb rejects empty batches upstream
+    vals.iter().copied().max().expect("non-empty")
+}

@@ -20,7 +20,11 @@
 use adt_baselines::{CdmDetector, FRegexDetector};
 use adt_bench::kernel_bench::{bench_model, shape_counts, shape_width, SHAPES};
 use adt_core::api::Detector;
-use adt_core::{Aggregator, AutoDetect, EnsembleEngine, EnsembleReport, PatternCache};
+use adt_core::model::{codec, train};
+use adt_core::{
+    Aggregator, AutoDetect, AutoDetectConfig, EnsembleEngine, EnsembleReport, OnlineLearner,
+    PatternCache,
+};
 use adt_corpus::{Column, Corpus, SourceTag};
 use adt_patterns::enumerate_coarse_languages;
 use adt_stats::{
@@ -286,12 +290,96 @@ fn run_ensemble(model: &AutoDetect, quick: bool, iters: usize) -> EnsembleRow {
     }
 }
 
+struct OnlineRow {
+    base_columns: usize,
+    delta_columns: usize,
+    full_train_ns: u64,
+    absorb_ns: u64,
+    retrain_ns: u64,
+    identical: bool,
+}
+
+impl OnlineRow {
+    /// Full from-scratch union train per incremental absorb + retrain —
+    /// the online learning loop's acceptance ratio. The win is
+    /// algorithmic (the learner skips the corpus-wide statistics passes
+    /// over the already-absorbed base), so it must hold in debug builds.
+    fn speedup(&self) -> f64 {
+        self.full_train_ns as f64 / (self.absorb_ns + self.retrain_ns).max(1) as f64
+    }
+}
+
+fn model_bytes(model: &AutoDetect) -> Vec<u8> {
+    let mut buf = Vec::new();
+    codec::write_model(&mut buf, model).expect("in-memory write");
+    buf
+}
+
+/// Races the serve loop's incremental path (seeded learner absorbs a
+/// delta, retrains) against a from-scratch train on the union, after
+/// checking the two models agree byte for byte.
+fn run_online(quick: bool, iters: usize) -> OnlineRow {
+    let base_n = if quick { 240 } else { 960 };
+    let delta_n = if quick { 60 } else { 240 };
+    let union = train_bench_corpus(base_n + delta_n);
+    let base = Corpus::from_columns(union.columns()[..base_n].to_vec());
+    let delta: Vec<Column> = union.columns()[base_n..].to_vec();
+    let config = AutoDetectConfig {
+        training_examples: 2_000,
+        train_threads: 1, // equal footing: both paths single-threaded
+        ..AutoDetectConfig::small()
+    };
+
+    let (scratch, _) = train(&union, &config).expect("union train failed");
+    let seeded = OnlineLearner::from_corpus(&base, config.clone()).expect("learner seeding failed");
+    let mut learner = seeded.clone();
+    learner
+        .absorb_columns(delta.clone())
+        .expect("absorb failed");
+    let (online_model, _) = learner.retrain().expect("retrain failed");
+    let identical = model_bytes(&scratch) == model_bytes(&online_model);
+    if !identical {
+        eprintln!("FAIL: absorb+retrain diverged from the from-scratch union train");
+        std::process::exit(1);
+    }
+
+    let full_train_ns = median_ns(iters, || {
+        black_box(train(&union, &config).expect("union train failed"));
+    });
+    // Clone the seeded learner outside the timers: the serve loop keeps
+    // its learner alive, so the per-delta cost is absorb + retrain only.
+    let mut absorb_samples = Vec::with_capacity(iters);
+    let mut retrain_samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let mut learner = seeded.clone();
+        let batch = delta.clone();
+        let t0 = Instant::now();
+        learner.absorb_columns(batch).expect("absorb failed");
+        absorb_samples.push(t0.elapsed().as_nanos() as u64);
+        let t1 = Instant::now();
+        black_box(learner.retrain().expect("retrain failed"));
+        retrain_samples.push(t1.elapsed().as_nanos() as u64);
+    }
+    absorb_samples.sort_unstable();
+    retrain_samples.sort_unstable();
+
+    OnlineRow {
+        base_columns: base_n,
+        delta_columns: delta_n,
+        full_train_ns,
+        absorb_ns: absorb_samples[absorb_samples.len() / 2],
+        retrain_ns: retrain_samples[retrain_samples.len() / 2],
+        identical,
+    }
+}
+
 fn json_report(
     mode: &str,
     iters: usize,
     shapes: &[ShapeReport],
     train: &TrainReport,
     ensemble: &EnsembleRow,
+    online: &OnlineRow,
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"bench\": \"scan_kernels\",\n");
@@ -359,13 +447,25 @@ fn json_report(
     s.push_str(&format!(
         "  \"ensemble\": {{\"columns\": {}, \"merge\": \"union\", \
          \"serial_median_ns\": {}, \"parallel_median_ns\": {}, \"speedup\": {:.2}, \
-         \"merge_nanos\": {}, \"lanes\": [{}]}}\n",
+         \"merge_nanos\": {}, \"lanes\": [{}]}},\n",
         ensemble.columns,
         ensemble.serial_ns,
         ensemble.parallel_ns,
         ensemble.speedup(),
         ensemble.report.merge_nanos,
         lanes.join(", ")
+    ));
+    s.push_str(&format!(
+        "  \"online\": {{\"base_columns\": {}, \"delta_columns\": {}, \
+         \"full_train_median_ns\": {}, \"absorb_median_ns\": {}, \
+         \"retrain_median_ns\": {}, \"speedup\": {:.2}, \"identical\": {}}}\n",
+        online.base_columns,
+        online.delta_columns,
+        online.full_train_ns,
+        online.absorb_ns,
+        online.retrain_ns,
+        online.speedup(),
+        online.identical
     ));
     s.push_str("}\n");
     s
@@ -402,6 +502,9 @@ fn main() {
 
     eprintln!("[bench_report] timing ensemble engine (serial vs all cores)…");
     let ensemble = run_ensemble(&model, quick, if quick { 3 } else { 7 });
+
+    eprintln!("[bench_report] racing online absorb+retrain vs full union train…");
+    let online = run_online(quick, if quick { 3 } else { 7 });
 
     println!(
         "{:<16} {:>5} {:>14} {:>14} {:>14} {:>12} {:>12}",
@@ -443,8 +546,19 @@ fn main() {
         ensemble.speedup(),
         ensemble.report.merge_nanos
     );
+    println!(
+        "online: {}+{} columns, full train {} ns vs absorb {} ns + retrain {} ns = {:.1}x \
+         (byte-identical: {})",
+        online.base_columns,
+        online.delta_columns,
+        online.full_train_ns,
+        online.absorb_ns,
+        online.retrain_ns,
+        online.speedup(),
+        online.identical
+    );
 
-    let json = json_report(mode, iters, &reports, &train, &ensemble);
+    let json = json_report(mode, iters, &reports, &train, &ensemble, &online);
     if let Some(path) = out {
         std::fs::write(&path, &json).unwrap_or_else(|e| {
             eprintln!("FAIL: cannot write {path}: {e}");

@@ -75,11 +75,29 @@ pub struct AutoDetectConfig {
     /// is configured.
     #[serde(default)]
     pub merge: MergePolicy,
+    /// Online learning: retrain once this many columns have been
+    /// absorbed since the last retrain (the serve learn loop's count
+    /// threshold).
+    #[serde(default = "default_online_absorb_columns")]
+    pub online_absorb_columns: usize,
+    /// Online learning: retrain after this many seconds with at least
+    /// one absorbed-but-untrained column (the serve learn loop's time
+    /// threshold).
+    #[serde(default = "default_online_interval_secs")]
+    pub online_interval_secs: u64,
 }
 
 /// The default single-detector set.
 fn default_detectors() -> Vec<String> {
     vec!["autodetect".to_string()]
+}
+
+fn default_online_absorb_columns() -> usize {
+    256
+}
+
+fn default_online_interval_secs() -> u64 {
+    60
 }
 
 impl Default for AutoDetectConfig {
@@ -102,6 +120,8 @@ impl Default for AutoDetectConfig {
             sketch_fraction: None,
             detectors: default_detectors(),
             merge: MergePolicy::default(),
+            online_absorb_columns: default_online_absorb_columns(),
+            online_interval_secs: default_online_interval_secs(),
         }
     }
 }
@@ -186,6 +206,12 @@ impl AutoDetectConfig {
             if !(f > 0.0 && f <= 1.0) {
                 return fail(format!("sketch_fraction must be in (0, 1], got {f}"));
             }
+        }
+        if self.online_absorb_columns == 0 {
+            return fail("online_absorb_columns must be positive".into());
+        }
+        if self.online_interval_secs == 0 {
+            return fail("online_interval_secs must be positive".into());
         }
         let mut specs: Vec<DetectorSpec> = Vec::with_capacity(self.detectors.len());
         for name in &self.detectors {
@@ -332,6 +358,21 @@ impl AutoDetectConfigBuilder {
     /// [`Self::build`].
     pub fn merge_policy(mut self, merge: MergePolicy) -> Self {
         self.config.merge = merge;
+        self
+    }
+
+    /// Online learning: columns absorbed since the last retrain that
+    /// trigger the next one. Zero is an [`AdtError::Config`] error at
+    /// [`Self::build`].
+    pub fn online_absorb_columns(mut self, columns: usize) -> Self {
+        self.config.online_absorb_columns = columns;
+        self
+    }
+
+    /// Online learning: seconds of pending-column age that trigger a
+    /// retrain. Zero is an [`AdtError::Config`] error at [`Self::build`].
+    pub fn online_interval_secs(mut self, secs: u64) -> Self {
+        self.config.online_interval_secs = secs;
         self
     }
 
@@ -490,6 +531,28 @@ mod tests {
         assert_eq!(c.detectors, vec!["autodetect"]);
         assert_eq!(c.merge, MergePolicy::Union);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn online_knobs_default_and_validate() {
+        let c = AutoDetectConfig::default();
+        assert_eq!(c.online_absorb_columns, 256);
+        assert_eq!(c.online_interval_secs, 60);
+        let c = AutoDetectConfig::builder()
+            .online_absorb_columns(32)
+            .online_interval_secs(5)
+            .build()
+            .unwrap();
+        assert_eq!(c.online_absorb_columns, 32);
+        assert_eq!(c.online_interval_secs, 5);
+        assert!(AutoDetectConfig::builder()
+            .online_absorb_columns(0)
+            .build()
+            .is_err());
+        assert!(AutoDetectConfig::builder()
+            .online_interval_secs(0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -30,7 +30,10 @@
 //!    detector set per scan with per-detector instrumentation and merges
 //!    rankings under a pluggable [`MergePolicy`] (union / vote(k) /
 //!    calibrated), deterministically at any thread count;
-//! 10. [`error`] — the typed [`AdtError`] every fallible API returns.
+//! 10. [`online`] — the [`OnlineLearner`]: absorbs new columns into
+//!     exact per-language accumulators and retrains incrementally,
+//!     byte-identical to a from-scratch train on the union corpus;
+//! 11. [`error`] — the typed [`AdtError`] every fallible API returns.
 
 pub mod aggregate;
 pub mod api;
@@ -44,6 +47,7 @@ pub mod error;
 #[cfg(test)]
 mod kernel_tests;
 pub mod model;
+pub mod online;
 pub mod selection;
 pub mod training;
 
@@ -69,5 +73,8 @@ pub use model::{
     calibrate_candidates, calibrate_candidates_with_report, load_model, save_model,
     select_and_assemble, train, train_with_training_set, CalibratedCandidate, TrainReport,
 };
+pub use online::{OnlineLearner, OnlineReport};
 pub use selection::{greedy_select, CandidateSummary, SelectionResult};
-pub use training::{build_training_set, Example, Label, TrainingSet};
+pub use training::{
+    build_training_set, build_training_set_with_crude, Example, Label, TrainingSet,
+};

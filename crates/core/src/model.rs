@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
 
-fn pipeline_error(e: StatsError) -> AdtError {
+pub(crate) fn pipeline_error(e: StatsError) -> AdtError {
     match e {
         StatsError::WorkerPanicked(phase) => AdtError::Worker(phase),
         StatsError::Merge(msg) => AdtError::Worker(msg),
@@ -61,7 +61,7 @@ pub struct TrainReport {
 
 /// Scores every training example under `stats`, memoizing per-value
 /// pattern hashes (values repeat heavily across examples).
-fn score_training_set(
+pub(crate) fn score_training_set(
     stats: &LanguageStats,
     training: &TrainingSet,
     npmi: adt_stats::NpmiParams,
@@ -160,36 +160,16 @@ pub fn select_and_assemble(
     training: &TrainingSet,
     pool: &[CalibratedCandidate],
 ) -> Result<(AutoDetect, TrainReport), AdtError> {
-    let languages: Vec<adt_patterns::Language> = pool.iter().map(|c| c.language).collect();
-    let mut candidates = Vec::with_capacity(pool.len());
-    let mut calibrations: Vec<Calibration> = Vec::with_capacity(pool.len());
-    let mut reports = Vec::with_capacity(pool.len());
-    for (i, c) in pool.iter().enumerate() {
-        reports.push(CandidateReport {
-            language_id: c.language.id(),
-            size_bytes: c.size_bytes,
-            theta: c.calibration.theta,
-            coverage: c.calibration.coverage(),
-            precision: c.calibration.precision_at_theta,
-        });
-        candidates.push(CandidateSummary {
-            index: i,
-            size_bytes: c.size_bytes,
-            covered_negatives: c.calibration.covered_negatives.clone(),
-        });
-        calibrations.push(c.calibration.clone());
-    }
-
     // Phase 2: greedy selection under the memory budget.
-    let selection = greedy_select(&candidates, config.memory_budget);
+    let selection = greedy_select(&summarize_pool(pool), config.memory_budget);
 
     // Phase 3: rebuild stats for the selected languages (one pipeline
-    // pass over the corpus); optionally compress co-occurrence into
-    // sketches.
+    // pass over the corpus); the shared assembly step then optionally
+    // compresses co-occurrence into sketches.
     let selected_languages: Vec<adt_patterns::Language> = selection
         .selected
         .iter()
-        .filter_map(|&i| languages.get(i).copied())
+        .filter_map(|&i| pool.get(i).map(|c| c.language))
         .collect();
     let opts = PipelineOptions {
         threads: config.effective_train_threads(),
@@ -203,15 +183,55 @@ pub fn select_and_assemble(
         |_, s| s,
     )
     .map_err(pipeline_error)?;
+    assemble_model(config, training, pool, selection, rebuilt, pipeline)
+}
+
+/// Summarizes a calibrated pool for [`greedy_select`].
+pub(crate) fn summarize_pool(pool: &[CalibratedCandidate]) -> Vec<CandidateSummary> {
+    pool.iter()
+        .enumerate()
+        .map(|(i, c)| CandidateSummary {
+            index: i,
+            size_bytes: c.size_bytes,
+            covered_negatives: c.calibration.covered_negatives.clone(),
+        })
+        .collect()
+}
+
+/// The final assembly step, shared by [`select_and_assemble`] and the
+/// online learner's retrain path so the two can never drift: takes the
+/// statistics for the selected languages (in pick order, finalized under
+/// `config.stats`), applies the budget-driven sketch compression, strips
+/// training-only calibration artifacts, and packages the model and
+/// report.
+pub(crate) fn assemble_model(
+    config: &AutoDetectConfig,
+    training: &TrainingSet,
+    pool: &[CalibratedCandidate],
+    selection: SelectionResult,
+    rebuilt: Vec<LanguageStats>,
+    pipeline: PipelineReport,
+) -> Result<(AutoDetect, TrainReport), AdtError> {
+    let reports: Vec<CandidateReport> = pool
+        .iter()
+        .map(|c| CandidateReport {
+            language_id: c.language.id(),
+            size_bytes: c.size_bytes,
+            theta: c.calibration.theta,
+            coverage: c.calibration.coverage(),
+            precision: c.calibration.precision_at_theta,
+        })
+        .collect();
+
     let mut selected = Vec::with_capacity(selection.selected.len());
     for (&i, mut stats) in selection.selected.iter().zip(rebuilt) {
         if let Some(spec) = config.sketch_spec_for(stats.size_bytes()) {
             stats.compress_cooccurrence(spec);
         }
-        let mut calibration = calibrations
+        let mut calibration: Calibration = pool
             .get(i)
-            .cloned()
-            .ok_or(AdtError::Worker("select_and_assemble"))?;
+            .map(|c| c.calibration.clone())
+            .ok_or(AdtError::Worker("assemble_model"))?;
         // Coverage indices are a training artifact; drop them from the
         // shipped model to keep it small.
         calibration.covered_negatives = Vec::new();
@@ -233,7 +253,7 @@ pub fn select_and_assemble(
         selected_ids: selection
             .selected
             .iter()
-            .filter_map(|&i| languages.get(i).map(|l| l.id()))
+            .filter_map(|&i| pool.get(i).map(|c| c.language.id()))
             .collect(),
         selection,
         model_bytes: model.size_bytes(),

@@ -1,0 +1,379 @@
+//! Online learning: incremental training over a growing corpus.
+//!
+//! The offline regime (§4) trains once over a frozen corpus and ships the
+//! model; a serving deployment instead sees a stream of new columns and
+//! wants to fold them in without paying a full rebuild. [`OnlineLearner`]
+//! makes that exact: it keeps one **exact** (un-sketched) statistics
+//! accumulator per candidate language plus the crude-`G` accumulator the
+//! distant-supervision sampler needs, and absorbs each batch of new
+//! columns through the same sharded intern-once pipeline training uses.
+//!
+//! Two properties of the statistics layer make absorb loss-free:
+//!
+//! - Exact accumulation is a keyed sum, so it is order- and
+//!   partition-independent: `merge(stats(base), stats(delta))` equals
+//!   `stats(base ∪ delta)` byte for byte.
+//! - Sketch backends are **finalized, never accumulated**: a sketched
+//!   build accumulates exactly and compresses by sorted-key replay at the
+//!   end ([`LanguageStats::compress_cooccurrence`]). The learner defers
+//!   that replay to [`OnlineLearner::retrain`], so sketch models inherit
+//!   the same identity.
+//!
+//! `retrain` then re-runs the downstream phases — training-set sampling,
+//! scoring, calibration, greedy selection, assembly — over the union
+//! corpus, reusing the accumulators instead of re-scanning the corpus.
+//! The result is byte-identical (under [`crate::model::codec`]) to
+//! [`crate::model::train`] on the union at any thread count; the
+//! differential tests below pin that for exact and sketch backends at
+//! 1/2/4/8 threads. What absorb saves is the corpus-wide statistics
+//! passes (crude build, candidate scan, selected-language rebuild) — the
+//! dominant training cost once the corpus outgrows the delta.
+//!
+//! The trade-off is memory: the learner holds exact statistics for every
+//! candidate language at once, where offline training calibrates and
+//! drops them batch by batch. That suits the serve-loop scale this
+//! subsystem targets (thousands of columns, coarse spaces); the paper's
+//! 350M-column regime stays on the offline path.
+
+use crate::calibrate::calibrate_language;
+use crate::config::AutoDetectConfig;
+use crate::detector::AutoDetect;
+use crate::engine::parallel_map;
+use crate::error::AdtError;
+use crate::model::{
+    assemble_model, pipeline_error, score_training_set, summarize_pool, CalibratedCandidate,
+    TrainReport,
+};
+use crate::selection::greedy_select;
+use crate::training::build_training_set_with_crude;
+use adt_corpus::{Column, Corpus};
+use adt_patterns::crude::crude_language;
+use adt_patterns::Language;
+use adt_stats::{build_stats_for_languages, LanguageStats, PipelineReport, StatsConfig};
+use serde::{Deserialize, Serialize};
+
+/// Cumulative counters for one learner lifetime.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct OnlineReport {
+    /// Completed [`OnlineLearner::absorb_columns`] calls.
+    pub absorbs: u64,
+    /// Columns absorbed across all calls.
+    pub columns_absorbed: u64,
+    /// Completed [`OnlineLearner::retrain`] calls.
+    pub retrains: u64,
+    /// Pipeline counters summed over every absorb pass (the only corpus
+    /// scans the learner performs).
+    pub pipeline: PipelineReport,
+}
+
+/// An incremental trainer: absorb columns, then emit a model
+/// byte-identical to a from-scratch train on everything absorbed so far.
+#[derive(Debug, Clone)]
+pub struct OnlineLearner {
+    config: AutoDetectConfig,
+    /// `config.stats` with sketching disabled: accumulators stay exact,
+    /// and sketch finalization replays at retrain time.
+    exact_stats: StatsConfig,
+    /// The union of everything absorbed, in arrival order. Training-set
+    /// sampling is a function of corpus order, so arrival order *is* the
+    /// canonical order a from-scratch train must use to reproduce the
+    /// learner's output.
+    corpus: Corpus,
+    languages: Vec<Language>,
+    /// Exact per-candidate accumulators, aligned with `languages`.
+    accumulators: Vec<LanguageStats>,
+    /// Exact crude-`G` accumulator for distant-supervision sampling.
+    crude: LanguageStats,
+    /// Columns absorbed since the last retrain.
+    pending: u64,
+    report: OnlineReport,
+}
+
+impl OnlineLearner {
+    /// Creates an empty learner for `config`'s candidate space.
+    pub fn new(config: AutoDetectConfig) -> Result<Self, AdtError> {
+        config.validate()?;
+        let exact_stats = StatsConfig {
+            sketch: None,
+            ..config.stats
+        };
+        let languages = config.candidate_languages();
+        let accumulators = languages
+            .iter()
+            .map(|&l| LanguageStats::empty(l, &exact_stats))
+            .collect();
+        let crude = LanguageStats::empty(crude_language(), &exact_stats);
+        Ok(OnlineLearner {
+            config,
+            exact_stats,
+            corpus: Corpus::new(),
+            languages,
+            accumulators,
+            crude,
+            pending: 0,
+            report: OnlineReport::default(),
+        })
+    }
+
+    /// Creates a learner pre-seeded with `corpus` (one absorb pass).
+    pub fn from_corpus(corpus: &Corpus, config: AutoDetectConfig) -> Result<Self, AdtError> {
+        let mut learner = Self::new(config)?;
+        learner.absorb_columns(corpus.columns().to_vec())?;
+        Ok(learner)
+    }
+
+    /// Total columns absorbed so far.
+    pub fn columns(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// Columns absorbed since the last [`Self::retrain`].
+    pub fn pending_columns(&self) -> u64 {
+        self.pending
+    }
+
+    /// Cumulative counters.
+    pub fn report(&self) -> &OnlineReport {
+        &self.report
+    }
+
+    /// The training configuration the learner was built with.
+    pub fn config(&self) -> &AutoDetectConfig {
+        &self.config
+    }
+
+    /// Absorbs a batch of new columns into every accumulator.
+    ///
+    /// One sharded pipeline pass over the delta covers all candidate
+    /// languages plus crude `G`, so the delta is interned and generalized
+    /// once, not once per language. Cost scales with the delta, never
+    /// with the accumulated corpus.
+    pub fn absorb_columns(&mut self, columns: Vec<Column>) -> Result<(), AdtError> {
+        if columns.is_empty() {
+            return Ok(());
+        }
+        let added = columns.len() as u64;
+        let delta = Corpus::from_columns(columns);
+        // Candidates first, crude last — the fold below pairs stats with
+        // accumulators by arrival index.
+        let mut scan_languages = self.languages.clone();
+        scan_languages.push(crude_language());
+        let accumulators = &mut self.accumulators;
+        let crude = &mut self.crude;
+        let mut idx = 0usize;
+        let mut merge_error: Option<&'static str> = None;
+        let pass = build_stats_for_languages(
+            &scan_languages,
+            &delta,
+            &self.exact_stats,
+            self.config.effective_train_threads(),
+            |stats| {
+                let target = match accumulators.get_mut(idx) {
+                    Some(acc) => acc,
+                    None => &mut *crude,
+                };
+                if let Err(e) = target.merge_from(&stats) {
+                    merge_error.get_or_insert(e);
+                }
+                idx += 1;
+            },
+        )
+        .map_err(pipeline_error)?;
+        if let Some(e) = merge_error {
+            // Only reachable via a language/backend mismatch, which the
+            // aligned construction above rules out — but never absorb a
+            // half-merged delta into the canonical corpus.
+            return Err(AdtError::Worker(e));
+        }
+        self.corpus.extend_from(delta);
+        self.pending += added;
+        self.report.absorbs += 1;
+        self.report.columns_absorbed += added;
+        self.report.pipeline.absorb(&pass);
+        Ok(())
+    }
+
+    /// Finalizes an exact accumulator under `config.stats` — the sorted
+    /// -key sketch replay that makes an accumulator byte-identical to a
+    /// pipeline build over the union corpus.
+    fn finalized(&self, acc: &LanguageStats) -> LanguageStats {
+        let mut stats = acc.clone();
+        if let Some(spec) = self.config.stats.sketch {
+            stats.compress_cooccurrence(spec);
+        }
+        stats
+    }
+
+    /// Re-runs calibration, selection, and assembly over everything
+    /// absorbed so far, without re-scanning the corpus for statistics.
+    ///
+    /// Byte-identical (under [`crate::model::codec`]) to
+    /// [`crate::model::train`] on the same columns in arrival order. The
+    /// report's pipeline counters cover the absorb passes (the learner's
+    /// only corpus scans) rather than the offline path's calibration and
+    /// assembly scans.
+    pub fn retrain(&mut self) -> Result<(AutoDetect, TrainReport), AdtError> {
+        let crude = self.finalized(&self.crude);
+        let training = build_training_set_with_crude(&self.corpus, &self.config, &crude);
+
+        // Phase 1 without the corpus scan: score and calibrate each
+        // candidate from its accumulator.
+        let pool: Vec<CalibratedCandidate> = parallel_map(
+            &self.accumulators,
+            self.config.effective_train_threads(),
+            "online-calibrate",
+            |_, acc| {
+                let stats = self.finalized(acc);
+                let scores = score_training_set(&stats, &training, self.config.npmi);
+                let calibration =
+                    calibrate_language(&training, &scores, self.config.precision_target, 256);
+                CalibratedCandidate {
+                    language: stats.language,
+                    size_bytes: stats.size_bytes(),
+                    calibration,
+                }
+            },
+        )?;
+
+        // Phases 2–3: selection, then assembly from the accumulators in
+        // pick order (where the offline path re-scans the corpus).
+        let selection = greedy_select(&summarize_pool(&pool), self.config.memory_budget);
+        let mut rebuilt = Vec::with_capacity(selection.selected.len());
+        for &i in &selection.selected {
+            let acc = self
+                .accumulators
+                .get(i)
+                .ok_or(AdtError::Worker("online-retrain"))?;
+            rebuilt.push(self.finalized(acc));
+        }
+        let out = assemble_model(
+            &self.config,
+            &training,
+            &pool,
+            selection,
+            rebuilt,
+            self.report.pipeline,
+        )?;
+        self.pending = 0;
+        self.report.retrains += 1;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{codec, train};
+    use adt_corpus::{generate_corpus, CorpusProfile};
+    use adt_stats::SketchSpec;
+
+    fn quick_config() -> AutoDetectConfig {
+        AutoDetectConfig {
+            training_examples: 2_000,
+            ..AutoDetectConfig::small()
+        }
+    }
+
+    fn quick_corpus(columns: usize) -> Corpus {
+        let mut p = CorpusProfile::web(columns);
+        p.dirty_rate = 0.0;
+        generate_corpus(&p)
+    }
+
+    fn model_bytes(model: &AutoDetect) -> Vec<u8> {
+        let mut buf = Vec::new();
+        codec::write_model(&mut buf, model).expect("in-memory write");
+        buf
+    }
+
+    /// The satellite differential: absorb(base, delta) + retrain is
+    /// bit-identical to a from-scratch train on base ++ delta, at every
+    /// thread count. The absorb itself is split in two to also cover
+    /// merge associativity.
+    fn assert_absorb_matches_scratch(base_cfg: AutoDetectConfig) {
+        let corpus = quick_corpus(500);
+        let split = 350;
+        let base = corpus.columns()[..split].to_vec();
+        let delta = corpus.columns()[split..].to_vec();
+        let mut reference: Option<Vec<u8>> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = AutoDetectConfig {
+                train_threads: threads,
+                ..base_cfg.clone()
+            };
+            let (scratch, _) = train(&corpus, &cfg).unwrap();
+            let scratch_bytes = model_bytes(&scratch);
+            let mut learner = OnlineLearner::new(cfg).unwrap();
+            learner.absorb_columns(base.clone()).unwrap();
+            learner.absorb_columns(delta.clone()).unwrap();
+            assert_eq!(learner.pending_columns(), corpus.len() as u64);
+            let (online, report) = learner.retrain().unwrap();
+            assert_eq!(learner.pending_columns(), 0);
+            assert_eq!(report.candidates.len(), learner.languages.len());
+            assert_eq!(
+                scratch_bytes,
+                model_bytes(&online),
+                "absorb diverged from scratch train at {threads} threads"
+            );
+            // And across thread counts: training is thread-invariant, so
+            // every row of the matrix must agree.
+            match &reference {
+                Some(r) => assert_eq!(r, &scratch_bytes, "thread variance at {threads}"),
+                None => reference = Some(scratch_bytes),
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_bit_identical_exact_backend() {
+        assert_absorb_matches_scratch(quick_config());
+    }
+
+    #[test]
+    fn absorb_bit_identical_sketch_backend() {
+        // Both sketch knobs at once: sketched candidate statistics and
+        // budget-driven final compression.
+        assert_absorb_matches_scratch(AutoDetectConfig {
+            stats: StatsConfig {
+                sketch: Some(SketchSpec {
+                    budget_bytes: 64 << 10,
+                    ..SketchSpec::default()
+                }),
+                ..StatsConfig::default()
+            },
+            sketch_fraction: Some(0.25),
+            ..quick_config()
+        });
+    }
+
+    #[test]
+    fn repeated_retrains_track_the_growing_union() {
+        let corpus = quick_corpus(500);
+        let cfg = quick_config();
+        let base = corpus.columns()[..300].to_vec();
+        let delta = corpus.columns()[300..].to_vec();
+
+        let mut learner =
+            OnlineLearner::from_corpus(&Corpus::from_columns(base.clone()), cfg.clone()).unwrap();
+        let (first, _) = learner.retrain().unwrap();
+        let (scratch_first, _) = train(&Corpus::from_columns(base), &cfg).unwrap();
+        assert_eq!(model_bytes(&first), model_bytes(&scratch_first));
+
+        learner.absorb_columns(delta).unwrap();
+        let (second, _) = learner.retrain().unwrap();
+        let (scratch_second, _) = train(&corpus, &cfg).unwrap();
+        assert_eq!(model_bytes(&second), model_bytes(&scratch_second));
+        assert_eq!(learner.report().retrains, 2);
+        assert_eq!(learner.report().columns_absorbed, corpus.len() as u64);
+    }
+
+    #[test]
+    fn empty_learner_and_empty_batches_are_safe() {
+        let mut learner = OnlineLearner::new(quick_config()).unwrap();
+        learner.absorb_columns(Vec::new()).unwrap();
+        assert_eq!(learner.columns(), 0);
+        assert_eq!(learner.report().absorbs, 0);
+        let (model, _) = learner.retrain().unwrap();
+        assert_eq!(model.num_languages(), 0);
+    }
+}

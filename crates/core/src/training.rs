@@ -99,6 +99,21 @@ pub fn build_training_set(
     config: &AutoDetectConfig,
 ) -> (TrainingSet, LanguageStats) {
     let crude = LanguageStats::build(crude_language(), corpus, &config.stats);
+    let set = build_training_set_with_crude(corpus, config, &crude);
+    (set, crude)
+}
+
+/// [`build_training_set`] against caller-provided crude statistics.
+///
+/// `crude` must equal `LanguageStats::build(crude_language(), corpus,
+/// &config.stats)` for the result to match [`build_training_set`] — the
+/// online learner maintains exactly that equality incrementally, which is
+/// what makes absorb-then-retrain byte-identical to a from-scratch train.
+pub fn build_training_set_with_crude(
+    corpus: &Corpus,
+    config: &AutoDetectConfig,
+    crude: &LanguageStats,
+) -> TrainingSet {
     let params = config.npmi;
     let mut rng = StdRng::seed_from_u64(config.seed);
 
@@ -113,14 +128,14 @@ pub fn build_training_set(
         if distinct.len() < 2 {
             continue;
         }
-        if is_compatible_column(&distinct, &crude, params, config.compat_threshold, 12) {
+        if is_compatible_column(&distinct, crude, params, config.compat_threshold, 12) {
             compatible.push(i);
         }
     }
 
     let mut set = TrainingSet::default();
     if compatible.len() < 2 {
-        return (set, crude);
+        return set;
     }
 
     let target = config.training_examples;
@@ -230,7 +245,7 @@ pub fn build_training_set(
         }
     }
 
-    (set, crude)
+    set
 }
 
 #[cfg(test)]

@@ -197,12 +197,43 @@ impl Client {
         detectors: &[String],
         merge: Option<&str>,
     ) -> Result<ScanResponse, ClientError> {
-        let body = protocol::scan_request_to_json_full(model, columns, Some(detectors), merge);
+        let body =
+            protocol::scan_request_to_json_full(model, columns, Some(detectors), merge, false);
         let resp = self.connect()?.request("POST", "/v1/scan", Some(&body))?;
         if resp.status != 200 {
             return Err(status_error(resp));
         }
         protocol::parse_scan_response(&resp.body).map_err(|e| ClientError::Malformed(e.to_string()))
+    }
+
+    /// Scans `columns` and additionally feeds them to the server's
+    /// online learner (`"learn": true` tap). The tap is best-effort: a
+    /// full learn queue drops the batch without failing the scan.
+    pub fn scan_and_learn(
+        &self,
+        model: Option<&str>,
+        columns: &[Column],
+    ) -> Result<ScanResponse, ClientError> {
+        let body = protocol::scan_request_to_json_full(model, columns, None, None, true);
+        let resp = self.connect()?.request("POST", "/v1/scan", Some(&body))?;
+        if resp.status != 200 {
+            return Err(status_error(resp));
+        }
+        protocol::parse_scan_response(&resp.body).map_err(|e| ClientError::Malformed(e.to_string()))
+    }
+
+    /// Uploads `columns` to the server's online learner without scanning
+    /// them (`POST /v1/learn`). Returns the accepted column count; the
+    /// server answers `503` (surfaced as [`ClientError::Status`]) when
+    /// the learn queue is full.
+    pub fn learn(&self, columns: &[Column]) -> Result<u64, ClientError> {
+        let body = protocol::learn_request_to_json(columns);
+        let resp = self.connect()?.request("POST", "/v1/learn", Some(&body))?;
+        if resp.status != 202 {
+            return Err(status_error(resp));
+        }
+        protocol::parse_learn_response(&resp.body)
+            .map_err(|e| ClientError::Malformed(e.to_string()))
     }
 
     /// `GET`s a JSON endpoint (`/v1/healthz`, `/v1/stats`, `/v1/models`).

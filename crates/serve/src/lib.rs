@@ -24,9 +24,13 @@
 //!   drains in-flight work;
 //! - [`batch`] — micro-batching of concurrent requests into single
 //!   engine dispatches, byte-identical to unbatched scans;
+//! - [`learn`] — the online learning loop: a background learner absorbs
+//!   uploaded/tapped columns through a bounded queue, retrains
+//!   incrementally, and swaps the new model into the registry
+//!   atomically (`POST /v1/learn`, `"learn": true` on scans);
 //! - [`protocol`] / [`json`] / [`http`] — the wire: `POST /v1/scan`,
-//!   `GET /v1/healthz`, `GET /v1/stats`, `GET /v1/models`,
-//!   `POST /v1/shutdown`;
+//!   `POST /v1/learn`, `GET /v1/healthz`, `GET /v1/stats`,
+//!   `GET /v1/models`, `POST /v1/shutdown`;
 //! - [`stats::ServerStats`] — cumulative counters with p50/p99 latency
 //!   and per-model hit counts;
 //! - [`client::Client`] — the blocking client behind `autodetect query`.
@@ -55,6 +59,7 @@ pub mod batch;
 pub mod client;
 pub mod http;
 pub mod json;
+pub mod learn;
 pub mod protocol;
 pub mod registry;
 pub mod server;
@@ -63,6 +68,7 @@ pub mod testutil;
 
 pub use client::{Client, ClientError, Connection};
 pub use json::Json;
+pub use learn::LearnConfig;
 pub use protocol::{ScanRequest, ScanResponse, WireColumn, WireFinding};
 pub use registry::{ModelHandle, ModelRegistry};
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -45,6 +45,9 @@ pub struct ScanRequest {
     /// Merge policy spelling (`union`, `vote:k`, `calibrated`); only
     /// meaningful alongside `detectors`.
     pub merge: Option<String>,
+    /// Opt-in learning tap: after the scan, the columns are also queued
+    /// for the server's online learner. Requires a learn-enabled server.
+    pub learn: bool,
 }
 
 /// One finding on the wire.
@@ -132,13 +135,8 @@ fn bad(msg: impl Into<String>) -> ProtocolError {
     ProtocolError(msg.into())
 }
 
-/// Decodes a scan request body.
-pub fn parse_scan_request(v: &Json) -> Result<ScanRequest, ProtocolError> {
-    let model = match v.get("model") {
-        None | Some(Json::Null) => None,
-        Some(Json::Str(s)) => Some(s.clone()),
-        Some(_) => return Err(bad("\"model\" must be a string")),
-    };
+/// Decodes the `"columns"` member shared by scan and learn requests.
+fn parse_columns(v: &Json) -> Result<Vec<Column>, ProtocolError> {
     let cols = v
         .get("columns")
         .and_then(Json::as_arr)
@@ -165,6 +163,37 @@ pub fn parse_scan_request(v: &Json) -> Result<ScanRequest, ProtocolError> {
         };
         columns.push(column);
     }
+    Ok(columns)
+}
+
+/// Encodes columns as the `"columns"` member both request shapes share.
+fn columns_to_json(columns: &[Column]) -> Json {
+    Json::Arr(
+        columns
+            .iter()
+            .map(|c| {
+                let mut members = Vec::new();
+                if let Some(h) = &c.header {
+                    members.push(("header", Json::str(h.clone())));
+                }
+                members.push((
+                    "values",
+                    Json::Arr(c.values.iter().map(|v| Json::str(v.clone())).collect()),
+                ));
+                Json::obj(members)
+            })
+            .collect(),
+    )
+}
+
+/// Decodes a scan request body.
+pub fn parse_scan_request(v: &Json) -> Result<ScanRequest, ProtocolError> {
+    let model = match v.get("model") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(_) => return Err(bad("\"model\" must be a string")),
+    };
+    let columns = parse_columns(v)?;
     let detectors = match v.get("detectors") {
         None | Some(Json::Null) => None,
         Some(Json::Arr(items)) => {
@@ -188,45 +217,39 @@ pub fn parse_scan_request(v: &Json) -> Result<ScanRequest, ProtocolError> {
     if merge.is_some() && detectors.is_none() {
         return Err(bad("\"merge\" requires \"detectors\""));
     }
+    let learn = match v.get("learn") {
+        None | Some(Json::Null) => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err(bad("\"learn\" must be a boolean")),
+    };
     Ok(ScanRequest {
         model,
         columns,
         detectors,
         merge,
+        learn,
     })
 }
 
 /// Encodes a scan request body.
 pub fn scan_request_to_json(model: Option<&str>, columns: &[Column]) -> Json {
-    scan_request_to_json_full(model, columns, None, None)
+    scan_request_to_json_full(model, columns, None, None, false)
 }
 
-/// Encodes a scan request body with the optional ensemble fields.
+/// Encodes a scan request body with the optional ensemble fields and
+/// the learning tap.
 pub fn scan_request_to_json_full(
     model: Option<&str>,
     columns: &[Column],
     detectors: Option<&[String]>,
     merge: Option<&str>,
+    learn: bool,
 ) -> Json {
-    let cols = columns
-        .iter()
-        .map(|c| {
-            let mut members = Vec::new();
-            if let Some(h) = &c.header {
-                members.push(("header", Json::str(h.clone())));
-            }
-            members.push((
-                "values",
-                Json::Arr(c.values.iter().map(|v| Json::str(v.clone())).collect()),
-            ));
-            Json::obj(members)
-        })
-        .collect();
     let mut members = Vec::new();
     if let Some(m) = model {
         members.push(("model", Json::str(m)));
     }
-    members.push(("columns", Json::Arr(cols)));
+    members.push(("columns", columns_to_json(columns)));
     if let Some(names) = detectors {
         members.push((
             "detectors",
@@ -236,7 +259,39 @@ pub fn scan_request_to_json_full(
     if let Some(m) = merge {
         members.push(("merge", Json::str(m)));
     }
+    if learn {
+        members.push(("learn", Json::Bool(true)));
+    }
     Json::obj(members)
+}
+
+/// Decodes a `POST /v1/learn` request body: just columns.
+pub fn parse_learn_request(v: &Json) -> Result<Vec<Column>, ProtocolError> {
+    parse_columns(v)
+}
+
+/// Encodes a `POST /v1/learn` request body.
+pub fn learn_request_to_json(columns: &[Column]) -> Json {
+    Json::obj(vec![("columns", columns_to_json(columns))])
+}
+
+/// Encodes the `202` learn response: how many columns were queued.
+pub fn learn_response_to_json(accepted: u64) -> Json {
+    Json::obj(vec![
+        ("status", Json::str("queued")),
+        ("accepted", Json::num(accepted as f64)),
+    ])
+}
+
+/// Decodes the learn response (the client side); returns the accepted
+/// column count.
+pub fn parse_learn_response(v: &Json) -> Result<u64, ProtocolError> {
+    if v.get("status").and_then(Json::as_str) != Some("queued") {
+        return Err(bad("\"status\" must be \"queued\""));
+    }
+    v.get("accepted")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad("\"accepted\" must be an integer"))
 }
 
 fn opt_str(v: Option<&Json>) -> Option<String> {
@@ -450,6 +505,8 @@ mod tests {
             r#"{"columns": [], "detectors": [1]}"#,
             r#"{"columns": [], "merge": 2, "detectors": ["autodetect"]}"#,
             r#"{"columns": [], "merge": "vote:2"}"#,
+            r#"{"columns": [], "learn": "yes"}"#,
+            r#"{"columns": [], "learn": 1}"#,
         ] {
             let v = parse(bad).unwrap();
             assert!(parse_scan_request(&v).is_err(), "accepted {bad}");
@@ -460,10 +517,43 @@ mod tests {
     fn ensemble_request_roundtrip() {
         let col = Column::from_strs(&["a", "b"], SourceTag::Local);
         let detectors = vec!["autodetect".to_string(), "fregex".to_string()];
-        let json = scan_request_to_json_full(Some("m"), &[col], Some(&detectors), Some("vote:2"));
+        let json =
+            scan_request_to_json_full(Some("m"), &[col], Some(&detectors), Some("vote:2"), false);
         let back = parse_scan_request(&parse(&json.to_text()).unwrap()).unwrap();
         assert_eq!(back.detectors.as_deref(), Some(&detectors[..]));
         assert_eq!(back.merge.as_deref(), Some("vote:2"));
+        assert!(!back.learn);
+    }
+
+    #[test]
+    fn learn_tap_flag_roundtrip() {
+        let col = Column::from_strs(&["a", "b"], SourceTag::Local);
+        let json =
+            scan_request_to_json_full(Some("m"), std::slice::from_ref(&col), None, None, true);
+        let back = parse_scan_request(&parse(&json.to_text()).unwrap()).unwrap();
+        assert!(back.learn);
+        // The tap is opt-in: plain encoders never emit the member.
+        let plain = scan_request_to_json(Some("m"), &[col]).to_text();
+        assert!(!plain.contains("learn"), "{plain}");
+    }
+
+    #[test]
+    fn learn_request_and_response_roundtrip() {
+        let mut col = Column::from_strs(&["1", "2"], SourceTag::Local);
+        col.header = Some("n".into());
+        let json = learn_request_to_json(&[col.clone()]);
+        let back = parse_learn_request(&parse(&json.to_text()).unwrap()).unwrap();
+        assert_eq!(back, vec![col]);
+
+        let resp = learn_response_to_json(17);
+        let accepted = parse_learn_response(&parse(&resp.to_text()).unwrap()).unwrap();
+        assert_eq!(accepted, 17);
+        for bad in [
+            r#"{"status": "nope", "accepted": 1}"#,
+            r#"{"status": "queued"}"#,
+        ] {
+            assert!(parse_learn_response(&parse(bad).unwrap()).is_err(), "{bad}");
+        }
     }
 
     #[test]

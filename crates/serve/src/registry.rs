@@ -3,21 +3,29 @@
 //!
 //! Every `*.bin` / `*.json` file in the directory is a model; its name is
 //! the file stem (`models/prod.bin` → `prod`). Lookup stats the backing
-//! file and reloads when its `(mtime, len)` fingerprint changed, bumping
-//! the entry's **generation**; the swap replaces the `Arc` in the map, so
-//! requests already holding the old model finish on it undisturbed —
-//! hot-reload never drops in-flight work. A reload that fails to parse
-//! (e.g. a partially copied file) keeps serving the previous model and
-//! counts a `reload_error`; combined with the trainer's atomic
-//! write-then-rename persistence this makes `retrain → overwrite → serve`
-//! race-free.
+//! file and reloads when its fingerprint changed, bumping the entry's
+//! **generation**; the swap replaces the `Arc` in the map, so requests
+//! already holding the old model finish on it undisturbed — hot-reload
+//! never drops in-flight work. A reload that fails to parse (e.g. a
+//! partially copied file) keeps serving the previous model and counts a
+//! `reload_error`; combined with the trainer's atomic write-then-rename
+//! persistence this makes `retrain → overwrite → serve` race-free.
+//!
+//! The fingerprint is `(mtime, len, fnv64(content))`, but content is only
+//! hashed while an entry is **racy** — loaded so close to its mtime that
+//! a same-length rewrite inside the filesystem's timestamp granularity
+//! could leave `(mtime, len)` unchanged (git's "racy clean" problem; the
+//! online learner's rapid retrain-and-rename swaps hit exactly this).
+//! Once the mtime has aged past the racy window and the hash still
+//! matches, the entry settles and lookups go back to a single cheap
+//! `stat`.
 
 use adt_core::{load_model, AdtError, AutoDetect};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::SystemTime;
+use std::time::{Duration, SystemTime};
 
 /// A model resolved for one request.
 #[derive(Debug, Clone)]
@@ -30,18 +38,61 @@ pub struct ModelHandle {
     pub generation: u64,
 }
 
+/// Identity of the bytes an entry was loaded from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fingerprint {
+    mtime: Option<SystemTime>,
+    len: u64,
+    fnv: u64,
+}
+
 #[derive(Debug)]
 struct Entry {
     path: PathBuf,
     model: Arc<AutoDetect>,
-    mtime: Option<SystemTime>,
-    len: u64,
+    fp: Fingerprint,
+    /// Loaded within [`RACY_WINDOW`] of its mtime: a same-length rewrite
+    /// could keep `(mtime, len)` fixed, so lookups re-hash content until
+    /// the entry settles.
+    racy: bool,
     generation: u64,
 }
 
-fn fingerprint(path: &Path) -> Option<(Option<SystemTime>, u64)> {
+/// Filesystems may round mtimes to whole seconds; a rewrite within this
+/// window of the recorded mtime can be invisible to `stat`.
+const RACY_WINDOW: Duration = Duration::from_secs(2);
+
+fn stat_fingerprint(path: &Path) -> Option<(Option<SystemTime>, u64)> {
     let meta = std::fs::metadata(path).ok()?;
     Some((meta.modified().ok(), meta.len()))
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn hash_file(path: &Path) -> Option<u64> {
+    std::fs::read(path).ok().map(|bytes| fnv64(&bytes))
+}
+
+/// True while a same-length rewrite could still leave `(mtime, len)`
+/// unchanged — the file's mtime is within the clock-granularity window
+/// of now (or unknown, which stays permanently suspect).
+fn is_racy(mtime: Option<SystemTime>) -> bool {
+    match mtime {
+        Some(m) => {
+            // adt-allow(determinism): reload-staleness window only; never reaches scan output
+            SystemTime::now()
+                .duration_since(m)
+                .map_or(true, |age| age < RACY_WINDOW)
+        }
+        None => true,
+    }
 }
 
 /// Named models from one directory.
@@ -71,15 +122,16 @@ impl ModelRegistry {
                 Some(s) => s.to_string(),
                 None => continue,
             };
-            let (mtime, len) = fingerprint(&path).unwrap_or((None, 0));
+            let (mtime, len) = stat_fingerprint(&path).unwrap_or((None, 0));
+            let fnv = hash_file(&path).unwrap_or(0);
             let model = Arc::new(load_model(&path)?);
             entries.insert(
                 name,
                 Entry {
                     path,
                     model,
-                    mtime,
-                    len,
+                    fp: Fingerprint { mtime, len, fnv },
+                    racy: is_racy(mtime),
                     generation: 1,
                 },
             );
@@ -101,6 +153,13 @@ impl ModelRegistry {
     /// The directory models are served from.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The backing file of a loaded model — where a retrain must write
+    /// (atomically, via [`adt_core::save_model`]) for hot-reload to pick
+    /// the new generation up. `None` for unknown names.
+    pub fn path_of(&self, name: &str) -> Option<PathBuf> {
+        self.read_entries().get(name).map(|e| e.path.clone())
     }
 
     /// A poisoned lock means some other worker panicked mid-read or
@@ -148,23 +207,69 @@ impl ModelRegistry {
 
     /// Resolves `name`, hot-reloading first when the backing file
     /// changed. Returns `None` for unknown names.
+    ///
+    /// Settled entries pay one `stat`; racy entries (see [`Entry::racy`])
+    /// additionally hash the file so a same-length same-second rewrite is
+    /// still caught.
     pub fn get(&self, name: &str) -> Option<ModelHandle> {
-        let (path, stale_fp) = {
+        // Cheap pass under the read lock: stat-only compare, plus the
+        // stale handle every keep-serving path returns.
+        let (stale, check) = {
             let entries = self.read_entries();
             let e = entries.get(name)?;
-            match fingerprint(&e.path) {
-                Some(fp) if fp != (e.mtime, e.len) => (e.path.clone(), fp),
-                // Unchanged (or the file vanished: keep serving what we
-                // have — models are immutable once loaded).
-                _ => {
-                    return Some(ModelHandle {
-                        name: name.to_string(),
-                        model: Arc::clone(&e.model),
-                        generation: e.generation,
-                    });
+            let stale = ModelHandle {
+                name: name.to_string(),
+                model: Arc::clone(&e.model),
+                generation: e.generation,
+            };
+            let check = match stat_fingerprint(&e.path) {
+                // The file vanished: keep serving what we have — models
+                // are immutable once loaded.
+                None => None,
+                Some(meta) => {
+                    let moved = meta != (e.fp.mtime, e.fp.len);
+                    if moved || e.racy {
+                        Some((e.path.clone(), e.fp, meta, moved))
+                    } else {
+                        None
+                    }
+                }
+            };
+            (stale, check)
+        };
+        let Some((path, known, meta, moved)) = check else {
+            return Some(stale);
+        };
+
+        // Outside any lock: the content hash decides what the stat
+        // could not.
+        let fnv = match hash_file(&path) {
+            Some(fnv) => fnv,
+            // Unreadable (mid-rename?): a moved stat still attempts the
+            // reload below (load_model classifies the failure); a
+            // racy-only probe keeps serving.
+            None if moved => known.fnv,
+            None => return Some(stale),
+        };
+        let new_fp = Fingerprint {
+            mtime: meta.0,
+            len: meta.1,
+            fnv,
+        };
+        if !moved && fnv == known.fnv {
+            // Racy probe, content unchanged. Once the mtime has aged out
+            // of the window, settle the entry so lookups stop hashing.
+            if !is_racy(known.mtime) {
+                let mut entries = self.write_entries();
+                if let Some(e) = entries.get_mut(name) {
+                    if e.fp == known {
+                        e.racy = false;
+                    }
                 }
             }
-        };
+            return Some(stale);
+        }
+
         // Changed on disk: reload outside any lock (loads can be slow),
         // then swap under the write lock.
         match load_model(&path) {
@@ -173,10 +278,10 @@ impl ModelRegistry {
                 let e = entries.get_mut(name)?;
                 // Another worker may have won the race; only bump once
                 // per observed fingerprint.
-                if (e.mtime, e.len) != stale_fp {
+                if e.fp != new_fp {
                     e.model = Arc::new(model);
-                    e.mtime = stale_fp.0;
-                    e.len = stale_fp.1;
+                    e.fp = new_fp;
+                    e.racy = is_racy(new_fp.mtime);
                     e.generation += 1;
                     self.reloads.fetch_add(1, Ordering::Relaxed);
                 }
@@ -189,13 +294,7 @@ impl ModelRegistry {
             Err(_) => {
                 // Unreadable mid-write file: keep the old model.
                 self.reload_errors.fetch_add(1, Ordering::Relaxed);
-                let entries = self.read_entries();
-                let e = entries.get(name)?;
-                Some(ModelHandle {
-                    name: name.to_string(),
-                    model: Arc::clone(&e.model),
-                    generation: e.generation,
-                })
+                Some(stale)
             }
         }
     }
@@ -276,6 +375,77 @@ mod tests {
         assert_eq!(reg.reloads(), 1);
         // The in-flight handle still sees the old model.
         assert_eq!(before.model.num_languages(), 2);
+    }
+
+    #[test]
+    fn same_length_same_mtime_swap_still_reloads() {
+        let dir = tmp_dir("racy_swap");
+        let path = dir.join("m.bin");
+        save_model(&tiny_model(), &path).unwrap();
+        let reg = ModelRegistry::open(&dir).unwrap();
+        let before = reg.get("m").unwrap();
+        assert_eq!(before.generation, 1);
+        let mtime = std::fs::metadata(&path).unwrap().modified().unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+
+        // Retrain to a model whose bytes differ only in an f64 — the file
+        // keeps its exact length — then pin the mtime back so the
+        // (mtime, len) stat is byte-for-byte identical to the original.
+        // This is the learner's rapid-swap worst case; only the content
+        // hash can see it.
+        let mut swapped = tiny_model();
+        swapped.languages[0].calibration.theta = Some(-0.25);
+        save_model(&swapped, &path).unwrap();
+        std::fs::File::options()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .set_modified(mtime)
+            .unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), len);
+        assert_eq!(std::fs::metadata(&path).unwrap().modified().unwrap(), mtime);
+
+        let after = reg.get("m").unwrap();
+        assert_eq!(after.generation, 2, "content hash must catch the swap");
+        assert_eq!(after.model.languages[0].calibration.theta, Some(-0.25));
+        // The in-flight handle still sees the pre-swap model.
+        assert_eq!(before.model.languages[0].calibration.theta, Some(-0.4));
+    }
+
+    #[test]
+    fn racy_entry_settles_once_mtime_ages_out() {
+        let dir = tmp_dir("racy_settle");
+        let path = dir.join("m.bin");
+        save_model(&tiny_model(), &path).unwrap();
+        // Age the file past the racy window before the registry loads it.
+        let old = SystemTime::now() - Duration::from_secs(10);
+        std::fs::File::options()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .set_modified(old)
+            .unwrap();
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert!(
+            !reg.read_entries().get("m").unwrap().racy,
+            "old mtime must load settled"
+        );
+
+        // A racy load settles after one lookup past the window.
+        save_model(&tiny_model(), &path).unwrap();
+        assert_eq!(reg.get("m").unwrap().generation, 2);
+        assert!(reg.read_entries().get("m").unwrap().racy);
+        let aged = SystemTime::now() - Duration::from_secs(10);
+        std::fs::File::options()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .set_modified(aged)
+            .unwrap();
+        let h = reg.get("m").unwrap(); // reload: mtime moved
+        assert_eq!(h.generation, 3);
+        let _ = reg.get("m").unwrap(); // settles: aged mtime, same hash
+        assert!(!reg.read_entries().get("m").unwrap().racy);
     }
 
     #[test]

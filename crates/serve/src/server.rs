@@ -22,6 +22,7 @@
 use crate::batch::{run_batcher, ScanJob};
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::json::{self, Json};
+use crate::learn::{self, LearnConfig};
 use crate::protocol;
 use crate::registry::{ModelHandle, ModelRegistry};
 use crate::stats::ServerStats;
@@ -55,6 +56,9 @@ pub struct ServeConfig {
     pub io_timeout: Duration,
     /// Most requests merged into one micro-batch dispatch.
     pub max_batch_jobs: usize,
+    /// Online learning loop; `None` disables `POST /v1/learn` and the
+    /// scan tap.
+    pub learn: Option<LearnConfig>,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +71,7 @@ impl Default for ServeConfig {
             max_body_bytes: 8 << 20,
             io_timeout: Duration::from_secs(10),
             max_batch_jobs: 32,
+            learn: None,
         }
     }
 }
@@ -102,11 +107,43 @@ pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    /// Registry model the learn loop retrains, resolved and validated
+    /// at bind time; `None` when learning is disabled.
+    learn_target: Option<String>,
 }
 
 impl Server {
     /// Binds the listener. The server starts serving on [`Server::run`].
+    ///
+    /// A learn-enabled configuration is validated here: the training
+    /// knobs must pass [`adt_core::AutoDetectConfig::validate`] and the
+    /// target model must resolve to a loaded registry entry — a learner
+    /// that could never swap is a deployment error worth failing fast on.
     pub fn bind(config: ServeConfig, registry: ModelRegistry) -> Result<Server, AdtError> {
+        let learn_target = match &config.learn {
+            None => None,
+            Some(learn) => {
+                learn.train.validate()?;
+                let name = learn
+                    .model
+                    .clone()
+                    .or_else(|| registry.default_name())
+                    .ok_or_else(|| {
+                        AdtError::Config(
+                            "learn target is ambiguous: multiple models are loaded and none \
+                             is named \"default\"; set LearnConfig::model"
+                                .into(),
+                        )
+                    })?;
+                if registry.path_of(&name).is_none() {
+                    return Err(AdtError::Config(format!(
+                        "learn target {name:?} is not a loaded model (have {:?})",
+                        registry.names()
+                    )));
+                }
+                Some(name)
+            }
+        };
         let addrs: Vec<SocketAddr> = config
             .addr
             .to_socket_addrs()
@@ -121,6 +158,7 @@ impl Server {
             listener,
             local_addr,
             shutdown: Arc::new(AtomicBool::new(false)),
+            learn_target,
         })
     }
 
@@ -186,6 +224,26 @@ impl Server {
                 .map_err(AdtError::Io)?
         };
 
+        // The learn loop: a bounded ingest queue feeding one background
+        // learner thread. Workers hold the only senders after spawn, so
+        // worker drain disconnects the learner too.
+        let (learn_tx, learner) = match (&self.config.learn, &self.learn_target) {
+            (Some(cfg), Some(target)) => {
+                let (tx, rx) = mpsc::sync_channel::<Vec<Column>>(cfg.queue_capacity.max(1));
+                let cfg = cfg.clone();
+                let target = target.clone();
+                let registry = Arc::clone(&self.registry);
+                let stats = Arc::clone(&self.stats);
+                let handle = self.handle();
+                let join = thread::Builder::new()
+                    .name("adt-learner".into())
+                    .spawn(move || learn::run_learner(rx, cfg, target, registry, stats, handle))
+                    .map_err(AdtError::Io)?;
+                (Some(tx), Some(join))
+            }
+            _ => (None, None),
+        };
+
         let mut worker_joins = Vec::with_capacity(workers);
         for i in 0..workers {
             let ctx = WorkerCtx {
@@ -193,6 +251,7 @@ impl Server {
                 registry: Arc::clone(&self.registry),
                 stats: Arc::clone(&self.stats),
                 job_tx: job_tx.clone(),
+                learn_tx: learn_tx.clone(),
                 handle: self.handle(),
                 max_body: self.config.max_body_bytes,
                 engine_threads: self.config.engine_threads,
@@ -206,7 +265,9 @@ impl Server {
         }
         // Workers own the only remaining job senders; when the last
         // worker exits, the batcher's receiver disconnects and it stops.
+        // Same for the learn senders and the learner.
         drop(job_tx);
+        drop(learn_tx);
 
         // Accept loop: runs on the calling thread until shutdown.
         loop {
@@ -239,6 +300,9 @@ impl Server {
         for join in worker_joins {
             let _ = join.join();
         }
+        if let Some(join) = learner {
+            let _ = join.join();
+        }
         let _ = batcher.join();
         Ok(())
     }
@@ -249,6 +313,8 @@ struct WorkerCtx {
     registry: Arc<ModelRegistry>,
     stats: Arc<ServerStats>,
     job_tx: mpsc::Sender<ScanJob>,
+    /// Present on learn-enabled servers: the bounded ingest queue.
+    learn_tx: Option<mpsc::SyncSender<Vec<Column>>>,
     handle: ServerHandle,
     max_body: usize,
     engine_threads: usize,
@@ -368,11 +434,15 @@ fn route(ctx: &WorkerCtx, req: &Request) -> (u16, Json) {
             (200, Json::obj(vec![("models", Json::Arr(rows))]))
         }
         ("POST", "/v1/scan") => handle_scan(ctx, req),
+        ("POST", "/v1/learn") => handle_learn(ctx, req),
         ("POST", "/v1/shutdown") => {
             ctx.handle.shutdown();
             (200, Json::obj(vec![("status", Json::str("shutting down"))]))
         }
-        (_, "/v1/healthz" | "/v1/stats" | "/v1/models" | "/v1/scan" | "/v1/shutdown") => (
+        (
+            _,
+            "/v1/healthz" | "/v1/stats" | "/v1/models" | "/v1/scan" | "/v1/learn" | "/v1/shutdown",
+        ) => (
             405,
             protocol::error_to_json(&format!("method {} not allowed here", req.method)),
         ),
@@ -429,6 +499,32 @@ fn handle_scan(ctx: &WorkerCtx, req: &Request) -> (u16, Json) {
             )
         }
     };
+    if scan.learn {
+        // Opt-in tap: queue a copy of the columns for the learner. The
+        // tap is best-effort — a full queue sheds the batch (counted)
+        // rather than failing or slowing the scan.
+        let Some(tx) = &ctx.learn_tx else {
+            return (
+                400,
+                protocol::error_to_json(
+                    "\"learn\": true requires a server started with online learning enabled",
+                ),
+            );
+        };
+        let tapped = scan.columns.len() as u64;
+        match tx.try_send(scan.columns.clone()) {
+            Ok(()) => {
+                ctx.stats
+                    .learn_ingested_columns
+                    .fetch_add(tapped, Ordering::Relaxed);
+            }
+            Err(_) => {
+                ctx.stats
+                    .learn_dropped_columns
+                    .fetch_add(tapped, Ordering::Relaxed);
+            }
+        }
+    }
     if let Some(detectors) = &scan.detectors {
         return handle_ensemble_scan(
             ctx,
@@ -476,6 +572,60 @@ fn handle_scan(ctx: &WorkerCtx, req: &Request) -> (u16, Json) {
             &result.columns,
         ),
     )
+}
+
+/// `POST /v1/learn`: queue uploaded columns for the background learner.
+/// `202` with the accepted count on success; `503` when the bounded
+/// ingest queue is full (backpressure, mirroring the accept queue);
+/// `409` when the server runs without a learn loop.
+fn handle_learn(ctx: &WorkerCtx, req: &Request) -> (u16, Json) {
+    let Some(tx) = &ctx.learn_tx else {
+        return (
+            409,
+            protocol::error_to_json(
+                "online learning is disabled; start the server with learning enabled \
+                 (autodetect serve --learn)",
+            ),
+        );
+    };
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return (400, protocol::error_to_json("body is not UTF-8")),
+    };
+    let value = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return (400, protocol::error_to_json(&format!("invalid JSON: {e}"))),
+    };
+    let columns = match protocol::parse_learn_request(&value) {
+        Ok(c) => c,
+        Err(e) => return (400, protocol::error_to_json(&e.to_string())),
+    };
+    if columns.is_empty() {
+        return (
+            400,
+            protocol::error_to_json("\"columns\" must name at least one column"),
+        );
+    }
+    let accepted = columns.len() as u64;
+    match tx.try_send(columns) {
+        Ok(()) => {
+            ctx.stats.learn_requests.fetch_add(1, Ordering::Relaxed);
+            ctx.stats
+                .learn_ingested_columns
+                .fetch_add(accepted, Ordering::Relaxed);
+            (202, protocol::learn_response_to_json(accepted))
+        }
+        Err(TrySendError::Full(_)) => {
+            ctx.stats
+                .learn_dropped_columns
+                .fetch_add(accepted, Ordering::Relaxed);
+            (
+                503,
+                protocol::error_to_json("learn queue is full, try again"),
+            )
+        }
+        Err(TrySendError::Disconnected(_)) => (500, protocol::error_to_json("learner stopped")),
+    }
 }
 
 /// The ensemble path of `POST /v1/scan`: builds the requested detector

@@ -95,6 +95,27 @@ pub struct ServerStats {
     pub npmi_memo_hits: AtomicU64,
     /// Successful ensemble scans (requests that passed `detectors`).
     pub ensemble_scans: AtomicU64,
+    /// `POST /v1/learn` requests accepted (answered `202`).
+    pub learn_requests: AtomicU64,
+    /// Columns queued for the learner (endpoint + scan tap).
+    pub learn_ingested_columns: AtomicU64,
+    /// Columns dropped because the learn queue was full or closed.
+    pub learn_dropped_columns: AtomicU64,
+    /// Batches the learner absorbed into its accumulators.
+    pub learn_absorbs: AtomicU64,
+    /// Incremental retrains completed.
+    pub learn_retrains: AtomicU64,
+    /// Retrained models swapped into the live registry.
+    pub learn_swaps: AtomicU64,
+    /// Retrains skipped because the model selected zero languages.
+    pub learn_skipped: AtomicU64,
+    /// Learner failures (absorb, retrain, or persist); the previous
+    /// generation keeps serving through every one of them.
+    pub learn_errors: AtomicU64,
+    /// Gauge: columns absorbed but not yet retrained on.
+    pub learn_pending_columns: AtomicU64,
+    /// Gauge: wall milliseconds of the most recent retrain.
+    pub learn_last_retrain_ms: AtomicU64,
     /// End-to-end scan-request latency.
     pub latency: LatencyHistogram,
     per_model: Mutex<HashMap<String, u64>>,
@@ -119,6 +140,16 @@ impl Default for ServerStats {
             npmi_probes: AtomicU64::new(0),
             npmi_memo_hits: AtomicU64::new(0),
             ensemble_scans: AtomicU64::new(0),
+            learn_requests: AtomicU64::new(0),
+            learn_ingested_columns: AtomicU64::new(0),
+            learn_dropped_columns: AtomicU64::new(0),
+            learn_absorbs: AtomicU64::new(0),
+            learn_retrains: AtomicU64::new(0),
+            learn_swaps: AtomicU64::new(0),
+            learn_skipped: AtomicU64::new(0),
+            learn_errors: AtomicU64::new(0),
+            learn_pending_columns: AtomicU64::new(0),
+            learn_last_retrain_ms: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             per_model: Mutex::new(HashMap::new()),
             per_detector: Mutex::new(HashMap::new()),
@@ -208,6 +239,21 @@ impl ServerStats {
             ("npmi_probes", get(&self.npmi_probes)),
             ("npmi_memo_hits", get(&self.npmi_memo_hits)),
             ("ensemble_scans", get(&self.ensemble_scans)),
+            (
+                "learn",
+                Json::obj(vec![
+                    ("requests", get(&self.learn_requests)),
+                    ("ingested_columns", get(&self.learn_ingested_columns)),
+                    ("dropped_columns", get(&self.learn_dropped_columns)),
+                    ("absorbs", get(&self.learn_absorbs)),
+                    ("retrains", get(&self.learn_retrains)),
+                    ("swaps", get(&self.learn_swaps)),
+                    ("skipped", get(&self.learn_skipped)),
+                    ("errors", get(&self.learn_errors)),
+                    ("pending_columns", get(&self.learn_pending_columns)),
+                    ("last_retrain_ms", get(&self.learn_last_retrain_ms)),
+                ]),
+            ),
             ("scan_latency_p50_us", quant(0.5)),
             ("scan_latency_p99_us", quant(0.99)),
             ("model_hits", Json::Obj(per_model)),
@@ -269,6 +315,34 @@ mod tests {
         );
         assert!(v.get("scan_latency_p50_us").unwrap().as_u64().is_some());
         assert!(v.get("uptime_ms").is_some());
+    }
+
+    #[test]
+    fn learn_counters_surface_as_a_nested_object() {
+        let s = ServerStats::default();
+        s.learn_ingested_columns.fetch_add(40, Ordering::Relaxed);
+        s.learn_retrains.fetch_add(2, Ordering::Relaxed);
+        s.learn_swaps.fetch_add(1, Ordering::Relaxed);
+        s.learn_pending_columns.store(8, Ordering::Relaxed);
+        let v = s.to_json();
+        let learn = v.get("learn").expect("learn object missing");
+        assert_eq!(
+            learn.get("ingested_columns").and_then(Json::as_u64),
+            Some(40)
+        );
+        assert_eq!(learn.get("retrains").and_then(Json::as_u64), Some(2));
+        assert_eq!(learn.get("swaps").and_then(Json::as_u64), Some(1));
+        assert_eq!(learn.get("pending_columns").and_then(Json::as_u64), Some(8));
+        for key in [
+            "requests",
+            "dropped_columns",
+            "absorbs",
+            "skipped",
+            "errors",
+            "last_retrain_ms",
+        ] {
+            assert!(learn.get(key).is_some(), "missing learn.{key}");
+        }
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! protocol edge cases, concurrent clients vs. a direct engine scan,
 //! hot-reload, backpressure, and graceful shutdown.
 
-use adt_core::{save_model, ScanEngine};
-use adt_corpus::{Column, SourceTag};
+use adt_core::{save_model, AutoDetectConfig, ScanEngine};
+use adt_corpus::{generate_corpus, Column, Corpus, CorpusProfile, SourceTag};
 use adt_serve::testutil::{tiny_model, tiny_model_one_language};
-use adt_serve::{Client, ClientError, Json, ModelRegistry, ServeConfig, Server};
+use adt_serve::{Client, ClientError, Json, LearnConfig, ModelRegistry, ServeConfig, Server};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -496,6 +496,151 @@ fn graceful_shutdown_drains_in_flight_requests() {
     assert!(TcpStream::connect_timeout(&client.addr(), Duration::from_millis(500)).is_err());
     // Idempotent from the handle side too.
     handle.shutdown();
+}
+
+fn clean_web_corpus(columns: usize) -> Corpus {
+    let mut p = CorpusProfile::web(columns);
+    p.dirty_rate = 0.0;
+    generate_corpus(&p)
+}
+
+#[test]
+fn learn_loop_retrains_and_swaps_under_concurrent_scans() {
+    let corpus = clean_web_corpus(600);
+    let split = 400;
+    let seed = Corpus::from_columns(corpus.columns()[..split].to_vec());
+    let delta: Vec<Column> = corpus.columns()[split..].to_vec();
+
+    let train = AutoDetectConfig {
+        training_examples: 2_000,
+        train_threads: 2,
+        ..AutoDetectConfig::small()
+    };
+    let learn = LearnConfig {
+        absorb_columns: 150,
+        // Long enough that only the column threshold can fire, so the
+        // test sees exactly one retrain.
+        absorb_interval: Duration::from_secs(3_600),
+        queue_capacity: 16,
+        seed_corpus: Some(seed),
+        ..LearnConfig::new(train)
+    };
+    let config = ServeConfig {
+        workers: 4,
+        learn: Some(learn),
+        ..ServeConfig::default()
+    };
+    let (client, handle, join) = start("learn_loop", config);
+
+    let before = client.scan(None, &dirty_columns()).unwrap();
+    assert_eq!(before.generation, 1);
+
+    // Scan continuously while the learner ingests, retrains, and swaps:
+    // every scan must succeed, on generation 1 or 2 and nothing else —
+    // a half-installed model would surface here as a failure or a
+    // generation outside the set.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut scanners = Vec::new();
+    for _ in 0..3 {
+        let client = client.clone();
+        let stop = Arc::clone(&stop);
+        scanners.push(std::thread::spawn(move || {
+            let mut seen = std::collections::BTreeSet::new();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let r = client
+                    .scan(None, &dirty_columns())
+                    .expect("scan during retrain");
+                assert!(
+                    r.generation == 1 || r.generation == 2,
+                    "mixed/unknown generation {}",
+                    r.generation
+                );
+                seen.insert(r.generation);
+            }
+            seen
+        }));
+    }
+
+    // Stream the delta through both ingest paths: explicit uploads and
+    // the scan tap. 200 columns crosses the 150-column threshold.
+    let mut sent = 0u64;
+    for chunk in delta.chunks(50) {
+        let accepted = client.learn(chunk).unwrap();
+        assert_eq!(accepted, chunk.len() as u64);
+        sent += accepted;
+    }
+    assert!(sent >= 150, "sent {sent}");
+    let tapped = client.scan_and_learn(None, &dirty_columns()).unwrap();
+    assert!(tapped.generation >= 1);
+
+    // Wait for the retrain + swap to land.
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    let learn_stats = loop {
+        let stats = client.get("/v1/stats").unwrap();
+        let learn = stats
+            .get("learn")
+            .expect("stats carry a learn section")
+            .clone();
+        if learn.get("swaps").and_then(Json::as_u64) >= Some(1) {
+            break learn;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "learner never swapped: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(learn_stats.get("errors").and_then(Json::as_u64), Some(0));
+    assert_eq!(learn_stats.get("skipped").and_then(Json::as_u64), Some(0));
+    assert!(learn_stats.get("retrains").and_then(Json::as_u64) >= Some(1));
+    assert!(learn_stats.get("ingested_columns").and_then(Json::as_u64) >= Some(sent));
+    assert!(learn_stats.get("requests").and_then(Json::as_u64) >= Some(4));
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let mut seen = std::collections::BTreeSet::new();
+    for t in scanners {
+        seen.extend(t.join().unwrap());
+    }
+    assert!(seen.contains(&1), "generations observed: {seen:?}");
+
+    // The swap is already live: the very next scan serves generation 2,
+    // and the model is the retrained one (not the 2-language tiny seed).
+    let after = client.scan(None, &dirty_columns()).unwrap();
+    assert_eq!(after.generation, 2);
+    let models = client.get("/v1/models").unwrap();
+    let row = &models.get("models").unwrap().as_arr().unwrap()[0];
+    assert!(row.get("languages").and_then(Json::as_u64) >= Some(1));
+
+    handle.shutdown();
+    join.finish().unwrap();
+}
+
+#[test]
+fn learn_endpoints_reject_when_learning_is_disabled() {
+    let (client, handle, join) = start("learn_disabled", ServeConfig::default());
+
+    // POST /v1/learn without a learn loop → 409.
+    match client.learn(&dirty_columns()).unwrap_err() {
+        ClientError::Status { status, message } => {
+            assert_eq!(status, 409);
+            assert!(message.contains("disabled"), "{message}");
+        }
+        other => panic!("expected status error, got {other}"),
+    }
+    // `"learn": true` on a scan is an explicit request, not a hint — it
+    // fails loudly rather than silently not learning.
+    match client.scan_and_learn(None, &dirty_columns()).unwrap_err() {
+        ClientError::Status { status, message } => {
+            assert_eq!(status, 400);
+            assert!(message.contains("learn"), "{message}");
+        }
+        other => panic!("expected status error, got {other}"),
+    }
+    // Plain scans are untouched.
+    assert!(client.scan(None, &dirty_columns()).is_ok());
+
+    handle.shutdown();
+    join.finish().unwrap();
 }
 
 #[test]

@@ -4,9 +4,11 @@
 # and the corpus-major training pipeline against the language-major
 # reference build, then writes BENCH_scan.json (override the path with
 # BENCH_OUT) with per-shape median ns/op, NPMI probe counters, training
-# throughput (columns/sec, values/sec, speedup vs reference), and an
+# throughput (columns/sec, values/sec, speedup vs reference), an
 # `ensemble` section timing the multi-detector engine serial vs all
-# cores with per-detector lanes.
+# cores with per-detector lanes, and an `online` section racing the
+# serve loop's incremental absorb + retrain against a from-scratch
+# union train (byte-identity checked).
 #
 #   scripts/bench_report.sh             # full: release build, full widths
 #   scripts/bench_report.sh quick       # smoke: debug build, half widths

@@ -29,7 +29,7 @@ mod cli {
 
     /// Options that take a value; everything else starting with `--` is a
     /// boolean flag.
-    pub const VALUED: [&str; 19] = [
+    pub const VALUED: [&str; 24] = [
         "--out",
         "--model",
         "--corpus",
@@ -49,10 +49,15 @@ mod cli {
         "--queue",
         "--detectors",
         "--merge",
+        "--learn-model",
+        "--learn-absorb",
+        "--learn-interval",
+        "--learn-queue",
+        "--learn-seed",
     ];
 
     /// Boolean flags (present or absent, no value).
-    pub const FLAGS: [&str; 2] = ["--no-header", "--stream"];
+    pub const FLAGS: [&str; 3] = ["--no-header", "--stream", "--learn"];
 
     /// Parses raw arguments (without the program name).
     pub fn parse(raw: &[String]) -> Result<Args, String> {
@@ -161,8 +166,11 @@ USAGE:
   autodetect check VALUE1 VALUE2 --model MODEL.json
   autodetect serve --models DIR [--addr HOST:PORT] [--threads N]
                    [--workers N] [--queue N]
+                   [--learn] [--learn-model NAME] [--learn-absorb N]
+                   [--learn-interval SECS] [--learn-queue N]
+                   [--learn-seed CORPUS] [--space full|coarse] [--examples N]
   autodetect query FILE.csv --addr HOST:PORT [--model NAME]
-                   [--delimiter C] [--no-header] [--top N]
+                   [--delimiter C] [--no-header] [--top N] [--learn]
                    [--detectors NAME,NAME,…] [--merge union|vote:K|calibrated]
   autodetect stop --addr HOST:PORT
 
@@ -191,7 +199,19 @@ POST /v1/shutdown on --addr (default 127.0.0.1:7171; port 0 picks an
 ephemeral one, printed as `listening on HOST:PORT`). Models hot-reload
 when their file changes. `query` round-trips a CSV through a running
 server and prints findings in `scan`'s format; `stop` shuts a server
-down gracefully, draining in-flight requests.";
+down gracefully, draining in-flight requests.
+
+--learn turns on the online learning loop: the server also answers
+POST /v1/learn and absorbs uploaded columns into an incremental trainer,
+retraining once --learn-absorb columns arrived (default 256) or the
+oldest pending column is --learn-interval seconds old (default 60), then
+atomically swapping the new model over --learn-model (default: the
+registry default). Retrains use --space (default coarse for serve) and
+--examples (default 4000); --learn-seed pre-loads the corpus the serving
+model was trained on so the first retrain is incremental, not a cold
+start. `query --learn` scans as usual and additionally feeds the
+uploaded columns to the learner (best-effort; incompatible with
+--detectors). Progress is visible under `learn` in GET /v1/stats.";
 
 fn profile_by_name(name: &str, columns: usize) -> Result<CorpusProfile, String> {
     let mut p = match name {
@@ -430,17 +450,61 @@ fn cmd_scan_ensemble(
     Ok(())
 }
 
+/// Builds the serve learn loop's configuration from `--learn-*` (and the
+/// shared `--space` / `--examples` training knobs).
+fn learn_config(args: &cli::Args) -> Result<Option<auto_detect::serve::LearnConfig>, String> {
+    use auto_detect::serve::LearnConfig;
+    let tuned = [
+        "--learn-model",
+        "--learn-absorb",
+        "--learn-interval",
+        "--learn-queue",
+        "--learn-seed",
+    ]
+    .iter()
+    .find(|k| args.options.contains_key(**k));
+    if !args.has("--learn") {
+        if let Some(k) = tuned {
+            return Err(format!("{k} requires --learn"));
+        }
+        return Ok(None);
+    }
+    let space = match args.opt_or("--space", "coarse") {
+        "full" | "144" => auto_detect::core::config::LanguageSpace::Restricted144,
+        "coarse" | "36" => auto_detect::core::config::LanguageSpace::Coarse36,
+        other => return Err(format!("unknown --space {other:?} (full|coarse)")),
+    };
+    let train = AutoDetectConfig::builder()
+        .space(space)
+        .training_examples(args.num("--examples", 4_000usize)?)
+        .online_absorb_columns(args.num("--learn-absorb", 256usize)?)
+        .online_interval_secs(args.num("--learn-interval", 60u64)?)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut learn = LearnConfig::new(train);
+    learn.model = args.options.get("--learn-model").cloned();
+    learn.queue_capacity = args.num("--learn-queue", 64usize)?;
+    if let Some(path) = args.options.get("--learn-seed") {
+        learn.seed_corpus =
+            Some(Corpus::load(path).map_err(|e| format!("loading seed corpus {path}: {e}"))?);
+    }
+    Ok(Some(learn))
+}
+
 fn cmd_serve(args: &cli::Args) -> Result<(), String> {
     use auto_detect::serve::{ModelRegistry, ServeConfig, Server};
     let dir = args
         .options
         .get("--models")
         .ok_or("serve requires --models DIR (a directory of trained *.bin/*.json models)")?;
+    let learn = learn_config(args)?;
+    let learning = learn.is_some();
     let config = ServeConfig {
         addr: args.opt_or("--addr", "127.0.0.1:7171").to_string(),
         engine_threads: args.num("--threads", 0usize)?,
         workers: args.num("--workers", 0usize)?,
         queue_capacity: args.num("--queue", 128usize)?,
+        learn,
         ..ServeConfig::default()
     };
     let registry = ModelRegistry::open(dir).map_err(|e| e.to_string())?;
@@ -450,6 +514,9 @@ fn cmd_serve(args: &cli::Args) -> Result<(), String> {
         registry.names()
     );
     let server = Server::bind(config, registry).map_err(|e| e.to_string())?;
+    if learning {
+        eprintln!("online learning enabled (POST /v1/learn, scan tap via \"learn\": true)");
+    }
     // To stdout, and flushed: smoke tests and orchestrators parse this
     // line to discover an ephemeral port.
     println!("listening on {}", server.local_addr());
@@ -483,6 +550,13 @@ fn cmd_query(args: &cli::Args) -> Result<(), String> {
                 .into(),
         );
     }
+    if args.has("--learn") && args.options.contains_key("--detectors") {
+        return Err(
+            "--learn is incompatible with --detectors (the learner absorbs \
+                    plain scans only)"
+                .into(),
+        );
+    }
     let columns = load_csv(file, delim, has_header).map_err(|e| format!("loading {file}: {e}"))?;
     let client = Client::new(addr).map_err(|e| e.to_string())?;
     let model = args.options.get("--model").map(|s| s.as_str());
@@ -496,6 +570,7 @@ fn cmd_query(args: &cli::Args) -> Result<(), String> {
                 args.options.get("--merge").map(|s| s.as_str()),
             )
         }
+        None if args.has("--learn") => client.scan_and_learn(model, &columns),
         None => client.scan(model, &columns),
     }
     .map_err(|e| format!("querying {addr}: {e}"))?;
