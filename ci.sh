@@ -11,6 +11,29 @@
 set -eu
 cd "$(dirname "$0")"
 
+# Quick bench smoke shared by both branches: write the report to a
+# scratch path (the committed BENCH_scan.json holds release numbers and
+# must not be overwritten by a CI debug run), then assert the adaptive
+# scan dispatcher picks the direct kernel on the all-distinct shape and
+# is no slower than the reference kernel there (10% debug-noise slack).
+bench_smoke() {
+    SMOKE_DIR="$(mktemp -d)"
+    BENCH_OUT="$SMOKE_DIR/BENCH_scan.json" scripts/bench_report.sh quick
+    python3 - "$SMOKE_DIR/BENCH_scan.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+shape = next(s for s in data["shapes"] if s["shape"] == "all_distinct")
+assert shape["kernel"] == "direct", f"all_distinct picked {shape['kernel']}"
+cold, ref = shape["group_cold_median_ns"], shape["reference_median_ns"]
+assert cold <= ref * 1.10, f"adaptive kernel slower than reference: {cold} vs {ref}"
+print(f"bench smoke ok: all_distinct direct kernel {cold} ns vs reference {ref} ns")
+EOF
+    rm -rf "$SMOKE_DIR"
+}
+
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
@@ -29,7 +52,7 @@ if [ "${ADT_OFFLINE:-0}" = "1" ]; then
     echo "== learn loop smoke test (offline stubs)"
     scripts/learn_smoke.sh "${ADT_OFFLINE_DIR:-/tmp/adt-offline-check}/target/debug/autodetect"
     echo "== bench report smoke: kernels + train pipeline (offline stubs)"
-    scripts/bench_report.sh quick
+    bench_smoke
     echo "== matrix report smoke: detector x error-class (offline stubs)"
     scripts/matrix_report.sh quick
 else
@@ -45,7 +68,7 @@ else
     echo "== learn loop smoke test"
     scripts/learn_smoke.sh target/debug/autodetect
     echo "== bench report smoke: kernels + train pipeline"
-    scripts/bench_report.sh quick
+    bench_smoke
     echo "== matrix report smoke: detector x error-class"
     scripts/matrix_report.sh quick
 fi

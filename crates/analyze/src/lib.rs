@@ -87,6 +87,7 @@ pub fn classify(rel: &str) -> FileClass {
             || rel == "crates/core/src/online.rs"
             || rel == "crates/stats/src/build.rs"
             || rel == "crates/stats/src/pipeline.rs"
+            || rel == "crates/patterns/src/classify.rs"
             || (serve_src && !rel.ends_with("/testutil.rs") && !rel.ends_with("/client.rs")),
         lock_scope: serve_src,
     }

@@ -75,6 +75,16 @@ fn seeded_violations_reported_with_file_and_line() {
         has(f, "crates/stats/src/pipeline.rs", 8, "panic-safety"),
         "{f:#?}"
     );
+    // panic-safety in the patterns classifier scope: the SWAR scanner's
+    // hot path is held to the same kernel rules (computed index, unwrap).
+    assert!(
+        has(f, "crates/patterns/src/classify.rs", 4, "panic-safety"),
+        "{f:#?}"
+    );
+    assert!(
+        has(f, "crates/patterns/src/classify.rs", 8, "panic-safety"),
+        "{f:#?}"
+    );
     // lock-discipline: blocking send under a guard, and both sides of an
     // inconsistent cross-file acquisition order.
     assert!(
@@ -114,12 +124,12 @@ fn per_rule_counts_are_exact() {
     let a = run_fixture();
     let count = |rule: &str| a.findings.iter().filter(|f| f.rule == rule).count();
     assert_eq!(count("determinism"), 5, "{:#?}", a.findings);
-    assert_eq!(count("panic-safety"), 6, "{:#?}", a.findings);
+    assert_eq!(count("panic-safety"), 8, "{:#?}", a.findings);
     assert_eq!(count("lock-discipline"), 3, "{:#?}", a.findings);
     assert_eq!(count("allow-audit"), 3, "{:#?}", a.findings);
     assert_eq!(count("stub-parity"), 1, "{:#?}", a.findings);
-    assert_eq!(a.findings.len(), 18, "{:#?}", a.findings);
-    assert_eq!(a.files_scanned, 8);
+    assert_eq!(a.findings.len(), 20, "{:#?}", a.findings);
+    assert_eq!(a.files_scanned, 9);
 }
 
 #[test]
@@ -144,6 +154,11 @@ fn justified_markers_suppress_their_findings() {
     // Suppressed: worker-slot expect in the stats pipeline scope.
     assert!(
         !has(f, "crates/stats/src/pipeline.rs", 13, "panic-safety"),
+        "{f:#?}"
+    );
+    // Suppressed: nonzero-diff expect in the patterns classifier scope.
+    assert!(
+        !has(f, "crates/patterns/src/classify.rs", 14, "panic-safety"),
         "{f:#?}"
     );
     // Suppressed: recv-under-guard handoff under a reasoned marker.
@@ -180,14 +195,14 @@ fn json_report_is_stable_and_structured() {
     let second = run_fixture().to_json();
     assert_eq!(first, second, "JSON report must be byte-stable across runs");
     assert!(first.contains("\"version\": 1"));
-    assert!(first.contains("\"files_scanned\": 8"));
+    assert!(first.contains("\"files_scanned\": 9"));
     assert!(first.contains("\"determinism\": 5"));
-    assert!(first.contains("\"panic-safety\": 6"));
+    assert!(first.contains("\"panic-safety\": 8"));
     assert!(first.contains("\"lock-discipline\": 3"));
     assert!(first.contains("\"allow-audit\": 3"));
     assert!(first.contains("\"stub-parity\": 1"));
     // One JSON row per finding.
-    assert_eq!(first.matches("{\"file\": ").count(), 18);
+    assert_eq!(first.matches("{\"file\": ").count(), 20);
 }
 
 #[test]

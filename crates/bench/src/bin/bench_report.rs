@@ -37,6 +37,9 @@ struct ShapeReport {
     shape: &'static str,
     d: usize,
     groups_per_language: Vec<u64>,
+    /// Which scan kernel the adaptive dispatcher picked ("group" or
+    /// "direct") — a pure function of the shape's d'/d ratio.
+    kernel: &'static str,
     group_cold_ns: u64,
     group_warm_ns: u64,
     reference_ns: u64,
@@ -100,6 +103,11 @@ fn run_shape(model: &AutoDetect, shape: &'static str, quick: bool, iters: usize)
         shape,
         d,
         groups_per_language: group_stats.groups_per_language.clone(),
+        kernel: if group_stats.kernel_choices.direct > 0 {
+            "direct"
+        } else {
+            "group"
+        },
         group_cold_ns,
         group_warm_ns,
         reference_ns,
@@ -398,6 +406,7 @@ fn json_report(
         let groups: Vec<String> = r.groups_per_language.iter().map(u64::to_string).collect();
         s.push_str(&format!(
             "    {{\"shape\": \"{}\", \"d\": {}, \"groups_per_language\": [{}], \
+             \"kernel\": \"{}\", \
              \"group_cold_median_ns\": {}, \"group_warm_median_ns\": {}, \
              \"reference_median_ns\": {}, \"group_npmi_probes\": {}, \
              \"group_npmi_memo_hits\": {}, \"reference_npmi_probes\": {}, \
@@ -405,6 +414,7 @@ fn json_report(
             r.shape,
             r.d,
             groups.join(", "),
+            r.kernel,
             r.group_cold_ns,
             r.group_warm_ns,
             r.reference_ns,
@@ -416,11 +426,23 @@ fn json_report(
         ));
     }
     s.push_str("  ],\n");
+    let direct_shapes = shapes.iter().filter(|r| r.kernel == "direct").count() as u64;
     s.push_str(&format!(
-        "  \"train\": {{\"columns\": {}, \"languages\": {}, \"interned_values\": {}, \
+        "  \"kernel_choices\": {{\"group\": {}, \"direct\": {}}},\n",
+        shapes.len() as u64 - direct_shapes,
+        direct_shapes
+    ));
+    s.push_str(&format!(
+        "  \"train\": {{\"profile\": \"{}\", \"columns\": {}, \"languages\": {}, \
+         \"interned_values\": {}, \
          \"value_occurrences\": {}, \"generalizations_saved\": {}, \
          \"pipeline_median_ns\": {}, \"reference_median_ns\": {}, \
          \"columns_per_sec\": {:.1}, \"values_per_sec\": {:.1}, \"speedup\": {:.2}}},\n",
+        if cfg!(debug_assertions) {
+            "dev"
+        } else {
+            "release"
+        },
         train.columns,
         train.languages,
         train.interned_values,
@@ -507,14 +529,22 @@ fn main() {
     let online = run_online(quick, if quick { 3 } else { 7 });
 
     println!(
-        "{:<16} {:>5} {:>14} {:>14} {:>14} {:>12} {:>12}",
-        "shape", "d", "group_cold_ns", "group_warm_ns", "reference_ns", "ref_probes", "probe_ratio"
+        "{:<16} {:>5} {:>7} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "shape",
+        "d",
+        "kernel",
+        "group_cold_ns",
+        "group_warm_ns",
+        "reference_ns",
+        "ref_probes",
+        "probe_ratio"
     );
     for r in &reports {
         println!(
-            "{:<16} {:>5} {:>14} {:>14} {:>14} {:>12} {:>11.1}x",
+            "{:<16} {:>5} {:>7} {:>14} {:>14} {:>14} {:>12} {:>11.1}x",
             r.shape,
             r.d,
+            r.kernel,
             r.group_cold_ns,
             r.group_warm_ns,
             r.reference_ns,

@@ -269,6 +269,23 @@ pub struct ScanStats {
     /// Per-detector instrumentation lanes recorded by the ensemble
     /// engine (empty for plain single-model scans). Merged by name.
     pub detectors: Vec<DetectorLane>,
+    /// Which scoring kernel the adaptive scan picked, per column (see
+    /// [`AutoDetect::scan_pairs`]). Absent in serialized stats from
+    /// older builds, so it defaults to zero on deserialize.
+    #[serde(default)]
+    pub kernel_choices: KernelChoices,
+}
+
+/// Per-column kernel selections made by the adaptive scan. Columns with
+/// fewer than two distinct values never reach a kernel and are counted
+/// by neither field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelChoices {
+    /// Columns scored by the pattern-group kernel (joint-class pass).
+    pub group: u64,
+    /// Columns scored by the direct per-pair kernel — high distinct-ratio
+    /// columns where grouping buys no dedup.
+    pub direct: u64,
 }
 
 /// One detector's share of an ensemble scan: wall time and output
@@ -329,6 +346,8 @@ impl ScanStats {
         }
         self.hash_nanos += other.hash_nanos;
         self.score_nanos += other.score_nanos;
+        self.kernel_choices.group += other.kernel_choices.group;
+        self.kernel_choices.direct += other.kernel_choices.direct;
         for lane in &other.detectors {
             match self.detectors.iter_mut().find(|l| l.name == lane.name) {
                 Some(mine) => {
@@ -341,6 +360,18 @@ impl ScanStats {
         }
     }
 }
+
+/// Adaptive kernel threshold as a ratio: the direct per-pair kernel is
+/// chosen when `min_k d′_k / d ≥ NUM/DEN`, i.e. when even the
+/// coarsest language keeps at least ¾ of the column's values as
+/// distinct patterns. Calibrated against BENCH_scan.json shapes (see
+/// DESIGN.md §13): at d′/d = 1 the group kernel's joint-class
+/// refinement made it ~30% *slower* than the naive reference, while on
+/// duplicate-heavy shapes (d′/d ≤ ½ under some language) grouping wins
+/// by orders of magnitude. Between those regimes the kernels are within
+/// noise of each other, so the cut sits conservatively near the top.
+const DIRECT_KERNEL_NUM: usize = 3;
+const DIRECT_KERNEL_DEN: usize = 4;
 
 /// A flagged pair of joint pattern groups with its pair-level verdict
 /// (identical for every member value pair).
@@ -569,6 +600,40 @@ impl AutoDetect {
         for (k, pats) in group_patterns.iter().enumerate() {
             stats.groups_per_language[k] += pats.len() as u64;
         }
+
+        // Adaptive kernel choice: when every language keeps at least
+        // DIRECT_KERNEL_NUM/DIRECT_KERNEL_DEN of the column's values as
+        // distinct patterns, grouping collapses (almost) nothing anywhere
+        // and both the joint-class machinery below and the shared NPMI
+        // memo are pure overhead (near d′ = d the memo's per-entry key
+        // hashing costs more than the collapse ever saves) — build
+        // memo-free group matrices and score the d×d pairs directly
+        // against them instead. The ratio is a pure function of the
+        // column's contents, so the choice — and with it every counter —
+        // is identical at any thread count.
+        let min_groups = group_patterns.iter().map(Vec::len).min().unwrap_or(0);
+        if min_groups * DIRECT_KERNEL_DEN >= d * DIRECT_KERNEL_NUM {
+            stats.kernel_choices.direct += 1;
+            let mut matrices: Vec<NpmiMatrix> = Vec::with_capacity(num_langs);
+            for (k, l) in self.languages.iter().enumerate() {
+                let m = l.stats.npmi_matrix(&group_patterns[k], self.npmi, None);
+                stats.npmi_probes += m.probes;
+                stats.npmi_memo_hits += m.memo_hits;
+                matrices.push(m);
+            }
+            let findings = self.scan_pairs_direct(
+                distinct,
+                &hashes,
+                &group_of,
+                &matrices,
+                &calibrations,
+                aggregator,
+                &mut stats,
+            );
+            stats.score_nanos = score_start.elapsed().as_nanos() as u64;
+            return (findings, stats);
+        }
+        stats.kernel_choices.group += 1;
 
         // Probe stage: one d′×d′ NPMI matrix per language over pattern
         // groups, served from the per-worker memo where possible. Entries
@@ -829,6 +894,148 @@ impl AutoDetect {
         });
         stats.score_nanos = score_start.elapsed().as_nanos() as u64;
         (findings, stats)
+    }
+
+    /// The direct per-pair kernel for high distinct-ratio columns:
+    /// lexicographic (i, j) flagging straight off the per-language group
+    /// matrices, skipping the joint-class refinement whose bookkeeping
+    /// dominates when d′ ≈ d. Scores, tie-breaks (flag degree →
+    /// rest-of-column compatibility in naive summation order → corpus
+    /// occurrence) and first-wins attribution replicate
+    /// [`AutoDetect::scan_pairs_reference`] exactly, so findings stay
+    /// byte-identical to both other kernels. NPMI probes were already
+    /// spent building the (memo-free) matrices — at most the reference's
+    /// count, since d′ ≤ d — so this pass adds none.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_pairs_direct(
+        &self,
+        distinct: &[(&str, usize)],
+        hashes: &[Vec<PatternHash>],
+        group_of: &[Vec<u32>],
+        matrices: &[NpmiMatrix],
+        calibrations: &[&Calibration],
+        aggregator: Aggregator,
+        stats: &mut ScanStats,
+    ) -> Vec<ColumnFinding> {
+        let d = distinct.len();
+        let num_langs = matrices.len();
+
+        // Pass 1: flag pairs and accumulate per-value flag degrees.
+        // Matrix entries are bit-identical to per-value probes (the
+        // diagonal's exact 1.0 covers pairs whose patterns collide under
+        // a language), and the pair-level verdicts are computed from the
+        // same scores in the same order as the reference.
+        let mut scores = vec![0.0f64; num_langs];
+        let mut flagged_pairs: Vec<(usize, usize, f64, usize, f64)> = Vec::new();
+        let mut degree = vec![0.0f64; d];
+        for i in 0..d {
+            for j in (i + 1)..d {
+                for (k, m) in matrices.iter().enumerate() {
+                    scores[k] = m.at(group_of[k][i] as usize, group_of[k][j] as usize);
+                }
+                if !aggregator.flags(&scores, calibrations) {
+                    continue;
+                }
+                let confidence = aggregator.suspicion(&scores, calibrations);
+                let k = scores
+                    .iter()
+                    .enumerate()
+                    .min_by(|x, y| x.1.total_cmp(y.1))
+                    .map(|(k, _)| k)
+                    .unwrap_or(0);
+                let min_firing_score = scores
+                    .iter()
+                    .zip(calibrations.iter().copied())
+                    .filter(|(&s, c)| c.fires(s))
+                    .map(|(&s, _)| s)
+                    .fold(f64::INFINITY, f64::min);
+                let score = if min_firing_score.is_finite() {
+                    min_firing_score
+                } else {
+                    scores.iter().copied().fold(f64::INFINITY, f64::min)
+                };
+                flagged_pairs.push((i, j, confidence, k, score));
+                degree[i] += distinct[j].1 as f64;
+                degree[j] += distinct[i].1 as f64;
+            }
+        }
+        stats.pairs_flagged = flagged_pairs.len() as u64;
+
+        // Pass 2: attribute each flagged pair. Compatibility is computed
+        // lazily (most columns never tie on degree) but in the naive
+        // summation order, so even its f64 rounding matches.
+        let mut compat_memo: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+        let compat_at = |memo: &mut FxHashMap<(u32, u32), f64>, k: usize, i: usize| -> f64 {
+            *memo.entry((k as u32, i as u32)).or_insert_with(|| {
+                let m = &matrices[k];
+                let gi = group_of[k][i] as usize;
+                let mut sum = 0.0;
+                let mut w = 0.0;
+                for (j, &(_, cnt)) in distinct.iter().enumerate() {
+                    if j != i {
+                        sum += m.at(gi, group_of[k][j] as usize) * cnt as f64;
+                        w += cnt as f64;
+                    }
+                }
+                if w > 0.0 {
+                    sum / w
+                } else {
+                    1.0
+                }
+            })
+        };
+        let mut best: FxHashMap<usize, (ColumnFinding, usize)> = FxHashMap::default();
+        for &(i, j, confidence, k, score) in &flagged_pairs {
+            let (suspect_idx, witness_idx) = if (degree[i] - degree[j]).abs() > 1e-9 {
+                if degree[i] > degree[j] {
+                    (i, j)
+                } else {
+                    (j, i)
+                }
+            } else {
+                let ci = compat_at(&mut compat_memo, k, i);
+                let cj = compat_at(&mut compat_memo, k, j);
+                if (ci - cj).abs() > 1e-9 {
+                    if ci < cj {
+                        (i, j)
+                    } else {
+                        (j, i)
+                    }
+                } else {
+                    let oi = self.languages[k].stats.occurrence(hashes[k][i]);
+                    let oj = self.languages[k].stats.occurrence(hashes[k][j]);
+                    if oi <= oj {
+                        (i, j)
+                    } else {
+                        (j, i)
+                    }
+                }
+            };
+            let finding = ColumnFinding {
+                suspect: distinct[suspect_idx].0.to_string(),
+                witness: distinct[witness_idx].0.to_string(),
+                confidence,
+                score,
+            };
+            match best.get(&suspect_idx) {
+                Some((prev, _)) if prev.confidence >= finding.confidence => {}
+                _ => {
+                    best.insert(suspect_idx, (finding, k));
+                }
+            }
+        }
+        let mut findings: Vec<ColumnFinding> = Vec::with_capacity(best.len());
+        for (finding, k) in best.into_values() {
+            stats.findings_per_language[k] += 1;
+            findings.push(finding);
+        }
+        findings.sort_by(|a, b| {
+            b.confidence
+                .total_cmp(&a.confidence)
+                .then_with(|| a.score.total_cmp(&b.score))
+                .then_with(|| a.suspect.cmp(&b.suspect))
+        });
+        findings
     }
 
     /// The single most incompatible pair of a column, if any pair is
@@ -1340,6 +1547,10 @@ mod tests {
                 predictions: 2,
                 columns: 1,
             }],
+            kernel_choices: KernelChoices {
+                group: 1,
+                direct: 0,
+            },
         };
         let b = ScanStats {
             values_scored: 3,
@@ -1366,6 +1577,10 @@ mod tests {
                     columns: 2,
                 },
             ],
+            kernel_choices: KernelChoices {
+                group: 2,
+                direct: 3,
+            },
         };
         a.merge(&b);
         assert_eq!(a.values_scored, 5);
@@ -1378,6 +1593,13 @@ mod tests {
         assert_eq!(a.findings_per_language, vec![1, 2]);
         assert_eq!(a.hash_nanos, 15);
         assert_eq!(a.score_nanos, 25);
+        assert_eq!(
+            a.kernel_choices,
+            KernelChoices {
+                group: 3,
+                direct: 3
+            }
+        );
         // Lanes merge by name: Auto-Detect sums, F-Regex is adopted.
         assert_eq!(a.detectors.len(), 2);
         assert_eq!(a.detectors[0].name, "Auto-Detect");

@@ -239,7 +239,7 @@ impl ScanReport {
         format!(
             "scanned {} columns in {:.1} ms on {} thread{} ({:.0} cols/s): \
              {} findings; {} values scored, {} pairs scored, {} flagged, {} pruned; \
-             {} npmi probes ({} memoized)",
+             {} npmi probes ({} memoized); kernels: {} group / {} direct",
             self.columns.len(),
             self.wall.as_secs_f64() * 1e3,
             self.threads,
@@ -252,6 +252,8 @@ impl ScanReport {
             self.stats.pairs_pruned,
             self.stats.npmi_probes,
             self.stats.npmi_memo_hits,
+            self.stats.kernel_choices.group,
+            self.stats.kernel_choices.direct,
         )
     }
 }
@@ -591,6 +593,10 @@ mod tests {
         let line = report.summary();
         assert!(line.contains("4 columns"), "{line}");
         assert!(line.contains("cols/s"), "{line}");
+        assert!(line.contains("kernels:"), "{line}");
+        // Every scored column picked some kernel.
+        let chosen = report.stats.kernel_choices.group + report.stats.kernel_choices.direct;
+        assert!(chosen > 0, "no kernel choices recorded: {line}");
         assert!(report.columns_per_sec() > 0.0);
     }
 

@@ -9,9 +9,11 @@
 //!   driven through `detect_batch`, so setup cost (Auto-Detect's pattern
 //!   cache) is amortized per chunk rather than per column;
 //! * work is fanned over [`parallel_map`] as (detector × column-chunk)
-//!   items with a **fixed** chunk width, so the work decomposition — and
+//!   items whose chunk width is a pure function of the **column count**
+//!   (never the thread count), so the work decomposition — and
 //!   therefore every detector's output — is independent of the thread
-//!   count;
+//!   count; batches too small to amortize the fan-out run serially,
+//!   which changes scheduling only, not decomposition;
 //! * per-detector wall time and prediction counts are recorded as
 //!   [`DetectorLane`]s in [`ScanStats`];
 //! * rankings are merged by a pluggable [`MergePolicy`], deduping by
@@ -19,12 +21,13 @@
 //!   ordering of [`finalize_predictions`].
 //!
 //! Determinism argument: chunk boundaries depend only on the column
-//! count; `parallel_map` preserves item order regardless of which worker
-//! ran which item; merging folds detectors in their configured order
-//! with order-insensitive max/count pooling; and the final sort breaks
-//! confidence ties lexicographically. Wall-clock readings feed timing
-//! lanes only, never findings, so merged output is byte-identical at any
-//! thread count.
+//! count; the serial fallback depends only on detector and column
+//! counts; `parallel_map` preserves item order regardless of which
+//! worker ran which item; merging folds detectors in their configured
+//! order with order-insensitive max/count pooling; and the final sort
+//! breaks confidence ties lexicographically. Wall-clock readings feed
+//! timing lanes only, never findings, so merged output is byte-identical
+//! at any thread count.
 
 use crate::api::{finalize_predictions, Detector, Prediction};
 use crate::detector::{DetectorLane, ScanStats};
@@ -118,9 +121,24 @@ pub struct EnsembleReport {
     pub elapsed_nanos: u64,
 }
 
-/// Columns per work item. Fixed — never derived from the thread count —
-/// so the work decomposition is identical at any parallelism.
-const CHUNK_COLUMNS: usize = 32;
+/// Below this many detector × column work units the fan-out runs
+/// serially: worker spawn and cache-cold chunks cost more than they
+/// save. Calibrated against BENCH_scan.json's ensemble section, where
+/// the 3-detector × 48-column shape (144 units) ran at 0.83× under
+/// parallel dispatch; the 3 × 192 shape (576 units) amortizes fine.
+/// Scheduling only — the work decomposition is unchanged, so merged
+/// output stays byte-identical.
+const SERIAL_CUTOFF_UNITS: usize = 256;
+
+/// Columns per work item: about 16 chunks per detector on large batches
+/// so the worker queue never starves, clamped to [8, 32] so chunks keep
+/// enough columns to amortize per-chunk detector setup. A pure function
+/// of the column count — never the thread count — so the work
+/// decomposition (and each detector's `detect_batch` grouping) is
+/// identical at any parallelism.
+fn chunk_width(columns: usize) -> usize {
+    columns.div_ceil(16).clamp(8, 32)
+}
 
 /// Runs a detector set over column batches and merges their rankings.
 ///
@@ -190,7 +208,7 @@ impl<'a> EnsembleEngine<'a> {
         // adt-allow(determinism): wall-clock feeds EnsembleReport timing fields only, never detection results
         let run_start = Instant::now();
 
-        let chunks: Vec<&[Column]> = columns.chunks(CHUNK_COLUMNS.max(1)).collect();
+        let chunks: Vec<&[Column]> = columns.chunks(chunk_width(columns.len())).collect();
         let mut items: Vec<(usize, usize)> =
             Vec::with_capacity(self.detectors.len() * chunks.len());
         for d in 0..self.detectors.len() {
@@ -199,7 +217,13 @@ impl<'a> EnsembleEngine<'a> {
             }
         }
 
-        let outputs = parallel_map(&items, self.threads, "ensemble", |_, &(d, c)| {
+        let units = self.detectors.len() * columns.len();
+        let threads = if units < SERIAL_CUTOFF_UNITS {
+            1
+        } else {
+            self.threads
+        };
+        let outputs = parallel_map(&items, threads, "ensemble", |_, &(d, c)| {
             let det = &self.detectors[d];
             let chunk = chunks[c];
             // adt-allow(determinism): wall-clock feeds DetectorLane timing fields only, never detection results
@@ -449,8 +473,20 @@ mod tests {
     }
 
     #[test]
+    fn chunk_width_is_bounded_and_column_driven() {
+        assert_eq!(chunk_width(1), 8); // floor: tiny batches stay whole-ish
+        assert_eq!(chunk_width(48), 8);
+        assert_eq!(chunk_width(192), 12); // ~16 chunks per detector
+        assert_eq!(chunk_width(10_000), 32); // ceiling: batch amortization
+        for n in 1..2000 {
+            let w = chunk_width(n);
+            assert!((8..=32).contains(&w), "chunk_width({n}) = {w}");
+        }
+    }
+
+    #[test]
     fn lanes_record_time_and_volume() {
-        let columns = cols(67); // 3 chunks at width 32
+        let columns = cols(67); // 9 chunks at width 8
         let report = engine().run(&columns).unwrap();
         assert_eq!(report.predictions.len(), columns.len());
         let lanes = &report.stats.detectors;
@@ -471,7 +507,10 @@ mod tests {
 
     #[test]
     fn merged_findings_identical_at_any_thread_count() {
-        let columns = cols(67);
+        // 2 detectors × 200 columns = 400 units: above SERIAL_CUTOFF_UNITS,
+        // so the multi-thread runs genuinely dispatch in parallel.
+        let columns = cols(200);
+        assert!(2 * columns.len() >= SERIAL_CUTOFF_UNITS);
         let reference = engine()
             .with_threads(1)
             .with_merge(MergePolicy::Vote(2))
@@ -486,6 +525,23 @@ mod tests {
             assert_eq!(
                 got.predictions, reference.predictions,
                 "ensemble output diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn small_batches_merge_identically_to_large_chunking() {
+        // The serial fallback and auto chunk width must be invisible in
+        // the merged output: running the same columns through a small
+        // (serial, 1-chunk) batch and slicing them out of a large
+        // (parallel) batch gives identical predictions.
+        let columns = cols(260);
+        let big = engine().with_threads(4).run(&columns).unwrap();
+        for (i, col) in columns.iter().take(9).enumerate() {
+            let small = engine().run(std::slice::from_ref(col)).unwrap();
+            assert_eq!(
+                small.predictions[0], big.predictions[i],
+                "column {i} diverged between batch sizes"
             );
         }
     }

@@ -211,10 +211,146 @@ fn all_distinct_worst_case_matches_reference() {
     );
     let (_, stats) =
         model.scan_value_counts(&counts, Aggregator::AutoDetect, &mut PatternCache::new());
-    // Crude language sees 20 distinct patterns; L1 (symbols only)
-    // collapses them all into one group.
+    // Crude language sees 20 distinct patterns; L1's \A[2i+1] run
+    // lengths are distinct too, so d′ = d under every language and the
+    // adaptive scan takes the direct kernel here.
     assert_eq!(stats.groups_per_language.len(), 2);
     assert!(stats.groups_per_language[0] >= 19);
+    assert_eq!(stats.kernel_choices.direct, 1);
+    assert_eq!(stats.kernel_choices.group, 0);
+}
+
+#[test]
+fn adaptive_threshold_is_min_over_languages() {
+    // Constant total length: L1 collapses every value to \A[21] (one
+    // group) while the crude language keeps all 20 distinct. The
+    // threshold takes the min ratio, so one collapsing language is
+    // enough to keep the group kernel — and its single-group probe
+    // savings.
+    let model = tiny_model();
+    let counts: Vec<(String, usize)> = (0..20usize)
+        .map(|i| (format!("{}{}", "x".repeat(i + 1), "7".repeat(20 - i)), 1))
+        .collect();
+    let mut warm = PatternCache::new();
+    assert_kernels_agree(
+        &model,
+        &counts,
+        Aggregator::AutoDetect,
+        &mut warm,
+        "min-over-languages",
+    );
+    let (_, stats) =
+        model.scan_value_counts(&counts, Aggregator::AutoDetect, &mut PatternCache::new());
+    assert_eq!(stats.groups_per_language[1], 1);
+    assert_eq!(stats.kernel_choices.group, 1);
+    assert_eq!(stats.kernel_choices.direct, 0);
+}
+
+#[test]
+fn adaptive_kernel_choice_is_data_driven() {
+    let model = tiny_model();
+    // Unique symbol-run length per value: even L1 (symbols literal)
+    // keeps every value a distinct pattern, so d′ = d under every
+    // language and the scan must take the direct kernel.
+    let distinct: Vec<(String, usize)> = (0..12usize)
+        .map(|i| (format!("{}{}", "x".repeat(i + 1), "-".repeat(i + 1)), 1))
+        .collect();
+    let mut warm = PatternCache::new();
+    assert_kernels_agree(
+        &model,
+        &distinct,
+        Aggregator::AutoDetect,
+        &mut warm,
+        "direct shape",
+    );
+    let (_, stats) =
+        model.scan_value_counts(&distinct, Aggregator::AutoDetect, &mut PatternCache::new());
+    assert_eq!(
+        (stats.kernel_choices.direct, stats.kernel_choices.group),
+        (1, 0),
+        "all-languages-distinct shape must score directly"
+    );
+    // A duplicate-heavy column (one pattern group per language) keeps
+    // the group kernel.
+    let dupes: Vec<(String, usize)> = (0..12usize).map(|i| (format!("{}", 1990 + i), 2)).collect();
+    let (_, stats) =
+        model.scan_value_counts(&dupes, Aggregator::AutoDetect, &mut PatternCache::new());
+    assert_eq!(
+        (stats.kernel_choices.direct, stats.kernel_choices.group),
+        (0, 1),
+        "duplicate-heavy shape must keep the group kernel"
+    );
+}
+
+#[test]
+fn direct_kernel_matches_reference_across_aggregators() {
+    // Shapes engineered so every language keeps d′ = d (unique symbol-run
+    // length per value), pinning the adaptive scan onto the direct kernel
+    // under each aggregator — findings must stay byte-identical.
+    let model = tiny_model();
+    for (ai, aggregator) in [
+        Aggregator::AutoDetect,
+        Aggregator::AvgNpmi,
+        Aggregator::MinNpmi,
+        Aggregator::MajorityVote,
+        Aggregator::WeightedMajorityVote,
+        Aggregator::BestOne(0),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut rng = StdRng::seed_from_u64(0xAD7_0200 + ai as u64);
+        let mut warm = PatternCache::new();
+        for case in 0..8 {
+            let d = 4 + rng.random_range(0..16u32) as usize;
+            let counts: Vec<(String, usize)> = (0..d)
+                .map(|i| {
+                    let letters = 1 + rng.random_range(0..3u32) as usize;
+                    let digits = 1 + rng.random_range(0..3u32) as usize;
+                    let count = 1 + rng.random_range(0..4u32) as usize;
+                    (
+                        format!(
+                            "{}{}{}",
+                            "x".repeat(letters),
+                            "-".repeat(i + 1),
+                            "7".repeat(digits)
+                        ),
+                        count,
+                    )
+                })
+                .collect();
+            let ctx = format!("direct {aggregator:?} case {case} (d={d})");
+            assert_kernels_agree(&model, &counts, aggregator, &mut warm, &ctx);
+            let (_, stats) = model.scan_value_counts(&counts, aggregator, &mut PatternCache::new());
+            assert_eq!(stats.kernel_choices.direct, 1, "{ctx}");
+        }
+    }
+}
+
+#[test]
+fn direct_kernel_handles_pattern_collisions_and_ties() {
+    // Distinct strings that generalize identically under every language:
+    // the direct kernel serves their pair from the matrix diagonal
+    // (exact 1.0, matching the reference's identical-pattern early
+    // return), and their symmetric counts force the compat/occurrence
+    // tie-break path.
+    let model = tiny_model();
+    let mut counts: Vec<(String, usize)> = (0..10usize)
+        .map(|i| (format!("{}-{}", "x".repeat(i + 2), "7".repeat(i + 2)), 1))
+        .collect();
+    counts.push(("ab-12".into(), 2));
+    counts.push(("cd-34".into(), 2));
+    let mut warm = PatternCache::new();
+    assert_kernels_agree(
+        &model,
+        &counts,
+        Aggregator::AutoDetect,
+        &mut warm,
+        "direct collisions",
+    );
+    let (_, stats) =
+        model.scan_value_counts(&counts, Aggregator::AutoDetect, &mut PatternCache::new());
+    assert_eq!(stats.kernel_choices.direct, 1);
 }
 
 #[test]

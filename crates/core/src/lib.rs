@@ -60,7 +60,8 @@ pub use api::{
 pub use calibrate::{calibrate_language, Calibration};
 pub use config::{AutoDetectConfig, AutoDetectConfigBuilder, LanguageSpace};
 pub use detector::{
-    AutoDetect, ColumnFinding, DetectorLane, PairVerdict, PatternCache, ScanStats, TableFinding,
+    AutoDetect, ColumnFinding, DetectorLane, KernelChoices, PairVerdict, PatternCache, ScanStats,
+    TableFinding,
 };
 pub use dt::{dt_optimize, DtProblem, DtSolution};
 pub use engine::{

@@ -10,6 +10,9 @@
 //!   paper enumerates (144 candidates);
 //! * [`pattern`] — the result of applying a language to a value (Equation 3):
 //!   run-length token sequences such as `\D[4]\S\D[2]`;
+//! * [`classify`] — the branch-free byte→class classifier and SWAR
+//!   char-run scanner underneath `Pattern::generalize` and the
+//!   multi-language hasher;
 //! * [`enumeration`] — enumeration of the restricted candidate language
 //!   spaces used for language selection;
 //! * [`crude`] — the fixed crude generalization `G()` used by
@@ -31,6 +34,7 @@
 //! assert_ne!(p1.hash64(), p2.hash64());
 //! ```
 
+pub mod classify;
 pub mod crude;
 pub mod cut;
 pub mod distance;
@@ -40,6 +44,7 @@ pub mod multi;
 pub mod pattern;
 pub mod tree;
 
+pub use classify::{char_runs, CharRun, CharRuns};
 pub use crude::crude_generalize;
 pub use cut::{whitespace_tree, CutLanguage};
 pub use distance::{normalized_pattern_distance, pattern_distance};

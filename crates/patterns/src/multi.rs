@@ -5,46 +5,23 @@
 //! ~144 candidate languages. Doing that with K independent
 //! [`Pattern::generalize`](crate::Pattern::generalize) walks decodes and
 //! classifies each character K times and allocates K run vectors per
-//! value. [`MultiGeneralizer`] inverts this: characters are decoded and
-//! classified **once**, and the shared `(CharKind, char)` stream is mapped
-//! through per-language token tables, folding each language's run-length
-//! stream directly into its incremental FNV-1a state. The emitted hashes
-//! are bit-identical to `Pattern::generalize(v, lang).hash64()` — the
-//! run-length encoding and hash framing are reproduced exactly, just
-//! without materializing the intermediate [`Pattern`](crate::Pattern).
+//! value. [`MultiGeneralizer`] inverts this: the value is run-length
+//! scanned **once** by the SWAR classifier in
+//! [`classify`](crate::classify), and the shared char-run stream is
+//! mapped through per-language token tables, folding each language's
+//! run-length stream directly into its incremental FNV word state. The
+//! emitted hashes are bit-identical to
+//! `Pattern::generalize(v, lang).hash64()` — the run-length encoding and
+//! hash framing are reproduced exactly, just without materializing the
+//! intermediate [`Pattern`](crate::Pattern). Because the K-language
+//! inner loop now advances per *char run* instead of per character, a
+//! value like `"9999-99-99"` costs 5 inner iterations per language
+//! instead of 10.
 
-use crate::language::{CharKind, Language, Level};
-use crate::pattern::{fnv1a_step, FNV_OFFSET};
+use crate::classify::char_runs;
+use crate::language::{CharKind, Language};
+use crate::pattern::{fnv1a_word, run_word, tag_of, FNV_OFFSET, TAG_LITERAL};
 use crate::PatternHash;
-
-/// Token tags as framed by `Pattern::hash64` (`Literal = 0`, `\U = 1`,
-/// `\l = 2`, `\L = 3`, `\D = 4`, `\S = 5`, `\A = 6`).
-const TAG_LITERAL: u8 = 0;
-
-#[inline]
-fn tag_of(level: Level, kind: CharKind) -> u8 {
-    match level {
-        Level::Leaf => TAG_LITERAL,
-        Level::Class => match kind {
-            CharKind::Upper => 1,
-            CharKind::Lower => 2,
-            CharKind::Digit => 4,
-            CharKind::Symbol => 5,
-        },
-        Level::Super => 3,
-        Level::Root => 6,
-    }
-}
-
-#[inline]
-fn kind_index(c: char) -> usize {
-    match CharKind::of(c) {
-        CharKind::Upper => 0,
-        CharKind::Lower => 1,
-        CharKind::Digit => 2,
-        CharKind::Symbol => 3,
-    }
-}
 
 /// Shared, immutable per-language token tables: for each language, the
 /// `hash64` token tag each [`CharKind`] maps to. Build once per language
@@ -123,23 +100,19 @@ impl Default for RunState {
 
 impl RunState {
     /// Folds the pending run into the hash exactly as `Pattern::hash64`
-    /// frames it: tag byte, then (for literals) the char as LE `u32`,
-    /// then the run length as LE `u32`.
+    /// frames it: one word per run (tag | len << 8 | literal << 40), one
+    /// multiply.
     #[inline]
     fn flush(&mut self) {
         if self.run == 0 {
             return;
         }
-        let mut h = fnv1a_step(self.hash, self.tag);
-        if self.tag == TAG_LITERAL {
-            for b in (self.lit as u32).to_le_bytes() {
-                h = fnv1a_step(h, b);
-            }
-        }
-        for b in self.run.to_le_bytes() {
-            h = fnv1a_step(h, b);
-        }
-        self.hash = h;
+        let lit = if self.tag == TAG_LITERAL {
+            self.lit as u32
+        } else {
+            0
+        };
+        self.hash = fnv1a_word(self.hash, run_word(self.tag, self.run, lit));
         self.run = 0;
     }
 }
@@ -163,18 +136,21 @@ impl MultiHasher<'_> {
         for s in &mut self.states {
             *s = RunState::default();
         }
-        for c in value.chars() {
-            let ki = kind_index(c);
+        for r in char_runs(value) {
+            let ki = r.kind as usize;
             for (state, table) in self.states.iter_mut().zip(&self.gen.tables) {
-                let tag = table[ki];
+                let tag = match table.get(ki) {
+                    Some(&t) => t,
+                    None => continue, // unreachable: kind is always 0..4
+                };
                 // Same run: same tag, and for literal runs the same char.
-                if state.run > 0 && state.tag == tag && (tag != TAG_LITERAL || state.lit == c) {
-                    state.run += 1;
+                if state.run > 0 && state.tag == tag && (tag != TAG_LITERAL || state.lit == r.ch) {
+                    state.run += r.len;
                 } else {
                     state.flush();
                     state.tag = tag;
-                    state.lit = c;
-                    state.run = 1;
+                    state.lit = r.ch;
+                    state.run = r.len;
                 }
             }
         }
@@ -199,6 +175,15 @@ mod tests {
             let got = hasher.hash_value(v).to_vec();
             for (k, lang) in languages.iter().enumerate() {
                 let want = Pattern::generalize(v, lang).hash64();
+                // Pin against the scalar per-character reference too, so
+                // a shared bug in the SWAR scanner can't self-agree.
+                let want_scalar = Pattern::generalize_reference(v, lang).hash64();
+                assert_eq!(
+                    want,
+                    want_scalar,
+                    "SWAR vs scalar for {v:?} under {}",
+                    lang.id()
+                );
                 assert_eq!(
                     got[k],
                     want,

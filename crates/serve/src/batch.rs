@@ -52,6 +52,10 @@ pub struct DrainStats {
     pub npmi_probes: u64,
     /// NPMI scores answered from the batcher's long-lived cache pool.
     pub npmi_memo_hits: u64,
+    /// Columns scored through the group (d' ≪ d) kernel.
+    pub kernel_group: u64,
+    /// Columns scored through the direct (near-all-distinct) kernel.
+    pub kernel_direct: u64,
 }
 
 /// Runs the batch loop until every job sender is dropped. `max_jobs`
@@ -91,6 +95,8 @@ fn dispatch(jobs: Vec<ScanJob>, engine_threads: usize, pool: &Arc<CachePool>) ->
         jobs: jobs.len() as u64,
         npmi_probes: 0,
         npmi_memo_hits: 0,
+        kernel_group: 0,
+        kernel_direct: 0,
     };
     // Group in arrival order, keyed by Arc identity.
     let mut groups: Vec<(usize, Vec<ScanJob>)> = Vec::new();
@@ -103,16 +109,24 @@ fn dispatch(jobs: Vec<ScanJob>, engine_threads: usize, pool: &Arc<CachePool>) ->
     }
     for (_, group) in groups {
         stats.dispatches += 1;
-        let (probes, memo_hits) = scan_group(group, engine_threads, pool);
+        let (probes, memo_hits, kernel_group, kernel_direct) =
+            scan_group(group, engine_threads, pool);
         stats.npmi_probes += probes;
         stats.npmi_memo_hits += memo_hits;
+        stats.kernel_group += kernel_group;
+        stats.kernel_direct += kernel_direct;
     }
     stats
 }
 
 /// Scans one model group; returns the scan's `(npmi_probes,
-/// npmi_memo_hits)` (zeros when the dispatch failed).
-fn scan_group(group: Vec<ScanJob>, engine_threads: usize, pool: &Arc<CachePool>) -> (u64, u64) {
+/// npmi_memo_hits, kernel_group, kernel_direct)` (zeros when the
+/// dispatch failed).
+fn scan_group(
+    group: Vec<ScanJob>,
+    engine_threads: usize,
+    pool: &Arc<CachePool>,
+) -> (u64, u64, u64, u64) {
     let batched_with = group.len() - 1;
     let mut all_columns: Vec<Column> = Vec::new();
     let mut offsets = Vec::with_capacity(group.len());
@@ -132,7 +146,7 @@ fn scan_group(group: Vec<ScanJob>, engine_threads: usize, pool: &Arc<CachePool>)
             for job in group {
                 let _ = job.reply.send(Err(msg.clone()));
             }
-            return (0, 0);
+            return (0, 0, 0, 0);
         }
     };
     for (job, (offset, len)) in group.into_iter().zip(offsets) {
@@ -164,7 +178,12 @@ fn scan_group(group: Vec<ScanJob>, engine_threads: usize, pool: &Arc<CachePool>)
             batched_with,
         }));
     }
-    (report.stats.npmi_probes, report.stats.npmi_memo_hits)
+    (
+        report.stats.npmi_probes,
+        report.stats.npmi_memo_hits,
+        report.stats.kernel_choices.group,
+        report.stats.kernel_choices.direct,
+    )
 }
 
 #[cfg(test)]
@@ -286,6 +305,8 @@ mod tests {
         };
         let cold = run(&pool);
         assert!(cold.npmi_probes > 0);
+        // Exactly one column scanned, so exactly one kernel decision.
+        assert_eq!(cold.kernel_group + cold.kernel_direct, 1);
         // A later dispatch through the same pool reuses the memoized
         // scores, as the long-lived batcher does across drains.
         let warm = run(&pool);

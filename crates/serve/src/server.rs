@@ -219,6 +219,12 @@ impl Server {
                         stats
                             .npmi_memo_hits
                             .fetch_add(d.npmi_memo_hits, Ordering::Relaxed);
+                        stats
+                            .kernel_group_columns
+                            .fetch_add(d.kernel_group, Ordering::Relaxed);
+                        stats
+                            .kernel_direct_columns
+                            .fetch_add(d.kernel_direct, Ordering::Relaxed);
                     })
                 })
                 .map_err(AdtError::Io)?

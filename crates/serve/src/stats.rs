@@ -93,6 +93,12 @@ pub struct ServerStats {
     /// `npmi_memo_hits / (npmi_probes + npmi_memo_hits)` is the memo hit
     /// rate steady traffic converges to.
     pub npmi_memo_hits: AtomicU64,
+    /// Columns the adaptive scan dispatcher scored through the group
+    /// (d' ≪ d) kernel.
+    pub kernel_group_columns: AtomicU64,
+    /// Columns the adaptive scan dispatcher scored through the direct
+    /// (near-all-distinct) kernel.
+    pub kernel_direct_columns: AtomicU64,
     /// Successful ensemble scans (requests that passed `detectors`).
     pub ensemble_scans: AtomicU64,
     /// `POST /v1/learn` requests accepted (answered `202`).
@@ -139,6 +145,8 @@ impl Default for ServerStats {
             batches: AtomicU64::new(0),
             npmi_probes: AtomicU64::new(0),
             npmi_memo_hits: AtomicU64::new(0),
+            kernel_group_columns: AtomicU64::new(0),
+            kernel_direct_columns: AtomicU64::new(0),
             ensemble_scans: AtomicU64::new(0),
             learn_requests: AtomicU64::new(0),
             learn_ingested_columns: AtomicU64::new(0),
@@ -238,6 +246,13 @@ impl ServerStats {
             ("batches", get(&self.batches)),
             ("npmi_probes", get(&self.npmi_probes)),
             ("npmi_memo_hits", get(&self.npmi_memo_hits)),
+            (
+                "kernel_choices",
+                Json::obj(vec![
+                    ("group", get(&self.kernel_group_columns)),
+                    ("direct", get(&self.kernel_direct_columns)),
+                ]),
+            ),
             ("ensemble_scans", get(&self.ensemble_scans)),
             (
                 "learn",
@@ -315,6 +330,17 @@ mod tests {
         );
         assert!(v.get("scan_latency_p50_us").unwrap().as_u64().is_some());
         assert!(v.get("uptime_ms").is_some());
+    }
+
+    #[test]
+    fn kernel_choices_surface_as_a_nested_object() {
+        let s = ServerStats::default();
+        s.kernel_group_columns.fetch_add(5, Ordering::Relaxed);
+        s.kernel_direct_columns.fetch_add(7, Ordering::Relaxed);
+        let v = s.to_json();
+        let kernels = v.get("kernel_choices").expect("kernel_choices missing");
+        assert_eq!(kernels.get("group").and_then(Json::as_u64), Some(5));
+        assert_eq!(kernels.get("direct").and_then(Json::as_u64), Some(7));
     }
 
     #[test]

@@ -115,7 +115,7 @@ impl LanguageStats {
                     }
                     let h = *memo
                         .entry(v)
-                        .or_insert_with(|| Pattern::generalize(v, &language).hash64());
+                        .or_insert_with(|| Pattern::hash_value(v, &language));
                     hashes.push(h);
                 }
             }
@@ -124,7 +124,7 @@ impl LanguageStats {
                     if v.is_empty() {
                         continue;
                     }
-                    hashes.push(Pattern::generalize(v, &language).hash64());
+                    hashes.push(Pattern::hash_value(v, &language));
                 }
             }
         }
@@ -276,14 +276,14 @@ impl LanguageStats {
     /// The paper's `s_k(u, v) = NPMI(L_k(u), L_k(v))`: generalizes both
     /// values under this language and scores the patterns.
     pub fn score_values(&self, u: &str, v: &str, params: NpmiParams) -> f64 {
-        let pu = Pattern::generalize(u, &self.language).hash64();
-        let pv = Pattern::generalize(v, &self.language).hash64();
+        let pu = Pattern::hash_value(u, &self.language);
+        let pv = Pattern::hash_value(v, &self.language);
         self.npmi_patterns(pu, pv, params)
     }
 
     /// Pattern hash of a value under this language.
     pub fn pattern_of(&self, v: &str) -> PatternHash {
-        Pattern::generalize(v, &self.language).hash64()
+        Pattern::hash_value(v, &self.language)
     }
 
     /// Number of distinct patterns seen.

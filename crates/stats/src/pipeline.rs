@@ -633,6 +633,71 @@ mod tests {
         );
     }
 
+    /// Values chosen to stress the SWAR classifier underneath the whole
+    /// pipeline: multibyte UTF-8 in every width, ASCII boundary bytes
+    /// (0x00, 0x7F), empty values, and runs crossing 8-byte words — all
+    /// must stay byte-identical to the serial reference at 1/2/4/8
+    /// threads.
+    #[test]
+    fn utf8_heavy_corpus_differential() {
+        let mut cols: Vec<Column> = Vec::new();
+        for i in 0..24usize {
+            cols.push(Column::from_strs(
+                &[
+                    &format!("日本語-{i:02}"),
+                    &format!("café{}", "é".repeat(i % 5)),
+                    &format!("naïve-Straße-{i}"),
+                    &format!("😀{}😀", "x".repeat(i)),
+                    "\u{0}\u{7f}\u{0}",
+                    "",
+                ],
+                SourceTag::Web,
+            ));
+            cols.push(Column::from_strs(
+                &[
+                    &format!("{}{}", "A".repeat(i % 11), "7".repeat(17 - i % 11)),
+                    &"-".repeat(i + 1),
+                    "é日é",
+                ],
+                SourceTag::PubXls,
+            ));
+        }
+        assert_differential(
+            &Corpus::from_columns(cols),
+            &enumerate_coarse_languages(),
+            &StatsConfig::default(),
+        );
+    }
+
+    /// Pins the stats-facing fast hash (`pattern_of`, i.e.
+    /// `Pattern::hash_value`) to the scalar per-character reference so a
+    /// classifier bug shared by both pipeline builds can't self-agree.
+    #[test]
+    fn pattern_of_matches_scalar_reference() {
+        use adt_patterns::Pattern;
+        let values = [
+            "",
+            "2011-01-01",
+            "café",
+            "naïve-Straße",
+            "日本語123",
+            "😀😀😀",
+            "\u{0}\u{7f}",
+            "AAAAAAAAAAAAAAAA7",
+        ];
+        for lang in enumerate_restricted_languages() {
+            let stats = LanguageStats::empty(lang, &StatsConfig::default());
+            for v in values {
+                assert_eq!(
+                    stats.pattern_of(v),
+                    Pattern::generalize_reference(v, &lang).hash64(),
+                    "value {v:?} under {}",
+                    lang.id()
+                );
+            }
+        }
+    }
+
     #[test]
     fn full_restricted_space_small_corpus_differential() {
         let cols: Vec<Column> = (0..12)

@@ -10,9 +10,14 @@
 # serve loop's incremental absorb + retrain against a from-scratch
 # union train (byte-identity checked).
 #
-#   scripts/bench_report.sh             # full: release build, full widths
-#   scripts/bench_report.sh quick       # smoke: debug build, half widths
+#   scripts/bench_report.sh               # full: release build, full widths
+#   scripts/bench_report.sh quick         # smoke: debug build, half widths
+#   scripts/bench_report.sh quick-release # release build, half widths
 #   ADT_OFFLINE=1 scripts/bench_report.sh quick   # via the devstubs copy
+#
+# quick-release exists for committing believable timing columns without
+# paying for the full widths: the JSON's top-level `profile` field (and
+# `train.profile`) records which build produced the numbers.
 #
 # Quick mode exists so CI can exercise the bench wiring and the built-in
 # kernel differential check cheaply; its debug-build timings are not
@@ -24,10 +29,20 @@ MODE="${1:-full}"
 OUT="${BENCH_OUT:-$(pwd)/BENCH_scan.json}"
 FLAGS=""
 PROFILE="--release"
-if [ "$MODE" = "quick" ]; then
+case "$MODE" in
+quick)
     FLAGS="--quick"
     PROFILE=""
-fi
+    ;;
+quick-release)
+    FLAGS="--quick"
+    ;;
+full) ;;
+*)
+    echo "usage: scripts/bench_report.sh [full|quick|quick-release]" >&2
+    exit 2
+    ;;
+esac
 
 if [ "${ADT_OFFLINE:-0}" = "1" ]; then
     scripts/offline_check.sh run $PROFILE -q -p adt-bench --bin bench_report -- $FLAGS --out "$OUT"
