@@ -44,6 +44,8 @@ if [ "${ADT_OFFLINE:-0}" = "1" ]; then
     # The binary builds in the scratch copy but analyzes the real tree,
     # so the stub-parity rule sees devstubs/.
     scripts/offline_check.sh run -q -p adt-analyze -- --deny --root "$(pwd)"
+    echo "== adt-analyze baseline ratchet (offline stubs)"
+    scripts/analyze_baseline.sh
     echo "== tests (offline stubs)"
     scripts/offline_check.sh test --workspace -q
     echo "== serve smoke test (offline stubs)"
@@ -60,6 +62,8 @@ else
     cargo clippy --workspace --all-targets -- -D warnings
     echo "== adt-analyze --deny"
     cargo run -q -p adt-analyze -- --deny
+    echo "== adt-analyze baseline ratchet"
+    scripts/analyze_baseline.sh
     echo "== tests"
     cargo test --workspace -q
     echo "== serve smoke test"

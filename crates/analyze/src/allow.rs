@@ -8,10 +8,12 @@
 
 use crate::lexer::Comment;
 
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 7] = [
     "determinism",
     "panic-safety",
     "lock-discipline",
+    "unchecked-arithmetic",
+    "error-path",
     "allow-audit",
     "stub-parity",
 ];

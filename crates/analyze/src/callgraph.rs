@@ -1,0 +1,424 @@
+//! Workspace-wide function index and call graph.
+//!
+//! The token rules in [`rules`](crate::rules) and the v1 lock checks see
+//! exactly one function body at a time, so an invariant that crosses a
+//! call — a guard held while a *helper* blocks, a discarded `Result`
+//! returned by a function two files away — was invisible. This module
+//! builds the missing structure from the same hand-rolled lexer (still
+//! zero deps, still buildable under the offline devstub harness):
+//!
+//! 1. **Function index** — every `fn` with a body in a production-tier
+//!    file, keyed by name, with its definition sites and whether any
+//!    definition returns a `Result`.
+//! 2. **Direct effects** — per function: the first blocking call it makes
+//!    (`send`/`recv`/`write_all`/`join`/…), and the set of lock names it
+//!    acquires (`.lock()`/`.read()`/`.write()` with empty arguments).
+//! 3. **Propagation** — a deterministic fixed point spreads both effects
+//!    backwards over call edges: a function *may block* if it blocks
+//!    directly or calls one that may; its *transitive acquisition set* is
+//!    the union over its call closure. Cycles converge because both
+//!    domains are monotone and finite.
+//!
+//! Resolution is by bare name, deliberately over-approximate: a call site
+//! `helper(…)` or `x.helper(…)` resolves to every workspace function
+//! named `helper`. Two dampers keep that sound-but-useful: names that
+//! collide with the acquirer/blocking vocabulary are never indexed (their
+//! semantics are handled directly), and dotted calls through ubiquitous
+//! std method names ([`COMMON_METHODS`]) never resolve — otherwise every
+//! `map.get(…)` in the tree would alias onto whichever type also defines
+//! a `get`.
+
+use crate::lexer::{TokKind, Token};
+use crate::locks;
+use crate::scopes::{in_spans, FnSpan};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Dotted method names too generic to resolve to workspace functions:
+/// the std collection / iterator / conversion vocabulary. A plain-path
+/// call (`helper(…)`, `module::helper(…)`) still resolves these.
+pub const COMMON_METHODS: [&str; 44] = [
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_str",
+    "clear",
+    "clone",
+    "collect",
+    "contains",
+    "contains_key",
+    "count",
+    "default",
+    "entry",
+    "extend",
+    "filter",
+    "find",
+    "fold",
+    "from",
+    "get",
+    "get_mut",
+    "insert",
+    "into",
+    "into_iter",
+    "iter",
+    "iter_mut",
+    "len",
+    "map",
+    "max",
+    "min",
+    "new",
+    "next",
+    "parse",
+    "position",
+    "push",
+    "pop",
+    "remove",
+    "replace",
+    "sort",
+    "sum",
+    "take",
+    "to_owned",
+    "to_string",
+];
+
+/// Per-file inputs to the graph build: the lexed tokens, the test spans
+/// to skip, and the function spans found by [`crate::scopes::fn_spans`].
+pub struct FileFns<'a> {
+    pub rel: &'a str,
+    pub tokens: &'a [Token],
+    pub skip: &'a [(usize, usize)],
+    pub fns: &'a [FnSpan],
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub callee: String,
+    /// The call went through `.` (method position).
+    pub dotted: bool,
+    pub line: u32,
+}
+
+#[derive(Debug, Default)]
+struct Node {
+    /// Definition sites, smallest (file, line) first.
+    defs: BTreeSet<(String, u32)>,
+    /// Any definition declares a `Result` return.
+    returns_result: bool,
+    /// Root cause of the first direct blocking call, e.g.
+    /// "`.recv()` at crates/serve/src/server.rs:331".
+    direct_block: Option<String>,
+    direct_acquires: BTreeSet<String>,
+    calls: BTreeSet<String>,
+}
+
+/// The workspace call graph with propagated effects.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    nodes: BTreeMap<String, Node>,
+    /// name → root blocking cause, after the fixed point.
+    blocked: BTreeMap<String, String>,
+    /// name → transitive lock-acquisition set, after the fixed point.
+    acquires: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CallGraph {
+    /// Builds the index, harvests direct effects and call edges, and runs
+    /// both fixed points. Deterministic: all iteration is over `BTreeMap`
+    /// in name order, and ties pick the lexicographically smallest cause.
+    pub fn build(files: &[FileFns]) -> CallGraph {
+        let mut g = CallGraph::default();
+        for file in files {
+            for (fi, f) in file.fns.iter().enumerate() {
+                if in_spans(file.skip, f.body_start) || !indexable(&f.name) {
+                    continue;
+                }
+                let node = g.nodes.entry(f.name.clone()).or_default();
+                node.defs.insert((file.rel.to_string(), f.line));
+                node.returns_result |= f.returns_result(file.tokens);
+                // Attribute body tokens to the innermost function: carve
+                // out any nested fn bodies.
+                let children: Vec<(usize, usize)> = file
+                    .fns
+                    .iter()
+                    .enumerate()
+                    .filter(|&(ci, c)| {
+                        ci != fi && c.body_start > f.body_start && c.body_end < f.body_end
+                    })
+                    .map(|(_, c)| (c.body_start, c.body_end))
+                    .collect();
+                let mut i = f.body_start;
+                let end = f.body_end.min(file.tokens.len());
+                while i < end {
+                    if let Some(&(_, ce)) = children.iter().find(|&&(cs, ce)| cs <= i && i <= ce) {
+                        i = ce + 1;
+                        continue;
+                    }
+                    harvest_effects(file, i, node);
+                    i += 1;
+                }
+            }
+        }
+        g.propagate();
+        g
+    }
+
+    fn propagate(&mut self) {
+        let mut blocked: BTreeMap<String, String> = self
+            .nodes
+            .iter()
+            .filter_map(|(n, node)| node.direct_block.clone().map(|c| (n.clone(), c)))
+            .collect();
+        let mut acquires: BTreeMap<String, BTreeSet<String>> = self
+            .nodes
+            .iter()
+            .map(|(n, node)| (n.clone(), node.direct_acquires.clone()))
+            .collect();
+        loop {
+            let mut changed = false;
+            for (name, node) in &self.nodes {
+                for callee in &node.calls {
+                    if let Some(cause) = blocked.get(callee).cloned() {
+                        match blocked.get(name) {
+                            Some(prev) if *prev <= cause => {}
+                            _ => {
+                                blocked.insert(name.clone(), cause);
+                                changed = true;
+                            }
+                        }
+                    }
+                    if let Some(extra) = acquires.get(callee).cloned() {
+                        let mine = acquires.entry(name.clone()).or_default();
+                        for lock in extra {
+                            changed |= mine.insert(lock);
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        acquires.retain(|_, set| !set.is_empty());
+        self.blocked = blocked;
+        self.acquires = acquires;
+    }
+
+    fn resolve(&self, callee: &str, dotted: bool) -> Option<&Node> {
+        if dotted && COMMON_METHODS.contains(&callee) {
+            return None;
+        }
+        self.nodes.get(callee)
+    }
+
+    /// Root blocking cause of `callee`, when it resolves and may block.
+    pub fn block_cause(&self, callee: &str, dotted: bool) -> Option<&str> {
+        self.resolve(callee, dotted)?;
+        self.blocked.get(callee).map(String::as_str)
+    }
+
+    /// Transitive lock-acquisition set of `callee`, when it resolves.
+    pub fn transitive_acquires(&self, callee: &str, dotted: bool) -> Option<&BTreeSet<String>> {
+        self.resolve(callee, dotted)?;
+        self.acquires.get(callee)
+    }
+
+    /// Signature knowledge about `callee`: `Some((returns_result, def))`
+    /// when the name resolves to indexed workspace functions, `None` for
+    /// unknown/external calls. `def` is the smallest definition site.
+    pub fn returns(&self, callee: &str, dotted: bool) -> Option<(bool, &(String, u32))> {
+        let node = self.resolve(callee, dotted)?;
+        let def = node.defs.iter().next()?;
+        Some((node.returns_result, def))
+    }
+}
+
+/// Names excluded from the index: the acquirer/blocking vocabulary is
+/// handled by direct-effect checks, and `main` is never a helper.
+fn indexable(name: &str) -> bool {
+    name != "main" && !locks::ACQUIRERS.contains(&name) && !locks::BLOCKING.contains(&name)
+}
+
+/// Reads one token position of a function body into `node`: a direct
+/// blocking call, a direct lock acquisition, or an outgoing call edge.
+fn harvest_effects(file: &FileFns, i: usize, node: &mut Node) {
+    let tokens = file.tokens;
+    let t = &tokens[i];
+    if t.kind != TokKind::Ident || !tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+        return;
+    }
+    let dotted = i > 0 && tokens[i - 1].is_punct('.');
+    let pathed = i >= 2 && tokens[i - 1].is_punct(':') && tokens[i - 2].is_punct(':');
+    if locks::BLOCKING.contains(&t.text.as_str()) {
+        if (dotted || pathed) && node.direct_block.is_none() {
+            node.direct_block = Some(format!("`.{}()` at {}:{}", t.text, file.rel, t.line));
+        }
+        return;
+    }
+    if locks::ACQUIRERS.contains(&t.text.as_str()) {
+        if let Some(lock) = locks::acquisition_at(tokens, i) {
+            node.direct_acquires.insert(lock);
+        }
+        return;
+    }
+    if let Some(site) = call_at(tokens, i) {
+        node.calls.insert(site.callee);
+    }
+}
+
+/// Recognizes a call site at token `i`: a lowercase/underscore ident
+/// directly followed by `(`, not a macro bang, not a definition. Returns
+/// `None` for constructor-cased idents (`Some`, `Ok`, tuple structs) and
+/// keywords that syntactically precede parens.
+pub fn call_at(tokens: &[Token], i: usize) -> Option<CallSite> {
+    let t = tokens.get(i)?;
+    if t.kind != TokKind::Ident || !tokens.get(i + 1)?.is_punct('(') {
+        return None;
+    }
+    if !t
+        .text
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_lowercase() || c == '_')
+    {
+        return None;
+    }
+    if matches!(
+        t.text.as_str(),
+        "if" | "while" | "for" | "match" | "return" | "fn" | "let" | "move" | "loop" | "in" | "as"
+    ) {
+        return None;
+    }
+    if i > 0 && (tokens[i - 1].is_punct('!') || tokens[i - 1].is_ident("fn")) {
+        return None;
+    }
+    Some(CallSite {
+        callee: t.text.clone(),
+        dotted: i > 0 && tokens[i - 1].is_punct('.'),
+        line: t.line,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scopes::{fn_spans, test_spans, Braces};
+
+    fn graph_of(sources: &[(&str, &str)]) -> CallGraph {
+        let lexed: Vec<_> = sources.iter().map(|(_, src)| lex(src)).collect();
+        let prepared: Vec<_> = lexed
+            .iter()
+            .map(|lx| {
+                let braces = Braces::build(&lx.tokens);
+                let skip = test_spans(&lx.tokens, &braces);
+                let fns = fn_spans(&lx.tokens, &braces);
+                (lx, skip, fns)
+            })
+            .collect();
+        let files: Vec<FileFns> = sources
+            .iter()
+            .zip(&prepared)
+            .map(|((rel, _), (lx, skip, fns))| FileFns {
+                rel,
+                tokens: &lx.tokens,
+                skip,
+                fns,
+            })
+            .collect();
+        CallGraph::build(&files)
+    }
+
+    #[test]
+    fn direct_blocking_is_recorded_with_site() {
+        let g = graph_of(&[("a.rs", "fn f(&self) { self.tx.send(1); }")]);
+        let cause = g.block_cause("f", false).unwrap();
+        assert!(cause.contains("`.send()` at a.rs:1"), "{cause}");
+    }
+
+    #[test]
+    fn blocking_propagates_across_files_and_hops() {
+        let g = graph_of(&[
+            ("a.rs", "fn top(&self) { self.mid(); }"),
+            ("b.rs", "fn mid(&self) { bottom(); }"),
+            ("c.rs", "fn bottom(rx: &Receiver<u8>) { rx.recv(); }"),
+        ]);
+        let cause = g.block_cause("top", false).unwrap();
+        assert!(cause.contains("`.recv()` at c.rs:1"), "{cause}");
+        assert!(g.block_cause("mid", true).is_some());
+    }
+
+    #[test]
+    fn cycles_converge() {
+        let g = graph_of(&[(
+            "a.rs",
+            "fn ping(&self) { self.pong(); }\n\
+             fn pong(&self) { self.ping(); self.q.recv(); }",
+        )]);
+        assert!(g.block_cause("ping", false).is_some());
+    }
+
+    #[test]
+    fn non_blocking_helpers_stay_clean() {
+        let g = graph_of(&[(
+            "a.rs",
+            "fn calm(x: u32) -> u32 { double(x) }\nfn double(x: u32) -> u32 { x * 2 }",
+        )]);
+        assert!(g.block_cause("calm", false).is_none());
+    }
+
+    #[test]
+    fn acquisitions_propagate_transitively() {
+        let g = graph_of(&[(
+            "a.rs",
+            "fn outer(&self) { self.helper(); }\n\
+             fn helper(&self) { let g = self.entries.read(); }",
+        )]);
+        let locks = g.transitive_acquires("outer", false).unwrap();
+        assert!(locks.contains("entries"), "{locks:?}");
+    }
+
+    #[test]
+    fn common_method_names_do_not_resolve_dotted() {
+        let g = graph_of(&[("a.rs", "fn get(&self) { self.rx.recv(); }")]);
+        assert!(
+            g.block_cause("get", true).is_none(),
+            "dotted .get() must not alias"
+        );
+        assert!(
+            g.block_cause("get", false).is_some(),
+            "plain get() still resolves"
+        );
+    }
+
+    #[test]
+    fn result_signatures_are_indexed() {
+        let g = graph_of(&[(
+            "a.rs",
+            "fn save(p: &Path) -> io::Result<()> { Ok(()) }\nfn count() -> u32 { 3 }",
+        )]);
+        let (result, def) = g.returns("save", false).unwrap();
+        assert!(result);
+        assert_eq!(def, &("a.rs".to_string(), 1));
+        let (result, _) = g.returns("count", false).unwrap();
+        assert!(!result);
+        assert!(g.returns("external", false).is_none());
+    }
+
+    #[test]
+    fn test_gated_fns_are_not_indexed() {
+        let g = graph_of(&[(
+            "a.rs",
+            "#[cfg(test)]\nmod tests { fn helper(&self) { self.rx.recv(); } }",
+        )]);
+        assert!(g.block_cause("helper", false).is_none());
+    }
+
+    #[test]
+    fn blocking_vocabulary_is_never_indexed() {
+        let g = graph_of(&[("a.rs", "fn send(&self) { self.rx.recv(); }")]);
+        assert!(g.block_cause("send", false).is_none());
+    }
+}

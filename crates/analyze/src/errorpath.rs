@@ -1,0 +1,245 @@
+//! Error-path: discarded `Result`s in the serve / learn / online scopes.
+//!
+//! The atomic model-swap story (PR 7) depends on errors surfacing: a
+//! `save_model` failure that vanishes into `let _ =` leaves the registry
+//! serving a stale model with no trace, and a swallowed send error hides
+//! a dead learner thread. In files under
+//! [`FileClass::errorpath_scope`](crate::FileClass) this rule flags:
+//!
+//! - **`let _ = <expr>;`** where the expression makes at least one call
+//!   that could return a `Result`. The call graph refines this
+//!   interprocedurally: when *every* callee in the expression resolves
+//!   to a workspace function and *none* declares a `Result` return, the
+//!   discard is provably not an error path and stays silent; when a
+//!   known callee does return `Result`, the message cites its
+//!   definition site. Unresolved calls (std / method calls) are
+//!   conservatively flagged — intentional discards carry a justified
+//!   `adt-allow` + `(error-path): <reason>` marker (spelled split here
+//!   so this comment is not itself a marker).
+//! - **statement-final `.ok();`** — converting to `Option` and dropping
+//!   it is the same discard with extra steps. `let x = f().ok();` and
+//!   `return f().ok();` consume the option and are fine.
+//!
+//! Macro invocations (`write!`, `log!`) are not treated as calls — the
+//! hand-rolled serve JSON writer's `let _ = write!(buf, …)` into a
+//! `String` is genuinely infallible.
+
+use crate::callgraph::{call_at, CallGraph, CallSite};
+use crate::lexer::Token;
+use crate::scopes::{in_spans, Braces};
+use crate::{FileClass, RawFinding};
+
+pub fn error_path(
+    tokens: &[Token],
+    braces: &Braces,
+    skip: &[(usize, usize)],
+    class: &FileClass,
+    graph: &CallGraph,
+    out: &mut Vec<RawFinding>,
+) {
+    if !class.errorpath_scope {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if in_spans(skip, i) {
+            continue;
+        }
+        // `let _ = <expr>;`
+        if t.is_ident("let")
+            && tokens.get(i + 1).is_some_and(|n| n.is_ident("_"))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct('='))
+        {
+            discarded_binding(tokens, braces, graph, i, out);
+        }
+        // statement-final `.ok();`
+        if t.is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_ident("ok"))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct('('))
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct(')'))
+            && tokens.get(i + 4).is_some_and(|n| n.is_punct(';'))
+            && !statement_consumes(tokens, i)
+        {
+            out.push(RawFinding {
+                rule: "error-path",
+                line: tokens[i + 1].line,
+                message: "statement-final `.ok();` discards the error; handle or log \
+                          it, or justify the discard"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Handles one `let _ = …;` starting at the `let` token at `i`.
+fn discarded_binding(
+    tokens: &[Token],
+    braces: &Braces,
+    graph: &CallGraph,
+    i: usize,
+    out: &mut Vec<RawFinding>,
+) {
+    let expr_start = i + 3;
+    let end = statement_end(tokens, braces, expr_start);
+    let calls: Vec<CallSite> = (expr_start..end)
+        .filter_map(|j| call_at(tokens, j))
+        .collect();
+    if calls.is_empty() {
+        return;
+    }
+    let mut known_result: Option<(&CallSite, &(String, u32))> = None;
+    let mut any_unknown = false;
+    for c in &calls {
+        match graph.returns(&c.callee, c.dotted) {
+            Some((true, def)) => {
+                if known_result.is_none() {
+                    known_result = Some((c, def));
+                }
+            }
+            Some((false, _)) => {}
+            None => any_unknown = true,
+        }
+    }
+    if let Some((c, (file, line))) = known_result {
+        out.push(RawFinding {
+            rule: "error-path",
+            line: tokens[i].line,
+            message: format!(
+                "`let _ =` discards the `Result` of `{}` (defined at {}:{}); \
+                 handle or log the error",
+                c.callee, file, line
+            ),
+        });
+    } else if any_unknown {
+        out.push(RawFinding {
+            rule: "error-path",
+            line: tokens[i].line,
+            message: "`let _ =` discards a call result that may be a `Result`; \
+                      bind and handle the error, or justify the discard"
+                .to_string(),
+        });
+    }
+    // else: every callee is a known non-Result workspace fn — clean.
+}
+
+/// Index of the `;` ending the statement that starts at `from`, staying
+/// at the statement's own brace level so `;`s inside closure bodies and
+/// nested blocks don't end it early.
+fn statement_end(tokens: &[Token], braces: &Braces, from: usize) -> usize {
+    let level = braces.enclosing_brace(from.saturating_sub(1));
+    (from..tokens.len())
+        .find(|&j| tokens[j].is_punct(';') && braces.enclosing_brace(j) == level)
+        .unwrap_or(tokens.len())
+}
+
+/// True when the statement containing the `.` at `i` starts with `let`
+/// or `return` — the produced `Option` is consumed, not dropped.
+fn statement_consumes(tokens: &[Token], i: usize) -> bool {
+    let mut s = i;
+    while s > 0 {
+        let t = &tokens[s - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        s -= 1;
+    }
+    tokens
+        .get(s)
+        .is_some_and(|t| t.is_ident("let") || t.is_ident("return"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::FileFns;
+    use crate::lexer::lex;
+    use crate::scopes::{fn_spans, test_spans, Braces};
+
+    fn run(src: &str) -> Vec<RawFinding> {
+        let lx = lex(src);
+        let braces = Braces::build(&lx.tokens);
+        let skip = test_spans(&lx.tokens, &braces);
+        let fns = fn_spans(&lx.tokens, &braces);
+        let graph = CallGraph::build(&[FileFns {
+            rel: "f.rs",
+            tokens: &lx.tokens,
+            skip: &skip,
+            fns: &fns,
+        }]);
+        let class = FileClass {
+            errorpath_scope: true,
+            ..FileClass::default()
+        };
+        let mut out = Vec::new();
+        error_path(&lx.tokens, &braces, &skip, &class, &graph, &mut out);
+        out
+    }
+
+    #[test]
+    fn discarded_known_result_cites_definition() {
+        let f = run("fn save(v: u32) -> io::Result<()> { Ok(()) }\n\
+             fn checkpoint() { let _ = save(3); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`save`"), "{}", f[0].message);
+        assert!(f[0].message.contains("f.rs:1"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn discarded_known_infallible_is_clean() {
+        let f = run("fn version() -> u32 { 3 }\n\
+             fn tick() { let _ = version(); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn discarded_unknown_call_flagged() {
+        let f = run("fn f(&self) { let _ = self.tx.send(7); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("may be a `Result`"));
+    }
+
+    #[test]
+    fn discarded_macro_is_clean() {
+        let f = run("fn f(buf: &mut String) { let _ = write!(buf, \"x\"); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn discarded_plain_value_is_clean() {
+        let f = run("fn f(x: u32) { let _ = x; let _ = (x, 3); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn bare_ok_flagged_bound_ok_not() {
+        let f = run("fn f(&self) { self.save().ok(); let x = self.load().ok(); \
+             if x.is_none() { return self.load().ok(); } }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains(".ok();"));
+    }
+
+    #[test]
+    fn semicolons_inside_closures_do_not_end_statement() {
+        let f = run("fn save() -> io::Result<()> { Ok(()) }\n\
+             fn f() { let _ = std::panic::catch_unwind(|| { tick(); save() }); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`save`"));
+    }
+
+    #[test]
+    fn out_of_scope_is_silent() {
+        let lx = lex("fn f(&self) { let _ = self.tx.send(7); }");
+        let braces = Braces::build(&lx.tokens);
+        let skip = test_spans(&lx.tokens, &braces);
+        let graph = CallGraph::build(&[]);
+        let mut out = Vec::new();
+        error_path(
+            &lx.tokens,
+            &braces,
+            &skip,
+            &FileClass::default(),
+            &graph,
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+}

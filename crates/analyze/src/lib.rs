@@ -1,11 +1,15 @@
 //! `adt-analyze`: the repo-invariant lint engine.
 //!
-//! PRs 1–3 rest on invariants the compiler does not check: scans are
+//! PRs 1–8 rest on invariants the compiler does not check: scans are
 //! byte-identical across thread counts and hash-map iteration orders, a
-//! panic never escapes a serve worker, and no lock is held across
-//! blocking I/O. This crate machine-checks them with a hand-rolled,
-//! std-only token analyzer (no `syn` — it must build under the offline
-//! devstub harness) and five rules:
+//! panic never escapes a serve worker, no lock is held across blocking
+//! I/O, the SWAR bit-packing never silently wraps, and no `Result` is
+//! dropped on the model-swap path. This crate machine-checks them with a
+//! hand-rolled, std-only token analyzer (no `syn` — it must build under
+//! the offline devstub harness). Since PR 9 the engine is
+//! *interprocedural*: a workspace-wide function index and call graph
+//! ([`callgraph`]) lets rules see through one or more layers of helper
+//! functions. Seven rules:
 //!
 //! - **determinism** — no seed-randomized `HashMap`/`HashSet` in
 //!   `adt-core`/`adt-stats`, no wall-clock reads outside the serve stats
@@ -13,17 +17,26 @@
 //! - **panic-safety** — no `unwrap`/`expect`/panicking macros/computed
 //!   slice indices in the scan kernel, the sharded training pipeline
 //!   (`adt-stats` build path), or serve request handlers.
-//! - **lock-discipline** — consistent lock acquisition order across
-//!   `adt-serve`, and no guard held across blocking I/O.
+//! - **lock-discipline** — consistent lock acquisition order, and no
+//!   guard held across blocking I/O — including a call to a helper whose
+//!   call closure blocks (v2, call-graph-powered).
+//! - **unchecked-arithmetic** — no raw `+`/`*`/`<<`/narrowing `as` in
+//!   the kernel files whose math is the product ([`arith`]).
+//! - **error-path** — no discarded `Result` (`let _ =`, bare `.ok();`)
+//!   in the serve/learn/online scopes; the call graph proves discards of
+//!   known-infallible helpers clean ([`errorpath`]).
 //! - **allow-audit** — suppression markers must carry a reason and must
 //!   actually suppress something.
 //! - **stub-parity** — `devstubs/` crates export what the workspace
 //!   imports from their real counterparts.
 //!
 //! Findings are suppressed inline with a justified marker comment (see
-//! [`allow`]); `DESIGN.md` §9 documents the protocol.
+//! [`allow`]); `DESIGN.md` §9 and §14 document the protocol.
 
 pub mod allow;
+pub mod arith;
+pub mod callgraph;
+pub mod errorpath;
 pub mod lexer;
 pub mod locks;
 pub mod parity;
@@ -70,13 +83,18 @@ pub struct FileClass {
     pub time_exempt: bool,
     /// Panic-safety rules apply (scan kernel, serve handlers).
     pub panic_scope: bool,
-    /// Lock-discipline rules apply (adt-serve).
+    /// Lock-discipline rules apply (adt-serve, ensemble/online threads).
     pub lock_scope: bool,
+    /// Unchecked-arithmetic rules apply (the SWAR/memo/intern kernels).
+    pub arith_scope: bool,
+    /// Error-path rules apply (serve handlers, the learn/online loop).
+    pub errorpath_scope: bool,
 }
 
 /// The default path → rule-scope mapping for this repository.
 pub fn classify(rel: &str) -> FileClass {
     let serve_src = rel.starts_with("crates/serve/src/");
+    let serve_handler = serve_src && !rel.ends_with("/testutil.rs") && !rel.ends_with("/client.rs");
     FileClass {
         determinism_hash: rel.starts_with("crates/core/src/")
             || rel.starts_with("crates/stats/src/"),
@@ -88,55 +106,49 @@ pub fn classify(rel: &str) -> FileClass {
             || rel == "crates/stats/src/build.rs"
             || rel == "crates/stats/src/pipeline.rs"
             || rel == "crates/patterns/src/classify.rs"
-            || (serve_src && !rel.ends_with("/testutil.rs") && !rel.ends_with("/client.rs")),
-        lock_scope: serve_src,
+            || serve_handler,
+        lock_scope: serve_src
+            || rel == "crates/core/src/ensemble.rs"
+            || rel == "crates/core/src/online.rs",
+        arith_scope: rel == "crates/patterns/src/classify.rs"
+            || rel == "crates/patterns/src/pattern.rs"
+            || rel == "crates/core/src/detector.rs"
+            || rel == "crates/stats/src/pipeline.rs",
+        errorpath_scope: serve_handler || rel == "crates/core/src/online.rs",
     }
 }
 
-/// Per-file analysis output, before cross-file passes and suppression.
-pub struct FileAnalysis {
+/// A production-tier file lexed and scaffolded once, shared by the call
+/// graph build and every per-file rule (phase 1 of the two-phase run).
+pub struct PreparedFile {
     pub rel: String,
-    pub raw: Vec<RawFinding>,
+    pub class: FileClass,
+    pub lexed: lexer::Lexed,
+    pub braces: scopes::Braces,
+    pub skip: Vec<(usize, usize)>,
+    pub fns: Vec<scopes::FnSpan>,
     pub markers: Vec<allow::Marker>,
-    pub pairs: Vec<locks::OrderedPair>,
-    pub imports: Vec<parity::Import>,
 }
 
-/// Runs the single-file rules. `stub_crates` drives import harvesting
-/// for the stub-parity pass (pass an empty set to skip it).
-pub fn analyze_file(
-    rel: &str,
-    source: &str,
-    class: &FileClass,
-    stub_crates: &BTreeSet<String>,
-) -> FileAnalysis {
-    let lx = lexer::lex(source);
-    let braces = scopes::Braces::build(&lx.tokens);
-    let skip = scopes::test_spans(&lx.tokens, &braces);
+/// Lexes and scaffolds one file for the workspace passes.
+pub fn prepare_file(rel: &str, source: &str, class: FileClass) -> PreparedFile {
+    let lexed = lexer::lex(source);
+    let braces = scopes::Braces::build(&lexed.tokens);
+    let skip = scopes::test_spans(&lexed.tokens, &braces);
     let skip_lines: Vec<(u32, u32)> = skip
         .iter()
-        .map(|&(a, b)| (lx.tokens[a].line, lx.tokens[b].line))
+        .map(|&(a, b)| (lexed.tokens[a].line, lexed.tokens[b].line))
         .collect();
-    let markers = allow::collect_markers(&lx.comments, &skip_lines);
-    let mut raw = Vec::new();
-    rules::determinism(&lx.tokens, &skip, class, &mut raw);
-    rules::panic_safety(&lx.tokens, &braces, &skip, class, &mut raw);
-    let pairs = if class.lock_scope {
-        let fns = scopes::fn_spans(&lx.tokens, &braces);
-        locks::collect(rel, &lx.tokens, &braces, &skip, &fns, &mut raw)
-    } else {
-        Vec::new()
-    };
-    let mut imports = Vec::new();
-    if !stub_crates.is_empty() {
-        parity::collect_imports(rel, &lx.tokens, stub_crates, &mut imports);
-    }
-    FileAnalysis {
+    let markers = allow::collect_markers(&lexed.comments, &skip_lines);
+    let fns = scopes::fn_spans(&lexed.tokens, &braces);
+    PreparedFile {
         rel: rel.to_string(),
-        raw,
+        class,
+        lexed,
+        braces,
+        skip,
+        fns,
         markers,
-        pairs,
-        imports,
     }
 }
 
@@ -145,6 +157,11 @@ pub fn analyze_file(
 pub struct Analysis {
     pub findings: Vec<Finding>,
     pub files_scanned: usize,
+    /// Wall-clock seconds per pass (`walk-and-lex`, `callgraph`, one key
+    /// per rule). Diagnostic only — never part of [`Analysis::to_json`],
+    /// so the findings report stays byte-stable across machines; the CLI
+    /// exposes it behind `--timings` and `bench_report` records it.
+    pub timings: BTreeMap<&'static str, f64>,
 }
 
 impl Analysis {
@@ -183,6 +200,28 @@ impl Analysis {
         out.push_str("\n  ]\n}\n");
         out
     }
+
+    /// Machine-readable per-pass timings. Kept out of [`Analysis::to_json`]
+    /// so baseline diffs stay byte-stable; consumed by `bench_report`.
+    pub fn timings_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for (pass, secs) in &self.timings {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n  {}: {:.6}", json_str(pass), secs));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Monotonic clock read for the per-pass timings diagnostic.
+fn now() -> std::time::Instant {
+    // adt-allow(determinism): timings are an opt-in diagnostic, never part of the findings report
+    std::time::Instant::now()
 }
 
 fn json_str(s: &str) -> String {
@@ -271,9 +310,14 @@ pub fn analyze_workspace(root: &Path, only: &[String]) -> std::io::Result<Analys
         }
     }
 
+    let mut timings: BTreeMap<&'static str, f64> = BTreeMap::new();
+
+    // Phase 1: walk, read, lex, and scaffold every production-tier file
+    // once; harvest imports from everything (stub parity spans tests).
+    let t0 = now();
     let mut files = Vec::new();
     walk(root, &mut files)?;
-    let mut analyses: Vec<FileAnalysis> = Vec::new();
+    let mut prepared: Vec<PreparedFile> = Vec::new();
     let mut imports: Vec<parity::Import> = Vec::new();
     let mut files_scanned = 0usize;
     for path in &files {
@@ -289,10 +333,11 @@ pub fn analyze_workspace(root: &Path, only: &[String]) -> std::io::Result<Analys
         files_scanned += 1;
         match tier_of(&rel) {
             Tier::Prod => {
-                let class = classify(&rel);
-                let mut fa = analyze_file(&rel, &source, &class, &stub_crates);
-                imports.append(&mut fa.imports);
-                analyses.push(fa);
+                let pf = prepare_file(&rel, &source, classify(&rel));
+                if !stub_crates.is_empty() {
+                    parity::collect_imports(&rel, &pf.lexed.tokens, &stub_crates, &mut imports);
+                }
+                prepared.push(pf);
             }
             Tier::ImportOnly => {
                 if stub_crates.is_empty() {
@@ -303,15 +348,84 @@ pub fn analyze_workspace(root: &Path, only: &[String]) -> std::io::Result<Analys
             }
         }
     }
+    timings.insert("walk-and-lex", t0.elapsed().as_secs_f64());
 
-    // Cross-file: lock order.
-    let all_pairs: Vec<locks::OrderedPair> = analyses
+    // Phase 2: the workspace call graph, from the prepared files.
+    let t0 = now();
+    let file_fns: Vec<callgraph::FileFns> = prepared
         .iter()
-        .flat_map(|a| a.pairs.iter().cloned())
+        .map(|pf| callgraph::FileFns {
+            rel: &pf.rel,
+            tokens: &pf.lexed.tokens,
+            skip: &pf.skip,
+            fns: &pf.fns,
+        })
         .collect();
+    let graph = callgraph::CallGraph::build(&file_fns);
+    drop(file_fns);
+    timings.insert("callgraph", t0.elapsed().as_secs_f64());
+
+    // Phase 3: per-file rules, one timed pass over all files per rule.
+    let mut raw: Vec<(usize, RawFinding)> = Vec::new();
+    let timed = |raw: &mut Vec<(usize, RawFinding)>,
+                 pass: &mut dyn FnMut(&PreparedFile, &mut Vec<RawFinding>)| {
+        let t0 = now();
+        let mut buf = Vec::new();
+        for (idx, pf) in prepared.iter().enumerate() {
+            pass(pf, &mut buf);
+            raw.extend(buf.drain(..).map(|rf| (idx, rf)));
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let t = timed(&mut raw, &mut |pf, buf| {
+        rules::determinism(&pf.lexed.tokens, &pf.skip, &pf.class, buf);
+    });
+    timings.insert("determinism", t);
+    let t = timed(&mut raw, &mut |pf, buf| {
+        rules::panic_safety(&pf.lexed.tokens, &pf.braces, &pf.skip, &pf.class, buf);
+    });
+    timings.insert("panic-safety", t);
+    let t = timed(&mut raw, &mut |pf, buf| {
+        arith::unchecked_arithmetic(&pf.lexed.tokens, &pf.skip, &pf.class, buf);
+    });
+    timings.insert("unchecked-arithmetic", t);
+    let t = timed(&mut raw, &mut |pf, buf| {
+        errorpath::error_path(
+            &pf.lexed.tokens,
+            &pf.braces,
+            &pf.skip,
+            &pf.class,
+            &graph,
+            buf,
+        );
+    });
+    timings.insert("error-path", t);
+
+    // Lock discipline: per-file (graph-aware) plus the cross-file order
+    // check, one timing bucket.
+    let t0 = now();
+    let mut all_pairs: Vec<locks::OrderedPair> = Vec::new();
+    for (idx, pf) in prepared.iter().enumerate() {
+        if !pf.class.lock_scope {
+            continue;
+        }
+        let mut buf = Vec::new();
+        all_pairs.extend(locks::collect(
+            &pf.rel,
+            &pf.lexed.tokens,
+            &pf.braces,
+            &pf.skip,
+            &pf.fns,
+            &graph,
+            &mut buf,
+        ));
+        raw.extend(buf.into_iter().map(|rf| (idx, rf)));
+    }
     let order = locks::order_findings(&all_pairs);
+    timings.insert("lock-discipline", t0.elapsed().as_secs_f64());
 
     // Cross-file: stub parity.
+    let t0 = now();
     let mut stub_trees = BTreeMap::new();
     for name in &stub_crates {
         if let Ok(tree) = parity::build_stub_tree(&stubs_dir.join(name)) {
@@ -319,22 +433,22 @@ pub fn analyze_workspace(root: &Path, only: &[String]) -> std::io::Result<Analys
         }
     }
     let parity_findings = parity::check(&imports, &stub_trees);
+    timings.insert("stub-parity", t0.elapsed().as_secs_f64());
 
     // Attach, suppress, audit.
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut marker_sets: BTreeMap<String, Vec<allow::Marker>> = analyses
+    let t0 = now();
+    let mut findings: Vec<Finding> = raw
         .into_iter()
-        .map(|a| {
-            for rf in a.raw {
-                findings.push(Finding {
-                    file: a.rel.clone(),
-                    line: rf.line,
-                    rule: rf.rule,
-                    message: rf.message,
-                });
-            }
-            (a.rel, a.markers)
+        .map(|(idx, rf)| Finding {
+            file: prepared[idx].rel.clone(),
+            line: rf.line,
+            rule: rf.rule,
+            message: rf.message,
         })
+        .collect();
+    let mut marker_sets: BTreeMap<String, Vec<allow::Marker>> = prepared
+        .into_iter()
+        .map(|pf| (pf.rel, pf.markers))
         .collect();
     for (file, rf) in order {
         findings.push(Finding {
@@ -399,10 +513,16 @@ pub fn analyze_workspace(root: &Path, only: &[String]) -> std::io::Result<Analys
         }
     }
 
+    timings.insert("allow-audit", t0.elapsed().as_secs_f64());
+
+    // Deterministic output order: (file, line, rule, message) — the
+    // derived `Ord` on `Finding` — so `--json` reports are byte-stable
+    // across platforms and runs.
     findings.sort();
     findings.dedup();
     Ok(Analysis {
         findings,
         files_scanned,
+        timings,
     })
 }

@@ -8,21 +8,29 @@
 //!    to the end of the enclosing block for `let`-bound guards, to the end
 //!    of the statement otherwise, or to an explicit `drop(guard)`) covers
 //!    a blocking call (`send`, `recv`, `write_all`, `accept`, …) stalls
-//!    every other thread contending for that lock.
+//!    every other thread contending for that lock. v2: the blocking call
+//!    may be *indirect* — a workspace helper whose call closure blocks
+//!    (per the [`CallGraph`](crate::callgraph::CallGraph)) is flagged
+//!    with the root cause's site.
 //! 2. **Lock order** — if one function acquires `a` then `b` while `a` is
 //!    still held, and another acquires `b` then `a`, the pair can
-//!    deadlock; one order must win.
+//!    deadlock; one order must win. v2: a call made under a guard
+//!    contributes the callee's *transitive* acquisition set as ordered
+//!    pairs, so split-across-helpers orderings still participate.
 //!
 //! Lock identity is the receiver path with a leading `self.` stripped
 //! (`self.entries.read()` → `entries`), which makes sequences comparable
 //! across methods of one type and across files sharing a field name.
 
+use crate::callgraph::{call_at, CallGraph};
 use crate::lexer::{TokKind, Token};
 use crate::scopes::{in_spans, Braces, FnSpan};
 use crate::RawFinding;
 
-const ACQUIRERS: [&str; 6] = ["lock", "read", "write", "try_lock", "try_read", "try_write"];
-const BLOCKING: [&str; 15] = [
+/// Guard-producing method names (empty-argument method calls only).
+pub const ACQUIRERS: [&str; 6] = ["lock", "read", "write", "try_lock", "try_read", "try_write"];
+/// Method names that may block the calling thread.
+pub const BLOCKING: [&str; 15] = [
     "send",
     "send_timeout",
     "recv",
@@ -61,12 +69,16 @@ struct Acquisition {
 
 /// Scans one file: emits blocking-while-locked findings into `out` and
 /// returns the ordered acquisition pairs for the cross-file order check.
+/// `graph` powers the interprocedural half: calls under a guard to
+/// helpers that may block (or that acquire further locks) are treated as
+/// if their effects happened inline.
 pub fn collect(
     file: &str,
     tokens: &[Token],
     braces: &Braces,
     skip: &[(usize, usize)],
     fns: &[FnSpan],
+    graph: &CallGraph,
     out: &mut Vec<RawFinding>,
 ) -> Vec<OrderedPair> {
     let mut pairs = Vec::new();
@@ -98,6 +110,43 @@ pub fn collect(
                             t.text, a.lock, a.line
                         ),
                     });
+                    continue;
+                }
+                // Indirect: a workspace helper whose closure blocks.
+                let Some(site) = call_at(tokens, i) else {
+                    continue;
+                };
+                if ACQUIRERS.contains(&site.callee.as_str())
+                    || BLOCKING.contains(&site.callee.as_str())
+                {
+                    continue;
+                }
+                if let Some(cause) = graph.block_cause(&site.callee, site.dotted) {
+                    out.push(RawFinding {
+                        rule: "lock-discipline",
+                        line: site.line,
+                        message: format!(
+                            "call to `{}` while guard of `{}` (acquired line {}) may \
+                             still be held; `{}` may block ({})",
+                            site.callee, a.lock, a.line, site.callee, cause
+                        ),
+                    });
+                }
+                // Transitive ordering: locks the callee's closure takes
+                // while this guard is held participate in the cross-file
+                // order check as if acquired here.
+                if let Some(locks) = graph.transitive_acquires(&site.callee, site.dotted) {
+                    for lock in locks {
+                        if *lock != a.lock {
+                            pairs.push(OrderedPair {
+                                first: a.lock.clone(),
+                                second: lock.clone(),
+                                file: file.to_string(),
+                                fn_name: f.name.clone(),
+                                line: site.line,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -144,31 +193,38 @@ pub fn order_findings(pairs: &[OrderedPair]) -> Vec<(String, RawFinding)> {
     out
 }
 
+/// When token `i` is a guard acquisition (`recv.lock()`-shaped: an
+/// [`ACQUIRERS`] name in method position with an empty argument list),
+/// the lock's receiver path. Shared with the call-graph build, which
+/// harvests per-function direct acquisition sets through it.
+pub fn acquisition_at(tokens: &[Token], i: usize) -> Option<String> {
+    let t = tokens.get(i)?;
+    if t.kind != TokKind::Ident || !ACQUIRERS.contains(&t.text.as_str()) {
+        return None;
+    }
+    if i == 0 || !tokens[i - 1].is_punct('.') {
+        return None;
+    }
+    if !(tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        && tokens.get(i + 2).is_some_and(|n| n.is_punct(')')))
+    {
+        return None;
+    }
+    receiver_path(tokens, i - 1)
+}
+
 fn acquisitions(tokens: &[Token], braces: &Braces, f: &FnSpan) -> Vec<Acquisition> {
     let mut out = Vec::new();
     let end = f.body_end.min(tokens.len());
     for i in f.body_start..end {
-        let t = &tokens[i];
-        if t.kind != TokKind::Ident || !ACQUIRERS.contains(&t.text.as_str()) {
-            continue;
-        }
-        // `.lock()` — method position, empty argument list.
-        if i == 0 || !tokens[i - 1].is_punct('.') {
-            continue;
-        }
-        if !(tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
-            && tokens.get(i + 2).is_some_and(|n| n.is_punct(')')))
-        {
-            continue;
-        }
-        let Some(lock) = receiver_path(tokens, i - 1) else {
+        let Some(lock) = acquisition_at(tokens, i) else {
             continue;
         };
         let guard_end = guard_end(tokens, braces, i, end);
         out.push(Acquisition {
             lock,
             tok: i,
-            line: t.line,
+            line: tokens[i].line,
             guard_end,
         });
     }
@@ -278,8 +334,14 @@ mod tests {
         let braces = Braces::build(&lx.tokens);
         let skip = test_spans(&lx.tokens, &braces);
         let fns = fn_spans(&lx.tokens, &braces);
+        let graph = CallGraph::build(&[crate::callgraph::FileFns {
+            rel: "f.rs",
+            tokens: &lx.tokens,
+            skip: &skip,
+            fns: &fns,
+        }]);
         let mut out = Vec::new();
-        let pairs = collect("f.rs", &lx.tokens, &braces, &skip, &fns, &mut out);
+        let pairs = collect("f.rs", &lx.tokens, &braces, &skip, &fns, &graph, &mut out);
         (out, pairs)
     }
 
@@ -331,6 +393,46 @@ mod tests {
         let findings = order_findings(&pairs);
         assert_eq!(findings.len(), 2, "{findings:?}");
         assert!(findings[0].1.message.contains("inconsistent lock order"));
+    }
+
+    #[test]
+    fn indirect_blocking_through_helper_flagged() {
+        let (f, _) = run(
+            "fn relay(&self) { let g = self.state.lock(); self.forward(g.id); }\n\
+             fn forward(&self, id: u64) { self.tx.send(id); }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message.contains("`forward` may block"),
+            "{}",
+            f[0].message
+        );
+        assert!(
+            f[0].message.contains("`.send()` at f.rs:2"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn indirect_nonblocking_helper_is_clean() {
+        let (f, _) = run(
+            "fn relay(&self) { let g = self.state.lock(); self.label(g.id); }\n\
+             fn label(&self, id: u64) -> String { format!(\"{id}\") }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn transitive_acquires_make_ordered_pairs() {
+        let (_, pairs) = run(
+            "fn outer(&self) { let a = self.a.lock(); self.helper(); }\n\
+             fn helper(&self) { let b = self.b.lock(); }",
+        );
+        assert!(
+            pairs.iter().any(|p| p.first == "a" && p.second == "b"),
+            "{pairs:?}"
+        );
     }
 
     #[test]

@@ -1,20 +1,24 @@
 //! CLI for the repo-invariant lint engine.
 //!
-//!     cargo run -p adt-analyze -- [--deny] [--json] [--root DIR] [paths…]
+//!     cargo run -p adt-analyze -- [--deny] [--json] [--timings] [--root DIR] [paths…]
 //!
 //! Findings print as `file:line: rule: message`. `--deny` exits non-zero
 //! when any finding remains (the CI gate); `--json` emits the stable
-//! machine-readable report instead; `paths` restrict the run to files
-//! whose repo-relative path contains one of the given substrings.
+//! machine-readable report instead; `--timings` appends a per-pass
+//! wall-clock JSON object to stderr (diagnostic — kept out of the stable
+//! report so baseline diffs stay byte-identical); `paths` restrict the
+//! run to files whose repo-relative path contains one of the given
+//! substrings.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: adt-analyze [--deny] [--json] [--root DIR] [paths...]";
+const USAGE: &str = "usage: adt-analyze [--deny] [--json] [--timings] [--root DIR] [paths...]";
 
 fn main() -> ExitCode {
     let mut deny = false;
     let mut json = false;
+    let mut timings = false;
     let mut root = PathBuf::from(".");
     let mut only: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -22,6 +26,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--deny" => deny = true,
             "--json" => json = true,
+            "--timings" => timings = true,
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
@@ -66,6 +71,10 @@ fn main() -> ExitCode {
             analysis.files_scanned,
             if analysis.files_scanned == 1 { "" } else { "s" },
         );
+    }
+
+    if timings {
+        eprint!("{}", analysis.timings_json());
     }
 
     if deny && !analysis.findings.is_empty() {

@@ -152,6 +152,7 @@ mod tests {
             time_exempt: false,
             panic_scope: true,
             lock_scope: true,
+            ..FileClass::default()
         }
     }
 
@@ -176,10 +177,8 @@ mod tests {
     #[test]
     fn out_of_scope_class_silences() {
         let class = FileClass {
-            determinism_hash: false,
             time_exempt: true,
-            panic_scope: false,
-            lock_scope: false,
+            ..FileClass::default()
         };
         let f = run(
             "use std::collections::HashMap;\nfn f() { Instant::now(); x.unwrap(); }",

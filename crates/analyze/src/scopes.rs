@@ -128,12 +128,36 @@ pub fn in_spans(spans: &[(usize, usize)], i: usize) -> bool {
     spans.iter().any(|&(a, b)| a <= i && i <= b)
 }
 
-/// One `fn` item: its name and body token range (exclusive of braces).
+/// One `fn` item: its name, body token range (exclusive of braces), and
+/// enough signature context for the call graph (the `fn` keyword index
+/// bounds the signature; `line` is where the name token sits).
 #[derive(Debug)]
 pub struct FnSpan {
     pub name: String,
+    pub line: u32,
+    /// Index of the `fn` keyword token.
+    pub fn_tok: usize,
     pub body_start: usize,
     pub body_end: usize,
+}
+
+impl FnSpan {
+    /// True when the signature declares a `Result` return: a `->` arrow
+    /// followed anywhere before the body by a `Result` ident (covers
+    /// `io::Result`, `Result<T, E>`, and type aliases ending in
+    /// `Result`).
+    pub fn returns_result(&self, tokens: &[Token]) -> bool {
+        let sig = &tokens[self.fn_tok..self.body_start.min(tokens.len())];
+        let Some(arrow) = sig
+            .windows(2)
+            .position(|w| w[0].is_punct('-') && w[1].is_punct('>'))
+        else {
+            return false;
+        };
+        sig[arrow..]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text.ends_with("Result"))
+    }
 }
 
 /// Every function with a body, innermost-last so callers can attribute a
@@ -181,6 +205,8 @@ pub fn fn_spans(tokens: &[Token], braces: &Braces) -> Vec<FnSpan> {
         if let Some((s, e)) = body {
             out.push(FnSpan {
                 name: name_tok.text.clone(),
+                line: name_tok.line,
+                fn_tok: i,
                 body_start: s,
                 body_end: e,
             });

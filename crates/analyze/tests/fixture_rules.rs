@@ -85,6 +85,61 @@ fn seeded_violations_reported_with_file_and_line() {
         has(f, "crates/patterns/src/classify.rs", 8, "panic-safety"),
         "{f:#?}"
     );
+    // unchecked-arithmetic: raw shift, literal multiply, truncating cast
+    // in the pattern kernel, plus literal adds in the other kernel files.
+    assert!(
+        has(
+            f,
+            "crates/patterns/src/pattern.rs",
+            4,
+            "unchecked-arithmetic"
+        ),
+        "{f:#?}"
+    );
+    assert!(
+        has(
+            f,
+            "crates/patterns/src/pattern.rs",
+            8,
+            "unchecked-arithmetic"
+        ),
+        "{f:#?}"
+    );
+    assert!(
+        has(
+            f,
+            "crates/patterns/src/pattern.rs",
+            12,
+            "unchecked-arithmetic"
+        ),
+        "{f:#?}"
+    );
+    assert!(
+        has(f, "crates/core/src/detector.rs", 8, "unchecked-arithmetic"),
+        "{f:#?}"
+    );
+    assert!(
+        has(f, "crates/stats/src/pipeline.rs", 8, "unchecked-arithmetic"),
+        "{f:#?}"
+    );
+    // error-path: discarded Results via `let _ =` and statement-final
+    // `.ok();` across the serve and online-learner scopes.
+    assert!(
+        has(f, "crates/serve/src/server.rs", 13, "error-path"),
+        "{f:#?}"
+    );
+    assert!(
+        has(f, "crates/serve/src/server.rs", 31, "error-path"),
+        "{f:#?}"
+    );
+    assert!(
+        has(f, "crates/core/src/online.rs", 24, "error-path"),
+        "{f:#?}"
+    );
+    assert!(
+        has(f, "crates/core/src/online.rs", 48, "error-path"),
+        "{f:#?}"
+    );
     // lock-discipline: blocking send under a guard, and both sides of an
     // inconsistent cross-file acquisition order.
     assert!(
@@ -97,6 +152,16 @@ fn seeded_violations_reported_with_file_and_line() {
     );
     assert!(
         has(f, "crates/serve/src/registry.rs", 11, "lock-discipline"),
+        "{f:#?}"
+    );
+    // lock-discipline v2: the PR 9 scope widening reaches the ensemble
+    // lanes and the online learner's feed queue.
+    assert!(
+        has(f, "crates/core/src/ensemble.rs", 11, "lock-discipline"),
+        "{f:#?}"
+    );
+    assert!(
+        has(f, "crates/core/src/online.rs", 48, "lock-discipline"),
         "{f:#?}"
     );
     // allow-audit: stale, unknown-rule, and reason-less markers.
@@ -112,6 +177,29 @@ fn seeded_violations_reported_with_file_and_line() {
         has(f, "crates/core/src/audit.rs", 14, "allow-audit"),
         "{f:#?}"
     );
+    // allow-audit for the new rules: stale error-path marker, misspelled
+    // rule name, reason-less arithmetic/error-path suppressions, and a
+    // stale unchecked-arithmetic marker.
+    assert!(
+        has(f, "crates/core/src/audit.rs", 19, "allow-audit"),
+        "{f:#?}"
+    );
+    assert!(
+        has(f, "crates/core/src/audit.rs", 24, "allow-audit"),
+        "{f:#?}"
+    );
+    assert!(
+        has(f, "crates/patterns/src/pattern.rs", 21, "allow-audit"),
+        "{f:#?}"
+    );
+    assert!(
+        has(f, "crates/patterns/src/pattern.rs", 25, "allow-audit"),
+        "{f:#?}"
+    );
+    assert!(
+        has(f, "crates/core/src/online.rs", 53, "allow-audit"),
+        "{f:#?}"
+    );
     // stub-parity: an import the fixture stub does not export.
     assert!(
         has(f, "crates/core/src/uses_stub.rs", 5, "stub-parity"),
@@ -125,11 +213,13 @@ fn per_rule_counts_are_exact() {
     let count = |rule: &str| a.findings.iter().filter(|f| f.rule == rule).count();
     assert_eq!(count("determinism"), 5, "{:#?}", a.findings);
     assert_eq!(count("panic-safety"), 8, "{:#?}", a.findings);
-    assert_eq!(count("lock-discipline"), 3, "{:#?}", a.findings);
-    assert_eq!(count("allow-audit"), 3, "{:#?}", a.findings);
+    assert_eq!(count("lock-discipline"), 6, "{:#?}", a.findings);
+    assert_eq!(count("unchecked-arithmetic"), 5, "{:#?}", a.findings);
+    assert_eq!(count("error-path"), 4, "{:#?}", a.findings);
+    assert_eq!(count("allow-audit"), 8, "{:#?}", a.findings);
     assert_eq!(count("stub-parity"), 1, "{:#?}", a.findings);
-    assert_eq!(a.findings.len(), 20, "{:#?}", a.findings);
-    assert_eq!(a.files_scanned, 9);
+    assert_eq!(a.findings.len(), 37, "{:#?}", a.findings);
+    assert_eq!(a.files_scanned, 11);
 }
 
 #[test]
@@ -161,9 +251,45 @@ fn justified_markers_suppress_their_findings() {
         !has(f, "crates/patterns/src/classify.rs", 14, "panic-safety"),
         "{f:#?}"
     );
-    // Suppressed: recv-under-guard handoff under a reasoned marker.
+    // Suppressed: recv-under-guard handoff under a reasoned marker, and
+    // the drained value's discard under a same-line error-path marker.
     assert!(
         !has(f, "crates/serve/src/server.rs", 25, "lock-discipline"),
+        "{f:#?}"
+    );
+    assert!(
+        !has(f, "crates/serve/src/server.rs", 25, "error-path"),
+        "{f:#?}"
+    );
+    // Suppressed: literal add under a reasoned unchecked-arithmetic marker.
+    assert!(
+        !has(
+            f,
+            "crates/patterns/src/pattern.rs",
+            17,
+            "unchecked-arithmetic"
+        ),
+        "{f:#?}"
+    );
+    // Suppressed: best-effort checkpoint under a reasoned error-path marker.
+    assert!(
+        !has(f, "crates/core/src/online.rs", 37, "error-path"),
+        "{f:#?}"
+    );
+    // Suppressed: indirect blocking call under a reasoned marker.
+    assert!(
+        !has(f, "crates/serve/src/server.rs", 42, "lock-discipline"),
+        "{f:#?}"
+    );
+    // Suppressed: send-under-guard in the widened ensemble scope.
+    assert!(
+        !has(f, "crates/core/src/ensemble.rs", 18, "lock-discipline"),
+        "{f:#?}"
+    );
+    // A discard whose callee is known NOT to return Result is clean: the
+    // call graph proves `version` infallible, so `tick` carries nothing.
+    assert!(
+        !has(f, "crates/core/src/online.rs", 32, "error-path"),
         "{f:#?}"
     );
     // The reason-less marker still suppresses (line 15) but is itself
@@ -180,13 +306,54 @@ fn justified_markers_suppress_their_findings() {
     );
 }
 
+/// The tentpole acceptance case: a guard held across a call to a helper
+/// that itself blocks is caught only by propagating effects through the
+/// call graph — the pre-PR per-file engine cannot see it. The finding
+/// names the helper and cites the blocking site inside it.
+#[test]
+fn indirect_blocking_is_caught_through_the_call_graph() {
+    let a = run_fixture();
+    let f = a
+        .findings
+        .iter()
+        .find(|f| {
+            f.file == "crates/serve/src/server.rs" && f.line == 36 && f.rule == "lock-discipline"
+        })
+        .unwrap_or_else(|| panic!("{:#?}", a.findings));
+    assert!(f.message.contains("`forward` may block"), "{}", f.message);
+    assert!(
+        f.message
+            .contains("`.send()` at crates/serve/src/server.rs:31"),
+        "{}",
+        f.message
+    );
+}
+
+/// Dropped-Result findings cite the callee's definition site when the
+/// call graph resolves it to a fn with a Result return type.
+#[test]
+fn dropped_result_findings_cite_the_definition_site() {
+    let a = run_fixture();
+    let f = a
+        .findings
+        .iter()
+        .find(|f| f.file == "crates/core/src/online.rs" && f.line == 24 && f.rule == "error-path")
+        .unwrap_or_else(|| panic!("{:#?}", a.findings));
+    assert!(
+        f.message
+            .contains("`save_state` (defined at crates/core/src/online.rs:16)"),
+        "{}",
+        f.message
+    );
+}
+
 #[test]
 fn path_filter_restricts_the_run() {
     let a = analyze_workspace(&fixture_root(), &["detector.rs".to_string()])
         .expect("filtered run analyzes");
     assert_eq!(a.files_scanned, 1);
     assert!(a.findings.iter().all(|f| f.file.ends_with("detector.rs")));
-    assert_eq!(a.findings.len(), 3, "{:#?}", a.findings);
+    assert_eq!(a.findings.len(), 4, "{:#?}", a.findings);
 }
 
 #[test]
@@ -195,14 +362,59 @@ fn json_report_is_stable_and_structured() {
     let second = run_fixture().to_json();
     assert_eq!(first, second, "JSON report must be byte-stable across runs");
     assert!(first.contains("\"version\": 1"));
-    assert!(first.contains("\"files_scanned\": 9"));
+    assert!(first.contains("\"files_scanned\": 11"));
     assert!(first.contains("\"determinism\": 5"));
     assert!(first.contains("\"panic-safety\": 8"));
-    assert!(first.contains("\"lock-discipline\": 3"));
-    assert!(first.contains("\"allow-audit\": 3"));
+    assert!(first.contains("\"lock-discipline\": 6"));
+    assert!(first.contains("\"unchecked-arithmetic\": 5"));
+    assert!(first.contains("\"error-path\": 4"));
+    assert!(first.contains("\"allow-audit\": 8"));
     assert!(first.contains("\"stub-parity\": 1"));
     // One JSON row per finding.
-    assert_eq!(first.matches("{\"file\": ").count(), 20);
+    assert_eq!(first.matches("{\"file\": ").count(), 37);
+}
+
+/// S1: two binary invocations of `--json` produce byte-identical output,
+/// and the findings array is sorted by (file, line, rule).
+#[test]
+fn cli_json_output_is_byte_stable_and_sorted() {
+    let bin = env!("CARGO_BIN_EXE_adt-analyze");
+    let root = fixture_root();
+    let run = || {
+        let out = std::process::Command::new(bin)
+            .args(["--json", "--root"])
+            .arg(&root)
+            .output()
+            .expect("analyzer binary runs");
+        assert!(out.status.success());
+        out.stdout
+    };
+    let first = run();
+    assert_eq!(first, run(), "two --json runs must be byte-identical");
+
+    // Every findings row carries (file, line, rule), and rows arrive in
+    // lexicographic (file, line) order.
+    let text = String::from_utf8(first).expect("json output is utf-8");
+    let mut keys = Vec::new();
+    for row in text
+        .lines()
+        .filter(|l| l.trim_start().starts_with("{\"file\": "))
+    {
+        let field = |name: &str| {
+            let tag = format!("\"{name}\": ");
+            let at = row.find(&tag).unwrap_or_else(|| panic!("{row}")) + tag.len();
+            row[at..]
+                .split([',', '}'])
+                .next()
+                .unwrap()
+                .trim_matches('"')
+                .to_string()
+        };
+        assert!(!field("rule").is_empty(), "{row}");
+        keys.push((field("file"), field("line").parse::<u32>().expect("line")));
+    }
+    assert_eq!(keys.len(), 37);
+    assert!(keys.windows(2).all(|w| w[0] <= w[1]), "{keys:#?}");
 }
 
 #[test]

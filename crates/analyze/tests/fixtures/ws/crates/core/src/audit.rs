@@ -15,3 +15,13 @@ pub fn reasonless() -> usize {
     let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
     m.len()
 }
+
+// adt-allow(error-path): fixture: stale marker with nothing to suppress
+pub fn quiet() -> u32 {
+    11
+}
+
+// adt-allow(unchecked-arith): fixture: misspelled rule name
+pub fn misspelled() -> u32 {
+    13
+}

@@ -1,0 +1,21 @@
+//! Fixture: ensemble lanes are lock-scoped since the PR 9 widening.
+
+pub struct Lanes {
+    state: std::sync::Mutex<u32>,
+    tx: std::sync::mpsc::Sender<u32>,
+}
+
+impl Lanes {
+    pub fn pooled(&self) -> u32 {
+        let g = self.state.lock();
+        self.tx.send(*g).unwrap_or_default();
+        *g
+    }
+
+    pub fn pooled_allowed(&self) -> u32 {
+        let g = self.state.lock();
+        // adt-allow(lock-discipline): fixture: the bounded channel is empty by protocol here
+        self.tx.send(*g).unwrap_or_default();
+        *g
+    }
+}

@@ -12,3 +12,44 @@ pub fn retrain(vals: &[u64]) -> u64 {
     // adt-allow(panic-safety): fixture: absorb rejects empty batches upstream
     vals.iter().copied().max().expect("non-empty")
 }
+
+pub fn save_state(flush: bool) -> std::io::Result<()> {
+    if flush {
+        return Err(std::io::Error::new(std::io::ErrorKind::Other, "disk"));
+    }
+    Ok(())
+}
+
+pub fn checkpoint() {
+    let _ = save_state(true);
+}
+
+pub fn version() -> u32 {
+    3
+}
+
+pub fn tick() {
+    let _ = version();
+}
+
+pub fn checkpoint_allowed() {
+    // adt-allow(error-path): fixture: best-effort checkpoint, retried on the next interval
+    let _ = save_state(false);
+}
+
+pub struct Feed {
+    q: std::sync::Mutex<Vec<u64>>,
+    tx: std::sync::mpsc::Sender<u64>,
+}
+
+impl Feed {
+    pub fn push_all(&self) {
+        let g = self.q.lock();
+        self.tx.send(g.len() as u64).ok();
+    }
+}
+
+pub fn reasonless_discard() {
+    // adt-allow(error-path)
+    let _ = save_state(true);
+}

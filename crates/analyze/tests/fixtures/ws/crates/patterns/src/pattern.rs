@@ -1,0 +1,28 @@
+//! Fixture: the run-word packing kernel is arithmetic-scoped.
+
+pub fn pack(tag: u8, len: u32) -> u64 {
+    tag as u64 | (len as u64) << 8
+}
+
+pub fn fold(h: u64) -> u64 {
+    h * 31
+}
+
+pub fn span_len(end: usize, pos: usize) -> u32 {
+    (end - pos) as u32
+}
+
+pub fn padded(len: usize) -> usize {
+    // adt-allow(unchecked-arithmetic): fixture: len is capped at 40 upstream
+    len + 7
+}
+
+pub fn reasonless_scale(x: u64) -> u64 {
+    // adt-allow(unchecked-arithmetic)
+    x * 3
+}
+
+// adt-allow(unchecked-arithmetic): fixture: stale marker with nothing to suppress
+pub fn clean(x: u64) -> u64 {
+    x
+}

@@ -22,6 +22,23 @@ impl Hub {
 
     pub fn drain(&self) {
         // adt-allow(lock-discipline): fixture: guard exists only for the recv handoff
-        let _ = self.rx.lock().recv();
+        let _ = self.rx.lock().recv(); // adt-allow(error-path): fixture: drained value is intentionally dropped
+    }
+}
+
+impl Hub {
+    pub fn forward(&self, v: u32) {
+        let _ = self.tx.send(v);
+    }
+
+    pub fn relay(&self) {
+        let g = self.beta.lock();
+        self.forward(*g);
+    }
+
+    pub fn relay_allowed(&self) {
+        let g = self.beta.lock();
+        // adt-allow(lock-discipline): fixture: forward's send never blocks an unbounded channel
+        self.forward(*g);
     }
 }

@@ -85,7 +85,7 @@ pub struct ColumnFinding {
 /// Default cap on memoized values per [`PatternCache`]. A cache entry is
 /// the value string plus one hash per language; at the cap the map stays
 /// in the tens of megabytes even for pathological value lengths.
-pub const DEFAULT_VALUE_CAPACITY: usize = 1 << 16;
+pub const DEFAULT_VALUE_CAPACITY: usize = 65_536;
 
 /// Per-worker scan memory: value → pattern hashes, plus one bounded
 /// NPMI pair-score memo per selected language.
@@ -587,6 +587,7 @@ impl AutoDetect {
             let mut of = Vec::with_capacity(d);
             let mut pats: Vec<PatternHash> = Vec::new();
             for &h in hs {
+                // adt-allow(unchecked-arithmetic): per-column distinct-pattern count, bounded by the column's value count — far below u32::MAX
                 let next = pats.len() as u32;
                 let g = *ids.entry(h.0).or_insert(next);
                 if g == next {
@@ -794,6 +795,7 @@ impl AutoDetect {
         };
         let mut compat_memo: FxHashMap<(u32, u32), f64> = FxHashMap::default();
         let compat_at = |memo: &mut FxHashMap<(u32, u32), f64>, k: usize, i: usize| -> f64 {
+            // adt-allow(unchecked-arithmetic): k ≤ selected languages (≤144) and i < d′ distinct patterns; both fit u32 with room to spare
             *memo.entry((k as u32, i as u32)).or_insert_with(|| {
                 let m = &matrices[k];
                 let gi = group_of[k][i] as usize;
@@ -832,6 +834,7 @@ impl AutoDetect {
                     let ms = &members[a];
                     let mut v = Vec::with_capacity(ms.len() * (ms.len() - 1) / 2);
                     for x in 0..ms.len() {
+                        // adt-allow(unchecked-arithmetic): x < ms.len() loop bound, so +1 cannot overflow
                         for y in (x + 1)..ms.len() {
                             v.push((ms[x], ms[y]));
                         }
@@ -929,6 +932,7 @@ impl AutoDetect {
         let mut flagged_pairs: Vec<(usize, usize, f64, usize, f64)> = Vec::new();
         let mut degree = vec![0.0f64; d];
         for i in 0..d {
+            // adt-allow(unchecked-arithmetic): i < d loop bound, so +1 cannot overflow
             for j in (i + 1)..d {
                 for (k, m) in matrices.iter().enumerate() {
                     scores[k] = m.at(group_of[k][i] as usize, group_of[k][j] as usize);
@@ -966,6 +970,7 @@ impl AutoDetect {
         // summation order, so even its f64 rounding matches.
         let mut compat_memo: FxHashMap<(u32, u32), f64> = FxHashMap::default();
         let compat_at = |memo: &mut FxHashMap<(u32, u32), f64>, k: usize, i: usize| -> f64 {
+            // adt-allow(unchecked-arithmetic): k ≤ selected languages (≤144) and i < d′ distinct patterns; both fit u32 with room to spare
             *memo.entry((k as u32, i as u32)).or_insert_with(|| {
                 let m = &matrices[k];
                 let gi = group_of[k][i] as usize;

@@ -42,6 +42,7 @@ const fn build_ascii_kind() -> [u8; 128] {
     let mut table = [KIND_SYMBOL; 128];
     let mut b = 0usize;
     while b < 128 {
+        // adt-allow(unchecked-arithmetic): b < 128 by the loop bound, so the u8 cast is lossless
         let c = b as u8;
         if c.is_ascii_uppercase() {
             table[b] = KIND_UPPER;
@@ -114,8 +115,10 @@ impl Iterator for CharRuns<'_> {
         if first < 0x80 {
             // ASCII fast path: word-at-a-time SWAR scan for the run end.
             let broadcast = (first as u64).wrapping_mul(LANE_LSB);
+            // adt-allow(unchecked-arithmetic): pos ≤ len ≤ isize::MAX, so +1 cannot overflow usize
             let mut end = self.pos + 1;
             loop {
+                // adt-allow(unchecked-arithmetic): end ≤ len ≤ isize::MAX, so +8 cannot overflow usize
                 let Some(chunk) = bytes.get(end..end + 8) else {
                     // Fewer than 8 bytes left: scalar tail.
                     while bytes.get(end) == Some(&first) {
@@ -135,6 +138,7 @@ impl Iterator for CharRuns<'_> {
                     break;
                 }
             }
+            // adt-allow(unchecked-arithmetic): run length ≤ value byte length; 4 GiB single-char cells are outside the cell-size contract
             let len = (end - self.pos) as u32;
             self.pos = end;
             Some(CharRun {
@@ -153,6 +157,7 @@ impl Iterator for CharRuns<'_> {
             while encoded.is_some() && bytes.get(end..end + width) == encoded {
                 end += width;
             }
+            // adt-allow(unchecked-arithmetic): run length ≤ value byte length; 4 GiB single-char cells are outside the cell-size contract
             let len = ((end - self.pos) / width) as u32;
             self.pos = end;
             Some(CharRun {

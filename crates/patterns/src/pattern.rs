@@ -106,6 +106,7 @@ pub(crate) fn fnv1a_word(h: u64, word: u64) -> u64 {
 /// so distinct runs frame as distinct words.
 #[inline]
 pub(crate) fn run_word(tag: u8, len: u32, literal: u32) -> u64 {
+    // adt-allow(unchecked-arithmetic): constant shifts; the three fields are disjoint in the u64 (pinned by the injectivity test)
     tag as u64 | (len as u64) << 8 | (literal as u64) << 40
 }
 
@@ -133,7 +134,7 @@ pub(crate) fn tag_of(level: Level, kind: CharKind) -> u8 {
 #[inline]
 fn token_tag(t: Token) -> (u8, u32) {
     match t {
-        Token::Literal(c) => (TAG_LITERAL, c as u32),
+        Token::Literal(c) => (TAG_LITERAL, u32::from(c)),
         Token::Upper => (1, 0),
         Token::Lower => (2, 0),
         Token::Letter => (3, 0),
@@ -205,7 +206,11 @@ impl Pattern {
                 Some(&t) => t,
                 None => 5, // unreachable: kind is always 0..4
             };
-            let lit = if tag == TAG_LITERAL { r.ch as u32 } else { 0 };
+            let lit = if tag == TAG_LITERAL {
+                u32::from(r.ch)
+            } else {
+                0
+            };
             if cur_len > 0 && tag == cur_tag && (tag != TAG_LITERAL || lit == cur_lit) {
                 cur_len += r.len;
             } else {

@@ -144,6 +144,7 @@ fn scan_group(
             // about it (the server turns this into a 500 per request).
             let msg = e.to_string();
             for job in group {
+                // adt-allow(error-path): a dropped reply receiver means that request's worker already gave up; nothing to notify
                 let _ = job.reply.send(Err(msg.clone()));
             }
             return (0, 0, 0, 0);
@@ -172,6 +173,7 @@ fn scan_group(
                 num_findings: c.num_findings,
             })
             .collect();
+        // adt-allow(error-path): a dropped reply receiver means that request's worker already gave up; nothing to notify
         let _ = job.reply.send(Ok(JobResult {
             findings,
             columns,

@@ -94,6 +94,7 @@ impl ServerHandle {
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway self-connection.
+        // adt-allow(error-path): the wake-up connection is best-effort; the acceptor also exits on its own accept timeout
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
     }
 }
@@ -285,8 +286,11 @@ impl Server {
             if self.shutdown.load(Ordering::SeqCst) {
                 break; // the wake-up connection (or a late client) is dropped
             }
+            // adt-allow(error-path): socket-option failures only cost the options themselves; the worker's request parsing still bounds the connection
             let _ = stream.set_read_timeout(Some(self.config.io_timeout));
+            // adt-allow(error-path): same — a stream without a write timeout still ends with the response
             let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+            // adt-allow(error-path): nodelay is a latency hint; losing it is harmless
             let _ = stream.set_nodelay(true);
             match conn_tx.try_send(stream) {
                 Ok(()) => {}
@@ -294,6 +298,7 @@ impl Server {
                     // Backpressure: answer 503 inline and shed the load.
                     self.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
                     let body = protocol::error_to_json("server busy, try again").to_text();
+                    // adt-allow(error-path): a client that vanished before its 503 needs no 503
                     let _ = write_response(&mut stream, 503, &body, false);
                 }
                 Err(TrySendError::Disconnected(_)) => break,
@@ -304,11 +309,14 @@ impl Server {
         // queued and in-flight connections, then exit.
         drop(conn_tx);
         for join in worker_joins {
+            // adt-allow(error-path): a worker that panicked already failed its own requests; drain just waits it out
             let _ = join.join();
         }
         if let Some(join) = learner {
+            // adt-allow(error-path): learner failures are isolated into `learn.errors` while it runs; at drain only the join matters
             let _ = join.join();
         }
+        // adt-allow(error-path): batcher panics surface as failed dispatches per request; drain just waits
         let _ = batcher.join();
         Ok(())
     }
@@ -373,6 +381,7 @@ fn serve_connection(ctx: &WorkerCtx, stream: TcpStream) {
                 ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
                 ctx.stats.client_errors.fetch_add(1, Ordering::Relaxed);
                 let body = protocol::error_to_json(&msg).to_text();
+                // adt-allow(error-path): the error response is best-effort; a gone client cannot receive its 4xx
                 let _ = write_response(&mut writer, status, &body, false);
                 return;
             }

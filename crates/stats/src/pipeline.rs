@@ -170,7 +170,7 @@ struct ShardIntern<'c> {
 fn intern_shard<'c>(corpus: &'c Corpus, range: Range<usize>) -> ShardIntern<'c> {
     let mut map: FxHashMap<&'c str, u32> = FxHashMap::default();
     let mut vals: Vec<&'c str> = Vec::new();
-    let mut col_offsets: Vec<usize> = Vec::with_capacity(range.len() + 1);
+    let mut col_offsets: Vec<usize> = Vec::with_capacity(range.len().saturating_add(1));
     col_offsets.push(0);
     let mut col_ids: Vec<u32> = Vec::new();
     let mut seen: Vec<u32> = Vec::new();
@@ -180,6 +180,7 @@ fn intern_shard<'c>(corpus: &'c Corpus, range: Range<usize>) -> ShardIntern<'c> 
             if v.is_empty() {
                 continue;
             }
+            // adt-allow(unchecked-arithmetic): per-shard distinct-value count; a shard holding 4 G distinct strings would exhaust memory long before the id wraps
             let next = vals.len() as u32;
             let id = *map.entry(v.as_str()).or_insert_with(|| {
                 vals.push(v.as_str());
@@ -248,12 +249,13 @@ impl<'c> TrainPipeline<'c> {
         // column ranges in order, so concatenation preserves column order.
         let mut map: FxHashMap<&'c str, u32> = FxHashMap::default();
         let mut values: Vec<&'c str> = Vec::new();
-        let mut col_offsets: Vec<usize> = Vec::with_capacity(corpus.len() + 1);
+        let mut col_offsets: Vec<usize> = Vec::with_capacity(corpus.len().saturating_add(1));
         col_offsets.push(0);
         let mut col_ids: Vec<u32> = Vec::new();
         for shard in &shards {
             let mut remap: Vec<u32> = Vec::with_capacity(shard.vals.len());
             for &v in &shard.vals {
+                // adt-allow(unchecked-arithmetic): corpus-wide distinct-value count; 4 G distinct strings would exhaust memory long before the id wraps
                 let next = values.len() as u32;
                 let gid = *map.entry(v).or_insert_with(|| {
                     values.push(v);
@@ -384,7 +386,7 @@ impl<'c> TrainPipeline<'c> {
             sketch: None,
             ..*config
         };
-        let ranges = self.corpus.shard_ranges(self.threads * 4);
+        let ranges = self.corpus.shard_ranges(self.threads.saturating_mul(4));
         self.report.shards = self.report.shards.max(ranges.len() as u64);
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Vec<LanguageStats>>>> =
@@ -411,7 +413,7 @@ impl<'c> TrainPipeline<'c> {
                                 let bounds = col_offsets
                                     .get(c)
                                     .copied()
-                                    .zip(col_offsets.get(c + 1).copied());
+                                    .zip(col_offsets.get(c.saturating_add(1)).copied());
                                 let Some((lo, hi)) = bounds else { continue };
                                 for &id in col_ids.get(lo..hi).into_iter().flatten() {
                                     let base = id as usize * k;

@@ -1,0 +1,72 @@
+#!/bin/sh
+# Per-rule finding-count ratchet for the adt-analyze gate: run the
+# analyzer over the live tree, extract the per-rule counts from its
+# `--json` report, and diff them against the checked-in baseline
+# (scripts/analyze_baseline.json). Any drift — a new finding slipping in
+# OR a stale baseline after a burn-down — fails loudly with the per-rule
+# delta so the author either fixes the regression or consciously
+# re-baselines.
+#
+#   scripts/analyze_baseline.sh            # diff live counts vs baseline
+#   scripts/analyze_baseline.sh --update   # rewrite the baseline in place
+#   ADT_OFFLINE=1 scripts/analyze_baseline.sh  # via the devstubs copy
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE="scripts/analyze_baseline.json"
+REPORT="$(mktemp)"
+trap 'rm -f "$REPORT"' EXIT
+
+# The binary may build in the offline scratch copy, but it always
+# analyzes the real tree so the stub-parity rule sees devstubs/.
+if [ "${ADT_OFFLINE:-0}" = "1" ]; then
+    scripts/offline_check.sh run -q -p adt-analyze -- --json --root "$(pwd)" >"$REPORT"
+else
+    cargo run -q -p adt-analyze -- --json >"$REPORT"
+fi
+
+if [ "${1:-}" = "--update" ]; then
+    python3 - "$REPORT" "$BASELINE" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    counts = json.load(f)["counts"]
+with open(sys.argv[2], "w") as f:
+    json.dump({"counts": counts}, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"baseline rewritten: {sys.argv[2]}")
+EOF
+    exit 0
+fi
+
+python3 - "$REPORT" "$BASELINE" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    current = json.load(f)["counts"]
+with open(sys.argv[2]) as f:
+    baseline = json.load(f)["counts"]
+
+drift = []
+for rule in sorted(set(current) | set(baseline)):
+    now, base = current.get(rule, 0), baseline.get(rule, 0)
+    if now != base:
+        drift.append((rule, base, now))
+
+if drift:
+    print("adt-analyze finding counts drifted from the checked-in baseline:", file=sys.stderr)
+    for rule, base, now in drift:
+        sign = "+" if now > base else ""
+        print(f"  {rule}: {base} -> {now} ({sign}{now - base})", file=sys.stderr)
+    print(
+        "fix the findings (or add reasoned adt-allow markers), or re-baseline\n"
+        "deliberately with: scripts/analyze_baseline.sh --update",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+
+total = sum(current.values())
+print(f"analyze baseline ok: {total} findings across {len(current)} rules match {sys.argv[2]}")
+EOF

@@ -52,15 +52,19 @@ fi
 
 # Record the adt-analyze gate's end-to-end runtime (build + scan of the
 # real tree) in the same sidecar: the lint pass is part of the CI budget
-# and regressions in it should show up next to the kernel numbers.
+# and regressions in it should show up next to the kernel numbers. The
+# analyzer's own per-pass stopwatch (`--timings`, emitted on stderr)
+# rides along as `analyze_rule_seconds` so a slow rule is attributable
+# without re-profiling.
+TIMINGS="$(mktemp)"
 START_NS=$(date +%s%N)
 if [ "${ADT_OFFLINE:-0}" = "1" ]; then
-    scripts/offline_check.sh run -q -p adt-analyze -- --json --root "$(pwd)" >/dev/null
+    scripts/offline_check.sh run -q -p adt-analyze -- --json --timings --root "$(pwd)" >/dev/null 2>"$TIMINGS"
 else
-    cargo run -q -p adt-analyze -- --json >/dev/null
+    cargo run -q -p adt-analyze -- --json --timings >/dev/null 2>"$TIMINGS"
 fi
 END_NS=$(date +%s%N)
-python3 - "$OUT" "$START_NS" "$END_NS" <<'EOF'
+python3 - "$OUT" "$START_NS" "$END_NS" "$TIMINGS" <<'EOF'
 import json
 import sys
 
@@ -68,8 +72,13 @@ path, start, end = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
 with open(path) as f:
     data = json.load(f)
 data["analyze_gate_seconds"] = round((end - start) / 1e9, 3)
+# Keep only the analyzer's JSON object: cargo may interleave build
+# chatter on stderr ahead of it.
+raw = open(sys.argv[4]).read()
+data["analyze_rule_seconds"] = json.loads(raw[raw.index("{"):])
 with open(path, "w") as f:
     json.dump(data, f, indent=2)
     f.write("\n")
 EOF
-echo "analyze gate runtime recorded in $OUT"
+rm -f "$TIMINGS"
+echo "analyze gate + per-rule runtimes recorded in $OUT"
