@@ -15,7 +15,12 @@ cd "$(dirname "$0")"
 # scratch path (the committed BENCH_scan.json holds release numbers and
 # must not be overwritten by a CI debug run), then assert the adaptive
 # scan dispatcher picks the direct kernel on the all-distinct shape and
-# is no slower than the reference kernel there (10% debug-noise slack).
+# is no slower than the reference kernel there (10% debug-noise slack),
+# and that the streaming co-occurrence mode keeps its bounded-memory
+# promise: peak accumulator bytes under a fixed bound (the bench corpus
+# is fixed-size in quick mode precisely so this bound is stable) while
+# the exact pipeline exceeds it, at no more than 25% of the exact peak,
+# byte-identical across 1/2/4/8 threads.
 bench_smoke() {
     SMOKE_DIR="$(mktemp -d)"
     BENCH_OUT="$SMOKE_DIR/BENCH_scan.json" scripts/bench_report.sh quick
@@ -30,6 +35,18 @@ assert shape["kernel"] == "direct", f"all_distinct picked {shape['kernel']}"
 cold, ref = shape["group_cold_median_ns"], shape["reference_median_ns"]
 assert cold <= ref * 1.10, f"adaptive kernel slower than reference: {cold} vs {ref}"
 print(f"bench smoke ok: all_distinct direct kernel {cold} ns vs reference {ref} ns")
+
+ts = data["train_streaming"]
+BOUND = 256 * 1024  # fixed: streaming accumulators stay under 256 KiB
+peak, exact = ts["streaming_peak_cooc_bytes"], ts["exact_peak_cooc_bytes"]
+assert peak <= BOUND, f"streaming peak {peak} exceeds the {BOUND} byte bound"
+assert exact > BOUND, f"exact peak {exact} no longer exceeds {BOUND}: retune the bound"
+assert peak * 4 <= exact, f"streaming peak {peak} above 25% of exact {exact}"
+assert ts["identical"], "streaming training not byte-identical across thread counts"
+print(
+    f"bench smoke ok: streaming cooc peak {peak} B vs exact {exact} B "
+    f"({100 * peak / exact:.1f}%), thread-invariant"
+)
 EOF
     rm -rf "$SMOKE_DIR"
 }

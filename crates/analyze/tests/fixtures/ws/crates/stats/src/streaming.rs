@@ -1,0 +1,15 @@
+//! Fixture: the streaming co-occurrence planner joined the determinism,
+//! panic-safety, and unchecked-arithmetic scopes.
+
+pub fn plan_widths(counts: &[u64], depth: usize) -> u64 {
+    let mut seen = std::collections::HashMap::new();
+    seen.insert(depth as u64, counts.len());
+    let cells = depth as u32;
+    let mass: u64 = counts.iter().sum();
+    mass + counts[depth * 2] + u64::from(cells)
+}
+
+pub fn merged_width(widths: &mut Vec<usize>) -> usize {
+    // adt-allow(panic-safety): fixture: the planner emits one width per batch language
+    widths.pop().expect("plan has widths")
+}

@@ -28,7 +28,8 @@ use adt_core::{
 use adt_corpus::{Column, Corpus, SourceTag};
 use adt_patterns::enumerate_coarse_languages;
 use adt_stats::{
-    collect_stats_reference, for_each_language_stats, LanguageStats, PipelineOptions, StatsConfig,
+    collect_stats_reference, for_each_language_stats, CoocMode, LanguageStats, PipelineOptions,
+    StatsConfig,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -235,6 +236,116 @@ fn run_train(quick: bool, iters: usize) -> TrainReport {
     }
 }
 
+struct StreamingRow {
+    columns: usize,
+    languages: usize,
+    exact_peak_bytes: u64,
+    streaming_peak_bytes: u64,
+    exact_ns: u64,
+    streaming_ns: u64,
+    width_min: u64,
+    width_max: u64,
+    depth: u64,
+    sketch_bytes: u64,
+    error_bound_max: f64,
+    /// Streaming builds byte-identical at 1/2/4/8 threads.
+    identical: bool,
+}
+
+impl StreamingRow {
+    /// Peak co-occurrence accumulator bytes, streaming over exact — the
+    /// acceptance bound is ≤ 0.25 (the bounded-memory win is
+    /// algorithmic, so it must hold in debug builds too).
+    fn peak_ratio(&self) -> f64 {
+        self.streaming_peak_bytes as f64 / self.exact_peak_bytes.max(1) as f64
+    }
+
+    /// Exact wall-clock per streaming wall-clock (> 1 means streaming
+    /// is also faster; informational, not a gate).
+    fn throughput_ratio(&self) -> f64 {
+        self.exact_ns as f64 / self.streaming_ns.max(1) as f64
+    }
+}
+
+/// Races the streaming co-occurrence mode against the exact pipeline on
+/// a pattern-diverse corpus, comparing peak accumulator memory and
+/// throughput, after checking streaming builds are byte-identical at
+/// 1/2/4/8 threads. The corpus size is fixed across quick and full
+/// modes: ci.sh asserts a fixed byte bound on the streaming peak.
+fn run_train_streaming(iters: usize) -> StreamingRow {
+    let corpus = train_bench_corpus(320);
+    let languages = enumerate_coarse_languages();
+    let config = StatsConfig::default();
+    let exact_opts = PipelineOptions {
+        threads: 4,
+        cooc: CoocMode::Exact,
+        ..PipelineOptions::default()
+    };
+    let streaming_opts = PipelineOptions {
+        threads: 4,
+        cooc: CoocMode::Streaming,
+        ..PipelineOptions::default()
+    };
+
+    let (_, exact_report) =
+        for_each_language_stats(&languages, &corpus, &config, &exact_opts, |_, s| s)
+            .expect("exact build failed");
+
+    let mut reference: Option<Vec<Vec<u8>>> = None;
+    let mut streaming_report = None;
+    let mut identical = true;
+    for threads in [1usize, 2, 4, 8] {
+        let opts = PipelineOptions {
+            threads,
+            ..streaming_opts
+        };
+        let (stats, report) =
+            for_each_language_stats(&languages, &corpus, &config, &opts, |_, s| s)
+                .expect("streaming build failed");
+        let bytes: Vec<Vec<u8>> = stats.iter().map(stats_bytes).collect();
+        match &reference {
+            Some(r) => identical &= r == &bytes,
+            None => {
+                reference = Some(bytes);
+                streaming_report = Some(report);
+            }
+        }
+    }
+    if !identical {
+        eprintln!("FAIL: streaming training varies across thread counts");
+        std::process::exit(1);
+    }
+    let sr = streaming_report.expect("streaming report");
+
+    let exact_ns = median_ns(iters, || {
+        black_box(
+            for_each_language_stats(&languages, &corpus, &config, &exact_opts, |_, s| s)
+                .expect("exact build failed"),
+        );
+    });
+    let streaming_ns = median_ns(iters, || {
+        black_box(
+            for_each_language_stats(&languages, &corpus, &config, &streaming_opts, |_, s| s)
+                .expect("streaming build failed"),
+        );
+    });
+
+    StreamingRow {
+        columns: corpus.len(),
+        languages: languages.len(),
+        exact_peak_bytes: exact_report.peak_cooc_bytes,
+        streaming_peak_bytes: sr.peak_cooc_bytes,
+        exact_ns,
+        streaming_ns,
+        width_min: sr.sketch_width_min,
+        width_max: sr.sketch_width_max,
+        depth: sr.sketch_depth,
+        sketch_bytes: sr.sketch_bytes,
+        error_bound_max: sr.sketch_error_bound_max,
+        identical,
+    }
+}
+
 struct EnsembleRow {
     columns: usize,
     serial_ns: u64,
@@ -388,6 +499,7 @@ fn json_report(
     train: &TrainReport,
     ensemble: &EnsembleRow,
     online: &OnlineRow,
+    streaming: &StreamingRow,
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"bench\": \"scan_kernels\",\n");
@@ -480,7 +592,7 @@ fn json_report(
     s.push_str(&format!(
         "  \"online\": {{\"base_columns\": {}, \"delta_columns\": {}, \
          \"full_train_median_ns\": {}, \"absorb_median_ns\": {}, \
-         \"retrain_median_ns\": {}, \"speedup\": {:.2}, \"identical\": {}}}\n",
+         \"retrain_median_ns\": {}, \"speedup\": {:.2}, \"identical\": {}}},\n",
         online.base_columns,
         online.delta_columns,
         online.full_train_ns,
@@ -488,6 +600,29 @@ fn json_report(
         online.retrain_ns,
         online.speedup(),
         online.identical
+    ));
+    s.push_str(&format!(
+        "  \"train_streaming\": {{\"columns\": {}, \"languages\": {}, \
+         \"exact_peak_cooc_bytes\": {}, \"streaming_peak_cooc_bytes\": {}, \
+         \"peak_ratio\": {:.4}, \
+         \"exact_median_ns\": {}, \"streaming_median_ns\": {}, \
+         \"throughput_ratio\": {:.2}, \
+         \"sketch_width_min\": {}, \"sketch_width_max\": {}, \"sketch_depth\": {}, \
+         \"sketch_bytes\": {}, \"error_bound_max\": {:.1}, \"identical\": {}}}\n",
+        streaming.columns,
+        streaming.languages,
+        streaming.exact_peak_bytes,
+        streaming.streaming_peak_bytes,
+        streaming.peak_ratio(),
+        streaming.exact_ns,
+        streaming.streaming_ns,
+        streaming.throughput_ratio(),
+        streaming.width_min,
+        streaming.width_max,
+        streaming.depth,
+        streaming.sketch_bytes,
+        streaming.error_bound_max,
+        streaming.identical
     ));
     s.push_str("}\n");
     s
@@ -527,6 +662,9 @@ fn main() {
 
     eprintln!("[bench_report] racing online absorb+retrain vs full union train…");
     let online = run_online(quick, if quick { 3 } else { 7 });
+
+    eprintln!("[bench_report] racing streaming cooc mode vs exact pipeline…");
+    let streaming = run_train_streaming(if quick { 3 } else { 7 });
 
     println!(
         "{:<16} {:>5} {:>7} {:>14} {:>14} {:>14} {:>12} {:>12}",
@@ -587,8 +725,28 @@ fn main() {
         online.speedup(),
         online.identical
     );
+    println!(
+        "train_streaming: {} columns x {} languages, peak cooc {} KB vs exact {} KB \
+         ({:.1}% of exact), exact {} ns vs streaming {} ns = {:.1}x, widths {}..={} x depth {}, \
+         worst-case eN {:.1} (byte-identical across threads: {})",
+        streaming.columns,
+        streaming.languages,
+        streaming.streaming_peak_bytes / 1024,
+        streaming.exact_peak_bytes / 1024,
+        streaming.peak_ratio() * 100.0,
+        streaming.exact_ns,
+        streaming.streaming_ns,
+        streaming.throughput_ratio(),
+        streaming.width_min,
+        streaming.width_max,
+        streaming.depth,
+        streaming.error_bound_max,
+        streaming.identical
+    );
 
-    let json = json_report(mode, iters, &reports, &train, &ensemble, &online);
+    let json = json_report(
+        mode, iters, &reports, &train, &ensemble, &online, &streaming,
+    );
     if let Some(path) = out {
         std::fs::write(&path, &json).unwrap_or_else(|e| {
             eprintln!("FAIL: cannot write {path}: {e}");

@@ -3,7 +3,11 @@
 use crate::api::DetectorSpec;
 use crate::ensemble::MergePolicy;
 use crate::error::AdtError;
-use adt_stats::{NpmiParams, SketchSpec, StatsConfig};
+use adt_sketch::UpdateStrategy;
+use adt_stats::{
+    pinned_width, sketch_table_bytes, CoocMode, NpmiParams, PipelineOptions, SketchSpec,
+    StatsConfig, StreamingOptions,
+};
 use serde::{Deserialize, Serialize};
 
 /// Which candidate language space to optimize over.
@@ -66,6 +70,20 @@ pub struct AutoDetectConfig {
     /// count-min sketch with this fraction of their exact size
     /// (Figure 8(a): 1%, 10%, 100%=None).
     pub sketch_fraction: Option<f64>,
+    /// How the training pipeline accumulates co-occurrence counts.
+    /// [`CoocMode::Streaming`] bounds peak memory by streaming pair
+    /// counts into per-language count-min sketches auto-sized to
+    /// [`AutoDetectConfig::streaming_epsilon`], replacing the global
+    /// [`AutoDetectConfig::sketch_fraction`] heuristic (the two are
+    /// mutually exclusive).
+    #[serde(default)]
+    pub cooc: CoocMode,
+    /// Target additive-error fraction for streaming sketch auto-sizing:
+    /// per-key over-count stays within `ε·N` of the inserted pair mass
+    /// with probability `1 − e^−depth`. Only read when
+    /// [`AutoDetectConfig::cooc`] is [`CoocMode::Streaming`].
+    #[serde(default = "default_streaming_epsilon")]
+    pub streaming_epsilon: f64,
     /// Detector set for ensemble scans, as canonical configuration names
     /// validated against [`crate::api::KNOWN_DETECTORS`]. The default
     /// single-member set runs Auto-Detect alone (no ensemble engine).
@@ -100,6 +118,10 @@ fn default_online_interval_secs() -> u64 {
     60
 }
 
+fn default_streaming_epsilon() -> f64 {
+    StreamingOptions::default().epsilon
+}
+
 impl Default for AutoDetectConfig {
     fn default() -> Self {
         AutoDetectConfig {
@@ -118,6 +140,8 @@ impl Default for AutoDetectConfig {
             max_distinct_values: 64,
             seed: 0xAD7_7EA1,
             sketch_fraction: None,
+            cooc: CoocMode::default(),
+            streaming_epsilon: default_streaming_epsilon(),
             detectors: default_detectors(),
             merge: MergePolicy::default(),
             online_absorb_columns: default_online_absorb_columns(),
@@ -164,6 +188,65 @@ impl AutoDetectConfig {
         }
     }
 
+    /// Streaming sizing knobs implied by this configuration: the target
+    /// epsilon over the default geometry bounds.
+    pub fn streaming_options(&self) -> StreamingOptions {
+        StreamingOptions {
+            epsilon: self.streaming_epsilon,
+            ..StreamingOptions::default()
+        }
+    }
+
+    /// Pipeline options for offline training passes: the effective
+    /// thread count plus the configured co-occurrence mode, with
+    /// per-batch auto-sized streaming geometry.
+    pub fn train_pipeline_options(&self) -> PipelineOptions {
+        PipelineOptions {
+            threads: self.effective_train_threads(),
+            cooc: self.cooc,
+            streaming: self.streaming_options(),
+            ..PipelineOptions::default()
+        }
+    }
+
+    /// Pipeline options for the online learner's absorb passes. The
+    /// streaming width is pinned ([`StreamingOptions::fixed_width`])
+    /// instead of auto-sized per batch: every delta must land in
+    /// sketches of one shared geometry so cell-wise merges into the
+    /// long-lived accumulators stay valid across retrains.
+    pub fn online_pipeline_options(&self) -> PipelineOptions {
+        let base = self.streaming_options();
+        PipelineOptions {
+            threads: self.effective_train_threads(),
+            cooc: self.cooc,
+            streaming: StreamingOptions {
+                fixed_width: Some(pinned_width(&base)),
+                ..base
+            },
+            ..PipelineOptions::default()
+        }
+    }
+
+    /// The sketch spec matching the pinned online streaming geometry, or
+    /// `None` outside streaming mode. [`SketchSpec`] sizes by byte
+    /// budget; `sketch_table_bytes` is exactly invertible for
+    /// `width × depth` u32 tables, so accumulators created from this
+    /// spec share geometry (and hash family, and the commutative Plain
+    /// strategy) with every absorb pass's shard sketches.
+    pub fn online_streaming_spec(&self) -> Option<SketchSpec> {
+        if self.cooc != CoocMode::Streaming {
+            return None;
+        }
+        let opts = self.streaming_options();
+        let width = pinned_width(&opts);
+        Some(SketchSpec {
+            budget_bytes: sketch_table_bytes(width, opts.depth),
+            depth: opts.depth,
+            strategy: UpdateStrategy::Plain,
+            seed: opts.seed,
+        })
+    }
+
     /// The sketch spec for a language whose exact size is `exact_bytes`,
     /// honoring [`AutoDetectConfig::sketch_fraction`].
     pub fn sketch_spec_for(&self, exact_bytes: usize) -> Option<SketchSpec> {
@@ -206,6 +289,43 @@ impl AutoDetectConfig {
             if !(f > 0.0 && f <= 1.0) {
                 return fail(format!("sketch_fraction must be in (0, 1], got {f}"));
             }
+        }
+        if !(self.streaming_epsilon.is_finite()
+            && self.streaming_epsilon > 0.0
+            && self.streaming_epsilon < 1.0)
+        {
+            return fail(format!(
+                "streaming_epsilon must be in (0, 1), got {}",
+                self.streaming_epsilon
+            ));
+        }
+        match self.cooc {
+            CoocMode::Streaming => {
+                if self.sketch_fraction.is_some() {
+                    return fail(
+                        "cooc=streaming auto-sizes sketches per language; \
+                         it replaces sketch_fraction (unset one of the two)"
+                            .into(),
+                    );
+                }
+                if self.stats.sketch.is_some() {
+                    return fail(
+                        "cooc=streaming accumulates directly into sketches; \
+                         stats.sketch (deferred compression) must be unset"
+                            .into(),
+                    );
+                }
+            }
+            CoocMode::Exact => {
+                if self.sketch_fraction.is_some() || self.stats.sketch.is_some() {
+                    return fail(
+                        "cooc=exact forbids sketch compression; \
+                         unset sketch_fraction and stats.sketch"
+                            .into(),
+                    );
+                }
+            }
+            CoocMode::Deferred => {}
         }
         if self.online_absorb_columns == 0 {
             return fail("online_absorb_columns must be positive".into());
@@ -338,6 +458,22 @@ impl AutoDetectConfigBuilder {
     /// for exact counts.
     pub fn sketch_fraction(mut self, fraction: Option<f64>) -> Self {
         self.config.sketch_fraction = fraction;
+        self
+    }
+
+    /// Co-occurrence accumulation mode for training pipelines.
+    /// [`CoocMode::Streaming`] is incompatible with
+    /// [`Self::sketch_fraction`] and a `stats.sketch` spec (it replaces
+    /// both); violations are [`AdtError::Config`] at [`Self::build`].
+    pub fn cooc_mode(mut self, mode: CoocMode) -> Self {
+        self.config.cooc = mode;
+        self
+    }
+
+    /// Target additive-error fraction for streaming sketch auto-sizing,
+    /// in `(0, 1)`. Only read in [`CoocMode::Streaming`].
+    pub fn streaming_epsilon(mut self, epsilon: f64) -> Self {
+        self.config.streaming_epsilon = epsilon;
         self
     }
 
@@ -553,6 +689,76 @@ mod tests {
             .online_interval_secs(0)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn streaming_mode_knobs_validate_and_thread_through() {
+        let c = AutoDetectConfig::builder()
+            .cooc_mode(CoocMode::Streaming)
+            .streaming_epsilon(1.0 / 256.0)
+            .train_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(c.cooc, CoocMode::Streaming);
+        let opts = c.train_pipeline_options();
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.cooc, CoocMode::Streaming);
+        assert_eq!(opts.streaming.epsilon, 1.0 / 256.0);
+        assert_eq!(opts.streaming.fixed_width, None);
+
+        // The online path pins exactly the worst-case width for epsilon.
+        let online = c.online_pipeline_options();
+        let pinned = pinned_width(&c.streaming_options());
+        assert_eq!(online.streaming.fixed_width, Some(pinned));
+
+        // The accumulator spec round-trips that geometry through the
+        // byte-budget constructor.
+        let spec = c.online_streaming_spec().unwrap();
+        assert_eq!(spec.budget_bytes, sketch_table_bytes(pinned, spec.depth));
+        assert_eq!(spec.strategy, UpdateStrategy::Plain);
+        assert_eq!(spec.seed, c.streaming_options().seed);
+        assert!(AutoDetectConfig::default()
+            .online_streaming_spec()
+            .is_none());
+    }
+
+    #[test]
+    fn streaming_mode_rejects_conflicting_sketch_knobs() {
+        for bad in [0.0, 1.0, f64::NAN, -0.5] {
+            assert!(AutoDetectConfig::builder()
+                .cooc_mode(CoocMode::Streaming)
+                .streaming_epsilon(bad)
+                .build()
+                .is_err());
+        }
+        assert!(AutoDetectConfig::builder()
+            .cooc_mode(CoocMode::Streaming)
+            .sketch_fraction(Some(0.1))
+            .build()
+            .is_err());
+        let mut c = AutoDetectConfig {
+            cooc: CoocMode::Streaming,
+            ..AutoDetectConfig::default()
+        };
+        c.stats.sketch = Some(SketchSpec::default());
+        assert!(c.validate().is_err());
+        // Exact mode forbids both sketch knobs outright.
+        assert!(AutoDetectConfig::builder()
+            .cooc_mode(CoocMode::Exact)
+            .sketch_fraction(Some(0.5))
+            .build()
+            .is_err());
+        let mut c = AutoDetectConfig {
+            cooc: CoocMode::Exact,
+            ..AutoDetectConfig::default()
+        };
+        c.stats.sketch = Some(SketchSpec::default());
+        assert!(c.validate().is_err());
+        // Deferred (the default) keeps the historical combinations.
+        assert!(AutoDetectConfig::builder()
+            .sketch_fraction(Some(0.5))
+            .build()
+            .is_ok());
     }
 
     #[test]

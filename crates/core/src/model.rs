@@ -9,7 +9,7 @@ use crate::selection::{greedy_select, CandidateSummary, SelectionResult};
 use crate::training::{build_training_set, TrainingSet};
 use adt_corpus::Corpus;
 use adt_patterns::{Pattern, PatternHash};
-use adt_stats::{LanguageStats, PipelineOptions, PipelineReport, StatsError};
+use adt_stats::{LanguageStats, PipelineReport, StatsError};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
@@ -126,10 +126,7 @@ pub fn calibrate_candidates_with_report(
 ) -> Result<(Vec<CalibratedCandidate>, PipelineReport), AdtError> {
     config.validate()?;
     let languages = config.candidate_languages();
-    let opts = PipelineOptions {
-        threads: config.effective_train_threads(),
-        ..PipelineOptions::default()
-    };
+    let opts = config.train_pipeline_options();
     adt_stats::for_each_language_stats(&languages, corpus, &config.stats, &opts, |_, stats| {
         let scores = score_training_set(&stats, training, config.npmi);
         let calibration = calibrate_language(training, &scores, config.precision_target, 256);
@@ -171,10 +168,7 @@ pub fn select_and_assemble(
         .iter()
         .filter_map(|&i| pool.get(i).map(|c| c.language))
         .collect();
-    let opts = PipelineOptions {
-        threads: config.effective_train_threads(),
-        ..PipelineOptions::default()
-    };
+    let opts = config.train_pipeline_options();
     let (rebuilt, pipeline) = adt_stats::for_each_language_stats(
         &selected_languages,
         corpus,
@@ -611,6 +605,47 @@ mod tests {
         }
         // The compatible pair is never flagged (one-sided sketch error).
         assert!(!good.incompatible);
+    }
+
+    /// The streaming differential at the model level: `cooc=streaming`
+    /// trains byte-identically at every thread count and preserves the
+    /// compatible/incompatible ordering on the same pairs the
+    /// deferred-sketch test above pins.
+    #[test]
+    fn streaming_train_is_thread_invariant_and_preserves_ordering() {
+        let mut p = CorpusProfile::web(600);
+        p.dirty_rate = 0.0;
+        let corpus = generate_corpus(&p);
+        let mut reference: Option<Vec<u8>> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = AutoDetectConfig {
+                cooc: adt_stats::CoocMode::Streaming,
+                train_threads: threads,
+                ..quick_config()
+            };
+            let (model, report) = train(&corpus, &cfg).unwrap();
+            // Every candidate batch ran streaming and reported geometry.
+            assert!(report.pipeline.streaming_languages > 0);
+            assert!(report.pipeline.sketch_bytes > 0);
+            assert!(report.pipeline.sketch_error_bound_max > 0.0);
+            let mut bytes = Vec::new();
+            codec::write_model(&mut bytes, &model).unwrap();
+            match &reference {
+                Some(r) => assert_eq!(r, &bytes, "streaming train varies at {threads} threads"),
+                None => {
+                    // Count-min never undercounts: compatible pairs keep
+                    // their high scores, incompatible pairs stay below
+                    // them under every selected language.
+                    let bad = model.score_pair("2011-01-01", "2011/01/02");
+                    let good = model.score_pair("2011-01-01", "2012-03-04");
+                    for (b, g) in bad.scores.iter().zip(&good.scores) {
+                        assert!(b <= g, "streaming ordering broken: {b} > {g}");
+                    }
+                    assert!(!good.incompatible);
+                    reference = Some(bytes);
+                }
+            }
+        }
     }
 
     #[test]

@@ -29,11 +29,21 @@
 //! passes (crude build, candidate scan, selected-language rebuild) — the
 //! dominant training cost once the corpus outgrows the delta.
 //!
-//! The trade-off is memory: the learner holds exact statistics for every
+//! The trade-off is memory: the learner holds statistics for every
 //! candidate language at once, where offline training calibrates and
-//! drops them batch by batch. That suits the serve-loop scale this
-//! subsystem targets (thousands of columns, coarse spaces); the paper's
-//! 350M-column regime stays on the offline path.
+//! drops them batch by batch. Exact accumulators suit the serve-loop
+//! scale this subsystem targets (thousands of columns, coarse spaces);
+//! for growth beyond that, [`adt_stats::CoocMode::Streaming`] keeps the
+//! co-occurrence side bounded at O(width × depth) per language: the
+//! accumulators are count-min-backed from creation at a geometry pinned
+//! by [`AutoDetectConfig::online_streaming_spec`], every absorb pass
+//! streams its delta into same-geometry shard sketches that merge
+//! cell-wise, and the accumulators survive `retrain` unchanged (crude
+//! `G` stays exact — the sampler needs true counts). Streaming trades
+//! the scratch-train byte-identity for bounded memory: offline training
+//! auto-sizes widths per batch, so the pinned-geometry online model is
+//! its own reproducible artifact (thread- and split-invariant) rather
+//! than a byte-for-byte twin of `train`.
 
 use crate::calibrate::calibrate_language;
 use crate::config::AutoDetectConfig;
@@ -49,7 +59,10 @@ use crate::training::build_training_set_with_crude;
 use adt_corpus::{Column, Corpus};
 use adt_patterns::crude::crude_language;
 use adt_patterns::Language;
-use adt_stats::{build_stats_for_languages, LanguageStats, PipelineReport, StatsConfig};
+use adt_stats::{
+    build_stats_for_languages, CoocMode, LanguageStats, PipelineOptions, PipelineReport,
+    StatsConfig,
+};
 use serde::{Deserialize, Serialize};
 
 /// Cumulative counters for one learner lifetime.
@@ -72,8 +85,15 @@ pub struct OnlineReport {
 pub struct OnlineLearner {
     config: AutoDetectConfig,
     /// `config.stats` with sketching disabled: accumulators stay exact,
-    /// and sketch finalization replays at retrain time.
+    /// and sketch finalization replays at retrain time. Always used for
+    /// the crude-`G` accumulator (sampling needs exact counts).
     exact_stats: StatsConfig,
+    /// Stats config for the candidate accumulators. Equal to
+    /// `exact_stats` except in [`CoocMode::Streaming`], where candidates
+    /// are count-min-backed from creation at the pinned geometry
+    /// ([`AutoDetectConfig::online_streaming_spec`]) so absorbed deltas
+    /// merge cell-wise and the accumulators survive `retrain`.
+    acc_stats: StatsConfig,
     /// The union of everything absorbed, in arrival order. Training-set
     /// sampling is a function of corpus order, so arrival order *is* the
     /// canonical order a from-scratch train must use to reproduce the
@@ -97,15 +117,20 @@ impl OnlineLearner {
             sketch: None,
             ..config.stats
         };
+        let acc_stats = StatsConfig {
+            sketch: config.online_streaming_spec(),
+            ..exact_stats
+        };
         let languages = config.candidate_languages();
         let accumulators = languages
             .iter()
-            .map(|&l| LanguageStats::empty(l, &exact_stats))
+            .map(|&l| LanguageStats::empty(l, &acc_stats))
             .collect();
         let crude = LanguageStats::empty(crude_language(), &exact_stats);
         Ok(OnlineLearner {
             config,
             exact_stats,
+            acc_stats,
             corpus: Corpus::new(),
             languages,
             accumulators,
@@ -147,49 +172,61 @@ impl OnlineLearner {
     /// One sharded pipeline pass over the delta covers all candidate
     /// languages plus crude `G`, so the delta is interned and generalized
     /// once, not once per language. Cost scales with the delta, never
-    /// with the accumulated corpus.
+    /// with the accumulated corpus. In [`CoocMode::Streaming`] the
+    /// candidate pass streams into pinned-geometry sketches while crude
+    /// `G` takes a second, exact pass over the delta — sampling needs
+    /// exact crude counts, and mixing backends in one pass would make
+    /// the fold's merge reject.
     pub fn absorb_columns(&mut self, columns: Vec<Column>) -> Result<(), AdtError> {
         if columns.is_empty() {
             return Ok(());
         }
         let added = columns.len() as u64;
         let delta = Corpus::from_columns(columns);
-        // Candidates first, crude last — the fold below pairs stats with
-        // accumulators by arrival index.
-        let mut scan_languages = self.languages.clone();
-        scan_languages.push(crude_language());
-        let accumulators = &mut self.accumulators;
-        let crude = &mut self.crude;
-        let mut idx = 0usize;
-        let mut merge_error: Option<&'static str> = None;
-        let pass = build_stats_for_languages(
-            &scan_languages,
-            &delta,
-            &self.exact_stats,
-            self.config.effective_train_threads(),
-            |stats| {
-                let target = match accumulators.get_mut(idx) {
-                    Some(acc) => acc,
-                    None => &mut *crude,
-                };
-                if let Err(e) = target.merge_from(&stats) {
-                    merge_error.get_or_insert(e);
-                }
-                idx += 1;
-            },
-        )
-        .map_err(pipeline_error)?;
-        if let Some(e) = merge_error {
-            // Only reachable via a language/backend mismatch, which the
-            // aligned construction above rules out — but never absorb a
-            // half-merged delta into the canonical corpus.
-            return Err(AdtError::Worker(e));
+        let opts = self.config.online_pipeline_options();
+        if self.config.cooc == CoocMode::Streaming {
+            let mut targets: Vec<&mut LanguageStats> = self.accumulators.iter_mut().collect();
+            let pass = absorb_pass(
+                &mut targets,
+                &self.languages,
+                &delta,
+                &self.acc_stats,
+                &opts,
+            )?;
+            self.report.pipeline.absorb(&pass);
+            let crude_opts = PipelineOptions {
+                cooc: CoocMode::Deferred,
+                ..opts
+            };
+            let mut crude_target = [&mut self.crude];
+            let crude_pass = absorb_pass(
+                &mut crude_target,
+                &[crude_language()],
+                &delta,
+                &self.exact_stats,
+                &crude_opts,
+            )?;
+            self.report.pipeline.absorb(&crude_pass);
+        } else {
+            // Candidates first, crude last — the fold pairs stats with
+            // accumulators by arrival index.
+            let mut scan_languages = self.languages.clone();
+            scan_languages.push(crude_language());
+            let mut targets: Vec<&mut LanguageStats> = self.accumulators.iter_mut().collect();
+            targets.push(&mut self.crude);
+            let pass = absorb_pass(
+                &mut targets,
+                &scan_languages,
+                &delta,
+                &self.exact_stats,
+                &opts,
+            )?;
+            self.report.pipeline.absorb(&pass);
         }
         self.corpus.extend_from(delta);
         self.pending += added;
         self.report.absorbs += 1;
         self.report.columns_absorbed += added;
-        self.report.pipeline.absorb(&pass);
         Ok(())
     }
 
@@ -258,6 +295,35 @@ impl OnlineLearner {
         self.report.retrains += 1;
         Ok(out)
     }
+}
+
+/// One sharded pipeline pass over `delta`, merging each produced
+/// [`LanguageStats`] into the like-indexed target. A merge rejection
+/// (language or backend mismatch) aborts with [`AdtError::Worker`]
+/// before the caller can absorb a half-merged delta into the canonical
+/// corpus; with aligned construction it is unreachable.
+fn absorb_pass(
+    targets: &mut [&mut LanguageStats],
+    scan_languages: &[Language],
+    delta: &Corpus,
+    stats_config: &StatsConfig,
+    opts: &PipelineOptions,
+) -> Result<PipelineReport, AdtError> {
+    let mut idx = 0usize;
+    let mut merge_error: Option<&'static str> = None;
+    let pass = build_stats_for_languages(scan_languages, delta, stats_config, opts, |stats| {
+        if let Some(target) = targets.get_mut(idx) {
+            if let Err(e) = target.merge_from(&stats) {
+                merge_error.get_or_insert(e);
+            }
+        }
+        idx += 1;
+    })
+    .map_err(pipeline_error)?;
+    if let Some(e) = merge_error {
+        return Err(AdtError::Worker(e));
+    }
+    Ok(pass)
 }
 
 #[cfg(test)]
@@ -365,6 +431,58 @@ mod tests {
         assert_eq!(model_bytes(&second), model_bytes(&scratch_second));
         assert_eq!(learner.report().retrains, 2);
         assert_eq!(learner.report().columns_absorbed, corpus.len() as u64);
+    }
+
+    /// Streaming accumulators: absorbs merge cell-wise into pinned
+    /// sketches, survive an interleaved retrain, and the resulting model
+    /// is invariant to the absorb split and the thread count. (Byte
+    /// identity with a scratch `train` is *not* expected — offline
+    /// auto-sizing picks different widths than the pinned geometry.)
+    #[test]
+    fn streaming_absorb_is_split_and_thread_invariant_across_retrains() {
+        let corpus = quick_corpus(400);
+        let split = 250;
+        let base = corpus.columns()[..split].to_vec();
+        let delta = corpus.columns()[split..].to_vec();
+        let mut reference: Option<Vec<u8>> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = AutoDetectConfig {
+                cooc: adt_stats::CoocMode::Streaming,
+                train_threads: threads,
+                ..quick_config()
+            };
+            cfg.validate().unwrap();
+
+            // Whole-corpus absorb in one batch.
+            let mut whole = OnlineLearner::new(cfg.clone()).unwrap();
+            whole.absorb_columns(corpus.columns().to_vec()).unwrap();
+            let (whole_model, _) = whole.retrain().unwrap();
+
+            // Split absorb with a retrain *between* the halves: the
+            // accumulators must carry through it untouched.
+            let mut stepped = OnlineLearner::new(cfg).unwrap();
+            stepped.absorb_columns(base.clone()).unwrap();
+            let (_, mid_report) = stepped.retrain().unwrap();
+            assert_eq!(mid_report.candidates.len(), stepped.languages.len());
+            stepped.absorb_columns(delta.clone()).unwrap();
+            let (stepped_model, report) = stepped.retrain().unwrap();
+            assert_eq!(stepped.report().retrains, 2);
+            // Both absorb passes ran in streaming mode (crude's exact
+            // pass is counted too, so languages > candidates).
+            assert!(report.pipeline.streaming_languages >= stepped.languages.len() as u64);
+            assert!(report.pipeline.sketch_bytes > 0);
+
+            let bytes = model_bytes(&whole_model);
+            assert_eq!(
+                bytes,
+                model_bytes(&stepped_model),
+                "split absorb diverged from whole absorb at {threads} threads"
+            );
+            match &reference {
+                Some(r) => assert_eq!(r, &bytes, "thread variance at {threads}"),
+                None => reference = Some(bytes),
+            }
+        }
     }
 
     #[test]

@@ -42,21 +42,19 @@ where
 /// [`LanguageStats`] serially on the calling thread in input-language
 /// order. Memory stays bounded by the pipeline's language batch size:
 /// each batch is built, folded, and dropped before the next starts.
+/// `opts` carries the thread count and the co-occurrence mode — the
+/// online learner routes its streaming geometry through here.
 pub fn build_stats_for_languages<F>(
     languages: &[Language],
     corpus: &Corpus,
     config: &StatsConfig,
-    threads: usize,
+    opts: &PipelineOptions,
     mut fold: F,
 ) -> Result<PipelineReport, StatsError>
 where
     F: FnMut(LanguageStats),
 {
-    let opts = PipelineOptions {
-        threads,
-        ..PipelineOptions::default()
-    };
-    let mut pipe = TrainPipeline::new(corpus, &opts)?;
+    let mut pipe = TrainPipeline::new(corpus, opts)?;
     let batch_size = pipe.lang_batch();
     for (bi, batch) in languages.chunks(batch_size).enumerate() {
         let stats = pipe.run_batch(bi * batch_size, batch, config, &|_, s| s)?;
@@ -170,10 +168,15 @@ mod tests {
         let corpus = small_corpus();
         let langs = enumerate_coarse_languages();
         let mut seen = Vec::new();
-        let report = build_stats_for_languages(&langs, &corpus, &StatsConfig::default(), 3, |s| {
-            seen.push(s.language)
-        })
-        .unwrap();
+        let opts = PipelineOptions {
+            threads: 3,
+            ..PipelineOptions::default()
+        };
+        let report =
+            build_stats_for_languages(&langs, &corpus, &StatsConfig::default(), &opts, |s| {
+                seen.push(s.language)
+            })
+            .unwrap();
         assert_eq!(seen, langs);
         assert_eq!(report.languages, langs.len() as u64);
         assert_eq!(report.columns, corpus.len() as u64);
@@ -190,6 +193,7 @@ mod tests {
             &PipelineOptions {
                 threads: 2,
                 lang_batch: 5, // force several batches
+                ..PipelineOptions::default()
             },
             |i, s| (i, s.language),
         )

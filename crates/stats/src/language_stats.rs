@@ -308,6 +308,28 @@ impl LanguageStats {
         self.cooc.exact_entries()
     }
 
+    /// Sorted `(lo, hi, count)` co-occurrence entries, when exact (see
+    /// [`CoocBackend::exact_pair_entries`]).
+    pub fn exact_cooc_pairs(&self) -> Option<Vec<(u64, u64, u32)>> {
+        self.cooc.exact_pair_entries()
+    }
+
+    /// Co-occurrence backend footprint in bytes — the quantity the
+    /// streaming pipeline bounds (occurrence entries are linear and stay
+    /// exact in every mode).
+    pub fn cooc_bytes(&self) -> usize {
+        self.cooc.bytes()
+    }
+
+    /// The co-occurrence count-min sketch, when the backend is a sketch
+    /// (streaming accumulators or compressed builds).
+    pub fn cooc_sketch(&self) -> Option<&adt_sketch::CountMinSketch> {
+        match &self.cooc {
+            CoocBackend::Sketch(cms) => Some(cms),
+            CoocBackend::Exact(_) => None,
+        }
+    }
+
     /// Occurrence dictionary accessor (codec support).
     pub(crate) fn occ_map(&self) -> &FxHashMap<u64, u32> {
         &self.occ

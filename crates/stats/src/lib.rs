@@ -13,6 +13,9 @@
 //!   are interned once, generalized under whole language batches in one
 //!   traversal, and accumulated in thread-local shards that merge
 //!   deterministically (bit-identical to the serial scan);
+//! * [`streaming`] — the opt-in bounded-memory co-occurrence mode:
+//!   shard workers stream pair counts into per-language count-min
+//!   accumulators auto-sized from observed pattern distributions;
 //! * [`build`] — batch construction entry points across candidate
 //!   languages, built on the pipeline;
 //! * [`fxhash`] — the vendored deterministic fast hasher keying the
@@ -30,6 +33,7 @@ pub mod npmi;
 pub mod pipeline;
 pub mod profile;
 pub mod store;
+pub mod streaming;
 
 #[cfg(any(test, feature = "reference-kernel"))]
 pub use build::collect_stats_reference;
@@ -41,3 +45,4 @@ pub use npmi::{npmi_from_counts, smoothed_cooccurrence, NpmiParams};
 pub use pipeline::{effective_threads, PipelineOptions, PipelineReport, StatsError, TrainPipeline};
 pub use profile::{column_profile, ColumnProfile, PatternBucket};
 pub use store::{CoocBackend, SketchSpec};
+pub use streaming::{pinned_width, sketch_table_bytes, CoocMode, StreamingOptions, StreamingPlan};

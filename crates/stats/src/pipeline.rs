@@ -29,9 +29,18 @@
 //!
 //! Memory is bounded by `lang_batch`: the hash matrix and the per-worker
 //! accumulators exist for one batch of languages at a time.
+//!
+//! The opt-in streaming mode ([`CoocMode::Streaming`]) additionally
+//! bounds the *co-occurrence* footprint: workers accumulate straight
+//! into per-language count-min sketches auto-sized from the observed
+//! pattern distributions (see [`crate::streaming`]), never
+//! materializing the exact pair table. Plain sketch updates are
+//! commutative cell additions, so the thread-count byte-identity
+//! guarantee is preserved.
 
 use crate::fxhash::FxHashMap;
 use crate::language_stats::{LanguageStats, StatsConfig};
+use crate::streaming::{self, CoocMode, StreamingOptions, StreamingPlan};
 use adt_corpus::Corpus;
 use adt_patterns::{Language, MultiGeneralizer, PatternHash};
 use parking_lot::Mutex;
@@ -51,6 +60,15 @@ pub struct PipelineOptions {
     /// memory (hash matrix and per-worker accumulators are batch-sized);
     /// results are independent of the batch size.
     pub lang_batch: usize,
+    /// Co-occurrence accumulation mode. [`CoocMode::Deferred`] (the
+    /// default) reproduces the historical exact-accumulate,
+    /// compress-at-finalize behavior; [`CoocMode::Streaming`] bounds
+    /// accumulator memory with per-shard count-min sketches (and ignores
+    /// any [`StatsConfig::sketch`] — the accumulators already are the
+    /// sketches). Results stay thread-count-independent in every mode.
+    pub cooc: CoocMode,
+    /// Sizing knobs for [`CoocMode::Streaming`]; ignored otherwise.
+    pub streaming: StreamingOptions,
 }
 
 impl Default for PipelineOptions {
@@ -58,6 +76,8 @@ impl Default for PipelineOptions {
         PipelineOptions {
             threads: 0,
             lang_batch: 12,
+            cooc: CoocMode::default(),
+            streaming: StreamingOptions::default(),
         }
     }
 }
@@ -108,26 +128,94 @@ pub struct PipelineReport {
     /// Wall-clock nanoseconds merging shard accumulators and finalizing
     /// sketches.
     pub merge_nanos: u64,
+    /// Languages accumulated through streaming sketch accumulators.
+    pub streaming_languages: u64,
+    /// Streaming sketch depth (rows); `0` when streaming never ran.
+    pub sketch_depth: u64,
+    /// Smallest auto-sized streaming width; `0` when streaming never ran.
+    pub sketch_width_min: u64,
+    /// Largest auto-sized streaming width.
+    pub sketch_width_max: u64,
+    /// Total counter-table bytes across all streaming-sized languages
+    /// (one merged sketch per language).
+    pub sketch_bytes: u64,
+    /// Peak live co-occurrence accumulator bytes observed across
+    /// batches: the sum over worker shards right before the merge, when
+    /// every shard accumulator is alive at once. Tracked in every mode
+    /// so exact and streaming builds compare directly; for exact
+    /// backends the split across workers makes the value a diagnostic
+    /// (like the timing fields), for streaming it is deterministic.
+    pub peak_cooc_bytes: u64,
+    /// Smallest fitted power-law exponent among streaming languages with
+    /// a successful fit; `0` when none fitted.
+    pub powerlaw_alpha_min: f64,
+    /// Largest fitted power-law exponent among streaming languages.
+    pub powerlaw_alpha_max: f64,
+    /// Largest worst-case additive error bound `εN` over the merged
+    /// streaming sketches.
+    pub sketch_error_bound_max: f64,
+}
+
+/// Minimum over counters that use `0` as "unset".
+fn nonzero_min(a: u64, b: u64) -> u64 {
+    match (a, b) {
+        (0, x) | (x, 0) => x,
+        (x, y) => x.min(y),
+    }
+}
+
+/// Same, for the fitted exponents.
+fn nonzero_min_f64(a: f64, b: f64) -> f64 {
+    if a == 0.0 {
+        b
+    } else if b == 0.0 {
+        a
+    } else {
+        a.min(b)
+    }
 }
 
 impl PipelineReport {
     /// Folds another report's counters into this one (for combining the
     /// reports of successive pipeline runs, e.g. selection then final
-    /// model assembly). Counts add; `threads` takes the maximum.
+    /// model assembly). Counts add saturating — a report must never wrap
+    /// into nonsense on pathological inputs; `threads`, the peak, and
+    /// the max-bounds take the maximum, the `_min` fields the smallest
+    /// nonzero value (`0` means "never ran").
     pub fn absorb(&mut self, other: &PipelineReport) {
-        self.columns += other.columns;
-        self.value_occurrences += other.value_occurrences;
-        self.interned_values += other.interned_values;
-        self.languages += other.languages;
-        self.batches += other.batches;
-        self.shards += other.shards;
+        self.columns = self.columns.saturating_add(other.columns);
+        self.value_occurrences = self
+            .value_occurrences
+            .saturating_add(other.value_occurrences);
+        self.interned_values = self.interned_values.saturating_add(other.interned_values);
+        self.languages = self.languages.saturating_add(other.languages);
+        self.batches = self.batches.saturating_add(other.batches);
+        self.shards = self.shards.saturating_add(other.shards);
         self.threads = self.threads.max(other.threads);
-        self.generalizations_performed += other.generalizations_performed;
-        self.generalizations_saved += other.generalizations_saved;
-        self.intern_nanos += other.intern_nanos;
-        self.generalize_nanos += other.generalize_nanos;
-        self.accumulate_nanos += other.accumulate_nanos;
-        self.merge_nanos += other.merge_nanos;
+        self.generalizations_performed = self
+            .generalizations_performed
+            .saturating_add(other.generalizations_performed);
+        self.generalizations_saved = self
+            .generalizations_saved
+            .saturating_add(other.generalizations_saved);
+        self.intern_nanos = self.intern_nanos.saturating_add(other.intern_nanos);
+        self.generalize_nanos = self.generalize_nanos.saturating_add(other.generalize_nanos);
+        self.accumulate_nanos = self.accumulate_nanos.saturating_add(other.accumulate_nanos);
+        self.merge_nanos = self.merge_nanos.saturating_add(other.merge_nanos);
+        self.streaming_languages = self
+            .streaming_languages
+            .saturating_add(other.streaming_languages);
+        self.sketch_depth = self.sketch_depth.max(other.sketch_depth);
+        self.sketch_width_min = nonzero_min(self.sketch_width_min, other.sketch_width_min);
+        self.sketch_width_max = self.sketch_width_max.max(other.sketch_width_max);
+        self.sketch_bytes = self.sketch_bytes.saturating_add(other.sketch_bytes);
+        self.peak_cooc_bytes = self.peak_cooc_bytes.max(other.peak_cooc_bytes);
+        self.powerlaw_alpha_min =
+            nonzero_min_f64(self.powerlaw_alpha_min, other.powerlaw_alpha_min);
+        self.powerlaw_alpha_max = self.powerlaw_alpha_max.max(other.powerlaw_alpha_max);
+        self.sketch_error_bound_max = self
+            .sketch_error_bound_max
+            .max(other.sketch_error_bound_max);
     }
 }
 
@@ -210,6 +298,8 @@ pub struct TrainPipeline<'c> {
     corpus: &'c Corpus,
     threads: usize,
     lang_batch: usize,
+    cooc: CoocMode,
+    streaming: StreamingOptions,
     /// Corpus-wide distinct non-empty values.
     values: Vec<&'c str>,
     /// Per-column ranges into `col_ids` (`col_offsets[c]..col_offsets[c+1]`).
@@ -284,6 +374,8 @@ impl<'c> TrainPipeline<'c> {
             corpus,
             threads,
             lang_batch: opts.lang_batch.max(1),
+            cooc: opts.cooc,
+            streaming: opts.streaming,
             values,
             col_offsets,
             col_ids,
@@ -309,6 +401,26 @@ impl<'c> TrainPipeline<'c> {
     /// Corpus-wide distinct non-empty value count.
     pub fn interned_values(&self) -> usize {
         self.values.len()
+    }
+
+    /// Folds one batch's streaming plan into the report counters.
+    fn record_plan(&mut self, plan: &StreamingPlan) {
+        let r = &mut self.report;
+        r.streaming_languages = r
+            .streaming_languages
+            .saturating_add(plan.widths.len() as u64);
+        r.sketch_depth = r.sketch_depth.max(plan.depth as u64);
+        for (&w, &a) in plan.widths.iter().zip(plan.alphas.iter()) {
+            r.sketch_width_min = nonzero_min(r.sketch_width_min, w as u64);
+            r.sketch_width_max = r.sketch_width_max.max(w as u64);
+            r.sketch_bytes = r
+                .sketch_bytes
+                .saturating_add(streaming::sketch_table_bytes(w, plan.depth) as u64);
+            if a > 0.0 {
+                r.powerlaw_alpha_min = nonzero_min_f64(r.powerlaw_alpha_min, a);
+                r.powerlaw_alpha_max = r.powerlaw_alpha_max.max(a);
+            }
+        }
     }
 
     /// Runs every language in `languages` through the pipeline in batches
@@ -378,9 +490,31 @@ impl<'c> TrainPipeline<'c> {
         }
         self.report.generalize_nanos += t0.elapsed().as_nanos() as u64;
 
+        // Streaming only: fix per-language sketch geometry from the
+        // deterministic interned layout before any worker spawns. Plans
+        // depend only on the corpus, the language, and the options —
+        // never on sharding — so streamed results stay byte-identical at
+        // any thread count and batch size.
+        let plan = match self.cooc {
+            CoocMode::Streaming => Some(streaming::plan_batch(
+                batch,
+                &matrix,
+                n_values,
+                &self.col_offsets,
+                &self.col_ids,
+                config,
+                &self.streaming,
+            )),
+            CoocMode::Exact | CoocMode::Deferred => None,
+        };
+        if let Some(plan) = plan.as_ref() {
+            self.record_plan(plan);
+        }
+
         // Phase 3: shard columns over workers with thread-local exact
-        // accumulators. Over-shard relative to the thread count so uneven
-        // columns balance; results are shard-count-independent.
+        // (or, streaming, sketch-backed) accumulators. Over-shard
+        // relative to the thread count so uneven columns balance;
+        // results are shard-count-independent.
         let t1 = clock();
         let exact_config = StatsConfig {
             sketch: None,
@@ -398,13 +532,24 @@ impl<'c> TrainPipeline<'c> {
             let next = &next;
             let ranges = &ranges;
             let exact_config = &exact_config;
+            let plan = plan.as_ref();
             crossbeam::thread::scope(|scope| {
                 for slot in &slots {
                     scope.spawn(move |_| {
-                        let mut acc: Vec<LanguageStats> = batch
-                            .iter()
-                            .map(|l| LanguageStats::empty(*l, exact_config))
-                            .collect();
+                        let mut acc: Vec<LanguageStats> = match plan {
+                            Some(p) => batch
+                                .iter()
+                                .enumerate()
+                                .map(|(j, l)| {
+                                    let width = p.widths.get(j).copied().unwrap_or(1);
+                                    streaming::accumulator(*l, width, p.depth, p.seed)
+                                })
+                                .collect(),
+                            None => batch
+                                .iter()
+                                .map(|l| LanguageStats::empty(*l, exact_config))
+                                .collect(),
+                        };
                         let mut scratch: Vec<Vec<PatternHash>> = vec![Vec::new(); k];
                         loop {
                             let s = next.fetch_add(1, Ordering::Relaxed);
@@ -439,28 +584,49 @@ impl<'c> TrainPipeline<'c> {
         }
         self.report.accumulate_nanos += t1.elapsed().as_nanos() as u64;
 
-        // Deterministic merge: keyed addition is order-independent, and
-        // sketch finalization replays sorted keys, so the merged result
-        // is bit-identical to a serial scan at any thread count.
+        // Every shard accumulator is alive at this instant, and the
+        // merge below only ever consumes shards, so this sum is the
+        // batch's peak live co-occurrence footprint.
+        let live: u64 = slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .as_ref()
+                    .map(|acc| acc.iter().map(|s| s.cooc_bytes() as u64).sum::<u64>())
+                    .unwrap_or(0)
+            })
+            .sum();
+        self.report.peak_cooc_bytes = self.report.peak_cooc_bytes.max(live);
+
+        // Deterministic merge: keyed addition (exact) and cell-wise
+        // addition (streaming sketches) are order-independent, and
+        // deferred sketch finalization replays sorted keys, so the
+        // merged result is bit-identical to a serial scan at any thread
+        // count.
         let t2 = clock();
-        let mut merged: Option<Vec<LanguageStats>> = None;
-        for slot in slots {
-            let Some(acc) = slot.into_inner() else {
-                continue;
-            };
-            match merged.as_mut() {
-                None => merged = Some(acc),
-                Some(base) => {
-                    for (dst, src) in base.iter_mut().zip(acc.iter()) {
-                        dst.merge_from(src).map_err(StatsError::Merge)?;
+        let shards: Vec<Vec<LanguageStats>> = slots
+            .into_iter()
+            .filter_map(|slot| slot.into_inner())
+            .collect();
+        let mut merged = merge_shard_accumulators(shards)?;
+        match self.cooc {
+            CoocMode::Streaming => {
+                // The accumulators already are the sketches — any
+                // `config.sketch` is ignored in this mode. Record the
+                // worst-case `εN` the merged geometry implies.
+                for stats in merged.iter() {
+                    if let Some(cms) = stats.cooc_sketch() {
+                        self.report.sketch_error_bound_max =
+                            self.report.sketch_error_bound_max.max(cms.error_bound());
                     }
                 }
             }
-        }
-        let mut merged = merged.ok_or(StatsError::WorkerPanicked("accumulate"))?;
-        if let Some(spec) = config.sketch {
-            for stats in merged.iter_mut() {
-                stats.compress_cooccurrence(spec);
+            CoocMode::Exact | CoocMode::Deferred => {
+                if let Some(spec) = config.sketch {
+                    for stats in merged.iter_mut() {
+                        stats.compress_cooccurrence(spec);
+                    }
+                }
             }
         }
         self.report.merge_nanos += t2.elapsed().as_nanos() as u64;
@@ -512,6 +678,27 @@ impl<'c> TrainPipeline<'c> {
     }
 }
 
+/// Merges per-shard accumulator vectors in slot order: exact backends by
+/// keyed addition, sketch backends cell-wise — both order-independent,
+/// so the result matches a single sequential scan. Mismatched shard
+/// accumulators (different language, backend kind, or sketch geometry /
+/// strategy / hash family) surface as [`StatsError::Merge`]; an empty
+/// shard set means every worker died before publishing its slot.
+pub(crate) fn merge_shard_accumulators(
+    shards: Vec<Vec<LanguageStats>>,
+) -> Result<Vec<LanguageStats>, StatsError> {
+    let mut shards = shards.into_iter();
+    let Some(mut base) = shards.next() else {
+        return Err(StatsError::WorkerPanicked("accumulate"));
+    };
+    for acc in shards {
+        for (dst, src) in base.iter_mut().zip(acc.iter()) {
+            dst.merge_from(src).map_err(StatsError::Merge)?;
+        }
+    }
+    Ok(base)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,6 +724,7 @@ mod tests {
                 let opts = PipelineOptions {
                     threads,
                     lang_batch,
+                    ..PipelineOptions::default()
                 };
                 let mut pipe = TrainPipeline::new(corpus, &opts).unwrap();
                 let got = pipe.run(languages, config, |_, s| s).unwrap();
@@ -724,6 +912,7 @@ mod tests {
         let opts = PipelineOptions {
             threads: 2,
             lang_batch: 4,
+            ..PipelineOptions::default()
         };
         let mut pipe = TrainPipeline::new(&corpus, &opts).unwrap();
         let _ = pipe
@@ -764,6 +953,223 @@ mod tests {
         assert_eq!(a.columns, 15);
         assert_eq!(a.languages, 144);
         assert_eq!(a.threads, 8);
+    }
+
+    /// Streaming accumulation must be byte-identical at any thread count
+    /// and batch size (plain sketch updates commute), keep the exact
+    /// occurrence side untouched, and keep the measured sketch error
+    /// within the worst-case bound its auto-sized geometry reports.
+    #[test]
+    fn streaming_differential_and_error_profile() {
+        let corpus = mixed_corpus();
+        let langs = enumerate_coarse_languages();
+        let config = StatsConfig::default();
+        let exact = collect_stats_reference(&langs, &corpus, &config, 2).unwrap();
+        let mut reference: Option<Vec<Vec<u8>>> = None;
+        for threads in [1, 2, 4, 8] {
+            for lang_batch in [3, 64] {
+                let opts = PipelineOptions {
+                    threads,
+                    lang_batch,
+                    cooc: CoocMode::Streaming,
+                    ..PipelineOptions::default()
+                };
+                let mut pipe = TrainPipeline::new(&corpus, &opts).unwrap();
+                let got = pipe.run(&langs, &config, |_, s| s).unwrap();
+                let bytes: Vec<Vec<u8>> = got.iter().map(stats_bytes).collect();
+                if let Some(r) = reference.as_ref() {
+                    assert_eq!(
+                        *r, bytes,
+                        "streaming diverged at threads={threads} lang_batch={lang_batch}"
+                    );
+                    continue;
+                }
+                // First build: validate against the exact reference.
+                let report = *pipe.report();
+                assert_eq!(report.streaming_languages, langs.len() as u64);
+                assert!(report.sketch_width_min >= 1);
+                assert!(report.sketch_width_max >= report.sketch_width_min);
+                assert!(report.sketch_depth >= 1);
+                assert!(report.sketch_bytes > 0);
+                assert!(report.peak_cooc_bytes > 0);
+                for (s, e) in got.iter().zip(&exact) {
+                    assert_eq!(s.language, e.language);
+                    assert_eq!(s.n_columns, e.n_columns);
+                    assert_eq!(s.distinct_patterns(), e.distinct_patterns());
+                    let cms = s.cooc_sketch().expect("streaming backend is a sketch");
+                    let pairs = e.exact_cooc_pairs().expect("reference backend is exact");
+                    let keyed: Vec<(u64, u64)> = pairs
+                        .iter()
+                        .map(|&(lo, hi, n)| (adt_sketch::hashing::pair_key(lo, hi), n as u64))
+                        .collect();
+                    let prof = adt_sketch::error_profile(cms, &keyed);
+                    // The (ε, δ) guarantee is per key: the additive
+                    // error stays under εN with probability 1 − e⁻ᵈᵉᵖᵗʰ.
+                    // Assert the aggregate form (same convention as the
+                    // sketch crate's own bound test): the mean is within
+                    // the bound and violating keys are rare.
+                    let bound = prof.theoretical_bound.max(1.0);
+                    assert!(
+                        prof.mean_error <= bound,
+                        "{:?}: mean_error {} beyond bound {bound}",
+                        s.language,
+                        prof.mean_error
+                    );
+                    let violations = keyed
+                        .iter()
+                        .filter(|&&(k, n)| (cms.estimate(k).saturating_sub(n)) as f64 > bound)
+                        .count();
+                    let allowed = (keyed.len() as f64 * 0.05).ceil() as usize;
+                    assert!(
+                        violations <= allowed.max(1),
+                        "{:?}: {violations}/{} keys beyond bound {bound}",
+                        s.language,
+                        keyed.len()
+                    );
+                }
+                reference = Some(bytes);
+            }
+        }
+    }
+
+    /// The streaming pipeline's report must reflect the plan: per-batch
+    /// widths inside the configured clamp, peak bytes matching the
+    /// bounded accumulators, an error bound from the merged sketches.
+    #[test]
+    fn streaming_report_records_geometry() {
+        let corpus = mixed_corpus();
+        let langs = enumerate_coarse_languages();
+        let opts = PipelineOptions {
+            threads: 2,
+            cooc: CoocMode::Streaming,
+            ..PipelineOptions::default()
+        };
+        let mut pipe = TrainPipeline::new(&corpus, &opts).unwrap();
+        let _ = pipe.run(&langs, &StatsConfig::default(), |_, s| s).unwrap();
+        let r = pipe.report();
+        assert_eq!(r.streaming_languages, langs.len() as u64);
+        assert!(r.sketch_width_min >= opts.streaming.min_width as u64);
+        assert!(r.sketch_width_max <= opts.streaming.max_width as u64);
+        assert_eq!(r.sketch_depth, opts.streaming.depth as u64);
+        assert!(r.sketch_error_bound_max > 0.0);
+        // Peak: 2 worker slots × per-batch accumulators, each bounded by
+        // the largest planned table.
+        let per_table = crate::streaming::sketch_table_bytes(
+            r.sketch_width_max as usize,
+            r.sketch_depth as usize,
+        ) as u64;
+        assert!(r.peak_cooc_bytes <= 2 * pipe.lang_batch() as u64 * per_table);
+    }
+
+    /// Mismatched shard accumulators surface through the pipeline's
+    /// merge seam as typed [`StatsError::Merge`] values, preserving the
+    /// detail string from `CountMinSketch::merge_from` /
+    /// `CoocBackend::merge_from` / `LanguageStats::merge_from`.
+    #[test]
+    fn shard_merge_mismatches_surface_as_typed_errors() {
+        use crate::streaming::accumulator as stream_acc;
+        use adt_sketch::UpdateStrategy;
+        let l1 = Language::paper_l1();
+        let l2 = Language::paper_l2();
+        let exact = |l| LanguageStats::empty(l, &StatsConfig::default());
+
+        // Empty shard set: every worker died before publishing.
+        assert_eq!(
+            merge_shard_accumulators(Vec::new()).unwrap_err(),
+            StatsError::WorkerPanicked("accumulate")
+        );
+
+        // Language mismatch between aligned shard slots.
+        let err = merge_shard_accumulators(vec![vec![exact(l1)], vec![exact(l2)]]).unwrap_err();
+        assert_eq!(err, StatsError::Merge("language mismatch"));
+
+        // Mixed backend kinds (exact vs sketch) in the same slot.
+        let err = merge_shard_accumulators(vec![vec![exact(l1)], vec![stream_acc(l1, 64, 4, 7)]])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StatsError::Merge("co-occurrence backend kind mismatch")
+        );
+
+        // Geometry, hash-family, and strategy mismatches propagate up
+        // from the sketch layer.
+        let err = merge_shard_accumulators(vec![
+            vec![stream_acc(l1, 64, 4, 7)],
+            vec![stream_acc(l1, 32, 4, 7)],
+        ])
+        .unwrap_err();
+        assert_eq!(err, StatsError::Merge("sketch geometry mismatch"));
+
+        let err = merge_shard_accumulators(vec![
+            vec![stream_acc(l1, 64, 4, 7)],
+            vec![stream_acc(l1, 64, 4, 8)],
+        ])
+        .unwrap_err();
+        assert_eq!(err, StatsError::Merge("sketch hash family mismatch"));
+
+        let conservative = LanguageStats::empty(
+            l1,
+            &StatsConfig {
+                sketch: Some(SketchSpec {
+                    budget_bytes: 64 * 4 * 4, // same 64 × 4 geometry
+                    depth: 4,
+                    strategy: UpdateStrategy::Conservative,
+                    seed: 7,
+                }),
+                ..StatsConfig::default()
+            },
+        );
+        let err =
+            merge_shard_accumulators(vec![vec![stream_acc(l1, 64, 4, 7)], vec![conservative]])
+                .unwrap_err();
+        assert_eq!(err, StatsError::Merge("sketch strategy mismatch"));
+        assert!(err.to_string().contains("sketch strategy mismatch"));
+    }
+
+    #[test]
+    fn report_absorb_saturates_and_merges_streaming_fields() {
+        let mut a = PipelineReport {
+            columns: u64::MAX - 1,
+            sketch_width_max: 128,
+            sketch_depth: 4,
+            peak_cooc_bytes: 10,
+            powerlaw_alpha_max: 1.5,
+            sketch_error_bound_max: 3.0,
+            ..PipelineReport::default()
+        };
+        let b = PipelineReport {
+            columns: 5,
+            streaming_languages: 3,
+            sketch_width_min: 64,
+            sketch_width_max: 96,
+            sketch_depth: 2,
+            sketch_bytes: 1024,
+            peak_cooc_bytes: 7,
+            powerlaw_alpha_min: 2.0,
+            powerlaw_alpha_max: 2.5,
+            sketch_error_bound_max: 1.0,
+            ..PipelineReport::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.columns, u64::MAX, "adds saturate instead of wrapping");
+        assert_eq!(a.streaming_languages, 3);
+        assert_eq!(a.sketch_width_min, 64, "zero means unset");
+        assert_eq!(a.sketch_width_max, 128);
+        assert_eq!(a.sketch_depth, 4);
+        assert_eq!(a.sketch_bytes, 1024);
+        assert_eq!(a.peak_cooc_bytes, 10, "peak takes the max");
+        assert_eq!(a.powerlaw_alpha_min, 2.0);
+        assert_eq!(a.powerlaw_alpha_max, 2.5);
+        assert_eq!(a.sketch_error_bound_max, 3.0);
+        let mut c = PipelineReport {
+            sketch_width_min: 96,
+            ..PipelineReport::default()
+        };
+        c.absorb(&PipelineReport {
+            sketch_width_min: 64,
+            ..PipelineReport::default()
+        });
+        assert_eq!(c.sketch_width_min, 64);
     }
 
     #[test]

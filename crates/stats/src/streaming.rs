@@ -1,0 +1,409 @@
+//! Streaming co-occurrence accumulation: bounded-memory sketch-backed
+//! shard accumulators with per-language auto-sizing.
+//!
+//! The default pipeline accumulates **exact** pair dictionaries in every
+//! shard and (when a sketch is configured) compresses only at finalize,
+//! so peak memory is O(distinct pairs) regardless of the sketch budget —
+//! fine for benchmark corpora, fatal for the paper's 350M-column web
+//! regime. [`CoocMode::Streaming`] instead hands each shard worker
+//! per-language [`CountMinSketch`] accumulators: pair counts stream
+//! straight into the counter tables (the exact table is never
+//! materialized) and shards merge cell-wise via
+//! [`CountMinSketch::merge_from`], giving O(width × depth) memory per
+//! language at any corpus size.
+//!
+//! Determinism: streaming sketches always use [`UpdateStrategy::Plain`].
+//! Plain updates are commutative, associative cell additions (saturating
+//! adds of non-negative counters), so the merged table is a pure
+//! function of the multiset of inserted pairs — independent of the
+//! work-stealing schedule — and the pipeline stays byte-identical at any
+//! thread count. Conservative updates are order-dependent and only safe
+//! in the deferred sorted-replay path.
+//!
+//! Auto-sizing (replacing the global `sketch_fraction` heuristic): per
+//! language, the planner reads the distinct-pattern count off the
+//! already-computed generalization matrix, bounds the insertable pair
+//! mass from the per-column distinct-value layout, and fits the
+//! power-law exponent `α` of pair counts on a deterministic strided
+//! column sample ([`powerlaw_alpha`]). The width for a target `ε` is the
+//! worst-case `⌈e/ε⌉` sharpened by the observed skew — heavy-tailed
+//! count distributions concentrate mass on few keys, so `(e/ε)^(1/α)`
+//! cells suffice in practice (§3.4's observation) — then clamped to
+//! `[min_width, max_width]` and to the exact table's own footprint so a
+//! streaming build never costs more memory than the table it replaces.
+//! Every input to the plan is a pure function of the interned corpus,
+//! the language, and the options, so plans (and therefore results) are
+//! identical at any thread count or language batch size.
+
+use crate::fxhash::FxHashMap;
+use crate::language_stats::{LanguageStats, StatsConfig};
+use crate::store::{CoocBackend, COOC_ENTRY_BYTES};
+use adt_patterns::{Language, PatternHash};
+use adt_sketch::{powerlaw_alpha, CountMinSketch, UpdateStrategy};
+use serde::{Deserialize, Serialize};
+
+/// How the pipeline accumulates co-occurrence counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum CoocMode {
+    /// Exact pair dictionaries end to end; never compressed. Peak memory
+    /// is O(distinct pairs).
+    Exact,
+    /// The historical default: accumulate exactly, compress into a
+    /// count-min sketch at finalize (sorted replay) when the stats
+    /// config carries a [`crate::SketchSpec`]. Peak memory still briefly
+    /// reaches the exact size.
+    #[default]
+    Deferred,
+    /// Shard workers accumulate straight into per-language count-min
+    /// sketches sized by [`StreamingOptions`]; the exact pair table is
+    /// never materialized. Peak memory is O(width × depth) per language
+    /// per worker at any corpus size.
+    Streaming,
+}
+
+/// Sizing knobs for [`CoocMode::Streaming`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StreamingOptions {
+    /// Target additive-error fraction: estimates exceed true counts by
+    /// at most `ε·N` (N = inserted pair mass) with probability `1−δ`,
+    /// before power-law sharpening.
+    pub epsilon: f64,
+    /// Sketch rows; `δ = e^−depth`.
+    pub depth: usize,
+    /// Seed for the row-hash family.
+    pub seed: u64,
+    /// Lower clamp on auto-sized widths.
+    pub min_width: usize,
+    /// Upper clamp on auto-sized widths.
+    pub max_width: usize,
+    /// When set, skip auto-sizing and give every language exactly this
+    /// width. The online learner pins geometry this way so incremental
+    /// deltas stay cell-wise mergeable across retrains.
+    pub fixed_width: Option<usize>,
+}
+
+impl Default for StreamingOptions {
+    fn default() -> Self {
+        StreamingOptions {
+            epsilon: 1.0 / 1024.0,
+            depth: 4,
+            seed: 0xC0FFEE,
+            min_width: 64,
+            max_width: 1_048_576,
+            fixed_width: None,
+        }
+    }
+}
+
+/// Per-batch sketch geometry chosen by [`plan_batch`]: one width/alpha
+/// per batch language, shared depth and seed.
+#[derive(Debug, Clone)]
+pub struct StreamingPlan {
+    /// Counter-row width per batch language.
+    pub widths: Vec<usize>,
+    /// Fitted power-law exponent per batch language (`0.0` when the
+    /// sample was too small to fit; the width then uses the worst-case
+    /// exponent `1`).
+    pub alphas: Vec<f64>,
+    /// Shared sketch depth.
+    pub depth: usize,
+    /// Shared hash-family seed.
+    pub seed: u64,
+}
+
+/// Columns sampled (deterministic stride) for the power-law fit.
+const MAX_SAMPLE_COLUMNS: usize = 128;
+
+/// The geometry width implied by `opts` alone — no corpus inspection, no
+/// power-law sharpening (worst-case `α = 1`). This is what the online
+/// learner pins via [`StreamingOptions::fixed_width`]: every delta batch
+/// must share one geometry for cell-wise merges across retrains.
+pub fn pinned_width(opts: &StreamingOptions) -> usize {
+    let eps = clamp_epsilon(opts.epsilon);
+    clamp_width((std::f64::consts::E / eps).ceil(), opts)
+}
+
+/// Bytes of a `width × depth` u32 counter table.
+pub fn sketch_table_bytes(width: usize, depth: usize) -> usize {
+    width
+        .saturating_mul(depth)
+        .saturating_mul(std::mem::size_of::<u32>())
+}
+
+fn clamp_epsilon(epsilon: f64) -> f64 {
+    if epsilon > 0.0 && epsilon < 1.0 {
+        epsilon
+    } else {
+        StreamingOptions::default().epsilon
+    }
+}
+
+fn clamp_width(raw: f64, opts: &StreamingOptions) -> usize {
+    let lo = opts.min_width.max(1) as f64;
+    let hi = (opts.max_width as f64).max(lo);
+    raw.clamp(lo, hi) as usize
+}
+
+/// A fresh streaming shard accumulator: empty occurrence dictionary
+/// (occurrences stay exact — they are linear in distinct patterns, not
+/// quadratic) over a plain-update sketch of the planned geometry.
+pub(crate) fn accumulator(
+    language: Language,
+    width: usize,
+    depth: usize,
+    seed: u64,
+) -> LanguageStats {
+    let cms = CountMinSketch::new(width.max(1), depth.max(1), UpdateStrategy::Plain, seed);
+    LanguageStats::from_parts(language, 0, FxHashMap::default(), CoocBackend::Sketch(cms))
+}
+
+/// Chooses per-language sketch widths for one language batch.
+///
+/// `matrix` is the phase-2 generalization matrix (`n_values × k`
+/// row-major, `k = batch.len()`); `col_offsets`/`col_ids` are the
+/// interned per-column distinct-value layout. Everything read here is
+/// already deterministic, so the plan — and with it the streamed result
+/// — is independent of thread count and batch partitioning.
+pub(crate) fn plan_batch(
+    batch: &[Language],
+    matrix: &[PatternHash],
+    n_values: usize,
+    col_offsets: &[usize],
+    col_ids: &[u32],
+    config: &StatsConfig,
+    opts: &StreamingOptions,
+) -> StreamingPlan {
+    let k = batch.len();
+    let depth = opts.depth.max(1);
+    if let Some(w) = opts.fixed_width {
+        return StreamingPlan {
+            widths: vec![w.max(1); k],
+            alphas: vec![0.0; k],
+            depth,
+            seed: opts.seed,
+        };
+    }
+    // Upper bound on insertable pair mass, from column sizes alone: a
+    // column with d distinct values contributes at most C(min(d, cap), 2)
+    // pairs under any language (generalization only collapses values).
+    let cap = config.max_distinct_per_column.max(2) as u64;
+    let mut pair_mass = 0u64;
+    for (&lo, &hi) in col_offsets.iter().zip(col_offsets.iter().skip(1)) {
+        let d = (hi.saturating_sub(lo) as u64).min(cap);
+        pair_mass = pair_mass.saturating_add(d.saturating_mul(d.saturating_sub(1)) / 2);
+    }
+
+    let samples = sample_pair_counts(batch, matrix, col_offsets, col_ids, config);
+    let mut widths = Vec::with_capacity(k);
+    let mut alphas = Vec::with_capacity(k);
+    let mut column: Vec<PatternHash> = Vec::with_capacity(n_values);
+    for j in 0..k {
+        // Distinct patterns of language j: dedup its matrix column.
+        column.clear();
+        let mut cell = j;
+        while let Some(&h) = matrix.get(cell) {
+            column.push(h);
+            cell = cell.saturating_add(k);
+        }
+        column.sort_unstable();
+        column.dedup();
+        let distinct = column.len() as u64;
+        let alpha = samples
+            .get(j)
+            .and_then(|counts| powerlaw_alpha(counts, 2))
+            .map(|a| a.clamp(1.0, 4.0));
+        widths.push(auto_width(distinct, pair_mass, alpha, depth, opts));
+        alphas.push(alpha.unwrap_or(0.0));
+    }
+    StreamingPlan {
+        widths,
+        alphas,
+        depth,
+        seed: opts.seed,
+    }
+}
+
+/// Width for one language: worst-case `e/ε` sharpened by the fitted
+/// exponent, clamped to the configured range and to the exact table's
+/// own cell-equivalent footprint (a sketch wider than the exact
+/// dictionary it replaces defeats the purpose).
+fn auto_width(
+    distinct: u64,
+    pair_mass: u64,
+    alpha: Option<f64>,
+    depth: usize,
+    opts: &StreamingOptions,
+) -> usize {
+    let eps = clamp_epsilon(opts.epsilon);
+    let base = std::f64::consts::E / eps;
+    let sharpened = base.powf(1.0 / alpha.unwrap_or(1.0).max(1.0));
+    // Distinct pairs can't exceed C(distinct, 2) nor the corpus-level
+    // pair mass; their exact dictionary would occupy `pairs × 24` bytes,
+    // i.e. this many sketch cells:
+    let pairs = distinct
+        .saturating_mul(distinct.saturating_sub(1))
+        .wrapping_div(2)
+        .min(pair_mass)
+        .max(1);
+    let cells = depth.max(1).saturating_mul(std::mem::size_of::<u32>());
+    let exact_equiv = pairs.saturating_mul(COOC_ENTRY_BYTES as u64) as f64 / cells.max(1) as f64;
+    clamp_width(sharpened.min(exact_equiv).ceil(), opts)
+}
+
+/// Exact pair counts of a deterministic strided column sample, one count
+/// vector per batch language — the observations the power-law fit runs
+/// on. Reuses the real absorb tail so the sample distribution matches
+/// what the accumulators will actually see (cap subsampling included).
+fn sample_pair_counts(
+    batch: &[Language],
+    matrix: &[PatternHash],
+    col_offsets: &[usize],
+    col_ids: &[u32],
+    config: &StatsConfig,
+) -> Vec<Vec<u64>> {
+    let k = batch.len();
+    let exact = StatsConfig {
+        sketch: None,
+        ..*config
+    };
+    let mut accs: Vec<LanguageStats> = batch
+        .iter()
+        .map(|&l| LanguageStats::empty(l, &exact))
+        .collect();
+    let n_cols = col_offsets.len().saturating_sub(1);
+    let stride = n_cols.div_ceil(MAX_SAMPLE_COLUMNS).max(1);
+    let mut hashes: Vec<PatternHash> = Vec::new();
+    let mut c = 0usize;
+    while c < n_cols {
+        let bounds = col_offsets
+            .get(c)
+            .copied()
+            .zip(col_offsets.get(c.saturating_add(1)).copied());
+        if let Some((lo, hi)) = bounds {
+            for (j, acc) in accs.iter_mut().enumerate() {
+                hashes.clear();
+                for &id in col_ids.get(lo..hi).into_iter().flatten() {
+                    let cell = (id as usize).saturating_mul(k).saturating_add(j);
+                    if let Some(&h) = matrix.get(cell) {
+                        hashes.push(h);
+                    }
+                }
+                acc.absorb_column_hashes(&mut hashes, &exact);
+            }
+        }
+        c = c.saturating_add(stride);
+    }
+    accs.iter()
+        .map(|acc| match acc.exact_cooc_pairs() {
+            Some(entries) => entries.iter().map(|&(_, _, n)| n as u64).collect(),
+            None => Vec::new(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_patterns::enumerate_coarse_languages;
+
+    #[test]
+    fn pinned_width_is_clamped_worst_case() {
+        let opts = StreamingOptions::default();
+        let expect = (std::f64::consts::E * 1024.0).ceil() as usize;
+        assert_eq!(pinned_width(&opts), expect);
+        let tiny = StreamingOptions {
+            epsilon: 0.9,
+            ..opts
+        };
+        assert_eq!(pinned_width(&tiny), tiny.min_width);
+        let huge = StreamingOptions {
+            epsilon: 1e-12,
+            ..opts
+        };
+        assert_eq!(pinned_width(&huge), huge.max_width);
+        let invalid = StreamingOptions {
+            epsilon: 0.0,
+            ..opts
+        };
+        assert_eq!(pinned_width(&invalid), pinned_width(&opts));
+    }
+
+    #[test]
+    fn table_bytes_saturate() {
+        assert_eq!(sketch_table_bytes(8, 4), 128);
+        assert_eq!(sketch_table_bytes(usize::MAX, 2), usize::MAX);
+    }
+
+    #[test]
+    fn fixed_width_plan_skips_sizing() {
+        let langs = enumerate_coarse_languages();
+        let batch = &langs[..3];
+        let plan = plan_batch(
+            batch,
+            &[],
+            0,
+            &[0],
+            &[],
+            &StatsConfig::default(),
+            &StreamingOptions {
+                fixed_width: Some(777),
+                ..StreamingOptions::default()
+            },
+        );
+        assert_eq!(plan.widths, vec![777, 777, 777]);
+        assert_eq!(plan.alphas, vec![0.0, 0.0, 0.0]);
+        assert_eq!(plan.depth, 4);
+    }
+
+    #[test]
+    fn accumulator_is_plain_sketch_of_planned_geometry() {
+        let acc = accumulator(adt_patterns::Language::leaf(), 96, 3, 42);
+        let cms = acc.cooc_sketch().expect("sketch backend");
+        assert_eq!(cms.width(), 96);
+        assert_eq!(cms.depth(), 3);
+        assert_eq!(cms.strategy(), UpdateStrategy::Plain);
+        assert_eq!(acc.n_columns, 0);
+        assert_eq!(acc.distinct_patterns(), 0);
+    }
+
+    #[test]
+    fn auto_width_sharpens_with_alpha_and_caps_at_exact_footprint() {
+        let opts = StreamingOptions::default();
+        // Worst case (no fit) on a huge table: full e/eps width.
+        let worst = auto_width(100_000, u64::MAX, None, 4, &opts);
+        assert_eq!(worst, pinned_width(&opts));
+        // A steep power law shrinks the width.
+        let sharp = auto_width(100_000, u64::MAX, Some(2.0), 4, &opts);
+        assert!(sharp < worst, "sharp {sharp} vs worst {worst}");
+        assert!(sharp >= opts.min_width);
+        // Few distinct patterns: never wider than the exact dictionary's
+        // cell-equivalent footprint — C(10,2) = 45 pairs × 24B over
+        // 4 × 4B cells per width unit → ⌈67.5⌉ = 68 cells.
+        let small = auto_width(10, u64::MAX, None, 4, &opts);
+        assert_eq!(small, 68);
+        // And the min-width clamp catches the degenerate end.
+        let degenerate = auto_width(2, u64::MAX, None, 4, &opts);
+        assert_eq!(degenerate, opts.min_width);
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_batch_independent() {
+        // Hand-built layout: 4 values, 2 columns each holding all 4.
+        let langs = enumerate_coarse_languages();
+        let batch = &langs[..2];
+        let k = batch.len();
+        let matrix: Vec<PatternHash> = (0..4usize)
+            .flat_map(|v| (0..k).map(move |j| PatternHash((v as u64 + 1) * 31 + j as u64)))
+            .collect();
+        let col_offsets = [0usize, 4, 8];
+        let col_ids = [0u32, 1, 2, 3, 0, 1, 2, 3];
+        let config = StatsConfig::default();
+        let opts = StreamingOptions::default();
+        let a = plan_batch(batch, &matrix, 4, &col_offsets, &col_ids, &config, &opts);
+        let b = plan_batch(batch, &matrix, 4, &col_offsets, &col_ids, &config, &opts);
+        assert_eq!(a.widths, b.widths);
+        assert_eq!(a.alphas, b.alphas);
+        assert!(a.widths.iter().all(|&w| w >= opts.min_width));
+    }
+}

@@ -6,9 +6,14 @@
 # BENCH_OUT) with per-shape median ns/op, NPMI probe counters, training
 # throughput (columns/sec, values/sec, speedup vs reference), an
 # `ensemble` section timing the multi-detector engine serial vs all
-# cores with per-detector lanes, and an `online` section racing the
+# cores with per-detector lanes, an `online` section racing the
 # serve loop's incremental absorb + retrain against a from-scratch
-# union train (byte-identity checked).
+# union train (byte-identity checked), and a `train_streaming` section
+# racing the bounded-memory streaming co-occurrence mode against the
+# exact pipeline — peak accumulator bytes, throughput, chosen sketch
+# geometry, and byte-identity across 1/2/4/8 threads (the ci.sh smoke
+# asserts the streaming peak stays under a fixed bound the exact
+# pipeline exceeds).
 #
 #   scripts/bench_report.sh               # full: release build, full widths
 #   scripts/bench_report.sh quick         # smoke: debug build, half widths

@@ -29,7 +29,7 @@ mod cli {
 
     /// Options that take a value; everything else starting with `--` is a
     /// boolean flag.
-    pub const VALUED: [&str; 24] = [
+    pub const VALUED: [&str; 25] = [
         "--out",
         "--model",
         "--corpus",
@@ -43,6 +43,7 @@ mod cli {
         "--space",
         "--threads",
         "--train-threads",
+        "--cooc",
         "--models",
         "--addr",
         "--workers",
@@ -130,6 +131,13 @@ mod cli {
         }
 
         #[test]
+        fn cooc_takes_a_value() {
+            let a = parse(&raw(&["train", "--cooc", "streaming"])).unwrap();
+            assert_eq!(a.opt_or("--cooc", "deferred"), "streaming");
+            assert!(parse(&raw(&["train", "--cooc"])).is_err());
+        }
+
+        #[test]
         fn unknown_option_is_an_error() {
             let err = parse(&raw(&["scan", "f.csv", "--theads", "4"])).unwrap_err();
             assert!(err.contains("--theads"), "{err}");
@@ -159,7 +167,8 @@ USAGE:
   autodetect gen-corpus [--profile web|wiki|pubxls|entxls] [--columns N] --out FILE
   autodetect train [--corpus FILE] [--columns N] [--examples N]
                    [--budget BYTES] [--precision P] [--space full|coarse]
-                   [--train-threads N] --out MODEL.json
+                   [--train-threads N] [--cooc exact|deferred|streaming]
+                   --out MODEL.json
   autodetect scan FILE.csv --model MODEL.json [--delimiter C] [--no-header]
                   [--top N] [--threads N] [--stream]
                   [--detectors NAME,NAME,…] [--merge union|vote:K|calibrated]
@@ -169,6 +178,7 @@ USAGE:
                    [--learn] [--learn-model NAME] [--learn-absorb N]
                    [--learn-interval SECS] [--learn-queue N]
                    [--learn-seed CORPUS] [--space full|coarse] [--examples N]
+                   [--cooc exact|deferred|streaming]
   autodetect query FILE.csv --addr HOST:PORT [--model NAME]
                    [--delimiter C] [--no-header] [--top N] [--learn]
                    [--detectors NAME,NAME,…] [--merge union|vote:K|calibrated]
@@ -178,8 +188,17 @@ Without --corpus, `train` generates a synthetic web-table corpus
 (--columns, default 20000) reproducing the paper's co-occurrence
 structure. Training runs the sharded corpus-major pipeline
 (--train-threads, default all cores); the trained model is identical at
-any thread count. `scan` audits every column of a delimited file through the
-parallel scan engine (--threads, default all cores) and prints ranked
+any thread count. --cooc picks the co-occurrence accumulation mode:
+deferred (default) accumulates exactly and sketches at finalize,
+exact never sketches, and streaming bounds peak training memory by
+accumulating straight into per-language count-min sketches auto-sized
+from the observed pattern distributions — for corpora whose exact pair
+tables would not fit in memory. With --learn, --cooc streaming keeps
+the online learner's accumulators sketch-backed at a pinned geometry
+so absorbed deltas stay bounded too.
+
+`scan` audits every column of a delimited file through the parallel
+scan engine (--threads, default all cores) and prints ranked
 findings; --stream ingests the file with bounded memory instead of
 loading it whole. Findings are identical at any thread count and in
 either ingest mode. Model files ending in .bin use the compact binary
@@ -239,6 +258,19 @@ fn cmd_gen_corpus(args: &cli::Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--cooc` for the train and serve-learn paths.
+fn cooc_mode(args: &cli::Args) -> Result<auto_detect::stats::CoocMode, String> {
+    use auto_detect::stats::CoocMode;
+    match args.opt_or("--cooc", "deferred") {
+        "exact" => Ok(CoocMode::Exact),
+        "deferred" => Ok(CoocMode::Deferred),
+        "streaming" => Ok(CoocMode::Streaming),
+        other => Err(format!(
+            "unknown --cooc {other:?} (exact|deferred|streaming)"
+        )),
+    }
+}
+
 fn cmd_train(args: &cli::Args) -> Result<(), String> {
     let corpus = match args.options.get("--corpus") {
         Some(path) => Corpus::load(path).map_err(|e| format!("loading {path}: {e}"))?,
@@ -259,6 +291,7 @@ fn cmd_train(args: &cli::Args) -> Result<(), String> {
         .precision_target(args.num("--precision", 0.95f64)?)
         .space(space)
         .train_threads(args.num("--train-threads", 0usize)?)
+        .cooc_mode(cooc_mode(args)?)
         .build()
         .map_err(|e| e.to_string())?;
     eprintln!(
@@ -285,6 +318,19 @@ fn cmd_train(args: &cli::Args) -> Result<(), String> {
         p.accumulate_nanos as f64 / 1e9,
         p.merge_nanos as f64 / 1e9
     );
+    if p.streaming_languages > 0 {
+        eprintln!(
+            "streaming cooc: {} languages sketched, widths {}..={} × depth {}, \
+             {} KB of sketch tables, peak accumulators {} KB, worst-case εN {:.1}",
+            p.streaming_languages,
+            p.sketch_width_min,
+            p.sketch_width_max,
+            p.sketch_depth,
+            p.sketch_bytes / 1024,
+            p.peak_cooc_bytes / 1024,
+            p.sketch_error_bound_max
+        );
+    }
     eprintln!(
         "selected {} languages {:?}, model {} KB, training precision target {}",
         model.num_languages(),
@@ -479,6 +525,7 @@ fn learn_config(args: &cli::Args) -> Result<Option<auto_detect::serve::LearnConf
         .training_examples(args.num("--examples", 4_000usize)?)
         .online_absorb_columns(args.num("--learn-absorb", 256usize)?)
         .online_interval_secs(args.num("--learn-interval", 60u64)?)
+        .cooc_mode(cooc_mode(args)?)
         .build()
         .map_err(|e| e.to_string())?;
     let mut learn = LearnConfig::new(train);
@@ -690,5 +737,30 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod cooc_flag_tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> cli::Args {
+        cli::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn cooc_mode_parses_and_rejects() {
+        use auto_detect::stats::CoocMode;
+        assert_eq!(
+            cooc_mode(&parse(&["train", "--cooc", "streaming"])).unwrap(),
+            CoocMode::Streaming
+        );
+        assert_eq!(
+            cooc_mode(&parse(&["train", "--cooc", "exact"])).unwrap(),
+            CoocMode::Exact
+        );
+        assert_eq!(cooc_mode(&parse(&["train"])).unwrap(), CoocMode::Deferred);
+        let err = cooc_mode(&parse(&["train", "--cooc", "fast"])).unwrap_err();
+        assert!(err.contains("--cooc"), "{err}");
     }
 }
